@@ -1,0 +1,40 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper artifact (table/figure) at a
+statistically reduced but structurally identical scale, measures its
+runtime with pytest-benchmark, and saves the rendered rows under
+``benchmarks/results/`` so the reproduction output is inspectable after
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist one artifact's rendered rows (and echo to stdout)."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under the benchmark timer (these are
+    minutes-scale simulations; repeated rounds are wasteful)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

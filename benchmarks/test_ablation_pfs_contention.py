@@ -1,0 +1,92 @@
+"""Ablation (extension): parallel-file-system contention.
+
+The paper's model lets every application checkpoint to the PFS in
+isolation (Eq. 3).  This ablation caps the number of concurrent PFS
+checkpoint/restart streams and re-runs the datacenter: Checkpoint
+Restart jobs queue for the file system and drop more applications,
+while Parallel Recovery — which never touches the PFS — is untouched,
+*amplifying* the paper's Sec. VII observation that PFS independence is
+Parallel Recovery's structural advantage.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.slack import SlackBased
+from repro.rng.streams import StreamFactory
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+
+SLOT_SETTINGS = (None, 4, 1)  # None = the paper's unlimited model
+PATTERNS = 4
+ARRIVALS = 40
+SYSTEM_NODES = 120_000
+MTBF = years(2.5)  # failure-rich: PFS traffic is frequent
+
+
+def _patterns():
+    generator = PatternGenerator(StreamFactory(2017), SYSTEM_NODES)
+    return [generator.generate(i, arrivals=ARRIVALS) for i in range(PATTERNS)]
+
+
+def test_ablation_pfs_contention(benchmark, save_result):
+    patterns = _patterns()
+
+    def sweep():
+        rows = {}
+        for slots in SLOT_SETTINGS:
+            for technique in (CheckpointRestart(), ParallelRecovery()):
+                samples, waits = [], 0.0
+                for pattern in patterns:
+                    result = run_datacenter(
+                        pattern,
+                        SlackBased(),
+                        FixedSelector(technique),
+                        exascale_system(SYSTEM_NODES),
+                        DatacenterConfig(node_mtbf_s=MTBF, pfs_slots=slots),
+                    )
+                    samples.append(result.dropped_pct)
+                    waits += sum(
+                        r.stats.resource_wait_s
+                        for r in result.records
+                        if r.stats is not None
+                    )
+                rows[(slots, technique.name)] = (
+                    SummaryStats.from_samples(samples),
+                    waits / PATTERNS,
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    lines = [
+        "Ablation — PFS contention (slack RM, MTBF 2.5 y, "
+        f"{PATTERNS} patterns x {ARRIVALS} arrivals)",
+        f"{'pfs slots':<12} {'technique':<20} {'dropped %':>10} {'wait h/pattern':>15}",
+        "-" * 62,
+    ]
+    for (slots, name), (stats, wait) in rows.items():
+        label = "unlimited" if slots is None else str(slots)
+        lines.append(
+            f"{label:<12} {name:<20} {stats.mean:>9.1f}% {wait / 3600:>14.1f}"
+        )
+    save_result("ablation_pfs_contention", "\n".join(lines))
+
+    # CR suffers under contention: queueing time appears and drops rise.
+    cr_free = rows[(None, "checkpoint_restart")]
+    cr_tight = rows[(1, "checkpoint_restart")]
+    assert cr_free[1] == 0.0
+    assert cr_tight[1] > 0.0
+    assert cr_tight[0].mean >= cr_free[0].mean
+    # Parallel Recovery never touches the PFS: identical results.
+    pr_free = rows[(None, "parallel_recovery")]
+    pr_tight = rows[(1, "parallel_recovery")]
+    assert pr_tight[1] == 0.0
+    assert pr_tight[0].mean == pytest.approx(pr_free[0].mean)
+

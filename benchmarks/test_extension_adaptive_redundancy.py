@@ -1,0 +1,70 @@
+"""Extension bench: adaptive (per-application) redundancy degree
+selection, after Hukerikar et al. [24] from the paper's related work.
+
+Compares fixed r = 1.5 / r = 2.0 redundancy against the adaptive
+policy across application types at 12% of the machine, in simulation.
+The adaptive policy must match or beat the best fixed degree for every
+type — high-communication types collapse to r = 1 (no duplicated
+communication), low-communication types earn full duplication.
+"""
+
+from conftest import run_once
+
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.platform.presets import exascale_system
+from repro.resilience.adaptive import AdaptiveRedundancy
+from repro.resilience.redundancy import Redundancy
+from repro.workload.synthetic import make_application
+
+TRIALS = 6
+FRACTION = 0.12
+TYPES = ("A32", "B32", "C64", "D64")
+
+
+def test_extension_adaptive_redundancy(benchmark, save_result):
+    system = exascale_system()
+    config = SingleAppConfig(seed=2017)
+
+    def sweep():
+        rows = {}
+        for type_name in TYPES:
+            app = make_application(
+                type_name, nodes=system.fraction_to_nodes(FRACTION)
+            )
+            adaptive = AdaptiveRedundancy()
+            rows[type_name] = {
+                "r1.5": run_trials(
+                    app, Redundancy.partial(), system, TRIALS, config
+                ).mean_efficiency,
+                "r2.0": run_trials(
+                    app, Redundancy.full(), system, TRIALS, config
+                ).mean_efficiency,
+                "adaptive": run_trials(
+                    app, adaptive, system, TRIALS, config
+                ).mean_efficiency,
+                "chosen_r": adaptive.choose_degree(
+                    app, system, config.node_mtbf_s
+                ),
+            }
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    lines = [
+        "Extension — adaptive redundancy vs fixed degrees "
+        f"({100 * FRACTION:.0f}% of system, MTBF 10 y)",
+        f"{'type':<6} {'r=1.5':>8} {'r=2.0':>8} {'adaptive':>9} {'chosen r':>9}",
+        "-" * 45,
+    ]
+    for type_name, row in rows.items():
+        lines.append(
+            f"{type_name:<6} {row['r1.5']:>8.4f} {row['r2.0']:>8.4f} "
+            f"{row['adaptive']:>9.4f} {row['chosen_r']:>9g}"
+        )
+    save_result("extension_adaptive_redundancy", "\n".join(lines))
+
+    for type_name, row in rows.items():
+        best_fixed = max(row["r1.5"], row["r2.0"])
+        assert row["adaptive"] >= best_fixed - 0.02, type_name
+    # The policy actually adapts: different degrees across types.
+    assert len({row["chosen_r"] for row in rows.values()}) >= 2

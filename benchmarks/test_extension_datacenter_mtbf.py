@@ -1,0 +1,80 @@
+"""Extension bench: datacenter drops vs. machine reliability.
+
+Sweeps the node MTBF from the Fig. 3 pessimistic 2.5 years through the
+paper's 10 years to an optimistic 40 years, under slack + Checkpoint
+Restart (the technique most sensitive to reliability).  As the machine
+becomes more reliable the dropped percentage must fall monotonically
+toward the failure-free Ideal Baseline — i.e. the resilience-
+attributable loss vanishes in the limit, validating that the simulator
+attributes drops to failures and overhead rather than to artifacts.
+"""
+
+from conftest import run_once
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.rm.slack import SlackBased
+from repro.rng.streams import StreamFactory
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+
+MTBF_YEARS = (2.5, 10.0, 40.0)
+PATTERNS = 4
+ARRIVALS = 40
+SYSTEM_NODES = 120_000
+
+
+def _patterns():
+    generator = PatternGenerator(StreamFactory(2017), SYSTEM_NODES)
+    return [generator.generate(i, arrivals=ARRIVALS) for i in range(PATTERNS)]
+
+
+def _dropped(patterns, config: DatacenterConfig) -> SummaryStats:
+    samples = []
+    for pattern in patterns:
+        result = run_datacenter(
+            pattern,
+            SlackBased(),
+            FixedSelector(CheckpointRestart()),
+            exascale_system(SYSTEM_NODES),
+            config,
+        )
+        samples.append(result.dropped_pct)
+    return SummaryStats.from_samples(samples)
+
+
+def test_extension_datacenter_mtbf(benchmark, save_result):
+    patterns = _patterns()
+
+    def sweep():
+        rows = {
+            mtbf: _dropped(patterns, DatacenterConfig(node_mtbf_s=years(mtbf)))
+            for mtbf in MTBF_YEARS
+        }
+        rows["ideal"] = _dropped(patterns, DatacenterConfig(ideal=True))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    lines = [
+        "Extension — dropped % vs node MTBF (slack + Checkpoint Restart, "
+        f"{PATTERNS} patterns x {ARRIVALS} arrivals)",
+        f"{'node MTBF':<14} {'dropped %':>12}",
+        "-" * 28,
+    ]
+    for mtbf in MTBF_YEARS:
+        lines.append(f"{mtbf:>8.1f} y    {rows[mtbf].mean:>10.1f}%")
+    lines.append(f"{'ideal':<14} {rows['ideal'].mean:>10.1f}%")
+    save_result("extension_datacenter_mtbf", "\n".join(lines))
+
+    drops = [rows[m].mean for m in MTBF_YEARS]
+    ideal = rows["ideal"].mean
+    # Monotone improvement with reliability (within pattern noise).
+    assert drops[0] >= drops[1] - 2.0 >= drops[2] - 4.0
+    # The most reliable machine approaches the ideal baseline...
+    assert drops[2] - ideal < 8.0
+    # ...while the least reliable one is clearly worse than ideal.
+    assert drops[0] > ideal

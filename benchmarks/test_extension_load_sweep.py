@@ -1,0 +1,74 @@
+"""Extension bench: dropped percentage vs. offered load.
+
+The paper fixes the arrival process at a two-hour mean inter-arrival;
+this sweep varies the load (1 h / 2 h / 4 h means) under the best
+combination from Fig. 4 (slack + Parallel Recovery) to show how
+oversubscription interacts with resilience: drops fall monotonically as
+the load lightens, and the resilience-attributable gap (vs. the Ideal
+Baseline at the same load) persists at every load level.
+"""
+
+from conftest import run_once
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.slack import SlackBased
+from repro.rng.streams import StreamFactory
+from repro.units import hours
+from repro.workload.patterns import PatternGenerator
+
+MEANS_H = (1.0, 2.0, 4.0)
+PATTERNS = 4
+ARRIVALS = 40
+SYSTEM_NODES = 120_000
+
+
+def _dropped(mean_h: float, ideal: bool) -> SummaryStats:
+    generator = PatternGenerator(StreamFactory(2017), SYSTEM_NODES)
+    samples = []
+    for index in range(PATTERNS):
+        pattern = generator.generate(
+            index, arrivals=ARRIVALS, mean_interarrival_s=hours(mean_h)
+        )
+        result = run_datacenter(
+            pattern,
+            SlackBased(),
+            FixedSelector(ParallelRecovery()),
+            exascale_system(SYSTEM_NODES),
+            DatacenterConfig(ideal=ideal),
+        )
+        samples.append(result.dropped_pct)
+    return SummaryStats.from_samples(samples)
+
+
+def test_extension_load_sweep(benchmark, save_result):
+    def sweep():
+        return {
+            mean_h: (_dropped(mean_h, ideal=False), _dropped(mean_h, ideal=True))
+            for mean_h in MEANS_H
+        }
+
+    rows = run_once(benchmark, sweep)
+
+    lines = [
+        "Extension — dropped % vs offered load (slack + Parallel Recovery, "
+        f"{PATTERNS} patterns x {ARRIVALS} arrivals)",
+        f"{'mean inter-arrival':<20} {'with failures':>15} {'ideal':>15}",
+        "-" * 52,
+    ]
+    for mean_h, (real, ideal) in rows.items():
+        lines.append(
+            f"{mean_h:>6.0f} h             {real.mean:>13.1f}%  {ideal.mean:>13.1f}%"
+        )
+    save_result("extension_load_sweep", "\n".join(lines))
+
+    reals = [rows[m][0].mean for m in MEANS_H]
+    # Lighter load => fewer drops (monotone within noise).
+    assert reals[0] >= reals[1] - 3.0 >= reals[2] - 6.0
+    # Failures + overhead cost capacity at every load level.
+    for mean_h in MEANS_H:
+        real, ideal = rows[mean_h]
+        assert real.mean >= ideal.mean - 3.0

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 1: efficiency vs. application size for A32
+(low memory, low communication) at a ten-year node MTBF.
+
+Reduced scale: 12 trials per bar instead of the paper's 200; full
+fraction grid and machine size.  Asserts the paper's qualitative shape:
+Parallel Recovery dominates everywhere, Checkpoint Restart degrades
+fastest, redundancy infeasible at 100%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+TRIALS = 12
+
+
+def test_fig1_efficiency_a32(benchmark, save_result):
+    cfg = fig1.config(trials=TRIALS)
+    result = run_once(benchmark, lambda: fig1.run(cfg))
+    text = fig1.render(result)
+    save_result("fig1_efficiency_a32", text)
+
+    for fraction in cfg.fractions:
+        assert result.best_technique(fraction) == "parallel_recovery"
+
+    def eff(fraction, name):
+        return result.cell(fraction, name).mean_efficiency
+
+    drop_cr = eff(0.01, "checkpoint_restart") - eff(0.50, "checkpoint_restart")
+    drop_ml = eff(0.01, "multilevel") - eff(0.50, "multilevel")
+    drop_pr = eff(0.01, "parallel_recovery") - eff(0.50, "parallel_recovery")
+    assert drop_cr > drop_ml > drop_pr
+
+    assert result.cell(1.0, "redundancy_r1_5").infeasible
+    assert result.cell(1.0, "redundancy_r2").infeasible

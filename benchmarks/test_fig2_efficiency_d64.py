@@ -1,0 +1,41 @@
+"""Regenerates Fig. 2: efficiency vs. application size for D64
+(high memory, high communication) at a ten-year node MTBF.
+
+Asserts the paper's trade-off: Multilevel optimal for small
+applications with a crossover to Parallel Recovery around 25% of the
+system, and the communication penalty on PR/redundancy.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+TRIALS = 12
+
+
+def test_fig2_efficiency_d64(benchmark, save_result):
+    cfg = fig2.config(trials=TRIALS)
+    result = run_once(benchmark, lambda: fig2.run(cfg))
+    text = fig2.render(result)
+    cross = fig2.crossover_fraction(result)
+    if cross is not None:
+        text += f"\nML -> PR crossover at {100 * cross:.0f}% of the system"
+    save_result("fig2_efficiency_d64", text)
+
+    # Multilevel optimal at small sizes.
+    for fraction in (0.01, 0.02, 0.03, 0.06, 0.12):
+        assert result.best_technique(fraction) == "multilevel", fraction
+    # Parallel Recovery optimal at exascale.
+    assert result.best_technique(1.0) == "parallel_recovery"
+    # The crossover falls around the paper's 25% (between 12% and 100%).
+    assert cross is not None and 0.12 < cross <= 1.0
+
+    # mu caps PR efficiency below 1/1.075.
+    for fraction in cfg.fractions:
+        assert (
+            result.cell(fraction, "parallel_recovery").mean_efficiency
+            <= 1 / 1.075 + 0.01
+        )
+
+    # Redundancy pays the duplicated-communication penalty everywhere.
+    assert result.cell(0.01, "redundancy_r2").mean_efficiency < 0.60

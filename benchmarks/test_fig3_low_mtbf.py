@@ -1,0 +1,43 @@
+"""Regenerates Fig. 3: efficiency vs. application size for D64 with
+node MTBF reduced to 2.5 years.
+
+Asserts the sensitivity-study findings: every technique decays faster
+than at ten years, Parallel Recovery still maintains efficiency best,
+and Checkpoint Restart collapses at exascale ("unable to even complete
+execution").
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2, fig3
+
+TRIALS = 8
+
+
+def test_fig3_low_mtbf(benchmark, save_result):
+    cfg = fig3.config(trials=TRIALS)
+    result = run_once(benchmark, lambda: fig3.run(cfg))
+    text = fig3.render(result)
+    save_result("fig3_low_mtbf", text)
+
+    def eff(fraction, name):
+        return result.cell(fraction, name).mean_efficiency
+
+    # CR collapse at exascale: pinned at the walltime-cap floor.
+    assert eff(1.0, "checkpoint_restart") < 0.10
+    # PR maintains efficiency best at every size.
+    for fraction in (0.25, 0.50, 1.00):
+        assert result.best_technique(fraction) == "parallel_recovery"
+
+    # Faster decay than the 10-year environment (compare to a small
+    # Fig. 2 run on the shared seed).
+    ten_year = fig2.run(fig2.config(trials=TRIALS))
+    for name in ("checkpoint_restart", "multilevel"):
+        assert eff(0.50, name) < ten_year.cell(0.50, name).mean_efficiency, name
+
+
+def test_fig3_renders_all_sizes(benchmark, save_result):
+    """Cheap structural check (runs a tiny two-point grid)."""
+    cfg = fig3.config(trials=2, fractions=(0.01, 1.0))
+    result = run_once(benchmark, lambda: fig3.run(cfg))
+    assert len(result.cells) == 10

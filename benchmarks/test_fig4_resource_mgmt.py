@@ -1,0 +1,47 @@
+"""Regenerates Fig. 4: dropped-application percentage per (resilience
+technique x resource manager) plus the Ideal Baseline.
+
+Reduced scale: 6 arrival patterns of 40 applications instead of the
+paper's 50x100 (the machine and per-application parameters keep their
+paper values).  Asserts Sec. VI's claims: failures + resilience
+overhead increase drops relative to the Ideal Baseline, and the slack
+policy dominates FCFS.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.workload.patterns import PatternBias
+
+PATTERNS = 6
+ARRIVALS = 40
+
+
+def test_fig4_resource_mgmt(benchmark, save_result):
+    cfg = fig4.config(patterns=PATTERNS, arrivals_per_pattern=ARRIVALS)
+    result = run_once(benchmark, lambda: fig4.run(cfg))
+    text = fig4.render(result)
+    best = fig4.best_technique_per_rm(result)
+    text += "\nbest technique per RM: " + ", ".join(
+        f"{rm}->{tech}" for rm, tech in best.items()
+    )
+    save_result("fig4_resource_mgmt", text)
+
+    unbiased = PatternBias.UNBIASED
+
+    def dropped(rm, selector):
+        return result.cell(rm, selector, unbiased).stats.mean
+
+    # Failures + overhead hurt: each technique drops at least as much
+    # as the Ideal Baseline (small tolerance for pattern noise).
+    for rm in ("fcfs", "random", "slack"):
+        ideal = dropped(rm, "ideal")
+        for tech in ("checkpoint_restart", "multilevel", "parallel_recovery"):
+            assert dropped(rm, tech) >= ideal - 3.0, (rm, tech)
+
+    # The slack policy beats FCFS for every technique.
+    for tech in ("checkpoint_restart", "multilevel", "parallel_recovery"):
+        assert dropped("slack", tech) < dropped("fcfs", tech), tech
+
+    # Checkpoint Restart is never strictly the best technique.
+    assert all(tech != "checkpoint_restart" for tech in best.values())

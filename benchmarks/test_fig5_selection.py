@@ -1,0 +1,51 @@
+"""Regenerates Fig. 5: Parallel Recovery vs. Resilience Selection per
+resource manager across the four arrival-pattern families.
+
+Reduced scale: 5 patterns of 40 applications per bias.  Asserts
+Sec. VII's claims: selection is competitive with (and usually slightly
+better than) Parallel Recovery, and large-application patterns drop the
+most.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+from repro.workload.patterns import PatternBias
+
+PATTERNS = 5
+ARRIVALS = 40
+
+
+def test_fig5_selection(benchmark, save_result):
+    cfg = fig5.config(patterns=PATTERNS, arrivals_per_pattern=ARRIVALS)
+    result = run_once(benchmark, lambda: fig5.run(cfg))
+    text = fig5.render(result)
+    benefit = fig5.selection_benefit(result)
+    lines = ["selection benefit (dropped-% reduction vs parallel recovery):"]
+    for bias, per_rm in benefit.items():
+        lines.append(
+            f"  {bias:<22} "
+            + ", ".join(f"{rm}: {v:+.1f}" for rm, v in per_rm.items())
+        )
+    text += "\n" + "\n".join(lines)
+    save_result("fig5_selection", text)
+
+    # Selection is competitive with PR everywhere (paper: a small
+    # benefit "in all but one circumstance"); allow pattern noise.
+    for bias_values in benefit.values():
+        for rm, value in bias_values.items():
+            assert value > -5.0, (rm, value)
+
+    # At least half the (bias, rm) combinations show a non-negative
+    # benefit at this reduced scale.
+    values = [v for per_rm in benefit.values() for v in per_rm.values()]
+    assert sum(v >= 0.0 for v in values) >= len(values) / 2
+
+    # Large-application patterns drop the most (paper: "arrival
+    # patterns biased toward large applications perform worse").
+    for rm in ("fcfs", "random", "slack"):
+        large = result.cell(rm, "parallel_recovery", PatternBias.LARGE).stats.mean
+        unbiased = result.cell(
+            rm, "parallel_recovery", PatternBias.UNBIASED
+        ).stats.mean
+        assert large > unbiased - 2.0, rm

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact — these track the cost of the kernel primitives
+that every experiment is built on, so regressions in the DES show up
+here rather than as mysterious slowdowns of the figure benches.
+"""
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.queue import EventQueue
+
+N_EVENTS = 20_000
+
+
+def test_event_queue_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    times = rng.random(N_EVENTS) * 1e6
+
+    def churn():
+        queue = EventQueue()
+        for i, t in enumerate(times):
+            queue.push(Event(float(t), lambda _e: None, seq=i))
+        count = 0
+        while queue:
+            queue.pop()
+            count += 1
+        return count
+
+    assert benchmark(churn) == N_EVENTS
+
+
+def test_simulator_callback_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        for i in range(N_EVENTS):
+            sim.schedule(float(i), lambda _e: None)
+        sim.run()
+        return sim.event_count
+
+    assert benchmark(run_events) == N_EVENTS
+
+
+def test_process_switch_throughput(benchmark):
+    def ping():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(5_000):
+                yield sim.timeout(1.0)
+
+        sim.process(worker())
+        sim.run()
+        return sim.event_count
+
+    assert benchmark(ping) > 5_000
+
+
+def test_interrupt_throughput(benchmark):
+    def interrupts():
+        sim = Simulator()
+        from repro.sim.errors import Interrupt
+
+        def victim():
+            count = 0
+            while count < 2_000:
+                try:
+                    yield sim.timeout(1e9)
+                except Interrupt:
+                    count += 1
+            return count
+
+        proc = sim.process(victim())
+
+        def hammer(_event):
+            if proc.alive:
+                proc.interrupt("hit")
+                sim.schedule(1.0, hammer)
+
+        sim.schedule(1.0, hammer)
+        sim.run()
+        return proc.value
+
+    assert benchmark(interrupts) == 2_000

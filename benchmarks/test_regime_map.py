@@ -1,0 +1,55 @@
+"""Analytic regime map: the continuous version of the paper's Sec. V
+conclusions and the lookup behind Sec. VII's Resilience Selection.
+
+Computes the winning technique per (application type, system fraction)
+cell from the closed-form models and the analytic Multilevel-to-
+Parallel-Recovery crossover for every type, then asserts the paper's
+qualitative orderings.
+"""
+
+from conftest import run_once
+
+from repro.analysis.regimes import (
+    crossover_fraction,
+    render_selection_map,
+    selection_map,
+)
+from repro.constants import DEFAULT_NODE_MTBF_S, SCALING_STUDY_FRACTIONS
+from repro.platform.presets import exascale_system
+from repro.units import years
+
+
+def test_regime_map(benchmark, save_result):
+    system = exascale_system()
+
+    def build():
+        mapping = selection_map(
+            system, DEFAULT_NODE_MTBF_S, SCALING_STUDY_FRACTIONS
+        )
+        crossings = {
+            t: crossover_fraction(t, system, DEFAULT_NODE_MTBF_S)
+            for t in ("A32", "A64", "B32", "B64", "C32", "C64", "D32", "D64")
+        }
+        return mapping, crossings
+
+    mapping, crossings = run_once(benchmark, build)
+
+    text = render_selection_map(mapping, SCALING_STUDY_FRACTIONS)
+    text += "\n\nanalytic ML -> PR crossover per type (fraction of system):\n"
+    for type_name, cross in sorted(crossings.items()):
+        label = f"{100 * cross:.2f}%" if cross is not None else "never"
+        text += f"  {type_name}: {label}\n"
+    low = crossover_fraction("D64", system, years(2.5))
+    text += f"\nD64 crossover at 2.5-year MTBF: {100 * low:.2f}%"
+    save_result("regime_map", text.rstrip())
+
+    # A-types: Parallel Recovery everywhere.
+    for fraction in SCALING_STUDY_FRACTIONS:
+        assert mapping[("A32", fraction)] == "parallel_recovery"
+        assert mapping[("A64", fraction)] == "parallel_recovery"
+    # D64: the paper's ~25% crossover.
+    assert 0.1 < crossings["D64"] < 0.5
+    # Crossover moves later with communication intensity.
+    assert crossings["B64"] < crossings["C64"] < crossings["D64"]
+    # ...and earlier when the machine is less reliable (Fig. 3).
+    assert low < crossings["D64"]

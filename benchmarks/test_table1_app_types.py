@@ -1,0 +1,12 @@
+"""Regenerates Table I: characteristics of application types."""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_table1
+
+
+def test_table1_app_types(benchmark, save_result):
+    text = run_once(benchmark, render_table1)
+    save_result("table1_app_types", text)
+    for name in ("A32", "A64", "B32", "B64", "C32", "C64", "D32", "D64"):
+        assert name in text

@@ -1,0 +1,16 @@
+"""Regenerates Table II: resilience technique parameters with the
+modeled values evaluated on the exascale preset."""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_table2
+
+
+def test_table2_parameters(benchmark, save_result):
+    text = run_once(benchmark, lambda: render_table2(fraction=1.0))
+    save_result("table2_parameters", text)
+    # Sec. IV-B: full-system PFS checkpoint of 8.9/17.8 min one way
+    # (17-35 min checkpoint+restart).
+    assert "8.9 min" in text
+    assert "17.8 min" in text
+    assert "1.000 / 1.025 / 1.050 / 1.075" in text

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Energy extension: quantify Sec. II-D's claim that message-logging
+recovery saves energy because "only the failed system node needs to
+perform re-computation, and the rest of the system can remain idle".
+
+Runs Checkpoint Restart and Parallel Recovery on the same unreliable
+configuration and compares joules spent per activity.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro.core.single_app import SingleAppConfig, simulate_application
+from repro.energy.model import PowerModel, energy_of, energy_overhead_ratio
+from repro.platform.presets import exascale_system
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+
+def main() -> None:
+    system = exascale_system()
+    app = make_application("B32", nodes=system.fraction_to_nodes(0.25))
+    # A 2.5-year node MTBF makes failures frequent enough to matter.
+    config = SingleAppConfig(node_mtbf_s=years(2.5), seed=7)
+    power = PowerModel(busy_w=350.0, idle_w=120.0)
+
+    print(
+        f"Application {app.type_name} on {app.nodes} nodes, "
+        f"baseline {app.baseline_time / 3600:.0f} h, node MTBF 2.5 y\n"
+    )
+    header = (
+        f"{'technique':<22} {'elapsed h':>10} {'failures':>9} "
+        f"{'rework GJ':>10} {'total GJ':>9} {'vs ideal':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for technique in (CheckpointRestart(), MultilevelCheckpoint(), ParallelRecovery()):
+        stats = simulate_application(app, technique, system, config)
+        breakdown = energy_of(stats, power)
+        ratio = energy_overhead_ratio(stats, power)
+        print(
+            f"{technique.name:<22} {stats.elapsed_s / 3600:>10.1f} "
+            f"{stats.failures:>9d} {breakdown.rework_j / 1e9:>10.2f} "
+            f"{breakdown.total_j / 1e9:>9.1f} {ratio:>8.3f}x"
+        )
+
+    print(
+        "\nParallel Recovery's rework joules collapse because during\n"
+        "recovery only the parallelized recovery cohort burns busy power\n"
+        "while every other node idles; checkpoint/restart techniques\n"
+        "re-execute lost work on all nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Resilience-aware resource management (Sec. VII of the paper).
+
+Part 1 shows the selection oracle itself: for each Table I type and a
+range of sizes, which technique the analytic model picks (and the
+efficiency it predicts).
+
+Part 2 runs the Fig. 5 experiment at reduced scale: Parallel Recovery
+alone vs. per-application Resilience Selection on high-communication
+arrival patterns, where selection helps most.
+
+Run:  python examples/resilience_selection.py        (~1 minute)
+"""
+
+from repro.analysis.analytic import predict_efficiency
+from repro.constants import DEFAULT_NODE_MTBF_S
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector, ResilienceSelection
+from repro.platform.presets import exascale_system
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.slack import SlackBased
+from repro.rng.streams import StreamFactory
+from repro.workload.patterns import PatternBias, PatternGenerator
+from repro.workload.synthetic import APP_TYPES, make_application
+
+
+def show_selection_map() -> None:
+    system = exascale_system()
+    selector = ResilienceSelection(DEFAULT_NODE_MTBF_S)
+    print("Selected technique per (application type, system fraction):")
+    fractions = (0.01, 0.06, 0.25, 0.50, 1.00)
+    header = "type   " + "".join(f"{100 * f:>7.0f}%" for f in fractions)
+    print(header)
+    for name in sorted(APP_TYPES):
+        row = [f"{name:<6}"]
+        for fraction in fractions:
+            app = make_application(name, nodes=system.fraction_to_nodes(fraction))
+            technique = selector.select(app, system)
+            plan = technique.plan(app, system, DEFAULT_NODE_MTBF_S)
+            eff = predict_efficiency(plan, DEFAULT_NODE_MTBF_S)
+            tag = {"checkpoint_restart": "CR", "multilevel": "ML",
+                   "parallel_recovery": "PR"}[technique.name]
+            row.append(f"{tag}:{eff:.2f}".rjust(8))
+        print(" ".join(row))
+    print()
+
+
+def run_selection_experiment() -> None:
+    patterns = PatternGenerator(StreamFactory(2017), 120_000).generate_many(
+        count=3, bias=PatternBias.HIGH_COMMUNICATION, arrivals=40
+    )
+    config = DatacenterConfig()
+    for label, selector_factory in (
+        ("parallel_recovery", lambda: FixedSelector(ParallelRecovery())),
+        ("selection", lambda: ResilienceSelection(config.node_mtbf_s)),
+    ):
+        drops = []
+        for pattern in patterns:
+            result = run_datacenter(
+                pattern,
+                SlackBased(),
+                selector_factory(),
+                exascale_system(),
+                config,
+            )
+            drops.append(result.dropped_pct)
+        mean = sum(drops) / len(drops)
+        print(
+            f"{label:<20} dropped {mean:5.1f}% "
+            f"(per pattern: {', '.join(f'{d:.0f}%' for d in drops)})"
+        )
+    print(
+        "\nHigh-communication workloads are where technique optimality\n"
+        "varies most between applications, so per-application selection\n"
+        "recovers the most capacity (Sec. VII / Fig. 5)."
+    )
+
+
+if __name__ == "__main__":
+    show_selection_map()
+    run_selection_experiment()

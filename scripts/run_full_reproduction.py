@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run every paper artifact at full fidelity (paper trial counts) and
+save the rendered outputs under ``results/full/``.
+
+This is the long-form version of ``pytest benchmarks/`` — the paper's
+200 trials per bar and 50 arrival patterns per bar.  Expect ~30-45
+minutes on a laptop.
+"""
+
+import pathlib
+import time
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, tables
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "results" / "full"
+
+
+def save(name: str, text: str) -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    (OUT / f"{name}.txt").write_text(text + "\n")
+    print(text)
+
+
+def main() -> None:
+    started = time.time()
+    save("table1", tables.render_table1())
+    save("table2", tables.render_table2(fraction=1.0))
+
+    for module, name in ((fig1, "fig1"), (fig2, "fig2"), (fig3, "fig3")):
+        t0 = time.time()
+        result = module.run(module.config(trials=200))
+        text = module.render(result)
+        if hasattr(module, "crossover_fraction"):
+            cross = module.crossover_fraction(result)
+            if cross is not None:
+                text += f"\nML -> PR crossover at {100 * cross:.0f}% of the system"
+        save(name, text)
+        print(f"[{name}: {time.time() - t0:.0f}s]\n")
+
+    for module, name in ((fig4, "fig4"), (fig5, "fig5")):
+        t0 = time.time()
+        result = module.run(module.config(patterns=50))
+        text = module.render(result)
+        if name == "fig4":
+            best = fig4.best_technique_per_rm(result)
+            text += "\nbest technique per RM: " + ", ".join(
+                f"{rm}->{t}" for rm, t in best.items()
+            )
+        else:
+            benefit = fig5.selection_benefit(result)
+            lines = ["selection benefit (dropped-% reduction vs parallel recovery):"]
+            for bias, per_rm in benefit.items():
+                lines.append(
+                    f"  {bias:<22} "
+                    + ", ".join(f"{rm}: {v:+.1f}" for rm, v in per_rm.items())
+                )
+            text += "\n" + "\n".join(lines)
+        save(name, text)
+        print(f"[{name}: {time.time() - t0:.0f}s]\n")
+
+    print(f"[total: {time.time() - started:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of Dauwe et al., "An Analysis of Resilience
+Techniques for Exascale Computing Platforms" (IPDPSW 2017).
+
+The package is organized as a stack of substrates under a small core API:
+
+- :mod:`repro.sim` — discrete-event simulation kernel (events, processes,
+  interrupts) built from scratch.
+- :mod:`repro.rng` — reproducible named random streams and distributions.
+- :mod:`repro.platform` — the simulated exascale machine (nodes, network,
+  allocator, presets).
+- :mod:`repro.failures` — Poisson failure processes, severity levels, and
+  the failure injector.
+- :mod:`repro.workload` — Table I synthetic applications, deadlines, and
+  arrival patterns.
+- :mod:`repro.resilience` — the four techniques compared by the paper.
+- :mod:`repro.rm` — FCFS / Random / Slack resource managers.
+- :mod:`repro.core` — the single-application efficiency simulator, the
+  oversubscribed datacenter simulator, and Resilience Selection.
+- :mod:`repro.analysis` — closed-form models used for validation and for
+  the selection predictor.
+- :mod:`repro.experiments` — drivers that regenerate every table and
+  figure in the paper.
+
+Quickstart::
+
+    from repro import compare_techniques
+
+    result = compare_techniques(app_type="A32", fraction=0.12, trials=20)
+    print(result.summary())
+"""
+
+from repro.core.comparison import (
+    ComparisonResult,
+    TechniqueSummary,
+    compare_techniques,
+)
+from repro.core.metrics import efficiency
+from repro.core.single_app import SingleAppConfig, simulate_application
+from repro.platform.presets import exascale_system, sunway_taihulight_node
+from repro.workload.synthetic import APP_TYPES, ApplicationType, make_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_TYPES",
+    "ApplicationType",
+    "ComparisonResult",
+    "SingleAppConfig",
+    "TechniqueSummary",
+    "__version__",
+    "compare_techniques",
+    "efficiency",
+    "exascale_system",
+    "make_application",
+    "simulate_application",
+    "sunway_taihulight_node",
+]

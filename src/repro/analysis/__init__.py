@@ -1,0 +1,27 @@
+"""Closed-form models and simulator validation utilities."""
+
+from repro.analysis.analytic import Prediction, predict, predict_efficiency
+from repro.analysis.regimes import (
+    analytic_efficiency,
+    crossover_fraction,
+    render_selection_map,
+    required_node_mtbf,
+    selection_map,
+)
+from repro.analysis.sensitivity import severity_pmf_sweep, sigma_sweep
+from repro.analysis.validation import ValidationReport, validate_plan
+
+__all__ = [
+    "Prediction",
+    "analytic_efficiency",
+    "crossover_fraction",
+    "render_selection_map",
+    "required_node_mtbf",
+    "selection_map",
+    "ValidationReport",
+    "predict",
+    "predict_efficiency",
+    "severity_pmf_sweep",
+    "sigma_sweep",
+    "validate_plan",
+]

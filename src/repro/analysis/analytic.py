@@ -1,0 +1,125 @@
+"""Closed-form expected-performance models.
+
+First-order renewal-reward predictions of elapsed time and efficiency
+for any :class:`repro.resilience.ExecutionPlan`.  Two uses:
+
+1. **Validation** — the DES must agree with these models within
+   statistical tolerance wherever the first-order assumptions hold
+   (``lambda * tau << 1``); :mod:`tests/analysis` enforces this.
+2. **Resilience Selection** (Sec. VII) — the datacenter's resource
+   manager predicts each technique's efficiency for an arriving
+   application and picks the argmax, playing the role of the paper's
+   "results from Section V" lookup.
+
+The model composes, per unit of committed work:
+
+- checkpoint overhead: ``sum_k cost_k * f_k / tau_base`` with ``f_k``
+  the fraction of boundaries taken at exactly level k;
+- failure rework: for each severity s, failures arrive at rate
+  ``lambda_s`` and each pays the restoring level's restart plus half
+  that level's period of re-execution, divided by the plan's recovery
+  speedup;
+- for replica plans, the restart-causing rate replaces the raw rate
+  (singleton deaths plus replica-pair deaths within a window — see
+  :func:`repro.resilience.redundancy.effective_restart_rate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.failures.rates import application_failure_rate
+from repro.failures.severity import SeverityModel
+from repro.resilience.base import CheckpointLevel, ExecutionPlan
+from repro.resilience.moody_markov import _boundary_fractions
+from repro.resilience.redundancy import effective_restart_rate
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Analytic expectation for one plan in one failure environment."""
+
+    plan: ExecutionPlan
+    expected_elapsed_s: float
+    checkpoint_overhead: float
+    rework_overhead: float
+
+    @property
+    def expected_efficiency(self) -> float:
+        """Paper efficiency metric: uninflated baseline over expected
+        elapsed time."""
+        return self.plan.app.baseline_time / self.expected_elapsed_s
+
+    @property
+    def total_overhead(self) -> float:
+        """Checkpoint plus rework overhead per unit of committed work."""
+        return self.checkpoint_overhead + self.rework_overhead
+
+
+def _restoring_level(plan: ExecutionPlan, severity: int) -> CheckpointLevel:
+    """The cheapest (most frequent) level able to recover *severity* —
+    the level whose checkpoints bound the rollback distance."""
+    usable = plan.recovery_levels(severity)
+    return min(usable, key=lambda lvl: lvl.period_s)
+
+
+def predict(
+    plan: ExecutionPlan,
+    node_mtbf_s: float,
+    severity: Optional[SeverityModel] = None,
+) -> Prediction:
+    """First-order expected elapsed time and overheads for *plan*."""
+    if node_mtbf_s <= 0:
+        raise ValueError(f"node_mtbf_s must be > 0, got {node_mtbf_s}")
+    severity = severity if severity is not None else SeverityModel.default()
+
+    base = plan.base_period_s
+    multipliers = tuple(
+        plan.level_multiplier(lvl.index) for lvl in plan.levels[1:]
+    )
+    fractions = _boundary_fractions(multipliers)
+    checkpoint_overhead = (
+        sum(lvl.cost_s * f for lvl, f in zip(plan.levels, fractions)) / base
+    )
+
+    rework_overhead = 0.0
+    if plan.replicas is not None:
+        # Redundancy: restarts only on replica exhaustion; severity is
+        # irrelevant (single PFS level).
+        node_rate = 1.0 / node_mtbf_s
+        level = plan.levels[0]
+        restart_rate = effective_restart_rate(
+            plan.replicas, node_rate, level.period_s
+        )
+        rework_overhead = restart_rate * (
+            level.restart_s + level.period_s / (2.0 * plan.recovery_speedup)
+        )
+    else:
+        total_rate = application_failure_rate(plan.nodes_required, node_mtbf_s)
+        for sev in range(1, severity.levels + 1):
+            rate = severity.level_rate(sev, total_rate)
+            if rate == 0.0:
+                continue
+            level = _restoring_level(plan, sev)
+            rework_overhead += rate * (
+                level.restart_s
+                + level.period_s / (2.0 * plan.recovery_speedup)
+            )
+
+    elapsed = plan.effective_work_s * (1.0 + checkpoint_overhead + rework_overhead)
+    return Prediction(
+        plan=plan,
+        expected_elapsed_s=elapsed,
+        checkpoint_overhead=checkpoint_overhead,
+        rework_overhead=rework_overhead,
+    )
+
+
+def predict_efficiency(
+    plan: ExecutionPlan,
+    node_mtbf_s: float,
+    severity: Optional[SeverityModel] = None,
+) -> float:
+    """Shorthand for ``predict(...).expected_efficiency``."""
+    return predict(plan, node_mtbf_s, severity).expected_efficiency

@@ -1,0 +1,172 @@
+"""Analytic regime exploration: where does each technique win?
+
+The Sec. V simulations locate the Multilevel-to-Parallel-Recovery
+crossover empirically (Fig. 2: "when applications require 25% or more
+of the system").  The closed-form models let us locate the same
+boundary analytically — continuously in the system fraction, for every
+application type — and build the selection map that Sec. VII's
+Resilience Selection implicitly encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from scipy import optimize as sp_optimize
+
+from repro.analysis.analytic import predict_efficiency
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ResilienceTechnique
+from repro.resilience.registry import get_technique
+from repro.workload.synthetic import make_application
+
+
+def analytic_efficiency(
+    technique: ResilienceTechnique,
+    app_type: str,
+    fraction: float,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    severity: Optional[SeverityModel] = None,
+) -> float:
+    """Predicted efficiency of *technique* for one (type, size) cell."""
+    app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
+    plan = technique.plan(app, system, node_mtbf_s, severity)
+    return predict_efficiency(plan, node_mtbf_s, severity)
+
+
+def crossover_fraction(
+    app_type: str,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    technique_small: str = "multilevel",
+    technique_large: str = "parallel_recovery",
+    severity: Optional[SeverityModel] = None,
+    threshold: float = 1e-4,
+) -> Optional[float]:
+    """System fraction where *technique_large* overtakes
+    *technique_small* for *app_type* (None if it never does by more
+    than *threshold* efficiency anywhere in (0, 1]).
+
+    Solved by bisection on the efficiency difference; assumes at most
+    one sign change over the range, which holds for the monotone
+    overhead models involved.  The *threshold* filters out degenerate
+    float-level ties between techniques that are equivalent at tiny
+    sizes (every technique approaches efficiency 1 as the application
+    shrinks).
+    """
+    small = get_technique(technique_small)
+    large = get_technique(technique_large)
+
+    def gap(fraction: float) -> float:
+        return (
+            analytic_efficiency(
+                large, app_type, fraction, system, node_mtbf_s, severity
+            )
+            - analytic_efficiency(
+                small, app_type, fraction, system, node_mtbf_s, severity
+            )
+            - threshold
+        )
+
+    lo = max(10.0 / system.total_nodes, 1e-4)
+    hi = 1.0
+    if gap(lo) >= 0:
+        return lo  # the "large" technique already wins at tiny sizes
+    if gap(hi) < 0:
+        return None  # never meaningfully crosses
+    return float(sp_optimize.brentq(gap, lo, hi, xtol=1e-5))
+
+
+def required_node_mtbf(
+    technique: ResilienceTechnique,
+    app_type: str,
+    fraction: float,
+    system: HPCSystem,
+    target_efficiency: float,
+    severity: Optional[SeverityModel] = None,
+    mtbf_bounds_s: Tuple[float, float] = (86_400.0, 3.2e12),
+) -> Optional[float]:
+    """The node MTBF (seconds) at which *technique* reaches
+    *target_efficiency* for *app_type* at *fraction* of the machine —
+    the procurement question Figs. 1-3 imply.  None if the target is
+    unreachable within the bounds (e.g. above Parallel Recovery's mu
+    ceiling)."""
+    if not 0.0 < target_efficiency < 1.0:
+        raise ValueError(
+            f"target_efficiency must be in (0, 1), got {target_efficiency}"
+        )
+
+    def gap(mtbf_s: float) -> float:
+        return (
+            analytic_efficiency(
+                technique, app_type, fraction, system, mtbf_s, severity
+            )
+            - target_efficiency
+        )
+
+    lo, hi = mtbf_bounds_s
+    if gap(hi) < 0:
+        return None  # even a near-perfect machine cannot reach it
+    if gap(lo) >= 0:
+        return lo  # already reachable at the pessimistic bound
+    return float(sp_optimize.brentq(gap, lo, hi, rtol=1e-6))
+
+
+def selection_map(
+    system: HPCSystem,
+    node_mtbf_s: float,
+    fractions: Sequence[float],
+    app_types: Optional[Sequence[str]] = None,
+    candidates: Optional[Sequence[str]] = None,
+    severity: Optional[SeverityModel] = None,
+) -> Dict[Tuple[str, float], str]:
+    """Winning technique per (application type, fraction) cell."""
+    from repro.workload.synthetic import APP_TYPES
+
+    app_types = list(app_types) if app_types is not None else sorted(APP_TYPES)
+    names = (
+        list(candidates)
+        if candidates is not None
+        else ["checkpoint_restart", "multilevel", "parallel_recovery"]
+    )
+    techniques = [get_technique(n) for n in names]
+    out: Dict[Tuple[str, float], str] = {}
+    for app_type in app_types:
+        for fraction in fractions:
+            best_name, best_eff = "", -1.0
+            for technique in techniques:
+                app = make_application(
+                    app_type, nodes=system.fraction_to_nodes(fraction)
+                )
+                if not technique.fits(app, system):
+                    continue
+                eff = analytic_efficiency(
+                    technique, app_type, fraction, system, node_mtbf_s, severity
+                )
+                if eff > best_eff:
+                    best_name, best_eff = technique.name, eff
+            out[(app_type, fraction)] = best_name
+    return out
+
+
+def render_selection_map(
+    mapping: Dict[Tuple[str, float], str], fractions: Sequence[float]
+) -> str:
+    """Fixed-width table of a :func:`selection_map` result."""
+    tags = {
+        "checkpoint_restart": "CR",
+        "multilevel": "ML",
+        "parallel_recovery": "PR",
+    }
+    app_types = sorted({key[0] for key in mapping})
+    header = "type  " + "".join(f"{100 * f:>7.0f}%" for f in fractions)
+    lines = [header, "-" * len(header)]
+    for app_type in app_types:
+        row = [f"{app_type:<5}"]
+        for fraction in fractions:
+            name = mapping[(app_type, fraction)]
+            row.append(tags.get(name, name[:2].upper()).rjust(8))
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Sensitivity sweeps over the DESIGN.md substitution parameters.
+
+Two of the reproduction's defaults are substitutions for data the paper
+references but does not print (the severity PMF and the recovery
+parallelism sigma).  These sweeps quantify how much the headline
+conclusions depend on them; the ablation benches print their output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.analytic import predict_efficiency
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameterization and the efficiency it predicts."""
+
+    parameter: Tuple
+    efficiency: float
+
+
+def severity_pmf_sweep(
+    app: Application,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    pmfs: Sequence[Tuple[float, float, float]],
+) -> List[SweepPoint]:
+    """Multilevel efficiency across candidate severity PMFs
+    (DESIGN.md substitution #1)."""
+    technique = MultilevelCheckpoint()
+    out: List[SweepPoint] = []
+    for pmf in pmfs:
+        severity = SeverityModel.from_probabilities(pmf)
+        plan = technique.plan(app, system, node_mtbf_s, severity)
+        out.append(
+            SweepPoint(pmf, predict_efficiency(plan, node_mtbf_s, severity))
+        )
+    return out
+
+
+def sigma_sweep(
+    app: Application,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    sigmas: Sequence[float],
+    severity: Optional[SeverityModel] = None,
+) -> List[SweepPoint]:
+    """Parallel Recovery efficiency across recovery-parallelism factors
+    (DESIGN.md substitution #2)."""
+    out: List[SweepPoint] = []
+    for sigma in sigmas:
+        technique = ParallelRecovery(recovery_parallelism=sigma)
+        plan = technique.plan(app, system, node_mtbf_s, severity)
+        out.append(
+            SweepPoint((sigma,), predict_efficiency(plan, node_mtbf_s, severity))
+        )
+    return out

@@ -1,0 +1,74 @@
+"""Simulator-versus-model validation.
+
+The DES and the first-order analytic model are independent
+implementations of the same stochastic system; this module runs both on
+one configuration and reports the discrepancy.  Integration tests
+assert the discrepancy stays within statistical + first-order
+tolerance, which guards both implementations at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.analytic import predict
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ResilienceTechnique
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Side-by-side simulated and predicted efficiency."""
+
+    technique: str
+    simulated_mean: float
+    simulated_std: float
+    predicted: float
+    trials: int
+
+    @property
+    def absolute_error(self) -> float:
+        """``|simulated_mean - predicted|``."""
+        return abs(self.simulated_mean - self.predicted)
+
+    @property
+    def relative_error(self) -> float:
+        """Absolute error relative to the model prediction."""
+        if self.predicted == 0:
+            return float("inf")
+        return self.absolute_error / self.predicted
+
+    def __str__(self) -> str:
+        return (
+            f"{self.technique:<22} sim {self.simulated_mean:.4f} "
+            f"+/- {self.simulated_std:.4f}  model {self.predicted:.4f}  "
+            f"rel.err {100 * self.relative_error:.2f}%"
+        )
+
+
+def validate_plan(
+    app: Application,
+    technique: ResilienceTechnique,
+    system: HPCSystem,
+    trials: int = 30,
+    config: Optional[SingleAppConfig] = None,
+) -> ValidationReport:
+    """Simulate *trials* replications and compare with the model."""
+    config = config or SingleAppConfig()
+    trial_set = run_trials(app, technique, system, trials, config)
+    plan = technique.plan(
+        app, system, config.node_mtbf_s, severity=config.severity_model()
+    )
+    prediction = predict(plan, config.node_mtbf_s, config.severity_model())
+    return ValidationReport(
+        technique=technique.name,
+        simulated_mean=float(np.mean(trial_set.efficiencies)),
+        simulated_std=float(np.std(trial_set.efficiencies)),
+        predicted=prediction.expected_efficiency,
+        trials=trials,
+    )

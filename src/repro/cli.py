@@ -1,0 +1,283 @@
+"""Command-line interface: regenerate any table or figure, plus the
+analysis utilities.
+
+Examples::
+
+    repro table1
+    repro table2 --fraction 0.5
+    repro fig1 --trials 200
+    repro fig2 --quick --format barchart
+    repro fig4 --patterns 50 --format csv
+    repro regime-map
+    repro validate --app-type C32 --fraction 0.12
+    repro timeline --app-type C32 --fraction 0.5 --mtbf-years 2.5
+    repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, tables
+
+
+def _scaling_output(module, result, fmt: str) -> str:
+    from repro.experiments.barchart import scaling_barchart
+    from repro.experiments.export import scaling_to_csv, scaling_to_json
+
+    if fmt == "table":
+        return module.render(result)
+    if fmt == "barchart":
+        return scaling_barchart(result, title=module.TITLE)
+    if fmt == "csv":
+        return scaling_to_csv(result)
+    return scaling_to_json(result)
+
+
+def _datacenter_output(module, result, fmt: str) -> str:
+    from repro.experiments.export import datacenter_to_csv, datacenter_to_json
+
+    if fmt == "table":
+        return module.render(result)
+    if fmt == "barchart":
+        from repro.experiments.barchart import datacenter_barchart
+        from repro.rm.registry import manager_names
+
+        return datacenter_barchart(
+            result,
+            rm_names=manager_names(),
+            selector_names=module.SELECTOR_ORDER,
+            title=module.TITLE,
+        )
+    if fmt == "csv":
+        return datacenter_to_csv(result)
+    return datacenter_to_json(result)
+
+
+def _run_scaling_fig(module, args: argparse.Namespace) -> str:
+    cfg = module.config(trials=args.trials)
+    if args.quick:
+        cfg = cfg.quick(trials=min(args.trials, 10))
+    return _scaling_output(module, module.run(cfg), args.format)
+
+
+def _run_datacenter_fig(module, args: argparse.Namespace) -> str:
+    cfg = module.config(patterns=args.patterns)
+    if args.quick:
+        cfg = cfg.quick()
+    return _datacenter_output(module, module.run(cfg), args.format)
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    return tables.render_table1()
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    return tables.render_table2(fraction=args.fraction)
+
+
+def _run_regime_map(args: argparse.Namespace) -> str:
+    from repro.analysis.regimes import (
+        crossover_fraction,
+        render_selection_map,
+        selection_map,
+    )
+    from repro.constants import SCALING_STUDY_FRACTIONS
+    from repro.platform.presets import exascale_system
+    from repro.units import years
+    from repro.workload.synthetic import APP_TYPES
+
+    system = exascale_system()
+    mtbf = years(args.mtbf_years)
+    mapping = selection_map(system, mtbf, SCALING_STUDY_FRACTIONS)
+    lines = [
+        f"Analytic technique-selection map (node MTBF {args.mtbf_years:g} y):",
+        render_selection_map(mapping, SCALING_STUDY_FRACTIONS),
+        "",
+        "ML -> PR crossover per type (fraction of system):",
+    ]
+    for type_name in sorted(APP_TYPES):
+        cross = crossover_fraction(type_name, system, mtbf)
+        label = f"{100 * cross:.2f}%" if cross is not None else "never"
+        lines.append(f"  {type_name}: {label}")
+    return "\n".join(lines)
+
+
+def _run_validate(args: argparse.Namespace) -> str:
+    from repro.analysis.validation import validate_plan
+    from repro.core.single_app import SingleAppConfig
+    from repro.platform.presets import exascale_system
+    from repro.resilience.registry import scaling_study_techniques
+    from repro.units import years
+    from repro.workload.synthetic import make_application
+
+    system = exascale_system()
+    app = make_application(
+        args.app_type, nodes=system.fraction_to_nodes(args.fraction)
+    )
+    config = SingleAppConfig(node_mtbf_s=years(args.mtbf_years))
+    lines = [
+        f"Simulator vs. closed-form model ({args.app_type}, "
+        f"{100 * args.fraction:.0f}% of system, MTBF {args.mtbf_years:g} y):"
+    ]
+    for technique in scaling_study_techniques():
+        if not technique.fits(app, system):
+            lines.append(f"{technique.name:<22} infeasible on this machine")
+            continue
+        report = validate_plan(
+            app, technique, system, trials=args.trials, config=config
+        )
+        lines.append(str(report))
+    return "\n".join(lines)
+
+
+def _run_timeline(args: argparse.Namespace) -> str:
+    from repro.core.execution import ResilientExecution
+    from repro.core.single_app import SingleAppConfig, failure_driver
+    from repro.core.timeline import render_timeline
+    from repro.failures.generator import AppFailureGenerator
+    from repro.platform.presets import exascale_system
+    from repro.resilience.registry import datacenter_techniques
+    from repro.rng.streams import StreamFactory
+    from repro.sim.engine import Simulator
+    from repro.units import years
+    from repro.workload.synthetic import make_application
+
+    system = exascale_system()
+    app = make_application(
+        args.app_type, nodes=system.fraction_to_nodes(args.fraction)
+    )
+    config = SingleAppConfig(node_mtbf_s=years(args.mtbf_years))
+    blocks: List[str] = []
+    for technique in datacenter_techniques():
+        plan = technique.plan(
+            app, system, config.node_mtbf_s, severity=config.severity_model()
+        )
+        sim = Simulator()
+        engine = ResilientExecution(sim, plan, record_timeline=True)
+        proc = sim.process(engine.run(), name="app")
+        generator = AppFailureGenerator(
+            StreamFactory(config.seed).stream("failures"),
+            nodes=plan.nodes_required,
+            node_mtbf_s=config.node_mtbf_s,
+            severity=config.severity_model(),
+        )
+        sim.process(failure_driver(sim, proc, generator), name="failures")
+        sim.run(until=config.max_time_factor * plan.effective_work_s)
+        stats = engine.stats
+        blocks.append(
+            f"=== {technique.name} ===\n"
+            f"failures {stats.failures}, restarts {stats.restarts}, "
+            f"efficiency {stats.efficiency():.3f}\n"
+            + render_timeline(engine.timeline)
+        )
+    return "\n\n".join(blocks)
+
+
+_EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig1": lambda a: _run_scaling_fig(fig1, a),
+    "fig2": lambda a: _run_scaling_fig(fig2, a),
+    "fig3": lambda a: _run_scaling_fig(fig3, a),
+    "fig4": lambda a: _run_datacenter_fig(fig4, a),
+    "fig5": lambda a: _run_datacenter_fig(fig5, a),
+    "regime-map": _run_regime_map,
+    "validate": _run_validate,
+    "timeline": _run_timeline,
+}
+
+#: Subcommands run by ``repro all`` (the utilities run too; figures in
+#: quick mode unless overridden).
+_ALL_ORDER = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "regime-map",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of Dauwe et al., 'An Analysis "
+            "of Resilience Techniques for Exascale Computing Platforms' "
+            "(IPDPSW 2017), and run the analysis utilities."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=200,
+        help="trials per bar for figs 1-3 and validate (paper: 200)",
+    )
+    parser.add_argument(
+        "--patterns",
+        type=int,
+        default=50,
+        help="arrival patterns for figs 4-5 (paper: 50)",
+    )
+    parser.add_argument(
+        "--fraction",
+        type=float,
+        default=1.0,
+        help="system fraction for table2 / validate / timeline",
+    )
+    parser.add_argument(
+        "--app-type",
+        default="C32",
+        help="Table I type for validate / timeline (default C32)",
+    )
+    parser.add_argument(
+        "--mtbf-years",
+        type=float,
+        default=10.0,
+        help="node MTBF in years for regime-map / validate / timeline",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "barchart", "csv", "json"),
+        default="table",
+        help="output format for the figure drivers",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="statistically coarse but fast run (CI-sized)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names = _ALL_ORDER
+        # Utilities get sensible defaults; figures honour --quick.
+        args.trials = min(args.trials, 30)
+    else:
+        names = [args.experiment]
+    for name in names:
+        started = time.time()
+        output = _EXPERIMENTS[name](args)
+        print(output)
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's core: resilient execution, the Sec. V efficiency study,
+the Sec. VI datacenter study, and Sec. VII Resilience Selection."""
+
+from repro.core.comparison import (
+    ComparisonResult,
+    TechniqueSummary,
+    compare_techniques,
+)
+from repro.core.execution import ExecutionStats, ResilientExecution
+from repro.core.metrics import dropped_percentage, efficiency
+from repro.core.paired import (
+    PairedComparison,
+    paired_compare,
+    simulate_with_trace,
+    trace_replay_driver,
+)
+from repro.core.timeline import activity_totals, render_timeline
+from repro.core.single_app import (
+    SingleAppConfig,
+    failure_driver,
+    TrialSet,
+    run_trials,
+    simulate_application,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ExecutionStats",
+    "PairedComparison",
+    "ResilientExecution",
+    "SingleAppConfig",
+    "TechniqueSummary",
+    "TrialSet",
+    "activity_totals",
+    "render_timeline",
+    "compare_techniques",
+    "dropped_percentage",
+    "efficiency",
+    "failure_driver",
+    "run_trials",
+    "paired_compare",
+    "simulate_application",
+    "simulate_with_trace",
+    "trace_replay_driver",
+]

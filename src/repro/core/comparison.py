@@ -1,0 +1,107 @@
+"""High-level comparison API: "which technique should this app use?"
+
+This is the package's front door: one call runs every technique on one
+application configuration and summarizes efficiencies, reproducing a
+single x-position of Figs. 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import SCALING_STUDY_BASELINE_S
+from repro.core.single_app import SingleAppConfig, TrialSet, run_trials
+from repro.platform.presets import exascale_system
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ResilienceTechnique
+from repro.resilience.registry import scaling_study_techniques
+from repro.units import MINUTE
+from repro.workload.synthetic import make_application
+
+
+@dataclass(frozen=True)
+class TechniqueSummary:
+    """Mean/std efficiency of one technique on one configuration."""
+
+    technique: str
+    mean_efficiency: float
+    std_efficiency: float
+    trials: int
+    infeasible: bool
+
+    def __str__(self) -> str:
+        if self.infeasible:
+            return f"{self.technique:<22} infeasible (not enough nodes)"
+        return (
+            f"{self.technique:<22} efficiency {self.mean_efficiency:6.3f} "
+            f"+/- {self.std_efficiency:5.3f}  ({self.trials} trials)"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All techniques on one (app type, size) configuration."""
+
+    app_type: str
+    nodes: int
+    fraction: float
+    summaries: tuple
+
+    @property
+    def best(self) -> TechniqueSummary:
+        """Highest mean efficiency among feasible techniques."""
+        feasible = [s for s in self.summaries if not s.infeasible]
+        if not feasible:
+            raise ValueError("no feasible technique for this configuration")
+        return max(feasible, key=lambda s: s.mean_efficiency)
+
+    def summary(self) -> str:
+        """Multi-line human-readable comparison report."""
+        lines = [
+            f"Application {self.app_type} on {self.nodes} nodes "
+            f"({100 * self.fraction:.0f}% of system):"
+        ]
+        lines += [f"  {s}" for s in self.summaries]
+        lines.append(f"  -> best: {self.best.technique}")
+        return "\n".join(lines)
+
+
+def compare_techniques(
+    app_type: str,
+    fraction: float,
+    trials: int = 20,
+    system: Optional[HPCSystem] = None,
+    techniques: Optional[Sequence[ResilienceTechnique]] = None,
+    config: Optional[SingleAppConfig] = None,
+    baseline_s: float = SCALING_STUDY_BASELINE_S,
+) -> ComparisonResult:
+    """Compare all techniques for one Table I type at one system
+    fraction (a vertical slice of Figs. 1-3)."""
+    system = system if system is not None else exascale_system()
+    techniques = (
+        list(techniques) if techniques is not None else scaling_study_techniques()
+    )
+    config = config or SingleAppConfig()
+    nodes = system.fraction_to_nodes(fraction)
+    app = make_application(
+        app_type, nodes=nodes, time_steps=max(1, round(baseline_s / MINUTE))
+    )
+    summaries: List[TechniqueSummary] = []
+    for technique in techniques:
+        trial_set: TrialSet = run_trials(app, technique, system, trials, config)
+        summaries.append(
+            TechniqueSummary(
+                technique=technique.name,
+                mean_efficiency=trial_set.mean_efficiency,
+                std_efficiency=trial_set.std_efficiency,
+                trials=len(trial_set.efficiencies),
+                infeasible=trial_set.infeasible,
+            )
+        )
+    return ComparisonResult(
+        app_type=app.type_name,
+        nodes=nodes,
+        fraction=fraction,
+        summaries=tuple(summaries),
+    )

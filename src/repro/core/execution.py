@@ -1,0 +1,370 @@
+"""The generic resilient-execution engine.
+
+One process class executes *any* :class:`repro.resilience.ExecutionPlan`
+on the DES: it advances work between checkpoint boundaries, takes the
+scheduled checkpoint level at each boundary, and reacts to failure
+interrupts with the technique-appropriate restart/recovery behaviour.
+All four techniques reduce to plan parameters:
+
+- work positions live in *effective-work* space (baseline inflated by
+  the plan's ``work_rate`` — Eqs. 7/8), so one wall second of normal
+  execution advances the position by one second;
+- checkpoint boundaries sit at multiples of the base period; the level
+  taken at boundary *i* is the highest whose multiplier divides *i*;
+- a severity-s failure rolls the position back to the newest checkpoint
+  among levels that recover severity >= s and pays that level's restart
+  cost (restart is itself interruptible by further failures);
+- while the position is behind the furthest point ever reached, the
+  engine is *recovering* and advances ``recovery_speedup`` times faster
+  (Parallel Recovery's parallelized re-execution; 1x for the others);
+- with a replica plan, a failure that leaves the struck virtual node
+  with a live replica is absorbed without interruption; checkpoints and
+  restarts repair all failed replicas (Sec. IV-E restart rule).
+
+Failures are delivered as :class:`repro.sim.Interrupt` whose cause is a
+:class:`repro.failures.Failure` with ``node_id`` *relative to the
+application's physical allocation* (in ``[0, nodes_required)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Set
+
+from repro.failures.generator import Failure
+from repro.resilience.base import CheckpointLevel, ExecutionPlan
+from repro.sim.engine import Simulator
+from repro.sim.errors import Interrupt
+from repro.sim.resources import SlotPool
+
+
+@dataclass
+class ExecutionStats:
+    """Observable outcome of one resilient execution."""
+
+    plan: ExecutionPlan
+    start_time: float = 0.0
+    end_time: float = math.nan
+    completed: bool = False
+    failures: int = 0
+    restarts: int = 0
+    replica_failures_absorbed: int = 0
+    checkpoints_taken: Dict[int, int] = field(default_factory=dict)
+    failed_checkpoints: int = 0
+    #: Wall seconds by activity (work excludes rework).
+    work_time_s: float = 0.0
+    rework_time_s: float = 0.0
+    checkpoint_time_s: float = 0.0
+    restart_time_s: float = 0.0
+    #: Wall seconds queued for shared resources (PFS contention; zero
+    #: under the paper's isolated-application model).
+    resource_wait_s: float = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total wall time from start to completion (or interruption)."""
+        return self.end_time - self.start_time
+
+    @property
+    def total_checkpoints(self) -> int:
+        """Committed checkpoints across all levels."""
+        return sum(self.checkpoints_taken.values())
+
+    @property
+    def overhead_s(self) -> float:
+        """Wall time beyond the plan's failure-free effective work."""
+        return self.elapsed_s - self.plan.effective_work_s
+
+    def efficiency(self) -> float:
+        """Paper metric: baseline time over actual time.  Note the
+        numerator is the *uninflated* baseline T_B, so message-logging
+        and redundancy slowdowns count as inefficiency (Sec. V)."""
+        if not self.elapsed_s > 0:
+            return 0.0
+        return self.plan.app.baseline_time / self.elapsed_s
+
+
+class ResilientExecution:
+    """Executes one plan as a DES process.
+
+    Usage::
+
+        engine = ResilientExecution(sim, plan)
+        proc = sim.process(engine.run(), name="app-0")
+        # deliver failures with proc.interrupt(failure)
+        sim.run()
+        stats = engine.stats
+
+    With ``record_timeline=True`` the engine additionally collects
+    ``(start, end, activity)`` spans consumable by
+    :func:`repro.core.timeline.render_timeline`.
+    """
+
+    #: Float slop when mapping positions to boundary indices.
+    _EPS = 1e-9
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: ExecutionPlan,
+        record_timeline: bool = False,
+        resources: Optional[Dict[str, "SlotPool"]] = None,
+    ) -> None:
+        self._sim = sim
+        self.plan = plan
+        self._resources = resources or {}
+        self.stats = ExecutionStats(plan=plan)
+        self._done = 0.0
+        self._furthest = 0.0
+        #: Newest checkpointed work position per level index.
+        self._saved: Dict[int, float] = {lvl.index: 0.0 for lvl in plan.levels}
+        #: Replicated virtual nodes currently running on one replica.
+        self._degraded: Set[int] = set()
+        #: In-flight semi-blocking checkpoint: (level_index, work
+        #: position, commit time); committed lazily once due.
+        self._pending_commit: Optional[tuple] = None
+        #: Optional (start, end, activity) spans for visualization.
+        self.timeline: list = []
+        self._record_timeline = record_timeline
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def work_position(self) -> float:
+        """Current position in effective-work space, seconds."""
+        return self._done
+
+    @property
+    def progress(self) -> float:
+        """Fraction of effective work committed, in [0, 1]."""
+        return min(1.0, self._done / self.plan.effective_work_s)
+
+    @property
+    def degraded_virtual_nodes(self) -> int:
+        """Replicated virtual nodes currently running on one replica."""
+        return len(self._degraded)
+
+    # -- process body -----------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Process generator: run the application to completion."""
+        plan = self.plan
+        total = plan.effective_work_s
+        base = plan.base_period_s
+        self.stats.start_time = self._sim.now
+        while self._done < total - self._EPS:
+            boundary = int(self._done / base + self._EPS) + 1
+            target = min(boundary * base, total)
+            reached = yield from self._work_to(target)
+            if not reached:
+                continue  # failure handled; position rolled back
+            if self._done >= total - self._EPS:
+                break
+            level = plan.boundary_level(boundary)
+            yield from self._checkpoint(level)
+        self.stats.completed = True
+        self.stats.end_time = self._sim.now
+        return self.stats
+
+    # -- internals -----------------------------------------------------------
+
+    def _work_to(self, target: float) -> Generator:
+        """Advance work to *target*; False if a failure intervened."""
+        while self._done < target - self._EPS:
+            if self._done < self._furthest - self._EPS:
+                segment_end = min(self._furthest, target)
+                speed = self.plan.recovery_speedup
+                recovering = True
+            else:
+                segment_end = target
+                speed = 1.0
+                recovering = False
+            duration = (segment_end - self._done) / speed
+            started = self._sim.now
+            kind = "recovery" if recovering else "work"
+            try:
+                yield self._sim.timeout(duration)
+            except Interrupt as interrupt:
+                elapsed = self._sim.now - started
+                self._advance(elapsed, speed, recovering)
+                self._note(kind, started, self._sim.now)
+                yield from self._on_failure(interrupt.cause)
+                return False
+            self._advance(duration, speed, recovering)
+            self._note(kind, started, self._sim.now)
+        return True
+
+    def _advance(self, wall_s: float, speed: float, recovering: bool) -> None:
+        self._done = min(
+            self.plan.effective_work_s, self._done + wall_s * speed
+        )
+        self._furthest = max(self._furthest, self._done)
+        if recovering:
+            self.stats.rework_time_s += wall_s
+        else:
+            self.stats.work_time_s += wall_s
+
+    def _checkpoint(self, level: CheckpointLevel) -> Generator:
+        """Take a checkpoint at *level*; on failure the in-progress
+        checkpoint is discarded.
+
+        With ``blocking_fraction < 1`` only the blocking portion stalls
+        execution; the checkpoint commits once its full cost has
+        elapsed in the background (or is voided by an earlier failure
+        or by the next checkpoint starting first)."""
+        self._settle_pending_commit()
+        try:
+            ticket = yield from self._acquire(level)
+        except Interrupt as interrupt:
+            self.stats.failed_checkpoints += 1
+            yield from self._on_failure(interrupt.cause)
+            return False
+        blocking = level.cost_s * level.blocking_fraction
+        started = self._sim.now
+        try:
+            yield self._sim.timeout(blocking)
+        except Interrupt as interrupt:
+            if ticket is not None:
+                ticket.release()
+            self.stats.checkpoint_time_s += self._sim.now - started
+            self.stats.failed_checkpoints += 1
+            yield from self._on_failure(interrupt.cause)
+            return False
+        if ticket is not None:
+            ticket.release()
+        self.stats.checkpoint_time_s += blocking
+        self._note("checkpoint", started, self._sim.now)
+        if level.blocking_fraction >= 1.0:
+            self._commit(level.index, self._done)
+        else:
+            remainder = level.cost_s - blocking
+            self._pending_commit = (
+                level.index,
+                self._done,
+                self._sim.now + remainder,
+            )
+        return True
+
+    def _commit(self, level_index: int, work: float) -> None:
+        self._saved[level_index] = work
+        self._degraded.clear()  # checkpoints repair failed replicas
+        counts = self.stats.checkpoints_taken
+        counts[level_index] = counts.get(level_index, 0) + 1
+
+    def _settle_pending_commit(self) -> None:
+        """Apply an in-flight semi-blocking checkpoint if its full cost
+        has elapsed; otherwise void it (a failure arrived first, or the
+        next checkpoint superseded it)."""
+        if self._pending_commit is None:
+            return
+        level_index, work, commit_time = self._pending_commit
+        self._pending_commit = None
+        if commit_time <= self._sim.now + self._EPS:
+            self._commit(level_index, work)
+        else:
+            self.stats.failed_checkpoints += 1
+
+    def _absorbed_by_replica(self, failure: Failure) -> bool:
+        """Redundancy rule: True when live replicas keep every struck
+        virtual node running (no interruption).
+
+        Handles burst failures (``failure.width > 1``): the burst
+        strikes contiguous physical nodes, so it can take out both
+        (adjacent) replicas of a virtual node at once — the spatial-
+        correlation hazard of contiguous partner placement."""
+        replicas = self.plan.replicas
+        if replicas is None:
+            return False
+        start = failure.node_id % replicas.physical_nodes
+        stop = min(start + failure.width, replicas.physical_nodes)
+        hits: Dict[int, int] = {}
+        for phys in range(start, stop):
+            virtual = replicas.virtual_of_physical(phys)
+            hits[virtual] = hits.get(virtual, 0) + 1
+        for virtual, struck in hits.items():
+            total = replicas.replicas_of(virtual)
+            already_dead = 1 if (total == 2 and virtual in self._degraded) else 0
+            if already_dead + struck >= total:
+                return False  # some virtual node lost all replicas
+        for virtual in hits:
+            if replicas.replicas_of(virtual) == 2:
+                self._degraded.add(virtual)
+        self.stats.replica_failures_absorbed += 1
+        return True
+
+    def _on_failure(self, failure: Failure) -> Generator:
+        """Handle one delivered failure: maybe absorb, else restart."""
+        self.stats.failures += 1
+        self._settle_pending_commit()
+        if self._absorbed_by_replica(failure):
+            return
+        self.stats.restarts += 1
+        severity = failure.severity
+        while True:
+            level = self._restore_level(severity)
+            try:
+                ticket = yield from self._acquire(level)
+            except Interrupt as interrupt:
+                self.stats.failures += 1
+                cause = interrupt.cause
+                severity = max(severity, cause.severity if cause else severity)
+                continue
+            started = self._sim.now
+            try:
+                yield self._sim.timeout(level.restart_s)
+            except Interrupt as interrupt:
+                # Failure during restart: restart the restart, from the
+                # worst severity seen (replicas are all mid-restore, so
+                # no absorption applies here).
+                if ticket is not None:
+                    ticket.release()
+                self.stats.restart_time_s += self._sim.now - started
+                self._note("restart", started, self._sim.now)
+                self.stats.failures += 1
+                cause = interrupt.cause
+                severity = max(severity, cause.severity if cause else severity)
+                continue
+            if ticket is not None:
+                ticket.release()
+            self.stats.restart_time_s += level.restart_s
+            self._note("restart", started, self._sim.now)
+            break
+        self._degraded.clear()
+        self._done = self._saved[level.index]
+
+    def _acquire(self, level: CheckpointLevel) -> Generator:
+        """Queue for the level's shared resource, if any.
+
+        Returns a held ticket (or None when uncontended); propagates
+        interrupts after abandoning the request.
+        """
+        pool = (
+            self._resources.get(level.shared_resource)
+            if level.shared_resource is not None
+            else None
+        )
+        if pool is None:
+            return None
+        ticket = pool.request()
+        started = self._sim.now
+        try:
+            yield from ticket.wait()
+        except Interrupt:
+            ticket.abandon()
+            self.stats.resource_wait_s += self._sim.now - started
+            self._note("wait", started, self._sim.now)
+            raise
+        self.stats.resource_wait_s += self._sim.now - started
+        self._note("wait", started, self._sim.now)
+        return ticket
+
+    def _note(self, activity: str, start: float, end: float) -> None:
+        if self._record_timeline and end > start:
+            self.timeline.append((start, end, activity))
+
+    def _restore_level(self, severity: int) -> CheckpointLevel:
+        """The level holding the newest state recoverable at *severity*
+        (ties favour the cheaper restart)."""
+        usable = self.plan.recovery_levels(severity)
+        return max(usable, key=lambda lvl: (self._saved[lvl.index], -lvl.restart_s))

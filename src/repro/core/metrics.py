@@ -1,0 +1,38 @@
+"""Performance metrics used by the paper's evaluation.
+
+- **Efficiency** (Figs. 1-3): "the ratio of an application's time
+  without slowdowns (from failures or checkpointing) over the
+  application's execution time with slowdowns".
+- **Dropped percentage** (Figs. 4-5): the share of applications removed
+  because they could not meet their deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def efficiency(baseline_s: float, actual_s: float) -> float:
+    """Baseline execution time over actual execution time, in [0, 1]
+    for any actual >= baseline (clamped at 0 for degenerate inputs)."""
+    if baseline_s <= 0:
+        raise ValueError(f"baseline_s must be > 0, got {baseline_s}")
+    if actual_s <= 0:
+        return 0.0
+    return baseline_s / actual_s
+
+
+def dropped_percentage(dropped: int, total: int) -> float:
+    """Percentage of applications dropped, in [0, 100]."""
+    if total <= 0:
+        raise ValueError(f"total must be > 0, got {total}")
+    if not 0 <= dropped <= total:
+        raise ValueError(f"dropped must be in 0..{total}, got {dropped}")
+    return 100.0 * dropped / total
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (errors on empty input, unlike numpy's nan)."""
+    if len(values) == 0:
+        raise ValueError("mean of empty sequence")
+    return float(sum(values)) / len(values)

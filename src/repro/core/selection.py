@@ -1,0 +1,100 @@
+"""Resilience Selection (Sec. VII).
+
+"In addition to deciding when and on what nodes an application will
+execute, the system resource manager will also be given the opportunity
+to intelligently select the resilience technique that is most likely to
+provide the best performance for each application based on the results
+from Section V."
+
+We implement the selection oracle with the analytic efficiency model of
+:mod:`repro.analysis.analytic` (which the DES validates against the
+Sec. V results): for each arriving application the selector predicts
+every candidate technique's efficiency at the application's size and
+picks the argmax.  Techniques that do not fit on the machine (the
+redundancy wall) are excluded automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+from repro.analysis.analytic import predict_efficiency
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ResilienceTechnique
+from repro.resilience.registry import datacenter_techniques
+from repro.workload.application import Application
+
+
+class TechniqueSelector(Protocol):
+    """Strategy deciding which technique an application executes with."""
+
+    name: str
+
+    def select(self, app: Application, system: HPCSystem) -> ResilienceTechnique:
+        """Technique to use for *app* on *system*."""
+        ...
+
+
+class FixedSelector:
+    """Every application uses the same technique (Fig. 4 bars)."""
+
+    def __init__(self, technique: ResilienceTechnique) -> None:
+        self.technique = technique
+        self.name = technique.name
+
+    def select(self, app: Application, system: HPCSystem) -> ResilienceTechnique:
+        """Always the configured technique."""
+        return self.technique
+
+
+class ResilienceSelection:
+    """Per-application argmax-predicted-efficiency selection (Fig. 5).
+
+    Parameters
+    ----------
+    candidates:
+        Techniques to choose among; defaults to the datacenter trio
+        (Checkpoint Restart, Multilevel, Parallel Recovery).
+    node_mtbf_s:
+        Failure environment the prediction assumes.
+    """
+
+    name = "selection"
+
+    def __init__(
+        self,
+        node_mtbf_s: float,
+        candidates: Optional[Sequence[ResilienceTechnique]] = None,
+        severity: Optional[SeverityModel] = None,
+    ) -> None:
+        if node_mtbf_s <= 0:
+            raise ValueError(f"node_mtbf_s must be > 0, got {node_mtbf_s}")
+        self.node_mtbf_s = node_mtbf_s
+        self.candidates = (
+            list(candidates) if candidates is not None else datacenter_techniques()
+        )
+        if not self.candidates:
+            raise ValueError("need at least one candidate technique")
+        self.severity = severity if severity is not None else SeverityModel.default()
+        #: How many times each technique was selected (observability).
+        self.selection_counts: dict[str, int] = {}
+
+    def select(self, app: Application, system: HPCSystem) -> ResilienceTechnique:
+        """The feasible candidate with the highest predicted efficiency."""
+        best: Optional[ResilienceTechnique] = None
+        best_eff = -1.0
+        for technique in self.candidates:
+            if not technique.fits(app, system):
+                continue
+            plan = technique.plan(app, system, self.node_mtbf_s, self.severity)
+            eff = predict_efficiency(plan, self.node_mtbf_s, self.severity)
+            if eff > best_eff:
+                best, best_eff = technique, eff
+        if best is None:
+            raise ValueError(
+                f"no candidate technique fits app {app.app_id} "
+                f"({app.nodes} nodes) on a {system.total_nodes}-node system"
+            )
+        self.selection_counts[best.name] = self.selection_counts.get(best.name, 0) + 1
+        return best

@@ -1,0 +1,179 @@
+"""Single-application simulation (the Sec. V studies).
+
+Simulates one application executing alone on its allocation under one
+resilience technique, with failures striking its physical nodes at the
+application failure rate ``lambda_a = nodes_required / M_n``.  This is
+the workhorse behind Figs. 1-3: each bar is the mean efficiency over
+``trials`` independent replications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_NODE_MTBF_S
+from repro.core.execution import ExecutionStats, ResilientExecution
+from repro.failures.burst import BurstModel
+from repro.failures.generator import AppFailureGenerator
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ResilienceTechnique
+from repro.rng.streams import StreamFactory
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class SingleAppConfig:
+    """Environment for a Sec. V-style run.
+
+    Attributes
+    ----------
+    node_mtbf_s:
+        Per-node MTBF (10 years in Figs. 1-2; 2.5 years in Fig. 3).
+    severity_pmf:
+        Optional override of the failure-severity PMF.
+    max_time_factor:
+        Walltime cap as a multiple of the (inflated) failure-free
+        execution time; runs that thrash past the cap are reported
+        uncompleted with the cap as their elapsed time, which drives
+        their efficiency toward zero — the paper's Fig. 3 Checkpoint
+        Restart behaviour ("unable to even complete execution").
+    seed:
+        Root seed; trial *i* derives an independent child stream.
+    burst:
+        Optional spatially-correlated failure model (extension; the
+        paper's independent single-node failures when None).
+    """
+
+    node_mtbf_s: float = DEFAULT_NODE_MTBF_S
+    severity_pmf: Optional[tuple] = None
+    max_time_factor: float = 20.0
+    seed: int = 2017
+    burst: Optional["BurstModel"] = None
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_s <= 0:
+            raise ValueError(f"node_mtbf_s must be > 0, got {self.node_mtbf_s}")
+        if self.max_time_factor <= 1:
+            raise ValueError(
+                f"max_time_factor must be > 1, got {self.max_time_factor}"
+            )
+
+    def severity_model(self) -> SeverityModel:
+        """The configured severity model (default when pmf is None)."""
+        if self.severity_pmf is None:
+            return SeverityModel.default()
+        return SeverityModel.from_probabilities(self.severity_pmf)
+
+
+def failure_driver(
+    sim: Simulator, target: Process, generator: AppFailureGenerator
+) -> Generator:
+    """Process that interrupts *target* with each generated failure."""
+    while True:
+        gap = generator.next_interarrival()
+        yield sim.timeout(gap)
+        if not target.alive:
+            return
+        target.interrupt(generator.failure_at(sim.now))
+
+
+def simulate_application(
+    app: Application,
+    technique: ResilienceTechnique,
+    system: HPCSystem,
+    config: Optional[SingleAppConfig] = None,
+    trial: int = 0,
+) -> ExecutionStats:
+    """Run one trial; returns the execution stats.
+
+    Raises :class:`ValueError` when the technique cannot fit the
+    application on the system at all (the redundancy wall of Sec. V) —
+    callers that want "zero efficiency" semantics should check
+    ``technique.fits(app, system)`` first (as
+    :func:`run_trials` does).
+    """
+    config = config or SingleAppConfig()
+    plan = technique.plan(
+        app, system, config.node_mtbf_s, severity=config.severity_model()
+    )
+    streams = StreamFactory(config.seed).spawn_indexed(trial)
+    failure_rng = streams.stream("failures")
+
+    sim = Simulator()
+    engine = ResilientExecution(sim, plan)
+    proc = sim.process(engine.run(), name=f"app-{app.app_id}")
+    generator = AppFailureGenerator(
+        failure_rng,
+        nodes=plan.nodes_required,
+        node_mtbf_s=config.node_mtbf_s,
+        severity=config.severity_model(),
+        burst=config.burst,
+    )
+    sim.process(failure_driver(sim, proc, generator), name="failures")
+
+    cap = config.max_time_factor * plan.effective_work_s
+    sim.run(until=cap)
+    if not engine.stats.completed:
+        engine.stats.end_time = cap
+    return engine.stats
+
+
+@dataclass
+class TrialSet:
+    """Efficiencies of repeated trials of one configuration."""
+
+    app: Application
+    technique_name: str
+    efficiencies: List[float] = field(default_factory=list)
+    stats: List[ExecutionStats] = field(default_factory=list)
+    #: True when the technique could not fit on the machine (redundancy
+    #: above its size wall): efficiency is defined as zero.
+    infeasible: bool = False
+
+    @property
+    def mean_efficiency(self) -> float:
+        """Mean efficiency over trials (0 when infeasible)."""
+        if self.infeasible or not self.efficiencies:
+            return 0.0
+        return float(np.mean(self.efficiencies))
+
+    @property
+    def std_efficiency(self) -> float:
+        """Sample standard deviation of the trial efficiencies."""
+        if self.infeasible or len(self.efficiencies) < 2:
+            return 0.0
+        return float(np.std(self.efficiencies, ddof=1))
+
+
+def run_trials(
+    app: Application,
+    technique: ResilienceTechnique,
+    system: HPCSystem,
+    trials: int,
+    config: Optional[SingleAppConfig] = None,
+    keep_stats: bool = False,
+) -> TrialSet:
+    """Run *trials* independent replications (a Fig. 1-3 bar).
+
+    When the technique cannot fit the application on the machine the
+    result is marked infeasible with zero efficiency, matching the
+    paper's treatment of redundancy at large application sizes.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be > 0, got {trials}")
+    result = TrialSet(app=app, technique_name=technique.name)
+    if not technique.fits(app, system):
+        result.infeasible = True
+        return result
+    for trial in range(trials):
+        stats = simulate_application(app, technique, system, config, trial=trial)
+        result.efficiencies.append(stats.efficiency())
+        if keep_stats:
+            result.stats.append(stats)
+    return result

@@ -1,0 +1,16 @@
+"""Energy accounting extension (quantifies Sec. II-D's claim that
+message-logging recovery saves energy by idling non-failed nodes)."""
+
+from repro.energy.model import (
+    EnergyBreakdown,
+    PowerModel,
+    energy_of,
+    energy_overhead_ratio,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "PowerModel",
+    "energy_of",
+    "energy_overhead_ratio",
+]

@@ -1,0 +1,105 @@
+"""Energy accounting extension.
+
+The paper's prior work ([7], cited in Sec. II) compared the *energy* of
+these techniques; the present paper only argues qualitatively that
+message logging "saves on the energy used by the system during
+recovery, because only the failed system node needs to perform
+re-computation, and the rest of the system can remain idle" (Sec. II-D).
+This module quantifies that claim for any execution produced by the
+simulator: node-seconds are split by activity, and recovery charges
+only the recovering subset for techniques that allow the rest of the
+machine to idle.
+
+The power model is deliberately simple (per-node busy/idle power); it
+is the *ratio* between techniques on identical executions that carries
+information, not the absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.execution import ExecutionStats
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-node power draw, watts."""
+
+    busy_w: float = 350.0
+    idle_w: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.busy_w <= 0:
+            raise ValueError(f"busy_w must be > 0, got {self.busy_w}")
+        if not 0 <= self.idle_w <= self.busy_w:
+            raise ValueError(
+                f"idle_w must be in [0, busy_w], got {self.idle_w}"
+            )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by activity for one execution."""
+
+    work_j: float
+    rework_j: float
+    checkpoint_j: float
+    restart_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total joules across all activities."""
+        return self.work_j + self.rework_j + self.checkpoint_j + self.restart_j
+
+
+def energy_of(
+    stats: ExecutionStats,
+    power: PowerModel = PowerModel(),
+    recovery_idles_rest: bool | None = None,
+) -> EnergyBreakdown:
+    """Energy of one execution.
+
+    Parameters
+    ----------
+    stats:
+        Engine output (its plan supplies node counts and speedups).
+    recovery_idles_rest:
+        Whether non-recovering nodes idle during rework.  Defaults to
+        True exactly when the plan parallelizes recovery (message
+        logging / Parallel Recovery: only the failed node's work is
+        redone); checkpoint/restart-style techniques redo work on every
+        node.
+    """
+    plan = stats.plan
+    nodes = plan.nodes_required
+    if recovery_idles_rest is None:
+        recovery_idles_rest = plan.recovery_speedup > 1.0
+
+    work_j = stats.work_time_s * nodes * power.busy_w
+    checkpoint_j = stats.checkpoint_time_s * nodes * power.busy_w
+    restart_j = stats.restart_time_s * nodes * power.busy_w
+    if recovery_idles_rest:
+        # The recovering cohort (one failed node's work spread sigma
+        # ways) burns busy power; everyone else idles.
+        busy_nodes = min(nodes, max(1.0, plan.recovery_speedup))
+        rework_j = stats.rework_time_s * (
+            busy_nodes * power.busy_w + (nodes - busy_nodes) * power.idle_w
+        )
+    else:
+        rework_j = stats.rework_time_s * nodes * power.busy_w
+    return EnergyBreakdown(
+        work_j=work_j,
+        rework_j=rework_j,
+        checkpoint_j=checkpoint_j,
+        restart_j=restart_j,
+    )
+
+
+def energy_overhead_ratio(
+    stats: ExecutionStats, power: PowerModel = PowerModel()
+) -> float:
+    """Energy relative to the failure-free ideal of the same plan."""
+    breakdown = energy_of(stats, power)
+    ideal_j = stats.plan.effective_work_s * stats.plan.nodes_required * power.busy_w
+    return breakdown.total_j / ideal_j

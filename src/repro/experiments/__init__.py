@@ -1,0 +1,56 @@
+"""Experiment harness: one driver per paper table/figure, plus the
+shared runners, statistics, and reporting."""
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, sweep, tables
+from repro.experiments.barchart import datacenter_barchart, scaling_barchart
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.export import (
+    datacenter_to_csv,
+    datacenter_to_json,
+    scaling_to_csv,
+    scaling_to_json,
+)
+from repro.experiments.reporting import (
+    render_datacenter_study,
+    render_scaling_study,
+)
+from repro.experiments.runner import (
+    DatacenterCell,
+    DatacenterStudyResult,
+    ScalingCell,
+    ScalingStudyResult,
+    generate_patterns,
+    run_datacenter_study,
+    run_scaling_study,
+)
+from repro.experiments.stats import PairedSummary, SummaryStats, paired_summary
+
+__all__ = [
+    "DatacenterCell",
+    "DatacenterStudyConfig",
+    "DatacenterStudyResult",
+    "ScalingCell",
+    "ScalingStudyConfig",
+    "ScalingStudyResult",
+    "PairedSummary",
+    "SummaryStats",
+    "paired_summary",
+    "datacenter_barchart",
+    "datacenter_to_csv",
+    "datacenter_to_json",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "generate_patterns",
+    "scaling_barchart",
+    "scaling_to_csv",
+    "scaling_to_json",
+    "render_datacenter_study",
+    "render_scaling_study",
+    "run_datacenter_study",
+    "run_scaling_study",
+    "sweep",
+    "tables",
+]

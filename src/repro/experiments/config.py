@@ -1,0 +1,78 @@
+"""Experiment configurations.
+
+Each figure driver accepts a config with the paper's parameters as
+defaults and a :meth:`quick` constructor producing a statistically
+coarser but structurally identical run (fewer trials/patterns, smaller
+machine) for CI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro import constants
+from repro.constants import (
+    DEFAULT_NODE_MTBF_S,
+    EXASCALE_NODES,
+    PATTERN_ARRIVALS,
+    PATTERN_COUNT,
+    SCALING_STUDY_FRACTIONS,
+    SCALING_STUDY_TRIALS,
+)
+
+
+@dataclass(frozen=True)
+class ScalingStudyConfig:
+    """Parameters of a Figs. 1-3 run."""
+
+    app_type: str = "A32"
+    node_mtbf_s: float = DEFAULT_NODE_MTBF_S
+    fractions: Tuple[float, ...] = SCALING_STUDY_FRACTIONS
+    trials: int = SCALING_STUDY_TRIALS
+    system_nodes: int = EXASCALE_NODES
+    baseline_s: float = constants.SCALING_STUDY_BASELINE_S
+    seed: int = 2017
+    severity_pmf: Optional[Tuple[float, float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError(f"trials must be > 0, got {self.trials}")
+        if self.system_nodes <= 0:
+            raise ValueError(f"system_nodes must be > 0, got {self.system_nodes}")
+        if not self.fractions:
+            raise ValueError("need at least one fraction")
+
+    def quick(
+        self, trials: int = 10, fractions: Optional[Sequence[float]] = None
+    ) -> "ScalingStudyConfig":
+        """A cheap variant for CI/benchmarks."""
+        return replace(
+            self,
+            trials=trials,
+            fractions=tuple(fractions) if fractions is not None else self.fractions,
+        )
+
+
+@dataclass(frozen=True)
+class DatacenterStudyConfig:
+    """Parameters of a Figs. 4-5 run."""
+
+    node_mtbf_s: float = DEFAULT_NODE_MTBF_S
+    patterns: int = PATTERN_COUNT
+    arrivals_per_pattern: int = PATTERN_ARRIVALS
+    system_nodes: int = EXASCALE_NODES
+    seed: int = 2017
+    severity_pmf: Optional[Tuple[float, float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.patterns <= 0:
+            raise ValueError(f"patterns must be > 0, got {self.patterns}")
+        if self.arrivals_per_pattern <= 0:
+            raise ValueError(
+                f"arrivals_per_pattern must be > 0, got {self.arrivals_per_pattern}"
+            )
+
+    def quick(self, patterns: int = 5, arrivals: int = 40) -> "DatacenterStudyConfig":
+        """A cheap variant for CI/benchmarks."""
+        return replace(self, patterns=patterns, arrivals_per_pattern=arrivals)

@@ -1,0 +1,121 @@
+"""Result export: CSV and JSON serialization of study results.
+
+The in-process result objects (:class:`ScalingStudyResult`,
+:class:`DatacenterStudyResult`) are what the harness asserts against;
+downstream users plotting with their own tools want flat files.  These
+exporters emit one row per bar with means, standard deviations, and
+sample counts — everything needed to redraw the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from repro.experiments.runner import DatacenterStudyResult, ScalingStudyResult
+
+SCALING_FIELDS = [
+    "app_type",
+    "fraction",
+    "technique",
+    "mean_efficiency",
+    "std_efficiency",
+    "trials",
+    "infeasible",
+]
+
+DATACENTER_FIELDS = [
+    "bias",
+    "rm",
+    "selector",
+    "mean_dropped_pct",
+    "std_dropped_pct",
+    "patterns",
+]
+
+
+def scaling_rows(result: ScalingStudyResult) -> List[Dict[str, Any]]:
+    """Flat rows for one Figs. 1-3 panel."""
+    rows: List[Dict[str, Any]] = []
+    for cell in result.cells:
+        rows.append(
+            {
+                "app_type": result.config.app_type,
+                "fraction": cell.fraction,
+                "technique": cell.technique,
+                "mean_efficiency": cell.mean_efficiency,
+                "std_efficiency": cell.stats.std if cell.stats else 0.0,
+                "trials": cell.stats.n if cell.stats else 0,
+                "infeasible": cell.infeasible,
+            }
+        )
+    return rows
+
+
+def datacenter_rows(result: DatacenterStudyResult) -> List[Dict[str, Any]]:
+    """Flat rows for one Figs. 4-5 grid."""
+    rows: List[Dict[str, Any]] = []
+    for cell in result.cells:
+        rows.append(
+            {
+                "bias": cell.bias.value,
+                "rm": cell.rm_name,
+                "selector": cell.selector_name,
+                "mean_dropped_pct": cell.stats.mean,
+                "std_dropped_pct": cell.stats.std,
+                "patterns": cell.stats.n,
+            }
+        )
+    return rows
+
+
+def _to_csv(rows: List[Dict[str, Any]], fields: List[str]) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def scaling_to_csv(result: ScalingStudyResult) -> str:
+    """CSV text for a Figs. 1-3 panel."""
+    return _to_csv(scaling_rows(result), SCALING_FIELDS)
+
+
+def datacenter_to_csv(result: DatacenterStudyResult) -> str:
+    """CSV text for a Figs. 4-5 grid."""
+    return _to_csv(datacenter_rows(result), DATACENTER_FIELDS)
+
+
+def scaling_to_json(result: ScalingStudyResult) -> str:
+    """JSON text (with config metadata) for a Figs. 1-3 panel."""
+    payload = {
+        "config": {
+            "app_type": result.config.app_type,
+            "node_mtbf_s": result.config.node_mtbf_s,
+            "trials": result.config.trials,
+            "system_nodes": result.config.system_nodes,
+            "fractions": list(result.config.fractions),
+            "seed": result.config.seed,
+        },
+        "cells": scaling_rows(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def datacenter_to_json(result: DatacenterStudyResult) -> str:
+    """JSON text (with config metadata) for a Figs. 4-5 grid."""
+    payload = {
+        "config": {
+            "node_mtbf_s": result.config.node_mtbf_s,
+            "patterns": result.config.patterns,
+            "arrivals_per_pattern": result.config.arrivals_per_pattern,
+            "system_nodes": result.config.system_nodes,
+            "seed": result.config.seed,
+        },
+        "cells": datacenter_rows(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's figures plot, in
+fixed-width tables suitable for EXPERIMENTS.md and terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.runner import (
+    DatacenterStudyResult,
+    ScalingStudyResult,
+)
+from repro.workload.patterns import PatternBias
+
+
+def render_scaling_study(result: ScalingStudyResult, title: str) -> str:
+    """Figs. 1-3 style: one row per system fraction, one column per
+    technique, cells "mean +/- std" (or "---" for infeasible)."""
+    techniques = result.techniques()
+    header = ["size%"] + techniques
+    widths = [6] + [max(17, len(t) + 2) for t in techniques]
+    lines = [title, _rule(widths), _row(header, widths), _rule(widths)]
+    for fraction in result.config.fractions:
+        row: List[str] = [f"{100 * fraction:.0f}"]
+        for name in techniques:
+            cell = result.cell(fraction, name)
+            if cell.infeasible:
+                row.append("---")
+            else:
+                assert cell.stats is not None
+                row.append(f"{cell.stats.mean:.3f} +/- {cell.stats.std:.3f}")
+        lines.append(_row(row, widths))
+    lines.append(_rule(widths))
+    lines.append(
+        "best per size: "
+        + ", ".join(
+            f"{100 * f:.0f}%->{result.best_technique(f)}"
+            for f in result.config.fractions
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_datacenter_study(
+    result: DatacenterStudyResult,
+    title: str,
+    rm_names: Sequence[str],
+    selector_names: Sequence[str],
+    biases: Sequence[PatternBias] = (PatternBias.UNBIASED,),
+) -> str:
+    """Figs. 4-5 style: dropped %% per (RM x selector), grouped by
+    arrival-pattern bias."""
+    widths = [24] + [max(16, len(s) + 2) for s in selector_names]
+    lines = [title]
+    for bias in biases:
+        if len(biases) > 1:
+            lines.append(f"\narrival pattern bias: {bias.value}")
+        lines.append(_rule(widths))
+        lines.append(_row(["rm \\ selector"] + list(selector_names), widths))
+        lines.append(_rule(widths))
+        for rm in rm_names:
+            row = [rm]
+            for sel in selector_names:
+                cell = result.cell(rm, sel, bias)
+                row.append(f"{cell.stats.mean:5.1f} +/- {cell.stats.std:4.1f}")
+            lines.append(_row(row, widths))
+        lines.append(_rule(widths))
+    return "\n".join(lines)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)

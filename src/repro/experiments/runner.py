@@ -1,0 +1,247 @@
+"""Experiment runners: the machinery shared by all figure drivers.
+
+- :func:`run_scaling_study` reproduces one Figs. 1-3 panel: a grid of
+  (system fraction x technique) mean efficiencies.
+- :func:`run_datacenter_study` reproduces one group of Figs. 4-5 bars:
+  dropped percentages per (resource manager x selector) over a common
+  set of arrival patterns (the same patterns are replayed for every
+  combination, as the paper prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.datacenter import DatacenterConfig, DatacenterResult, run_datacenter
+from repro.core.selection import TechniqueSelector
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.base import ResilienceTechnique
+from repro.resilience.registry import scaling_study_techniques
+from repro.rm.registry import make_manager
+from repro.rng.streams import StreamFactory
+from repro.units import MINUTE
+from repro.workload.patterns import ArrivalPattern, PatternBias, PatternGenerator
+from repro.workload.synthetic import make_application
+
+
+@dataclass(frozen=True)
+class ScalingCell:
+    """One bar of a Figs. 1-3 panel."""
+
+    fraction: float
+    technique: str
+    stats: Optional[SummaryStats]
+    infeasible: bool
+
+    @property
+    def mean_efficiency(self) -> float:
+        """Mean efficiency of the bar (0 when infeasible)."""
+        return 0.0 if (self.infeasible or self.stats is None) else self.stats.mean
+
+
+@dataclass
+class ScalingStudyResult:
+    """A full Figs. 1-3 panel."""
+
+    config: ScalingStudyConfig
+    cells: List[ScalingCell] = field(default_factory=list)
+
+    def cell(self, fraction: float, technique: str) -> ScalingCell:
+        """The bar at (*fraction*, *technique*); KeyError if absent."""
+        for c in self.cells:
+            if c.technique == technique and abs(c.fraction - fraction) < 1e-12:
+                return c
+        raise KeyError((fraction, technique))
+
+    def series(self, technique: str) -> List[ScalingCell]:
+        """One technique's curve, ascending by fraction."""
+        out = [c for c in self.cells if c.technique == technique]
+        return sorted(out, key=lambda c: c.fraction)
+
+    def techniques(self) -> List[str]:
+        """Technique names in first-appearance order."""
+        seen: List[str] = []
+        for c in self.cells:
+            if c.technique not in seen:
+                seen.append(c.technique)
+        return seen
+
+    def best_technique(self, fraction: float) -> str:
+        """Highest mean efficiency at one fraction."""
+        at = [c for c in self.cells if abs(c.fraction - fraction) < 1e-12]
+        return max(at, key=lambda c: c.mean_efficiency).technique
+
+
+def run_scaling_study(
+    config: ScalingStudyConfig,
+    techniques: Optional[Sequence[ResilienceTechnique]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ScalingStudyResult:
+    """Run one Sec. V panel (Figs. 1-3)."""
+    techniques = (
+        list(techniques) if techniques is not None else scaling_study_techniques()
+    )
+    system = exascale_system(config.system_nodes)
+    app_config = SingleAppConfig(
+        node_mtbf_s=config.node_mtbf_s,
+        severity_pmf=config.severity_pmf,
+        seed=config.seed,
+    )
+    result = ScalingStudyResult(config=config)
+    for fraction in config.fractions:
+        nodes = system.fraction_to_nodes(fraction)
+        app = make_application(
+            config.app_type,
+            nodes=nodes,
+            time_steps=max(1, round(config.baseline_s / MINUTE)),
+        )
+        for technique in techniques:
+            trial_set = run_trials(app, technique, system, config.trials, app_config)
+            if trial_set.infeasible:
+                cell = ScalingCell(fraction, technique.name, None, True)
+            else:
+                cell = ScalingCell(
+                    fraction,
+                    technique.name,
+                    SummaryStats.from_samples(trial_set.efficiencies),
+                    False,
+                )
+            result.cells.append(cell)
+            if progress is not None:
+                progress(
+                    f"{config.app_type} {100 * fraction:5.1f}% "
+                    f"{technique.name:<22} done"
+                )
+    return result
+
+
+@dataclass(frozen=True)
+class DatacenterCell:
+    """One bar of a Figs. 4-5 group: dropped % over patterns."""
+
+    rm_name: str
+    selector_name: str
+    bias: PatternBias
+    stats: SummaryStats
+    #: Raw per-pattern dropped percentages, for paired comparisons.
+    samples: Tuple[float, ...]
+
+
+@dataclass
+class DatacenterStudyResult:
+    """A grid of datacenter bars sharing one pattern set."""
+
+    config: DatacenterStudyConfig
+    cells: List[DatacenterCell] = field(default_factory=list)
+
+    def cell(
+        self, rm_name: str, selector_name: str, bias: PatternBias
+    ) -> DatacenterCell:
+        """The bar at (*rm*, *selector*, *bias*); KeyError if absent."""
+        for c in self.cells:
+            if (
+                c.rm_name == rm_name
+                and c.selector_name == selector_name
+                and c.bias is bias
+            ):
+                return c
+        raise KeyError((rm_name, selector_name, bias))
+
+
+SelectorFactory = Callable[[], TechniqueSelector]
+
+
+def generate_patterns(
+    config: DatacenterStudyConfig, bias: PatternBias
+) -> List[ArrivalPattern]:
+    """The pattern set shared by every combination of one study."""
+    streams = StreamFactory(config.seed)
+    generator = PatternGenerator(streams, config.system_nodes)
+    return generator.generate_many(
+        count=config.patterns, bias=bias, arrivals=config.arrivals_per_pattern
+    )
+
+
+def run_datacenter_study(
+    config: DatacenterStudyConfig,
+    selectors: Dict[str, SelectorFactory],
+    rm_names: Sequence[str],
+    biases: Sequence[PatternBias] = (PatternBias.UNBIASED,),
+    include_ideal: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    keep_results: bool = False,
+) -> Tuple[DatacenterStudyResult, List[DatacenterResult]]:
+    """Run a Figs. 4-5 grid.
+
+    ``selectors`` maps a display name to a zero-arg factory (a fresh
+    selector per combination keeps selection counters per-cell).  When
+    ``include_ideal`` is set, an extra "ideal" selector column runs with
+    failures and resilience disabled.
+    """
+    study = DatacenterStudyResult(config=config)
+    raw: List[DatacenterResult] = []
+    streams = StreamFactory(config.seed)
+    for bias in biases:
+        patterns = generate_patterns(config, bias)
+        columns: List[Tuple[str, Optional[SelectorFactory]]] = [
+            (name, factory) for name, factory in selectors.items()
+        ]
+        if include_ideal:
+            columns.append(("ideal", None))
+        for rm_name in rm_names:
+            for sel_name, factory in columns:
+                samples: List[float] = []
+                for pattern in patterns:
+                    system = exascale_system(config.system_nodes)
+                    manager = make_manager(
+                        rm_name,
+                        streams.fresh(
+                            f"rm-{rm_name}-{sel_name}-{bias.value}-{pattern.index}"
+                        ),
+                    )
+                    if factory is None:
+                        dc_config = DatacenterConfig(
+                            node_mtbf_s=config.node_mtbf_s,
+                            severity_pmf=config.severity_pmf,
+                            seed=config.seed,
+                            ideal=True,
+                        )
+                        selector = _IdealSelector()
+                    else:
+                        dc_config = DatacenterConfig(
+                            node_mtbf_s=config.node_mtbf_s,
+                            severity_pmf=config.severity_pmf,
+                            seed=config.seed,
+                        )
+                        selector = factory()
+                    outcome = run_datacenter(
+                        pattern, manager, selector, system, dc_config
+                    )
+                    samples.append(outcome.dropped_pct)
+                    if keep_results:
+                        raw.append(outcome)
+                study.cells.append(
+                    DatacenterCell(
+                        rm_name=rm_name,
+                        selector_name=sel_name,
+                        bias=bias,
+                        stats=SummaryStats.from_samples(samples),
+                        samples=tuple(samples),
+                    )
+                )
+                if progress is not None:
+                    progress(f"{bias.value} {rm_name} {sel_name} done")
+    return study, raw
+
+
+class _IdealSelector:
+    """Placeholder selector for ideal-baseline runs (never consulted)."""
+
+    name = "ideal"
+
+    def select(self, app, system):  # pragma: no cover - never called
+        raise AssertionError("ideal runs must not consult the selector")

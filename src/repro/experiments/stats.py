@@ -1,0 +1,84 @@
+"""Summary statistics for experiment aggregation.
+
+Every bar in the paper's figures is a mean over independent trials with
+a standard-deviation whisker; this module computes those plus standard
+errors and normal-approximation confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sp_stats
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread summary of one sample."""
+
+    n: int
+    mean: float
+    std: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        """Summarize a non-empty sample (ddof=1 standard deviation)."""
+        if len(samples) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        arr = np.asarray(list(samples), dtype=float)
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return cls(n=int(arr.size), mean=float(arr.mean()), std=std)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval of the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class PairedSummary:
+    """Summary of paired differences ``a_i - b_i``.
+
+    Produced by :func:`paired_summary` for common-random-numbers
+    comparisons; ``p_value`` comes from the paired t-test (nan when the
+    differences are constant or there are fewer than two pairs).
+    """
+
+    diff: SummaryStats
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Whether the mean difference is nonzero at the 5% level."""
+        return bool(self.p_value == self.p_value and self.p_value < 0.05)
+
+    def __str__(self) -> str:
+        return f"diff {self.diff} (paired t-test p={self.p_value:.4g})"
+
+
+def paired_summary(a: Sequence[float], b: Sequence[float]) -> PairedSummary:
+    """Paired comparison of two equally long samples (``a - b``)."""
+    if len(a) != len(b):
+        raise ValueError(f"paired samples must match in length: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("cannot compare empty samples")
+    diffs = np.asarray(list(a), dtype=float) - np.asarray(list(b), dtype=float)
+    summary = SummaryStats.from_samples(diffs.tolist())
+    if len(diffs) < 2 or np.allclose(diffs, diffs[0]):
+        p_value = float("nan")
+    else:
+        p_value = float(sp_stats.ttest_rel(list(a), list(b)).pvalue)
+    return PairedSummary(diff=summary, p_value=p_value)

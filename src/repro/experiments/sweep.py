@@ -1,0 +1,149 @@
+"""Generic parameter sweeps for the ablation benches.
+
+Each sweep simulates a reference configuration while varying one model
+parameter, quantifying how the reproduction's conclusions depend on it
+(DESIGN.md, Sec. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.base import CheckpointLevel, ExecutionPlan
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.workload.synthetic import make_application
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One parameter value and the efficiency it produced."""
+
+    label: str
+    stats: SummaryStats
+
+
+def severity_pmf_sweep_sim(
+    pmfs: Sequence[Tuple[float, float, float]],
+    app_type: str = "D64",
+    fraction: float = 0.25,
+    trials: int = 10,
+    system_nodes: int = 120_000,
+    seed: int = 2017,
+) -> List[SweepRow]:
+    """Simulated multilevel efficiency across severity PMFs."""
+    system = exascale_system(system_nodes)
+    app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
+    rows: List[SweepRow] = []
+    for pmf in pmfs:
+        config = SingleAppConfig(severity_pmf=pmf, seed=seed)
+        trial_set = run_trials(app, MultilevelCheckpoint(), system, trials, config)
+        rows.append(
+            SweepRow(
+                label=f"pmf={pmf}",
+                stats=SummaryStats.from_samples(trial_set.efficiencies),
+            )
+        )
+    return rows
+
+
+def recovery_parallelism_sweep_sim(
+    sigmas: Sequence[float],
+    app_type: str = "D64",
+    fraction: float = 0.50,
+    trials: int = 10,
+    system_nodes: int = 120_000,
+    seed: int = 2017,
+) -> List[SweepRow]:
+    """Simulated Parallel Recovery efficiency across sigma values."""
+    system = exascale_system(system_nodes)
+    app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
+    config = SingleAppConfig(seed=seed)
+    rows: List[SweepRow] = []
+    for sigma in sigmas:
+        technique = ParallelRecovery(recovery_parallelism=sigma)
+        trial_set = run_trials(app, technique, system, trials, config)
+        rows.append(
+            SweepRow(
+                label=f"sigma={sigma:g}",
+                stats=SummaryStats.from_samples(trial_set.efficiencies),
+            )
+        )
+    return rows
+
+
+def checkpoint_interval_sweep_sim(
+    scale_factors: Sequence[float],
+    app_type: str = "C32",
+    fraction: float = 0.25,
+    trials: int = 10,
+    system_nodes: int = 120_000,
+    seed: int = 2017,
+    node_mtbf_s: Optional[float] = None,
+) -> List[SweepRow]:
+    """Checkpoint Restart efficiency with the Daly-optimal period
+    multiplied by each scale factor — validates in-simulation that the
+    Eq. 4 optimum actually maximizes efficiency (scale 1.0 should win).
+    """
+    system = exascale_system(system_nodes)
+    app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
+    base_config = (
+        SingleAppConfig(seed=seed)
+        if node_mtbf_s is None
+        else SingleAppConfig(seed=seed, node_mtbf_s=node_mtbf_s)
+    )
+    rows: List[SweepRow] = []
+    for factor in scale_factors:
+        technique = _ScaledIntervalCheckpointRestart(factor)
+        trial_set = run_trials(app, technique, system, trials, base_config)
+        rows.append(
+            SweepRow(
+                label=f"tau x {factor:g}",
+                stats=SummaryStats.from_samples(trial_set.efficiencies),
+            )
+        )
+    return rows
+
+
+class _ScaledIntervalCheckpointRestart(CheckpointRestart):
+    """Checkpoint Restart with its optimal period scaled by a factor."""
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.factor = factor
+        self.name = f"checkpoint_restart_x{factor:g}"
+
+    def plan(self, app, system, node_mtbf_s, severity=None) -> ExecutionPlan:
+        base = super().plan(app, system, node_mtbf_s, severity)
+        level = base.levels[0]
+        scaled = CheckpointLevel(
+            index=level.index,
+            recovers_severity=level.recovers_severity,
+            cost_s=level.cost_s,
+            restart_s=level.restart_s,
+            period_s=level.period_s * self.factor,
+        )
+        return ExecutionPlan(
+            app=base.app,
+            technique=self.name,
+            work_rate=base.work_rate,
+            levels=(scaled,),
+            nodes_required=base.nodes_required,
+        )
+
+
+def render_sweep(rows: Sequence[SweepRow], title: str) -> str:
+    """Fixed-width rendering of one sweep."""
+    width = max(len(r.label) for r in rows)
+    lines = [title, "-" * (width + 30)]
+    for row in rows:
+        lines.append(
+            f"{row.label:<{width}}  {row.stats.mean:.4f} +/- {row.stats.std:.4f}"
+        )
+    return "\n".join(lines)

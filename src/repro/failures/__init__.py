@@ -1,0 +1,36 @@
+"""Failure modeling: Poisson occurrences, locations, severities, and the
+datacenter failure injector (Sec. III-E)."""
+
+from repro.failures.burst import BurstModel
+from repro.failures.generator import AppFailureGenerator, Failure, sample_failure_times
+from repro.failures.injector import FailureInjector
+from repro.failures.trace import FailureTrace, TracedFailure, record_trace
+from repro.failures.rates import (
+    application_failure_rate,
+    mtbf_from_rate,
+    system_failure_rate,
+)
+from repro.failures.severity import (
+    MAX_SEVERITY,
+    MIN_SEVERITY,
+    NUM_LEVELS,
+    SeverityModel,
+)
+
+__all__ = [
+    "AppFailureGenerator",
+    "BurstModel",
+    "Failure",
+    "FailureTrace",
+    "TracedFailure",
+    "FailureInjector",
+    "MAX_SEVERITY",
+    "MIN_SEVERITY",
+    "NUM_LEVELS",
+    "SeverityModel",
+    "application_failure_rate",
+    "mtbf_from_rate",
+    "record_trace",
+    "sample_failure_times",
+    "system_failure_rate",
+]

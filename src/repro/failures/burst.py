@@ -1,0 +1,76 @@
+"""Spatially correlated (burst) failures — an extension stressor.
+
+The paper's failure model takes down one uniformly random node per
+event.  Real machines also lose *groups* of adjacent nodes — a PDU, a
+cooling loop, a switch — and spatial correlation interacts viciously
+with the multilevel technique's and redundancy's *contiguous partner
+placement*: a burst that spans both replicas of a virtual node (which
+sit side by side) defeats the replication entirely, and a burst that
+takes a node *and its level-2 partner* defeats the partner checkpoint.
+
+:class:`BurstModel` draws a geometric burst width per failure event
+(mean ``1/(1-p)``); width 1 with probability ``1-p`` recovers the
+paper's independent model.  The burst-failure ablation bench quantifies
+how quickly redundancy's advantage erodes as bursts widen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BurstModel:
+    """Geometric burst-width distribution.
+
+    Attributes
+    ----------
+    continue_probability:
+        p: after each struck node, the burst extends to the next
+        adjacent node with probability p.  Width ~ Geometric(1-p),
+        mean ``1 / (1-p)``; p = 0 gives the paper's width-1 failures.
+    max_width:
+        Safety cap on a single burst.
+    """
+
+    continue_probability: float = 0.0
+    max_width: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.continue_probability < 1.0:
+            raise ValueError(
+                f"continue_probability must be in [0, 1), "
+                f"got {self.continue_probability}"
+            )
+        if self.max_width < 1:
+            raise ValueError(f"max_width must be >= 1, got {self.max_width}")
+
+    @property
+    def mean_width(self) -> float:
+        """Expected burst width (ignoring the cap)."""
+        return 1.0 / (1.0 - self.continue_probability)
+
+    def sample_width(self, rng: np.random.Generator) -> int:
+        """Draw one burst width."""
+        if self.continue_probability == 0.0:
+            return 1
+        width = 1
+        while width < self.max_width and rng.random() < self.continue_probability:
+            width += 1
+        return width
+
+    @classmethod
+    def independent(cls) -> "BurstModel":
+        """The paper's model: every failure hits exactly one node."""
+        return cls(continue_probability=0.0)
+
+    @classmethod
+    def with_mean_width(cls, mean_width: float, max_width: int = 64) -> "BurstModel":
+        """Construct from a target mean width (>= 1)."""
+        if mean_width < 1.0:
+            raise ValueError(f"mean_width must be >= 1, got {mean_width}")
+        return cls(
+            continue_probability=1.0 - 1.0 / mean_width, max_width=max_width
+        )

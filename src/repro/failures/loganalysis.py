@@ -1,0 +1,163 @@
+"""Failure-log analysis: estimating the failure model from observations.
+
+Sec. III-E builds the severity PMF from measured logs: "the probability
+of experiencing a failure at a failure severity of level j is
+determined according to the ratio of the number of failures that occur
+at each failure severity level, lambda_Lj, to the total number of
+failures, lambda_Lt, measured for an extended interval of time" (the
+paper uses BlueGene/L logs via Moody et al.).  This module implements
+that estimation step — the inverse of the failure generator — so a user
+with their own machine's logs can configure the simulator from data:
+
+    summary = analyze_failure_log(failures, duration_s=..., nodes=...)
+    severity = summary.severity_model()
+    config = SingleAppConfig(node_mtbf_s=summary.node_mtbf_s, ...)
+
+Round-trip correctness (generate -> estimate recovers the parameters)
+is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.failures.generator import Failure
+from repro.failures.severity import MAX_SEVERITY, SeverityModel
+
+
+@dataclass(frozen=True)
+class FailureLogSummary:
+    """Estimated failure-model parameters from one observation window.
+
+    Attributes
+    ----------
+    count:
+        Failures observed.
+    duration_s:
+        Observation window length.
+    nodes:
+        Number of nodes the window covers (None if unknown; per-node
+        quantities are then unavailable).
+    severity_counts:
+        Observed failures per severity level (lambda_Lj of Sec. III-E).
+    """
+
+    count: int
+    duration_s: float
+    nodes: Optional[int]
+    severity_counts: Tuple[int, ...]
+
+    @property
+    def system_rate(self) -> float:
+        """Estimated system failure rate lambda_s, failures/second."""
+        return self.count / self.duration_s
+
+    @property
+    def system_mtbf_s(self) -> float:
+        """Estimated system MTBF (inf when no failures observed)."""
+        if self.count == 0:
+            return math.inf
+        return self.duration_s / self.count
+
+    @property
+    def node_mtbf_s(self) -> float:
+        """Estimated per-node MTBF M_n (Eq. 2 inverted)."""
+        if self.nodes is None:
+            raise ValueError("per-node MTBF needs the node count")
+        return self.system_mtbf_s * self.nodes
+
+    def rate_ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% CI for the system rate (a Poisson
+        count has variance equal to its mean)."""
+        if self.count == 0:
+            return (0.0, 3.689 / self.duration_s)  # exact upper for k=0
+        half = 1.96 * math.sqrt(self.count) / self.duration_s
+        return (max(0.0, self.system_rate - half), self.system_rate + half)
+
+    def severity_ratios(self) -> Tuple[float, ...]:
+        """lambda_Lj / lambda_Lt, the Sec. III-E PMF estimate."""
+        if self.count == 0:
+            raise ValueError("cannot estimate severities from an empty log")
+        return tuple(c / self.count for c in self.severity_counts)
+
+    def severity_model(self) -> SeverityModel:
+        """A :class:`SeverityModel` built from the observed ratios."""
+        return SeverityModel.from_probabilities(self.severity_ratios())
+
+    def __str__(self) -> str:
+        parts = [
+            f"{self.count} failures over {self.duration_s:.3g} s",
+            f"system MTBF {self.system_mtbf_s:.3g} s",
+        ]
+        if self.nodes is not None:
+            parts.append(f"node MTBF {self.node_mtbf_s:.3g} s ({self.nodes} nodes)")
+        if self.count:
+            ratios = ", ".join(f"{r:.3f}" for r in self.severity_ratios())
+            parts.append(f"severity ratios ({ratios})")
+        return "; ".join(parts)
+
+
+def analyze_failure_log(
+    failures: Sequence[Failure],
+    duration_s: float,
+    nodes: Optional[int] = None,
+    levels: int = MAX_SEVERITY,
+) -> FailureLogSummary:
+    """Estimate the failure model from an observed log.
+
+    Parameters
+    ----------
+    failures:
+        Observed failures; must fall inside ``[0, duration_s)``.
+    duration_s:
+        Length of the observation window ("an extended interval of
+        time", Sec. III-E).
+    nodes:
+        Active node count over the window, if known (enables the
+        per-node MTBF estimate via Eq. 2).
+    levels:
+        Number of severity levels to bin into.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if nodes is not None and nodes <= 0:
+        raise ValueError(f"nodes must be > 0, got {nodes}")
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    counts = [0] * levels
+    for failure in failures:
+        if not 0 <= failure.time < duration_s:
+            raise ValueError(
+                f"failure at t={failure.time} outside [0, {duration_s})"
+            )
+        if failure.severity > levels:
+            raise ValueError(
+                f"failure severity {failure.severity} exceeds {levels} levels"
+            )
+        counts[failure.severity - 1] += 1
+    return FailureLogSummary(
+        count=len(failures),
+        duration_s=duration_s,
+        nodes=nodes,
+        severity_counts=tuple(counts),
+    )
+
+
+def interarrival_statistics(failures: Sequence[Failure]) -> Dict[str, float]:
+    """Mean/CV of inter-arrival gaps — a quick exponentiality check
+    (a Poisson process has coefficient of variation ~1)."""
+    if len(failures) < 2:
+        raise ValueError("need at least two failures for inter-arrival stats")
+    times = sorted(f.time for f in failures)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean = sum(gaps) / len(gaps)
+    if mean == 0:
+        raise ValueError("degenerate log: all failures simultaneous")
+    variance = sum((g - mean) ** 2 for g in gaps) / max(1, len(gaps) - 1)
+    return {
+        "mean_gap_s": mean,
+        "cv": math.sqrt(variance) / mean,
+        "count": float(len(gaps)),
+    }

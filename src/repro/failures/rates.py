@@ -1,0 +1,35 @@
+"""Failure-rate arithmetic (Sec. III-E, Eq. 2 and Sec. IV-B).
+
+All rates are in failures per second; MTBFs in seconds.
+"""
+
+from __future__ import annotations
+
+
+def system_failure_rate(active_nodes: int, node_mtbf_s: float) -> float:
+    """Eq. 2: ``lambda_s = N_s / M_n``.
+
+    The system-wide failure rate counts only non-idle nodes.
+    """
+    if active_nodes < 0:
+        raise ValueError(f"active_nodes must be >= 0, got {active_nodes}")
+    if node_mtbf_s <= 0:
+        raise ValueError(f"node_mtbf_s must be > 0, got {node_mtbf_s}")
+    return active_nodes / node_mtbf_s
+
+
+def application_failure_rate(app_nodes: int, node_mtbf_s: float) -> float:
+    """Sec. IV-B: ``lambda_a = N_a / M_n`` — the rate at which failures
+    strike a given application's allocation."""
+    if app_nodes <= 0:
+        raise ValueError(f"app_nodes must be > 0, got {app_nodes}")
+    if node_mtbf_s <= 0:
+        raise ValueError(f"node_mtbf_s must be > 0, got {node_mtbf_s}")
+    return app_nodes / node_mtbf_s
+
+
+def mtbf_from_rate(rate: float) -> float:
+    """Mean time between failures for a Poisson process of *rate*."""
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    return 1.0 / rate

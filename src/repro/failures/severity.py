@@ -1,0 +1,83 @@
+"""Failure severity levels (Sec. III-E).
+
+A failure's severity decides which checkpoint level can recover it.
+Level 1 failures (e.g. transient software faults) can be recovered from
+a checkpoint in local RAM; level 2 failures (node loss) need the partner
+copy; level 3 failures (correlated/multi-node loss) need the parallel
+file system.  The paper samples severities from a PMF built from the
+ratios lambda_Lj / lambda_Lt measured on BlueGene/L logs (via Moody et
+al. [3]); the raw table is not reproduced, so :data:`DEFAULT_SEVERITY_PMF`
+in :mod:`repro.constants` supplies configurable defaults (DESIGN.md
+substitution #1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.rng.distributions import DiscretePMF
+
+#: Number of checkpoint levels in the multilevel scheme of Sec. IV-C.
+NUM_LEVELS = 3
+
+#: Severity values: 1 (mildest) .. 3 (worst).
+MIN_SEVERITY = 1
+MAX_SEVERITY = NUM_LEVELS
+
+
+@dataclass(frozen=True)
+class SeverityModel:
+    """Maps failure occurrences to severity levels 1..K.
+
+    Parameters
+    ----------
+    pmf:
+        ``P(severity = k+1) = pmf[k]``; normalized at construction.
+    """
+
+    pmf: DiscretePMF
+
+    @classmethod
+    def from_probabilities(cls, probabilities: Sequence[float]) -> "SeverityModel":
+        """Build a model from raw (unnormalized) level weights."""
+        return cls(DiscretePMF(probabilities))
+
+    @classmethod
+    def default(cls) -> "SeverityModel":
+        """The DESIGN.md substitution-#1 default (0.80, 0.15, 0.05)."""
+        return cls.from_probabilities(constants.DEFAULT_SEVERITY_PMF)
+
+    @property
+    def levels(self) -> int:
+        """Number of severity levels."""
+        return len(self.pmf)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one severity in {1, ..., levels}."""
+        return self.pmf.sample(rng) + 1
+
+    def probability(self, level: int) -> float:
+        """P(severity == level)."""
+        self._check_level(level)
+        return self.pmf.probability(level - 1)
+
+    def probability_at_least(self, level: int) -> float:
+        """P(severity >= level): the fraction of failures that require a
+        checkpoint of at least this level to recover."""
+        self._check_level(level)
+        return self.pmf.tail(level - 1)
+
+    def level_rate(self, level: int, total_rate: float) -> float:
+        """Failure rate of severity-*level* failures given the total
+        failure rate (lambda_Lj = ratio_j * lambda)."""
+        if total_rate < 0:
+            raise ValueError(f"total_rate must be >= 0, got {total_rate}")
+        return self.probability(level) * total_rate
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level must be in 1..{self.levels}, got {level}")

@@ -1,0 +1,26 @@
+"""Simulated exascale machine: nodes, network, contiguous allocation."""
+
+from repro.platform.allocator import AllocationError, Block, ContiguousAllocator
+from repro.platform.network import NetworkModel
+from repro.platform.node import NodeSpec
+from repro.platform.presets import (
+    exascale_node,
+    exascale_system,
+    ndr_infiniband,
+    sunway_taihulight_node,
+)
+from repro.platform.system import Allocation, HPCSystem
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "Block",
+    "ContiguousAllocator",
+    "HPCSystem",
+    "NetworkModel",
+    "NodeSpec",
+    "exascale_node",
+    "exascale_system",
+    "ndr_infiniband",
+    "sunway_taihulight_node",
+]

@@ -1,0 +1,150 @@
+"""Contiguous node allocation.
+
+The paper's level-2 (partner-node) checkpoints assume "application nodes
+are ... contiguous allowing for minimum latency between checkpoints sent
+between nodes" (Sec. IV-C), so the system hands out contiguous blocks of
+node ids.  :class:`ContiguousAllocator` keeps a sorted free list of
+half-open intervals and allocates first-fit; release coalesces adjacent
+intervals, so fragmentation only arises from genuinely interleaved
+lifetimes (as on a real machine).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class AllocationError(RuntimeError):
+    """No contiguous block large enough is available."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """A half-open interval of node ids ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"empty or inverted block [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the block."""
+        return self.stop - self.start
+
+    def __contains__(self, node: int) -> bool:
+        return self.start <= node < self.stop
+
+    def __repr__(self) -> str:
+        return f"Block[{self.start}:{self.stop}]"
+
+
+@dataclass
+class ContiguousAllocator:
+    """First-fit contiguous allocator over ``total`` node ids."""
+
+    total: int
+    _free: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ValueError(f"total must be > 0, got {self.total}")
+        self._free = [(0, self.total)]
+        self._allocated: dict[int, int] = {}
+
+    @property
+    def free_nodes(self) -> int:
+        """Total free node count (may be fragmented)."""
+        return sum(stop - start for start, stop in self._free)
+
+    @property
+    def allocated_nodes(self) -> int:
+        """Total nodes currently allocated."""
+        return self.total - self.free_nodes
+
+    @property
+    def largest_free_block(self) -> int:
+        """Size of the largest contiguous free block."""
+        if not self._free:
+            return 0
+        return max(stop - start for start, stop in self._free)
+
+    def can_allocate(self, size: int) -> bool:
+        """Whether a contiguous block of *size* nodes is available."""
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        return any(stop - start >= size for start, stop in self._free)
+
+    def allocate(self, size: int) -> Block:
+        """Allocate the first contiguous block of *size* nodes.
+
+        Raises :class:`AllocationError` if no block fits.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be > 0, got {size}")
+        for index, (start, stop) in enumerate(self._free):
+            if stop - start >= size:
+                if stop - start == size:
+                    del self._free[index]
+                else:
+                    self._free[index] = (start + size, stop)
+                self._allocated[start] = start + size
+                return Block(start, start + size)
+        raise AllocationError(
+            f"no contiguous block of {size} nodes "
+            f"(free={self.free_nodes}, largest={self.largest_free_block})"
+        )
+
+    def release(self, block: Block) -> None:
+        """Return *block* to the free list, coalescing neighbours.
+
+        Only blocks previously returned by :meth:`allocate` may be
+        released, exactly once and in full; raises :class:`ValueError`
+        otherwise (double-free, partial free, made-up block).
+        """
+        if block.stop > self.total or block.start < 0:
+            raise ValueError(f"{block} outside [0, {self.total})")
+        if self._allocated.get(block.start) != block.stop:
+            raise ValueError(f"{block} is not an outstanding allocation")
+        del self._allocated[block.start]
+        starts = [s for s, _ in self._free]
+        index = bisect.bisect_left(starts, block.start)
+        # Overlap checks against both neighbours.
+        if index > 0 and self._free[index - 1][1] > block.start:
+            raise ValueError(f"double free / overlap releasing {block}")
+        if index < len(self._free) and self._free[index][0] < block.stop:
+            raise ValueError(f"double free / overlap releasing {block}")
+        start, stop = block.start, block.stop
+        # Coalesce with successor then predecessor.
+        if index < len(self._free) and self._free[index][0] == stop:
+            stop = self._free[index][1]
+            del self._free[index]
+        if index > 0 and self._free[index - 1][1] == start:
+            start = self._free[index - 1][0]
+            del self._free[index - 1]
+            index -= 1
+        self._free.insert(index, (start, stop))
+
+    def free_blocks(self) -> List[Block]:
+        """Snapshot of the free list as :class:`Block` objects."""
+        return [Block(start, stop) for start, stop in self._free]
+
+    def check_invariants(self) -> None:
+        """Assert the free list is sorted, disjoint, and in range.
+
+        Used by tests (including property-based tests) after arbitrary
+        allocate/release interleavings.
+        """
+        prev_stop: Optional[int] = None
+        for start, stop in self._free:
+            assert 0 <= start < stop <= self.total, (start, stop)
+            if prev_stop is not None:
+                # Strictly greater: equal would mean a missed coalesce.
+                assert start > prev_stop, (prev_stop, start)
+            prev_stop = stop
+        allocated = sum(stop - start for start, stop in self._allocated.items())
+        assert allocated == self.allocated_nodes, (allocated, self.allocated_nodes)

@@ -1,0 +1,58 @@
+"""Interconnect and parallel-file-system transfer model (Sec. III-F).
+
+The paper's communication model is characterized by three parameters:
+latency ``L``, bandwidth ``B_N``, and the maximum number of simultaneous
+connections at each switch ``N_S``.  The parallel-file-system checkpoint
+time of Eq. 3 falls out of this model: an application of ``N_a`` nodes,
+each holding ``N_m`` GB, funnels its state through ``N_S``-way switches,
+so the transfer takes ``(N_m / B_N) * (N_a / N_S)`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Interconnect parameters ("NDR InfiniBand", Sec. III-F).
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency L, seconds.
+    bandwidth_gbs:
+        Link bandwidth B_N, GB/s.
+    switch_connections:
+        Simultaneous connections per switch, N_S.
+    """
+
+    latency_s: float
+    bandwidth_gbs: float
+    switch_connections: int
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError(f"bandwidth_gbs must be > 0, got {self.bandwidth_gbs}")
+        if self.switch_connections <= 0:
+            raise ValueError(
+                f"switch_connections must be > 0, got {self.switch_connections}"
+            )
+
+    def pfs_transfer_time(self, memory_gb: float, nodes: int) -> float:
+        """Eq. 3: time to move a checkpoint of ``memory_gb`` GB/node from
+        ``nodes`` nodes to (or from) the parallel file system, seconds.
+        """
+        if memory_gb < 0:
+            raise ValueError(f"memory_gb must be >= 0, got {memory_gb}")
+        if nodes <= 0:
+            raise ValueError(f"nodes must be > 0, got {nodes}")
+        return (memory_gb / self.bandwidth_gbs) * (nodes / self.switch_connections)
+
+    def point_to_point_time(self, data_gb: float) -> float:
+        """Latency + bandwidth time for one message of *data_gb* GB."""
+        if data_gb < 0:
+            raise ValueError(f"data_gb must be >= 0, got {data_gb}")
+        return self.latency_s + data_gb / self.bandwidth_gbs

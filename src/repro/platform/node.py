@@ -1,0 +1,46 @@
+"""Node model for the simulated homogeneous system (Sec. III-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one system node.
+
+    Attributes
+    ----------
+    cores:
+        CPU cores per node.
+    tflops:
+        Peak compute throughput, TFLOP/s.
+    memory_gb:
+        RAM capacity, GB.
+    memory_bandwidth_gbs:
+        Aggregate memory bandwidth B_M, GB/s (used by level-1/level-2
+        checkpoint costs, Eqs. 5-6).
+    """
+
+    cores: int
+    tflops: float
+    memory_gb: float
+    memory_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be > 0, got {self.cores}")
+        if self.tflops <= 0:
+            raise ValueError(f"tflops must be > 0, got {self.tflops}")
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be > 0, got {self.memory_gb}")
+        if self.memory_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"memory_bandwidth_gbs must be > 0, got {self.memory_bandwidth_gbs}"
+            )
+
+    def memory_write_time(self, data_gb: float) -> float:
+        """Seconds to write *data_gb* GB to local memory (Eq. 5 term)."""
+        if data_gb < 0:
+            raise ValueError(f"data_gb must be >= 0, got {data_gb}")
+        return data_gb / self.memory_bandwidth_gbs

@@ -1,0 +1,54 @@
+"""Factory functions for the paper's simulated machines (Sec. III-C/F).
+
+The exascale system is "inspired by the architecture used to develop
+China's Sunway TaihuLight supercomputer": nodes with 4x the TaihuLight's
+core count (1028 cores, ~12 TFLOPs) and 4x its memory (128 GB) with
+hybrid-memory-cube bandwidth (320 GB/s), 120 000 of which reach an
+exaflop.  The interconnect is the "NDR InfiniBand" model of Sec. III-F.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.platform.network import NetworkModel
+from repro.platform.node import NodeSpec
+from repro.platform.system import HPCSystem
+
+
+def sunway_taihulight_node() -> NodeSpec:
+    """Today's reference node: one Sunway TaihuLight node (260 cores,
+    ~3.1 TFLOPs, 32 GB DDR3)."""
+    return NodeSpec(
+        cores=260,
+        tflops=3.1,
+        memory_gb=32.0,
+        memory_bandwidth_gbs=136.0,  # 4 clusters x 34 GB/s DDR3 channels
+    )
+
+
+def exascale_node() -> NodeSpec:
+    """The projected exascale node (Sec. III-C)."""
+    return NodeSpec(
+        cores=constants.CORES_PER_NODE,
+        tflops=constants.TFLOPS_PER_NODE,
+        memory_gb=constants.MEMORY_PER_NODE_GB,
+        memory_bandwidth_gbs=constants.MEMORY_BANDWIDTH_GBS,
+    )
+
+
+def ndr_infiniband() -> NetworkModel:
+    """The projected interconnect (Sec. III-F)."""
+    return NetworkModel(
+        latency_s=constants.NETWORK_LATENCY_S,
+        bandwidth_gbs=constants.NETWORK_BANDWIDTH_GBS,
+        switch_connections=constants.SWITCH_CONNECTIONS,
+    )
+
+
+def exascale_system(total_nodes: int = constants.EXASCALE_NODES) -> HPCSystem:
+    """The full simulated exascale machine.
+
+    ``total_nodes`` may be overridden for scaled-down tests; all
+    per-node and network parameters keep their paper values.
+    """
+    return HPCSystem(exascale_node(), ndr_infiniband(), total_nodes)

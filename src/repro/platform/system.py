@@ -1,0 +1,151 @@
+"""The simulated machine: nodes + network + allocation state.
+
+:class:`HPCSystem` is the shared substrate of both simulators.  It
+tracks which contiguous node blocks are allocated to which owner (an
+application, in practice), exposes the *active* node count that drives
+the system failure rate (Eq. 2: ``lambda_s = N_s / M_n`` counts only
+nodes that are not idle), and supports sampling a uniformly random
+active node as the failure location (Sec. III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.platform.allocator import AllocationError, Block, ContiguousAllocator
+from repro.platform.network import NetworkModel
+from repro.platform.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A block of nodes held by an owner."""
+
+    owner: Hashable
+    block: Block
+
+    @property
+    def nodes(self) -> int:
+        """Number of nodes in the allocation."""
+        return self.block.size
+
+
+class HPCSystem:
+    """A homogeneous system of ``total_nodes`` identical nodes.
+
+    Parameters
+    ----------
+    node:
+        Hardware spec shared by every node.
+    network:
+        Interconnect model.
+    total_nodes:
+        Machine size (120 000 for the exascale preset).
+    """
+
+    def __init__(self, node: NodeSpec, network: NetworkModel, total_nodes: int) -> None:
+        if total_nodes <= 0:
+            raise ValueError(f"total_nodes must be > 0, got {total_nodes}")
+        self.node = node
+        self.network = network
+        self.total_nodes = total_nodes
+        self._allocator = ContiguousAllocator(total_nodes)
+        self._allocations: Dict[Hashable, Allocation] = {}
+        self._active_nodes = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def total_tflops(self) -> float:
+        """Aggregate peak throughput, TFLOP/s."""
+        return self.node.tflops * self.total_nodes
+
+    @property
+    def active_nodes(self) -> int:
+        """Nodes currently executing an application (N_s in Eq. 2)."""
+        return self._active_nodes
+
+    @property
+    def idle_nodes(self) -> int:
+        """Nodes not executing any application."""
+        return self.total_nodes - self._active_nodes
+
+    def fraction_to_nodes(self, fraction: float) -> int:
+        """Node count for a system *fraction* (Figs. 1-3 x-axis)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return max(1, round(fraction * self.total_nodes))
+
+    # -- allocation ----------------------------------------------------------
+
+    def can_allocate(self, nodes: int) -> bool:
+        """Whether a contiguous block of *nodes* is available."""
+        return self._allocator.can_allocate(nodes)
+
+    def allocate(self, owner: Hashable, nodes: int) -> Allocation:
+        """Allocate a contiguous block of *nodes* to *owner*.
+
+        Raises :class:`AllocationError` when the machine cannot fit the
+        request and :class:`ValueError` if *owner* already holds one.
+        """
+        if owner in self._allocations:
+            raise ValueError(f"owner {owner!r} already holds an allocation")
+        block = self._allocator.allocate(nodes)
+        allocation = Allocation(owner, block)
+        self._allocations[owner] = allocation
+        self._active_nodes += nodes
+        return allocation
+
+    def release(self, owner: Hashable) -> None:
+        """Release the allocation held by *owner*."""
+        allocation = self._allocations.pop(owner, None)
+        if allocation is None:
+            raise KeyError(f"owner {owner!r} holds no allocation")
+        self._allocator.release(allocation.block)
+        self._active_nodes -= allocation.nodes
+
+    def allocation_of(self, owner: Hashable) -> Optional[Allocation]:
+        """The allocation held by *owner*, or None."""
+        return self._allocations.get(owner)
+
+    def allocations(self) -> List[Allocation]:
+        """Snapshot of live allocations."""
+        return list(self._allocations.values())
+
+    def owner_of_node(self, node_id: int) -> Optional[Hashable]:
+        """Owner of *node_id*, or None if the node is idle."""
+        for allocation in self._allocations.values():
+            if node_id in allocation.block:
+                return allocation.owner
+        return None
+
+    # -- failure-location sampling ------------------------------------------
+
+    def sample_active_node(self, rng: np.random.Generator) -> Tuple[Hashable, int]:
+        """Pick a uniformly random *active* node (Sec. III-E).
+
+        Returns ``(owner, node_id)``.  Raises :class:`RuntimeError` when
+        no nodes are active (callers should suspend the failure process
+        instead — :class:`repro.rng.VariableRatePoisson` with rate 0).
+        """
+        if self._active_nodes == 0:
+            raise RuntimeError("no active nodes to fail")
+        target = int(rng.integers(0, self._active_nodes))
+        for allocation in self._allocations.values():
+            if target < allocation.nodes:
+                return allocation.owner, allocation.block.start + target
+            target -= allocation.nodes
+        raise AssertionError("active node accounting out of sync")  # pragma: no cover
+
+    def check_invariants(self) -> None:
+        """Assert allocation bookkeeping is self-consistent (tests)."""
+        self._allocator.check_invariants()
+        allocated = sum(a.nodes for a in self._allocations.values())
+        assert allocated == self._active_nodes, (allocated, self._active_nodes)
+        assert allocated == self._allocator.allocated_nodes
+
+
+__all__ = ["Allocation", "AllocationError", "HPCSystem"]

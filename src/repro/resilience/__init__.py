@@ -1,0 +1,84 @@
+"""The four resilience techniques compared by the paper (Sec. IV), plus
+the checkpoint-interval mathematics they share."""
+
+from repro.resilience.adaptive import AdaptiveRedundancy
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ReplicaPlan,
+    ResilienceTechnique,
+)
+from repro.resilience.checkpoint_restart import (
+    CheckpointRestart,
+    IncrementalCheckpointRestart,
+    SemiBlockingCheckpointRestart,
+    pfs_checkpoint_time,
+)
+from repro.resilience.daly import (
+    expected_completion_time,
+    young_interval,
+    expected_efficiency,
+    expected_segment_time,
+    optimal_checkpoint_interval,
+)
+from repro.resilience.moody_markov import (
+    MultilevelSchedule,
+    expected_overhead,
+    optimize_schedule,
+)
+from repro.resilience.multilevel import (
+    MultilevelCheckpoint,
+    level1_checkpoint_time,
+    level2_checkpoint_time,
+)
+from repro.resilience.parallel_recovery import (
+    ParallelRecovery,
+    message_logging_slowdown,
+)
+from repro.resilience.redundancy import (
+    Redundancy,
+    effective_restart_rate,
+    redundancy_work_rate,
+    replica_plan,
+    solve_checkpoint_period,
+)
+from repro.resilience.registry import (
+    by_name,
+    datacenter_techniques,
+    get_technique,
+    scaling_study_techniques,
+)
+
+__all__ = [
+    "AdaptiveRedundancy",
+    "CheckpointLevel",
+    "IncrementalCheckpointRestart",
+    "CheckpointRestart",
+    "ExecutionPlan",
+    "MultilevelCheckpoint",
+    "MultilevelSchedule",
+    "ParallelRecovery",
+    "Redundancy",
+    "SemiBlockingCheckpointRestart",
+    "ReplicaPlan",
+    "ResilienceTechnique",
+    "by_name",
+    "datacenter_techniques",
+    "effective_restart_rate",
+    "expected_completion_time",
+    "expected_efficiency",
+    "expected_overhead",
+    "expected_segment_time",
+    "get_technique",
+    "level1_checkpoint_time",
+    "level2_checkpoint_time",
+    "message_logging_slowdown",
+    "optimal_checkpoint_interval",
+    "optimize_schedule",
+    "pfs_checkpoint_time",
+    "redundancy_work_rate",
+    "replica_plan",
+    "scaling_study_techniques",
+    "solve_checkpoint_period",
+    "young_interval",
+]

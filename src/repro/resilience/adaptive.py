@@ -1,0 +1,118 @@
+"""Adaptive redundancy (extension, after Hukerikar et al. [24]).
+
+The paper's related work notes that "dynamic redundancy allows for the
+executing application to choose a subset of processes for redundant
+execution".  This extension implements that idea as a planner: for each
+application it evaluates the analytic expected efficiency of
+:class:`repro.resilience.redundancy.Redundancy` across a grid of
+degrees (including degree 1.0 = plain Checkpoint Restart), discards
+degrees whose replicas do not fit on the machine, and plans with the
+argmax.
+
+Because communication inflation scales with ``r * T_C`` (Eq. 8) while
+the restart-rate benefit scales with the *replicated fraction*, the
+chosen degree adapts to the application: low-communication applications
+earn high degrees, high-communication ones collapse to little or no
+redundancy — which is exactly the behaviour [24] argues for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ExecutionPlan, ResilienceTechnique
+from repro.resilience.redundancy import Redundancy, replica_plan
+from repro.workload.application import Application
+
+#: Degrees evaluated by default; 1.0 degenerates to plain CR.
+DEFAULT_DEGREE_GRID = (1.0, 1.25, 1.5, 1.75, 2.0)
+
+
+class AdaptiveRedundancy(ResilienceTechnique):
+    """Per-application redundancy-degree selection."""
+
+    name = "adaptive_redundancy"
+
+    def __init__(
+        self,
+        degrees: Sequence[float] = DEFAULT_DEGREE_GRID,
+        interval_mode: str = "paper",
+    ) -> None:
+        if not degrees:
+            raise ValueError("need at least one candidate degree")
+        if any(not 1.0 <= d <= 2.0 for d in degrees):
+            raise ValueError(f"degrees must be in [1, 2], got {degrees}")
+        self.degrees = tuple(sorted(set(float(d) for d in degrees)))
+        self.interval_mode = interval_mode
+        #: Application identity -> chosen degree, for observability and
+        #: so nodes_required/plan agree for the same application.
+        self._chosen: Dict[Tuple, float] = {}
+
+    def choose_degree(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> float:
+        """The efficiency-maximizing feasible degree for *app*."""
+        # Imported lazily: repro.analysis builds on repro.resilience, so
+        # a module-level import here would be circular.
+        from repro.analysis.analytic import predict_efficiency
+
+        key = (app.app_id, app.type_name, app.nodes, app.time_steps)
+        cached = self._chosen.get(key)
+        if cached is not None:
+            return cached
+        best_degree: Optional[float] = None
+        best_eff = -1.0
+        for degree in self.degrees:
+            if replica_plan(app, degree).physical_nodes > system.total_nodes:
+                continue
+            plan = Redundancy(degree, interval_mode=self.interval_mode).plan(
+                app, system, node_mtbf_s, severity
+            )
+            eff = predict_efficiency(plan, node_mtbf_s, severity)
+            if eff > best_eff:
+                best_degree, best_eff = degree, eff
+        if best_degree is None:
+            raise ValueError(
+                f"no candidate degree fits app {app.app_id} "
+                f"({app.nodes} nodes) on a {system.total_nodes}-node system"
+            )
+        self._chosen[key] = best_degree
+        return best_degree
+
+    def nodes_required(self, app: Application) -> int:
+        """Physical nodes for the *smallest* candidate degree.
+
+        The actual requirement depends on the degree chosen at plan
+        time; feasibility screening uses the minimum so an application
+        is never rejected when some candidate fits.
+        """
+        return replica_plan(app, self.degrees[0]).physical_nodes
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Plan with the efficiency-maximizing feasible degree."""
+        degree = self.choose_degree(app, system, node_mtbf_s, severity)
+        plan = Redundancy(degree, interval_mode=self.interval_mode).plan(
+            app, system, node_mtbf_s, severity
+        )
+        # Re-brand so results attribute the run to the adaptive policy.
+        return ExecutionPlan(
+            app=plan.app,
+            technique=f"{self.name}[r={degree:g}]",
+            work_rate=plan.work_rate,
+            levels=plan.levels,
+            nodes_required=plan.nodes_required,
+            recovery_speedup=plan.recovery_speedup,
+            replicas=plan.replicas,
+        )

@@ -1,0 +1,273 @@
+"""Common interfaces for the four resilience techniques (Sec. IV).
+
+A technique is a *planner*: given an application, the machine, and the
+failure environment it produces an :class:`ExecutionPlan` describing
+
+- how much wall-clock work the application represents once technique
+  overheads that scale execution itself are applied (message-logging
+  slowdown mu, redundant-communication inflation r — Eqs. 7/8);
+- the checkpoint hierarchy: one or more :class:`CheckpointLevel` with
+  costs, restart costs, periods, and the worst failure severity each
+  level can recover from;
+- how many physical nodes the application needs (redundancy needs
+  ``ceil(r * N_a)``);
+- how fast lost work is recomputed (Parallel Recovery's parallelized
+  recovery, sigma > 1);
+- the replica structure, for redundancy's restart rule.
+
+The plan is *consumed* by the generic execution engine
+(:mod:`repro.core.execution`), which is technique-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.failures.severity import MAX_SEVERITY, SeverityModel
+from repro.platform.system import HPCSystem
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class CheckpointLevel:
+    """One level of the checkpoint hierarchy.
+
+    Attributes
+    ----------
+    index:
+        Position in the hierarchy, 1-based (1 = cheapest/most frequent).
+    recovers_severity:
+        Worst failure severity this level's checkpoints can recover.
+    cost_s:
+        Time to take one checkpoint at this level.
+    restart_s:
+        Time to restore from a checkpoint of this level (the paper
+        assumes checkpoint and restart times are symmetric).
+    period_s:
+        Wall-clock work between checkpoints of this level.  Periods of
+        higher levels are integer multiples of lower ones (nesting).
+    blocking_fraction:
+        Fraction of the checkpoint cost that stalls execution.  1.0
+        (the default, and the paper's blocking model) stalls for the
+        whole cost; smaller values model semi-blocking checkpointing
+        [Ni et al. 2012]: execution resumes after the blocking part
+        while the checkpoint *commits* only after the full cost has
+        elapsed — a failure in between voids it.
+    shared_resource:
+        Optional name of a shared resource this level's checkpoints and
+        restarts contend for (e.g. ``"pfs"``).  Ignored unless the
+        execution engine is given a pool under that name — the paper's
+        model (each application sees Eq. 3 in isolation) is the
+        default.
+    """
+
+    index: int
+    recovers_severity: int
+    cost_s: float
+    restart_s: float
+    period_s: float
+    blocking_fraction: float = 1.0
+    shared_resource: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.blocking_fraction <= 1.0:
+            raise ValueError(
+                f"blocking_fraction must be in (0, 1], got {self.blocking_fraction}"
+            )
+        if self.index < 1:
+            raise ValueError(f"index must be >= 1, got {self.index}")
+        if not 1 <= self.recovers_severity <= MAX_SEVERITY:
+            raise ValueError(
+                f"recovers_severity must be in 1..{MAX_SEVERITY}, "
+                f"got {self.recovers_severity}"
+            )
+        if self.cost_s < 0:
+            raise ValueError(f"cost_s must be >= 0, got {self.cost_s}")
+        if self.restart_s < 0:
+            raise ValueError(f"restart_s must be >= 0, got {self.restart_s}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+
+
+@dataclass(frozen=True)
+class ReplicaPlan:
+    """Redundancy structure (Sec. IV-E).
+
+    ``virtual_nodes`` application processes run on ``physical_nodes``
+    physical nodes; the first ``replicated`` virtual nodes have two
+    physical replicas each, the rest have one.  A restart is required
+    only when *every* replica of some virtual node fails before the next
+    checkpoint (which repairs failed replicas).
+    """
+
+    degree: float
+    virtual_nodes: int
+    replicated: int
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.degree <= 2.0:
+            raise ValueError(f"degree must be in [1, 2], got {self.degree}")
+        if self.virtual_nodes <= 0:
+            raise ValueError(f"virtual_nodes must be > 0, got {self.virtual_nodes}")
+        if not 0 <= self.replicated <= self.virtual_nodes:
+            raise ValueError(
+                f"replicated must be in 0..{self.virtual_nodes}, got {self.replicated}"
+            )
+
+    @property
+    def physical_nodes(self) -> int:
+        """Total physical nodes: virtual plus replicated copies."""
+        return self.virtual_nodes + self.replicated
+
+    def virtual_of_physical(self, physical_index: int) -> int:
+        """Map a physical-node index in [0, physical_nodes) to the
+        virtual node it backs.  Replicated virtual node v owns physical
+        indices 2v and 2v+1; singletons follow."""
+        if not 0 <= physical_index < self.physical_nodes:
+            raise ValueError(
+                f"physical_index must be in 0..{self.physical_nodes - 1}, "
+                f"got {physical_index}"
+            )
+        if physical_index < 2 * self.replicated:
+            return physical_index // 2
+        return self.replicated + (physical_index - 2 * self.replicated)
+
+    def replicas_of(self, virtual_index: int) -> int:
+        """Number of physical replicas backing a virtual node."""
+        if not 0 <= virtual_index < self.virtual_nodes:
+            raise ValueError(
+                f"virtual_index must be in 0..{self.virtual_nodes - 1}, "
+                f"got {virtual_index}"
+            )
+        return 2 if virtual_index < self.replicated else 1
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything the execution engine needs to run one application
+    under one resilience technique."""
+
+    app: Application
+    technique: str
+    #: Wall seconds of failure-free execution per baseline second
+    #: (mu for Parallel Recovery, T_W + r*T_C for Redundancy, else 1).
+    work_rate: float
+    #: Checkpoint hierarchy, ascending by index; the topmost level must
+    #: recover the worst severity.
+    levels: Tuple[CheckpointLevel, ...]
+    #: Physical nodes required.
+    nodes_required: int
+    #: Speedup applied while recomputing lost work (sigma; 1 = none).
+    recovery_speedup: float = 1.0
+    #: Replica structure for redundancy techniques (else None).
+    replicas: Optional[ReplicaPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.work_rate < 1.0:
+            raise ValueError(f"work_rate must be >= 1, got {self.work_rate}")
+        if not self.levels:
+            raise ValueError("plan needs at least one checkpoint level")
+        if self.recovery_speedup < 1.0:
+            raise ValueError(
+                f"recovery_speedup must be >= 1, got {self.recovery_speedup}"
+            )
+        if self.nodes_required < self.app.nodes:
+            raise ValueError("nodes_required cannot be below the app's node count")
+        indices = [lvl.index for lvl in self.levels]
+        if indices != sorted(indices) or len(set(indices)) != len(indices):
+            raise ValueError(f"levels must have unique ascending indices: {indices}")
+        if max(lvl.recovers_severity for lvl in self.levels) < MAX_SEVERITY:
+            raise ValueError("topmost level must recover the worst severity")
+        # Period nesting: each level's period an integer multiple of the
+        # previous level's (within floating tolerance).
+        for lower, higher in zip(self.levels, self.levels[1:]):
+            ratio = higher.period_s / lower.period_s
+            if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+                raise ValueError(
+                    f"period of level {higher.index} ({higher.period_s}) is not an "
+                    f"integer multiple of level {lower.index} ({lower.period_s})"
+                )
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def effective_work_s(self) -> float:
+        """Total failure-free wall work including work_rate inflation
+        (Eqs. 7/8 inflated baselines)."""
+        return self.app.baseline_time * self.work_rate
+
+    @property
+    def base_period_s(self) -> float:
+        """Period of the most frequent checkpoint level."""
+        return self.levels[0].period_s
+
+    def level_multiplier(self, index: int) -> int:
+        """How many base periods between checkpoints of level *index*."""
+        level = self.level_by_index(index)
+        return round(level.period_s / self.base_period_s)
+
+    def level_by_index(self, index: int) -> CheckpointLevel:
+        """The checkpoint level with hierarchy position *index*."""
+        for level in self.levels:
+            if level.index == index:
+                return level
+        raise KeyError(f"plan has no level {index}")
+
+    def boundary_level(self, boundary: int) -> CheckpointLevel:
+        """The checkpoint level taken at base-period boundary number
+        *boundary* (1-based): the highest level whose multiplier divides
+        it."""
+        if boundary < 1:
+            raise ValueError(f"boundary must be >= 1, got {boundary}")
+        chosen = self.levels[0]
+        for level in self.levels:
+            if boundary % self.level_multiplier(level.index) == 0:
+                chosen = level
+        return chosen
+
+    def recovery_levels(self, severity: int) -> Tuple[CheckpointLevel, ...]:
+        """Levels whose checkpoints can recover a *severity* failure."""
+        usable = tuple(
+            lvl for lvl in self.levels if lvl.recovers_severity >= severity
+        )
+        if not usable:
+            raise ValueError(f"no level recovers severity {severity}")
+        return usable
+
+
+class ResilienceTechnique(abc.ABC):
+    """A planner mapping (application, machine, MTBF) to a plan."""
+
+    #: Short display name, overridden by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Build the execution plan for *app* on *system*."""
+
+    def nodes_required(self, app: Application) -> int:
+        """Physical nodes needed (redundancy overrides this)."""
+        return app.nodes
+
+    def fits(self, app: Application, system: HPCSystem) -> bool:
+        """Whether the technique can run *app* on *system* at all —
+        redundancy "provides zero efficiency when ... there are not
+        enough nodes available in the system" (Sec. V)."""
+        return self.nodes_required(app) <= system.total_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def ceil_nodes(value: float) -> int:
+    """Smallest node count >= value (guards against float fuzz)."""
+    return int(math.ceil(value - 1e-9))

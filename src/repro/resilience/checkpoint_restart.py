@@ -1,0 +1,146 @@
+"""Checkpoint Restart (Sec. IV-B): the contemporary baseline technique.
+
+Periodic, blocking, uncoordinated checkpoints to the parallel file
+system.  Checkpoint (and, symmetrically, restart) time follows Eq. 3:
+
+    T_C_PFS = (N_m / B_N) * (N_a / N_S)
+
+and the checkpoint period is the per-application Daly optimum of Eq. 4
+with the application failure rate ``lambda_a = N_a / M_n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.failures.rates import application_failure_rate
+from repro.failures.severity import MAX_SEVERITY, SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ResilienceTechnique,
+)
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.workload.application import Application
+
+
+#: Name of the shared parallel-file-system pool (used when the engine
+#: models PFS contention; ignored otherwise).
+PFS_RESOURCE = "pfs"
+
+
+def pfs_checkpoint_time(app: Application, system: HPCSystem) -> float:
+    """Eq. 3 for *app* on *system*, seconds."""
+    return system.network.pfs_transfer_time(app.memory_per_node_gb, app.nodes)
+
+
+class CheckpointRestart(ResilienceTechnique):
+    """Traditional blocking checkpoint/restart to the PFS."""
+
+    name = "checkpoint_restart"
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Single PFS level at the Eq. 4 optimum (Sec. IV-B)."""
+        cost = pfs_checkpoint_time(app, system)
+        rate = application_failure_rate(app.nodes, node_mtbf_s)
+        period = optimal_checkpoint_interval(cost, rate)
+        level = CheckpointLevel(
+            index=1,
+            recovers_severity=MAX_SEVERITY,
+            cost_s=cost,
+            restart_s=cost,
+            period_s=period,
+            blocking_fraction=self._blocking_fraction(),
+            shared_resource=PFS_RESOURCE,
+        )
+        return ExecutionPlan(
+            app=app,
+            technique=self.name,
+            work_rate=1.0,
+            levels=(level,),
+            nodes_required=app.nodes,
+        )
+
+    def _blocking_fraction(self) -> float:
+        return 1.0
+
+
+class IncrementalCheckpointRestart(CheckpointRestart):
+    """Incremental checkpointing variant (extension).
+
+    Only the pages dirtied since the previous checkpoint are written,
+    so the recurring checkpoint cost is ``dirty_fraction`` of Eq. 3
+    while restarts still read the *full* state (the base image plus
+    increments).  The checkpoint period is re-optimized with the
+    reduced cost, so the technique both checkpoints more cheaply and
+    more often.  Not part of the paper's comparison; used by the
+    ablation benches.
+    """
+
+    def __init__(self, dirty_fraction: float = 0.3) -> None:
+        if not 0.0 < dirty_fraction <= 1.0:
+            raise ValueError(
+                f"dirty_fraction must be in (0, 1], got {dirty_fraction}"
+            )
+        self.dirty_fraction = dirty_fraction
+        self.name = f"incremental_cr_{dirty_fraction:g}"
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Like Checkpoint Restart with the write cost scaled by the dirty fraction (restart reads the full state)."""
+        full_cost = pfs_checkpoint_time(app, system)
+        cost = full_cost * self.dirty_fraction
+        rate = application_failure_rate(app.nodes, node_mtbf_s)
+        period = optimal_checkpoint_interval(cost, rate)
+        level = CheckpointLevel(
+            index=1,
+            recovers_severity=MAX_SEVERITY,
+            cost_s=cost,
+            restart_s=full_cost,  # restart reads the whole state
+            period_s=period,
+            shared_resource=PFS_RESOURCE,
+        )
+        return ExecutionPlan(
+            app=app,
+            technique=self.name,
+            work_rate=1.0,
+            levels=(level,),
+            nodes_required=app.nodes,
+        )
+
+
+class SemiBlockingCheckpointRestart(CheckpointRestart):
+    """Semi-blocking variant (extension, after Ni et al. [12]).
+
+    Only a fraction of the Eq. 3 checkpoint cost stalls execution (the
+    local staging copy); the transfer to the parallel file system
+    proceeds in the background and the checkpoint only *commits* once
+    the full cost has elapsed — a failure in between voids it, so the
+    technique trades lower overhead for a longer vulnerability window.
+    Not part of the paper's four-way comparison; used by the ablation
+    benches to quantify how far semi-blocking would move Fig. 1-3's
+    Checkpoint Restart curves.
+    """
+
+    def __init__(self, blocking_fraction: float = 0.25) -> None:
+        if not 0.0 < blocking_fraction <= 1.0:
+            raise ValueError(
+                f"blocking_fraction must be in (0, 1], got {blocking_fraction}"
+            )
+        self.blocking_fraction = blocking_fraction
+        self.name = f"semi_blocking_cr_{blocking_fraction:g}"
+
+    def _blocking_fraction(self) -> float:
+        return self.blocking_fraction

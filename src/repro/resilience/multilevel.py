@@ -1,0 +1,105 @@
+"""Multilevel Checkpointing (Sec. IV-C), after Moody et al. [3].
+
+Three checkpoint levels trading speed against recoverability:
+
+- **Level 1** — local RAM.  ``T_C_L1 = N_m / B_M`` (Eq. 5): the
+  application's per-node state divided by the node memory bandwidth.
+  Recovers only severity-1 failures.
+- **Level 2** — partner-node RAM.  ``T_C_L2 = 2 (T_C_L1 + L + N_m/B_M)``
+  (Eq. 6): send to the (contiguous) partner plus the partner's write,
+  times two because partners exchange checkpoints symmetrically.
+  Recovers severity-1/2 failures.
+- **Level 3** — parallel file system, Eq. 3 (same as Checkpoint
+  Restart).  Recovers everything.
+
+Inter-level schedule (how many level-1 intervals per level-2 and
+level-3 checkpoint) comes from the Markov-model optimization in
+:mod:`repro.resilience.moody_markov`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.failures.rates import application_failure_rate
+from repro.failures.severity import SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ResilienceTechnique,
+)
+from repro.resilience.checkpoint_restart import PFS_RESOURCE, pfs_checkpoint_time
+from repro.resilience.moody_markov import MultilevelSchedule, optimize_schedule
+from repro.workload.application import Application
+
+
+def level1_checkpoint_time(app: Application, system: HPCSystem) -> float:
+    """Eq. 5: local-RAM checkpoint, seconds."""
+    return system.node.memory_write_time(app.memory_per_node_gb)
+
+
+def level2_checkpoint_time(app: Application, system: HPCSystem) -> float:
+    """Eq. 6: symmetric partner-node checkpoint, seconds."""
+    t_l1 = level1_checkpoint_time(app, system)
+    partner_write = app.memory_per_node_gb / system.node.memory_bandwidth_gbs
+    return 2.0 * (t_l1 + system.network.latency_s + partner_write)
+
+
+class MultilevelCheckpoint(ResilienceTechnique):
+    """The three-level checkpointing scheme of Moody et al. [3]."""
+
+    name = "multilevel"
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Three nested levels (Eqs. 5/6/3) on the optimized schedule."""
+        severity = severity if severity is not None else SeverityModel.default()
+        costs = self.level_costs(app, system)
+        total_rate = application_failure_rate(app.nodes, node_mtbf_s)
+        rates = tuple(
+            severity.level_rate(k, total_rate) for k in (1, 2, 3)
+        )
+        schedule = self.schedule(costs, costs, rates)
+        periods = schedule.periods_s
+        levels = tuple(
+            CheckpointLevel(
+                index=k,
+                recovers_severity=k,
+                cost_s=costs[k - 1],
+                restart_s=costs[k - 1],
+                period_s=periods[k - 1],
+                shared_resource=PFS_RESOURCE if k == 3 else None,
+            )
+            for k in (1, 2, 3)
+        )
+        return ExecutionPlan(
+            app=app,
+            technique=self.name,
+            work_rate=1.0,
+            levels=levels,
+            nodes_required=app.nodes,
+        )
+
+    @staticmethod
+    def level_costs(app: Application, system: HPCSystem) -> Tuple[float, float, float]:
+        """(T_C_L1, T_C_L2, T_C_PFS) for *app* on *system*."""
+        return (
+            level1_checkpoint_time(app, system),
+            level2_checkpoint_time(app, system),
+            pfs_checkpoint_time(app, system),
+        )
+
+    @staticmethod
+    def schedule(
+        costs: Tuple[float, float, float],
+        restarts: Tuple[float, float, float],
+        rates: Tuple[float, float, float],
+    ) -> MultilevelSchedule:
+        """Optimize the nested schedule (exposed for the ablations)."""
+        return optimize_schedule(costs, restarts, rates)

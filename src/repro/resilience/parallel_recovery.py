@@ -1,0 +1,85 @@
+"""Parallel Recovery (Sec. IV-D), after Meneses et al. [2].
+
+Message logging with parallelized restart:
+
+- Every sent message is logged, slowing execution by
+  ``mu = 1 + T_C / 10`` (Sec. IV-D), so the effective baseline is
+  ``T_B = mu * T_S * (T_W + T_C)`` (Eq. 7).
+- Checkpoints are in-memory to a partner node (the FTC-Charm++ scheme
+  [33]), so checkpoint and restart cost follow Eq. 6 — the parallel
+  file system is never touched.
+- After a failure only the failed node recovers; its lost work is
+  re-executed *in parallel* across helper nodes, so rework completes
+  ``sigma`` times faster (DESIGN.md substitution #2; default
+  sigma = 4).  The rest of the system waits (cheap in time, and cheap in
+  energy — see :mod:`repro.energy`).
+- The checkpoint period is the Eq. 4 Daly optimum evaluated with the
+  in-memory checkpoint cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constants import DEFAULT_RECOVERY_PARALLELISM, MESSAGE_LOGGING_DIVISOR
+from repro.failures.rates import application_failure_rate
+from repro.failures.severity import MAX_SEVERITY, SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ResilienceTechnique,
+)
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.resilience.multilevel import level2_checkpoint_time
+from repro.workload.application import Application
+
+
+def message_logging_slowdown(comm_fraction: float) -> float:
+    """``mu = 1 + T_C / 10`` (Sec. IV-D)."""
+    if not 0.0 <= comm_fraction < 1.0:
+        raise ValueError(f"comm_fraction must be in [0, 1), got {comm_fraction}")
+    return 1.0 + comm_fraction / MESSAGE_LOGGING_DIVISOR
+
+
+class ParallelRecovery(ResilienceTechnique):
+    """Message logging + in-memory checkpoints + parallelized restart."""
+
+    name = "parallel_recovery"
+
+    def __init__(
+        self, recovery_parallelism: float = DEFAULT_RECOVERY_PARALLELISM
+    ) -> None:
+        if recovery_parallelism < 1.0:
+            raise ValueError(
+                f"recovery_parallelism must be >= 1, got {recovery_parallelism}"
+            )
+        self.recovery_parallelism = recovery_parallelism
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """Single in-memory level (Eq. 6) with mu-inflated work (Eq. 7) and parallelized recovery."""
+        cost = level2_checkpoint_time(app, system)
+        rate = application_failure_rate(app.nodes, node_mtbf_s)
+        period = optimal_checkpoint_interval(cost, rate)
+        mu = message_logging_slowdown(app.comm_fraction)
+        level = CheckpointLevel(
+            index=1,
+            recovers_severity=MAX_SEVERITY,
+            cost_s=cost,
+            restart_s=cost,
+            period_s=period,
+        )
+        return ExecutionPlan(
+            app=app,
+            technique=self.name,
+            work_rate=mu,
+            levels=(level,),
+            nodes_required=app.nodes,
+            recovery_speedup=self.recovery_parallelism,
+        )

@@ -1,0 +1,172 @@
+"""Checkpointing combined with partial/full redundancy (Sec. IV-E),
+after Elliott et al. [4].
+
+A degree of redundancy ``r in [1, 2]`` gives every *virtual* process at
+least one physical node, and a fraction ``r - 1`` of them a second
+replica, so the application occupies ``ceil(r * N_a)`` physical nodes.
+PFS checkpoints are taken at regular intervals exactly as in Checkpoint
+Restart; a restart is needed **only** when all replicas of some virtual
+node fail before the next checkpoint (checkpoints repair failed
+replicas).  Duplicated communication inflates the baseline to
+``T_B = T_S (T_W + r * T_C)`` (Eq. 8).
+
+Per the paper, "apart from the application baseline execution time, all
+parameters associated with the partial redundancy resilience technique
+remain the same as the Checkpoint Restart technique" — in particular
+the checkpoint period is the Eq. 4 Daly optimum at the *raw*
+application failure rate ``lambda_a = N_a / M_n``, even though replicas
+make restarts far rarer.  This is why redundancy pays CR-level
+checkpoint overhead and sits below Parallel Recovery in Figs. 1-3.
+
+As an ablation (``interval_mode="effective"``) the period can instead
+be optimized against the *effective* restart-causing rate: singletons
+die at the node rate ``nu`` while a replicated pair dies at
+``~nu^2 * tau`` per unit time (both replicas must fail within one
+checkpoint window), giving the fixed point
+
+    tau = sqrt(2 C / lambda_eff(tau)) - C .
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from scipy import optimize as sp_optimize
+
+from repro.constants import FULL_REDUNDANCY_DEGREE, PARTIAL_REDUNDANCY_DEGREE
+from repro.failures.rates import application_failure_rate
+from repro.failures.severity import MAX_SEVERITY, SeverityModel
+from repro.platform.system import HPCSystem
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ReplicaPlan,
+    ResilienceTechnique,
+    ceil_nodes,
+)
+from repro.resilience.checkpoint_restart import PFS_RESOURCE, pfs_checkpoint_time
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.workload.application import Application
+
+
+def replica_plan(app: Application, degree: float) -> ReplicaPlan:
+    """Build the replica structure for *app* at redundancy *degree*."""
+    virtual = app.nodes
+    replicated = min(virtual, ceil_nodes((degree - 1.0) * virtual))
+    return ReplicaPlan(degree=degree, virtual_nodes=virtual, replicated=replicated)
+
+
+def redundancy_work_rate(app: Application, degree: float) -> float:
+    """Eq. 8 inflation: ``T_W + r * T_C`` (with ``T_W + T_C = 1``)."""
+    return app.work_fraction + degree * app.comm_fraction
+
+
+def effective_restart_rate(
+    replicas: ReplicaPlan, node_rate: float, interval_s: float
+) -> float:
+    """Rate of restart-causing events for the given checkpoint window.
+
+    Singletons die at the node rate; a replicated pair dies when both
+    replicas fail within the same window — probability ~(nu*tau)^2 per
+    window, i.e. rate ``nu^2 * tau`` per pair (first order in nu*tau).
+    """
+    if node_rate <= 0:
+        raise ValueError(f"node_rate must be > 0, got {node_rate}")
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be > 0, got {interval_s}")
+    singles = replicas.virtual_nodes - replicas.replicated
+    return singles * node_rate + replicas.replicated * node_rate**2 * interval_s
+
+
+def solve_checkpoint_period(
+    checkpoint_cost_s: float, replicas: ReplicaPlan, node_rate: float
+) -> float:
+    """Fixed-point Daly period under the interval-dependent effective
+    restart rate."""
+
+    def residual(tau: float) -> float:
+        lam = effective_restart_rate(replicas, node_rate, tau)
+        return tau - optimal_checkpoint_interval(checkpoint_cost_s, lam)
+
+    lo, hi = 1e-6, 1e14
+    if residual(lo) >= 0.0:
+        # Effective rate so high even a tiny window can't help;
+        # degenerate thrashing regime.
+        return optimal_checkpoint_interval(
+            checkpoint_cost_s,
+            effective_restart_rate(replicas, node_rate, checkpoint_cost_s),
+        )
+    return float(sp_optimize.brentq(residual, lo, hi, xtol=1e-6, rtol=1e-10))
+
+
+class Redundancy(ResilienceTechnique):
+    """Partial or full redundancy combined with PFS checkpointing."""
+
+    def __init__(
+        self,
+        degree: float = PARTIAL_REDUNDANCY_DEGREE,
+        interval_mode: str = "paper",
+    ) -> None:
+        if not 1.0 <= degree <= 2.0:
+            raise ValueError(f"degree must be in [1, 2], got {degree}")
+        if interval_mode not in ("paper", "effective"):
+            raise ValueError(
+                f"interval_mode must be 'paper' or 'effective', got {interval_mode!r}"
+            )
+        self.degree = degree
+        self.interval_mode = interval_mode
+        suffix = f"{degree:g}".replace(".", "_")
+        self.name = f"redundancy_r{suffix}"
+
+    @classmethod
+    def partial(cls) -> "Redundancy":
+        """The paper's partial configuration (r = 1.5)."""
+        return cls(PARTIAL_REDUNDANCY_DEGREE)
+
+    @classmethod
+    def full(cls) -> "Redundancy":
+        """Full dual redundancy (r = 2.0)."""
+        return cls(FULL_REDUNDANCY_DEGREE)
+
+    def nodes_required(self, app: Application) -> int:
+        """``ceil(r * N_a)`` physical nodes for the replicas."""
+        return replica_plan(app, self.degree).physical_nodes
+
+    def plan(
+        self,
+        app: Application,
+        system: HPCSystem,
+        node_mtbf_s: float,
+        severity: Optional[SeverityModel] = None,
+    ) -> ExecutionPlan:
+        """PFS checkpointing plus the replica structure, with Eq. 8 communication inflation."""
+        replicas = replica_plan(app, self.degree)
+        if replicas.physical_nodes > system.total_nodes:
+            raise ValueError(
+                f"{self.name} needs {replicas.physical_nodes} nodes but the "
+                f"system has {system.total_nodes} (Sec. V: zero efficiency)"
+            )
+        cost = pfs_checkpoint_time(app, system)
+        node_rate = 1.0 / node_mtbf_s
+        if self.interval_mode == "paper":
+            period = optimal_checkpoint_interval(
+                cost, application_failure_rate(app.nodes, node_mtbf_s)
+            )
+        else:
+            period = solve_checkpoint_period(cost, replicas, node_rate)
+        level = CheckpointLevel(
+            index=1,
+            recovers_severity=MAX_SEVERITY,
+            cost_s=cost,
+            restart_s=cost,
+            period_s=period,
+            shared_resource=PFS_RESOURCE,
+        )
+        return ExecutionPlan(
+            app=app,
+            technique=self.name,
+            work_rate=redundancy_work_rate(app, self.degree),
+            levels=(level,),
+            nodes_required=replicas.physical_nodes,
+            replicas=replicas,
+        )

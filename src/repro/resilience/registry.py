@@ -1,0 +1,47 @@
+"""Technique registry: the paper's line-up by name.
+
+Figures 1-3 compare five curves (Checkpoint Restart, Multilevel,
+Parallel Recovery, and redundancy at r = 1.5 and r = 2.0); the
+Sec. VI/VII datacenter studies use the first three ("the results from
+Section V indicate that redundancy-based resilience techniques will be
+unlikely to be implemented in an exascale system").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.resilience.base import ResilienceTechnique
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+
+
+def scaling_study_techniques() -> List[ResilienceTechnique]:
+    """The five techniques of Figs. 1-3, in plot order."""
+    return [
+        CheckpointRestart(),
+        MultilevelCheckpoint(),
+        ParallelRecovery(),
+        Redundancy.partial(),
+        Redundancy.full(),
+    ]
+
+
+def datacenter_techniques() -> List[ResilienceTechnique]:
+    """The three techniques of Figs. 4-5."""
+    return [CheckpointRestart(), MultilevelCheckpoint(), ParallelRecovery()]
+
+
+def by_name() -> Dict[str, ResilienceTechnique]:
+    """All standard techniques keyed by their names."""
+    return {t.name: t for t in scaling_study_techniques()}
+
+
+def get_technique(name: str) -> ResilienceTechnique:
+    """Look up a standard technique by name."""
+    table = by_name()
+    if name not in table:
+        raise KeyError(f"unknown technique {name!r}; expected one of {sorted(table)}")
+    return table[name]

@@ -1,0 +1,23 @@
+"""Resource-management policies: FCFS, Random, Slack-based (Sec. III-D)."""
+
+from repro.rm.base import Placer, ReservingPlacer, ResourceManager
+from repro.rm.easy import EasyBackfill, shadow_time_and_extra
+from repro.rm.fcfs import FCFS
+from repro.rm.random_policy import RandomMapping
+from repro.rm.registry import extended_manager_names, make_manager, manager_names
+from repro.rm.slack import SlackBased, remaining_slack
+
+__all__ = [
+    "EasyBackfill",
+    "FCFS",
+    "Placer",
+    "ReservingPlacer",
+    "RandomMapping",
+    "ResourceManager",
+    "SlackBased",
+    "extended_manager_names",
+    "make_manager",
+    "manager_names",
+    "remaining_slack",
+    "shadow_time_and_extra",
+]

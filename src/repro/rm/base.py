@@ -1,0 +1,75 @@
+"""Resource-management interfaces (Sec. III-D).
+
+A resource manager runs at *mapping events* (immediately after an
+application arrives and immediately after one finishes).  It examines
+the set of unmapped applications and decides which to start on idle
+nodes — and, for the slack-based policy, which to drop.
+
+The manager talks to the system through a :class:`Placer`, which hides
+allocation mechanics (contiguity, redundancy node inflation) and lets
+tests drive policies with a fake placer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Protocol, Sequence
+
+from repro.workload.application import Application
+
+
+class Placer(Protocol):
+    """What a resource manager may do with a pending application."""
+
+    def can_place(self, app: Application) -> bool:
+        """Whether the system can start *app* right now."""
+        ...
+
+    def place(self, app: Application) -> None:
+        """Allocate nodes and start *app* (must satisfy can_place)."""
+        ...
+
+    def drop(self, app: Application) -> None:
+        """Remove *app* from the system without executing it."""
+        ...
+
+
+class ReservingPlacer(Placer, Protocol):
+    """A placer that can additionally describe the running jobs, for
+    policies that plan ahead (e.g. EASY backfilling needs to know when
+    the queue head will be able to start)."""
+
+    def running_jobs(self) -> list:
+        """``(nodes, estimated_end_time)`` for every running job."""
+        ...
+
+    def free_nodes(self) -> int:
+        """Idle nodes right now (a backfill candidate still needs
+        ``can_place`` to confirm a contiguous block exists)."""
+        ...
+
+    def nodes_needed(self, app: Application) -> int:
+        """Physical nodes *app* will occupy (resilience-dependent)."""
+        ...
+
+
+class ResourceManager(abc.ABC):
+    """A mapping policy.
+
+    Subclasses implement :meth:`map_applications`, which must call
+    ``placer.place`` for every application it starts, ``placer.drop``
+    for every application it removes, and return the list of
+    applications that remain unmapped (to be reconsidered at the next
+    mapping event).  ``pending`` arrives in arrival order.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map_applications(
+        self, pending: Sequence[Application], placer: Placer, now: float
+    ) -> List[Application]:
+        """Run one mapping event; returns the still-unmapped apps."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

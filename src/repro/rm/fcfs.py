@@ -1,0 +1,35 @@
+"""First-come-first-served mapping (Sec. III-D1).
+
+"This technique operates by scheduling applications from the set of
+unmapped applications in the order that they arrive to the system until
+there are not enough nodes left for the most recently arrived
+application" — i.e. strict queue order with **no backfilling**: the
+first application that does not fit blocks everything behind it until a
+future mapping event.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rm.base import Placer, ResourceManager
+from repro.workload.application import Application
+
+
+class FCFS(ResourceManager):
+    """Strict arrival-order mapping without backfill."""
+
+    name = "fcfs"
+
+    def map_applications(
+        self, pending: Sequence[Application], placer: Placer, now: float
+    ) -> List[Application]:
+        """Place in arrival order; stop at the first application that does not fit (no backfill)."""
+        queue = list(pending)
+        while queue:
+            head = queue[0]
+            if not placer.can_place(head):
+                break
+            placer.place(head)
+            queue.pop(0)
+        return queue

@@ -1,0 +1,47 @@
+"""Random mapping (Sec. III-D2).
+
+"The random resource scheduling technique randomly selects an
+application from the set of mappable applications and assigns it to
+execute on the first available set of nodes able to accommodate the
+application's size.  If not enough nodes are available, then the
+application is returned to the set of unmapped applications.  This
+process is repeated until the set of mappable applications is empty."
+
+Unlike FCFS this policy effectively backfills: an application that does
+not fit is set aside and the draw continues with the rest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.rm.base import Placer, ResourceManager
+from repro.workload.application import Application
+
+
+class RandomMapping(ResourceManager):
+    """Uniform-random mapping order with skip-on-no-fit."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def map_applications(
+        self, pending: Sequence[Application], placer: Placer, now: float
+    ) -> List[Application]:
+        """Place in uniformly random order, skipping applications that do not fit."""
+        mappable = list(pending)
+        unmapped: List[Application] = []
+        while mappable:
+            index = int(self._rng.integers(0, len(mappable)))
+            app = mappable.pop(index)
+            if placer.can_place(app):
+                placer.place(app)
+            else:
+                unmapped.append(app)
+        # Preserve arrival order in the returned queue.
+        unmapped.sort(key=lambda a: (a.arrival_time, a.app_id))
+        return unmapped

@@ -1,0 +1,41 @@
+"""Resource-manager registry for the Sec. VI/VII studies."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.rm.base import ResourceManager
+from repro.rm.easy import EasyBackfill
+from repro.rm.fcfs import FCFS
+from repro.rm.random_policy import RandomMapping
+from repro.rm.slack import SlackBased
+
+#: Factories keyed by policy name.  Random needs an RNG, the others
+#: ignore it — a uniform signature keeps the experiment drivers simple.
+_FACTORIES: Dict[str, Callable[[np.random.Generator], ResourceManager]] = {
+    "fcfs": lambda rng: FCFS(),
+    "easy": lambda rng: EasyBackfill(),
+    "random": lambda rng: RandomMapping(rng),
+    "slack": lambda rng: SlackBased(),
+}
+
+
+def manager_names() -> List[str]:
+    """The three policies of Figs. 4-5, in plot order."""
+    return ["fcfs", "random", "slack"]
+
+
+def extended_manager_names() -> List[str]:
+    """The paper's three policies plus the EASY-backfilling extension."""
+    return ["fcfs", "easy", "random", "slack"]
+
+
+def make_manager(name: str, rng: np.random.Generator) -> ResourceManager:
+    """Instantiate a policy by name."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown resource manager {name!r}; expected one of {manager_names()}"
+        )
+    return _FACTORIES[name](rng)

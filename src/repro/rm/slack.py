@@ -1,0 +1,62 @@
+"""Slack-based mapping (Sec. III-D3).
+
+Applications are prioritized by *slack* — the headroom between what the
+application still needs (its baseline execution time) and its deadline.
+The paper defines slack at arrival as ``T_D - (T_B + T_A)``; for a
+queued application the quantity that actually determines feasibility is
+the same expression with the current time in place of the arrival time
+(an application that has been waiting has consumed slack), which is
+what makes the policy's drop rule meaningful: "a negative slack value
+indicates that an application will not be able to complete execution
+before its deadline.  All such applications are dropped from the
+system."
+
+After clearing negative-slack applications, the policy schedules in
+ascending slack order, skipping (not blocking on) applications that do
+not fit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rm.base import Placer, ResourceManager
+from repro.workload.application import Application
+
+
+def remaining_slack(app: Application, now: float) -> float:
+    """Slack of *app* as of *now*: deadline - (now + baseline).
+
+    Applications without deadlines have infinite slack.
+    """
+    if app.deadline is None:
+        return float("inf")
+    return app.deadline - (now + app.baseline_time)
+
+
+class SlackBased(ResourceManager):
+    """Least-slack-first mapping with proactive dropping."""
+
+    name = "slack"
+
+    def map_applications(
+        self, pending: Sequence[Application], placer: Placer, now: float
+    ) -> List[Application]:
+        """Drop negative-slack applications, then place in ascending-slack order, skipping non-fitting ones."""
+        viable: List[Application] = []
+        for app in pending:
+            if remaining_slack(app, now) < 0.0:
+                placer.drop(app)
+            else:
+                viable.append(app)
+        queue = sorted(
+            viable, key=lambda a: (remaining_slack(a, now), a.arrival_time, a.app_id)
+        )
+        unmapped: List[Application] = []
+        for app in queue:
+            if placer.can_place(app):
+                placer.place(app)
+            else:
+                unmapped.append(app)
+        unmapped.sort(key=lambda a: (a.arrival_time, a.app_id))
+        return unmapped

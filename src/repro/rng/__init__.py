@@ -1,0 +1,23 @@
+"""Reproducible random substrate: named streams, distributions, and
+Poisson arrival processes."""
+
+from repro.rng.distributions import (
+    DiscretePMF,
+    choice,
+    exponential,
+    uniform,
+    uniform_int,
+)
+from repro.rng.poisson import PoissonProcess, VariableRatePoisson
+from repro.rng.streams import StreamFactory
+
+__all__ = [
+    "DiscretePMF",
+    "PoissonProcess",
+    "StreamFactory",
+    "VariableRatePoisson",
+    "choice",
+    "exponential",
+    "uniform",
+    "uniform_int",
+]

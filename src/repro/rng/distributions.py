@@ -1,0 +1,90 @@
+"""Random-variate distributions used by the models.
+
+Thin, explicitly-parameterized wrappers over ``numpy.random.Generator``
+draws, plus a :class:`DiscretePMF` used for failure severities
+(Sec. III-E: "the resulting discrete set of ratios for each level is
+used to create a probability mass function").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def exponential(rng: np.random.Generator, rate: float) -> float:
+    """One draw from Exp(rate); mean 1/rate.
+
+    Used for failure inter-arrival times (Sec. III-E) and application
+    inter-arrival times (Sec. VI).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    return float(rng.exponential(1.0 / rate))
+
+
+def uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    """One draw from U(low, high)."""
+    if high < low:
+        raise ValueError(f"need low <= high, got ({low}, {high})")
+    return float(rng.uniform(low, high))
+
+
+def uniform_int(rng: np.random.Generator, low: int, high: int) -> int:
+    """One draw from the integers {low, ..., high} (inclusive)."""
+    if high < low:
+        raise ValueError(f"need low <= high, got ({low}, {high})")
+    return int(rng.integers(low, high + 1))
+
+
+def choice(rng: np.random.Generator, options: Sequence) -> object:
+    """Uniformly pick one element of *options*."""
+    if len(options) == 0:
+        raise ValueError("cannot choose from an empty sequence")
+    return options[int(rng.integers(0, len(options)))]
+
+
+@dataclass(frozen=True)
+class DiscretePMF:
+    """A discrete probability mass function over ``len(probabilities)``
+    categories (0-indexed).
+
+    Probabilities are normalized at construction; they must be
+    non-negative and not all zero.
+    """
+
+    probabilities: tuple[float, ...]
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        probs = np.asarray(list(probabilities), dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D sequence")
+        if np.any(probs < 0):
+            raise ValueError(f"probabilities must be >= 0, got {probs}")
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not sum to zero")
+        object.__setattr__(self, "probabilities", tuple(probs / total))
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a category index."""
+        return int(rng.choice(len(self.probabilities), p=self.probabilities))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* category indices at once (vectorized)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return rng.choice(len(self.probabilities), size=n, p=self.probabilities)
+
+    def probability(self, category: int) -> float:
+        """P(X = category)."""
+        return self.probabilities[category]
+
+    def tail(self, category: int) -> float:
+        """P(X >= category)."""
+        return float(sum(self.probabilities[category:]))

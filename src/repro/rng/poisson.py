@@ -1,0 +1,87 @@
+"""Poisson arrival processes.
+
+Both system failures (Sec. III-E, Eq. 2) and application arrivals
+(Sec. VI) are homogeneous Poisson processes.  :class:`PoissonProcess`
+generates successive arrival times; the failure injector additionally
+needs a *rate that changes over time* (the system failure rate is
+``active_nodes / MTBF``, and the set of active nodes changes as
+applications map and finish), which :class:`VariableRatePoisson`
+supports via the standard memorylessness re-draw: whenever the rate
+changes, the next inter-arrival is simply resampled at the new rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.rng.distributions import exponential
+
+
+class PoissonProcess:
+    """Homogeneous Poisson process with fixed *rate* (events/second)."""
+
+    def __init__(self, rng: np.random.Generator, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self._rng = rng
+        self.rate = rate
+        self.last_arrival = 0.0
+
+    def next_interarrival(self) -> float:
+        """Draw the next inter-arrival time."""
+        return exponential(self._rng, self.rate)
+
+    def next_arrival(self) -> float:
+        """Advance to and return the next absolute arrival time."""
+        self.last_arrival += self.next_interarrival()
+        return self.last_arrival
+
+    def arrivals(self, count: int) -> np.ndarray:
+        """Vector of the next *count* absolute arrival times."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        gaps = self._rng.exponential(1.0 / self.rate, size=count)
+        times = self.last_arrival + np.cumsum(gaps)
+        if count:
+            self.last_arrival = float(times[-1])
+        return times
+
+    def __iter__(self) -> Iterator[float]:
+        while True:
+            yield self.next_arrival()
+
+
+class VariableRatePoisson:
+    """Poisson process whose rate may be changed between arrivals.
+
+    By the memorylessness of the exponential distribution, the process
+    conditioned on "no arrival yet" restarts afresh, so on a rate change
+    the next inter-arrival is validly re-drawn at the new rate from the
+    current time.  A rate of zero suspends the process (no next arrival).
+    """
+
+    def __init__(self, rng: np.random.Generator, rate: float = 0.0) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._rng = rng
+        self._rate = rate
+
+    @property
+    def rate(self) -> float:
+        """Current rate, events/second."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the rate (0 suspends the process)."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._rate = rate
+
+    def next_interarrival(self) -> Optional[float]:
+        """Inter-arrival draw at the current rate, or None if the rate
+        is zero (process suspended)."""
+        if self._rate == 0.0:
+            return None
+        return exponential(self._rng, self._rate)

@@ -1,0 +1,162 @@
+"""The simulation kernel: clock + event loop.
+
+:class:`Simulator` owns the simulated clock and the pending-event queue
+and drives callbacks and :class:`repro.sim.process.Process` coroutines.
+The kernel is deliberately small — everything domain-specific (failures,
+checkpoints, mapping) lives in higher layers and interacts with the
+kernel only through ``schedule`` / ``process`` / ``interrupt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventKind
+from repro.sim.process import Process, Timeout
+from repro.sim.queue import EventQueue
+from repro.sim.tracing import TraceRecorder
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`TraceRecorder`; when provided, every executed
+        event is recorded (kind, time, payload).
+    """
+
+    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self._event_count = 0
+        self.trace = trace
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far."""
+        return self._event_count
+
+    @property
+    def pending(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self._queue)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        *,
+        kind: EventKind = EventKind.INTERNAL,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback* to run ``delay`` seconds from now."""
+        return self.schedule_at(
+            self._now + delay, callback, kind=kind, payload=payload, priority=priority
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        *,
+        kind: EventKind = EventKind.INTERNAL,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if not math.isfinite(time):
+            raise SchedulingError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        self._seq += 1
+        event = Event(
+            time, callback, priority=priority, seq=self._seq, kind=kind, payload=payload
+        )
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.notify_cancelled()
+
+    # -- processes ----------------------------------------------------------
+
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str = "process"
+    ) -> Process:
+        """Spawn a coroutine process; its first step runs at the current
+        time (once control returns to the event loop)."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a :class:`Timeout` for ``yield`` inside a process."""
+        return Timeout(delay)
+
+    # -- event loop ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        self._now = event.time
+        self._event_count += 1
+        if self.trace is not None:
+            self.trace.record(event.time, event.kind, event.payload)
+        event.callback(event)
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` more events have executed.
+
+        Returns the simulated time at which the loop stopped.  When
+        ``until`` is given and events remain beyond it, the clock is
+        advanced exactly to ``until``.
+        """
+        if self._running:
+            raise SchedulingError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_empty(self, max_events: Optional[int] = None) -> float:
+        """Run with no time horizon (guarded by ``max_events`` if given)."""
+        return self.run(until=None, max_events=max_events)

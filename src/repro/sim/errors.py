@@ -1,0 +1,34 @@
+"""Exceptions used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class ProcessError(SimulationError):
+    """A process was used in an invalid state (e.g. interrupting a
+    process that already terminated)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator when it is interrupted.
+
+    The interrupting party supplies an arbitrary ``cause`` (for this
+    project, usually a :class:`repro.failures.generator.Failure`), which
+    the interrupted process inspects to decide how to recover.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"

@@ -1,0 +1,86 @@
+"""Event objects for the simulation kernel.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events
+carry a :class:`EventKind` tag so traces can be filtered by the event
+taxonomy of Sec. III-A of the paper (arrival, mapping, computation,
+failure, checkpoint, restart, recovery).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Taxonomy of simulation events (Sec. III-A of the paper)."""
+
+    ARRIVAL = "arrival"
+    MAPPING = "mapping"
+    COMPUTATION = "computation"
+    FAILURE = "failure"
+    CHECKPOINT = "checkpoint"
+    RESTART = "restart"
+    RECOVERY = "recovery"
+    #: Kernel-internal events (process wakeups etc.).
+    INTERNAL = "internal"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``: earlier times first,
+    then lower priority values, then insertion order.  Cancelling an
+    event is O(1); the queue discards cancelled events lazily.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "payload", "kind", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[["Event"], None],
+        *,
+        priority: int = 0,
+        seq: int = 0,
+        kind: EventKind = EventKind.INTERNAL,
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.kind = kind
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel will skip it."""
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """Heap ordering key ``(time, priority, seq)``."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event {self.kind} t={self.time:.6g} prio={self.priority}{state}>"
+
+
+#: Priority assigned to failure events so that a failure scheduled at the
+#: same instant as a process wakeup is delivered first (the failure
+#: happened *during* the preceding interval).
+FAILURE_PRIORITY = -10
+
+#: Default priority for ordinary events.
+DEFAULT_PRIORITY = 0
+
+Callback = Callable[[Event], None]
+OptionalEvent = Optional[Event]

@@ -1,0 +1,78 @@
+"""Pending-event set: a binary heap with lazy cancellation.
+
+The classic DES pending-event structure.  ``cancel`` is O(1) (a flag on
+the event); cancelled events are dropped when they reach the top of the
+heap, so each event is pushed and popped at most once and all operations
+stay O(log n) amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from repro.sim.events import Event
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, priority, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        """Insert *event*."""
+        if event.cancelled:
+            raise ValueError("cannot schedule a cancelled event")
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def notify_cancelled(self) -> None:
+        """Account for one event having been cancelled in place.
+
+        Callers cancel events by calling :meth:`Event.cancel` and must
+        then call this exactly once so the live count stays accurate.
+        :meth:`repro.sim.engine.Simulator.cancel` does this pairing.
+        """
+        self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises :class:`IndexError` when no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Simulated time of the next live event, or None if empty."""
+        head = self.peek()
+        return head.time if head is not None else None
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._heap.clear()
+        self._live = 0
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over live events in heap (not chronological) order."""
+        return (e for e in self._heap if not e.cancelled)

@@ -1,0 +1,99 @@
+"""Trace recording for simulations.
+
+A :class:`TraceRecorder` collects ``(time, kind, payload)`` tuples for
+every executed event.  Traces are the ground truth that tests and the
+experiment harness use to verify event ordering (e.g. "a restart event
+follows every failure that hits an executing application").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.events import EventKind
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed event."""
+
+    time: float
+    kind: EventKind
+    payload: Any
+
+    def __str__(self) -> str:
+        return f"[{self.time:14.3f}s] {self.kind.value:<12} {self.payload!r}"
+
+
+class TraceRecorder:
+    """Append-only event trace with filtering helpers.
+
+    Parameters
+    ----------
+    kinds:
+        If given, only events of these kinds are recorded (keeps traces
+        small for long simulations).
+    capacity:
+        Optional hard cap on recorded entries; older entries are dropped
+        FIFO when exceeded.
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[set[EventKind]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._entries: List[TraceEntry] = []
+        self._kinds = kinds
+        self._capacity = capacity
+        self.dropped = 0
+
+    def record(self, time: float, kind: EventKind, payload: Any) -> None:
+        """Append one executed event (subject to kind filter/capacity)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._entries.append(TraceEntry(time, kind, payload))
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            overflow = len(self._entries) - self._capacity
+            del self._entries[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    def filter(
+        self,
+        kind: Optional[EventKind] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Entries matching *kind* and/or an arbitrary predicate."""
+        out = self._entries
+        if kind is not None:
+            out = [e for e in out if e.kind is kind]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
+        return list(out)
+
+    def counts(self) -> Dict[EventKind, int]:
+        """Histogram of recorded event kinds."""
+        hist: Dict[EventKind, int] = {}
+        for entry in self._entries:
+            hist[entry.kind] = hist.get(entry.kind, 0) + 1
+        return hist
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self._entries.clear()
+        self.dropped = 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable trace text (first *limit* entries)."""
+        entries = self._entries if limit is None else self._entries[:limit]
+        return "\n".join(str(e) for e in entries)

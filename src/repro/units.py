@@ -1,0 +1,62 @@
+"""Unit conversions.
+
+The simulator uses **seconds** as its base time unit, **GB** for memory
+sizes, and **GB/s** for bandwidths.  These helpers keep unit conversions
+explicit at module boundaries so that no magic constants leak into model
+code.
+"""
+
+from __future__ import annotations
+
+#: Seconds in one minute.
+MINUTE = 60.0
+#: Seconds in one hour.
+HOUR = 60.0 * MINUTE
+#: Seconds in one day.
+DAY = 24.0 * HOUR
+#: Seconds in one (Julian) year.  Used to express node MTBFs such as
+#: "ten year MTBF" (Sec. V of the paper).
+YEAR = 365.25 * DAY
+
+#: One microsecond, e.g. the network latency L = 0.5 us (Sec. III-F).
+MICROSECOND = 1e-6
+
+
+def minutes(value: float) -> float:
+    """Convert *value* minutes to seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert *value* hours to seconds."""
+    return value * HOUR
+
+
+def days(value: float) -> float:
+    """Convert *value* days to seconds."""
+    return value * DAY
+
+
+def years(value: float) -> float:
+    """Convert *value* years to seconds."""
+    return value * YEAR
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert *seconds* to minutes."""
+    return seconds / MINUTE
+
+
+def to_hours(seconds: float) -> float:
+    """Convert *seconds* to hours."""
+    return seconds / HOUR
+
+
+def to_days(seconds: float) -> float:
+    """Convert *seconds* to days."""
+    return seconds / DAY
+
+
+def to_years(seconds: float) -> float:
+    """Convert *seconds* to years."""
+    return seconds / YEAR

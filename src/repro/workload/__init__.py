@@ -1,0 +1,43 @@
+"""Synthetic extreme-scale workloads: Table I types, deadlines, and
+datacenter arrival patterns."""
+
+from repro.workload.application import Application
+from repro.workload.arrivals import sample_arrival_times
+from repro.workload.deadlines import sample_deadline, with_deadline
+from repro.workload.nas_bt import (
+    BTParameterSet,
+    bt_comm_fraction,
+    ep_comm_fraction,
+    table1_type_for,
+)
+from repro.workload.patterns import (
+    ArrivalPattern,
+    PatternBias,
+    PatternGenerator,
+)
+from repro.workload.synthetic import (
+    APP_TYPES,
+    ApplicationType,
+    get_type,
+    make_application,
+    paper_time_step_range,
+)
+
+__all__ = [
+    "APP_TYPES",
+    "Application",
+    "ApplicationType",
+    "ArrivalPattern",
+    "BTParameterSet",
+    "PatternBias",
+    "PatternGenerator",
+    "bt_comm_fraction",
+    "ep_comm_fraction",
+    "get_type",
+    "make_application",
+    "paper_time_step_range",
+    "sample_arrival_times",
+    "table1_type_for",
+    "sample_deadline",
+    "with_deadline",
+]

@@ -1,0 +1,107 @@
+"""The application model (Sec. III-B).
+
+A synthetic application is a sequence of ``T_S`` identical one-minute
+time steps.  Within each step a fraction ``T_C`` is communication and
+``T_W = 1 - T_C`` is computation, so the delay-free ("baseline")
+execution time is ``T_B = T_S`` minutes regardless of application size
+(weak scaling: per-node computation, communication, and memory stay
+constant as the node count grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.constants import TIME_STEP_S
+
+
+@dataclass(frozen=True)
+class Application:
+    """An executable (simulated) application instance.
+
+    Attributes
+    ----------
+    app_id:
+        Unique identifier within a simulation.
+    type_name:
+        The Table I type this instance was built from (e.g. ``"A32"``).
+    time_steps:
+        T_S — number of one-minute time steps.
+    comm_fraction:
+        T_C — fraction of each step spent communicating, in [0, 1).
+    memory_per_node_gb:
+        N_m — memory footprint per node, GB.
+    nodes:
+        N_a — number of system nodes the application executes on.
+    arrival_time:
+        T_A — when the application arrives to the system, seconds
+        (0 for the Sec. V single-application studies).
+    deadline:
+        T_D — absolute completion deadline, seconds (None when the study
+        has no deadlines).
+    """
+
+    app_id: int
+    type_name: str
+    time_steps: int
+    comm_fraction: float
+    memory_per_node_gb: float
+    nodes: int
+    arrival_time: float = 0.0
+    deadline: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.time_steps <= 0:
+            raise ValueError(f"time_steps must be > 0, got {self.time_steps}")
+        if not 0.0 <= self.comm_fraction < 1.0:
+            raise ValueError(
+                f"comm_fraction must be in [0, 1), got {self.comm_fraction}"
+            )
+        if self.memory_per_node_gb <= 0:
+            raise ValueError(
+                f"memory_per_node_gb must be > 0, got {self.memory_per_node_gb}"
+            )
+        if self.nodes <= 0:
+            raise ValueError(f"nodes must be > 0, got {self.nodes}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.deadline is not None and self.deadline < self.arrival_time:
+            raise ValueError("deadline must be >= arrival_time")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def work_fraction(self) -> float:
+        """T_W = 1 - T_C."""
+        return 1.0 - self.comm_fraction
+
+    @property
+    def baseline_time(self) -> float:
+        """T_B — delay-free execution time, seconds (= T_S minutes,
+        since T_W + T_C = one minute per step)."""
+        return self.time_steps * TIME_STEP_S
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Aggregate checkpoint state, GB."""
+        return self.memory_per_node_gb * self.nodes
+
+    @property
+    def slack(self) -> Optional[float]:
+        """Deadline minus (arrival + baseline): the scheduling headroom
+        used by the slack-based resource manager (Sec. III-D3)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (self.arrival_time + self.baseline_time)
+
+    def scaled_to(self, nodes: int) -> "Application":
+        """Weak-scaled copy on a different node count (Sec. III-B: all
+        per-node attributes unchanged)."""
+        return replace(self, nodes=nodes)
+
+    def with_arrival(
+        self, arrival_time: float, deadline: Optional[float] = None
+    ) -> "Application":
+        """Copy with datacenter arrival metadata."""
+        return replace(self, arrival_time=arrival_time, deadline=deadline)

@@ -1,0 +1,29 @@
+"""Application arrival processes for the datacenter studies (Sec. VI).
+
+Applications "arrive to the system randomly according to a Poisson
+process with a mean arrival time of two hours until a total of 100
+applications have arrived".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import PATTERN_ARRIVALS, PATTERN_MEAN_INTERARRIVAL_S
+from repro.rng.poisson import PoissonProcess
+
+
+def sample_arrival_times(
+    rng: np.random.Generator,
+    count: int = PATTERN_ARRIVALS,
+    mean_interarrival_s: float = PATTERN_MEAN_INTERARRIVAL_S,
+) -> np.ndarray:
+    """Absolute arrival times (seconds) of *count* applications."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if mean_interarrival_s <= 0:
+        raise ValueError(
+            f"mean_interarrival_s must be > 0, got {mean_interarrival_s}"
+        )
+    process = PoissonProcess(rng, rate=1.0 / mean_interarrival_s)
+    return process.arrivals(count)

@@ -1,0 +1,45 @@
+"""Deadline assignment (Sec. III-C, Eq. 1).
+
+Each application arriving to the datacenter receives a deadline
+
+    T_D = T_A + U(1.2, 2.0) * T_B
+
+i.e. its arrival time plus its baseline execution time inflated by a
+uniformly random slack factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEADLINE_U_HIGH, DEADLINE_U_LOW
+from repro.rng.distributions import uniform
+from repro.workload.application import Application
+
+
+def sample_deadline(
+    rng: np.random.Generator,
+    arrival_time: float,
+    baseline_time: float,
+    low: float = DEADLINE_U_LOW,
+    high: float = DEADLINE_U_HIGH,
+) -> float:
+    """Draw a deadline per Eq. 1."""
+    if arrival_time < 0:
+        raise ValueError(f"arrival_time must be >= 0, got {arrival_time}")
+    if baseline_time <= 0:
+        raise ValueError(f"baseline_time must be > 0, got {baseline_time}")
+    if not 0 < low <= high:
+        raise ValueError(f"need 0 < low <= high, got ({low}, {high})")
+    return arrival_time + uniform(rng, low, high) * baseline_time
+
+
+def with_deadline(
+    rng: np.random.Generator,
+    app: Application,
+    low: float = DEADLINE_U_LOW,
+    high: float = DEADLINE_U_HIGH,
+) -> Application:
+    """Copy of *app* with an Eq. 1 deadline drawn for it."""
+    deadline = sample_deadline(rng, app.arrival_time, app.baseline_time, low, high)
+    return app.with_arrival(app.arrival_time, deadline)

@@ -1,0 +1,192 @@
+"""Arrival-pattern generation for the Sec. VI/VII datacenter studies.
+
+An *arrival pattern* is (a) a set of applications that fill the machine
+at time zero ("each simulation begins by filling the entire exascale
+system with applications, forcing the system to begin operation at full
+utilization") plus (b) 100 applications arriving by a Poisson process
+with two-hour mean inter-arrival.  Every arriving application draws:
+
+- a Table I type, uniformly at random;
+- a baseline execution time from {6, 12, 24, 48} hours;
+- a size from {1, 2, 3, 6, 12, 25, 50} percent of the machine;
+- an Eq. 1 deadline.
+
+Sec. VII additionally biases patterns toward high-memory applications
+(N_m = 64 GB), high-communication applications (T_C > 0.25), or large
+applications (12/25/50 percent of the machine).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.constants import TIME_STEP_S
+from repro.rng.distributions import choice
+from repro.rng.streams import StreamFactory
+from repro.workload.application import Application
+from repro.workload.arrivals import sample_arrival_times
+from repro.workload.deadlines import sample_deadline
+from repro.workload.synthetic import APP_TYPES, ApplicationType, make_application
+
+
+class PatternBias(enum.Enum):
+    """Arrival-pattern families of Sec. VII (UNBIASED is Sec. VI)."""
+
+    UNBIASED = "unbiased"
+    HIGH_MEMORY = "high_memory"
+    HIGH_COMMUNICATION = "high_communication"
+    LARGE = "large"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArrivalPattern:
+    """One generated workload for the datacenter simulator."""
+
+    index: int
+    bias: PatternBias
+    fill_apps: Tuple[Application, ...]
+    arriving_apps: Tuple[Application, ...]
+
+    @property
+    def all_apps(self) -> Tuple[Application, ...]:
+        """Fill applications followed by the arriving applications."""
+        return self.fill_apps + self.arriving_apps
+
+    @property
+    def total_arrivals(self) -> int:
+        """Number of arriving (non-fill) applications."""
+        return len(self.arriving_apps)
+
+
+def _eligible_types(bias: PatternBias) -> List[ApplicationType]:
+    types = list(APP_TYPES.values())
+    if bias is PatternBias.HIGH_MEMORY:
+        types = [t for t in types if t.high_memory]
+    elif bias is PatternBias.HIGH_COMMUNICATION:
+        types = [t for t in types if t.high_communication]
+    return types
+
+
+def _eligible_fractions(bias: PatternBias) -> Sequence[float]:
+    if bias is PatternBias.LARGE:
+        return tuple(
+            f for f in constants.PATTERN_FRACTION_CHOICES if f >= 0.12
+        )
+    return constants.PATTERN_FRACTION_CHOICES
+
+
+class PatternGenerator:
+    """Reproducible arrival-pattern factory.
+
+    Parameters
+    ----------
+    streams:
+        Root stream factory; pattern *i* uses the child factory
+        ``streams.spawn(f"pattern-{i}-{bias}")`` so that each pattern is
+        an independent, reproducible draw and — crucially for the paper's
+        methodology — *the same* pattern is replayed for every
+        (resilience x resource-management) combination.
+    system_nodes:
+        Machine size the fractions refer to.
+    """
+
+    def __init__(self, streams: StreamFactory, system_nodes: int) -> None:
+        if system_nodes <= 0:
+            raise ValueError(f"system_nodes must be > 0, got {system_nodes}")
+        self._streams = streams
+        self.system_nodes = system_nodes
+
+    def generate(
+        self,
+        index: int,
+        bias: PatternBias = PatternBias.UNBIASED,
+        arrivals: int = constants.PATTERN_ARRIVALS,
+        mean_interarrival_s: float = constants.PATTERN_MEAN_INTERARRIVAL_S,
+        baseline_choices_s: Optional[Sequence[float]] = None,
+    ) -> ArrivalPattern:
+        """Generate arrival pattern *index* for the given *bias*."""
+        child = self._streams.spawn(f"pattern-{index}-{bias.value}")
+        rng = child.stream("pattern")
+        types = _eligible_types(bias)
+        fractions = _eligible_fractions(bias)
+        baselines = (
+            tuple(baseline_choices_s)
+            if baseline_choices_s is not None
+            else constants.PATTERN_BASELINE_CHOICES_S
+        )
+
+        next_id = 0
+        fill: List[Application] = []
+        remaining = self.system_nodes
+        min_fraction = min(fractions)
+        # Fill the machine at t = 0 with randomly drawn applications whose
+        # sizes still fit, until less than the smallest size class remains.
+        while remaining >= max(1, round(min_fraction * self.system_nodes)):
+            fitting = [
+                f for f in fractions if round(f * self.system_nodes) <= remaining
+            ]
+            if not fitting:
+                break
+            app = self._draw_app(rng, next_id, 0.0, types, fitting, baselines)
+            fill.append(app)
+            remaining -= app.nodes
+            next_id += 1
+
+        times = sample_arrival_times(rng, arrivals, mean_interarrival_s)
+        arriving: List[Application] = []
+        for arrival_time in times:
+            app = self._draw_app(
+                rng, next_id, float(arrival_time), types, fractions, baselines
+            )
+            arriving.append(app)
+            next_id += 1
+
+        return ArrivalPattern(
+            index=index,
+            bias=bias,
+            fill_apps=tuple(fill),
+            arriving_apps=tuple(arriving),
+        )
+
+    def generate_many(
+        self,
+        count: int = constants.PATTERN_COUNT,
+        bias: PatternBias = PatternBias.UNBIASED,
+        **kwargs,
+    ) -> List[ArrivalPattern]:
+        """The paper's "fifty such arrival patterns were created"."""
+        return [self.generate(i, bias, **kwargs) for i in range(count)]
+
+    # -- internal -----------------------------------------------------------
+
+    def _draw_app(
+        self,
+        rng: np.random.Generator,
+        app_id: int,
+        arrival_time: float,
+        types: Sequence[ApplicationType],
+        fractions: Sequence[float],
+        baselines: Sequence[float],
+    ) -> Application:
+        app_type = choice(rng, list(types))
+        fraction = float(choice(rng, list(fractions)))
+        baseline_s = float(choice(rng, list(baselines)))
+        time_steps = max(1, round(baseline_s / TIME_STEP_S))
+        nodes = max(1, round(fraction * self.system_nodes))
+        deadline = sample_deadline(rng, arrival_time, baseline_s)
+        return make_application(
+            app_type,
+            nodes=nodes,
+            time_steps=time_steps,
+            app_id=app_id,
+            arrival_time=arrival_time,
+            deadline=deadline,
+        )

@@ -1,0 +1,114 @@
+"""The Table I synthetic benchmark suite.
+
+Eight application types spanning four communication intensities
+(T_C = 0, 0.25, 0.5, 0.75 — from "EP-like" to the heavily
+communication-bound regimes observed for the NAS BT benchmark at scale)
+and two per-node memory footprints (32 GB and 64 GB)::
+
+                          memory per node
+    communication          32 GB   64 GB
+    0%   (T_C = 0.00)       A32     A64
+    25%  (T_C = 0.25)       B32     B64
+    50%  (T_C = 0.50)       C32     C64
+    75%  (T_C = 0.75)       D32     D64
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.constants import MAX_TIME_STEPS, MIN_TIME_STEPS
+from repro.workload.application import Application
+
+
+@dataclass(frozen=True)
+class ApplicationType:
+    """One of the eight Table I synthetic types."""
+
+    name: str
+    comm_fraction: float
+    memory_per_node_gb: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.comm_fraction < 1.0:
+            raise ValueError(
+                f"comm_fraction must be in [0, 1), got {self.comm_fraction}"
+            )
+        if self.memory_per_node_gb <= 0:
+            raise ValueError(
+                f"memory_per_node_gb must be > 0, got {self.memory_per_node_gb}"
+            )
+
+    @property
+    def work_fraction(self) -> float:
+        """T_W = 1 - T_C."""
+        return 1.0 - self.comm_fraction
+
+    @property
+    def high_memory(self) -> bool:
+        """Whether this is a 64 GB-per-node type (Sec. VII bias)."""
+        return self.memory_per_node_gb >= 64.0
+
+    @property
+    def high_communication(self) -> bool:
+        """Whether T_C > 0.25 (Sec. VII bias)."""
+        return self.comm_fraction > 0.25
+
+
+def _build_types() -> Dict[str, ApplicationType]:
+    letters = {"A": 0.0, "B": 0.25, "C": 0.5, "D": 0.75}
+    table: Dict[str, ApplicationType] = {}
+    for letter, comm in letters.items():
+        for mem in (32.0, 64.0):
+            name = f"{letter}{int(mem)}"
+            table[name] = ApplicationType(name, comm, mem)
+    return table
+
+
+#: The Table I matrix, keyed by type name ("A32" ... "D64").
+APP_TYPES: Mapping[str, ApplicationType] = _build_types()
+
+
+def get_type(name: str) -> ApplicationType:
+    """Look up a Table I type by name (case-insensitive)."""
+    key = name.upper()
+    if key not in APP_TYPES:
+        raise KeyError(
+            f"unknown application type {name!r}; expected one of {sorted(APP_TYPES)}"
+        )
+    return APP_TYPES[key]
+
+
+def make_application(
+    app_type: "str | ApplicationType",
+    nodes: int,
+    time_steps: int = 1440,
+    app_id: int = 0,
+    arrival_time: float = 0.0,
+    deadline: Optional[float] = None,
+) -> Application:
+    """Instantiate a Table I type on *nodes* nodes.
+
+    ``time_steps`` defaults to 1440 (one day), the Sec. V setting; the
+    datacenter studies draw it from {360, 720, 1440, 2880}.  Values
+    outside the paper's [360, 2880] range are allowed (tests use small
+    ones) but the paper's studies stay within it.
+    """
+    if isinstance(app_type, str):
+        app_type = get_type(app_type)
+    return Application(
+        app_id=app_id,
+        type_name=app_type.name,
+        time_steps=time_steps,
+        comm_fraction=app_type.comm_fraction,
+        memory_per_node_gb=app_type.memory_per_node_gb,
+        nodes=nodes,
+        arrival_time=arrival_time,
+        deadline=deadline,
+    )
+
+
+def paper_time_step_range() -> tuple[int, int]:
+    """The paper's [360, 2880] time-step bounds (six hours-two days)."""
+    return (MIN_TIME_STEPS, MAX_TIME_STEPS)

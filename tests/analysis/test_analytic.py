@@ -1,0 +1,89 @@
+"""Unit tests for the first-order analytic models."""
+
+import pytest
+
+from repro.analysis.analytic import predict, predict_efficiency
+from repro.failures.severity import SeverityModel
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestPredictionStructure:
+    def test_components_positive(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        p = predict(plan, MTBF)
+        assert p.checkpoint_overhead > 0
+        assert p.rework_overhead > 0
+        assert p.expected_elapsed_s > plan.effective_work_s
+        assert p.total_overhead == pytest.approx(
+            p.checkpoint_overhead + p.rework_overhead
+        )
+
+    def test_efficiency_below_one(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        assert 0 < predict_efficiency(plan, MTBF) < 1
+
+    def test_invalid_mtbf(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        with pytest.raises(ValueError):
+            predict(plan, 0.0)
+
+
+class TestModelOrderings:
+    """The analytic model must reproduce the paper's qualitative
+    orderings (these are the facts Resilience Selection relies on)."""
+
+    def test_efficiency_decreases_with_size(self, full_system):
+        effs = []
+        for fraction in (0.01, 0.12, 0.5, 1.0):
+            app = make_application(
+                "A32", nodes=full_system.fraction_to_nodes(fraction)
+            )
+            plan = CheckpointRestart().plan(app, full_system, MTBF)
+            effs.append(predict_efficiency(plan, MTBF))
+        assert effs == sorted(effs, reverse=True)
+
+    def test_multilevel_beats_cr_at_scale(self, full_system):
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.5))
+        cr = predict_efficiency(CheckpointRestart().plan(app, full_system, MTBF), MTBF)
+        ml = predict_efficiency(
+            MultilevelCheckpoint().plan(app, full_system, MTBF), MTBF
+        )
+        assert ml > cr
+
+    def test_pr_mu_caps_efficiency(self, full_system):
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(0.01))
+        pr = predict_efficiency(ParallelRecovery().plan(app, full_system, MTBF), MTBF)
+        assert pr < 1.0 / 1.075 + 1e-6
+
+    def test_worse_mtbf_lowers_efficiency(self, full_system):
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.25))
+        good = predict_efficiency(
+            CheckpointRestart().plan(app, full_system, years(10)), years(10)
+        )
+        bad = predict_efficiency(
+            CheckpointRestart().plan(app, full_system, years(2.5)), years(2.5)
+        )
+        assert bad < good
+
+    def test_redundancy_rework_far_below_cr(self, full_system):
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.25))
+        cr = predict(CheckpointRestart().plan(app, full_system, MTBF), MTBF)
+        red = predict(Redundancy.full().plan(app, full_system, MTBF), MTBF)
+        assert red.rework_overhead < cr.rework_overhead / 5
+
+
+class TestSeverityHandling:
+    def test_severity_model_threaded_through(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        mild = SeverityModel.from_probabilities([0.98, 0.01, 0.01])
+        harsh = SeverityModel.from_probabilities([0.01, 0.01, 0.98])
+        assert predict_efficiency(plan, MTBF, mild) > predict_efficiency(
+            plan, MTBF, harsh
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for the analytic regime explorer."""
+
+import pytest
+
+from repro.analysis.regimes import (
+    analytic_efficiency,
+    crossover_fraction,
+    render_selection_map,
+    selection_map,
+)
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import get_technique
+from repro.units import years
+
+MTBF = years(10)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return exascale_system()
+
+
+class TestAnalyticEfficiency:
+    def test_in_unit_interval(self, system):
+        eff = analytic_efficiency(
+            get_technique("checkpoint_restart"), "C32", 0.25, system, MTBF
+        )
+        assert 0 < eff < 1
+
+    def test_monotone_in_size(self, system):
+        technique = get_technique("checkpoint_restart")
+        effs = [
+            analytic_efficiency(technique, "A32", f, system, MTBF)
+            for f in (0.01, 0.1, 0.5, 1.0)
+        ]
+        assert effs == sorted(effs, reverse=True)
+
+
+class TestCrossoverFraction:
+    def test_d64_crossover_near_paper_value(self, system):
+        """The paper reports the Fig. 2 crossover at ~25% of the
+        system; the analytic boundary must land in that neighbourhood."""
+        cross = crossover_fraction("D64", system, MTBF)
+        assert cross is not None
+        assert 0.1 < cross < 0.5
+
+    def test_a32_pr_wins_from_the_start(self, system):
+        cross = crossover_fraction("A32", system, MTBF)
+        assert cross is not None
+        assert cross < 0.01  # effectively everywhere
+
+    def test_crossover_ordered_by_communication(self, system):
+        """More communication pushes the PR takeover later."""
+        crossings = [
+            crossover_fraction(t, system, MTBF) for t in ("B64", "C64", "D64")
+        ]
+        assert all(c is not None for c in crossings)
+        assert crossings == sorted(crossings)
+
+    def test_lower_mtbf_moves_crossover_left(self, system):
+        ten = crossover_fraction("D64", system, years(10))
+        low = crossover_fraction("D64", system, years(2.5))
+        assert low < ten
+
+    def test_no_crossover_case(self, system):
+        """CR never overtakes multilevel, in any regime."""
+        cross = crossover_fraction(
+            "D64",
+            system,
+            MTBF,
+            technique_small="multilevel",
+            technique_large="checkpoint_restart",
+        )
+        assert cross is None
+
+
+class TestSelectionMap:
+    def test_matches_figure_story(self, system):
+        fractions = (0.01, 0.12, 0.5, 1.0)
+        mapping = selection_map(system, MTBF, fractions)
+        # A-types: PR everywhere; D-types: ML small, PR large.
+        assert mapping[("A32", 0.01)] == "parallel_recovery"
+        assert mapping[("D64", 0.01)] == "multilevel"
+        assert mapping[("D64", 1.0)] == "parallel_recovery"
+
+    def test_render(self, system):
+        fractions = (0.01, 1.0)
+        mapping = selection_map(system, MTBF, fractions)
+        text = render_selection_map(mapping, fractions)
+        assert "A32" in text and "D64" in text
+        assert "PR" in text and "ML" in text
+
+
+class TestRequiredMTBF:
+    def test_cr_at_exascale_needs_long_mtbf(self, system):
+        from repro.analysis.regimes import required_node_mtbf
+        from repro.units import to_years
+
+        mtbf = required_node_mtbf(
+            get_technique("checkpoint_restart"), "A32", 1.0, system, 0.9
+        )
+        assert mtbf is not None
+        # CR needs vastly more reliable nodes than 10 years to hit 90%
+        # at full scale (Fig. 1: it sits at 0.40 there).
+        assert to_years(mtbf) > 30
+
+    def test_pr_reaches_target_cheaply(self, system):
+        from repro.analysis.regimes import required_node_mtbf
+        from repro.units import to_years
+
+        pr = required_node_mtbf(
+            get_technique("parallel_recovery"), "A32", 1.0, system, 0.9
+        )
+        cr = required_node_mtbf(
+            get_technique("checkpoint_restart"), "A32", 1.0, system, 0.9
+        )
+        assert pr is not None and cr is not None
+        assert pr < cr
+
+    def test_unreachable_target_returns_none(self, system):
+        from repro.analysis.regimes import required_node_mtbf
+
+        # PR's mu ceiling for D64 is 1/1.075 ~ 0.930: 0.95 is unreachable.
+        assert (
+            required_node_mtbf(
+                get_technique("parallel_recovery"), "D64", 0.5, system, 0.95
+            )
+            is None
+        )
+
+    def test_target_validation(self, system):
+        from repro.analysis.regimes import required_node_mtbf
+
+        with pytest.raises(ValueError):
+            required_node_mtbf(
+                get_technique("multilevel"), "A32", 0.5, system, 1.5
+            )
+
+    def test_solution_achieves_target(self, system):
+        from repro.analysis.regimes import analytic_efficiency, required_node_mtbf
+
+        mtbf = required_node_mtbf(
+            get_technique("multilevel"), "C32", 0.5, system, 0.95
+        )
+        assert mtbf is not None
+        achieved = analytic_efficiency(
+            get_technique("multilevel"), "C32", 0.5, system, mtbf
+        )
+        assert achieved == pytest.approx(0.95, abs=1e-3)

@@ -1,0 +1,44 @@
+"""Unit tests for the analytic sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis.sensitivity import severity_pmf_sweep, sigma_sweep
+from repro.platform.presets import exascale_system
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return exascale_system()
+
+
+@pytest.fixture(scope="module")
+def app(system):
+    return make_application("D64", nodes=system.fraction_to_nodes(0.25))
+
+
+class TestSeverityPMFSweep:
+    def test_rows_ordered_with_severity(self, app, system):
+        pmfs = [(0.9, 0.08, 0.02), (0.5, 0.3, 0.2), (0.1, 0.2, 0.7)]
+        points = severity_pmf_sweep(app, system, MTBF, pmfs)
+        assert len(points) == 3
+        effs = [p.efficiency for p in points]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_parameter_recorded(self, app, system):
+        points = severity_pmf_sweep(app, system, MTBF, [(0.65, 0.2, 0.15)])
+        assert points[0].parameter == (0.65, 0.2, 0.15)
+
+
+class TestSigmaSweep:
+    def test_monotone_in_sigma(self, app, system):
+        points = sigma_sweep(app, system, MTBF, sigmas=[1.0, 2.0, 4.0, 8.0])
+        effs = [p.efficiency for p in points]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+
+    def test_bounded_by_mu_ceiling(self, app, system):
+        points = sigma_sweep(app, system, MTBF, sigmas=[64.0])
+        assert points[0].efficiency <= 1 / 1.075 + 1e-9

@@ -1,0 +1,62 @@
+"""Simulator-vs-model agreement tests.
+
+These are the strongest correctness tests in the suite: the DES and the
+closed-form model are independent implementations, so agreement within
+statistical tolerance vouches for both.
+"""
+
+import pytest
+
+from repro.analysis.validation import validate_plan
+from repro.core.single_app import SingleAppConfig
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+CONFIG = SingleAppConfig(seed=99)
+
+
+class TestSimMatchesModel:
+    @pytest.mark.parametrize(
+        "technique_factory,tolerance",
+        [
+            (CheckpointRestart, 0.03),
+            (MultilevelCheckpoint, 0.03),
+            (ParallelRecovery, 0.03),
+        ],
+    )
+    def test_moderate_scale_agreement(self, full_system, technique_factory, tolerance):
+        app = make_application("C32", nodes=full_system.fraction_to_nodes(0.12))
+        report = validate_plan(
+            app, technique_factory(), full_system, trials=25, config=CONFIG
+        )
+        assert report.relative_error < tolerance, str(report)
+
+    def test_redundancy_agreement(self, full_system):
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.12))
+        report = validate_plan(
+            app, Redundancy.full(), full_system, trials=25, config=CONFIG
+        )
+        assert report.relative_error < 0.05, str(report)
+
+    def test_high_failure_rate_still_reasonable(self, full_system):
+        """First-order model degrades gracefully at higher rates: allow
+        a looser tolerance but require the right ballpark."""
+        app = make_application("C32", nodes=full_system.fraction_to_nodes(0.12))
+        config = SingleAppConfig(seed=99, node_mtbf_s=years(2.5))
+        report = validate_plan(
+            app, CheckpointRestart(), full_system, trials=25, config=config
+        )
+        assert report.relative_error < 0.10, str(report)
+
+    def test_report_rendering(self, full_system):
+        app = make_application("A32", nodes=1200)
+        report = validate_plan(
+            app, CheckpointRestart(), full_system, trials=5, config=CONFIG
+        )
+        text = str(report)
+        assert "checkpoint_restart" in text
+        assert "rel.err" in text

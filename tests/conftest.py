@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+Most tests run against a scaled-down machine (1 200 nodes) with the
+paper's per-node/network parameters so simulations stay fast while the
+model arithmetic is identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.presets import exascale_system
+from repro.rng.streams import StreamFactory
+from repro.sim.engine import Simulator
+from repro.workload.synthetic import make_application
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> StreamFactory:
+    return StreamFactory(12345)
+
+
+@pytest.fixture
+def rng(streams):
+    return streams.stream("test")
+
+
+@pytest.fixture
+def small_system():
+    """A 1 200-node machine with paper node/network parameters."""
+    return exascale_system(total_nodes=1_200)
+
+
+@pytest.fixture
+def full_system():
+    """The full 120 000-node exascale machine."""
+    return exascale_system()
+
+
+@pytest.fixture
+def small_app():
+    """A 1-hour A32 application on 120 nodes."""
+    return make_application("A32", nodes=120, time_steps=60)
+
+
+@pytest.fixture
+def comm_app():
+    """A 1-hour D64 application on 120 nodes."""
+    return make_application("D64", nodes=120, time_steps=60)

@@ -1,0 +1,76 @@
+"""Unit tests for the high-level comparison API."""
+
+import pytest
+
+from repro.core.comparison import compare_techniques
+from repro.core.single_app import SingleAppConfig
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.parallel_recovery import ParallelRecovery
+
+
+class TestCompareTechniques:
+    def test_all_five_by_default(self, small_system):
+        result = compare_techniques(
+            "A32", fraction=0.1, trials=2, system=small_system
+        )
+        assert len(result.summaries) == 5
+        assert result.nodes == 120
+
+    def test_custom_technique_list(self, small_system):
+        result = compare_techniques(
+            "A32",
+            fraction=0.1,
+            trials=2,
+            system=small_system,
+            techniques=[CheckpointRestart(), ParallelRecovery()],
+        )
+        assert [s.technique for s in result.summaries] == [
+            "checkpoint_restart",
+            "parallel_recovery",
+        ]
+
+    def test_best_excludes_infeasible(self, small_system):
+        result = compare_techniques(
+            "A32", fraction=0.9, trials=2, system=small_system
+        )
+        infeasible = {s.technique for s in result.summaries if s.infeasible}
+        assert "redundancy_r2" in infeasible
+        assert result.best.technique not in infeasible
+
+    def test_summary_text(self, small_system):
+        result = compare_techniques(
+            "A32", fraction=0.1, trials=2, system=small_system
+        )
+        text = result.summary()
+        assert "A32" in text
+        assert "best:" in text
+        for s in result.summaries:
+            assert s.technique in text
+
+    def test_infeasible_rendering(self, small_system):
+        result = compare_techniques(
+            "A32", fraction=0.9, trials=2, system=small_system
+        )
+        assert "infeasible" in result.summary()
+
+    def test_respects_config(self, small_system):
+        config = SingleAppConfig(seed=7)
+        a = compare_techniques(
+            "A32", fraction=0.1, trials=2, system=small_system, config=config
+        )
+        b = compare_techniques(
+            "A32", fraction=0.1, trials=2, system=small_system, config=config
+        )
+        assert [s.mean_efficiency for s in a.summaries] == [
+            s.mean_efficiency for s in b.summaries
+        ]
+
+    def test_custom_baseline(self, small_system):
+        result = compare_techniques(
+            "A32",
+            fraction=0.1,
+            trials=1,
+            system=small_system,
+            baseline_s=3600.0,
+        )
+        assert result.summaries  # runs with a one-hour app

@@ -1,0 +1,151 @@
+"""Unit and integration tests for the datacenter simulator (Sec. VI)."""
+
+import pytest
+
+from repro.core.datacenter import (
+    DatacenterConfig,
+    DatacenterSimulator,
+    JobStatus,
+    run_datacenter,
+)
+from repro.core.selection import FixedSelector, ResilienceSelection
+from repro.platform.presets import exascale_system
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.fcfs import FCFS
+from repro.rm.slack import SlackBased
+from repro.rng.streams import StreamFactory
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+
+NODES = 2400
+
+
+def _pattern(index=0, arrivals=20, seed=11, **kwargs):
+    return PatternGenerator(StreamFactory(seed), NODES).generate(
+        index, arrivals=arrivals, **kwargs
+    )
+
+
+def _run(pattern=None, manager=None, selector=None, config=None):
+    pattern = pattern or _pattern()
+    return run_datacenter(
+        pattern,
+        manager or FCFS(),
+        selector or FixedSelector(ParallelRecovery()),
+        exascale_system(NODES),
+        config or DatacenterConfig(),
+    )
+
+
+class TestLifecycle:
+    def test_every_app_resolved(self):
+        result = _run()
+        assert all(
+            r.status in (JobStatus.COMPLETED, JobStatus.DROPPED)
+            for r in result.records
+        )
+
+    def test_fill_apps_start_at_zero(self):
+        result = _run()
+        fill = [r for r in result.records if r.is_fill]
+        assert fill
+        assert all(r.start_time == 0.0 for r in fill if r.start_time is not None)
+
+    def test_completions_respect_baseline(self):
+        result = _run()
+        for r in result.records:
+            if r.status is JobStatus.COMPLETED:
+                assert r.end_time - r.start_time >= r.app.baseline_time - 1e-6
+
+    def test_failures_injected(self):
+        config = DatacenterConfig(node_mtbf_s=years(0.05))
+        result = _run(config=config)
+        assert result.failures_injected > 0
+
+    def test_dropped_pct_counts_only_arrivals(self):
+        result = _run()
+        arriving = result.arriving_records()
+        assert len(arriving) == 20
+        expected = 100.0 * sum(r.dropped for r in arriving) / 20
+        assert result.dropped_pct == pytest.approx(expected)
+
+    def test_records_sorted_by_id(self):
+        result = _run()
+        ids = [r.app.app_id for r in result.records]
+        assert ids == sorted(ids)
+
+    def test_completed_after_deadline_counts_dropped(self):
+        result = _run()
+        for r in result.records:
+            if (
+                r.status is JobStatus.COMPLETED
+                and r.app.deadline is not None
+                and r.end_time > r.app.deadline
+            ):
+                assert r.dropped
+
+
+class TestIdealBaseline:
+    def test_no_failures_no_overhead(self):
+        config = DatacenterConfig(ideal=True)
+        result = _run(config=config)
+        assert result.failures_injected == 0
+        for r in result.records:
+            if r.status is JobStatus.COMPLETED:
+                assert r.end_time - r.start_time == pytest.approx(
+                    r.app.baseline_time
+                )
+
+    def test_ideal_drops_at_most_as_many_on_average(self):
+        """With the same pattern and FCFS, the ideal baseline should not
+        drop (meaningfully) more than a failure-laden run."""
+        pattern = _pattern(arrivals=30)
+        real = _run(pattern=pattern, config=DatacenterConfig(node_mtbf_s=years(1)))
+        ideal = _run(pattern=pattern, config=DatacenterConfig(ideal=True))
+        assert ideal.dropped_pct <= real.dropped_pct + 15.0
+
+
+class TestResilienceIntegration:
+    def test_selection_runs(self):
+        config = DatacenterConfig()
+        selector = ResilienceSelection(config.node_mtbf_s)
+        result = _run(selector=selector, config=config)
+        assert result.selector_name == "selection"
+        techs = {r.technique for r in result.records if r.technique}
+        assert techs <= {"checkpoint_restart", "multilevel", "parallel_recovery"}
+
+    def test_slack_manager_drops_proactively(self):
+        result = _run(manager=SlackBased())
+        assert result.rm_name == "slack"
+        # Slack never lets an app run past its deadline knowingly:
+        # dropped pending apps have no start time.
+        for r in result.records:
+            if r.status is JobStatus.DROPPED and r.start_time is None:
+                assert r.end_time is not None
+
+    def test_reruns_are_deterministic(self):
+        pattern = _pattern()
+        a = _run(pattern=pattern)
+        b = _run(pattern=pattern)
+        assert a.dropped_pct == b.dropped_pct
+        assert a.failures_injected == b.failures_injected
+
+    def test_system_left_clean(self):
+        system = exascale_system(NODES)
+        simulator = DatacenterSimulator(
+            _pattern(), FCFS(), FixedSelector(ParallelRecovery()), system
+        )
+        simulator.run()
+        assert system.active_nodes == 0
+        system.check_invariants()
+
+    def test_horizon_drops_unresolved(self):
+        """With an absurdly short horizon, unfinished jobs count as
+        dropped rather than hanging the simulation."""
+        config = DatacenterConfig(horizon_after_last_arrival_s=1.0)
+        result = _run(config=config)
+        assert all(
+            r.status in (JobStatus.COMPLETED, JobStatus.DROPPED)
+            for r in result.records
+        )
+        assert result.dropped_pct > 50.0

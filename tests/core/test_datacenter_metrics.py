@@ -1,0 +1,78 @@
+"""Tests for DatacenterResult observability helpers."""
+
+import pytest
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.platform.presets import exascale_system
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.fcfs import FCFS
+from repro.rng.streams import StreamFactory
+from repro.workload.patterns import PatternGenerator
+
+NODES = 2400
+
+
+@pytest.fixture(scope="module")
+def result():
+    pattern = PatternGenerator(StreamFactory(5), NODES).generate(0, arrivals=15)
+    return run_datacenter(
+        pattern,
+        FCFS(),
+        FixedSelector(ParallelRecovery()),
+        exascale_system(NODES),
+        DatacenterConfig(),
+    )
+
+
+class TestTechniqueCounts:
+    def test_counts_cover_started_jobs(self, result):
+        counts = result.technique_counts()
+        started = sum(1 for r in result.records if r.start_time is not None)
+        assert sum(counts.values()) == started
+        assert set(counts) == {"parallel_recovery"}
+
+
+class TestMeanWait:
+    def test_nonnegative(self, result):
+        assert result.mean_wait_s() >= 0.0
+
+    def test_fill_jobs_have_zero_wait(self, result):
+        fill_started = [
+            r for r in result.records if r.is_fill and r.start_time is not None
+        ]
+        assert all(r.start_time == 0.0 for r in fill_started)
+
+
+class TestUtilization:
+    def test_bounded(self, result):
+        u = result.utilization(NODES)
+        assert 0.0 < u <= 1.0
+
+    def test_oversubscribed_machine_is_busy(self, result):
+        # The pattern saturates the machine at t = 0 and stays
+        # oversubscribed, so utilization should be substantial.
+        assert result.utilization(NODES) > 0.5
+
+    def test_validation(self, result):
+        with pytest.raises(ValueError):
+            result.utilization(0)
+
+    def test_failure_count_scales_with_busy_node_time(self):
+        """Sanity link between utilization and the Eq. 2 failure rate:
+        observed failures ~ busy-node-seconds / MTBF.  Uses a short
+        MTBF so the expected count is far from Poisson noise."""
+        from repro.units import years
+
+        pattern = PatternGenerator(StreamFactory(5), NODES).generate(0, arrivals=15)
+        result = run_datacenter(
+            pattern,
+            FCFS(),
+            FixedSelector(ParallelRecovery()),
+            exascale_system(NODES),
+            DatacenterConfig(node_mtbf_s=years(0.1)),
+        )
+        busy_node_seconds = result.utilization(NODES) * NODES * result.end_time
+        expected = busy_node_seconds / years(0.1)
+        assert expected > 50
+        assert result.failures_injected == pytest.approx(expected, rel=0.3)

@@ -1,0 +1,133 @@
+"""Edge-case tests for the execution engine."""
+
+import pytest
+
+from repro.core.execution import ResilientExecution
+from repro.failures.generator import Failure
+from repro.resilience.base import CheckpointLevel, ExecutionPlan
+from repro.workload.synthetic import make_application
+
+
+def _plan(time_steps=10, cost=10.0, restart=20.0, period=100.0, sigma=1.0):
+    app = make_application("A32", nodes=4, time_steps=time_steps)
+    level = CheckpointLevel(
+        index=1, recovers_severity=3, cost_s=cost, restart_s=restart, period_s=period
+    )
+    return ExecutionPlan(
+        app=app,
+        technique="edge",
+        work_rate=1.0,
+        levels=(level,),
+        nodes_required=4,
+        recovery_speedup=sigma,
+    )
+
+
+def _run_with_failures(sim, plan, times, severity=1):
+    engine = ResilientExecution(sim, plan)
+    proc = sim.process(engine.run())
+    for t in times:
+        sim.schedule_at(
+            t,
+            lambda _e: proc.interrupt(
+                Failure(time=sim.now, node_id=0, severity=severity)
+            )
+            if proc.alive
+            else None,
+        )
+    sim.run(until=1e8)
+    return engine.stats
+
+
+class TestBoundaryEdgeCases:
+    def test_zero_cost_checkpoints(self, sim):
+        stats = _run_with_failures(sim, _plan(cost=0.0), [])
+        assert stats.completed
+        assert stats.elapsed_s == pytest.approx(600.0)
+        assert stats.total_checkpoints == 5
+
+    def test_zero_restart_cost(self, sim):
+        stats = _run_with_failures(sim, _plan(restart=0.0), [250.0])
+        assert stats.completed
+        assert stats.restart_time_s == 0.0
+        assert stats.rework_time_s > 0.0
+
+    def test_period_longer_than_work_means_no_checkpoints(self, sim):
+        stats = _run_with_failures(sim, _plan(period=10_000.0), [])
+        assert stats.completed
+        assert stats.total_checkpoints == 0
+        assert stats.elapsed_s == pytest.approx(600.0)
+
+    def test_failure_at_exact_boundary_instant(self, sim):
+        """A failure delivered exactly when a work segment completes:
+        the kernel's priority ordering delivers the failure first, the
+        completed work stands, and the run still finishes correctly."""
+        stats = _run_with_failures(sim, _plan(), [100.0])
+        assert stats.completed
+        assert stats.failures == 1
+
+    def test_failure_in_final_partial_segment(self, sim):
+        # 600 s work; failure at t=595 (position ~575 after 2 ckpts...).
+        stats = _run_with_failures(sim, _plan(), [595.0])
+        assert stats.completed
+        assert stats.restarts == 1
+
+    def test_many_rapid_failures_still_terminate(self, sim):
+        times = [50.0 + 5.0 * i for i in range(40)]
+        stats = _run_with_failures(sim, _plan(restart=1.0), times)
+        assert stats.completed
+        assert stats.failures == 40
+
+    def test_failure_during_recovery_rolls_back_again(self, sim):
+        # First failure at 250 (rework 200->230 zone); second at 280
+        # lands during the recovery re-execution.
+        stats = _run_with_failures(sim, _plan(sigma=1.0), [250.0, 280.0])
+        assert stats.completed
+        assert stats.restarts == 2
+
+    def test_recovery_catches_up_then_normal_speed(self, sim):
+        """With sigma > 1 the furthest point acts as the recovery/normal
+        boundary: total elapsed must reflect fast rework then normal
+        execution."""
+        plan = _plan(sigma=4.0)
+        stats = _run_with_failures(sim, plan, [250.0])
+        assert stats.completed
+        # Rework was 30 s of work at 4x speed = 7.5 s of wall.
+        assert stats.rework_time_s == pytest.approx(30.0 / 4.0)
+        assert stats.work_time_s == pytest.approx(600.0)
+
+
+class TestSeverityEdgeCases:
+    def test_worst_severity_with_single_level(self, sim):
+        stats = _run_with_failures(sim, _plan(), [250.0], severity=3)
+        assert stats.completed
+        assert stats.restarts == 1
+
+    def test_escalating_severity_during_restart(self, sim):
+        """A severity-3 failure during the restart of a severity-1
+        failure must re-resolve the restore point at the higher
+        severity (covered for multilevel plans)."""
+        app = make_application("A32", nodes=4, time_steps=10)
+        levels = (
+            CheckpointLevel(index=1, recovers_severity=1, cost_s=1.0,
+                            restart_s=10.0, period_s=100.0),
+            CheckpointLevel(index=2, recovers_severity=3, cost_s=5.0,
+                            restart_s=30.0, period_s=300.0),
+        )
+        plan = ExecutionPlan(
+            app=app, technique="t", work_rate=1.0, levels=levels, nodes_required=4
+        )
+        engine = ResilientExecution(sim, plan)
+        proc = sim.process(engine.run())
+        # Severity-1 failure at t=450; restart (10 s) runs 450..460;
+        # severity-3 failure at t=455 escalates to the level-2 restart.
+        sim.schedule_at(450.0, lambda _e: proc.interrupt(
+            Failure(time=sim.now, node_id=0, severity=1)))
+        sim.schedule_at(455.0, lambda _e: proc.interrupt(
+            Failure(time=sim.now, node_id=0, severity=3)))
+        sim.run(until=1e8)
+        stats = engine.stats
+        assert stats.completed
+        assert stats.failures == 2
+        # Restart cost: 5 s aborted level-1 + full 30 s level-2.
+        assert stats.restart_time_s == pytest.approx(35.0)

@@ -1,0 +1,46 @@
+"""Unit tests for metric helpers."""
+
+import pytest
+
+from repro.core.metrics import dropped_percentage, efficiency, mean
+
+
+class TestEfficiency:
+    def test_perfect(self):
+        assert efficiency(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_half(self):
+        assert efficiency(100.0, 200.0) == pytest.approx(0.5)
+
+    def test_zero_actual_clamped(self):
+        assert efficiency(100.0, 0.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            efficiency(0.0, 10.0)
+
+
+class TestDroppedPercentage:
+    def test_basic(self):
+        assert dropped_percentage(25, 100) == pytest.approx(25.0)
+
+    def test_bounds(self):
+        assert dropped_percentage(0, 10) == 0.0
+        assert dropped_percentage(10, 10) == 100.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dropped_percentage(1, 0)
+        with pytest.raises(ValueError):
+            dropped_percentage(-1, 10)
+        with pytest.raises(ValueError):
+            dropped_percentage(11, 10)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,94 @@
+"""Unit tests for Resilience Selection (Sec. VII)."""
+
+import pytest
+
+from repro.core.selection import FixedSelector, ResilienceSelection
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestFixedSelector:
+    def test_always_returns_technique(self, small_system, small_app):
+        technique = CheckpointRestart()
+        selector = FixedSelector(technique)
+        assert selector.select(small_app, small_system) is technique
+        assert selector.name == "checkpoint_restart"
+
+
+class TestResilienceSelection:
+    def test_defaults_to_datacenter_trio(self):
+        selector = ResilienceSelection(MTBF)
+        names = [t.name for t in selector.candidates]
+        assert names == ["checkpoint_restart", "multilevel", "parallel_recovery"]
+
+    def test_low_comm_small_app_prefers_cheap_checkpoints(self, full_system):
+        """For A32 the paper's Sec. V result: Parallel Recovery wins
+        (no mu penalty, negligible checkpoint cost)."""
+        selector = ResilienceSelection(MTBF)
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.12))
+        assert selector.select(app, full_system).name == "parallel_recovery"
+
+    def test_high_comm_small_app_prefers_multilevel(self, full_system):
+        """Fig. 2: below the ~25% crossover, Multilevel wins for D64."""
+        selector = ResilienceSelection(MTBF)
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(0.03))
+        assert selector.select(app, full_system).name == "multilevel"
+
+    def test_high_comm_large_app_prefers_parallel_recovery(self, full_system):
+        """Fig. 2: above the crossover, Parallel Recovery wins."""
+        selector = ResilienceSelection(MTBF)
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(1.0))
+        assert selector.select(app, full_system).name == "parallel_recovery"
+
+    def test_selection_counts_tracked(self, full_system):
+        selector = ResilienceSelection(MTBF)
+        for fraction in (0.01, 0.5):
+            app = make_application("D64", nodes=full_system.fraction_to_nodes(fraction))
+            selector.select(app, full_system)
+        assert sum(selector.selection_counts.values()) == 2
+
+    def test_skips_infeasible_candidates(self, small_system):
+        selector = ResilienceSelection(
+            MTBF, candidates=[Redundancy.full(), ParallelRecovery()]
+        )
+        app = make_application("A32", nodes=900)  # r=2 needs 1800 > 1200
+        assert selector.select(app, small_system).name == "parallel_recovery"
+
+    def test_raises_when_nothing_fits(self, small_system):
+        selector = ResilienceSelection(MTBF, candidates=[Redundancy.full()])
+        app = make_application("A32", nodes=900)
+        with pytest.raises(ValueError):
+            selector.select(app, small_system)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceSelection(0.0)
+        with pytest.raises(ValueError):
+            ResilienceSelection(MTBF, candidates=[])
+
+    def test_agrees_with_simulation_best(self, full_system):
+        """The analytic selector must agree with the simulated winner
+        on clear-cut configurations (the Sec. V headline cells)."""
+        from repro.core.comparison import compare_techniques
+        from repro.resilience.registry import datacenter_techniques
+
+        selector = ResilienceSelection(MTBF)
+        for app_type, fraction in (("A32", 0.12), ("D64", 0.03), ("D64", 1.0)):
+            app = make_application(
+                app_type, nodes=full_system.fraction_to_nodes(fraction)
+            )
+            chosen = selector.select(app, full_system).name
+            simulated = compare_techniques(
+                app_type,
+                fraction,
+                trials=6,
+                system=full_system,
+                techniques=datacenter_techniques(),
+            )
+            assert chosen == simulated.best.technique, (app_type, fraction)

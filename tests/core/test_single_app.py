@@ -1,0 +1,108 @@
+"""Unit tests for the Sec. V single-application simulator."""
+
+import pytest
+
+from repro.core.single_app import SingleAppConfig, run_trials, simulate_application
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SingleAppConfig()
+        assert config.node_mtbf_s == pytest.approx(years(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleAppConfig(node_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            SingleAppConfig(max_time_factor=1.0)
+
+    def test_custom_severity(self):
+        config = SingleAppConfig(severity_pmf=(0.5, 0.3, 0.2))
+        assert config.severity_model().probability(3) == pytest.approx(0.2)
+
+
+class TestSimulateApplication:
+    def test_completes_and_reports(self, small_system, small_app):
+        stats = simulate_application(
+            small_app, CheckpointRestart(), small_system, trial=0
+        )
+        assert stats.completed
+        assert 0 < stats.efficiency() <= 1.0
+        assert stats.elapsed_s >= small_app.baseline_time
+
+    def test_reproducible_per_trial(self, small_system, small_app):
+        a = simulate_application(small_app, CheckpointRestart(), small_system, trial=3)
+        b = simulate_application(small_app, CheckpointRestart(), small_system, trial=3)
+        assert a.elapsed_s == b.elapsed_s
+        assert a.failures == b.failures
+
+    def test_trials_differ(self, small_system):
+        # Use an unreliable environment so failures are common.
+        app = make_application("A32", nodes=1200, time_steps=600)
+        config = SingleAppConfig(node_mtbf_s=years(0.5))
+        a = simulate_application(app, CheckpointRestart(), small_system, config, 0)
+        b = simulate_application(app, CheckpointRestart(), small_system, config, 1)
+        assert a.elapsed_s != b.elapsed_s
+
+    def test_failures_actually_occur(self, small_system):
+        app = make_application("A32", nodes=1200, time_steps=1440)
+        config = SingleAppConfig(node_mtbf_s=years(0.25))
+        stats = simulate_application(app, CheckpointRestart(), small_system, config, 0)
+        assert stats.failures > 0
+        assert stats.restarts > 0
+
+    def test_walltime_cap_enforced(self, small_system):
+        """In a pathological environment the run is cut at the cap and
+        efficiency collapses (Fig. 3 Checkpoint Restart behaviour)."""
+        app = make_application("A64", nodes=1200, time_steps=1440)
+        config = SingleAppConfig(node_mtbf_s=3600.0, max_time_factor=3.0)
+        stats = simulate_application(app, CheckpointRestart(), small_system, config, 0)
+        assert not stats.completed
+        assert stats.efficiency() <= 1.0 / 3.0 + 0.01
+
+    def test_all_techniques_run(self, small_system, comm_app):
+        for technique in (
+            CheckpointRestart(),
+            MultilevelCheckpoint(),
+            ParallelRecovery(),
+            Redundancy.partial(),
+            Redundancy.full(),
+        ):
+            stats = simulate_application(comm_app, technique, small_system, trial=0)
+            assert stats.completed, technique.name
+
+
+class TestRunTrials:
+    def test_collects_requested_trials(self, small_system, small_app):
+        result = run_trials(small_app, CheckpointRestart(), small_system, trials=5)
+        assert len(result.efficiencies) == 5
+        assert not result.infeasible
+        assert 0 < result.mean_efficiency <= 1.0
+
+    def test_infeasible_redundancy_zero_efficiency(self, small_system):
+        app = make_application("A32", nodes=900)  # r=1.5 needs 1350 > 1200
+        result = run_trials(app, Redundancy.partial(), small_system, trials=5)
+        assert result.infeasible
+        assert result.mean_efficiency == 0.0
+        assert result.std_efficiency == 0.0
+        assert result.efficiencies == []
+
+    def test_keep_stats(self, small_system, small_app):
+        result = run_trials(
+            small_app, CheckpointRestart(), small_system, trials=3, keep_stats=True
+        )
+        assert len(result.stats) == 3
+
+    def test_invalid_trials(self, small_system, small_app):
+        with pytest.raises(ValueError):
+            run_trials(small_app, CheckpointRestart(), small_system, trials=0)
+
+    def test_std_zero_for_single_trial(self, small_system, small_app):
+        result = run_trials(small_app, CheckpointRestart(), small_system, trials=1)
+        assert result.std_efficiency == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the energy accounting extension."""
+
+import pytest
+
+from repro.core.single_app import SingleAppConfig, simulate_application
+from repro.energy.model import PowerModel, energy_of, energy_overhead_ratio
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+
+@pytest.fixture
+def failing_config():
+    # Unreliable machine so rework is substantial.
+    return SingleAppConfig(node_mtbf_s=years(0.2), seed=5)
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(busy_w=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(busy_w=100.0, idle_w=200.0)
+        with pytest.raises(ValueError):
+            PowerModel(busy_w=100.0, idle_w=-1.0)
+
+
+class TestEnergyAccounting:
+    def test_breakdown_sums(self, small_system, small_app, failing_config):
+        stats = simulate_application(
+            small_app, CheckpointRestart(), small_system, failing_config
+        )
+        breakdown = energy_of(stats)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.work_j
+            + breakdown.rework_j
+            + breakdown.checkpoint_j
+            + breakdown.restart_j
+        )
+        assert breakdown.work_j > 0
+
+    def test_failure_free_energy_is_work_plus_checkpoints(self, small_system, small_app):
+        config = SingleAppConfig(node_mtbf_s=years(1000), seed=5)
+        stats = simulate_application(
+            small_app, CheckpointRestart(), small_system, config
+        )
+        if stats.failures == 0:
+            breakdown = energy_of(stats)
+            assert breakdown.rework_j == 0.0
+            assert breakdown.restart_j == 0.0
+
+    def test_parallel_recovery_saves_recovery_energy(
+        self, small_system, failing_config
+    ):
+        """Sec. II-D's qualitative claim: message-logging recovery lets
+        the rest of the machine idle, so its rework joules per rework
+        second are far below every-node re-execution."""
+        app = make_application("A32", nodes=120, time_steps=120)
+        pr_stats = simulate_application(
+            app, ParallelRecovery(), small_system, failing_config
+        )
+        power = PowerModel()
+        idling = energy_of(pr_stats, power, recovery_idles_rest=True)
+        busy = energy_of(pr_stats, power, recovery_idles_rest=False)
+        if pr_stats.rework_time_s > 0:
+            assert idling.rework_j < busy.rework_j
+            # Per-node power during recovery approaches idle power.
+            per_node_w = idling.rework_j / (
+                pr_stats.rework_time_s * pr_stats.plan.nodes_required
+            )
+            assert per_node_w < power.busy_w * 0.5
+
+    def test_default_idling_follows_recovery_speedup(
+        self, small_system, failing_config
+    ):
+        app = make_application("A32", nodes=120, time_steps=120)
+        pr = simulate_application(app, ParallelRecovery(), small_system, failing_config)
+        cr = simulate_application(
+            app, CheckpointRestart(), small_system, failing_config
+        )
+        power = PowerModel()
+        assert energy_of(pr, power) == energy_of(pr, power, recovery_idles_rest=True)
+        assert energy_of(cr, power) == energy_of(cr, power, recovery_idles_rest=False)
+
+    def test_overhead_ratio_at_least_one(self, small_system, small_app, failing_config):
+        stats = simulate_application(
+            small_app, CheckpointRestart(), small_system, failing_config
+        )
+        assert energy_overhead_ratio(stats) >= 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for ASCII bar-chart rendering."""
+
+import pytest
+
+from repro.core.selection import FixedSelector
+from repro.experiments.barchart import _bar, datacenter_barchart, scaling_barchart
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.runner import run_datacenter_study, run_scaling_study
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.workload.patterns import PatternBias
+
+
+class TestBarPrimitive:
+    def test_full_scale(self):
+        assert _bar(1.0, 1.0, 10) == "#" * 10
+
+    def test_half(self):
+        assert _bar(0.5, 1.0, 10) == "#####     "
+
+    def test_half_cell_marker(self):
+        assert _bar(0.55, 1.0, 10) == "#####+    "
+
+    def test_zero(self):
+        assert _bar(0.0, 1.0, 10) == " " * 10
+
+    def test_degenerate_scale(self):
+        assert _bar(1.0, 0.0, 10) == " " * 10
+
+    def test_width_respected(self):
+        assert len(_bar(0.37, 1.0, 25)) == 25
+
+
+class TestScalingBarchart:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ScalingStudyConfig(
+            fractions=(0.5, 1.0), trials=2, system_nodes=1200
+        )
+        return run_scaling_study(config)
+
+    def test_contains_all_rows(self, result):
+        text = scaling_barchart(result)
+        for technique in result.techniques():
+            assert text.count(technique) == 2  # one per fraction group
+
+    def test_infeasible_rendered(self, result):
+        assert "(infeasible)" in scaling_barchart(result)
+
+    def test_title(self, result):
+        assert scaling_barchart(result, title="HEAD").startswith("HEAD")
+
+    def test_bars_reflect_ordering(self, result):
+        """The technique with higher mean efficiency gets the longer bar."""
+        text = scaling_barchart(result, width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        lengths = {}
+        for line in lines[:5]:  # first fraction group
+            name = line.split("|")[0].split()[-1]
+            bar = line.split("|")[1]
+            lengths[name] = bar.count("#")
+        cells = {t: result.cell(0.5, t).mean_efficiency for t in lengths}
+        best = max(cells, key=cells.get)
+        worst = min(cells, key=cells.get)
+        assert lengths[best] >= lengths[worst]
+
+
+class TestDatacenterBarchart:
+    def test_renders_groups(self):
+        config = DatacenterStudyConfig(
+            patterns=1, arrivals_per_pattern=6, system_nodes=2400
+        )
+        selectors = {"parallel_recovery": lambda: FixedSelector(ParallelRecovery())}
+        study, _ = run_datacenter_study(
+            config, selectors, rm_names=["fcfs", "slack"], include_ideal=True
+        )
+        text = datacenter_barchart(
+            study,
+            rm_names=["fcfs", "slack"],
+            selector_names=["parallel_recovery", "ideal"],
+            bias=PatternBias.UNBIASED,
+            title="T",
+        )
+        assert text.startswith("T")
+        assert "fcfs" in text and "slack" in text
+        assert text.count("%") == 4

@@ -1,0 +1,48 @@
+"""Unit tests for experiment configurations."""
+
+import pytest
+
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+
+
+class TestScalingStudyConfig:
+    def test_paper_defaults(self):
+        cfg = ScalingStudyConfig()
+        assert cfg.trials == 200
+        assert cfg.system_nodes == 120_000
+        assert cfg.fractions == (0.01, 0.02, 0.03, 0.06, 0.12, 0.25, 0.50, 1.00)
+
+    def test_quick_reduces_trials_only(self):
+        cfg = ScalingStudyConfig().quick(trials=5)
+        assert cfg.trials == 5
+        assert cfg.system_nodes == 120_000
+
+    def test_quick_fraction_override(self):
+        cfg = ScalingStudyConfig().quick(trials=5, fractions=[0.1])
+        assert cfg.fractions == (0.1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalingStudyConfig(trials=0)
+        with pytest.raises(ValueError):
+            ScalingStudyConfig(system_nodes=0)
+        with pytest.raises(ValueError):
+            ScalingStudyConfig(fractions=())
+
+
+class TestDatacenterStudyConfig:
+    def test_paper_defaults(self):
+        cfg = DatacenterStudyConfig()
+        assert cfg.patterns == 50
+        assert cfg.arrivals_per_pattern == 100
+
+    def test_quick(self):
+        cfg = DatacenterStudyConfig().quick(patterns=3, arrivals=20)
+        assert cfg.patterns == 3
+        assert cfg.arrivals_per_pattern == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatacenterStudyConfig(patterns=0)
+        with pytest.raises(ValueError):
+            DatacenterStudyConfig(arrivals_per_pattern=0)

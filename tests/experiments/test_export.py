@@ -1,0 +1,81 @@
+"""Unit tests for result export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.selection import FixedSelector
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.export import (
+    datacenter_rows,
+    datacenter_to_csv,
+    datacenter_to_json,
+    scaling_rows,
+    scaling_to_csv,
+    scaling_to_json,
+)
+from repro.experiments.runner import run_datacenter_study, run_scaling_study
+from repro.resilience.parallel_recovery import ParallelRecovery
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    config = ScalingStudyConfig(fractions=(0.5, 1.0), trials=2, system_nodes=1200)
+    return run_scaling_study(config)
+
+
+@pytest.fixture(scope="module")
+def datacenter_result():
+    config = DatacenterStudyConfig(
+        patterns=2, arrivals_per_pattern=8, system_nodes=2400
+    )
+    selectors = {"parallel_recovery": lambda: FixedSelector(ParallelRecovery())}
+    study, _ = run_datacenter_study(
+        config, selectors, rm_names=["fcfs", "slack"], include_ideal=True
+    )
+    return study
+
+
+class TestScalingExport:
+    def test_rows_complete(self, scaling_result):
+        rows = scaling_rows(scaling_result)
+        assert len(rows) == 10  # 2 fractions x 5 techniques
+        assert {r["technique"] for r in rows} == set(scaling_result.techniques())
+
+    def test_csv_parses_back(self, scaling_result):
+        text = scaling_to_csv(scaling_result)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 10
+        for row in parsed:
+            assert 0.0 <= float(row["mean_efficiency"]) <= 1.0
+
+    def test_infeasible_marked(self, scaling_result):
+        rows = scaling_rows(scaling_result)
+        infeasible = [r for r in rows if r["infeasible"]]
+        assert infeasible  # redundancy at 100% of 1200 nodes
+        assert all(r["mean_efficiency"] == 0.0 for r in infeasible)
+
+    def test_json_roundtrip(self, scaling_result):
+        payload = json.loads(scaling_to_json(scaling_result))
+        assert payload["config"]["system_nodes"] == 1200
+        assert len(payload["cells"]) == 10
+
+
+class TestDatacenterExport:
+    def test_rows_complete(self, datacenter_result):
+        rows = datacenter_rows(datacenter_result)
+        assert len(rows) == 4  # 2 RMs x (pr + ideal)
+        assert {r["selector"] for r in rows} == {"parallel_recovery", "ideal"}
+
+    def test_csv_parses_back(self, datacenter_result):
+        parsed = list(csv.DictReader(io.StringIO(datacenter_to_csv(datacenter_result))))
+        for row in parsed:
+            assert 0.0 <= float(row["mean_dropped_pct"]) <= 100.0
+            assert int(row["patterns"]) == 2
+
+    def test_json_roundtrip(self, datacenter_result):
+        payload = json.loads(datacenter_to_json(datacenter_result))
+        assert payload["config"]["patterns"] == 2
+        assert len(payload["cells"]) == 4

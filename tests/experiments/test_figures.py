@@ -1,0 +1,101 @@
+"""End-to-end tests of the figure drivers at reduced scale.
+
+Full-scale reproductions (paper trial counts on the 120 000-node
+machine) live in the benchmark harness; here each driver runs on a
+small machine with few trials and must produce structurally complete,
+correctly-labelled output.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.units import years
+from repro.workload.patterns import PatternBias
+
+SMALL_SCALING = dict(fractions=(0.1, 0.5), trials=2, system_nodes=1200)
+SMALL_DC = dict(patterns=1, arrivals_per_pattern=8, system_nodes=2400)
+
+
+class TestFig1Driver:
+    def test_runs_and_renders(self):
+        result = fig1.run(fig1.config(**SMALL_SCALING))
+        text = fig1.render(result)
+        assert "Fig. 1" in text
+        assert "A32" in fig1.TITLE
+
+    def test_config_defaults(self):
+        cfg = fig1.config()
+        assert cfg.app_type == "A32"
+        assert cfg.trials == 200
+        assert cfg.node_mtbf_s == pytest.approx(years(10))
+
+
+class TestFig2Driver:
+    def test_config_is_d64(self):
+        assert fig2.config().app_type == "D64"
+
+    def test_crossover_detection(self):
+        result = fig2.run(fig2.config(**SMALL_SCALING))
+        cross = fig2.crossover_fraction(result)
+        assert cross is None or cross in (0.1, 0.5)
+
+
+class TestFig3Driver:
+    def test_low_mtbf_default(self):
+        assert fig3.config().node_mtbf_s == pytest.approx(years(2.5))
+
+    def test_runs(self):
+        result = fig3.run(fig3.config(**SMALL_SCALING))
+        assert len(result.cells) == 10
+
+
+class TestFig4Driver:
+    def test_selector_names(self):
+        names = set(fig4.selectors())
+        assert names == {"checkpoint_restart", "multilevel", "parallel_recovery"}
+
+    def test_runs_and_renders(self):
+        result = fig4.run(fig4.config(**SMALL_DC))
+        text = fig4.render(result)
+        assert "Fig. 4" in text
+        assert "ideal" in text
+        # 3 RMs x (3 techniques + ideal).
+        assert len(result.cells) == 12
+
+    def test_best_per_rm(self):
+        result = fig4.run(fig4.config(**SMALL_DC))
+        best = fig4.best_technique_per_rm(result)
+        assert set(best) == {"fcfs", "random", "slack"}
+        assert all(v != "ideal" for v in best.values())
+
+
+class TestFig5Driver:
+    def test_runs_all_biases(self):
+        result = fig5.run(fig5.config(**SMALL_DC))
+        # 4 biases x 3 RMs x 2 selectors.
+        assert len(result.cells) == 24
+        for bias in fig5.BIASES:
+            result.cell("slack", "selection", bias)
+
+    def test_benefit_table_structure(self):
+        result = fig5.run(fig5.config(**SMALL_DC))
+        benefit = fig5.selection_benefit(result)
+        assert set(benefit) == {b.value for b in fig5.BIASES}
+        assert set(benefit["unbiased"]) == {"fcfs", "random", "slack"}
+
+    def test_render_mentions_selection(self):
+        result = fig5.run(fig5.config(**SMALL_DC))
+        text = fig5.render(result)
+        assert "selection" in text
+        assert "high_memory" in text
+
+
+class TestFig5Significance:
+    def test_paired_significance_structure(self):
+        result = fig5.run(fig5.config(**SMALL_DC))
+        table = fig5.selection_benefit_significance(result)
+        assert set(table) == {b.value for b in fig5.BIASES}
+        for per_rm in table.values():
+            for summary in per_rm.values():
+                assert summary.diff.n == SMALL_DC["patterns"]

@@ -1,0 +1,81 @@
+"""Unit tests for result rendering."""
+
+import pytest
+
+from repro.core.selection import FixedSelector
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.reporting import (
+    render_datacenter_study,
+    render_scaling_study,
+)
+from repro.experiments.runner import run_datacenter_study, run_scaling_study
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.workload.patterns import PatternBias
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    config = ScalingStudyConfig(fractions=(0.5, 1.0), trials=2, system_nodes=1200)
+    return run_scaling_study(config)
+
+
+class TestScalingRendering:
+    def test_contains_all_techniques(self, scaling_result):
+        text = render_scaling_study(scaling_result, "TITLE")
+        for name in scaling_result.techniques():
+            assert name in text
+
+    def test_contains_fraction_rows(self, scaling_result):
+        text = render_scaling_study(scaling_result, "TITLE")
+        assert "\n50 " in text or "\n50 " in text.replace("|", " ")
+        assert "100" in text
+
+    def test_infeasible_rendered_as_dashes(self, scaling_result):
+        text = render_scaling_study(scaling_result, "TITLE")
+        assert "---" in text  # redundancy at 100% of 1200 nodes
+
+    def test_title_first_line(self, scaling_result):
+        assert render_scaling_study(scaling_result, "MY TITLE").startswith("MY TITLE")
+
+    def test_best_line_present(self, scaling_result):
+        assert "best per size" in render_scaling_study(scaling_result, "T")
+
+
+class TestDatacenterRendering:
+    def test_grid_rendering(self):
+        config = DatacenterStudyConfig(
+            patterns=1, arrivals_per_pattern=5, system_nodes=2400
+        )
+        selectors = {"parallel_recovery": lambda: FixedSelector(ParallelRecovery())}
+        study, _ = run_datacenter_study(
+            config, selectors, rm_names=["fcfs"], include_ideal=True
+        )
+        text = render_datacenter_study(
+            study,
+            "TITLE",
+            rm_names=["fcfs"],
+            selector_names=["parallel_recovery", "ideal"],
+        )
+        assert "fcfs" in text
+        assert "parallel_recovery" in text
+        assert "ideal" in text
+        assert "+/-" in text
+
+    def test_multi_bias_sections(self):
+        config = DatacenterStudyConfig(
+            patterns=1, arrivals_per_pattern=5, system_nodes=2400
+        )
+        selectors = {"parallel_recovery": lambda: FixedSelector(ParallelRecovery())}
+        biases = (PatternBias.UNBIASED, PatternBias.LARGE)
+        study, _ = run_datacenter_study(
+            config, selectors, rm_names=["fcfs"], biases=biases
+        )
+        text = render_datacenter_study(
+            study,
+            "TITLE",
+            rm_names=["fcfs"],
+            selector_names=["parallel_recovery"],
+            biases=biases,
+        )
+        assert "unbiased" in text
+        assert "large" in text

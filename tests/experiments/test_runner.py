@@ -1,0 +1,142 @@
+"""Unit tests for the scaling/datacenter study runners.
+
+These use scaled-down configurations (small machine, few trials) so the
+full figure machinery runs end-to-end in seconds.
+"""
+
+import pytest
+
+from repro.core.selection import FixedSelector
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.runner import (
+    generate_patterns,
+    run_datacenter_study,
+    run_scaling_study,
+)
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.workload.patterns import PatternBias
+
+
+@pytest.fixture(scope="module")
+def small_scaling_result():
+    config = ScalingStudyConfig(
+        app_type="A32",
+        fractions=(0.1, 0.5),
+        trials=3,
+        system_nodes=2400,
+    )
+    return run_scaling_study(config)
+
+
+class TestScalingStudy:
+    def test_grid_complete(self, small_scaling_result):
+        # 2 fractions x 5 techniques.
+        assert len(small_scaling_result.cells) == 10
+
+    def test_series_sorted(self, small_scaling_result):
+        series = small_scaling_result.series("checkpoint_restart")
+        assert [c.fraction for c in series] == [0.1, 0.5]
+
+    def test_cell_lookup(self, small_scaling_result):
+        cell = small_scaling_result.cell(0.1, "multilevel")
+        assert cell.stats is not None
+        assert cell.stats.n == 3
+        assert 0 < cell.mean_efficiency <= 1
+
+    def test_missing_cell_raises(self, small_scaling_result):
+        with pytest.raises(KeyError):
+            small_scaling_result.cell(0.33, "multilevel")
+
+    def test_techniques_order(self, small_scaling_result):
+        assert small_scaling_result.techniques()[0] == "checkpoint_restart"
+
+    def test_best_technique(self, small_scaling_result):
+        assert small_scaling_result.best_technique(0.1) in {
+            "parallel_recovery",
+            "multilevel",
+            "redundancy_r2",
+        }
+
+    def test_progress_callback(self):
+        messages = []
+        config = ScalingStudyConfig(
+            fractions=(0.5,), trials=1, system_nodes=1200
+        )
+        run_scaling_study(config, progress=messages.append)
+        assert len(messages) == 5  # one per technique
+
+    def test_infeasible_cells_marked(self, small_scaling_result):
+        cell = small_scaling_result.cell(0.5, "redundancy_r2")
+        # r=2 at 50% of a 2400-node machine = 2400 nodes: feasible.
+        assert not cell.infeasible
+        config = ScalingStudyConfig(
+            fractions=(1.0,), trials=1, system_nodes=1200
+        )
+        result = run_scaling_study(config)
+        assert result.cell(1.0, "redundancy_r2").infeasible
+        assert result.cell(1.0, "redundancy_r2").mean_efficiency == 0.0
+
+
+class TestPatternGeneration:
+    def test_shared_pattern_set(self):
+        config = DatacenterStudyConfig(patterns=3, system_nodes=2400)
+        a = generate_patterns(config, PatternBias.UNBIASED)
+        b = generate_patterns(config, PatternBias.UNBIASED)
+        assert len(a) == 3
+        assert [p.arriving_apps[0].nodes for p in a] == [
+            p.arriving_apps[0].nodes for p in b
+        ]
+
+
+class TestDatacenterStudy:
+    def test_grid_and_determinism(self):
+        config = DatacenterStudyConfig(
+            patterns=2, arrivals_per_pattern=10, system_nodes=2400
+        )
+        selectors = {
+            "parallel_recovery": lambda: FixedSelector(ParallelRecovery())
+        }
+        study, _ = run_datacenter_study(
+            config, selectors, rm_names=["fcfs"], include_ideal=True
+        )
+        assert len(study.cells) == 2  # (pr, ideal) x fcfs
+        cell = study.cell("fcfs", "parallel_recovery", PatternBias.UNBIASED)
+        assert cell.stats.n == 2
+        assert all(0 <= s <= 100 for s in cell.samples)
+
+        study2, _ = run_datacenter_study(
+            config, selectors, rm_names=["fcfs"], include_ideal=True
+        )
+        assert (
+            study2.cell("fcfs", "parallel_recovery", PatternBias.UNBIASED).samples
+            == cell.samples
+        )
+
+    def test_keep_results(self):
+        config = DatacenterStudyConfig(
+            patterns=1, arrivals_per_pattern=5, system_nodes=2400
+        )
+        selectors = {
+            "parallel_recovery": lambda: FixedSelector(ParallelRecovery())
+        }
+        study, raw = run_datacenter_study(
+            config, selectors, rm_names=["fcfs"], keep_results=True
+        )
+        assert len(raw) == 1
+        assert raw[0].rm_name == "fcfs"
+
+    def test_biases_generate_separate_cells(self):
+        config = DatacenterStudyConfig(
+            patterns=1, arrivals_per_pattern=5, system_nodes=2400
+        )
+        selectors = {
+            "parallel_recovery": lambda: FixedSelector(ParallelRecovery())
+        }
+        study, _ = run_datacenter_study(
+            config,
+            selectors,
+            rm_names=["fcfs"],
+            biases=(PatternBias.UNBIASED, PatternBias.LARGE),
+        )
+        assert len(study.cells) == 2
+        study.cell("fcfs", "parallel_recovery", PatternBias.LARGE)

@@ -1,0 +1,36 @@
+"""Unit tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import SummaryStats
+
+
+class TestSummaryStats:
+    def test_mean_and_std(self):
+        s = SummaryStats.from_samples([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(np.std([1, 2, 3], ddof=1))
+
+    def test_single_sample(self):
+        s = SummaryStats.from_samples([5.0])
+        assert s.std == 0.0
+        assert s.sem == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SummaryStats.from_samples([])
+
+    def test_sem(self):
+        s = SummaryStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.sem == pytest.approx(s.std / 2.0)
+
+    def test_ci95_contains_mean(self):
+        s = SummaryStats.from_samples(list(range(100)))
+        lo, hi = s.ci95()
+        assert lo < s.mean < hi
+        assert hi - lo == pytest.approx(2 * 1.96 * s.sem)
+
+    def test_str(self):
+        assert "n=2" in str(SummaryStats.from_samples([1.0, 2.0]))

@@ -1,0 +1,60 @@
+"""Unit tests for the ablation sweeps."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    checkpoint_interval_sweep_sim,
+    recovery_parallelism_sweep_sim,
+    render_sweep,
+    severity_pmf_sweep_sim,
+)
+
+SMALL = dict(trials=3, system_nodes=2400, fraction=0.25)
+
+
+class TestSeverityPMFSweep:
+    def test_harsher_pmf_lowers_multilevel_efficiency(self):
+        rows = severity_pmf_sweep_sim(
+            pmfs=[(0.9, 0.08, 0.02), (0.2, 0.2, 0.6)], **SMALL
+        )
+        assert rows[0].stats.mean > rows[1].stats.mean
+
+
+class TestSigmaSweep:
+    def test_rows_labelled(self):
+        rows = recovery_parallelism_sweep_sim(sigmas=[1.0, 8.0], **SMALL)
+        assert [r.label for r in rows] == ["sigma=1", "sigma=8"]
+        for row in rows:
+            assert 0 < row.stats.mean <= 1
+
+
+class TestIntervalSweep:
+    def test_daly_optimum_is_best(self):
+        """Eq. 4's tau should beat strong perturbations in-simulation.
+        Uses a low MTBF so checkpointing costs actually matter."""
+        from repro.units import years
+
+        rows = checkpoint_interval_sweep_sim(
+            scale_factors=[0.1, 1.0, 10.0],
+            trials=6,
+            system_nodes=2400,
+            fraction=0.5,
+            node_mtbf_s=years(0.5),
+        )
+        by_label = {r.label: r.stats.mean for r in rows}
+        assert by_label["tau x 1"] >= by_label["tau x 0.1"] - 0.01
+        assert by_label["tau x 1"] >= by_label["tau x 10"] - 0.01
+
+    def test_invalid_factor(self):
+        from repro.experiments.sweep import _ScaledIntervalCheckpointRestart
+
+        with pytest.raises(ValueError):
+            _ScaledIntervalCheckpointRestart(0.0)
+
+
+class TestRendering:
+    def test_render(self):
+        rows = recovery_parallelism_sweep_sim(sigmas=[2.0], **SMALL)
+        text = render_sweep(rows, "TITLE")
+        assert text.startswith("TITLE")
+        assert "sigma=2" in text

@@ -1,0 +1,41 @@
+"""Unit tests for the Table I / Table II reproductions."""
+
+from repro.experiments.tables import render_table1, render_table2
+
+
+class TestTable1:
+    def test_all_eight_types_present(self):
+        text = render_table1()
+        for name in ("A32", "A64", "B32", "B64", "C32", "C64", "D32", "D64"):
+            assert name in text
+
+    def test_communication_rows(self):
+        text = render_table1()
+        for row in ("0%", "25%", "50%", "75%"):
+            assert row in text
+
+
+class TestTable2:
+    def test_parameter_names_present(self):
+        text = render_table2()
+        for name in (
+            "T_S", "T_C", "T_W", "N_m", "N_a", "L", "B_N", "N_S",
+            "lambda_a", "M_n", "mu", "r",
+        ):
+            assert name in text
+
+    def test_paper_checkpoint_window(self):
+        """The 17-35 minute full-system checkpoint+restart window shows
+        up as one-way times of ~8.9 and ~17.8 minutes."""
+        text = render_table2(fraction=1.0)
+        assert "8.9 min" in text
+        assert "17.8 min" in text
+
+    def test_mu_values(self):
+        text = render_table2()
+        assert "1.000 / 1.025 / 1.050 / 1.075" in text
+
+    def test_fraction_parameter(self):
+        text = render_table2(fraction=0.5)
+        assert "50%" in text
+        assert "60000" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the burst-failure extension."""
+
+import numpy as np
+import pytest
+
+from repro.failures.burst import BurstModel
+from repro.failures.generator import AppFailureGenerator, Failure
+from repro.units import years
+
+
+class TestBurstModel:
+    def test_independent_width_one(self, rng):
+        model = BurstModel.independent()
+        assert all(model.sample_width(rng) == 1 for _ in range(100))
+        assert model.mean_width == 1.0
+
+    def test_mean_width(self, rng):
+        model = BurstModel.with_mean_width(4.0)
+        widths = [model.sample_width(rng) for _ in range(20_000)]
+        assert np.mean(widths) == pytest.approx(4.0, rel=0.05)
+
+    def test_cap_respected(self, rng):
+        model = BurstModel(continue_probability=0.99, max_width=8)
+        assert all(model.sample_width(rng) <= 8 for _ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstModel(continue_probability=1.0)
+        with pytest.raises(ValueError):
+            BurstModel(continue_probability=-0.1)
+        with pytest.raises(ValueError):
+            BurstModel(max_width=0)
+        with pytest.raises(ValueError):
+            BurstModel.with_mean_width(0.5)
+
+
+class TestFailureWidth:
+    def test_default_width_one(self):
+        assert Failure(time=0.0, node_id=0, severity=1).width == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Failure(time=0.0, node_id=0, severity=1, width=0)
+
+    def test_generator_emits_widths(self, rng):
+        generator = AppFailureGenerator(
+            rng,
+            nodes=100,
+            node_mtbf_s=years(1),
+            burst=BurstModel.with_mean_width(3.0),
+        )
+        widths = [generator.next_failure().width for _ in range(2000)]
+        assert max(widths) > 1
+        assert np.mean(widths) == pytest.approx(3.0, rel=0.1)
+
+    def test_generator_without_burst_width_one(self, rng):
+        generator = AppFailureGenerator(rng, nodes=100, node_mtbf_s=years(1))
+        assert all(generator.next_failure().width == 1 for _ in range(50))
+
+
+class TestBurstVsReplicas:
+    """The engine-level interaction: bursts defeat adjacent replicas."""
+
+    def _red_stats(self, sim, width, node=0):
+        from repro.core.execution import ResilientExecution
+        from repro.resilience.base import CheckpointLevel, ExecutionPlan, ReplicaPlan
+        from repro.workload.synthetic import make_application
+
+        app = make_application("A32", nodes=4, time_steps=10)
+        replicas = ReplicaPlan(degree=2.0, virtual_nodes=4, replicated=4)
+        level = CheckpointLevel(
+            index=1, recovers_severity=3, cost_s=10.0, restart_s=20.0, period_s=100.0
+        )
+        plan = ExecutionPlan(
+            app=app,
+            technique="t",
+            work_rate=1.0,
+            levels=(level,),
+            nodes_required=8,
+            replicas=replicas,
+        )
+        engine = ResilientExecution(sim, plan)
+        proc = sim.process(engine.run())
+        sim.schedule_at(
+            50.0,
+            lambda _e: proc.interrupt(
+                Failure(time=sim.now, node_id=node, severity=1, width=width)
+            ),
+        )
+        sim.run(until=1e8)
+        return engine.stats
+
+    def test_width_one_absorbed(self, sim):
+        stats = self._red_stats(sim, width=1)
+        assert stats.restarts == 0
+        assert stats.replica_failures_absorbed == 1
+
+    def test_width_two_kills_adjacent_pair(self, sim):
+        # Physical nodes 0,1 back virtual 0: a width-2 burst at node 0
+        # takes both replicas at once.
+        stats = self._red_stats(sim, width=2, node=0)
+        assert stats.restarts == 1
+
+    def test_width_two_straddling_pairs_absorbed(self, sim):
+        # Nodes 1,2 belong to virtuals 0 and 1: each keeps one live
+        # replica, so the burst is absorbed (two degradations).
+        stats = self._red_stats(sim, width=2, node=1)
+        assert stats.restarts == 0
+        assert stats.replica_failures_absorbed == 1
+
+    def test_wide_burst_always_restarts(self, sim):
+        stats = self._red_stats(sim, width=8, node=0)
+        assert stats.restarts == 1
+
+    def test_burst_clamped_at_allocation_end(self, sim):
+        # Width 4 starting at node 7 (the last physical) strikes only
+        # node 7 -> virtual 3 keeps its replica at node 6.
+        stats = self._red_stats(sim, width=4, node=7)
+        assert stats.restarts == 0

@@ -1,0 +1,93 @@
+"""Unit tests for failure generation."""
+
+import numpy as np
+import pytest
+
+from repro.failures.generator import (
+    AppFailureGenerator,
+    Failure,
+    sample_failure_times,
+)
+from repro.failures.severity import SeverityModel
+from repro.units import years
+
+
+class TestFailureRecord:
+    def test_fields(self):
+        f = Failure(time=10.0, node_id=3, severity=2)
+        assert (f.time, f.node_id, f.severity) == (10.0, 3, 2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Failure(time=-1.0, node_id=0, severity=1)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Failure(time=0.0, node_id=0, severity=0)
+
+
+class TestAppFailureGenerator:
+    def _gen(self, rng, nodes=1200, mtbf=years(10)):
+        return AppFailureGenerator(rng, nodes=nodes, node_mtbf_s=mtbf)
+
+    def test_rate_is_nodes_over_mtbf(self, rng):
+        gen = self._gen(rng)
+        assert gen.rate == pytest.approx(1200 / years(10))
+
+    def test_times_strictly_increase(self, rng):
+        gen = self._gen(rng)
+        times = [gen.next_failure().time for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_matches_rate(self, rng):
+        gen = self._gen(rng, nodes=100, mtbf=100.0)  # rate = 1/s
+        gaps = [gen.next_interarrival() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.05)
+
+    def test_locations_within_allocation(self, rng):
+        gen = self._gen(rng, nodes=10)
+        assert all(0 <= gen.next_failure().node_id < 10 for _ in range(200))
+
+    def test_severities_follow_model(self, rng):
+        severity = SeverityModel.from_probabilities([0.0, 0.0, 1.0])
+        gen = AppFailureGenerator(
+            rng, nodes=10, node_mtbf_s=years(10), severity=severity
+        )
+        assert all(gen.next_failure().severity == 3 for _ in range(50))
+
+    def test_failure_at_uses_given_time(self, rng):
+        gen = self._gen(rng)
+        f = gen.failure_at(123.0)
+        assert f.time == 123.0
+        assert 0 <= f.node_id < 1200
+
+    def test_iterator(self, rng):
+        gen = self._gen(rng)
+        it = iter(gen)
+        first = next(it)
+        second = next(it)
+        assert second.time > first.time
+
+
+class TestVectorizedSampling:
+    def test_all_within_horizon(self, rng):
+        times = sample_failure_times(rng, rate=0.01, horizon_s=10_000.0)
+        assert times.size > 0
+        assert times.max() < 10_000.0
+        assert (np.diff(times) > 0).all()
+
+    def test_count_matches_expectation(self, rng):
+        times = sample_failure_times(rng, rate=0.01, horizon_s=1_000_000.0)
+        assert times.size == pytest.approx(10_000, rel=0.1)
+
+    def test_zero_rate_empty(self, rng):
+        assert sample_failure_times(rng, 0.0, 100.0).size == 0
+
+    def test_zero_horizon_empty(self, rng):
+        assert sample_failure_times(rng, 1.0, 0.0).size == 0
+
+    def test_negative_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_failure_times(rng, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            sample_failure_times(rng, 1.0, -10.0)

@@ -1,0 +1,104 @@
+"""Unit tests for the datacenter failure injector."""
+
+import pytest
+
+from repro.failures.injector import FailureInjector
+from repro.sim.engine import Simulator
+from repro.units import years
+
+
+def _make(sim, system, rng, mtbf_s=1000.0):
+    hits = []
+
+    def on_failure(owner, failure):
+        hits.append((sim.now, owner, failure))
+
+    injector = FailureInjector(sim, system, mtbf_s, rng, on_failure)
+    return injector, hits
+
+
+class TestRate:
+    def test_rate_tracks_active_nodes(self, sim, small_system, rng):
+        injector, _ = _make(sim, small_system, rng, mtbf_s=1200.0)
+        assert injector.current_rate == 0.0
+        small_system.allocate("a", 600)
+        assert injector.current_rate == pytest.approx(0.5)
+
+    def test_idle_system_never_fails(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng)
+        injector.start()
+        sim.schedule(10_000.0, lambda _e: None)  # keep the clock moving
+        sim.run()
+        assert hits == []
+
+    def test_failures_fire_at_plausible_rate(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng, mtbf_s=1200.0)
+        small_system.allocate("a", 1200)  # rate = 1/s
+        injector.start()
+        sim.schedule(1000.0, lambda _e: injector.stop())
+        sim.run(until=1000.0)
+        assert 800 < len(hits) < 1200
+
+    def test_failures_target_the_owner(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng, mtbf_s=100.0)
+        small_system.allocate("only", 100)
+        injector.start()
+        sim.run(until=50.0)
+        injector.stop()
+        assert hits
+        assert all(owner == "only" for _, owner, _f in hits)
+
+    def test_severities_sampled(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng, mtbf_s=10.0)
+        small_system.allocate("a", 100)
+        injector.start()
+        sim.run(until=20.0)
+        injector.stop()
+        severities = {f.severity for _, _, f in hits}
+        assert severities <= {1, 2, 3}
+        assert len(severities) > 1  # plenty of samples, should vary
+
+
+class TestLifecycle:
+    def test_stop_cancels_pending(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng, mtbf_s=1e9)
+        small_system.allocate("a", 100)
+        injector.start()
+        injector.stop()
+        sim.run()
+        assert hits == []
+        assert sim.pending == 0
+
+    def test_notify_before_start_is_noop(self, sim, small_system, rng):
+        injector, _ = _make(sim, small_system, rng)
+        small_system.allocate("a", 10)
+        injector.notify_allocation_change()  # not started yet
+        assert sim.pending == 0
+
+    def test_notify_reschedules(self, sim, small_system, rng):
+        injector, _ = _make(sim, small_system, rng, mtbf_s=years(10))
+        injector.start()
+        assert sim.pending == 0  # idle machine: suspended
+        small_system.allocate("a", 100)
+        injector.notify_allocation_change()
+        assert sim.pending == 1
+
+    def test_release_to_idle_suspends(self, sim, small_system, rng):
+        injector, _ = _make(sim, small_system, rng, mtbf_s=years(10))
+        small_system.allocate("a", 100)
+        injector.start()
+        small_system.release("a")
+        injector.notify_allocation_change()
+        assert sim.pending == 0
+
+    def test_counts_injected(self, sim, small_system, rng):
+        injector, hits = _make(sim, small_system, rng, mtbf_s=100.0)
+        small_system.allocate("a", 100)
+        injector.start()
+        sim.run(until=30.0)
+        injector.stop()
+        assert injector.failures_injected == len(hits) > 0
+
+    def test_bad_mtbf_rejected(self, sim, small_system, rng):
+        with pytest.raises(ValueError):
+            FailureInjector(sim, small_system, 0.0, rng, lambda o, f: None)

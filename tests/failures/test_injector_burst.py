@@ -1,0 +1,106 @@
+"""Tests for burst delivery through the datacenter failure injector."""
+
+import pytest
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.failures.burst import BurstModel
+from repro.failures.injector import FailureInjector
+from repro.platform.presets import exascale_system
+from repro.resilience.redundancy import Redundancy
+from repro.rm.fcfs import FCFS
+from repro.rng.streams import StreamFactory
+from repro.sim.engine import Simulator
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+
+
+class _AlwaysBurst(BurstModel):
+    """Deterministic burst width for testing."""
+
+    def __init__(self, width: int) -> None:
+        super().__init__(continue_probability=0.5, max_width=width)
+        self._width = width
+
+    def sample_width(self, rng) -> int:
+        """Always the configured width."""
+        return self._width
+
+
+class TestInjectorBurstSplitting:
+    def _setup(self, small_system, rng, width):
+        hits = []
+        injector = FailureInjector(
+            Simulator(),
+            small_system,
+            1000.0,
+            rng,
+            lambda owner, f: hits.append((owner, f)),
+            burst=_AlwaysBurst(width),
+        )
+        return injector, hits
+
+    def test_burst_within_one_allocation(self, small_system, rng):
+        small_system.allocate("a", 1200)  # whole machine
+        injector, hits = self._setup(small_system, rng, width=4)
+        injector.start()
+        injector._sim.run(until=100.0)
+        injector.stop()
+        assert hits
+        for owner, failure in hits:
+            assert owner == "a"
+            assert 1 <= failure.width <= 4
+
+    def test_burst_straddles_two_allocations(self, small_system, rng):
+        small_system.allocate("a", 600)  # nodes 0..599
+        small_system.allocate("b", 600)  # nodes 600..1199
+        injector, hits = self._setup(small_system, rng, width=1200)
+        # Fire one synthetic burst starting inside "a".
+        injector._fire_burst(start=598, severity=2, width=4)
+        owners = {owner for owner, _ in hits}
+        assert owners == {"a", "b"}
+        by_owner = {owner: f for owner, f in hits}
+        assert by_owner["a"].node_id == 598 and by_owner["a"].width == 2
+        assert by_owner["b"].node_id == 600 and by_owner["b"].width == 2
+
+    def test_burst_into_idle_region_truncated(self, small_system, rng):
+        small_system.allocate("a", 100)  # nodes 0..99, rest idle
+        injector, hits = self._setup(small_system, rng, width=8)
+        injector._fire_burst(start=96, severity=1, width=8)
+        assert len(hits) == 1
+        owner, failure = hits[0]
+        assert owner == "a"
+        assert failure.node_id == 96 and failure.width == 4
+
+    def test_burst_clamped_at_machine_end(self, small_system, rng):
+        small_system.allocate("a", 1200)
+        injector, hits = self._setup(small_system, rng, width=8)
+        injector._fire_burst(start=1196, severity=1, width=8)
+        assert len(hits) == 1
+        assert hits[0][1].width == 4
+
+
+class TestDatacenterBursts:
+    def test_bursts_hurt_redundancy_in_datacenter(self):
+        """End-to-end: the same pattern under full redundancy drops at
+        least as many applications once failures arrive in bursts."""
+        pattern = PatternGenerator(StreamFactory(9), 2400).generate(0, arrivals=12)
+        results = {}
+        for label, burst in (
+            ("independent", None),
+            ("bursty", BurstModel.with_mean_width(4.0)),
+        ):
+            results[label] = run_datacenter(
+                pattern,
+                FCFS(),
+                FixedSelector(Redundancy.full()),
+                exascale_system(2400),
+                DatacenterConfig(node_mtbf_s=years(0.2), burst=burst),
+            )
+        indep, bursty = results["independent"], results["bursty"]
+        restarts = lambda r: sum(
+            rec.stats.restarts for rec in r.records if rec.stats is not None
+        )
+        # Bursts convert absorbed replica failures into restarts.
+        assert restarts(bursty) > restarts(indep)
+        assert bursty.dropped_pct >= indep.dropped_pct - 1e-9

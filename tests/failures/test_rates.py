@@ -1,0 +1,54 @@
+"""Unit tests for Eq. 2 rate arithmetic."""
+
+import pytest
+
+from repro.failures.rates import (
+    application_failure_rate,
+    mtbf_from_rate,
+    system_failure_rate,
+)
+from repro.units import YEAR, years
+
+
+class TestEq2:
+    def test_system_rate(self):
+        # 120k nodes at 10-year MTBF: one failure every ~43.8 minutes.
+        rate = system_failure_rate(120_000, years(10))
+        assert 1.0 / rate == pytest.approx(10 * YEAR / 120_000)
+        assert 2000 < 1.0 / rate < 3000  # seconds
+
+    def test_zero_active_nodes_gives_zero_rate(self):
+        assert system_failure_rate(0, years(10)) == 0.0
+
+    def test_rate_linear_in_nodes(self):
+        assert system_failure_rate(2000, years(10)) == pytest.approx(
+            2 * system_failure_rate(1000, years(10))
+        )
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            system_failure_rate(-1, years(10))
+
+    def test_bad_mtbf_rejected(self):
+        with pytest.raises(ValueError):
+            system_failure_rate(10, 0.0)
+
+
+class TestApplicationRate:
+    def test_matches_paper_formula(self):
+        assert application_failure_rate(1200, years(10)) == pytest.approx(
+            1200 / (10 * YEAR)
+        )
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            application_failure_rate(0, years(10))
+
+
+class TestMTBF:
+    def test_inverse(self):
+        assert mtbf_from_rate(0.5) == pytest.approx(2.0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mtbf_from_rate(0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for failure severity modeling."""
+
+import numpy as np
+import pytest
+
+from repro.failures.severity import MAX_SEVERITY, NUM_LEVELS, SeverityModel
+
+
+class TestConstruction:
+    def test_default_matches_constants(self):
+        from repro.constants import DEFAULT_SEVERITY_PMF
+
+        model = SeverityModel.default()
+        for level in range(1, 4):
+            assert model.probability(level) == pytest.approx(
+                DEFAULT_SEVERITY_PMF[level - 1]
+            )
+
+    def test_from_probabilities_normalizes(self):
+        model = SeverityModel.from_probabilities([3, 1])
+        assert model.probability(1) == pytest.approx(0.75)
+
+    def test_levels(self):
+        assert SeverityModel.default().levels == NUM_LEVELS == MAX_SEVERITY == 3
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        model = SeverityModel.default()
+        draws = [model.sample(rng) for _ in range(500)]
+        assert set(draws) <= {1, 2, 3}
+
+    def test_sample_frequencies(self, rng):
+        model = SeverityModel.from_probabilities([0.5, 0.3, 0.2])
+        draws = np.array([model.sample(rng) for _ in range(30_000)])
+        assert np.mean(draws == 1) == pytest.approx(0.5, abs=0.02)
+        assert np.mean(draws == 3) == pytest.approx(0.2, abs=0.02)
+
+    def test_degenerate_pmf(self, rng):
+        model = SeverityModel.from_probabilities([0.0, 0.0, 1.0])
+        assert all(model.sample(rng) == 3 for _ in range(50))
+
+
+class TestRates:
+    def test_probability_at_least(self):
+        model = SeverityModel.from_probabilities([0.65, 0.20, 0.15])
+        assert model.probability_at_least(1) == pytest.approx(1.0)
+        assert model.probability_at_least(2) == pytest.approx(0.35)
+        assert model.probability_at_least(3) == pytest.approx(0.15)
+
+    def test_level_rate_partitions_total(self):
+        model = SeverityModel.default()
+        total = 1e-4
+        parts = [model.level_rate(k, total) for k in (1, 2, 3)]
+        assert sum(parts) == pytest.approx(total)
+
+    def test_level_rate_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            SeverityModel.default().level_rate(1, -1.0)
+
+    @pytest.mark.parametrize("level", [0, 4])
+    def test_level_out_of_range_rejected(self, level):
+        model = SeverityModel.default()
+        with pytest.raises(ValueError):
+            model.probability(level)
+        with pytest.raises(ValueError):
+            model.probability_at_least(level)

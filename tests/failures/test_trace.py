@@ -1,0 +1,119 @@
+"""Unit tests for technique-independent failure traces."""
+
+import pytest
+
+from repro.failures.severity import SeverityModel
+from repro.failures.trace import FailureTrace, TracedFailure, record_trace
+from repro.rng.streams import StreamFactory
+from repro.units import years
+
+
+class TestTracedFailure:
+    def test_materialize_scales_location(self):
+        traced = TracedFailure(time=10.0, location_u=0.5, severity=2)
+        failure = traced.materialize(100)
+        assert failure.node_id == 50
+        assert failure.time == 10.0
+        assert failure.severity == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TracedFailure(time=-1.0, location_u=0.5, severity=1)
+        with pytest.raises(ValueError):
+            TracedFailure(time=0.0, location_u=1.0, severity=1)
+        with pytest.raises(ValueError):
+            TracedFailure(time=0.0, location_u=0.5, severity=0)
+        with pytest.raises(ValueError):
+            TracedFailure(time=0.0, location_u=0.5, severity=1).materialize(0)
+
+
+class TestRecordTrace:
+    def _trace(self, rng, horizon=1e9):
+        return record_trace(rng, node_mtbf_s=years(10), horizon_s=horizon)
+
+    def test_times_sorted_within_horizon(self, rng):
+        trace = self._trace(rng)
+        times = [f.time for f in trace.failures]
+        assert times == sorted(times)
+        assert all(0 <= t < trace.horizon_s for t in times)
+
+    def test_count_matches_rate(self, rng):
+        horizon = 1e10  # unit-node seconds
+        trace = self._trace(rng, horizon=horizon)
+        expected = horizon / years(10)
+        assert len(trace) == pytest.approx(expected, rel=0.3)
+
+    def test_reproducible(self):
+        a = record_trace(
+            StreamFactory(1).fresh("t"), years(10), 1e10
+        )
+        b = record_trace(
+            StreamFactory(1).fresh("t"), years(10), 1e10
+        )
+        assert a == b
+
+    def test_severities_follow_model(self, rng):
+        severity = SeverityModel.from_probabilities([0, 0, 1])
+        trace = record_trace(rng, years(10), 1e10, severity=severity)
+        assert len(trace) > 0
+        assert all(f.severity == 3 for f in trace.failures)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            record_trace(rng, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            record_trace(rng, years(10), 0.0)
+
+
+class TestScaling:
+    def test_time_compression(self, rng):
+        trace = record_trace(rng, years(10), 1e10)
+        unit_times = [f.time for f in trace.failures]
+        scaled = list(trace.scaled(1000))
+        assert [f.time for f in scaled] == pytest.approx(
+            [t / 1000 for t in unit_times]
+        )
+        assert trace.scaled_horizon(1000) == pytest.approx(trace.horizon_s / 1000)
+
+    def test_scaled_rate_matches_allocation(self, rng):
+        """A 1000-node replay must exhibit ~1000x the unit rate."""
+        trace = record_trace(rng, years(10), 1e10)
+        scaled = list(trace.scaled(1000))
+        span = trace.scaled_horizon(1000)
+        observed_rate = len(scaled) / span
+        expected = 1000 / years(10)
+        assert observed_rate == pytest.approx(expected, rel=0.3)
+
+    def test_locations_in_range(self, rng):
+        trace = record_trace(rng, years(10), 1e10)
+        assert all(0 <= f.node_id < 64 for f in trace.scaled(64))
+
+    def test_same_trace_different_sizes_share_pattern(self, rng):
+        """Scaling to different node counts preserves the realization
+        (same relative failure times and severities)."""
+        trace = record_trace(rng, years(10), 1e10)
+        small = list(trace.scaled(10))
+        large = list(trace.scaled(1000))
+        assert [f.severity for f in small] == [f.severity for f in large]
+        ratios = [a.time / b.time for a, b in zip(small, large)]
+        assert all(r == pytest.approx(100.0) for r in ratios)
+
+    def test_validation(self, rng):
+        trace = record_trace(rng, years(10), 1e9)
+        with pytest.raises(ValueError):
+            list(trace.scaled(0))
+
+
+class TestFailureTraceValidation:
+    def test_unsorted_rejected(self):
+        failures = (
+            TracedFailure(time=5.0, location_u=0.1, severity=1),
+            TracedFailure(time=1.0, location_u=0.1, severity=1),
+        )
+        with pytest.raises(ValueError):
+            FailureTrace(unit_rate=1e-9, horizon_s=10.0, failures=failures)
+
+    def test_beyond_horizon_rejected(self):
+        failures = (TracedFailure(time=20.0, location_u=0.1, severity=1),)
+        with pytest.raises(ValueError):
+            FailureTrace(unit_rate=1e-9, horizon_s=10.0, failures=failures)

@@ -1,0 +1,114 @@
+"""End-to-end integration: the Sec. VI/VII datacenter story at reduced
+scale, plus cross-layer consistency checks."""
+
+import pytest
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector, ResilienceSelection
+from repro.experiments.stats import SummaryStats
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import datacenter_techniques, get_technique
+from repro.rm.registry import make_manager, manager_names
+from repro.rng.streams import StreamFactory
+from repro.workload.patterns import PatternBias, PatternGenerator
+
+NODES = 12_000
+PATTERNS = 4
+ARRIVALS = 30
+SEED = 31337
+
+
+def _patterns(bias=PatternBias.UNBIASED):
+    generator = PatternGenerator(StreamFactory(SEED), NODES)
+    return [
+        generator.generate(i, bias=bias, arrivals=ARRIVALS) for i in range(PATTERNS)
+    ]
+
+
+def _dropped(patterns, rm_name, selector_factory, ideal=False):
+    streams = StreamFactory(SEED)
+    samples = []
+    for pattern in patterns:
+        system = exascale_system(NODES)
+        manager = make_manager(rm_name, streams.fresh(f"{rm_name}-{pattern.index}"))
+        config = DatacenterConfig(ideal=ideal, seed=SEED)
+        result = run_datacenter(
+            pattern, manager, selector_factory(), system, config
+        )
+        samples.append(result.dropped_pct)
+    return SummaryStats.from_samples(samples)
+
+
+@pytest.fixture(scope="module")
+def unbiased_patterns():
+    return _patterns()
+
+
+class TestSectionVIStory:
+    def test_failures_and_overhead_increase_drops(self, unbiased_patterns):
+        """Fig. 4's central claim: every technique drops more than the
+        Ideal Baseline (averaged over patterns)."""
+        ideal = _dropped(
+            unbiased_patterns,
+            "slack",
+            lambda: FixedSelector(get_technique("parallel_recovery")),
+            ideal=True,
+        )
+        for technique in datacenter_techniques():
+            real = _dropped(
+                unbiased_patterns, "slack", lambda t=technique: FixedSelector(t)
+            )
+            assert real.mean >= ideal.mean - 2.0, technique.name
+
+    def test_slack_outperforms_fcfs(self, unbiased_patterns):
+        pr = lambda: FixedSelector(get_technique("parallel_recovery"))
+        fcfs = _dropped(unbiased_patterns, "fcfs", pr)
+        slack = _dropped(unbiased_patterns, "slack", pr)
+        assert slack.mean < fcfs.mean
+
+    def test_all_rm_technique_combinations_run(self, unbiased_patterns):
+        for rm_name in manager_names():
+            for technique in datacenter_techniques():
+                stats = _dropped(
+                    unbiased_patterns[:1], rm_name, lambda t=technique: FixedSelector(t)
+                )
+                assert 0.0 <= stats.mean <= 100.0
+
+
+class TestSectionVIIStory:
+    def test_selection_competitive_with_parallel_recovery(self, unbiased_patterns):
+        """Fig. 5: Resilience Selection provides a (possibly small)
+        benefit; at reduced scale we assert it is at least no worse
+        than a couple of dropped apps on average."""
+        pr = _dropped(
+            unbiased_patterns,
+            "slack",
+            lambda: FixedSelector(get_technique("parallel_recovery")),
+        )
+        config = DatacenterConfig(seed=SEED)
+        sel = _dropped(
+            unbiased_patterns,
+            "slack",
+            lambda: ResilienceSelection(config.node_mtbf_s),
+        )
+        assert sel.mean <= pr.mean + 3.0
+
+    def test_selection_picks_multiple_techniques_on_high_comm(self):
+        """High-communication patterns are where technique optimality
+        varies most (Sec. VII).  The ML/PR crossover lives at exascale
+        node counts, so this check uses the full machine."""
+        full = exascale_system()
+        pattern = PatternGenerator(StreamFactory(SEED), full.total_nodes).generate(
+            0, bias=PatternBias.HIGH_COMMUNICATION, arrivals=ARRIVALS
+        )
+        config = DatacenterConfig(seed=SEED)
+        selector = ResilienceSelection(config.node_mtbf_s)
+        for app in pattern.arriving_apps:
+            selector.select(app, full)
+        assert len(selector.selection_counts) >= 2
+
+    def test_large_patterns_drop_more(self, unbiased_patterns):
+        pr = lambda: FixedSelector(get_technique("parallel_recovery"))
+        unbiased = _dropped(unbiased_patterns, "slack", pr)
+        large = _dropped(_patterns(bias=PatternBias.LARGE), "slack", pr)
+        assert large.mean > unbiased.mean

@@ -1,0 +1,65 @@
+"""Smoke tests: the runnable examples must actually run.
+
+The two heavyweight examples (efficiency_study, datacenter_study) are
+exercised through their underlying drivers elsewhere; here we execute
+the fast ones end-to-end as subprocesses, exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "Application D64" in out
+        assert "best:" in out
+
+    def test_energy_study(self):
+        out = _run("energy_study.py")
+        assert "parallel_recovery" in out
+        assert "vs ideal" in out
+
+    def test_nas_bt_scaling(self):
+        out = _run("nas_bt_scaling.py")
+        assert "SET_1" in out
+        assert "Table I" in out
+        assert "parallel_recovery" in out
+
+    def test_execution_timeline(self):
+        out = _run("execution_timeline.py")
+        for technique in ("checkpoint_restart", "multilevel", "parallel_recovery"):
+            assert f"=== {technique} ===" in out
+        assert "work" in out and "restart" in out
+
+    def test_all_examples_present_and_syntactically_valid(self):
+        expected = {
+            "nas_bt_scaling.py",
+            "quickstart.py",
+            "efficiency_study.py",
+            "datacenter_study.py",
+            "resilience_selection.py",
+            "energy_study.py",
+            "execution_timeline.py",
+        }
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present
+        for name in expected:
+            source = (EXAMPLES / name).read_text()
+            compile(source, name, "exec")  # syntax check only

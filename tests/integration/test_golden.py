@@ -1,0 +1,82 @@
+"""Golden-value regression tests.
+
+These pin a handful of end-to-end numbers under fixed seeds.  Unlike
+the qualitative paper-claim tests, any behavioural change — to the
+kernel's event ordering, the RNG stream discipline, the engine's
+rollback arithmetic, or the planners — moves these values and fails
+loudly.  Update them only after confirming the change is intentional
+(they use loose-enough tolerances to survive floating-point noise but
+not logic changes).
+"""
+
+import pytest
+
+from repro.core.datacenter import DatacenterConfig, run_datacenter
+from repro.core.selection import FixedSelector
+from repro.core.single_app import SingleAppConfig, simulate_application
+from repro.platform.presets import exascale_system
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.rm.fcfs import FCFS
+from repro.rng.streams import StreamFactory
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+from repro.workload.synthetic import make_application
+
+
+class TestGoldenSingleApp:
+    """One trial each, fully deterministic given (seed, trial)."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        return exascale_system()
+
+    def test_checkpoint_restart_trial_zero(self, system):
+        app = make_application("C32", nodes=system.fraction_to_nodes(0.25))
+        config = SingleAppConfig(node_mtbf_s=years(10), seed=2017)
+        stats = simulate_application(app, CheckpointRestart(), system, config, 0)
+        assert stats.completed
+        assert stats.failures == 10
+        assert stats.restarts == 10
+        assert stats.efficiency() == pytest.approx(0.838762, abs=2e-4)
+
+    def test_multilevel_trial_zero(self, system):
+        app = make_application("C32", nodes=system.fraction_to_nodes(0.25))
+        config = SingleAppConfig(node_mtbf_s=years(10), seed=2017)
+        stats = simulate_application(app, MultilevelCheckpoint(), system, config, 0)
+        assert stats.completed
+        assert stats.failures == 10
+        assert stats.efficiency() == pytest.approx(0.929293, abs=2e-4)
+
+    def test_parallel_recovery_trial_zero(self, system):
+        app = make_application("C32", nodes=system.fraction_to_nodes(0.25))
+        config = SingleAppConfig(node_mtbf_s=years(10), seed=2017)
+        stats = simulate_application(app, ParallelRecovery(), system, config, 0)
+        assert stats.completed
+        assert stats.efficiency() == pytest.approx(0.946994, abs=2e-4)
+
+    def test_trial_reproducibility_is_exact(self, system):
+        app = make_application("D64", nodes=system.fraction_to_nodes(0.12))
+        config = SingleAppConfig(seed=42)
+        a = simulate_application(app, CheckpointRestart(), system, config, 5)
+        b = simulate_application(app, CheckpointRestart(), system, config, 5)
+        assert a.elapsed_s == b.elapsed_s  # bitwise, not approx
+
+
+class TestGoldenDatacenter:
+    def test_pattern_zero_fcfs_pr(self):
+        pattern = PatternGenerator(StreamFactory(2017), 120_000).generate(
+            0, arrivals=40
+        )
+        result = run_datacenter(
+            pattern,
+            FCFS(),
+            FixedSelector(ParallelRecovery()),
+            exascale_system(),
+            DatacenterConfig(seed=2017),
+        )
+        # Pin the workload identity and the outcome.
+        assert len(pattern.fill_apps) == 11
+        assert result.failures_injected == 114
+        assert result.dropped_pct == pytest.approx(57.5, abs=1e-9)

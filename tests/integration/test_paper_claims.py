@@ -1,0 +1,131 @@
+"""Integration tests: the paper's headline qualitative claims.
+
+Each test reproduces one Sec. V-VII finding at reduced statistical
+scale (fewer trials than the paper's 200, same model parameters).
+These are the acceptance tests of the reproduction: if one fails, the
+simulator no longer tells the paper's story.
+"""
+
+import pytest
+
+from repro.core.comparison import compare_techniques
+from repro.core.single_app import SingleAppConfig
+from repro.units import years
+
+
+@pytest.fixture(scope="module")
+def ten_year():
+    return SingleAppConfig(node_mtbf_s=years(10), seed=424242)
+
+
+@pytest.fixture(scope="module")
+def low_mtbf():
+    return SingleAppConfig(node_mtbf_s=years(2.5), seed=424242)
+
+
+def _eff(result, name):
+    return next(s for s in result.summaries if s.technique == name).mean_efficiency
+
+
+class TestFig1Claims:
+    """A32 (low memory, low communication), 10-year MTBF."""
+
+    @pytest.fixture(scope="class")
+    def results(self, ten_year):
+        return {
+            f: compare_techniques("A32", f, trials=8, config=ten_year)
+            for f in (0.01, 0.12, 0.50, 1.00)
+        }
+
+    def test_parallel_recovery_dominates_all_sizes(self, results):
+        for fraction, result in results.items():
+            assert result.best.technique == "parallel_recovery", fraction
+
+    def test_cr_degrades_fastest(self, results):
+        drop = {
+            name: _eff(results[0.01], name) - _eff(results[0.50], name)
+            for name in ("checkpoint_restart", "multilevel", "parallel_recovery")
+        }
+        assert drop["checkpoint_restart"] > drop["multilevel"]
+        assert drop["checkpoint_restart"] > drop["parallel_recovery"]
+
+    def test_redundancy_between_cr_and_pr_at_scale(self, results):
+        result = results[0.50]
+        assert (
+            _eff(result, "checkpoint_restart")
+            < _eff(result, "redundancy_r2")
+            < _eff(result, "parallel_recovery")
+        )
+
+    def test_redundancy_infeasible_at_full_system(self, results):
+        result = results[1.00]
+        for name in ("redundancy_r1_5", "redundancy_r2"):
+            summary = next(s for s in result.summaries if s.technique == name)
+            assert summary.infeasible
+            assert summary.mean_efficiency == 0.0
+
+    def test_efficiency_decreases_with_size(self, results):
+        for name in ("checkpoint_restart", "multilevel", "parallel_recovery"):
+            effs = [_eff(results[f], name) for f in (0.01, 0.12, 0.50)]
+            assert effs[0] >= effs[1] >= effs[2] - 0.01, name
+
+
+class TestFig2Claims:
+    """D64 (high memory, high communication), 10-year MTBF."""
+
+    @pytest.fixture(scope="class")
+    def results(self, ten_year):
+        return {
+            f: compare_techniques("D64", f, trials=8, config=ten_year)
+            for f in (0.03, 0.12, 0.50, 1.00)
+        }
+
+    def test_multilevel_optimal_at_small_sizes(self, results):
+        assert results[0.03].best.technique == "multilevel"
+        assert results[0.12].best.technique == "multilevel"
+
+    def test_crossover_to_parallel_recovery_at_scale(self, results):
+        assert results[0.50].best.technique == "parallel_recovery"
+        assert results[1.00].best.technique == "parallel_recovery"
+
+    def test_communication_penalizes_pr_and_redundancy(self, ten_year, results):
+        """Sec. V: PR and redundancy 'suffer a larger decrease in
+        efficiency' on D64 than on A32, relative to CR/ML."""
+        a32 = compare_techniques("A32", 0.12, trials=8, config=ten_year)
+        d64 = results[0.12]
+        for name in ("parallel_recovery", "redundancy_r1_5", "redundancy_r2"):
+            penalty = _eff(a32, name) - _eff(d64, name)
+            assert penalty > 0.03, name
+        for name in ("checkpoint_restart", "multilevel"):
+            penalty = _eff(a32, name) - _eff(d64, name)
+            assert penalty < 0.05, name
+
+    def test_mu_ceiling_binds_pr(self, results):
+        for fraction, result in results.items():
+            assert _eff(result, "parallel_recovery") <= 1 / 1.075 + 0.01
+
+
+class TestFig3Claims:
+    """D64 at 2.5-year MTBF: everything degrades faster; CR collapses."""
+
+    @pytest.fixture(scope="class")
+    def results(self, low_mtbf):
+        return {
+            f: compare_techniques("D64", f, trials=8, config=low_mtbf)
+            for f in (0.12, 1.00)
+        }
+
+    def test_all_lower_than_ten_year(self, ten_year, low_mtbf):
+        for name in ("checkpoint_restart", "multilevel"):
+            good = _eff(compare_techniques("D64", 0.5, trials=8, config=ten_year), name)
+            bad = _eff(compare_techniques("D64", 0.5, trials=8, config=low_mtbf), name)
+            assert bad < good, name
+
+    def test_cr_collapses_at_exascale(self, results):
+        """'Unable to even complete execution at exascale sizes': CR
+        pins at the walltime-cap efficiency floor."""
+        cr = _eff(results[1.00], "checkpoint_restart")
+        assert cr < 0.10
+
+    def test_pr_still_maintains_efficiency(self, results):
+        assert _eff(results[1.00], "parallel_recovery") > 0.85

@@ -1,0 +1,136 @@
+"""Unit tests for the contiguous allocator."""
+
+import pytest
+
+from repro.platform.allocator import AllocationError, Block, ContiguousAllocator
+
+
+class TestBlock:
+    def test_size_and_contains(self):
+        b = Block(10, 20)
+        assert b.size == 10
+        assert 10 in b and 19 in b
+        assert 9 not in b and 20 not in b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Block(5, 5)
+        with pytest.raises(ValueError):
+            Block(5, 3)
+
+
+class TestAllocate:
+    def test_first_fit_from_zero(self):
+        a = ContiguousAllocator(100)
+        b = a.allocate(10)
+        assert (b.start, b.stop) == (0, 10)
+
+    def test_sequential_allocations_contiguous(self):
+        a = ContiguousAllocator(100)
+        b1 = a.allocate(10)
+        b2 = a.allocate(20)
+        assert b2.start == b1.stop
+
+    def test_exhaustion_raises(self):
+        a = ContiguousAllocator(10)
+        a.allocate(10)
+        with pytest.raises(AllocationError):
+            a.allocate(1)
+
+    def test_fragmentation_blocks_large_requests(self):
+        a = ContiguousAllocator(30)
+        b1 = a.allocate(10)
+        a.allocate(10)
+        a.allocate(10)
+        a.release(b1)  # free 10 at the front, 10 elsewhere? no: only front
+        assert a.free_nodes == 10
+        assert not a.can_allocate(11)
+        with pytest.raises(AllocationError):
+            a.allocate(11)
+
+    def test_skips_small_holes(self):
+        a = ContiguousAllocator(100)
+        hole = a.allocate(5)
+        a.allocate(50)
+        a.release(hole)
+        big = a.allocate(20)  # must come from the tail, not the 5-hole
+        assert big.start == 55
+
+    def test_invalid_size(self):
+        a = ContiguousAllocator(10)
+        with pytest.raises(ValueError):
+            a.allocate(0)
+
+
+class TestRelease:
+    def test_release_then_reallocate(self):
+        a = ContiguousAllocator(10)
+        b = a.allocate(10)
+        a.release(b)
+        assert a.allocate(10).start == 0
+
+    def test_coalesce_with_both_neighbours(self):
+        a = ContiguousAllocator(30)
+        b1, b2, b3 = a.allocate(10), a.allocate(10), a.allocate(10)
+        a.release(b1)
+        a.release(b3)
+        a.release(b2)  # middle release must merge all three
+        assert a.largest_free_block == 30
+        assert len(a.free_blocks()) == 1
+
+    def test_double_free_rejected(self):
+        a = ContiguousAllocator(10)
+        b = a.allocate(5)
+        a.release(b)
+        with pytest.raises(ValueError):
+            a.release(b)
+
+    def test_release_out_of_range_rejected(self):
+        a = ContiguousAllocator(10)
+        with pytest.raises(ValueError):
+            a.release(Block(5, 15))
+
+    def test_partial_release_rejected(self):
+        a = ContiguousAllocator(20)
+        a.allocate(10)
+        with pytest.raises(ValueError):
+            a.release(Block(5, 8))  # a sub-block, not the allocation
+
+    def test_made_up_block_rejected(self):
+        a = ContiguousAllocator(20)
+        a.allocate(10)
+        with pytest.raises(ValueError):
+            a.release(Block(12, 15))  # never allocated
+
+
+class TestAccounting:
+    def test_counters(self):
+        a = ContiguousAllocator(100)
+        a.allocate(30)
+        assert a.allocated_nodes == 30
+        assert a.free_nodes == 70
+        assert a.largest_free_block == 70
+
+    def test_can_allocate(self):
+        a = ContiguousAllocator(10)
+        assert a.can_allocate(10)
+        a.allocate(6)
+        assert a.can_allocate(4)
+        assert not a.can_allocate(5)
+
+    def test_can_allocate_invalid(self):
+        with pytest.raises(ValueError):
+            ContiguousAllocator(10).can_allocate(0)
+
+    def test_invariants_hold_after_mixed_ops(self):
+        a = ContiguousAllocator(50)
+        blocks = [a.allocate(7) for _ in range(6)]
+        for b in blocks[::2]:
+            a.release(b)
+        a.check_invariants()
+        a.allocate(7)
+        a.check_invariants()
+
+    def test_total_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ContiguousAllocator(0)

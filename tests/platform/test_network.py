@@ -1,0 +1,69 @@
+"""Unit tests for the network model (Eq. 3 in particular)."""
+
+import pytest
+
+from repro.platform.network import NetworkModel
+from repro.platform.presets import ndr_infiniband
+from repro.units import MINUTE
+
+
+class TestEq3:
+    def test_pfs_transfer_formula(self):
+        net = NetworkModel(latency_s=0.5e-6, bandwidth_gbs=600.0, switch_connections=12)
+        # (32/600) * (1200/12) = 5.333... s
+        assert net.pfs_transfer_time(32.0, 1200) == pytest.approx(32.0 / 600.0 * 100.0)
+
+    def test_paper_full_system_window(self):
+        """Sec. IV-B: checkpoint+restart of a full-system application
+        takes 17-35 minutes depending on the application type."""
+        net = ndr_infiniband()
+        for mem in (32.0, 64.0):
+            round_trip = 2.0 * net.pfs_transfer_time(mem, 120_000)
+            assert 17 * MINUTE <= round_trip <= 36 * MINUTE
+
+    def test_scales_linearly_in_nodes(self):
+        net = ndr_infiniband()
+        assert net.pfs_transfer_time(32.0, 2400) == pytest.approx(
+            2 * net.pfs_transfer_time(32.0, 1200)
+        )
+
+    def test_scales_linearly_in_memory(self):
+        net = ndr_infiniband()
+        assert net.pfs_transfer_time(64.0, 1200) == pytest.approx(
+            2 * net.pfs_transfer_time(32.0, 1200)
+        )
+
+    def test_invalid_args(self):
+        net = ndr_infiniband()
+        with pytest.raises(ValueError):
+            net.pfs_transfer_time(-1.0, 10)
+        with pytest.raises(ValueError):
+            net.pfs_transfer_time(32.0, 0)
+
+
+class TestPointToPoint:
+    def test_latency_only_for_empty_message(self):
+        net = ndr_infiniband()
+        assert net.point_to_point_time(0.0) == pytest.approx(0.5e-6)
+
+    def test_bandwidth_term(self):
+        net = ndr_infiniband()
+        assert net.point_to_point_time(600.0) == pytest.approx(1.0, rel=1e-5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ndr_infiniband().point_to_point_time(-1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(latency_s=-1.0, bandwidth_gbs=600.0, switch_connections=12),
+            dict(latency_s=0.0, bandwidth_gbs=0.0, switch_connections=12),
+            dict(latency_s=0.0, bandwidth_gbs=600.0, switch_connections=0),
+        ],
+    )
+    def test_invalid_model_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkModel(**kwargs)

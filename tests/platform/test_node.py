@@ -1,0 +1,49 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.platform.node import NodeSpec
+from repro.platform.presets import exascale_node, sunway_taihulight_node
+
+
+class TestNodeSpec:
+    def test_memory_write_time(self):
+        node = NodeSpec(cores=4, tflops=1.0, memory_gb=64.0, memory_bandwidth_gbs=320.0)
+        assert node.memory_write_time(32.0) == pytest.approx(0.1)
+
+    def test_memory_write_time_zero(self):
+        node = exascale_node()
+        assert node.memory_write_time(0.0) == 0.0
+
+    def test_memory_write_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            exascale_node().memory_write_time(-1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("tflops", 0.0),
+            ("memory_gb", -1.0),
+            ("memory_bandwidth_gbs", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = dict(cores=4, tflops=1.0, memory_gb=64.0, memory_bandwidth_gbs=320.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            NodeSpec(**kwargs)
+
+
+class TestPresets:
+    def test_exascale_node_paper_values(self):
+        node = exascale_node()
+        assert node.cores == 1028
+        assert node.tflops == pytest.approx(12.0)
+        assert node.memory_gb == pytest.approx(128.0)
+        assert node.memory_bandwidth_gbs == pytest.approx(320.0)
+
+    def test_taihulight_node_reference(self):
+        node = sunway_taihulight_node()
+        assert node.cores == 260
+        assert node.memory_gb == pytest.approx(32.0)

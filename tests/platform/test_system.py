@@ -1,0 +1,106 @@
+"""Unit tests for the HPCSystem allocation/active-node substrate."""
+
+import pytest
+
+from repro.platform.allocator import AllocationError
+from repro.platform.presets import exascale_system
+
+
+class TestCapacity:
+    def test_total_tflops(self, small_system):
+        assert small_system.total_tflops == pytest.approx(1200 * 12.0)
+
+    def test_exascale_preset_reaches_exaflop(self, full_system):
+        # 120 000 nodes x 12 TFLOPs = 1.44 EFLOPs > 1 EFLOP.
+        assert full_system.total_tflops >= 1_000_000.0
+
+    def test_fraction_to_nodes(self, full_system):
+        assert full_system.fraction_to_nodes(0.01) == 1200
+        assert full_system.fraction_to_nodes(1.0) == 120_000
+
+    def test_fraction_bounds(self, full_system):
+        with pytest.raises(ValueError):
+            full_system.fraction_to_nodes(0.0)
+        with pytest.raises(ValueError):
+            full_system.fraction_to_nodes(1.5)
+
+
+class TestAllocation:
+    def test_allocate_updates_active(self, small_system):
+        small_system.allocate("a", 100)
+        assert small_system.active_nodes == 100
+        assert small_system.idle_nodes == 1100
+
+    def test_release_returns_nodes(self, small_system):
+        small_system.allocate("a", 100)
+        small_system.release("a")
+        assert small_system.active_nodes == 0
+
+    def test_duplicate_owner_rejected(self, small_system):
+        small_system.allocate("a", 10)
+        with pytest.raises(ValueError):
+            small_system.allocate("a", 10)
+
+    def test_release_unknown_owner_rejected(self, small_system):
+        with pytest.raises(KeyError):
+            small_system.release("ghost")
+
+    def test_over_capacity_raises(self, small_system):
+        with pytest.raises(AllocationError):
+            small_system.allocate("big", 1201)
+
+    def test_owner_of_node(self, small_system):
+        alloc = small_system.allocate("a", 100)
+        assert small_system.owner_of_node(alloc.block.start) == "a"
+        assert small_system.owner_of_node(alloc.block.stop) is None
+
+    def test_allocation_of(self, small_system):
+        small_system.allocate("a", 10)
+        assert small_system.allocation_of("a").nodes == 10
+        assert small_system.allocation_of("b") is None
+
+    def test_allocations_snapshot(self, small_system):
+        small_system.allocate("a", 10)
+        small_system.allocate("b", 20)
+        owners = {a.owner for a in small_system.allocations()}
+        assert owners == {"a", "b"}
+
+    def test_invariants(self, small_system):
+        small_system.allocate("a", 10)
+        small_system.allocate("b", 20)
+        small_system.release("a")
+        small_system.check_invariants()
+
+
+class TestFailureSampling:
+    def test_sample_requires_active_nodes(self, small_system, rng):
+        with pytest.raises(RuntimeError):
+            small_system.sample_active_node(rng)
+
+    def test_sample_returns_owner_and_member_node(self, small_system, rng):
+        alloc = small_system.allocate("a", 50)
+        owner, node = small_system.sample_active_node(rng)
+        assert owner == "a"
+        assert node in alloc.block
+
+    def test_sample_distribution_proportional_to_size(self, small_system, rng):
+        small_system.allocate("small", 100)
+        small_system.allocate("big", 900)
+        hits = {"small": 0, "big": 0}
+        for _ in range(2000):
+            owner, _ = small_system.sample_active_node(rng)
+            hits[owner] += 1
+        # Expect ~10% / ~90%.
+        assert 0.05 < hits["small"] / 2000 < 0.15
+
+    def test_sample_never_hits_idle_nodes(self, small_system, rng):
+        alloc = small_system.allocate("a", 7)
+        for _ in range(200):
+            _, node = small_system.sample_active_node(rng)
+            assert node in alloc.block
+
+
+class TestConstruction:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            exascale_system(total_nodes=0)

@@ -1,0 +1,92 @@
+"""Property-based tests for the contiguous allocator.
+
+Arbitrary interleavings of allocate/release must preserve the free-list
+invariants (sorted, disjoint, coalesced) and conservation of nodes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.platform.allocator import AllocationError, ContiguousAllocator
+
+TOTAL = 64
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.allocator = ContiguousAllocator(TOTAL)
+        self.held = []
+
+    @rule(size=st.integers(min_value=1, max_value=TOTAL))
+    def allocate(self, size):
+        if self.allocator.can_allocate(size):
+            block = self.allocator.allocate(size)
+            assert block.size == size
+            self.held.append(block)
+        else:
+            with pytest.raises(AllocationError):
+                self.allocator.allocate(size)
+
+    @precondition(lambda self: self.held)
+    @rule(data=st.data())
+    def release(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(self.held) - 1))
+        block = self.held.pop(index)
+        self.allocator.release(block)
+
+    @invariant()
+    def conservation(self):
+        held_nodes = sum(b.size for b in self.held)
+        assert self.allocator.allocated_nodes == held_nodes
+        assert self.allocator.free_nodes == TOTAL - held_nodes
+
+    @invariant()
+    def structural(self):
+        self.allocator.check_invariants()
+
+    @invariant()
+    def held_blocks_disjoint(self):
+        spans = sorted((b.start, b.stop) for b in self.held)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+TestAllocatorStateMachine = AllocatorMachine.TestCase
+TestAllocatorStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+
+
+class TestAllocateReleaseRoundtrip:
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=16), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_release_all_restores_full_capacity(self, sizes):
+        allocator = ContiguousAllocator(TOTAL)
+        held = []
+        for size in sizes:
+            if allocator.can_allocate(size):
+                held.append(allocator.allocate(size))
+        for block in held:
+            allocator.release(block)
+        assert allocator.free_nodes == TOTAL
+        assert allocator.largest_free_block == TOTAL
+        allocator.check_invariants()
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=8)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        allocator = ContiguousAllocator(TOTAL)
+        blocks = []
+        for size in sizes:
+            if allocator.can_allocate(size):
+                blocks.append(allocator.allocate(size))
+        seen = set()
+        for block in blocks:
+            span = set(range(block.start, block.stop))
+            assert not span & seen
+            seen |= span

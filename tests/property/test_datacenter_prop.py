@@ -1,0 +1,81 @@
+"""Property-based tests for the datacenter simulator: for arbitrary
+small workloads and any policy combination, conservation properties
+must hold (every job resolved exactly once, machine left clean,
+accounting consistent)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.datacenter import (
+    DatacenterConfig,
+    DatacenterSimulator,
+    JobStatus,
+)
+from repro.core.selection import FixedSelector
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import datacenter_techniques
+from repro.rm.registry import make_manager, manager_names
+from repro.rng.streams import StreamFactory
+from repro.units import years
+from repro.workload.patterns import PatternGenerator
+
+NODES = 1200
+TECHNIQUES = {t.name: t for t in datacenter_techniques()}
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rm_name=st.sampled_from(manager_names()),
+    technique=st.sampled_from(sorted(TECHNIQUES)),
+    arrivals=st.integers(min_value=1, max_value=12),
+    mtbf_years=st.sampled_from([0.2, 2.5, 10.0]),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_datacenter_conservation(seed, rm_name, technique, arrivals, mtbf_years):
+    pattern = PatternGenerator(StreamFactory(seed), NODES).generate(
+        0, arrivals=arrivals
+    )
+    system = exascale_system(NODES)
+    simulator = DatacenterSimulator(
+        pattern,
+        make_manager(rm_name, StreamFactory(seed).fresh("rm")),
+        FixedSelector(TECHNIQUES[technique]),
+        system,
+        DatacenterConfig(node_mtbf_s=years(mtbf_years), seed=seed),
+    )
+    result = simulator.run()
+
+    # Every job appears exactly once and is resolved.
+    assert len(result.records) == len(pattern.all_apps)
+    assert {r.app.app_id for r in result.records} == {
+        a.app_id for a in pattern.all_apps
+    }
+    assert all(
+        r.status in (JobStatus.COMPLETED, JobStatus.DROPPED) for r in result.records
+    )
+
+    # Machine is left clean.
+    assert system.active_nodes == 0
+    system.check_invariants()
+
+    # Completed jobs have consistent interval accounting.
+    for record in result.records:
+        if record.status is JobStatus.COMPLETED:
+            assert record.start_time is not None
+            assert record.end_time is not None
+            assert record.end_time - record.start_time >= (
+                record.app.baseline_time - 1e-6
+            )
+        if record.start_time is None:
+            assert record.status is JobStatus.DROPPED
+
+    # Dropped percentage is consistent with the records.
+    arriving = result.arriving_records()
+    assert result.dropped_pct == pytest.approx(
+        100.0 * sum(r.dropped for r in arriving) / len(arriving)
+    )

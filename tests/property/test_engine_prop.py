@@ -1,0 +1,78 @@
+"""Property-based tests for the simulation kernel: arbitrary event
+programs must execute in non-decreasing time order, exactly once each.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestKernelProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_event_fires_once_in_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for i, delay in enumerate(delays):
+            sim.schedule(delay, lambda _e, i=i: fired.append((sim.now, i)))
+        sim.run()
+        assert len(fired) == len(delays)
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert {i for _, i in fired} == set(range(len(delays)))
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        horizon=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_run_until_splits_cleanly(self, delays, horizon):
+        """Running to a horizon then to completion fires the same events
+        as one uninterrupted run."""
+        full_sim = Simulator()
+        full = []
+        for i, d in enumerate(delays):
+            full_sim.schedule(d, lambda _e, i=i: full.append(i))
+        full_sim.run()
+
+        split_sim = Simulator()
+        split = []
+        for i, d in enumerate(delays):
+            split_sim.schedule(d, lambda _e, i=i: split.append(i))
+        split_sim.run(until=horizon)
+        split_sim.run()
+        assert split == full
+
+    @given(
+        spawn_delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nested_process_spawning(self, spawn_delays):
+        sim = Simulator()
+        finished = []
+
+        def worker(delay, tag):
+            yield sim.timeout(delay)
+            finished.append(tag)
+
+        def spawner():
+            for i, d in enumerate(spawn_delays):
+                sim.process(worker(d, i))
+                yield sim.timeout(1.0)
+
+        sim.process(spawner())
+        sim.run()
+        assert sorted(finished) == list(range(len(spawn_delays)))

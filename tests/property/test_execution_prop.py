@@ -1,0 +1,132 @@
+"""Property-based tests for the resilient-execution engine.
+
+For arbitrary plans and failure injections, completion must be
+accompanied by conserved wall-time accounting and physically sensible
+stats (elapsed >= effective work, rework only after failures, etc.).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.execution import ResilientExecution
+from repro.failures.generator import Failure
+from repro.resilience.base import CheckpointLevel, ExecutionPlan
+from repro.sim.engine import Simulator
+from repro.workload.synthetic import make_application
+
+
+@st.composite
+def plans(draw):
+    time_steps = draw(st.integers(min_value=1, max_value=20))
+    period = draw(st.floats(min_value=10.0, max_value=500.0))
+    cost = draw(st.floats(min_value=0.0, max_value=30.0))
+    restart = draw(st.floats(min_value=0.0, max_value=30.0))
+    work_rate = draw(st.floats(min_value=1.0, max_value=2.0))
+    sigma = draw(st.sampled_from([1.0, 2.0, 4.0]))
+    app = make_application("B32", nodes=8, time_steps=time_steps)
+    level = CheckpointLevel(
+        index=1, recovers_severity=3, cost_s=cost, restart_s=restart, period_s=period
+    )
+    return ExecutionPlan(
+        app=app,
+        technique="prop",
+        work_rate=work_rate,
+        levels=(level,),
+        nodes_required=8,
+        recovery_speedup=sigma,
+    )
+
+
+@st.composite
+def failure_times(draw):
+    return draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=3000.0),
+            max_size=6,
+            unique=True,
+        )
+    )
+
+
+class TestEngineProperties:
+    @given(plan=plans(), times=failure_times())
+    @settings(max_examples=80, deadline=None)
+    def test_accounting_conservation(self, plan, times):
+        sim = Simulator()
+        engine = ResilientExecution(sim, plan)
+        proc = sim.process(engine.run())
+        for t in sorted(times):
+            sim.schedule_at(
+                t,
+                lambda _e: proc.interrupt(
+                    Failure(time=sim.now, node_id=0, severity=1)
+                )
+                if proc.alive
+                else None,
+            )
+        sim.run(until=1e7)
+        stats = engine.stats
+        assert stats.completed
+        # Wall time splits exactly into the four activities.
+        total = (
+            stats.work_time_s
+            + stats.rework_time_s
+            + stats.checkpoint_time_s
+            + stats.restart_time_s
+        )
+        assert total == pytest.approx(stats.elapsed_s, rel=1e-9, abs=1e-6)
+        # Forward progress work equals the effective baseline.
+        assert stats.work_time_s == pytest.approx(
+            plan.effective_work_s, rel=1e-9, abs=1e-6
+        )
+        # No failures => no rework/restarts.
+        if stats.failures == 0:
+            assert stats.rework_time_s == 0.0
+            assert stats.restart_time_s == 0.0
+        assert stats.restarts <= stats.failures
+        assert 0 < stats.efficiency() <= 1.0 + 1e-9
+
+    @given(plan=plans())
+    @settings(max_examples=40, deadline=None)
+    def test_failure_free_elapsed_formula(self, plan):
+        """Without failures, elapsed = work + (#checkpoints * cost)."""
+        sim = Simulator()
+        engine = ResilientExecution(sim, plan)
+        sim.process(engine.run())
+        sim.run(until=1e7)
+        stats = engine.stats
+        assert stats.completed
+        expected = plan.effective_work_s + stats.total_checkpoints * plan.levels[0].cost_s
+        assert stats.elapsed_s == pytest.approx(expected, rel=1e-9, abs=1e-6)
+        # Boundary count: floor(work / period), minus one if the work is
+        # an exact multiple (the final boundary completes the app).
+        import math
+
+        work, period = plan.effective_work_s, plan.levels[0].period_s
+        boundaries = math.floor(work / period + 1e-9)
+        if abs(boundaries * period - work) < 1e-6 and boundaries > 0:
+            boundaries -= 1
+        assert stats.total_checkpoints == boundaries
+
+    @given(plan=plans(), time=st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_single_failure_rolls_back_at_most_one_period(self, plan, time):
+        sim = Simulator()
+        engine = ResilientExecution(sim, plan)
+        proc = sim.process(engine.run())
+        sim.schedule_at(
+            time,
+            lambda _e: proc.interrupt(Failure(time=sim.now, node_id=0, severity=1))
+            if proc.alive
+            else None,
+        )
+        sim.run(until=1e7)
+        stats = engine.stats
+        assert stats.completed
+        if stats.restarts == 1:
+            # Lost work bounded by one period plus one checkpoint cost
+            # (a failure mid-checkpoint also loses the interval behind it).
+            level = plan.levels[0]
+            max_loss = level.period_s + level.cost_s
+            assert stats.rework_time_s * plan.recovery_speedup <= max_loss + 1e-6

@@ -1,0 +1,69 @@
+"""Property-based cross-validation: on randomly drawn configurations
+the simulator and the closed-form model must agree within first-order
+plus sampling tolerance.
+
+This generalizes the fixed-configuration validation tests — any
+(type, size, MTBF) cell the strategy can produce must validate, not
+just the handful we thought to write down.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analytic import predict
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.platform.presets import exascale_system
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.resilience.multilevel import MultilevelCheckpoint
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.units import years
+from repro.workload.synthetic import APP_TYPES, make_application
+
+SYSTEM = exascale_system()
+TECHNIQUES = {
+    "checkpoint_restart": CheckpointRestart,
+    "multilevel": MultilevelCheckpoint,
+    "parallel_recovery": ParallelRecovery,
+}
+
+
+@given(
+    app_type=st.sampled_from(sorted(APP_TYPES)),
+    fraction=st.sampled_from([0.06, 0.12, 0.25]),
+    mtbf_years=st.sampled_from([5.0, 10.0, 20.0]),
+    technique=st.sampled_from(sorted(TECHNIQUES)),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_simulator_agrees_with_model(app_type, fraction, mtbf_years, technique, seed):
+    app = make_application(app_type, nodes=SYSTEM.fraction_to_nodes(fraction))
+    config = SingleAppConfig(node_mtbf_s=years(mtbf_years), seed=seed)
+    factory = TECHNIQUES[technique]
+    trial_set = run_trials(app, factory(), SYSTEM, trials=8, config=config)
+    plan = factory().plan(
+        app, SYSTEM, config.node_mtbf_s, severity=config.severity_model()
+    )
+    predicted = predict(
+        plan, config.node_mtbf_s, config.severity_model()
+    ).expected_efficiency
+    simulated = trial_set.mean_efficiency
+    # The renewal model is first-order in lambda * segment: its own
+    # error grows like (lambda * (tau + C))^2 / 2, so the tolerance is
+    # that bound plus a 4% floor for 8-trial sampling noise.
+    rate = plan.nodes_required / config.node_mtbf_s
+    base_level = plan.levels[0]
+    segment = base_level.period_s + base_level.cost_s
+    tolerance = 0.04 + 0.5 * (rate * segment) ** 2
+    assert abs(simulated - predicted) / predicted < tolerance, (
+        app_type,
+        fraction,
+        mtbf_years,
+        technique,
+        simulated,
+        predicted,
+        tolerance,
+    )

@@ -1,0 +1,63 @@
+"""Property-based tests for the multilevel schedule optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.moody_markov import (
+    _boundary_fractions,
+    expected_overhead,
+    optimize_schedule,
+)
+
+costs3 = st.tuples(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=10.0, max_value=2000.0),
+)
+rates3 = st.tuples(
+    st.floats(min_value=1e-8, max_value=1e-4),
+    st.floats(min_value=1e-8, max_value=1e-4),
+    st.floats(min_value=1e-8, max_value=1e-4),
+)
+
+
+class TestOptimizerProperties:
+    @given(costs=costs3, rates=rates3)
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_well_formed(self, costs, rates):
+        schedule = optimize_schedule(list(costs), list(costs), list(rates))
+        assert schedule.base_interval_s > 0
+        assert len(schedule.multipliers) == 2
+        assert all(m >= 1 for m in schedule.multipliers)
+        periods = schedule.periods_s
+        assert periods[0] <= periods[1] <= periods[2]
+        assert schedule.overhead > 0
+
+    @given(costs=costs3, rates=rates3)
+    @settings(max_examples=30, deadline=None)
+    def test_optimum_beats_random_perturbations(self, costs, rates):
+        schedule = optimize_schedule(list(costs), list(costs), list(rates))
+        for factor in (0.2, 5.0):
+            perturbed = expected_overhead(
+                schedule.base_interval_s * factor,
+                schedule.multipliers,
+                list(costs),
+                list(costs),
+                list(rates),
+            )
+            assert perturbed >= schedule.overhead * 0.999
+
+    @given(
+        mults=st.tuples(
+            st.integers(min_value=1, max_value=50),
+            st.integers(min_value=1, max_value=50),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_fractions_sum_to_one(self, mults):
+        fractions = _boundary_fractions(mults)
+        assert sum(fractions) == pytest.approx(1.0)
+        assert all(f >= 0 for f in fractions)
+        # Exactly 1/(m2*m3) of boundaries are top level.
+        assert fractions[-1] == pytest.approx(1.0 / (mults[0] * mults[1]))

@@ -1,0 +1,59 @@
+"""Property-based tests for PMF/severity invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures.severity import SeverityModel
+from repro.rng.distributions import DiscretePMF
+
+probs3 = st.tuples(
+    st.floats(min_value=0.01, max_value=10.0),
+    st.floats(min_value=0.01, max_value=10.0),
+    st.floats(min_value=0.01, max_value=10.0),
+)
+
+
+class TestPMFProperties:
+    @given(raw=probs3)
+    @settings(max_examples=100, deadline=None)
+    def test_normalization(self, raw):
+        pmf = DiscretePMF(raw)
+        assert sum(pmf.probabilities) == pytest.approx(1.0)
+        assert all(p >= 0 for p in pmf.probabilities)
+
+    @given(raw=probs3)
+    @settings(max_examples=100, deadline=None)
+    def test_tail_monotone_decreasing(self, raw):
+        pmf = DiscretePMF(raw)
+        tails = [pmf.tail(k) for k in range(len(pmf))]
+        assert tails[0] == pytest.approx(1.0)
+        assert all(a >= b - 1e-12 for a, b in zip(tails, tails[1:]))
+
+    @given(raw=probs3, scale=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_scaling_invariance(self, raw, scale):
+        a = DiscretePMF(raw)
+        b = DiscretePMF(tuple(p * scale for p in raw))
+        assert a.probabilities == pytest.approx(b.probabilities)
+
+
+class TestSeverityProperties:
+    @given(raw=probs3, total=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_level_rates_partition_total(self, raw, total):
+        model = SeverityModel.from_probabilities(raw)
+        parts = [model.level_rate(k, total) for k in (1, 2, 3)]
+        assert sum(parts) == pytest.approx(total, abs=1e-12)
+
+    @given(raw=probs3)
+    @settings(max_examples=50, deadline=None)
+    def test_samples_match_tail_probabilities(self, raw):
+        model = SeverityModel.from_probabilities(raw)
+        rng = np.random.default_rng(0)
+        draws = np.array([model.sample(rng) for _ in range(4000)])
+        observed_tail2 = np.mean(draws >= 2)
+        assert observed_tail2 == pytest.approx(
+            model.probability_at_least(2), abs=0.05
+        )

@@ -1,0 +1,69 @@
+"""Property-based tests for the pending-event queue: it must behave as
+a stable priority queue under arbitrary push/pop/cancel interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import Event
+from repro.sim.queue import EventQueue
+
+
+def _noop(_event):
+    pass
+
+
+@st.composite
+def event_specs(draw):
+    """(time, priority, cancel?) triples."""
+    return (
+        draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        draw(st.integers(min_value=-10, max_value=10)),
+        draw(st.booleans()),
+    )
+
+
+class TestQueueProperties:
+    @given(specs=st.lists(event_specs(), max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_pop_order_matches_sorted_live_events(self, specs):
+        queue = EventQueue()
+        live = []
+        for seq, (time, priority, cancel) in enumerate(specs):
+            event = Event(time, _noop, priority=priority, seq=seq)
+            queue.push(event)
+            if cancel:
+                event.cancel()
+                queue.notify_cancelled()
+            else:
+                live.append(event)
+        assert len(queue) == len(live)
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        assert popped == sorted(live, key=lambda e: e.sort_key)
+
+    @given(specs=st.lists(event_specs(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_peek_agrees_with_pop(self, specs):
+        queue = EventQueue()
+        for seq, (time, priority, _) in enumerate(specs):
+            queue.push(Event(time, _noop, priority=priority, seq=seq))
+        while queue:
+            head = queue.peek()
+            assert queue.pop() is head
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equal_keys_pop_in_insertion_order(self, times):
+        queue = EventQueue()
+        events = [Event(5.0, _noop, seq=i) for i in range(len(times))]
+        for event in events:
+            queue.push(event)
+        assert [queue.pop() for _ in events] == events

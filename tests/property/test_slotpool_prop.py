@@ -1,0 +1,84 @@
+"""Stateful property test: SlotPool accounting under arbitrary
+request/release/abandon interleavings."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import SlotPool
+
+SLOTS = 3
+
+
+class SlotPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.pool = SlotPool(self.sim, slots=SLOTS)
+        self.held = []
+        self.queued = []
+
+    @rule()
+    def request(self):
+        ticket = self.pool.request()
+        if ticket.state == "held":
+            self.held.append(ticket)
+        else:
+            assert ticket.state == "queued"
+            self.queued.append(ticket)
+
+    @precondition(lambda self: self.held)
+    @rule(data=st.data())
+    def release(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(self.held) - 1))
+        ticket = self.held.pop(index)
+        ticket.release()
+        self._promote_granted()
+
+    @precondition(lambda self: self.queued)
+    @rule(data=st.data())
+    def abandon_queued(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(self.queued) - 1))
+        ticket = self.queued.pop(index)
+        ticket.abandon()
+        self._promote_granted()
+
+    @precondition(lambda self: self.held)
+    @rule(data=st.data())
+    def abandon_held(self, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(self.held) - 1))
+        ticket = self.held.pop(index)
+        ticket.abandon()
+        self._promote_granted()
+
+    def _promote_granted(self):
+        """Queued tickets granted by a release become held (as a waiting
+        process would experience after its signal fires)."""
+        for ticket in list(self.queued):
+            if ticket.state == "granted":
+                self.queued.remove(ticket)
+                ticket.state = "held"
+                self.held.append(ticket)
+
+    @invariant()
+    def conservation(self):
+        # Every slot is either free or held by exactly one ticket.
+        assert self.pool.free + len(self.held) == SLOTS
+        assert self.pool.in_use == len(self.held)
+        assert 0 <= self.pool.free <= SLOTS
+
+    @invariant()
+    def queue_only_when_full(self):
+        if self.pool.queued > 0:
+            assert self.pool.free == 0
+
+    @invariant()
+    def queue_matches_model(self):
+        assert self.pool.queued == len(self.queued)
+
+
+TestSlotPoolStateMachine = SlotPoolMachine.TestCase
+TestSlotPoolStateMachine.settings = settings(
+    max_examples=50, stateful_step_count=50, deadline=None
+)

@@ -1,0 +1,186 @@
+"""Unit tests for plan/level/replica structures."""
+
+import pytest
+
+from repro.resilience.base import (
+    CheckpointLevel,
+    ExecutionPlan,
+    ReplicaPlan,
+    ceil_nodes,
+)
+from repro.workload.synthetic import make_application
+
+
+def _level(index=1, recovers=3, cost=10.0, restart=10.0, period=100.0):
+    return CheckpointLevel(
+        index=index,
+        recovers_severity=recovers,
+        cost_s=cost,
+        restart_s=restart,
+        period_s=period,
+    )
+
+
+def _plan(levels=None, **overrides):
+    app = make_application("A32", nodes=100, time_steps=60)
+    kwargs = dict(
+        app=app,
+        technique="test",
+        work_rate=1.0,
+        levels=levels or (_level(),),
+        nodes_required=100,
+    )
+    kwargs.update(overrides)
+    return ExecutionPlan(**kwargs)
+
+
+class TestCheckpointLevel:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(index=0),
+            dict(recovers=0),
+            dict(recovers=4),
+            dict(cost=-1.0),
+            dict(restart=-1.0),
+            dict(period=0.0),
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            _level(**overrides)
+
+
+class TestReplicaPlan:
+    def test_physical_nodes(self):
+        plan = ReplicaPlan(degree=1.5, virtual_nodes=100, replicated=50)
+        assert plan.physical_nodes == 150
+
+    def test_virtual_of_physical_mapping(self):
+        plan = ReplicaPlan(degree=1.5, virtual_nodes=4, replicated=2)
+        # Physical 0,1 -> virtual 0; 2,3 -> virtual 1; 4 -> 2; 5 -> 3.
+        assert [plan.virtual_of_physical(i) for i in range(6)] == [0, 0, 1, 1, 2, 3]
+
+    def test_replicas_of(self):
+        plan = ReplicaPlan(degree=1.5, virtual_nodes=4, replicated=2)
+        assert plan.replicas_of(0) == 2
+        assert plan.replicas_of(3) == 1
+
+    def test_full_redundancy_mapping(self):
+        plan = ReplicaPlan(degree=2.0, virtual_nodes=3, replicated=3)
+        assert plan.physical_nodes == 6
+        assert [plan.virtual_of_physical(i) for i in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_out_of_range_rejected(self):
+        plan = ReplicaPlan(degree=1.5, virtual_nodes=4, replicated=2)
+        with pytest.raises(ValueError):
+            plan.virtual_of_physical(6)
+        with pytest.raises(ValueError):
+            plan.replicas_of(4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(degree=0.5, virtual_nodes=4, replicated=2),
+            dict(degree=2.5, virtual_nodes=4, replicated=2),
+            dict(degree=1.5, virtual_nodes=0, replicated=0),
+            dict(degree=1.5, virtual_nodes=4, replicated=5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicaPlan(**kwargs)
+
+
+class TestExecutionPlan:
+    def test_effective_work_includes_rate(self):
+        plan = _plan(work_rate=1.075)
+        assert plan.effective_work_s == pytest.approx(60 * 60 * 1.075)
+
+    def test_boundary_level_single_level(self):
+        plan = _plan()
+        assert plan.boundary_level(1).index == 1
+        assert plan.boundary_level(17).index == 1
+
+    def test_boundary_level_nested(self):
+        levels = (
+            _level(index=1, recovers=1, period=100.0),
+            _level(index=2, recovers=2, period=300.0),
+            _level(index=3, recovers=3, period=1200.0),
+        )
+        plan = _plan(levels=levels)
+        assert plan.boundary_level(1).index == 1
+        assert plan.boundary_level(3).index == 2
+        assert plan.boundary_level(6).index == 2
+        assert plan.boundary_level(12).index == 3
+        assert plan.boundary_level(24).index == 3
+
+    def test_level_multiplier(self):
+        levels = (
+            _level(index=1, recovers=1, period=100.0),
+            _level(index=2, recovers=2, period=300.0),
+            _level(index=3, recovers=3, period=1200.0),
+        )
+        plan = _plan(levels=levels)
+        assert plan.level_multiplier(1) == 1
+        assert plan.level_multiplier(2) == 3
+        assert plan.level_multiplier(3) == 12
+
+    def test_recovery_levels_filters_by_severity(self):
+        levels = (
+            _level(index=1, recovers=1, period=100.0),
+            _level(index=2, recovers=2, period=300.0),
+            _level(index=3, recovers=3, period=1200.0),
+        )
+        plan = _plan(levels=levels)
+        assert [l.index for l in plan.recovery_levels(1)] == [1, 2, 3]
+        assert [l.index for l in plan.recovery_levels(2)] == [2, 3]
+        assert [l.index for l in plan.recovery_levels(3)] == [3]
+
+    def test_boundary_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _plan().boundary_level(0)
+
+    def test_top_level_must_cover_worst_severity(self):
+        with pytest.raises(ValueError):
+            _plan(levels=(_level(recovers=1),))
+
+    def test_non_nested_periods_rejected(self):
+        levels = (
+            _level(index=1, recovers=1, period=100.0),
+            _level(index=2, recovers=3, period=250.0),  # 2.5x: not integer
+        )
+        with pytest.raises(ValueError):
+            _plan(levels=levels)
+
+    def test_duplicate_level_indices_rejected(self):
+        levels = (
+            _level(index=1, recovers=1, period=100.0),
+            _level(index=1, recovers=3, period=100.0),
+        )
+        with pytest.raises(ValueError):
+            _plan(levels=levels)
+
+    def test_work_rate_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            _plan(work_rate=0.9)
+
+    def test_nodes_below_app_rejected(self):
+        with pytest.raises(ValueError):
+            _plan(nodes_required=50)
+
+    def test_level_by_index_missing(self):
+        with pytest.raises(KeyError):
+            _plan().level_by_index(9)
+
+
+class TestCeilNodes:
+    def test_exact(self):
+        assert ceil_nodes(100.0) == 100
+
+    def test_rounds_up(self):
+        assert ceil_nodes(100.1) == 101
+
+    def test_float_fuzz_tolerated(self):
+        assert ceil_nodes(0.5 * 300) == 150
+        assert ceil_nodes(150.0000000001) == 150

@@ -1,0 +1,72 @@
+"""Unit tests for the Checkpoint Restart technique (Sec. IV-B)."""
+
+import pytest
+
+from repro.failures.rates import application_failure_rate
+from repro.resilience.checkpoint_restart import CheckpointRestart, pfs_checkpoint_time
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestEq3:
+    def test_checkpoint_time(self, small_system):
+        app = make_application("A32", nodes=1200)
+        # (32/600) * (1200/12) = 5.333 s.
+        assert pfs_checkpoint_time(app, small_system) == pytest.approx(
+            (32.0 / 600.0) * (1200 / 12)
+        )
+
+    def test_memory_dependence(self, small_system):
+        a32 = make_application("A32", nodes=600)
+        a64 = make_application("A64", nodes=600)
+        assert pfs_checkpoint_time(a64, small_system) == pytest.approx(
+            2 * pfs_checkpoint_time(a32, small_system)
+        )
+
+
+class TestPlan:
+    def test_single_level_covering_everything(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        assert len(plan.levels) == 1
+        assert plan.levels[0].recovers_severity == 3
+
+    def test_symmetric_checkpoint_restart(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        level = plan.levels[0]
+        assert level.cost_s == pytest.approx(level.restart_s)
+        assert level.cost_s == pytest.approx(
+            pfs_checkpoint_time(small_app, small_system)
+        )
+
+    def test_period_is_daly_optimum(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        cost = pfs_checkpoint_time(small_app, small_system)
+        rate = application_failure_rate(small_app.nodes, MTBF)
+        assert plan.levels[0].period_s == pytest.approx(
+            optimal_checkpoint_interval(cost, rate)
+        )
+
+    def test_no_execution_inflation(self, small_system, small_app):
+        plan = CheckpointRestart().plan(small_app, small_system, MTBF)
+        assert plan.work_rate == 1.0
+        assert plan.recovery_speedup == 1.0
+        assert plan.replicas is None
+
+    def test_nodes_required_equals_app_nodes(self, small_system, small_app):
+        technique = CheckpointRestart()
+        assert technique.nodes_required(small_app) == small_app.nodes
+        plan = technique.plan(small_app, small_system, MTBF)
+        assert plan.nodes_required == small_app.nodes
+
+    def test_fits_anything_up_to_machine_size(self, small_system):
+        technique = CheckpointRestart()
+        assert technique.fits(make_application("A32", nodes=1200), small_system)
+        assert not technique.fits(make_application("A32", nodes=1201), small_system)
+
+    def test_period_shrinks_with_worse_mtbf(self, small_system, small_app):
+        good = CheckpointRestart().plan(small_app, small_system, years(10))
+        bad = CheckpointRestart().plan(small_app, small_system, years(2.5))
+        assert bad.levels[0].period_s < good.levels[0].period_s

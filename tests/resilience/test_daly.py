@@ -1,0 +1,147 @@
+"""Unit tests for Eq. 4 and the Daly expected-runtime formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.resilience.daly import (
+    expected_completion_time,
+    expected_efficiency,
+    expected_segment_time,
+    optimal_checkpoint_interval,
+    young_interval,
+)
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_interval(100.0, 1e-5) == pytest.approx(
+            math.sqrt(2 * 100.0 / 1e-5)
+        )
+
+    def test_daly_is_young_minus_cost(self):
+        c, lam = 50.0, 1e-6
+        assert optimal_checkpoint_interval(c, lam) == pytest.approx(
+            young_interval(c, lam) - c
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 1e-5)
+        with pytest.raises(ValueError):
+            young_interval(10.0, 0.0)
+
+
+class TestEq4:
+    def test_formula(self):
+        c, lam = 100.0, 1e-5
+        tau = optimal_checkpoint_interval(c, lam)
+        assert tau == pytest.approx(math.sqrt(2 * c / lam) - c)
+
+    def test_paper_example_full_system_32gb(self):
+        """Table II cross-check: full system, 32 GB/node, 10-year MTBF
+        gives a period around 19 minutes."""
+        from repro.units import MINUTE, years
+
+        c = (32.0 / 600.0) * (120_000 / 12)  # Eq. 3 = 533 s
+        lam = 120_000 / years(10)
+        tau = optimal_checkpoint_interval(c, lam)
+        assert tau == pytest.approx(19.0 * MINUTE, rel=0.05)
+
+    def test_thrashing_regime_falls_back_to_young(self):
+        # Cost so large Eq. 4 would be negative.
+        c, lam = 1000.0, 1.0
+        tau = optimal_checkpoint_interval(c, lam)
+        assert tau == pytest.approx(math.sqrt(2 * c / lam))
+        assert tau > 0
+
+    def test_interval_decreases_with_failure_rate(self):
+        c = 100.0
+        assert optimal_checkpoint_interval(c, 1e-4) < optimal_checkpoint_interval(
+            c, 1e-6
+        )
+
+    def test_interval_increases_with_cost(self):
+        lam = 1e-5
+        assert optimal_checkpoint_interval(400.0, lam) > optimal_checkpoint_interval(
+            100.0, lam
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(0.0, 1e-5)
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(100.0, 0.0)
+
+
+class TestExpectedSegmentTime:
+    def test_no_failures_is_work_plus_checkpoint(self):
+        assert expected_segment_time(100.0, 10.0, 5.0, 0.0) == pytest.approx(110.0)
+
+    def test_small_rate_close_to_failure_free(self):
+        e = expected_segment_time(100.0, 10.0, 5.0, 1e-9)
+        assert e == pytest.approx(110.0, rel=1e-5)
+
+    def test_increases_with_rate(self):
+        lo = expected_segment_time(100.0, 10.0, 5.0, 1e-4)
+        hi = expected_segment_time(100.0, 10.0, 5.0, 1e-2)
+        assert hi > lo > 110.0
+
+    def test_matches_monte_carlo(self, rng):
+        """The closed form must agree with a direct simulation of the
+        segment renewal process."""
+        interval, cost, restart, lam = 50.0, 5.0, 8.0, 0.01
+        segment = interval + cost
+
+        def one_trial():
+            total = 0.0
+            while True:
+                fail_gap = rng.exponential(1.0 / lam)
+                if fail_gap >= segment:
+                    return total + segment
+                total += fail_gap + restart
+
+        draws = [one_trial() for _ in range(20_000)]
+        closed = expected_segment_time(interval, cost, restart, lam)
+        assert np.mean(draws) == pytest.approx(closed, rel=0.03)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_segment_time(0.0, 1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_segment_time(10.0, -1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_segment_time(10.0, 1.0, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_segment_time(10.0, 1.0, 1.0, -0.1)
+
+
+class TestExpectedCompletion:
+    def test_failure_free_total(self):
+        # 10 segments of (100 work + 10 ckpt), last checkpoint skipped.
+        t = expected_completion_time(1000.0, 100.0, 10.0, 5.0, 0.0)
+        assert t == pytest.approx(1000.0 + 9 * 10.0)
+
+    def test_partial_final_segment(self):
+        t = expected_completion_time(250.0, 100.0, 10.0, 5.0, 0.0)
+        # 2 full segments with checkpoints + 50 remainder without.
+        assert t == pytest.approx(2 * 110.0 + 50.0)
+
+    def test_efficiency_bounded(self):
+        eff = expected_efficiency(1000.0, 100.0, 10.0, 5.0, 1e-4)
+        assert 0 < eff < 1
+
+    def test_optimal_interval_beats_neighbours(self):
+        """Eq. 4's optimum should (approximately) minimize the exact
+        expected completion time."""
+        work, cost, lam = 86_400.0, 100.0, 1e-5
+        tau = optimal_checkpoint_interval(cost, lam)
+        best = expected_completion_time(work, tau, cost, cost, lam)
+        for factor in (0.25, 4.0):
+            worse = expected_completion_time(work, tau * factor, cost, cost, lam)
+            assert worse >= best * 0.999
+
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(0.0, 10.0, 1.0, 1.0, 0.1)

@@ -1,0 +1,117 @@
+"""Unit tests for the extension techniques: adaptive redundancy and
+incremental checkpointing."""
+
+import pytest
+
+from repro.resilience.adaptive import AdaptiveRedundancy
+from repro.resilience.checkpoint_restart import (
+    CheckpointRestart,
+    IncrementalCheckpointRestart,
+    pfs_checkpoint_time,
+)
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestAdaptiveRedundancy:
+    def test_low_comm_apps_get_high_degrees(self, full_system):
+        selector = AdaptiveRedundancy()
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.12))
+        assert selector.choose_degree(app, full_system, MTBF) >= 1.5
+
+    def test_high_comm_apps_get_no_redundancy(self, full_system):
+        selector = AdaptiveRedundancy()
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(0.12))
+        assert selector.choose_degree(app, full_system, MTBF) == 1.0
+
+    def test_size_wall_caps_degree(self, full_system):
+        """Near the machine limit only small degrees remain feasible."""
+        selector = AdaptiveRedundancy()
+        app = make_application("A32", nodes=full_system.fraction_to_nodes(0.8))
+        degree = selector.choose_degree(app, full_system, MTBF)
+        assert degree <= 1.25
+
+    def test_distinct_apps_get_distinct_choices(self, full_system):
+        """Regression: the choice cache must key on the full application
+        identity, not just (id, nodes)."""
+        selector = AdaptiveRedundancy()
+        nodes = full_system.fraction_to_nodes(0.12)
+        a32 = make_application("A32", nodes=nodes)
+        d64 = make_application("D64", nodes=nodes)
+        assert selector.choose_degree(a32, full_system, MTBF) != (
+            selector.choose_degree(d64, full_system, MTBF)
+        )
+
+    def test_plan_brands_chosen_degree(self, full_system):
+        selector = AdaptiveRedundancy()
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(0.12))
+        plan = selector.plan(app, full_system, MTBF)
+        assert plan.technique.startswith("adaptive_redundancy[r=")
+        assert plan.replicas is not None
+
+    def test_nodes_required_uses_minimum_degree(self):
+        selector = AdaptiveRedundancy(degrees=(1.0, 2.0))
+        app = make_application("A32", nodes=100)
+        assert selector.nodes_required(app) == 100
+
+    def test_simulated_beats_fixed_degree_on_mixed_apps(self, full_system):
+        """On a high-communication app the adaptive policy (r = 1)
+        must beat fixed full redundancy in simulation too."""
+        from repro.core.single_app import SingleAppConfig, run_trials
+        from repro.resilience.redundancy import Redundancy
+
+        app = make_application("D64", nodes=full_system.fraction_to_nodes(0.12))
+        config = SingleAppConfig(seed=77)
+        adaptive = run_trials(app, AdaptiveRedundancy(), full_system, 4, config)
+        fixed = run_trials(app, Redundancy.full(), full_system, 4, config)
+        assert adaptive.mean_efficiency > fixed.mean_efficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRedundancy(degrees=())
+        with pytest.raises(ValueError):
+            AdaptiveRedundancy(degrees=(0.5,))
+
+    def test_no_feasible_degree_raises(self, small_system):
+        selector = AdaptiveRedundancy(degrees=(2.0,))
+        app = make_application("A32", nodes=900)
+        with pytest.raises(ValueError):
+            selector.choose_degree(app, small_system, MTBF)
+
+
+class TestIncrementalCheckpointRestart:
+    def test_cost_scaled_restart_full(self, small_system, small_app):
+        technique = IncrementalCheckpointRestart(dirty_fraction=0.3)
+        plan = technique.plan(small_app, small_system, MTBF)
+        full = pfs_checkpoint_time(small_app, small_system)
+        assert plan.levels[0].cost_s == pytest.approx(0.3 * full)
+        assert plan.levels[0].restart_s == pytest.approx(full)
+
+    def test_period_shorter_than_full_cr(self, small_system, small_app):
+        incremental = IncrementalCheckpointRestart(0.3).plan(
+            small_app, small_system, MTBF
+        )
+        full = CheckpointRestart().plan(small_app, small_system, MTBF)
+        assert incremental.levels[0].period_s < full.levels[0].period_s
+
+    def test_simulated_improvement(self, full_system):
+        from repro.core.single_app import SingleAppConfig, run_trials
+
+        app = make_application("A64", nodes=full_system.fraction_to_nodes(0.5))
+        config = SingleAppConfig(seed=13)
+        incremental = run_trials(
+            app, IncrementalCheckpointRestart(0.3), full_system, 5, config
+        )
+        full = run_trials(app, CheckpointRestart(), full_system, 5, config)
+        assert incremental.mean_efficiency > full.mean_efficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalCheckpointRestart(0.0)
+        with pytest.raises(ValueError):
+            IncrementalCheckpointRestart(1.5)
+
+    def test_name_carries_fraction(self):
+        assert IncrementalCheckpointRestart(0.25).name == "incremental_cr_0.25"

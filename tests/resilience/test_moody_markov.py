@@ -1,0 +1,103 @@
+"""Unit tests for the multilevel schedule optimizer."""
+
+import pytest
+
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.resilience.moody_markov import (
+    MultilevelSchedule,
+    _boundary_fractions,
+    expected_overhead,
+    optimize_schedule,
+)
+
+
+class TestBoundaryFractions:
+    def test_single_level(self):
+        assert _boundary_fractions(()) == (1.0,)
+
+    def test_two_levels(self):
+        # m2 = 4: 3/4 of boundaries are exactly L1, 1/4 are L2.
+        assert _boundary_fractions((4,)) == pytest.approx((0.75, 0.25))
+
+    def test_three_levels(self):
+        f = _boundary_fractions((4, 3))
+        assert f == pytest.approx((0.75, 0.25 - 1 / 12, 1 / 12))
+        assert sum(f) == pytest.approx(1.0)
+
+    def test_all_multipliers_one(self):
+        # Every boundary is the top level.
+        assert _boundary_fractions((1, 1)) == pytest.approx((0.0, 0.0, 1.0))
+
+
+class TestExpectedOverhead:
+    def test_single_level_matches_daly_form(self):
+        c, r, lam, tau = 100.0, 100.0, 1e-5, 3000.0
+        overhead = expected_overhead(tau, (), [c], [r], [lam])
+        assert overhead == pytest.approx(c / tau + lam * (r + tau / 2))
+
+    def test_decreases_then_increases_in_tau(self):
+        c, r, lam = 100.0, 100.0, 1e-5
+        opt = optimal_checkpoint_interval(c, lam)
+        at_opt = expected_overhead(opt, (), [c], [r], [lam])
+        assert expected_overhead(opt / 10, (), [c], [r], [lam]) > at_opt
+        assert expected_overhead(opt * 10, (), [c], [r], [lam]) > at_opt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_overhead(0.0, (), [1.0], [1.0], [1e-5])
+        with pytest.raises(ValueError):
+            expected_overhead(10.0, (0,), [1.0, 2.0], [1.0, 2.0], [1e-5, 1e-6])
+        with pytest.raises(ValueError):
+            expected_overhead(10.0, (), [1.0, 2.0], [1.0], [1e-5])
+        with pytest.raises(ValueError):
+            expected_overhead(10.0, (2, 2), [1.0], [1.0], [1e-5])
+
+
+class TestOptimizeSchedule:
+    def test_single_level_recovers_daly(self):
+        c, lam = 100.0, 1e-5
+        schedule = optimize_schedule([c], [c], [lam])
+        # The renewal objective's optimum matches Daly's to first order.
+        assert schedule.base_interval_s == pytest.approx(
+            optimal_checkpoint_interval(c, lam), rel=0.15
+        )
+
+    def test_three_level_structure(self):
+        costs = [0.1, 0.4, 500.0]
+        rates = [6.5e-5, 2e-5, 1.5e-5]
+        schedule = optimize_schedule(costs, costs, rates)
+        assert len(schedule.multipliers) == 2
+        assert all(m >= 1 for m in schedule.multipliers)
+        periods = schedule.periods_s
+        assert periods[0] <= periods[1] <= periods[2]
+        # The expensive PFS level must be much rarer than the RAM level.
+        assert periods[2] / periods[0] > 10
+
+    def test_optimum_beats_perturbations(self):
+        costs = [0.1, 0.4, 500.0]
+        rates = [6.5e-5, 2e-5, 1.5e-5]
+        schedule = optimize_schedule(costs, costs, rates)
+        best = schedule.overhead
+        for tau_scale in (0.3, 3.0):
+            worse = expected_overhead(
+                schedule.base_interval_s * tau_scale,
+                schedule.multipliers,
+                costs,
+                costs,
+                rates,
+            )
+            assert worse >= best * 0.999
+
+    def test_zero_rate_level_tolerated(self):
+        schedule = optimize_schedule([0.1, 500.0], [0.1, 500.0], [1e-5, 0.0])
+        assert schedule.base_interval_s > 0
+
+    def test_periods_property(self):
+        schedule = MultilevelSchedule(
+            base_interval_s=10.0, multipliers=(3, 4), overhead=0.1
+        )
+        assert schedule.periods_s == (10.0, 30.0, 120.0)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_schedule([], [], [])

@@ -1,0 +1,97 @@
+"""Unit tests for Multilevel Checkpointing (Sec. IV-C)."""
+
+import pytest
+
+from repro.failures.severity import SeverityModel
+from repro.resilience.checkpoint_restart import pfs_checkpoint_time
+from repro.resilience.multilevel import (
+    MultilevelCheckpoint,
+    level1_checkpoint_time,
+    level2_checkpoint_time,
+)
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestEq5:
+    def test_level1_is_memory_over_bandwidth(self, small_system):
+        app = make_application("A32", nodes=100)
+        # 32 GB / 320 GB/s = 0.1 s.
+        assert level1_checkpoint_time(app, small_system) == pytest.approx(0.1)
+
+    def test_level1_64gb(self, small_system):
+        app = make_application("A64", nodes=100)
+        assert level1_checkpoint_time(app, small_system) == pytest.approx(0.2)
+
+
+class TestEq6:
+    def test_level2_formula(self, small_system):
+        app = make_application("A32", nodes=100)
+        t1 = level1_checkpoint_time(app, small_system)
+        expected = 2 * (t1 + small_system.network.latency_s + 32.0 / 320.0)
+        assert level2_checkpoint_time(app, small_system) == pytest.approx(expected)
+
+    def test_level2_about_4x_level1(self, small_system):
+        app = make_application("A32", nodes=100)
+        ratio = level2_checkpoint_time(app, small_system) / level1_checkpoint_time(
+            app, small_system
+        )
+        assert ratio == pytest.approx(4.0, rel=1e-3)  # latency is negligible
+
+
+class TestPlan:
+    def test_three_levels_in_order(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        assert [lvl.index for lvl in plan.levels] == [1, 2, 3]
+        assert [lvl.recovers_severity for lvl in plan.levels] == [1, 2, 3]
+
+    def test_costs_strictly_increase_with_level(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        costs = [lvl.cost_s for lvl in plan.levels]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_level3_cost_is_eq3(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        assert plan.levels[2].cost_s == pytest.approx(
+            pfs_checkpoint_time(small_app, small_system)
+        )
+
+    def test_periods_nested_and_increasing(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        periods = [lvl.period_s for lvl in plan.levels]
+        assert periods[0] <= periods[1] <= periods[2]
+        assert plan.level_multiplier(2) >= 1
+        assert plan.level_multiplier(3) >= 1
+
+    def test_cheap_levels_much_more_frequent(self, small_system):
+        """With realistic parameters the RAM checkpoint should fire far
+        more often than the PFS checkpoint."""
+        app = make_application("A32", nodes=1200)
+        plan = MultilevelCheckpoint().plan(app, small_system, MTBF)
+        assert plan.levels[0].period_s < plan.levels[2].period_s
+
+    def test_severity_model_shapes_schedule(self, small_system, small_app):
+        """More severe failures should pull level-3 checkpoints closer
+        together."""
+        mild = SeverityModel.from_probabilities([0.9, 0.08, 0.02])
+        harsh = SeverityModel.from_probabilities([0.2, 0.2, 0.6])
+        plan_mild = MultilevelCheckpoint().plan(
+            small_app, small_system, MTBF, severity=mild
+        )
+        plan_harsh = MultilevelCheckpoint().plan(
+            small_app, small_system, MTBF, severity=harsh
+        )
+        assert plan_harsh.levels[2].period_s < plan_mild.levels[2].period_s
+
+    def test_no_execution_inflation(self, small_system, small_app):
+        plan = MultilevelCheckpoint().plan(small_app, small_system, MTBF)
+        assert plan.work_rate == 1.0
+        assert plan.recovery_speedup == 1.0
+
+    def test_level_costs_helper(self, small_system, small_app):
+        c1, c2, c3 = MultilevelCheckpoint.level_costs(small_app, small_system)
+        assert c1 == pytest.approx(level1_checkpoint_time(small_app, small_system))
+        assert c2 == pytest.approx(level2_checkpoint_time(small_app, small_system))
+        assert c3 == pytest.approx(pfs_checkpoint_time(small_app, small_system))

@@ -1,0 +1,83 @@
+"""Unit tests for Parallel Recovery (Sec. IV-D)."""
+
+import pytest
+
+from repro.resilience.multilevel import level2_checkpoint_time
+from repro.resilience.parallel_recovery import (
+    ParallelRecovery,
+    message_logging_slowdown,
+)
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestMu:
+    @pytest.mark.parametrize(
+        "tc,expected",
+        [(0.0, 1.0), (0.25, 1.025), (0.5, 1.05), (0.75, 1.075)],
+    )
+    def test_paper_values(self, tc, expected):
+        assert message_logging_slowdown(tc) == pytest.approx(expected)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            message_logging_slowdown(1.0)
+        with pytest.raises(ValueError):
+            message_logging_slowdown(-0.1)
+
+
+class TestEq7:
+    def test_effective_work_inflated_by_mu(self, small_system):
+        app = make_application("D64", nodes=120, time_steps=60)
+        plan = ParallelRecovery().plan(app, small_system, MTBF)
+        assert plan.work_rate == pytest.approx(1.075)
+        assert plan.effective_work_s == pytest.approx(app.baseline_time * 1.075)
+
+    def test_no_inflation_for_ep_apps(self, small_system, small_app):
+        plan = ParallelRecovery().plan(small_app, small_system, MTBF)
+        assert plan.work_rate == 1.0
+
+
+class TestPlan:
+    def test_in_memory_checkpoint_cost(self, small_system, comm_app):
+        plan = ParallelRecovery().plan(comm_app, small_system, MTBF)
+        assert plan.levels[0].cost_s == pytest.approx(
+            level2_checkpoint_time(comm_app, small_system)
+        )
+
+    def test_never_touches_pfs(self, small_system, comm_app):
+        """Sec. VII: 'the Parallel Recovery technique never requires
+        checkpoints to a parallel file system' — its checkpoint cost is
+        seconds, not minutes, regardless of size."""
+        big = make_application("D64", nodes=1200)
+        plan = ParallelRecovery().plan(big, small_system, MTBF)
+        assert plan.levels[0].cost_s < 1.0
+
+    def test_recovers_all_severities(self, small_system, comm_app):
+        plan = ParallelRecovery().plan(comm_app, small_system, MTBF)
+        assert plan.levels[0].recovers_severity == 3
+
+    def test_recovery_speedup_default(self, small_system, comm_app):
+        plan = ParallelRecovery().plan(comm_app, small_system, MTBF)
+        assert plan.recovery_speedup == pytest.approx(4.0)
+
+    def test_recovery_speedup_configurable(self, small_system, comm_app):
+        plan = ParallelRecovery(recovery_parallelism=8.0).plan(
+            comm_app, small_system, MTBF
+        )
+        assert plan.recovery_speedup == pytest.approx(8.0)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRecovery(recovery_parallelism=0.5)
+
+    def test_checkpoint_period_much_shorter_than_cr(self, small_system):
+        """Cheap checkpoints allow much tighter periods than PFS ones."""
+        from repro.resilience.checkpoint_restart import CheckpointRestart
+
+        app = make_application("A32", nodes=1200)
+        pr = ParallelRecovery().plan(app, small_system, MTBF)
+        cr = CheckpointRestart().plan(app, small_system, MTBF)
+        assert pr.levels[0].period_s < cr.levels[0].period_s

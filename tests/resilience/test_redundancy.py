@@ -1,0 +1,176 @@
+"""Unit tests for Partial/Full Redundancy (Sec. IV-E)."""
+
+import pytest
+
+from repro.failures.rates import application_failure_rate
+from repro.resilience.checkpoint_restart import pfs_checkpoint_time
+from repro.resilience.daly import optimal_checkpoint_interval
+from repro.resilience.redundancy import (
+    Redundancy,
+    effective_restart_rate,
+    redundancy_work_rate,
+    replica_plan,
+    solve_checkpoint_period,
+)
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+MTBF = years(10)
+
+
+class TestReplicaPlanConstruction:
+    def test_partial_half_replicated(self):
+        app = make_application("A32", nodes=100)
+        plan = replica_plan(app, 1.5)
+        assert plan.virtual_nodes == 100
+        assert plan.replicated == 50
+        assert plan.physical_nodes == 150
+
+    def test_full_redundancy(self):
+        app = make_application("A32", nodes=100)
+        plan = replica_plan(app, 2.0)
+        assert plan.replicated == 100
+        assert plan.physical_nodes == 200
+
+    def test_no_redundancy_degenerate(self):
+        app = make_application("A32", nodes=100)
+        plan = replica_plan(app, 1.0)
+        assert plan.replicated == 0
+        assert plan.physical_nodes == 100
+
+    def test_odd_node_count_rounds_up(self):
+        app = make_application("A32", nodes=5)
+        plan = replica_plan(app, 1.5)
+        assert plan.replicated == 3  # ceil(2.5)
+
+
+class TestEq8:
+    @pytest.mark.parametrize(
+        "type_name,r,expected",
+        [
+            ("A32", 1.5, 1.0),  # no communication: no inflation
+            ("D64", 1.5, 0.25 + 1.5 * 0.75),
+            ("D64", 2.0, 0.25 + 2.0 * 0.75),
+            ("C32", 2.0, 0.5 + 2.0 * 0.5),
+        ],
+    )
+    def test_work_rate(self, type_name, r, expected):
+        app = make_application(type_name, nodes=10)
+        assert redundancy_work_rate(app, r) == pytest.approx(expected)
+
+
+class TestEffectiveRate:
+    def test_all_single_is_raw_rate(self):
+        from repro.resilience.base import ReplicaPlan
+
+        plan = ReplicaPlan(degree=1.0, virtual_nodes=100, replicated=0)
+        assert effective_restart_rate(plan, 1e-8, 1000.0) == pytest.approx(1e-6)
+
+    def test_full_redundancy_quadratic(self):
+        from repro.resilience.base import ReplicaPlan
+
+        plan = ReplicaPlan(degree=2.0, virtual_nodes=100, replicated=100)
+        nu, tau = 1e-8, 1000.0
+        assert effective_restart_rate(plan, nu, tau) == pytest.approx(
+            100 * nu**2 * tau
+        )
+
+    def test_replication_reduces_rate(self):
+        from repro.resilience.base import ReplicaPlan
+
+        nu, tau = 1e-8, 1000.0
+        none = ReplicaPlan(degree=1.0, virtual_nodes=100, replicated=0)
+        full = ReplicaPlan(degree=2.0, virtual_nodes=100, replicated=100)
+        assert effective_restart_rate(full, nu, tau) < effective_restart_rate(
+            none, nu, tau
+        )
+
+    def test_validation(self):
+        from repro.resilience.base import ReplicaPlan
+
+        plan = ReplicaPlan(degree=1.5, virtual_nodes=10, replicated=5)
+        with pytest.raises(ValueError):
+            effective_restart_rate(plan, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            effective_restart_rate(plan, 1e-8, 0.0)
+
+
+class TestFixedPointPeriod:
+    def test_satisfies_fixed_point(self):
+        from repro.resilience.base import ReplicaPlan
+
+        plan = ReplicaPlan(degree=2.0, virtual_nodes=1000, replicated=1000)
+        cost, nu = 100.0, 1.0 / MTBF
+        tau = solve_checkpoint_period(cost, plan, nu)
+        lam = effective_restart_rate(plan, nu, tau)
+        assert tau == pytest.approx(
+            optimal_checkpoint_interval(cost, lam), rel=1e-4
+        )
+
+    def test_full_redundancy_allows_longer_period(self):
+        from repro.resilience.base import ReplicaPlan
+
+        cost, nu = 100.0, 1.0 / MTBF
+        none = ReplicaPlan(degree=1.0, virtual_nodes=1000, replicated=0)
+        full = ReplicaPlan(degree=2.0, virtual_nodes=1000, replicated=1000)
+        assert solve_checkpoint_period(cost, full, nu) > solve_checkpoint_period(
+            cost, none, nu
+        )
+
+
+class TestTechnique:
+    def test_names(self):
+        assert Redundancy.partial().name == "redundancy_r1_5"
+        assert Redundancy.full().name == "redundancy_r2"
+
+    def test_nodes_required(self):
+        app = make_application("A32", nodes=100)
+        assert Redundancy.partial().nodes_required(app) == 150
+        assert Redundancy.full().nodes_required(app) == 200
+
+    def test_fits_enforces_size_wall(self, small_system):
+        """Sec. V: redundancy yields zero efficiency when the machine
+        cannot host the replicas."""
+        app = make_application("A32", nodes=900)
+        assert not Redundancy.partial().fits(app, small_system)  # 1350 > 1200
+        assert Redundancy.partial().fits(
+            make_application("A32", nodes=800), small_system
+        )
+
+    def test_plan_rejects_oversized(self, small_system):
+        app = make_application("A32", nodes=900)
+        with pytest.raises(ValueError):
+            Redundancy.partial().plan(app, small_system, MTBF)
+
+    def test_paper_interval_matches_cr(self, small_system):
+        """Default mode: 'all parameters ... remain the same as the
+        Checkpoint Restart technique', including the period."""
+        app = make_application("A32", nodes=100)
+        plan = Redundancy.partial().plan(app, small_system, MTBF)
+        cost = pfs_checkpoint_time(app, small_system)
+        cr_rate = application_failure_rate(app.nodes, MTBF)
+        assert plan.levels[0].period_s == pytest.approx(
+            optimal_checkpoint_interval(cost, cr_rate)
+        )
+
+    def test_effective_mode_lengthens_period(self, small_system):
+        app = make_application("A32", nodes=100)
+        paper = Redundancy(2.0, interval_mode="paper").plan(app, small_system, MTBF)
+        eff = Redundancy(2.0, interval_mode="effective").plan(
+            app, small_system, MTBF
+        )
+        assert eff.levels[0].period_s > paper.levels[0].period_s
+
+    def test_invalid_degree_and_mode(self):
+        with pytest.raises(ValueError):
+            Redundancy(0.9)
+        with pytest.raises(ValueError):
+            Redundancy(2.1)
+        with pytest.raises(ValueError):
+            Redundancy(1.5, interval_mode="bogus")
+
+    def test_plan_carries_replicas(self, small_system):
+        app = make_application("A32", nodes=100)
+        plan = Redundancy.partial().plan(app, small_system, MTBF)
+        assert plan.replicas is not None
+        assert plan.replicas.physical_nodes == plan.nodes_required == 150

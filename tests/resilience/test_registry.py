@@ -1,0 +1,43 @@
+"""Unit tests for the technique registry."""
+
+import pytest
+
+from repro.resilience.registry import (
+    by_name,
+    datacenter_techniques,
+    get_technique,
+    scaling_study_techniques,
+)
+
+
+class TestRegistry:
+    def test_scaling_lineup_matches_figs_1_to_3(self):
+        names = [t.name for t in scaling_study_techniques()]
+        assert names == [
+            "checkpoint_restart",
+            "multilevel",
+            "parallel_recovery",
+            "redundancy_r1_5",
+            "redundancy_r2",
+        ]
+
+    def test_datacenter_lineup_excludes_redundancy(self):
+        names = [t.name for t in datacenter_techniques()]
+        assert names == ["checkpoint_restart", "multilevel", "parallel_recovery"]
+
+    def test_by_name_roundtrip(self):
+        table = by_name()
+        for name, technique in table.items():
+            assert technique.name == name
+
+    def test_get_technique(self):
+        assert get_technique("multilevel").name == "multilevel"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_technique("nope")
+
+    def test_fresh_instances_each_call(self):
+        a = scaling_study_techniques()
+        b = scaling_study_techniques()
+        assert all(x is not y for x, y in zip(a, b))

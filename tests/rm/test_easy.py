@@ -1,0 +1,138 @@
+"""Unit tests for the EASY-backfilling extension policy."""
+
+from typing import List
+
+import pytest
+
+from repro.rm.easy import EasyBackfill, shadow_time_and_extra
+from repro.units import hours
+from repro.workload.synthetic import make_application
+
+
+class FakeReservingPlacer:
+    """Capacity placer that also reports running jobs."""
+
+    def __init__(self, capacity: int, running=None) -> None:
+        self.capacity = capacity
+        self.running = list(running or [])  # (nodes, estimated_end)
+        self.placed: List = []
+        self.dropped: List = []
+
+    def can_place(self, app) -> bool:
+        return app.nodes <= self.capacity
+
+    def place(self, app) -> None:
+        assert self.can_place(app)
+        self.capacity -= app.nodes
+        self.placed.append(app)
+
+    def drop(self, app) -> None:
+        self.dropped.append(app)
+
+    def running_jobs(self):
+        return list(self.running)
+
+    def free_nodes(self) -> int:
+        return self.capacity
+
+    def nodes_needed(self, app) -> int:
+        return app.nodes
+
+
+def _apps(sizes, steps=60):
+    return [
+        make_application(
+            "A32", nodes=s, time_steps=steps, app_id=i, arrival_time=i * 1e-3
+        )
+        for i, s in enumerate(sizes)
+    ]
+
+
+class TestShadowTime:
+    def test_immediate_fit(self):
+        shadow, extra = shadow_time_and_extra([], free_nodes=100, needed=60, now=5.0)
+        assert shadow == 5.0
+        assert extra == 40
+
+    def test_waits_for_enough_releases(self):
+        running = [(50, 100.0), (30, 200.0)]
+        shadow, extra = shadow_time_and_extra(running, 10, needed=80, now=0.0)
+        # Needs 80: 10 free + 50 at t=100 = 60 (< 80); +30 at t=200 = 90.
+        assert shadow == 200.0
+        assert extra == 10
+
+    def test_release_order_sorted_by_end(self):
+        running = [(30, 500.0), (50, 100.0)]
+        shadow, _ = shadow_time_and_extra(running, 10, needed=60, now=0.0)
+        assert shadow == 100.0  # the 50-node job ends first
+
+    def test_never_fits(self):
+        shadow, extra = shadow_time_and_extra([(10, 50.0)], 5, needed=100, now=0.0)
+        assert shadow == float("inf")
+        assert extra == 0
+
+    def test_shadow_never_before_now(self):
+        running = [(50, 10.0)]
+        shadow, _ = shadow_time_and_extra(running, 0, needed=50, now=20.0)
+        assert shadow == 20.0
+
+
+class TestEasyBackfill:
+    def test_fcfs_when_everything_fits(self):
+        placer = FakeReservingPlacer(100)
+        left = EasyBackfill().map_applications(_apps([40, 50]), placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [0, 1]
+        assert left == []
+
+    def test_backfills_short_job_behind_blocked_head(self):
+        # Head needs 90, only 20 free; a 60-node job releases at
+        # t=7200.  A short 10-node job (1 h + 20% = 4320 s < 7200)
+        # backfills.
+        placer = FakeReservingPlacer(20, running=[(80, 7200.0)])
+        apps = _apps([90, 10], steps=60)
+        left = EasyBackfill().map_applications(apps, placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [1]
+        assert [a.app_id for a in left] == [0]
+
+    def test_does_not_backfill_job_that_would_delay_head(self):
+        # Same shadow (7200 s) but a long job (24 h baseline) that
+        # would outlive it and uses nodes the head needs.
+        placer = FakeReservingPlacer(20, running=[(80, 7200.0)])
+        apps = _apps([90, 15], steps=1440)
+        left = EasyBackfill().map_applications(apps, placer, now=0.0)
+        assert placer.placed == []
+        assert [a.app_id for a in left] == [0, 1]
+
+    def test_backfills_long_job_within_extra_nodes(self):
+        # Head needs 50; free 20 + 80 released at t=7200 => extra = 50.
+        # A long 30-node job fits inside the extra and may run
+        # indefinitely without delaying the head.
+        placer = FakeReservingPlacer(20, running=[(80, 7200.0)])
+        apps = _apps([50, 15], steps=1440)
+        left = EasyBackfill().map_applications(apps, placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [1]
+        assert [a.app_id for a in left] == [0]
+
+    def test_extra_budget_decrements(self):
+        # Extra = 50 after head reservation; two 30-node long jobs:
+        # only the first backfills on the extra budget.
+        placer = FakeReservingPlacer(70, running=[(80, 7200.0)])
+        apps = _apps([100, 30, 30], steps=1440)
+        left = EasyBackfill().map_applications(apps, placer, now=0.0)
+        # Head needs 100: free 70 + 80 at 7200 -> shadow 7200, extra 50.
+        assert [a.app_id for a in placer.placed] == [1]
+        assert [a.app_id for a in left] == [0, 2]
+
+    def test_estimated_runtime_headroom(self):
+        app = _apps([10], steps=60)[0]
+        assert EasyBackfill.estimated_runtime(app) == pytest.approx(
+            1.2 * hours(1)
+        )
+
+    def test_registry_exposes_easy(self):
+        from repro.rng.streams import StreamFactory
+        from repro.rm.registry import extended_manager_names, make_manager
+
+        assert "easy" in extended_manager_names()
+        manager = make_manager("easy", StreamFactory(0).stream("rm"))
+        assert manager.name == "easy"

@@ -1,0 +1,169 @@
+"""Unit tests for the three resource-management policies (Sec. III-D).
+
+Policies are driven with a fake placer so mapping logic is tested in
+isolation from the datacenter machinery.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.rm.fcfs import FCFS
+from repro.rm.random_policy import RandomMapping
+from repro.rm.registry import make_manager, manager_names
+from repro.rm.slack import SlackBased, remaining_slack
+from repro.rng.streams import StreamFactory
+from repro.units import hours
+from repro.workload.synthetic import make_application
+
+
+class FakePlacer:
+    """Capacity-counting placer (ignores contiguity)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.placed: List = []
+        self.dropped: List = []
+
+    def can_place(self, app) -> bool:
+        return app.nodes <= self.capacity
+
+    def place(self, app) -> None:
+        assert self.can_place(app)
+        self.capacity -= app.nodes
+        self.placed.append(app)
+
+    def drop(self, app) -> None:
+        self.dropped.append(app)
+
+
+def _apps(sizes, deadline_hours=None, arrival=0.0):
+    out = []
+    for i, size in enumerate(sizes):
+        deadline = None
+        if deadline_hours is not None:
+            deadline = arrival + hours(deadline_hours[i])
+        out.append(
+            make_application(
+                "A32",
+                nodes=size,
+                time_steps=60,  # one-hour baseline
+                app_id=i,
+                arrival_time=arrival + i * 1e-3,  # preserve arrival order
+                deadline=deadline,
+            )
+        )
+    return out
+
+
+class TestFCFS:
+    def test_maps_in_order_until_blocked(self):
+        placer = FakePlacer(100)
+        pending = _apps([40, 50, 20])
+        left = FCFS().map_applications(pending, placer, now=0.0)
+        # 40 and 50 fit; 20 would fit but is blocked behind nothing —
+        # capacity is 10 left, 20 does not fit.
+        assert [a.app_id for a in placer.placed] == [0, 1]
+        assert [a.app_id for a in left] == [2]
+
+    def test_no_backfill(self):
+        placer = FakePlacer(100)
+        pending = _apps([40, 90, 20])  # 90 blocks; 20 would fit
+        left = FCFS().map_applications(pending, placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [0]
+        assert [a.app_id for a in left] == [1, 2]
+
+    def test_empty_queue(self):
+        placer = FakePlacer(100)
+        assert FCFS().map_applications([], placer, now=0.0) == []
+
+    def test_never_drops(self):
+        placer = FakePlacer(10)
+        pending = _apps([40, 50])
+        FCFS().map_applications(pending, placer, now=0.0)
+        assert placer.dropped == []
+
+
+class TestRandomMapping:
+    def _policy(self, seed=0):
+        return RandomMapping(StreamFactory(seed).stream("rm"))
+
+    def test_backfills_around_blockers(self):
+        placer = FakePlacer(100)
+        pending = _apps([90, 90, 50, 40])
+        left = self._policy().map_applications(pending, placer, now=0.0)
+        placed_nodes = sum(a.nodes for a in placer.placed)
+        assert placed_nodes <= 100
+        # At least one app always fits (the policy keeps drawing).
+        assert placer.placed
+        assert len(placer.placed) + len(left) == 4
+
+    def test_order_is_random(self):
+        orders = set()
+        for seed in range(10):
+            placer = FakePlacer(1000)
+            pending = _apps([10, 10, 10, 10, 10])
+            self._policy(seed).map_applications(pending, placer, now=0.0)
+            orders.add(tuple(a.app_id for a in placer.placed))
+        assert len(orders) > 1  # not deterministic arrival order
+
+    def test_returned_queue_sorted_by_arrival(self):
+        placer = FakePlacer(5)
+        pending = _apps([10, 20, 30])
+        left = self._policy().map_applications(pending, placer, now=0.0)
+        assert [a.app_id for a in left] == [0, 1, 2]
+
+    def test_exhausts_mappable_set(self):
+        placer = FakePlacer(30)
+        pending = _apps([10, 10, 10, 10])
+        left = self._policy().map_applications(pending, placer, now=0.0)
+        assert len(placer.placed) == 3
+        assert len(left) == 1
+
+
+class TestSlackBased:
+    def test_remaining_slack(self):
+        app = _apps([10], deadline_hours=[2.0])[0]
+        # baseline 1h, deadline at 2h: slack at t=0 is 1h.
+        assert remaining_slack(app, 0.0) == pytest.approx(hours(1.0), rel=1e-3)
+        assert remaining_slack(app, hours(1.5)) < 0
+
+    def test_no_deadline_infinite_slack(self):
+        app = _apps([10])[0]
+        assert remaining_slack(app, 1e12) == float("inf")
+
+    def test_drops_negative_slack(self):
+        placer = FakePlacer(100)
+        pending = _apps([10, 10], deadline_hours=[1.05, 5.0])
+        # At t = 0.5h, app 0 has slack 1.05h - 0.5h - 1h < 0.
+        left = SlackBased().map_applications(pending, placer, now=hours(0.5))
+        assert [a.app_id for a in placer.dropped] == [0]
+        assert [a.app_id for a in placer.placed] == [1]
+        assert left == []
+
+    def test_prioritizes_lowest_slack(self):
+        placer = FakePlacer(10)  # room for exactly one
+        pending = _apps([10, 10], deadline_hours=[10.0, 2.0])
+        SlackBased().map_applications(pending, placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [1]  # tighter deadline first
+
+    def test_skips_non_fitting(self):
+        placer = FakePlacer(50)
+        pending = _apps([60, 40], deadline_hours=[2.0, 10.0])
+        left = SlackBased().map_applications(pending, placer, now=0.0)
+        assert [a.app_id for a in placer.placed] == [1]
+        assert [a.app_id for a in left] == [0]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert manager_names() == ["fcfs", "random", "slack"]
+
+    def test_make_manager(self):
+        rng = StreamFactory(0).stream("rm")
+        for name in manager_names():
+            assert make_manager(name, rng).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_manager("lifo", StreamFactory(0).stream("rm"))

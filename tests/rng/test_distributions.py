@@ -1,0 +1,112 @@
+"""Unit tests for distribution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng.distributions import (
+    DiscretePMF,
+    choice,
+    exponential,
+    uniform,
+    uniform_int,
+)
+
+
+class TestExponential:
+    def test_mean_matches_rate(self, rng):
+        rate = 0.25
+        draws = [exponential(rng, rate) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_positive(self, rng):
+        assert all(exponential(rng, 2.0) > 0 for _ in range(100))
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            exponential(rng, 0.0)
+        with pytest.raises(ValueError):
+            exponential(rng, -1.0)
+
+
+class TestUniform:
+    def test_bounds_respected(self, rng):
+        draws = [uniform(rng, 1.2, 2.0) for _ in range(1000)]
+        assert min(draws) >= 1.2
+        assert max(draws) <= 2.0
+
+    def test_mean(self, rng):
+        draws = [uniform(rng, 0.0, 10.0) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(5.0, rel=0.05)
+
+    def test_inverted_bounds_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform(rng, 2.0, 1.0)
+
+
+class TestUniformInt:
+    def test_inclusive_bounds(self, rng):
+        draws = {uniform_int(rng, 1, 3) for _ in range(500)}
+        assert draws == {1, 2, 3}
+
+    def test_degenerate_range(self, rng):
+        assert uniform_int(rng, 5, 5) == 5
+
+    def test_inverted_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_int(rng, 3, 1)
+
+
+class TestChoice:
+    def test_picks_from_options(self, rng):
+        options = ["a", "b", "c"]
+        assert {choice(rng, options) for _ in range(200)} == set(options)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choice(rng, [])
+
+
+class TestDiscretePMF:
+    def test_normalizes(self):
+        pmf = DiscretePMF([2.0, 2.0])
+        assert pmf.probabilities == (0.5, 0.5)
+
+    def test_sample_frequencies(self, rng):
+        pmf = DiscretePMF([0.7, 0.2, 0.1])
+        samples = pmf.sample_many(rng, 50_000)
+        freqs = np.bincount(samples, minlength=3) / len(samples)
+        assert freqs[0] == pytest.approx(0.7, abs=0.02)
+        assert freqs[2] == pytest.approx(0.1, abs=0.02)
+
+    def test_sample_in_range(self, rng):
+        pmf = DiscretePMF([0.5, 0.5])
+        assert all(pmf.sample(rng) in (0, 1) for _ in range(100))
+
+    def test_tail(self):
+        pmf = DiscretePMF([0.65, 0.20, 0.15])
+        assert pmf.tail(0) == pytest.approx(1.0)
+        assert pmf.tail(1) == pytest.approx(0.35)
+        assert pmf.tail(2) == pytest.approx(0.15)
+
+    def test_probability(self):
+        pmf = DiscretePMF([0.65, 0.20, 0.15])
+        assert pmf.probability(1) == pytest.approx(0.20)
+
+    def test_len(self):
+        assert len(DiscretePMF([1, 1, 1])) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([0.5, -0.1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([0.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscretePMF([])
+
+    def test_sample_many_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DiscretePMF([1.0]).sample_many(rng, -1)

@@ -1,0 +1,71 @@
+"""Unit tests for Poisson arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.rng.poisson import PoissonProcess, VariableRatePoisson
+
+
+class TestPoissonProcess:
+    def test_arrivals_increase(self, rng):
+        p = PoissonProcess(rng, rate=1.0)
+        times = [p.next_arrival() for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival(self, rng):
+        p = PoissonProcess(rng, rate=0.5)
+        gaps = [p.next_interarrival() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.05)
+
+    def test_vectorized_matches_state(self, rng):
+        p = PoissonProcess(rng, rate=1.0)
+        times = p.arrivals(10)
+        assert len(times) == 10
+        assert p.last_arrival == pytest.approx(times[-1])
+        nxt = p.next_arrival()
+        assert nxt > times[-1]
+
+    def test_arrivals_zero_count(self, rng):
+        p = PoissonProcess(rng, rate=1.0)
+        assert p.arrivals(0).size == 0
+        assert p.last_arrival == 0.0
+
+    def test_arrivals_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PoissonProcess(rng, rate=1.0).arrivals(-1)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            PoissonProcess(rng, rate=0.0)
+
+    def test_iterator_protocol(self, rng):
+        p = PoissonProcess(rng, rate=1.0)
+        it = iter(p)
+        first = next(it)
+        second = next(it)
+        assert second > first > 0
+
+
+class TestVariableRatePoisson:
+    def test_zero_rate_suspends(self, rng):
+        p = VariableRatePoisson(rng, rate=0.0)
+        assert p.next_interarrival() is None
+
+    def test_rate_change(self, rng):
+        p = VariableRatePoisson(rng, rate=1.0)
+        p.set_rate(100.0)
+        gaps = [p.next_interarrival() for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(0.01, rel=0.1)
+
+    def test_negative_rate_rejected(self, rng):
+        p = VariableRatePoisson(rng)
+        with pytest.raises(ValueError):
+            p.set_rate(-1.0)
+        with pytest.raises(ValueError):
+            VariableRatePoisson(rng, rate=-0.5)
+
+    def test_rate_property(self, rng):
+        p = VariableRatePoisson(rng, rate=2.0)
+        assert p.rate == 2.0
+        p.set_rate(3.0)
+        assert p.rate == 3.0

@@ -1,0 +1,62 @@
+"""Unit tests for named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.rng.streams import StreamFactory
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = StreamFactory(42).stream("failures")
+        b = StreamFactory(42).stream("failures")
+        assert a.random(10).tolist() == b.random(10).tolist()
+
+    def test_different_names_independent(self):
+        f = StreamFactory(42)
+        a = f.stream("failures").random(10)
+        b = f.stream("arrivals").random(10)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = StreamFactory(1).stream("x").random(10)
+        b = StreamFactory(2).stream("x").random(10)
+        assert a.tolist() != b.tolist()
+
+    def test_stream_is_cached(self):
+        f = StreamFactory(42)
+        assert f.stream("x") is f.stream("x")
+
+    def test_fresh_restarts_state(self):
+        f = StreamFactory(42)
+        first = f.fresh("x").random(5)
+        f.stream("x").random(100)  # consume the cached stream
+        again = f.fresh("x").random(5)
+        assert first.tolist() == again.tolist()
+
+
+class TestSpawning:
+    def test_spawn_is_deterministic(self):
+        a = StreamFactory(42).spawn("trial-1").stream("f").random(5)
+        b = StreamFactory(42).spawn("trial-1").stream("f").random(5)
+        assert a.tolist() == b.tolist()
+
+    def test_spawn_indexed_children_differ(self):
+        f = StreamFactory(42)
+        a = f.spawn_indexed(0).stream("f").random(5)
+        b = f.spawn_indexed(1).stream("f").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_spawn_indexed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StreamFactory(42).spawn_indexed(-1)
+
+
+class TestValidation:
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            StreamFactory("42")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        f = StreamFactory(np.int64(7))
+        assert f.seed == 7

@@ -1,0 +1,139 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SchedulingError
+from repro.sim.events import EventKind
+from repro.sim.tracing import TraceRecorder
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_run_in_order(self, sim):
+        order = []
+        sim.schedule(2.0, lambda _e: order.append("b"))
+        sim.schedule(1.0, lambda _e: order.append("a"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(3.5, lambda _e: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+        assert sim.now == 3.5
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule(1.0, lambda _e: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda _e: None)
+
+    def test_schedule_nonfinite_raises(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda _e: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda _e: None)
+
+    def test_nested_scheduling_from_callback(self, sim):
+        seen = []
+
+        def outer(_e):
+            sim.schedule(1.0, lambda _e2: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_zero_delay_event_runs_at_same_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda _e: sim.schedule(0.0, lambda _e2: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_until(self, sim):
+        sim.schedule(10.0, lambda _e: None)
+        stopped = sim.run(until=4.0)
+        assert stopped == 4.0
+        assert sim.pending == 1  # the event is still there
+
+    def test_run_until_executes_events_at_until(self, sim):
+        seen = []
+        sim.schedule(4.0, lambda _e: seen.append("x"))
+        sim.run(until=4.0)
+        assert seen == ["x"]
+
+    def test_max_events(self, sim):
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda _e, i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_event_count(self, sim):
+        sim.schedule(1.0, lambda _e: None)
+        sim.schedule(2.0, lambda _e: None)
+        sim.run()
+        assert sim.event_count == 2
+
+    def test_run_not_reentrant(self, sim):
+        def recurse(_e):
+            with pytest.raises(SchedulingError):
+                sim.run()
+
+        sim.schedule(1.0, recurse)
+        sim.run()
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        ev = sim.schedule(1.0, lambda _e: seen.append("x"))
+        sim.cancel(ev)
+        sim.run()
+        assert seen == []
+
+    def test_double_cancel_is_safe(self, sim):
+        ev = sim.schedule(1.0, lambda _e: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim.pending == 0
+
+
+class TestTracing:
+    def test_trace_records_kind_and_time(self):
+        trace = TraceRecorder()
+        sim = Simulator(trace=trace)
+        sim.schedule(1.0, lambda _e: None, kind=EventKind.FAILURE, payload="f1")
+        sim.run()
+        assert len(trace) == 1
+        assert trace[0].kind is EventKind.FAILURE
+        assert trace[0].time == 1.0
+        assert trace[0].payload == "f1"
+
+
+class TestRunUntilEmpty:
+    def test_drains_queue(self, sim):
+        seen = []
+        for i in range(4):
+            sim.schedule(float(i), lambda _e, i=i: seen.append(i))
+        end = sim.run_until_empty()
+        assert seen == [0, 1, 2, 3]
+        assert end == 3.0
+        assert sim.pending == 0
+
+    def test_max_events_guard(self, sim):
+        def reschedule(_e):
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        sim.run_until_empty(max_events=25)
+        assert sim.event_count == 25

@@ -1,0 +1,237 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim.errors import Interrupt, ProcessError
+from repro.sim.process import ProcessState, Timeout
+
+
+class TestTimeoutObject:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_elapsed_and_remaining(self, sim):
+        captured = {}
+
+        def body():
+            t = sim.timeout(10.0)
+            captured["t"] = t
+            yield t
+
+        sim.process(body())
+        sim.run(until=4.0)
+        t = captured["t"]
+        assert t.started_at == 0.0
+        assert t.wake_at == 10.0
+        assert t.elapsed(4.0) == pytest.approx(4.0)
+        assert t.remaining(4.0) == pytest.approx(6.0)
+
+    def test_unstarted_timeout_elapsed_zero(self):
+        t = Timeout(5.0)
+        assert t.elapsed(100.0) == 0.0
+        assert t.remaining(100.0) == 5.0
+
+
+class TestProcessLifecycle:
+    def test_sequence_of_timeouts(self, sim):
+        marks = []
+
+        def body():
+            yield sim.timeout(1.0)
+            marks.append(sim.now)
+            yield sim.timeout(2.0)
+            marks.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert marks == [1.0, 3.0]
+
+    def test_return_value_captured(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return 42
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.state is ProcessState.FINISHED
+        assert proc.value == 42
+
+    def test_alive_transitions(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+    def test_first_step_runs_at_spawn_time(self, sim):
+        seen = []
+
+        def body():
+            seen.append(sim.now)
+            yield sim.timeout(0.0)
+
+        sim.schedule(5.0, lambda _e: sim.process(body()))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_yield_unsupported_type_fails(self, sim):
+        def body():
+            yield "nonsense"
+
+        proc = sim.process(body())
+        with pytest.raises(ProcessError):
+            sim.run()
+        assert proc.state is ProcessState.FAILED
+
+
+class TestJoin:
+    def test_join_receives_return_value(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        results = []
+
+        def parent():
+            c = sim.process(child(), name="child")
+            value = yield c
+            results.append((sim.now, value))
+
+        sim.process(parent(), name="parent")
+        sim.run()
+        assert results == [(2.0, "done")]
+
+    def test_join_already_finished_process(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 7
+
+        c = sim.process(child())
+
+        results = []
+
+        def parent():
+            yield sim.timeout(5.0)  # child finishes first
+            value = yield c
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [7]
+
+    def test_join_failed_process_raises_in_parent(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        outcomes = []
+
+        def parent():
+            c = sim.process(child(), name="child")
+            try:
+                yield c
+            except ProcessError as exc:
+                outcomes.append(str(exc))
+
+        sim.process(parent(), name="parent")
+        with pytest.raises(RuntimeError):
+            sim.run()  # the child's crash propagates out of the loop
+        sim.run()  # continue: parent receives the ProcessError
+        assert outcomes and "boom" in outcomes[0]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        causes = []
+
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                causes.append((sim.now, intr.cause))
+
+        proc = sim.process(body())
+        sim.schedule(3.0, lambda _e: proc.interrupt("why"))
+        sim.run()
+        assert causes == [(3.0, "why")]
+
+    def test_interrupt_cancels_pending_wakeup(self, sim):
+        marks = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+                marks.append("completed")
+            except Interrupt:
+                marks.append("interrupted")
+
+        proc = sim.process(body())
+        sim.schedule(3.0, lambda _e: proc.interrupt())
+        sim.run()
+        assert marks == ["interrupted"]
+
+    def test_process_can_resume_after_interrupt(self, sim):
+        marks = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(5.0)
+            marks.append(sim.now)
+
+        proc = sim.process(body())
+        sim.schedule(3.0, lambda _e: proc.interrupt())
+        sim.run()
+        assert marks == [8.0]
+
+    def test_interrupt_terminated_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(ProcessError):
+            proc.interrupt()
+
+    def test_unhandled_interrupt_terminates_cleanly(self, sim):
+        def body():
+            yield sim.timeout(100.0)
+
+        proc = sim.process(body())
+        sim.schedule(1.0, lambda _e: proc.interrupt("cause"))
+        sim.run()
+        assert proc.state is ProcessState.FAILED
+        assert isinstance(proc.error, Interrupt)
+
+    def test_interrupt_while_joining(self, sim):
+        def child():
+            yield sim.timeout(100.0)
+
+        marks = []
+
+        def parent():
+            c = sim.process(child(), name="child")
+            try:
+                yield c
+            except Interrupt:
+                marks.append(sim.now)
+
+        sim.schedule(0.0, lambda _e: None)
+        parent_proc = sim.process(parent(), name="parent")
+        sim.schedule(4.0, lambda _e: parent_proc.interrupt())
+        sim.run(until=50.0)
+        assert marks == [4.0]
+
+    def test_pending_timeout_visible_during_wait(self, sim):
+        def body():
+            yield sim.timeout(10.0)
+
+        proc = sim.process(body())
+        sim.run(until=5.0)
+        assert proc.pending_timeout is not None
+        assert proc.pending_timeout.wake_at == 10.0

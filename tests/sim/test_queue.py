@@ -1,0 +1,111 @@
+"""Unit tests for the pending-event queue."""
+
+import pytest
+
+from repro.sim.events import Event
+from repro.sim.queue import EventQueue
+
+
+def _noop(_event):
+    pass
+
+
+def _event(t, seq=0, priority=0):
+    return Event(t, _noop, seq=seq, priority=priority)
+
+
+class TestPushPop:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        for i, t in enumerate([5.0, 1.0, 3.0]):
+            q.push(_event(t, seq=i))
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.push(_event(1.0, seq=1))
+        q.push(_event(2.0, seq=2))
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        q.push(_event(1.0))
+        assert q
+
+    def test_push_cancelled_rejected(self):
+        q = EventQueue()
+        e = _event(1.0)
+        e.cancel()
+        with pytest.raises(ValueError):
+            q.push(e)
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        first = _event(1.0, seq=1)
+        second = _event(1.0, seq=2)
+        q.push(second)
+        q.push(first)
+        assert q.pop() is first
+        assert q.pop() is second
+
+
+class TestCancellation:
+    def test_cancelled_events_skipped_on_pop(self):
+        q = EventQueue()
+        doomed = _event(1.0, seq=1)
+        keeper = _event(2.0, seq=2)
+        q.push(doomed)
+        q.push(keeper)
+        doomed.cancel()
+        q.notify_cancelled()
+        assert q.pop() is keeper
+
+    def test_cancelled_events_skipped_on_peek(self):
+        q = EventQueue()
+        doomed = _event(1.0, seq=1)
+        keeper = _event(2.0, seq=2)
+        q.push(doomed)
+        q.push(keeper)
+        doomed.cancel()
+        q.notify_cancelled()
+        assert q.peek() is keeper
+        assert q.peek_time() == 2.0
+
+    def test_len_after_cancel(self):
+        q = EventQueue()
+        e = _event(1.0)
+        q.push(e)
+        e.cancel()
+        q.notify_cancelled()
+        assert len(q) == 0
+        assert not q
+
+
+class TestMisc:
+    def test_peek_empty_returns_none(self):
+        q = EventQueue()
+        assert q.peek() is None
+        assert q.peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(_event(1.0))
+        q.clear()
+        assert len(q) == 0
+
+    def test_iter_skips_cancelled(self):
+        q = EventQueue()
+        live = _event(1.0, seq=1)
+        dead = _event(2.0, seq=2)
+        q.push(live)
+        q.push(dead)
+        dead.cancel()
+        q.notify_cancelled()
+        assert list(q) == [live]

@@ -1,0 +1,205 @@
+"""Unit tests for Signal and SlotPool."""
+
+import pytest
+
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Signal, SlotPool
+
+
+class TestSignal:
+    def test_wait_then_fire(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.schedule(5.0, lambda _e: signal.fire("go"))
+        sim.run()
+        assert got == [(5.0, "go")]
+
+    def test_fire_before_wait_resumes_immediately(self, sim):
+        signal = Signal(sim)
+        signal.fire(42)
+        got = []
+
+        def waiter():
+            got.append((yield signal))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_multiple_waiters(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def waiter(tag):
+            yield signal
+            got.append(tag)
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(1.0, lambda _e: signal.fire())
+        sim.run()
+        assert sorted(got) == ["a", "b"]
+
+    def test_double_fire_rejected(self, sim):
+        signal = Signal(sim)
+        signal.fire()
+        with pytest.raises(RuntimeError):
+            signal.fire()
+
+    def test_interrupt_while_waiting(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            try:
+                yield signal
+                got.append("resumed")
+            except Interrupt:
+                got.append("interrupted")
+
+        proc = sim.process(waiter())
+        sim.schedule(1.0, lambda _e: proc.interrupt())
+        sim.schedule(2.0, lambda _e: signal.fire())
+        sim.run()
+        assert got == ["interrupted"]
+
+    def test_interrupt_between_fire_and_delivery(self, sim):
+        """An interrupt landing at the same instant as the fire must
+        not double-resume the process."""
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            try:
+                yield signal
+                got.append("resumed")
+            except Interrupt:
+                got.append("interrupted")
+            yield sim.timeout(1.0)
+            got.append("after")
+
+        proc = sim.process(waiter())
+
+        def fire_and_interrupt(_e):
+            signal.fire()
+            proc.interrupt()
+
+        sim.schedule(1.0, fire_and_interrupt)
+        sim.run()
+        assert got == ["interrupted", "after"]
+
+
+class TestSlotPool:
+    def test_immediate_grant(self, sim):
+        pool = SlotPool(sim, slots=2)
+        t1 = pool.request()
+        assert t1.state == "held"
+        assert pool.free == 1
+        assert pool.in_use == 1
+
+    def test_fifo_queueing(self, sim):
+        pool = SlotPool(sim, slots=1)
+        order = []
+
+        def user(tag, hold):
+            ticket = pool.request()
+            yield from ticket.wait()
+            order.append((sim.now, tag))
+            yield sim.timeout(hold)
+            ticket.release()
+
+        sim.process(user("a", 10.0))
+        sim.process(user("b", 10.0))
+        sim.process(user("c", 10.0))
+        sim.run()
+        assert order == [(0.0, "a"), (10.0, "b"), (20.0, "c")]
+        assert pool.free == 1
+        assert pool.contended_requests == 2
+
+    def test_release_passes_slot_directly(self, sim):
+        pool = SlotPool(sim, slots=1)
+        first = pool.request()
+        second = pool.request()
+        assert second.state == "queued"
+        first.release()
+        assert second.state == "granted"
+        assert pool.free == 0  # handed over, never returned to free
+
+    def test_abandon_queued(self, sim):
+        pool = SlotPool(sim, slots=1)
+        pool.request()
+        waiter = pool.request()
+        waiter.abandon()
+        assert pool.queued == 0
+
+    def test_abandon_granted_returns_slot(self, sim):
+        pool = SlotPool(sim, slots=1)
+        first = pool.request()
+        second = pool.request()
+        first.release()  # second becomes granted
+        second.abandon()
+        assert pool.free == 1
+
+    def test_interrupt_while_queued(self, sim):
+        pool = SlotPool(sim, slots=1)
+        holder = pool.request()
+        outcomes = []
+
+        def waiter():
+            ticket = pool.request()
+            try:
+                yield from ticket.wait()
+                outcomes.append("got it")
+                ticket.release()
+            except Interrupt:
+                ticket.abandon()
+                outcomes.append("gave up")
+
+        proc = sim.process(waiter())
+        sim.schedule(1.0, lambda _e: proc.interrupt())
+        sim.run()
+        holder.release()
+        assert outcomes == ["gave up"]
+        assert pool.free == 1
+
+    def test_release_invalid_state(self, sim):
+        pool = SlotPool(sim, slots=1)
+        ticket = pool.request()
+        ticket.release()
+        with pytest.raises(RuntimeError):
+            ticket.release()
+
+    def test_wait_on_abandoned_rejected(self, sim):
+        pool = SlotPool(sim, slots=1)
+        pool.request()
+        waiter = pool.request()
+        waiter.abandon()
+        with pytest.raises(RuntimeError):
+            list(waiter.wait())
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            SlotPool(sim, slots=0)
+
+    def test_concurrent_holders_capped(self, sim):
+        pool = SlotPool(sim, slots=2)
+        peak = [0]
+
+        def user():
+            ticket = pool.request()
+            yield from ticket.wait()
+            peak[0] = max(peak[0], pool.in_use)
+            assert pool.in_use <= 2
+            yield sim.timeout(5.0)
+            ticket.release()
+
+        for _ in range(6):
+            sim.process(user())
+        sim.run()
+        assert peak[0] == 2

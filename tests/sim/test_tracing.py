@@ -1,0 +1,60 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.events import EventKind
+from repro.sim.tracing import TraceRecorder
+
+
+class TestRecording:
+    def test_records_entries(self):
+        t = TraceRecorder()
+        t.record(1.0, EventKind.FAILURE, "a")
+        t.record(2.0, EventKind.CHECKPOINT, "b")
+        assert len(t) == 2
+        assert t[0].payload == "a"
+
+    def test_kind_filter_at_record_time(self):
+        t = TraceRecorder(kinds={EventKind.FAILURE})
+        t.record(1.0, EventKind.FAILURE, None)
+        t.record(2.0, EventKind.CHECKPOINT, None)
+        assert len(t) == 1
+
+    def test_capacity_drops_oldest(self):
+        t = TraceRecorder(capacity=2)
+        for i in range(4):
+            t.record(float(i), EventKind.INTERNAL, i)
+        assert len(t) == 2
+        assert t.dropped == 2
+        assert [e.payload for e in t] == [2, 3]
+
+
+class TestQuerying:
+    def _populate(self):
+        t = TraceRecorder()
+        t.record(1.0, EventKind.FAILURE, "f1")
+        t.record(2.0, EventKind.RESTART, "r1")
+        t.record(3.0, EventKind.FAILURE, "f2")
+        return t
+
+    def test_filter_by_kind(self):
+        t = self._populate()
+        failures = t.filter(kind=EventKind.FAILURE)
+        assert [e.payload for e in failures] == ["f1", "f2"]
+
+    def test_filter_by_predicate(self):
+        t = self._populate()
+        late = t.filter(predicate=lambda e: e.time > 1.5)
+        assert [e.payload for e in late] == ["r1", "f2"]
+
+    def test_counts(self):
+        t = self._populate()
+        assert t.counts() == {EventKind.FAILURE: 2, EventKind.RESTART: 1}
+
+    def test_clear(self):
+        t = self._populate()
+        t.clear()
+        assert len(t) == 0
+
+    def test_dump_limits(self):
+        t = self._populate()
+        assert t.dump(limit=1).count("\n") == 0
+        assert "failure" in t.dump()

@@ -1,0 +1,80 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import _ALL_ORDER, _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1", "--quick"])
+        assert args.experiment == "fig1"
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_format_choices(self):
+        args = build_parser().parse_args(["fig2", "--format", "csv"])
+        assert args.format == "csv"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--format", "xml"])
+
+    def test_all_order_subset_of_experiments(self):
+        assert set(_ALL_ORDER) <= set(_EXPERIMENTS)
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "completed in" in out
+
+    def test_table2_with_fraction(self, capsys):
+        assert main(["table2", "--fraction", "0.5"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_fig_quick_runs(self, capsys):
+        assert main(["fig2", "--quick", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_fig_csv_format(self, capsys):
+        assert main(["fig1", "--quick", "--trials", "2", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "app_type,fraction,technique" in out
+
+    def test_fig_barchart_format(self, capsys):
+        assert main(["fig1", "--quick", "--trials", "2", "--format", "barchart"]) == 0
+        assert "|#" in capsys.readouterr().out
+
+    def test_regime_map(self, capsys):
+        assert main(["regime-map"]) == 0
+        out = capsys.readouterr().out
+        assert "A32" in out and "crossover" in out
+
+    def test_validate(self, capsys):
+        assert main(
+            ["validate", "--app-type", "A32", "--fraction", "0.06", "--trials", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rel.err" in out
+
+    def test_timeline(self, capsys):
+        assert main(
+            [
+                "timeline",
+                "--app-type",
+                "A32",
+                "--fraction",
+                "0.06",
+                "--mtbf-years",
+                "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "=== checkpoint_restart ===" in out
+        assert "work" in out

@@ -1,0 +1,88 @@
+"""Unit tests for unit conversions and paper constants."""
+
+import pytest
+
+from repro import constants, units
+
+
+class TestConversions:
+    def test_minute_hour_day_year(self):
+        assert units.minutes(1) == 60.0
+        assert units.hours(1) == 3600.0
+        assert units.days(1) == 86400.0
+        assert units.years(1) == pytest.approx(365.25 * 86400.0)
+
+    def test_roundtrips(self):
+        assert units.to_minutes(units.minutes(7.5)) == pytest.approx(7.5)
+        assert units.to_hours(units.hours(3)) == pytest.approx(3.0)
+        assert units.to_days(units.days(2)) == pytest.approx(2.0)
+        assert units.to_years(units.years(10)) == pytest.approx(10.0)
+
+    def test_microsecond(self):
+        assert units.MICROSECOND == pytest.approx(1e-6)
+
+
+class TestPaperConstants:
+    def test_system_reaches_exascale(self):
+        total_tflops = constants.EXASCALE_NODES * constants.TFLOPS_PER_NODE
+        assert total_tflops >= 1_000_000  # >= 1 EFLOP/s
+
+    def test_taihulight_scaling_factors(self):
+        # "increase by a factor of four": 1028 cores, 128 GB.
+        assert constants.CORES_PER_NODE == 1028
+        assert constants.MEMORY_PER_NODE_GB == 128.0
+
+    def test_communication_model(self):
+        assert constants.NETWORK_LATENCY_S == pytest.approx(0.5e-6)
+        assert constants.NETWORK_BANDWIDTH_GBS == 600.0
+        assert constants.SWITCH_CONNECTIONS == 12
+
+    def test_time_step_is_one_minute(self):
+        assert constants.TIME_STEP_S == 60.0
+
+    def test_app_length_bounds(self):
+        assert constants.MIN_TIME_STEPS * constants.TIME_STEP_S == units.hours(6)
+        assert constants.MAX_TIME_STEPS * constants.TIME_STEP_S == units.days(2)
+
+    def test_mtbf_settings(self):
+        assert constants.DEFAULT_NODE_MTBF_S == pytest.approx(units.years(10))
+        assert constants.LOW_NODE_MTBF_S == pytest.approx(units.years(2.5))
+
+    def test_severity_pmf_normalized_and_mild_heavy(self):
+        pmf = constants.DEFAULT_SEVERITY_PMF
+        assert sum(pmf) == pytest.approx(1.0)
+        assert pmf[0] > pmf[1] > pmf[2]  # most failures are mild
+
+    def test_scaling_study_parameters(self):
+        assert constants.SCALING_STUDY_BASELINE_S == units.minutes(1440)
+        assert len(constants.SCALING_STUDY_FRACTIONS) == 8
+        assert constants.SCALING_STUDY_TRIALS == 200
+
+    def test_pattern_parameters(self):
+        assert constants.PATTERN_ARRIVALS == 100
+        assert constants.PATTERN_COUNT == 50
+        assert constants.PATTERN_MEAN_INTERARRIVAL_S == units.hours(2)
+        assert constants.PATTERN_BASELINE_CHOICES_S == (
+            units.hours(6),
+            units.hours(12),
+            units.hours(24),
+            units.hours(48),
+        )
+        assert 0.50 in constants.PATTERN_FRACTION_CHOICES
+        assert 1.00 not in constants.PATTERN_FRACTION_CHOICES
+
+    def test_deadline_multiplier_bounds(self):
+        assert (constants.DEADLINE_U_LOW, constants.DEADLINE_U_HIGH) == (1.2, 2.0)
+
+
+class TestPublicAPI:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,84 @@
+"""Unit tests for the application model (Sec. III-B)."""
+
+import pytest
+
+from repro.units import MINUTE, hours
+from repro.workload.application import Application
+
+
+def _app(**overrides):
+    kwargs = dict(
+        app_id=1,
+        type_name="A32",
+        time_steps=1440,
+        comm_fraction=0.25,
+        memory_per_node_gb=32.0,
+        nodes=1200,
+    )
+    kwargs.update(overrides)
+    return Application(**kwargs)
+
+
+class TestDerivedQuantities:
+    def test_baseline_is_time_steps_in_minutes(self):
+        app = _app(time_steps=1440)
+        assert app.baseline_time == pytest.approx(1440 * MINUTE)
+
+    def test_baseline_independent_of_size(self):
+        # Weak scaling: execution time depends only on time steps.
+        assert _app(nodes=10).baseline_time == _app(nodes=100_000).baseline_time
+
+    def test_work_fraction_complements_comm(self):
+        app = _app(comm_fraction=0.75)
+        assert app.work_fraction == pytest.approx(0.25)
+
+    def test_total_memory(self):
+        app = _app(nodes=100, memory_per_node_gb=64.0)
+        assert app.total_memory_gb == pytest.approx(6400.0)
+
+    def test_slack_without_deadline_is_none(self):
+        assert _app().slack is None
+
+    def test_slack_formula(self):
+        app = _app(
+            time_steps=60, arrival_time=hours(1), deadline=hours(1) + hours(1.5)
+        )
+        # baseline = 1h, so slack = 1.5h - 1h = 0.5h.
+        assert app.slack == pytest.approx(hours(0.5))
+
+
+class TestCopies:
+    def test_scaled_to_changes_only_nodes(self):
+        app = _app(nodes=100)
+        scaled = app.scaled_to(5000)
+        assert scaled.nodes == 5000
+        assert scaled.time_steps == app.time_steps
+        assert scaled.memory_per_node_gb == app.memory_per_node_gb
+
+    def test_with_arrival(self):
+        app = _app()
+        moved = app.with_arrival(hours(2), deadline=hours(50))
+        assert moved.arrival_time == hours(2)
+        assert moved.deadline == hours(50)
+        assert app.arrival_time == 0.0  # original untouched
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(time_steps=0),
+            dict(comm_fraction=1.0),
+            dict(comm_fraction=-0.1),
+            dict(memory_per_node_gb=0.0),
+            dict(nodes=0),
+            dict(arrival_time=-1.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            _app(**overrides)
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            _app(arrival_time=100.0, deadline=50.0)

@@ -1,0 +1,48 @@
+"""Unit tests for Eq. 1 deadline assignment."""
+
+import numpy as np
+import pytest
+
+from repro.units import hours
+from repro.workload.deadlines import sample_deadline, with_deadline
+from repro.workload.synthetic import make_application
+
+
+class TestEq1:
+    def test_bounds(self, rng):
+        arrival, baseline = hours(5), hours(24)
+        for _ in range(500):
+            d = sample_deadline(rng, arrival, baseline)
+            assert arrival + 1.2 * baseline <= d <= arrival + 2.0 * baseline
+
+    def test_mean_multiplier(self, rng):
+        baseline = hours(10)
+        draws = [sample_deadline(rng, 0.0, baseline) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(1.6 * baseline, rel=0.02)
+
+    def test_custom_bounds(self, rng):
+        d = sample_deadline(rng, 0.0, 100.0, low=3.0, high=3.0)
+        assert d == pytest.approx(300.0)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_deadline(rng, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            sample_deadline(rng, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            sample_deadline(rng, 0.0, 10.0, low=2.0, high=1.0)
+
+
+class TestWithDeadline:
+    def test_attaches_valid_deadline(self, rng):
+        app = make_application("A32", nodes=10, time_steps=360, arrival_time=hours(3))
+        dated = with_deadline(rng, app)
+        assert dated.deadline is not None
+        assert dated.slack is not None and dated.slack > 0
+        # Eq. 1 guarantees at least 20% headroom at arrival.
+        assert dated.slack >= 0.2 * app.baseline_time - 1e-6
+
+    def test_original_unchanged(self, rng):
+        app = make_application("A32", nodes=10, time_steps=360)
+        with_deadline(rng, app)
+        assert app.deadline is None

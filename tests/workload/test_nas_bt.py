@@ -1,0 +1,104 @@
+"""Unit tests for the NAS BT communication-scaling model."""
+
+import pytest
+
+from repro.workload.nas_bt import (
+    EXASCALE_CORES,
+    BTParameterSet,
+    bt_comm_fraction,
+    bt_comm_ratio,
+    ep_comm_fraction,
+    nearest_table1_intensity,
+    render_scaling_profile,
+    scaling_profile,
+    table1_type_for,
+)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "param_set,expected",
+        [
+            (BTParameterSet.SET_1, 0.22),
+            (BTParameterSet.SET_2, 0.50),
+            (BTParameterSet.SET_3, 0.80),
+        ],
+    )
+    def test_exascale_anchors_match_reference(self, param_set, expected):
+        """The model must hit [6]'s quoted 22/50/80% at exascale."""
+        assert bt_comm_fraction(EXASCALE_CORES, param_set) == pytest.approx(expected)
+
+    def test_fraction_grows_with_scale(self):
+        small = bt_comm_fraction(1_000, BTParameterSet.SET_2)
+        large = bt_comm_fraction(EXASCALE_CORES, BTParameterSet.SET_2)
+        assert small < large
+
+    def test_fraction_in_valid_range(self):
+        for cores in (1, 1_000, 10**6, 10**9):
+            for param_set in BTParameterSet:
+                assert 0.0 < bt_comm_fraction(cores, param_set) < 1.0
+
+    def test_harder_sets_more_communication(self):
+        cores = 10**6
+        values = [bt_comm_fraction(cores, s) for s in BTParameterSet]
+        assert values == sorted(values)
+
+    def test_ratio_fraction_consistency(self):
+        cores = 12_000_000
+        ratio = bt_comm_ratio(cores, BTParameterSet.SET_2)
+        assert bt_comm_fraction(cores, BTParameterSet.SET_2) == pytest.approx(
+            ratio / (1 + ratio)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bt_comm_fraction(0, BTParameterSet.SET_1)
+
+
+class TestEP:
+    def test_always_zero(self):
+        for cores in (1, 10**6, EXASCALE_CORES):
+            assert ep_comm_fraction(cores) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ep_comm_fraction(-1)
+
+
+class TestTable1Mapping:
+    def test_snap_to_grid(self):
+        assert nearest_table1_intensity(0.1) == 0.0
+        assert nearest_table1_intensity(0.2) == 0.25
+        assert nearest_table1_intensity(0.45) == 0.5
+        assert nearest_table1_intensity(0.8) == 0.75
+
+    def test_snap_validation(self):
+        with pytest.raises(ValueError):
+            nearest_table1_intensity(1.0)
+
+    def test_exascale_types(self):
+        """At exascale the three parameter sets land on B/C/D types —
+        the communication diversity Table I encodes."""
+        assert table1_type_for(EXASCALE_CORES, BTParameterSet.SET_1, 32.0) == "B32"
+        assert table1_type_for(EXASCALE_CORES, BTParameterSet.SET_2, 64.0) == "C64"
+        assert table1_type_for(EXASCALE_CORES, BTParameterSet.SET_3, 32.0) == "D32"
+
+    def test_small_scale_collapses_to_low_comm(self):
+        name = table1_type_for(1_000, BTParameterSet.SET_1, 32.0)
+        assert name in ("A32", "B32")
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError):
+            table1_type_for(1_000, BTParameterSet.SET_1, 48.0)
+
+
+class TestProfiles:
+    def test_scaling_profile_keys(self):
+        profile = scaling_profile(BTParameterSet.SET_2, [10**3, 10**6])
+        assert set(profile) == {10**3, 10**6}
+        assert profile[10**3] < profile[10**6]
+
+    def test_render(self):
+        text = render_scaling_profile([10**3, 10**6, EXASCALE_CORES])
+        assert "SET_1" in text and "SET_3" in text
+        assert "123,000,000" in text

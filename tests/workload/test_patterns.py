@@ -1,0 +1,128 @@
+"""Unit tests for arrival-pattern generation (Sec. VI/VII)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PATTERN_FRACTION_CHOICES
+from repro.rng.streams import StreamFactory
+from repro.units import hours
+from repro.workload.arrivals import sample_arrival_times
+from repro.workload.patterns import PatternBias, PatternGenerator
+from repro.workload.synthetic import APP_TYPES
+
+SYSTEM_NODES = 120_000
+
+
+@pytest.fixture
+def generator(streams):
+    return PatternGenerator(streams, SYSTEM_NODES)
+
+
+class TestArrivalTimes:
+    def test_count(self, rng):
+        assert sample_arrival_times(rng, count=100).size == 100
+
+    def test_mean_interarrival(self, rng):
+        times = sample_arrival_times(rng, count=20_000)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert np.mean(gaps) == pytest.approx(hours(2), rel=0.05)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_arrival_times(rng, count=-1)
+        with pytest.raises(ValueError):
+            sample_arrival_times(rng, mean_interarrival_s=0.0)
+
+
+class TestUnbiasedPattern:
+    def test_structure(self, generator):
+        pattern = generator.generate(0)
+        assert pattern.total_arrivals == 100
+        assert len(pattern.fill_apps) > 0
+        assert pattern.index == 0
+        assert pattern.bias is PatternBias.UNBIASED
+
+    def test_fill_starts_at_time_zero(self, generator):
+        pattern = generator.generate(0)
+        assert all(a.arrival_time == 0.0 for a in pattern.fill_apps)
+
+    def test_fill_nearly_saturates_machine(self, generator):
+        pattern = generator.generate(0)
+        used = sum(a.nodes for a in pattern.fill_apps)
+        smallest = round(min(PATTERN_FRACTION_CHOICES) * SYSTEM_NODES)
+        assert used <= SYSTEM_NODES
+        assert SYSTEM_NODES - used < smallest
+
+    def test_arrivals_sorted_and_positive(self, generator):
+        pattern = generator.generate(0)
+        times = [a.arrival_time for a in pattern.arriving_apps]
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+    def test_sizes_from_paper_choices(self, generator):
+        pattern = generator.generate(0)
+        allowed = {round(f * SYSTEM_NODES) for f in PATTERN_FRACTION_CHOICES}
+        assert {a.nodes for a in pattern.arriving_apps} <= allowed
+
+    def test_baselines_from_paper_choices(self, generator):
+        pattern = generator.generate(0)
+        allowed = {hours(6), hours(12), hours(24), hours(48)}
+        assert {a.baseline_time for a in pattern.arriving_apps} <= allowed
+
+    def test_every_arrival_has_eq1_deadline(self, generator):
+        pattern = generator.generate(0)
+        for app in pattern.arriving_apps:
+            assert app.deadline is not None
+            u = (app.deadline - app.arrival_time) / app.baseline_time
+            assert 1.2 <= u <= 2.0
+
+    def test_unique_ids(self, generator):
+        pattern = generator.generate(0)
+        ids = [a.app_id for a in pattern.all_apps]
+        assert len(ids) == len(set(ids))
+
+    def test_reproducible(self, streams):
+        a = PatternGenerator(StreamFactory(99), SYSTEM_NODES).generate(3)
+        b = PatternGenerator(StreamFactory(99), SYSTEM_NODES).generate(3)
+        assert [x.app_id for x in a.all_apps] == [x.app_id for x in b.all_apps]
+        assert [x.nodes for x in a.all_apps] == [x.nodes for x in b.all_apps]
+        assert [x.arrival_time for x in a.arriving_apps] == [
+            x.arrival_time for x in b.arriving_apps
+        ]
+
+    def test_patterns_differ_by_index(self, generator):
+        a = generator.generate(0)
+        b = generator.generate(1)
+        assert [x.nodes for x in a.arriving_apps] != [x.nodes for x in b.arriving_apps]
+
+
+class TestBiases:
+    def test_high_memory_bias(self, generator):
+        pattern = generator.generate(0, bias=PatternBias.HIGH_MEMORY)
+        assert all(a.memory_per_node_gb == 64.0 for a in pattern.all_apps)
+
+    def test_high_communication_bias(self, generator):
+        pattern = generator.generate(0, bias=PatternBias.HIGH_COMMUNICATION)
+        assert all(a.comm_fraction > 0.25 for a in pattern.all_apps)
+
+    def test_large_bias(self, generator):
+        pattern = generator.generate(0, bias=PatternBias.LARGE)
+        min_large = round(0.12 * SYSTEM_NODES)
+        assert all(a.nodes >= min_large for a in pattern.arriving_apps)
+
+    def test_unbiased_uses_all_types_eventually(self, generator):
+        seen = set()
+        for i in range(5):
+            pattern = generator.generate(i)
+            seen |= {a.type_name for a in pattern.all_apps}
+        assert seen == set(APP_TYPES)
+
+
+class TestGenerateMany:
+    def test_count_and_indices(self, generator):
+        patterns = generator.generate_many(count=5)
+        assert [p.index for p in patterns] == list(range(5))
+
+    def test_validation(self, streams):
+        with pytest.raises(ValueError):
+            PatternGenerator(streams, 0)

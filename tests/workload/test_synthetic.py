@@ -1,0 +1,84 @@
+"""Unit tests for the Table I synthetic suite."""
+
+import pytest
+
+from repro.workload.synthetic import (
+    APP_TYPES,
+    get_type,
+    make_application,
+    paper_time_step_range,
+)
+
+
+class TestTable1:
+    def test_eight_types(self):
+        assert len(APP_TYPES) == 8
+
+    def test_names_match_table(self):
+        assert set(APP_TYPES) == {
+            "A32", "A64", "B32", "B64", "C32", "C64", "D32", "D64",
+        }
+
+    @pytest.mark.parametrize(
+        "name,comm,mem",
+        [
+            ("A32", 0.0, 32.0),
+            ("B64", 0.25, 64.0),
+            ("C32", 0.5, 32.0),
+            ("D64", 0.75, 64.0),
+        ],
+    )
+    def test_type_attributes(self, name, comm, mem):
+        t = APP_TYPES[name]
+        assert t.comm_fraction == comm
+        assert t.memory_per_node_gb == mem
+
+    def test_high_memory_flag(self):
+        assert APP_TYPES["A64"].high_memory
+        assert not APP_TYPES["A32"].high_memory
+
+    def test_high_communication_flag(self):
+        # Sec. VII: high communication means T_C > 0.25.
+        assert not APP_TYPES["B64"].high_communication
+        assert APP_TYPES["C32"].high_communication
+        assert APP_TYPES["D64"].high_communication
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_type("d64") is APP_TYPES["D64"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_type("Z99")
+
+
+class TestMakeApplication:
+    def test_from_name(self):
+        app = make_application("C64", nodes=100)
+        assert app.comm_fraction == 0.5
+        assert app.memory_per_node_gb == 64.0
+        assert app.nodes == 100
+
+    def test_from_type_object(self):
+        app = make_application(APP_TYPES["A32"], nodes=10, time_steps=360)
+        assert app.type_name == "A32"
+        assert app.time_steps == 360
+
+    def test_metadata_passed_through(self):
+        app = make_application(
+            "A32", nodes=10, app_id=7, arrival_time=100.0, deadline=1e9
+        )
+        assert app.app_id == 7
+        assert app.arrival_time == 100.0
+        assert app.deadline == 1e9
+
+    def test_default_is_one_day(self):
+        assert make_application("A32", nodes=10).time_steps == 1440
+
+
+class TestPaperRange:
+    def test_six_hours_to_two_days(self):
+        low, high = paper_time_step_range()
+        assert low == 360  # 6 h of one-minute steps
+        assert high == 2880  # 48 h
