@@ -1,0 +1,80 @@
+"""Benchmark the parallel trial executor: fig1 serial vs. --jobs N.
+
+Runs the Fig. 1 driver at a CI-sized configuration with jobs=1 and
+jobs=N (cache disabled for both so every cell computes), verifies the
+results are bit-identical, and records wall times plus speedup under
+``benchmarks/results/parallel_speedup.txt``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_parallel.py [--jobs 4] [--trials 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import time
+
+from repro.experiments import fig1
+from repro.experiments.parallel import ExecutorMetrics, ExecutorOptions
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--trials", type=int, default=20)
+    args = parser.parse_args()
+
+    cfg = fig1.config(trials=args.trials)
+
+    timings = {}
+    results = {}
+    for jobs in (1, args.jobs):
+        metrics = ExecutorMetrics()
+        options = ExecutorOptions(jobs=jobs, cache=False, metrics=metrics)
+        started = time.perf_counter()
+        results[jobs] = fig1.run(cfg, options=options)
+        timings[jobs] = time.perf_counter() - started
+
+    identical = [
+        (a.fraction, a.technique, a.stats, a.infeasible)
+        for a in results[1].cells
+    ] == [
+        (b.fraction, b.technique, b.stats, b.infeasible)
+        for b in results[args.jobs].cells
+    ]
+    speedup = timings[1] / timings[args.jobs]
+
+    lines = [
+        "Parallel trial executor: fig1 serial vs. parallel",
+        f"config: trials={cfg.trials}, fractions={len(cfg.fractions)}, "
+        f"system_nodes={cfg.system_nodes}, cells={len(results[1].cells)}",
+        f"host CPUs: {os.cpu_count()}",
+        f"jobs=1:            {timings[1]:8.2f} s",
+        f"jobs={args.jobs}:            {timings[args.jobs]:8.2f} s",
+        f"speedup:           {speedup:8.2f} x",
+        f"bit-identical:     {identical}",
+    ]
+    cpus = os.cpu_count() or 1
+    if cpus < args.jobs:
+        lines.append(
+            f"note: host has {cpus} CPU(s) < jobs={args.jobs}; cells are "
+            "embarrassingly parallel, so speedup tracks core count on "
+            "multi-core hosts — rerun this script there to record it."
+        )
+    text = "\n".join(lines) + "\n"
+    print(text, end="")
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "parallel_speedup.txt").write_text(text)
+    if not identical:
+        print("ERROR: parallel result diverged from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

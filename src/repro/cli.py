@@ -22,6 +22,30 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, tables
+from repro.experiments.parallel import CellProgress, ExecutorMetrics, ExecutorOptions
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--jobs``: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _executor_options(args: argparse.Namespace) -> ExecutorOptions:
+    """Executor settings for one figure run: worker count and cache
+    from the flags, a fresh metrics sink, and (with ``--progress``)
+    per-cell reporting on stderr."""
+    on_cell: Optional[Callable[[CellProgress], None]] = None
+    if args.progress:
+        on_cell = lambda p: print(p.render(), file=sys.stderr)
+    return ExecutorOptions(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        metrics=ExecutorMetrics(),
+        on_cell=on_cell,
+    )
 
 
 def _scaling_output(module, result, fmt: str) -> str:
@@ -61,14 +85,21 @@ def _run_scaling_fig(module, args: argparse.Namespace) -> str:
     cfg = module.config(trials=args.trials)
     if args.quick:
         cfg = cfg.quick(trials=min(args.trials, 10))
-    return _scaling_output(module, module.run(cfg), args.format)
+    options = _executor_options(args)
+    output = _scaling_output(module, module.run(cfg, options=options), args.format)
+    # Metrics go to stderr so csv/json stdout stays machine-readable.
+    print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
+    return output
 
 
 def _run_datacenter_fig(module, args: argparse.Namespace) -> str:
     cfg = module.config(patterns=args.patterns)
     if args.quick:
         cfg = cfg.quick()
-    return _datacenter_output(module, module.run(cfg), args.format)
+    options = _executor_options(args)
+    output = _datacenter_output(module, module.run(cfg, options=options), args.format)
+    print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
+    return output
 
 
 def _run_table1(args: argparse.Namespace) -> str:
@@ -258,6 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="statistically coarse but fast run (CI-sized)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for the figure drivers (default 1 = serial; "
+            "results are bit-identical for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "recompute every cell instead of reusing results/.cache/ "
+            "(the cache is keyed by config+technique+seed, so hits are "
+            "always exact)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-cell progress (wall time, trials/s, cache hits) on stderr",
     )
     return parser
 

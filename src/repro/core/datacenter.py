@@ -418,6 +418,16 @@ class DatacenterSimulator:
         return result
 
 
+#: Process-local count of :func:`run_datacenter` invocations (the
+#: cache tests assert a warm rerun performs zero simulations).
+_SIM_CALLS = 0
+
+
+def simulation_call_count() -> int:
+    """Number of datacenter simulations run in this process."""
+    return _SIM_CALLS
+
+
 def run_datacenter(
     pattern: ArrivalPattern,
     manager: ResourceManager,
@@ -426,4 +436,6 @@ def run_datacenter(
     config: Optional[DatacenterConfig] = None,
 ) -> DatacenterResult:
     """Convenience wrapper: build and run one simulation."""
+    global _SIM_CALLS
+    _SIM_CALLS += 1
     return DatacenterSimulator(pattern, manager, selector, system, config).run()

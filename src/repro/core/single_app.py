@@ -48,6 +48,13 @@ class SingleAppConfig:
     burst:
         Optional spatially-correlated failure model (extension; the
         paper's independent single-node failures when None).
+    stream_key:
+        When None (the default, and what every figure uses), trial *i*
+        draws the same failure realisation in every cell — the paper's
+        common-random-numbers discipline that lets techniques be
+        compared pairwise.  Setting a per-cell key derives seeds unique
+        to each (cell, trial) pair instead, making replications fully
+        independent across cells.
     """
 
     node_mtbf_s: float = DEFAULT_NODE_MTBF_S
@@ -55,6 +62,7 @@ class SingleAppConfig:
     max_time_factor: float = 20.0
     seed: int = 2017
     burst: Optional["BurstModel"] = None
+    stream_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.node_mtbf_s <= 0:
@@ -69,6 +77,17 @@ class SingleAppConfig:
         if self.severity_pmf is None:
             return SeverityModel.default()
         return SeverityModel.from_probabilities(self.severity_pmf)
+
+
+#: Process-local count of :func:`simulate_application` invocations.
+#: The parallel executor's cache tests use this to prove that a
+#: warm-cache rerun performs zero simulation work.
+_SIM_CALLS = 0
+
+
+def simulation_call_count() -> int:
+    """Number of single-app simulations run in this process."""
+    return _SIM_CALLS
 
 
 def failure_driver(
@@ -98,11 +117,16 @@ def simulate_application(
     ``technique.fits(app, system)`` first (as
     :func:`run_trials` does).
     """
+    global _SIM_CALLS
+    _SIM_CALLS += 1
     config = config or SingleAppConfig()
     plan = technique.plan(
         app, system, config.node_mtbf_s, severity=config.severity_model()
     )
-    streams = StreamFactory(config.seed).spawn_indexed(trial)
+    if config.stream_key is None:
+        streams = StreamFactory(config.seed).spawn_indexed(trial)
+    else:
+        streams = StreamFactory(config.seed).for_trial(config.stream_key, trial)
     failure_rng = streams.stream("failures")
 
     sim = Simulator()

@@ -4,6 +4,15 @@ shared runners, statistics, and reporting."""
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, sweep, tables
 from repro.experiments.barchart import datacenter_barchart, scaling_barchart
 from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.parallel import (
+    CellProgress,
+    CellTask,
+    ExecutorMetrics,
+    ExecutorOptions,
+    ResultCache,
+    TrialExecutor,
+    cache_key,
+)
 from repro.experiments.export import (
     datacenter_to_csv,
     datacenter_to_json,
@@ -26,9 +35,16 @@ from repro.experiments.runner import (
 from repro.experiments.stats import PairedSummary, SummaryStats, paired_summary
 
 __all__ = [
+    "CellProgress",
+    "CellTask",
     "DatacenterCell",
     "DatacenterStudyConfig",
     "DatacenterStudyResult",
+    "ExecutorMetrics",
+    "ExecutorOptions",
+    "ResultCache",
+    "TrialExecutor",
+    "cache_key",
     "ScalingCell",
     "ScalingStudyConfig",
     "ScalingStudyResult",

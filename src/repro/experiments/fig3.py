@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.constants import LOW_NODE_MTBF_S
 from repro.experiments.config import ScalingStudyConfig
+from repro.experiments.parallel import ExecutorOptions
 from repro.experiments.reporting import render_scaling_study
 from repro.experiments.runner import ScalingStudyResult, run_scaling_study
 
@@ -29,9 +30,10 @@ def config(**overrides) -> ScalingStudyConfig:
 def run(
     cfg: Optional[ScalingStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    options: Optional[ExecutorOptions] = None,
 ) -> ScalingStudyResult:
     """Run the study (paper parameters unless *cfg* overrides)."""
-    return run_scaling_study(cfg or config(), progress=progress)
+    return run_scaling_study(cfg or config(), progress=progress, options=options)
 
 
 def render(result: ScalingStudyResult) -> str:

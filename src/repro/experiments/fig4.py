@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.selection import FixedSelector
 from repro.experiments.config import DatacenterStudyConfig
+from repro.experiments.parallel import ExecutorOptions
 from repro.experiments.reporting import render_datacenter_study
 from repro.experiments.runner import (
     DatacenterStudyResult,
@@ -45,6 +46,7 @@ def config(**overrides) -> DatacenterStudyConfig:
 def run(
     cfg: Optional[DatacenterStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    options: Optional[ExecutorOptions] = None,
 ) -> DatacenterStudyResult:
     """Run the (RM x technique + ideal) grid over shared patterns."""
     study, _ = run_datacenter_study(
@@ -53,6 +55,7 @@ def run(
         rm_names=manager_names(),
         include_ideal=True,
         progress=progress,
+        options=options,
     )
     return study
 

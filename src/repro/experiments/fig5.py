@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.selection import FixedSelector, ResilienceSelection
 from repro.experiments.config import DatacenterStudyConfig
+from repro.experiments.parallel import ExecutorOptions
 from repro.experiments.reporting import render_datacenter_study
 from repro.experiments.runner import (
     DatacenterStudyResult,
@@ -57,6 +58,7 @@ def config(**overrides) -> DatacenterStudyConfig:
 def run(
     cfg: Optional[DatacenterStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    options: Optional[ExecutorOptions] = None,
 ) -> DatacenterStudyResult:
     """Run the (bias x RM x selector) grid over shared patterns."""
     cfg = cfg or config()
@@ -66,6 +68,7 @@ def run(
         rm_names=manager_names(),
         biases=BIASES,
         progress=progress,
+        options=options,
     )
     return study
 

@@ -6,10 +6,20 @@
   dropped percentages per (resource manager x selector) over a common
   set of arrival patterns (the same patterns are replayed for every
   combination, as the paper prescribes).
+
+Both decompose their grids into independent cells executed through
+:class:`repro.experiments.parallel.TrialExecutor`, so passing
+``ExecutorOptions(jobs=N)`` fans the grid out over N worker processes
+and ``ExecutorOptions(cache=True)`` memoises cells under
+``results/.cache/``.  Every cell derives its randomness from the study
+seed by name/index (never from execution order), so serial, parallel,
+and cached runs produce bit-identical results; the default options
+(``jobs=1``, no cache) preserve the historical serial behaviour.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -17,6 +27,12 @@ from repro.core.datacenter import DatacenterConfig, DatacenterResult, run_datace
 from repro.core.selection import TechniqueSelector
 from repro.core.single_app import SingleAppConfig, run_trials
 from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.parallel import (
+    CellTask,
+    ExecutorOptions,
+    TrialExecutor,
+    technique_fingerprint,
+)
 from repro.experiments.stats import SummaryStats
 from repro.platform.presets import exascale_system
 from repro.resilience.base import ResilienceTechnique
@@ -26,6 +42,13 @@ from repro.rng.streams import StreamFactory
 from repro.units import MINUTE
 from repro.workload.patterns import ArrivalPattern, PatternBias, PatternGenerator
 from repro.workload.synthetic import make_application
+
+
+def _fractions_equal(a: float, b: float) -> bool:
+    """Tolerant fraction comparison: survives floats produced by
+    arithmetic (``0.1 + 0.2``) while still separating distinct grid
+    points, which differ by far more than the relative tolerance."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
 
 
 @dataclass(frozen=True)
@@ -53,7 +76,7 @@ class ScalingStudyResult:
     def cell(self, fraction: float, technique: str) -> ScalingCell:
         """The bar at (*fraction*, *technique*); KeyError if absent."""
         for c in self.cells:
-            if c.technique == technique and abs(c.fraction - fraction) < 1e-12:
+            if c.technique == technique and _fractions_equal(c.fraction, fraction):
                 return c
         raise KeyError((fraction, technique))
 
@@ -72,16 +95,28 @@ class ScalingStudyResult:
 
     def best_technique(self, fraction: float) -> str:
         """Highest mean efficiency at one fraction."""
-        at = [c for c in self.cells if abs(c.fraction - fraction) < 1e-12]
+        at = [c for c in self.cells if _fractions_equal(c.fraction, fraction)]
         return max(at, key=lambda c: c.mean_efficiency).technique
+
+
+def _scaling_cell_body(app, technique, system, trials, app_config):
+    """Compute one scaling cell; returns plain data (cache payload)."""
+    trial_set = run_trials(app, technique, system, trials, app_config)
+    return trial_set.infeasible, tuple(trial_set.efficiencies)
 
 
 def run_scaling_study(
     config: ScalingStudyConfig,
     techniques: Optional[Sequence[ResilienceTechnique]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    options: Optional[ExecutorOptions] = None,
 ) -> ScalingStudyResult:
-    """Run one Sec. V panel (Figs. 1-3)."""
+    """Run one Sec. V panel (Figs. 1-3).
+
+    ``options`` selects worker count and caching; results are
+    bit-identical for any ``jobs`` because each trial's seed derives
+    from ``config.seed`` and the trial index alone.
+    """
     techniques = (
         list(techniques) if techniques is not None else scaling_study_techniques()
     )
@@ -91,7 +126,8 @@ def run_scaling_study(
         severity_pmf=config.severity_pmf,
         seed=config.seed,
     )
-    result = ScalingStudyResult(config=config)
+    tasks: List[CellTask] = []
+    labels: List[Tuple[float, str]] = []
     for fraction in config.fractions:
         nodes = system.fraction_to_nodes(fraction)
         app = make_application(
@@ -100,22 +136,45 @@ def run_scaling_study(
             time_steps=max(1, round(config.baseline_s / MINUTE)),
         )
         for technique in techniques:
-            trial_set = run_trials(app, technique, system, config.trials, app_config)
-            if trial_set.infeasible:
-                cell = ScalingCell(fraction, technique.name, None, True)
-            else:
-                cell = ScalingCell(
-                    fraction,
-                    technique.name,
-                    SummaryStats.from_samples(trial_set.efficiencies),
-                    False,
+            tasks.append(
+                CellTask(
+                    fn=lambda app=app, technique=technique: _scaling_cell_body(
+                        app, technique, system, config.trials, app_config
+                    ),
+                    key_parts=(
+                        "scaling",
+                        config,
+                        technique_fingerprint(technique),
+                        fraction,
+                    ),
+                    trials=config.trials,
+                    label=f"{config.app_type} {100 * fraction:g}% {technique.name}",
                 )
-            result.cells.append(cell)
-            if progress is not None:
-                progress(
-                    f"{config.app_type} {100 * fraction:5.1f}% "
-                    f"{technique.name:<22} done"
-                )
+            )
+            labels.append((fraction, technique.name))
+
+    executor = TrialExecutor(options)
+    outcomes = executor.run(tasks)
+
+    result = ScalingStudyResult(config=config)
+    for (fraction, technique_name), (infeasible, efficiencies) in zip(
+        labels, outcomes
+    ):
+        if infeasible:
+            cell = ScalingCell(fraction, technique_name, None, True)
+        else:
+            cell = ScalingCell(
+                fraction,
+                technique_name,
+                SummaryStats.from_samples(efficiencies),
+                False,
+            )
+        result.cells.append(cell)
+        if progress is not None:
+            progress(
+                f"{config.app_type} {100 * fraction:5.1f}% "
+                f"{technique_name:<22} done"
+            )
     return result
 
 
@@ -166,6 +225,53 @@ def generate_patterns(
     )
 
 
+def _datacenter_cell_body(
+    config: DatacenterStudyConfig,
+    rm_name: str,
+    sel_name: str,
+    factory: Optional[SelectorFactory],
+    bias: PatternBias,
+    patterns: Sequence[ArrivalPattern],
+    keep_results: bool,
+):
+    """Compute one datacenter cell over its shared pattern set.
+
+    Every stochastic input is derived by name from ``config.seed``
+    (manager streams via ``StreamFactory.fresh``, failure streams
+    inside the simulator), so this body is a pure function of its
+    arguments — safe to run on any worker in any order.
+    """
+    streams = StreamFactory(config.seed)
+    samples: List[float] = []
+    raw: List[DatacenterResult] = []
+    for pattern in patterns:
+        system = exascale_system(config.system_nodes)
+        manager = make_manager(
+            rm_name,
+            streams.fresh(f"rm-{rm_name}-{sel_name}-{bias.value}-{pattern.index}"),
+        )
+        if factory is None:
+            dc_config = DatacenterConfig(
+                node_mtbf_s=config.node_mtbf_s,
+                severity_pmf=config.severity_pmf,
+                seed=config.seed,
+                ideal=True,
+            )
+            selector = _IdealSelector()
+        else:
+            dc_config = DatacenterConfig(
+                node_mtbf_s=config.node_mtbf_s,
+                severity_pmf=config.severity_pmf,
+                seed=config.seed,
+            )
+            selector = factory()
+        outcome = run_datacenter(pattern, manager, selector, system, dc_config)
+        samples.append(outcome.dropped_pct)
+        if keep_results:
+            raw.append(outcome)
+    return tuple(samples), raw
+
+
 def run_datacenter_study(
     config: DatacenterStudyConfig,
     selectors: Dict[str, SelectorFactory],
@@ -174,6 +280,7 @@ def run_datacenter_study(
     include_ideal: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     keep_results: bool = False,
+    options: Optional[ExecutorOptions] = None,
 ) -> Tuple[DatacenterStudyResult, List[DatacenterResult]]:
     """Run a Figs. 4-5 grid.
 
@@ -181,10 +288,18 @@ def run_datacenter_study(
     selector per combination keeps selection counters per-cell).  When
     ``include_ideal`` is set, an extra "ideal" selector column runs with
     failures and resilience disabled.
+
+    Cells fan out per ``options``.  Cache keys identify a selector by
+    its display name (factories are opaque callables), so reusing a
+    name for a behaviourally different selector under the same config
+    must be paired with a cache clear.  ``keep_results=True`` bypasses
+    the cache for those cells: raw :class:`DatacenterResult` objects
+    are too heavy to memoise and are recomputed instead.
     """
     study = DatacenterStudyResult(config=config)
     raw: List[DatacenterResult] = []
-    streams = StreamFactory(config.seed)
+    tasks: List[CellTask] = []
+    meta: List[Tuple[str, str, PatternBias]] = []
     for bias in biases:
         patterns = generate_patterns(config, bias)
         columns: List[Tuple[str, Optional[SelectorFactory]]] = [
@@ -194,47 +309,45 @@ def run_datacenter_study(
             columns.append(("ideal", None))
         for rm_name in rm_names:
             for sel_name, factory in columns:
-                samples: List[float] = []
-                for pattern in patterns:
-                    system = exascale_system(config.system_nodes)
-                    manager = make_manager(
-                        rm_name,
-                        streams.fresh(
-                            f"rm-{rm_name}-{sel_name}-{bias.value}-{pattern.index}"
+                tasks.append(
+                    CellTask(
+                        fn=lambda rm_name=rm_name, sel_name=sel_name, factory=factory, bias=bias, patterns=patterns: _datacenter_cell_body(
+                            config,
+                            rm_name,
+                            sel_name,
+                            factory,
+                            bias,
+                            patterns,
+                            keep_results,
                         ),
-                    )
-                    if factory is None:
-                        dc_config = DatacenterConfig(
-                            node_mtbf_s=config.node_mtbf_s,
-                            severity_pmf=config.severity_pmf,
-                            seed=config.seed,
-                            ideal=True,
-                        )
-                        selector = _IdealSelector()
-                    else:
-                        dc_config = DatacenterConfig(
-                            node_mtbf_s=config.node_mtbf_s,
-                            severity_pmf=config.severity_pmf,
-                            seed=config.seed,
-                        )
-                        selector = factory()
-                    outcome = run_datacenter(
-                        pattern, manager, selector, system, dc_config
-                    )
-                    samples.append(outcome.dropped_pct)
-                    if keep_results:
-                        raw.append(outcome)
-                study.cells.append(
-                    DatacenterCell(
-                        rm_name=rm_name,
-                        selector_name=sel_name,
-                        bias=bias,
-                        stats=SummaryStats.from_samples(samples),
-                        samples=tuple(samples),
+                        key_parts=(
+                            None
+                            if keep_results
+                            else ("datacenter", config, rm_name, sel_name, bias)
+                        ),
+                        trials=len(patterns),
+                        label=f"{bias.value} {rm_name} {sel_name}",
                     )
                 )
-                if progress is not None:
-                    progress(f"{bias.value} {rm_name} {sel_name} done")
+                meta.append((rm_name, sel_name, bias))
+
+    executor = TrialExecutor(options)
+    outcomes = executor.run(tasks)
+
+    for (rm_name, sel_name, bias), (samples, cell_raw) in zip(meta, outcomes):
+        study.cells.append(
+            DatacenterCell(
+                rm_name=rm_name,
+                selector_name=sel_name,
+                bias=bias,
+                stats=SummaryStats.from_samples(samples),
+                samples=tuple(samples),
+            )
+        )
+        if keep_results:
+            raw.extend(cell_raw)
+        if progress is not None:
+            progress(f"{bias.value} {rm_name} {sel_name} done")
     return study, raw
 
 

@@ -11,6 +11,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.single_app import SingleAppConfig, run_trials
+from repro.experiments.parallel import (
+    CellTask,
+    ExecutorOptions,
+    TrialExecutor,
+    technique_fingerprint,
+)
 from repro.experiments.stats import SummaryStats
 from repro.platform.presets import exascale_system
 from repro.resilience.base import CheckpointLevel, ExecutionPlan
@@ -28,6 +34,44 @@ class SweepRow:
     stats: SummaryStats
 
 
+def _sweep_rows(
+    labelled_cells,
+    system,
+    trials: int,
+    options: Optional[ExecutorOptions],
+) -> List[SweepRow]:
+    """Run (label, app, technique, config) cells through the executor.
+
+    Each row is one independent cell, so ``ExecutorOptions(jobs=N)``
+    sweeps N parameter values concurrently with results identical to
+    the serial loop.
+    """
+    tasks = [
+        CellTask(
+            fn=lambda app=app, technique=technique, config=config: tuple(
+                run_trials(app, technique, system, trials, config).efficiencies
+            ),
+            key_parts=(
+                "sweep",
+                config,
+                technique_fingerprint(technique),
+                app.type_name,
+                app.nodes,
+                app.time_steps,
+                trials,
+            ),
+            trials=trials,
+            label=label,
+        )
+        for label, app, technique, config in labelled_cells
+    ]
+    efficiencies = TrialExecutor(options).run(tasks)
+    return [
+        SweepRow(label=label, stats=SummaryStats.from_samples(effs))
+        for (label, _, _, _), effs in zip(labelled_cells, efficiencies)
+    ]
+
+
 def severity_pmf_sweep_sim(
     pmfs: Sequence[Tuple[float, float, float]],
     app_type: str = "D64",
@@ -35,21 +79,21 @@ def severity_pmf_sweep_sim(
     trials: int = 10,
     system_nodes: int = 120_000,
     seed: int = 2017,
+    options: Optional[ExecutorOptions] = None,
 ) -> List[SweepRow]:
     """Simulated multilevel efficiency across severity PMFs."""
     system = exascale_system(system_nodes)
     app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
-    rows: List[SweepRow] = []
-    for pmf in pmfs:
-        config = SingleAppConfig(severity_pmf=pmf, seed=seed)
-        trial_set = run_trials(app, MultilevelCheckpoint(), system, trials, config)
-        rows.append(
-            SweepRow(
-                label=f"pmf={pmf}",
-                stats=SummaryStats.from_samples(trial_set.efficiencies),
-            )
+    cells = [
+        (
+            f"pmf={pmf}",
+            app,
+            MultilevelCheckpoint(),
+            SingleAppConfig(severity_pmf=pmf, seed=seed),
         )
-    return rows
+        for pmf in pmfs
+    ]
+    return _sweep_rows(cells, system, trials, options)
 
 
 def recovery_parallelism_sweep_sim(
@@ -59,22 +103,22 @@ def recovery_parallelism_sweep_sim(
     trials: int = 10,
     system_nodes: int = 120_000,
     seed: int = 2017,
+    options: Optional[ExecutorOptions] = None,
 ) -> List[SweepRow]:
     """Simulated Parallel Recovery efficiency across sigma values."""
     system = exascale_system(system_nodes)
     app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
     config = SingleAppConfig(seed=seed)
-    rows: List[SweepRow] = []
-    for sigma in sigmas:
-        technique = ParallelRecovery(recovery_parallelism=sigma)
-        trial_set = run_trials(app, technique, system, trials, config)
-        rows.append(
-            SweepRow(
-                label=f"sigma={sigma:g}",
-                stats=SummaryStats.from_samples(trial_set.efficiencies),
-            )
+    cells = [
+        (
+            f"sigma={sigma:g}",
+            app,
+            ParallelRecovery(recovery_parallelism=sigma),
+            config,
         )
-    return rows
+        for sigma in sigmas
+    ]
+    return _sweep_rows(cells, system, trials, options)
 
 
 def checkpoint_interval_sweep_sim(
@@ -85,6 +129,7 @@ def checkpoint_interval_sweep_sim(
     system_nodes: int = 120_000,
     seed: int = 2017,
     node_mtbf_s: Optional[float] = None,
+    options: Optional[ExecutorOptions] = None,
 ) -> List[SweepRow]:
     """Checkpoint Restart efficiency with the Daly-optimal period
     multiplied by each scale factor — validates in-simulation that the
@@ -97,17 +142,16 @@ def checkpoint_interval_sweep_sim(
         if node_mtbf_s is None
         else SingleAppConfig(seed=seed, node_mtbf_s=node_mtbf_s)
     )
-    rows: List[SweepRow] = []
-    for factor in scale_factors:
-        technique = _ScaledIntervalCheckpointRestart(factor)
-        trial_set = run_trials(app, technique, system, trials, base_config)
-        rows.append(
-            SweepRow(
-                label=f"tau x {factor:g}",
-                stats=SummaryStats.from_samples(trial_set.efficiencies),
-            )
+    cells = [
+        (
+            f"tau x {factor:g}",
+            app,
+            _ScaledIntervalCheckpointRestart(factor),
+            base_config,
         )
-    return rows
+        for factor in scale_factors
+    ]
+    return _sweep_rows(cells, system, trials, options)
 
 
 class _ScaledIntervalCheckpointRestart(CheckpointRestart):

@@ -15,8 +15,9 @@ identical across runs and platforms.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
@@ -24,6 +25,26 @@ import numpy as np
 def _name_key(name: str) -> int:
     """Stable 32-bit key for a stream name."""
     return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+def derive_seed(root_seed: int, *components: Union[int, str]) -> int:
+    """Deterministic 63-bit seed derived from *root_seed* and a tuple of
+    identifying components (cell key, trial index, ...).
+
+    SHA-256 based, so distinct component tuples yield distinct seeds in
+    practice (no birthday collisions at experiment scale, unlike the
+    CRC-32 name keys), and the value is stable across processes,
+    platforms, and Python versions — the property the parallel trial
+    executor relies on for serial/parallel bit-identity.
+    """
+    for part in components:
+        if not isinstance(part, (int, str)):
+            raise TypeError(
+                f"seed components must be int or str, got {type(part).__name__}"
+            )
+    material = repr((int(root_seed),) + tuple(components))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 class StreamFactory:
@@ -71,6 +92,19 @@ class StreamFactory:
         if index < 0:
             raise ValueError(f"index must be >= 0, got {index}")
         return self.spawn(f"child-{index}")
+
+    def for_trial(self, cell: str, trial: int) -> "StreamFactory":
+        """Derive the child factory for one (*cell*, *trial*) pair.
+
+        Unlike :meth:`spawn_indexed` — whose children are shared across
+        cells so techniques see common random numbers — these children
+        are unique per (cell, trial) pair via :func:`derive_seed`,
+        giving fully independent replications when a study opts out of
+        common-random-number pairing (``SingleAppConfig.stream_key``).
+        """
+        if trial < 0:
+            raise ValueError(f"trial must be >= 0, got {trial}")
+        return StreamFactory(derive_seed(self.seed, "trial", str(cell), int(trial)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StreamFactory(seed={self.seed})"

@@ -15,6 +15,13 @@ from repro.sim.engine import Simulator
 from repro.workload.synthetic import make_application
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test directory so
+    tests never read or write ``results/.cache/`` in the repo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

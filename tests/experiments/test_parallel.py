@@ -1,0 +1,203 @@
+"""Unit tests for the parallel trial executor, result cache, and
+progress metrics."""
+
+import pickle
+
+import pytest
+
+from repro.core import single_app
+from repro.experiments.config import ScalingStudyConfig
+from repro.experiments.parallel import (
+    CACHE_VERSION,
+    CellTask,
+    ExecutorMetrics,
+    ExecutorOptions,
+    ResultCache,
+    TrialExecutor,
+    cache_key,
+    canonicalize,
+    technique_fingerprint,
+)
+from repro.experiments.runner import run_scaling_study
+from repro.resilience.parallel_recovery import ParallelRecovery
+from repro.resilience.redundancy import Redundancy
+
+
+SMALL = ScalingStudyConfig(
+    app_type="A32", fractions=(0.1,), trials=2, system_nodes=1200
+)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        assert cache_key("a", 1, SMALL) == cache_key("a", 1, SMALL)
+
+    def test_dict_order_invariant(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+    def test_changes_with_any_config_field(self):
+        base = cache_key(SMALL)
+        assert cache_key(SMALL.quick(trials=3)) != base
+        assert cache_key(ScalingStudyConfig(
+            app_type="D64", fractions=(0.1,), trials=2, system_nodes=1200
+        )) != base
+
+    def test_distinguishes_types_from_strings(self):
+        assert cache_key(1) != cache_key("1")
+        assert cache_key((1, 2)) == cache_key([1, 2])  # sequences normalise
+
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_technique_fingerprint_separates_parameters(self):
+        a = technique_fingerprint(ParallelRecovery())
+        b = technique_fingerprint(ParallelRecovery(recovery_parallelism=2.0))
+        assert a != b
+        assert technique_fingerprint(Redundancy(2))[1] != a[1]
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell")
+        assert cache.get(key) == (False, None)
+        cache.put(key, (False, (0.5, 0.6)))
+        assert cache.get(key) == (True, (False, (0.5, 0.6)))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        cache.put("k", 1)
+        assert cache.get("k") == (False, None)
+        assert not list(tmp_path.iterdir())
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell")
+        cache.put(key, 42)
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:3])
+        assert cache.get(key) == (False, None)
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell")
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(b"not a pickle at all")
+        assert cache.get(key) == (False, None)
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell")
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(
+            pickle.dumps({"version": CACHE_VERSION + 1, "value": 42})
+        )
+        assert cache.get(key) == (False, None)
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("a"), 1)
+        cache.put(cache_key("b"), 2)
+        assert cache.clear() == 2
+        assert cache.get(cache_key("a")) == (False, None)
+
+
+class TestExecutor:
+    def test_results_in_submission_order(self):
+        tasks = [CellTask(fn=lambda i=i: i * i) for i in range(20)]
+        assert TrialExecutor(ExecutorOptions(jobs=4)).run(tasks) == [
+            i * i for i in range(20)
+        ]
+
+    def test_serial_and_parallel_agree(self):
+        tasks = [CellTask(fn=lambda i=i: i + 100) for i in range(7)]
+        serial = TrialExecutor().run(tasks)
+        parallel = TrialExecutor(ExecutorOptions(jobs=3)).run(tasks)
+        assert serial == parallel
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecutorOptions(jobs=0)
+
+    def test_metrics_accumulate(self, tmp_path):
+        metrics = ExecutorMetrics()
+        options = ExecutorOptions(
+            jobs=1, cache=True, cache_dir=tmp_path, metrics=metrics
+        )
+        tasks = [
+            CellTask(fn=lambda: 1.0, key_parts=("t", 1), trials=5),
+            CellTask(fn=lambda: 2.0, key_parts=("t", 2), trials=5),
+        ]
+        TrialExecutor(options).run(tasks)
+        assert metrics.cells_done == 2
+        assert metrics.cells_computed == 2
+        assert metrics.trials_done == 10
+        assert metrics.cache_hits == 0
+        TrialExecutor(options).run(tasks)
+        assert metrics.cells_done == 4
+        assert metrics.cache_hits == 2
+        assert metrics.hit_rate == pytest.approx(0.5)
+        assert metrics.trials_per_sec > 0
+        assert "cells" in metrics.render("x")
+
+    def test_on_cell_called_in_order(self, tmp_path):
+        seen = []
+        options = ExecutorOptions(
+            jobs=2, cache=True, cache_dir=tmp_path, on_cell=seen.append
+        )
+        tasks = [
+            CellTask(fn=lambda i=i: i, key_parts=("c", i), label=f"cell-{i}")
+            for i in range(4)
+        ]
+        TrialExecutor(options).run(tasks)
+        assert [p.index for p in seen] == [0, 1, 2, 3]
+        assert all(not p.cached for p in seen)
+        assert "cell-0" in seen[0].render()
+
+    def test_uncacheable_tasks_always_recompute(self, tmp_path):
+        calls = []
+        options = ExecutorOptions(cache=True, cache_dir=tmp_path)
+        task = CellTask(fn=lambda: calls.append(1) or len(calls))
+        assert TrialExecutor(options).run([task]) == [1]
+        assert TrialExecutor(options).run([task]) == [2]
+
+
+class TestStudyCacheBehaviour:
+    """The satellite contract: warm reruns do zero simulation work."""
+
+    def _options(self, tmp_path, **kw):
+        return ExecutorOptions(cache=True, cache_dir=tmp_path, **kw)
+
+    def test_warm_rerun_performs_zero_simulation_calls(self, tmp_path):
+        cold = run_scaling_study(SMALL, options=self._options(tmp_path))
+        before = single_app.simulation_call_count()
+        warm = run_scaling_study(SMALL, options=self._options(tmp_path))
+        assert single_app.simulation_call_count() == before
+        assert [c.stats for c in warm.cells] == [c.stats for c in cold.cells]
+
+    def test_no_cache_bypasses(self, tmp_path):
+        run_scaling_study(SMALL, options=self._options(tmp_path))
+        before = single_app.simulation_call_count()
+        run_scaling_study(SMALL, options=ExecutorOptions(cache=False))
+        # 5 techniques x 1 fraction, minus the infeasible redundancy
+        # cells (r=2/r=3 cannot fail fast here: 10% of 1200 fits), so
+        # at least trials x feasible cells simulations ran again.
+        assert single_app.simulation_call_count() > before
+
+    def test_corrupted_cell_recomputes_without_crashing(self, tmp_path):
+        run_scaling_study(SMALL, options=self._options(tmp_path))
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"\x80corrupt")
+        result = run_scaling_study(SMALL, options=self._options(tmp_path))
+        assert len(result.cells) == 5
+
+    def test_config_change_misses(self, tmp_path):
+        metrics = ExecutorMetrics()
+        run_scaling_study(SMALL, options=self._options(tmp_path))
+        run_scaling_study(
+            SMALL.quick(trials=3),
+            options=self._options(tmp_path, metrics=metrics),
+        )
+        assert metrics.cache_hits == 0

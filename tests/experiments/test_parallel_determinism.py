@@ -1,0 +1,111 @@
+"""Determinism regression tests for the parallel trial executor.
+
+The contract that makes ``--jobs N`` safe: a study fanned out over
+worker processes must produce cell-by-cell *bit-identical* results to
+the serial run, because every trial's seed derives from the study seed
+and the trial/cell identity — never from execution order.
+"""
+
+import pytest
+
+from repro.core.selection import FixedSelector
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.parallel import ExecutorOptions
+from repro.experiments.runner import run_datacenter_study, run_scaling_study
+from repro.resilience.parallel_recovery import ParallelRecovery
+
+
+@pytest.fixture(scope="module")
+def scaling_config():
+    return ScalingStudyConfig(
+        app_type="A32", fractions=(0.1, 0.5), trials=3, system_nodes=2400
+    )
+
+
+@pytest.fixture(scope="module")
+def datacenter_config():
+    return DatacenterStudyConfig(
+        patterns=2, arrivals_per_pattern=8, system_nodes=2400
+    )
+
+
+class TestScalingDeterminism:
+    def test_jobs4_matches_jobs1_bitwise(self, scaling_config):
+        serial = run_scaling_study(scaling_config)
+        parallel = run_scaling_study(
+            scaling_config, options=ExecutorOptions(jobs=4)
+        )
+        assert len(serial.cells) == len(parallel.cells)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.fraction == b.fraction
+            assert a.technique == b.technique
+            assert a.infeasible == b.infeasible
+            # SummaryStats is a frozen dataclass of floats: == is bitwise.
+            assert a.stats == b.stats
+
+    def test_parallel_preserves_cell_order(self, scaling_config):
+        serial = run_scaling_study(scaling_config)
+        parallel = run_scaling_study(
+            scaling_config, options=ExecutorOptions(jobs=3)
+        )
+        assert [(c.fraction, c.technique) for c in serial.cells] == [
+            (c.fraction, c.technique) for c in parallel.cells
+        ]
+
+    def test_parallel_progress_messages_match_serial(self, scaling_config):
+        serial_msgs, parallel_msgs = [], []
+        run_scaling_study(scaling_config, progress=serial_msgs.append)
+        run_scaling_study(
+            scaling_config,
+            progress=parallel_msgs.append,
+            options=ExecutorOptions(jobs=4),
+        )
+        assert serial_msgs == parallel_msgs
+
+
+class TestDatacenterDeterminism:
+    def test_jobs4_matches_jobs1_bitwise(self, datacenter_config):
+        selectors = {
+            "parallel_recovery": lambda: FixedSelector(ParallelRecovery())
+        }
+        serial, _ = run_datacenter_study(
+            datacenter_config, selectors, rm_names=["fcfs"], include_ideal=True
+        )
+        parallel, _ = run_datacenter_study(
+            datacenter_config,
+            selectors,
+            rm_names=["fcfs"],
+            include_ideal=True,
+            options=ExecutorOptions(jobs=4),
+        )
+        assert len(serial.cells) == len(parallel.cells)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert (a.rm_name, a.selector_name, a.bias) == (
+                b.rm_name,
+                b.selector_name,
+                b.bias,
+            )
+            assert a.samples == b.samples
+            assert a.stats == b.stats
+
+    def test_keep_results_parallel_matches_serial(self, datacenter_config):
+        selectors = {
+            "parallel_recovery": lambda: FixedSelector(ParallelRecovery())
+        }
+        _, raw_serial = run_datacenter_study(
+            datacenter_config, selectors, rm_names=["fcfs"], keep_results=True
+        )
+        _, raw_parallel = run_datacenter_study(
+            datacenter_config,
+            selectors,
+            rm_names=["fcfs"],
+            keep_results=True,
+            options=ExecutorOptions(jobs=2),
+        )
+        assert len(raw_serial) == len(raw_parallel) == 2
+        assert [r.pattern_index for r in raw_serial] == [
+            r.pattern_index for r in raw_parallel
+        ]
+        assert [r.dropped_pct for r in raw_serial] == [
+            r.dropped_pct for r in raw_parallel
+        ]

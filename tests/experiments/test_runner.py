@@ -47,6 +47,22 @@ class TestScalingStudy:
         with pytest.raises(KeyError):
             small_scaling_result.cell(0.33, "multilevel")
 
+    def test_cell_lookup_tolerates_float_arithmetic(self):
+        # 0.1 + 0.2 != 0.3 exactly; the lookup must still find the
+        # cell produced from the literal 0.3 grid point.
+        config = ScalingStudyConfig(
+            app_type="A32", fractions=(0.3,), trials=1, system_nodes=1200
+        )
+        result = run_scaling_study(config)
+        cell = result.cell(0.1 + 0.2, "parallel_recovery")
+        assert cell.fraction == 0.3
+        assert result.best_technique(0.1 + 0.2) in {
+            c.technique for c in result.cells
+        }
+        # Distinct grid points must never alias.
+        with pytest.raises(KeyError):
+            result.cell(0.3 + 1e-6, "parallel_recovery")
+
     def test_techniques_order(self, small_scaling_result):
         assert small_scaling_result.techniques()[0] == "checkpoint_restart"
 

@@ -1,0 +1,153 @@
+"""Property-based tests for seed derivation and cache-key stability.
+
+These lock in the two invariants the parallel executor rests on:
+
+- :func:`repro.rng.streams.derive_seed` maps distinct (cell, trial)
+  identities to distinct seeds and is a pure function of its inputs
+  (stable across runs and processes), so work can be distributed in any
+  order without perturbing any stream;
+- :func:`repro.experiments.parallel.cache_key` is invariant to dict
+  insertion and dataclass field order but changes when any config field
+  value changes, so cache hits are always exact.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ScalingStudyConfig
+from repro.experiments.parallel import cache_key
+from repro.rng.streams import StreamFactory, derive_seed
+
+cell_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=20
+)
+trials = st.integers(min_value=0, max_value=10_000)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestSeedDerivation:
+    @given(seed=seeds, pairs=st.lists(st.tuples(cell_names, trials), min_size=2, max_size=30, unique=True))
+    @settings(max_examples=200, deadline=None)
+    def test_unique_across_cell_trial_pairs(self, seed, pairs):
+        derived = [derive_seed(seed, "trial", cell, trial) for cell, trial in pairs]
+        assert len(set(derived)) == len(derived)
+
+    @given(seed=seeds, cell=cell_names, trial=trials)
+    @settings(max_examples=200, deadline=None)
+    def test_stable_across_calls(self, seed, cell, trial):
+        assert derive_seed(seed, "trial", cell, trial) == derive_seed(
+            seed, "trial", cell, trial
+        )
+
+    @given(seed=seeds, cell=cell_names, trial=trials)
+    @settings(max_examples=100, deadline=None)
+    def test_in_63_bit_numpy_seed_range(self, seed, cell, trial):
+        value = derive_seed(seed, cell, trial)
+        assert 0 <= value < 2**63
+
+    @given(a=seeds, b=seeds, cell=cell_names, trial=trials)
+    @settings(max_examples=100, deadline=None)
+    def test_root_seed_separates_families(self, a, b, cell, trial):
+        if a == b:
+            return
+        assert derive_seed(a, cell, trial) != derive_seed(b, cell, trial)
+
+    @given(seed=seeds, cell=cell_names, trial=trials)
+    @settings(max_examples=50, deadline=None)
+    def test_for_trial_factory_matches_derive_seed(self, seed, cell, trial):
+        factory = StreamFactory(seed).for_trial(cell, trial)
+        assert factory.seed == derive_seed(seed, "trial", cell, trial)
+        # Same derivation, same stream.
+        again = StreamFactory(seed).for_trial(cell, trial)
+        assert factory.stream("failures").random() == again.stream(
+            "failures"
+        ).random()
+
+    @given(seed=seeds, cells=st.lists(cell_names, min_size=2, max_size=10, unique=True), trial=trials)
+    @settings(max_examples=100, deadline=None)
+    def test_for_trial_unique_across_cells_at_same_trial(self, seed, cells, trial):
+        factories = [StreamFactory(seed).for_trial(c, trial) for c in cells]
+        assert len({f.seed for f in factories}) == len(factories)
+
+
+config_field_values = st.fixed_dictionaries(
+    {},
+    optional={
+        "app_type": st.sampled_from(["A32", "B64", "C32", "D64"]),
+        "trials": st.integers(min_value=1, max_value=500),
+        "system_nodes": st.integers(min_value=100, max_value=200_000),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "node_mtbf_s": st.floats(min_value=1e4, max_value=1e9, allow_nan=False),
+        "baseline_s": st.floats(min_value=60.0, max_value=1e6, allow_nan=False),
+    },
+)
+
+
+class TestCacheKeyProperties:
+    @given(overrides=config_field_values)
+    @settings(max_examples=200, deadline=None)
+    def test_stable_for_equal_configs(self, overrides):
+        a = ScalingStudyConfig(**overrides)
+        b = ScalingStudyConfig(**overrides)
+        assert cache_key("scaling", a) == cache_key("scaling", b)
+
+    @given(overrides=config_field_values)
+    @settings(max_examples=200, deadline=None)
+    def test_changes_when_any_field_changes(self, overrides):
+        base = ScalingStudyConfig()
+        changed = ScalingStudyConfig(**overrides)
+        if changed == base:
+            assert cache_key(base) == cache_key(changed)
+        else:
+            assert cache_key(base) != cache_key(changed)
+
+    @given(
+        items=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=2,
+            max_size=8,
+        ),
+        shuffle_seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dict_order_invariant(self, items, shuffle_seed):
+        import random as _random
+
+        keys = list(items)
+        _random.Random(shuffle_seed).shuffle(keys)
+        reordered = {k: items[k] for k in keys}
+        assert cache_key(items) == cache_key(reordered)
+
+    def test_field_order_invariant_across_dataclass_variants(self):
+        # Two dataclasses with identical fields declared in different
+        # orders canonicalise to the same sorted mapping.
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class AB:
+            __qualname__ = "Probe"
+            a: int = 1
+            b: int = 2
+
+        @dataclass(frozen=True)
+        class BA:
+            __qualname__ = "Probe"
+            b: int = 2
+            a: int = 1
+
+        AB.__module__ = BA.__module__ = "probe"
+        assert cache_key(AB()) == cache_key(BA())
+
+    def test_replace_single_field_always_misses(self):
+        base = ScalingStudyConfig()
+        for override in (
+            replace(base, trials=base.trials + 1),
+            replace(base, seed=base.seed + 1),
+            replace(base, app_type="C32"),
+            replace(base, fractions=base.fractions[:-1]),
+            replace(base, severity_pmf=(0.5, 0.3, 0.2)),
+        ):
+            assert cache_key(base) != cache_key(override)

@@ -25,6 +25,19 @@ class TestParser:
     def test_all_order_subset_of_experiments(self):
         assert set(_ALL_ORDER) <= set(_EXPERIMENTS)
 
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["fig1", "--jobs", "4", "--no-cache", "--progress"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.progress
+
+    def test_jobs_default_serial_cache_on(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.jobs == 1
+        assert not args.no_cache
+
 
 class TestMain:
     def test_table1(self, capsys):
@@ -38,9 +51,38 @@ class TestMain:
         assert "TABLE II" in capsys.readouterr().out
 
     def test_fig_quick_runs(self, capsys):
-        assert main(["fig2", "--quick", "--trials", "2"]) == 0
+        assert main(["fig2", "--quick", "--trials", "2", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 2" in out
+
+    def test_fig_parallel_jobs_with_metrics(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig2", "--quick", "--trials", "2", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 2" in captured.out
+        # Executor metrics are reported on stderr.
+        assert "cells" in captured.err and "hit rate" in captured.err
+        # A second run is served entirely from the cache.
+        assert main(["fig2", "--quick", "--trials", "2", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "100% hit rate" in captured.err
+
+    def test_progress_flag_reports_cells(self, capsys):
+        assert (
+            main(
+                [
+                    "fig2",
+                    "--quick",
+                    "--trials",
+                    "2",
+                    "--no-cache",
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "[1/" in err and "trials/s" in err
 
     def test_fig_csv_format(self, capsys):
         assert main(["fig1", "--quick", "--trials", "2", "--format", "csv"]) == 0
