@@ -33,19 +33,49 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _print_cell_progress(progress: CellProgress) -> None:
+    """``--progress`` reporter: one line per cell on stderr."""
+    print(progress.render(), file=sys.stderr)
+
+
 def _executor_options(args: argparse.Namespace) -> ExecutorOptions:
     """Executor settings for one figure run: worker count and cache
     from the flags, a fresh metrics sink, and (with ``--progress``)
     per-cell reporting on stderr."""
     on_cell: Optional[Callable[[CellProgress], None]] = None
     if args.progress:
-        on_cell = lambda p: print(p.render(), file=sys.stderr)
+        on_cell = _print_cell_progress
     return ExecutorOptions(
         jobs=args.jobs,
         cache=not args.no_cache,
         metrics=ExecutorMetrics(),
         on_cell=on_cell,
     )
+
+
+def _observe_requested(args: argparse.Namespace) -> bool:
+    """Whether ``--trace-out`` / ``--metrics-out`` ask for observation."""
+    return bool(args.trace_out or args.metrics_out)
+
+
+def _write_observability(result, args: argparse.Namespace) -> None:
+    """Write the study's event stream / metrics to the requested files."""
+    import json
+
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            for line in result.trace_lines or ():
+                fh.write(line)
+                fh.write("\n")
+        print(
+            f"[wrote {len(result.trace_lines or ())} events to {args.trace_out}]",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics or {}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[wrote metrics to {args.metrics_out}]", file=sys.stderr)
 
 
 def _scaling_output(module, result, fmt: str) -> str:
@@ -86,7 +116,11 @@ def _run_scaling_fig(module, args: argparse.Namespace) -> str:
     if args.quick:
         cfg = cfg.quick(trials=min(args.trials, 10))
     options = _executor_options(args)
-    output = _scaling_output(module, module.run(cfg, options=options), args.format)
+    observe = _observe_requested(args)
+    result = module.run(cfg, options=options, observe=observe)
+    output = _scaling_output(module, result, args.format)
+    if observe:
+        _write_observability(result, args)
     # Metrics go to stderr so csv/json stdout stays machine-readable.
     print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
     return output
@@ -97,7 +131,11 @@ def _run_datacenter_fig(module, args: argparse.Namespace) -> str:
     if args.quick:
         cfg = cfg.quick()
     options = _executor_options(args)
-    output = _datacenter_output(module, module.run(cfg, options=options), args.format)
+    observe = _observe_requested(args)
+    result = module.run(cfg, options=options, observe=observe)
+    output = _datacenter_output(module, result, args.format)
+    if observe:
+        _write_observability(result, args)
     print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
     return output
 
@@ -312,6 +350,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="report per-cell progress (wall time, trials/s, cache hits) on stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the figure run's domain-event stream as JSON Lines "
+            "(one event per line; figs 1-5 only; disables the result cache "
+            "for the run)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write aggregated event counts and activity seconds as JSON "
+            "(figs 1-5 only; disables the result cache for the run)"
+        ),
     )
     return parser
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.constants import DEFAULT_NODE_MTBF_S
 from repro.core.execution import ExecutionStats, ResilientExecution
@@ -37,6 +37,16 @@ from repro.failures.burst import BurstModel
 from repro.failures.generator import Failure
 from repro.failures.injector import FailureInjector
 from repro.failures.severity import SeverityModel
+from repro.obs.counters import counter_value, global_bus
+from repro.obs.events import (
+    JobArrived,
+    JobCompleted,
+    JobDropped,
+    JobMapped,
+    TrialFinished,
+    TrialStarted,
+)
+from repro.obs.sinks import Sink
 from repro.platform.system import HPCSystem
 from repro.rm.base import ResourceManager
 from repro.rm.slack import remaining_slack
@@ -262,6 +272,15 @@ class DatacenterSimulator:
                 self._lifecycle(record, plan), name=f"job-{app.app_id}"
             )
         self._procs[app.app_id] = proc
+        self.sim.bus.publish(
+            JobMapped(
+                time=self.sim.now,
+                app_id=app.app_id,
+                nodes=nodes,
+                technique=record.technique,
+                is_fill=record.is_fill,
+            )
+        )
         if self._injector is not None:
             self._injector.notify_allocation_change()
 
@@ -270,6 +289,14 @@ class DatacenterSimulator:
         record = self._records[app.app_id]
         record.status = JobStatus.DROPPED
         record.end_time = self.sim.now
+        self.sim.bus.publish(
+            JobDropped(
+                time=self.sim.now,
+                app_id=app.app_id,
+                reason="scheduler",
+                is_fill=record.is_fill,
+            )
+        )
 
     # -- ReservingPlacer extras (for planning policies like EASY) --------
 
@@ -314,6 +341,26 @@ class DatacenterSimulator:
         record.end_time = self.sim.now
         self._procs.pop(record.app.app_id, None)
         self.system.release(record.app.app_id)
+        met = record.met_deadline
+        self.sim.bus.publish(
+            JobCompleted(
+                time=self.sim.now,
+                app_id=record.app.app_id,
+                met_deadline=met,
+                is_fill=record.is_fill,
+            )
+        )
+        if not met:
+            # Completed after its deadline: still counts toward the
+            # Figs. 4-5 dropped percentage.
+            self.sim.bus.publish(
+                JobDropped(
+                    time=self.sim.now,
+                    app_id=record.app.app_id,
+                    reason="deadline_miss",
+                    is_fill=record.is_fill,
+                )
+            )
         if self._injector is not None:
             self._injector.notify_allocation_change()
         self._schedule_mapping()
@@ -336,6 +383,9 @@ class DatacenterSimulator:
 
     def _on_arrival(self, app: Application) -> None:
         self._pending.append(app)
+        self.sim.bus.publish(
+            JobArrived(time=self.sim.now, app_id=app.app_id, nodes=app.nodes)
+        )
         self._schedule_mapping()
 
     def _schedule_mapping(self) -> None:
@@ -381,6 +431,11 @@ class DatacenterSimulator:
         for app in self.pattern.fill_apps:
             self._records[app.app_id] = JobRecord(app=app, is_fill=True)
             self._pending.append(app)
+            self.sim.bus.publish(
+                JobArrived(
+                    time=0.0, app_id=app.app_id, nodes=app.nodes, is_fill=True
+                )
+            )
         last_arrival = 0.0
         for app in self.pattern.arriving_apps:
             self._records[app.app_id] = JobRecord(app=app, is_fill=False)
@@ -408,24 +463,32 @@ class DatacenterSimulator:
             ),
             end_time=self.sim.now,
         )
-        for record in self._records.values():
+        for record in sorted(self._records.values(), key=lambda r: r.app.app_id):
             if record.status in (JobStatus.PENDING, JobStatus.RUNNING):
                 # Unresolved at the horizon: count as dropped.
                 record.status = JobStatus.DROPPED
                 record.end_time = self.sim.now
+                self.sim.bus.publish(
+                    JobDropped(
+                        time=self.sim.now,
+                        app_id=record.app.app_id,
+                        reason="horizon",
+                        is_fill=record.is_fill,
+                    )
+                )
             result.records.append(record)
-        result.records.sort(key=lambda r: r.app.app_id)
         return result
 
 
-#: Process-local count of :func:`run_datacenter` invocations (the
-#: cache tests assert a warm rerun performs zero simulations).
-_SIM_CALLS = 0
-
-
 def simulation_call_count() -> int:
-    """Number of datacenter simulations run in this process."""
-    return _SIM_CALLS
+    """Number of datacenter simulations run on this process's behalf.
+
+    Derived from the process-global instrumentation counters (each
+    :func:`run_datacenter` publishes a
+    :class:`~repro.obs.events.TrialStarted`); worker-side counts are
+    merged back by the parallel executor, so the cache tests can assert
+    a warm rerun performs zero simulations."""
+    return counter_value("datacenter.simulations")
 
 
 def run_datacenter(
@@ -434,8 +497,26 @@ def run_datacenter(
     selector: TechniqueSelector,
     system: HPCSystem,
     config: Optional[DatacenterConfig] = None,
+    sinks: Optional[Sequence[Sink]] = None,
 ) -> DatacenterResult:
-    """Convenience wrapper: build and run one simulation."""
-    global _SIM_CALLS
-    _SIM_CALLS += 1
-    return DatacenterSimulator(pattern, manager, selector, system, config).run()
+    """Convenience wrapper: build and run one simulation.
+
+    *sinks* are attached to the simulation's instrumentation bus before
+    the run; instrumentation is passive, so any sink configuration
+    (including none) produces bit-identical results."""
+    simulator = DatacenterSimulator(pattern, manager, selector, system, config)
+    if sinks:
+        for sink in sinks:
+            sink.attach(simulator.sim.bus)
+    started = TrialStarted(
+        time=0.0, scope="datacenter", trial=pattern.index
+    )
+    global_bus().publish(started)
+    simulator.sim.bus.publish(started)
+    result = simulator.run()
+    finished = TrialFinished(
+        time=result.end_time, scope="datacenter", trial=pattern.index
+    )
+    simulator.sim.bus.publish(finished)
+    global_bus().publish(finished)
+    return result

@@ -24,6 +24,16 @@ All four techniques reduce to plan parameters:
 Failures are delivered as :class:`repro.sim.Interrupt` whose cause is a
 :class:`repro.failures.Failure` with ``node_id`` *relative to the
 application's physical allocation* (in ``[0, nodes_required)``).
+
+Instrumentation: the engine publishes its whole lifecycle as typed
+events on the simulator's :class:`repro.obs.bus.EventBus` —
+:class:`~repro.obs.events.FailureInjected` when an interrupt reaches
+it, checkpoint/restart/recovery milestones, and one
+:class:`~repro.obs.events.ActivitySpan` per contiguous stretch of
+work/recovery/checkpoint/restart/wait time.  :class:`ExecutionStats` is
+itself a bus subscriber (keyed to the application id), so the numbers
+it reports and the event stream sinks observe have one source of
+truth.
 """
 
 from __future__ import annotations
@@ -33,15 +43,44 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional, Set
 
 from repro.failures.generator import Failure
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ActivitySpan,
+    CheckpointFailed,
+    CheckpointTaken,
+    ExecutionCompleted,
+    ExecutionStarted,
+    FailureInjected,
+    RecoveryCompleted,
+    ReplicaAbsorbed,
+    RestartStarted,
+)
+from repro.obs.sinks import TimelineSink
 from repro.resilience.base import CheckpointLevel, ExecutionPlan
 from repro.sim.engine import Simulator
 from repro.sim.errors import Interrupt
 from repro.sim.resources import SlotPool
 
+#: ActivitySpan activity -> the ExecutionStats field it accumulates to.
+_ACTIVITY_FIELD = {
+    "work": "work_time_s",
+    "recovery": "rework_time_s",
+    "checkpoint": "checkpoint_time_s",
+    "restart": "restart_time_s",
+    "wait": "resource_wait_s",
+}
+
 
 @dataclass
 class ExecutionStats:
-    """Observable outcome of one resilient execution."""
+    """Observable outcome of one resilient execution.
+
+    The fields are derived entirely from the instrumentation-bus event
+    stream: :meth:`listen` subscribes the instance (keyed to its
+    application's id) and every counter/accumulator below is updated by
+    an event handler.  The engine publishes events; it never mutates
+    stats directly.
+    """
 
     plan: ExecutionPlan
     start_time: float = 0.0
@@ -84,6 +123,49 @@ class ExecutionStats:
             return 0.0
         return self.plan.app.baseline_time / self.elapsed_s
 
+    # -- bus subscription ---------------------------------------------------
+
+    def listen(self, bus: EventBus) -> None:
+        """Subscribe this instance to *bus*, keyed to its application
+        id, so the stats accumulate from the event stream."""
+        app_id = self.plan.app.app_id
+        bus.subscribe_key(ExecutionStarted, app_id, self._on_started)
+        bus.subscribe_key(ExecutionCompleted, app_id, self._on_completed)
+        bus.subscribe_key(FailureInjected, app_id, self._on_failure_injected)
+        bus.subscribe_key(ReplicaAbsorbed, app_id, self._on_replica_absorbed)
+        bus.subscribe_key(RestartStarted, app_id, self._on_restart_started)
+        bus.subscribe_key(CheckpointTaken, app_id, self._on_checkpoint_taken)
+        bus.subscribe_key(CheckpointFailed, app_id, self._on_checkpoint_failed)
+        bus.subscribe_key(ActivitySpan, app_id, self._on_span)
+
+    def _on_started(self, event: ExecutionStarted) -> None:
+        self.start_time = event.time
+
+    def _on_completed(self, event: ExecutionCompleted) -> None:
+        self.completed = True
+        self.end_time = event.time
+
+    def _on_failure_injected(self, event: FailureInjected) -> None:
+        self.failures += 1
+
+    def _on_replica_absorbed(self, event: ReplicaAbsorbed) -> None:
+        self.replica_failures_absorbed += 1
+
+    def _on_restart_started(self, event: RestartStarted) -> None:
+        if not event.retry:
+            self.restarts += 1
+
+    def _on_checkpoint_taken(self, event: CheckpointTaken) -> None:
+        counts = self.checkpoints_taken
+        counts[event.level_index] = counts.get(event.level_index, 0) + 1
+
+    def _on_checkpoint_failed(self, event: CheckpointFailed) -> None:
+        self.failed_checkpoints += 1
+
+    def _on_span(self, event: ActivitySpan) -> None:
+        name = _ACTIVITY_FIELD[event.activity]
+        setattr(self, name, getattr(self, name) + (event.end - event.start))
+
 
 class ResilientExecution:
     """Executes one plan as a DES process.
@@ -98,7 +180,9 @@ class ResilientExecution:
 
     With ``record_timeline=True`` the engine additionally collects
     ``(start, end, activity)`` spans consumable by
-    :func:`repro.core.timeline.render_timeline`.
+    :func:`repro.core.timeline.render_timeline` (a
+    :class:`repro.obs.sinks.TimelineSink` attached to the simulator's
+    bus; ``engine.timeline`` aliases its span list).
     """
 
     #: Float slop when mapping positions to boundary indices.
@@ -114,7 +198,16 @@ class ResilientExecution:
         self._sim = sim
         self.plan = plan
         self._resources = resources or {}
+        #: The simulator's shared bus (external sinks subscribe here).
+        self._bus = sim.bus
+        #: Engine-local bus: this execution's own stats and timeline
+        #: subscribe here, so two engines that happen to share an
+        #: ``app_id`` on one simulator never cross-feed each other.
+        self._local_bus = EventBus()
+        self._app_id = plan.app.app_id
+        self._technique = plan.technique
         self.stats = ExecutionStats(plan=plan)
+        self.stats.listen(self._local_bus)
         self._done = 0.0
         self._furthest = 0.0
         #: Newest checkpointed work position per level index.
@@ -126,7 +219,16 @@ class ResilientExecution:
         self._pending_commit: Optional[tuple] = None
         #: Optional (start, end, activity) spans for visualization.
         self.timeline: list = []
-        self._record_timeline = record_timeline
+        if record_timeline:
+            sink = TimelineSink(app_id=self._app_id)
+            sink.attach(self._local_bus)
+            self.timeline = sink.spans
+
+    def _publish(self, event) -> None:
+        """Publish *event* on the engine-local bus (stats, timeline)
+        and mirror it on the simulator's shared bus (external sinks)."""
+        self._local_bus.publish(event)
+        self._bus.publish(event)
 
     # -- observability -------------------------------------------------------
 
@@ -152,7 +254,11 @@ class ResilientExecution:
         plan = self.plan
         total = plan.effective_work_s
         base = plan.base_period_s
-        self.stats.start_time = self._sim.now
+        self._publish(
+            ExecutionStarted(
+                time=self._sim.now, app_id=self._app_id, technique=self._technique
+            )
+        )
         while self._done < total - self._EPS:
             boundary = int(self._done / base + self._EPS) + 1
             target = min(boundary * base, total)
@@ -163,8 +269,11 @@ class ResilientExecution:
                 break
             level = plan.boundary_level(boundary)
             yield from self._checkpoint(level)
-        self.stats.completed = True
-        self.stats.end_time = self._sim.now
+        self._publish(
+            ExecutionCompleted(
+                time=self._sim.now, app_id=self._app_id, technique=self._technique
+            )
+        )
         return self.stats
 
     # -- internals -----------------------------------------------------------
@@ -187,23 +296,19 @@ class ResilientExecution:
                 yield self._sim.timeout(duration)
             except Interrupt as interrupt:
                 elapsed = self._sim.now - started
-                self._advance(elapsed, speed, recovering)
+                self._advance(elapsed, speed)
                 self._note(kind, started, self._sim.now)
                 yield from self._on_failure(interrupt.cause)
                 return False
-            self._advance(duration, speed, recovering)
+            self._advance(duration, speed)
             self._note(kind, started, self._sim.now)
         return True
 
-    def _advance(self, wall_s: float, speed: float, recovering: bool) -> None:
+    def _advance(self, wall_s: float, speed: float) -> None:
         self._done = min(
             self.plan.effective_work_s, self._done + wall_s * speed
         )
         self._furthest = max(self._furthest, self._done)
-        if recovering:
-            self.stats.rework_time_s += wall_s
-        else:
-            self.stats.work_time_s += wall_s
 
     def _checkpoint(self, level: CheckpointLevel) -> Generator:
         """Take a checkpoint at *level*; on failure the in-progress
@@ -217,7 +322,7 @@ class ResilientExecution:
         try:
             ticket = yield from self._acquire(level)
         except Interrupt as interrupt:
-            self.stats.failed_checkpoints += 1
+            self._checkpoint_failed(level.index)
             yield from self._on_failure(interrupt.cause)
             return False
         blocking = level.cost_s * level.blocking_fraction
@@ -227,13 +332,12 @@ class ResilientExecution:
         except Interrupt as interrupt:
             if ticket is not None:
                 ticket.release()
-            self.stats.checkpoint_time_s += self._sim.now - started
-            self.stats.failed_checkpoints += 1
+            self._note("checkpoint", started, self._sim.now)
+            self._checkpoint_failed(level.index)
             yield from self._on_failure(interrupt.cause)
             return False
         if ticket is not None:
             ticket.release()
-        self.stats.checkpoint_time_s += blocking
         self._note("checkpoint", started, self._sim.now)
         if level.blocking_fraction >= 1.0:
             self._commit(level.index, self._done)
@@ -249,8 +353,25 @@ class ResilientExecution:
     def _commit(self, level_index: int, work: float) -> None:
         self._saved[level_index] = work
         self._degraded.clear()  # checkpoints repair failed replicas
-        counts = self.stats.checkpoints_taken
-        counts[level_index] = counts.get(level_index, 0) + 1
+        self._publish(
+            CheckpointTaken(
+                time=self._sim.now,
+                app_id=self._app_id,
+                technique=self._technique,
+                level_index=level_index,
+                position=work,
+            )
+        )
+
+    def _checkpoint_failed(self, level_index: int) -> None:
+        self._publish(
+            CheckpointFailed(
+                time=self._sim.now,
+                app_id=self._app_id,
+                technique=self._technique,
+                level_index=level_index,
+            )
+        )
 
     def _settle_pending_commit(self) -> None:
         """Apply an in-flight semi-blocking checkpoint if its full cost
@@ -263,7 +384,7 @@ class ResilientExecution:
         if commit_time <= self._sim.now + self._EPS:
             self._commit(level_index, work)
         else:
-            self.stats.failed_checkpoints += 1
+            self._checkpoint_failed(level_index)
 
     def _absorbed_by_replica(self, failure: Failure) -> bool:
         """Redundancy rule: True when live replicas keep every struck
@@ -290,25 +411,66 @@ class ResilientExecution:
         for virtual in hits:
             if replicas.replicas_of(virtual) == 2:
                 self._degraded.add(virtual)
-        self.stats.replica_failures_absorbed += 1
+        self._publish(
+            ReplicaAbsorbed(
+                time=self._sim.now,
+                app_id=self._app_id,
+                technique=self._technique,
+                degraded_virtual_nodes=len(self._degraded),
+            )
+        )
         return True
+
+    def _failure_injected(self, failure: Optional[Failure], severity: int) -> None:
+        """Publish the delivery of one failure interrupt.  *severity*
+        covers interrupts whose cause carries no failure object."""
+        if failure is not None:
+            self._publish(
+                FailureInjected(
+                    time=self._sim.now,
+                    app_id=self._app_id,
+                    node_id=failure.node_id,
+                    severity=failure.severity,
+                    width=failure.width,
+                )
+            )
+        else:
+            self._publish(
+                FailureInjected(
+                    time=self._sim.now,
+                    app_id=self._app_id,
+                    node_id=-1,
+                    severity=severity,
+                )
+            )
 
     def _on_failure(self, failure: Failure) -> Generator:
         """Handle one delivered failure: maybe absorb, else restart."""
-        self.stats.failures += 1
+        self._failure_injected(failure, failure.severity if failure else 0)
         self._settle_pending_commit()
         if self._absorbed_by_replica(failure):
             return
-        self.stats.restarts += 1
         severity = failure.severity
+        retry = False
         while True:
             level = self._restore_level(severity)
+            self._publish(
+                RestartStarted(
+                    time=self._sim.now,
+                    app_id=self._app_id,
+                    technique=self._technique,
+                    severity=severity,
+                    level_index=level.index,
+                    retry=retry,
+                )
+            )
             try:
                 ticket = yield from self._acquire(level)
             except Interrupt as interrupt:
-                self.stats.failures += 1
                 cause = interrupt.cause
+                self._failure_injected(cause, severity)
                 severity = max(severity, cause.severity if cause else severity)
+                retry = True
                 continue
             started = self._sim.now
             try:
@@ -319,17 +481,25 @@ class ResilientExecution:
                 # no absorption applies here).
                 if ticket is not None:
                     ticket.release()
-                self.stats.restart_time_s += self._sim.now - started
                 self._note("restart", started, self._sim.now)
-                self.stats.failures += 1
                 cause = interrupt.cause
+                self._failure_injected(cause, severity)
                 severity = max(severity, cause.severity if cause else severity)
+                retry = True
                 continue
             if ticket is not None:
                 ticket.release()
-            self.stats.restart_time_s += level.restart_s
             self._note("restart", started, self._sim.now)
             break
+        self._publish(
+            RecoveryCompleted(
+                time=self._sim.now,
+                app_id=self._app_id,
+                technique=self._technique,
+                level_index=level.index,
+                position=self._saved[level.index],
+            )
+        )
         self._degraded.clear()
         self._done = self._saved[level.index]
 
@@ -352,16 +522,25 @@ class ResilientExecution:
             yield from ticket.wait()
         except Interrupt:
             ticket.abandon()
-            self.stats.resource_wait_s += self._sim.now - started
             self._note("wait", started, self._sim.now)
             raise
-        self.stats.resource_wait_s += self._sim.now - started
         self._note("wait", started, self._sim.now)
         return ticket
 
     def _note(self, activity: str, start: float, end: float) -> None:
-        if self._record_timeline and end > start:
-            self.timeline.append((start, end, activity))
+        """Publish the closed activity span (zero-length spans are
+        skipped; they carry no time)."""
+        if end > start:
+            self._publish(
+                ActivitySpan(
+                    time=end,
+                    app_id=self._app_id,
+                    technique=self._technique,
+                    activity=activity,
+                    start=start,
+                    end=end,
+                )
+            )
 
     def _restore_level(self, severity: int) -> CheckpointLevel:
         """The level holding the newest state recoverable at *severity*

@@ -13,13 +13,17 @@ from typing import Sequence
 
 
 def efficiency(baseline_s: float, actual_s: float) -> float:
-    """Baseline execution time over actual execution time, in [0, 1]
-    for any actual >= baseline (clamped at 0 for degenerate inputs)."""
+    """Baseline execution time over actual execution time, in [0, 1].
+
+    Clamped at 0 for degenerate inputs and at 1 when ``actual_s``
+    undercuts the baseline (a resilient execution cannot be *more*
+    efficient than the failure-free baseline; float noise or a
+    mis-measured baseline must not report super-unit efficiency)."""
     if baseline_s <= 0:
         raise ValueError(f"baseline_s must be > 0, got {baseline_s}")
     if actual_s <= 0:
         return 0.0
-    return baseline_s / actual_s
+    return min(1.0, baseline_s / actual_s)
 
 
 def dropped_percentage(dropped: int, total: int) -> float:

@@ -10,7 +10,7 @@ the workhorse behind Figs. 1-3: each bar is the mean efficiency over
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from repro.core.execution import ExecutionStats, ResilientExecution
 from repro.failures.burst import BurstModel
 from repro.failures.generator import AppFailureGenerator
 from repro.failures.severity import SeverityModel
+from repro.obs.counters import counter_value, global_bus
+from repro.obs.events import TrialFinished, TrialStarted
+from repro.obs.sinks import Sink
 from repro.platform.system import HPCSystem
 from repro.resilience.base import ResilienceTechnique
 from repro.rng.streams import StreamFactory
@@ -79,15 +82,15 @@ class SingleAppConfig:
         return SeverityModel.from_probabilities(self.severity_pmf)
 
 
-#: Process-local count of :func:`simulate_application` invocations.
-#: The parallel executor's cache tests use this to prove that a
-#: warm-cache rerun performs zero simulation work.
-_SIM_CALLS = 0
-
-
 def simulation_call_count() -> int:
-    """Number of single-app simulations run in this process."""
-    return _SIM_CALLS
+    """Number of single-app simulations run on this process's behalf.
+
+    Derived from the process-global instrumentation counters (each
+    :func:`simulate_application` publishes a
+    :class:`~repro.obs.events.TrialStarted`); the parallel executor
+    merges worker-side counts back, so a warm-cache rerun provably
+    performs zero simulation work even across worker processes."""
+    return counter_value("single_app.simulations")
 
 
 def failure_driver(
@@ -108,8 +111,13 @@ def simulate_application(
     system: HPCSystem,
     config: Optional[SingleAppConfig] = None,
     trial: int = 0,
+    sinks: Optional[Sequence[Sink]] = None,
 ) -> ExecutionStats:
     """Run one trial; returns the execution stats.
+
+    *sinks* are attached to the simulation's instrumentation bus before
+    the run (instrumentation is passive: any sink configuration,
+    including none, produces bit-identical stats).
 
     Raises :class:`ValueError` when the technique cannot fit the
     application on the system at all (the redundancy wall of Sec. V) —
@@ -117,8 +125,6 @@ def simulate_application(
     ``technique.fits(app, system)`` first (as
     :func:`run_trials` does).
     """
-    global _SIM_CALLS
-    _SIM_CALLS += 1
     config = config or SingleAppConfig()
     plan = technique.plan(
         app, system, config.node_mtbf_s, severity=config.severity_model()
@@ -130,6 +136,18 @@ def simulate_application(
     failure_rng = streams.stream("failures")
 
     sim = Simulator()
+    if sinks:
+        for sink in sinks:
+            sink.attach(sim.bus)
+    started = TrialStarted(
+        time=0.0,
+        scope="single_app",
+        app_id=app.app_id,
+        technique=technique.name,
+        trial=trial,
+    )
+    global_bus().publish(started)
+    sim.bus.publish(started)
     engine = ResilientExecution(sim, plan)
     proc = sim.process(engine.run(), name=f"app-{app.app_id}")
     generator = AppFailureGenerator(
@@ -145,6 +163,16 @@ def simulate_application(
     sim.run(until=cap)
     if not engine.stats.completed:
         engine.stats.end_time = cap
+    finished = TrialFinished(
+        time=sim.now,
+        scope="single_app",
+        app_id=app.app_id,
+        technique=technique.name,
+        trial=trial,
+        completed=engine.stats.completed,
+    )
+    sim.bus.publish(finished)
+    global_bus().publish(finished)
     return engine.stats
 
 
@@ -182,8 +210,12 @@ def run_trials(
     trials: int,
     config: Optional[SingleAppConfig] = None,
     keep_stats: bool = False,
+    sinks: Optional[Sequence[Sink]] = None,
 ) -> TrialSet:
     """Run *trials* independent replications (a Fig. 1-3 bar).
+
+    *sinks* are attached to every trial's bus in turn, so one sink
+    accumulates the cell's whole event stream in trial order.
 
     When the technique cannot fit the application on the machine the
     result is marked infeasible with zero efficiency, matching the
@@ -196,7 +228,9 @@ def run_trials(
         result.infeasible = True
         return result
     for trial in range(trials):
-        stats = simulate_application(app, technique, system, config, trial=trial)
+        stats = simulate_application(
+            app, technique, system, config, trial=trial, sinks=sinks
+        )
         result.efficiencies.append(stats.efficiency())
         if keep_stats:
             result.stats.append(stats)

@@ -28,9 +28,15 @@ def run(
     cfg: Optional[ScalingStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
     options: Optional[ExecutorOptions] = None,
+    observe: bool = False,
 ) -> ScalingStudyResult:
-    """Run the study (paper parameters unless *cfg* overrides)."""
-    return run_scaling_study(cfg or config(), progress=progress, options=options)
+    """Run the study (paper parameters unless *cfg* overrides).
+
+    ``observe=True`` collects the domain-event stream and merged
+    metrics on the result (passive; numbers are unchanged)."""
+    return run_scaling_study(
+        cfg or config(), progress=progress, options=options, observe=observe
+    )
 
 
 def render(result: ScalingStudyResult) -> str:

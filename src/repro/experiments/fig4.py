@@ -47,8 +47,12 @@ def run(
     cfg: Optional[DatacenterStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
     options: Optional[ExecutorOptions] = None,
+    observe: bool = False,
 ) -> DatacenterStudyResult:
-    """Run the (RM x technique + ideal) grid over shared patterns."""
+    """Run the (RM x technique + ideal) grid over shared patterns.
+
+    ``observe=True`` collects the domain-event stream and merged
+    metrics on the result (passive; numbers are unchanged)."""
     study, _ = run_datacenter_study(
         cfg or config(),
         selectors=selectors(),
@@ -56,6 +60,7 @@ def run(
         include_ideal=True,
         progress=progress,
         options=options,
+        observe=observe,
     )
     return study
 

@@ -59,8 +59,12 @@ def run(
     cfg: Optional[DatacenterStudyConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
     options: Optional[ExecutorOptions] = None,
+    observe: bool = False,
 ) -> DatacenterStudyResult:
-    """Run the (bias x RM x selector) grid over shared patterns."""
+    """Run the (bias x RM x selector) grid over shared patterns.
+
+    ``observe=True`` collects the domain-event stream and merged
+    metrics on the result (passive; numbers are unchanged)."""
     cfg = cfg or config()
     study, _ = run_datacenter_study(
         cfg,
@@ -69,6 +73,7 @@ def run(
         biases=BIASES,
         progress=progress,
         options=options,
+        observe=observe,
     )
     return study
 

@@ -45,6 +45,8 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import counters as obs_counters
+
 #: Default on-disk cache location, relative to the working directory
 #: (override with the ``REPRO_CACHE_DIR`` environment variable).
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
@@ -326,11 +328,17 @@ class CellTask:
 _WORKER_TASKS: Optional[Sequence[CellTask]] = None
 
 
-def _run_worker_task(index: int) -> Tuple[int, Any, float]:
+def _run_worker_task(index: int) -> Tuple[int, Any, float, Dict[str, int]]:
+    """Run one cell in a worker; returns the result plus the worker's
+    instrumentation-counter increments for the cell, which the parent
+    folds back in (fork-safety by explicit merging — the processes
+    share no counter memory)."""
     assert _WORKER_TASKS is not None
+    before = obs_counters.snapshot()
     started = time.perf_counter()
     value = _WORKER_TASKS[index].fn()
-    return index, value, time.perf_counter() - started
+    wall = time.perf_counter() - started
+    return index, value, wall, obs_counters.delta_since(before)
 
 
 def _fork_context():
@@ -438,10 +446,11 @@ class TrialExecutor:
         _WORKER_TASKS = tasks
         try:
             with ctx.Pool(processes=jobs) as pool:
-                for index, value, wall in pool.imap_unordered(
+                for index, value, wall, counter_delta in pool.imap_unordered(
                     _run_worker_task, pending, chunksize=1
                 ):
                     results[index] = value
                     walls[index] = wall
+                    obs_counters.merge(counter_delta)
         finally:
             _WORKER_TASKS = None

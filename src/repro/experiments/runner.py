@@ -34,6 +34,7 @@ from repro.experiments.parallel import (
     technique_fingerprint,
 )
 from repro.experiments.stats import SummaryStats
+from repro.obs.sinks import JsonlExportSink, MetricsSink
 from repro.platform.presets import exascale_system
 from repro.resilience.base import ResilienceTechnique
 from repro.resilience.registry import scaling_study_techniques
@@ -72,6 +73,11 @@ class ScalingStudyResult:
 
     config: ScalingStudyConfig
     cells: List[ScalingCell] = field(default_factory=list)
+    #: With ``observe=True``: every domain event of the study as JSON
+    #: lines, in deterministic cell-submission/trial order.
+    trace_lines: Optional[List[str]] = None
+    #: With ``observe=True``: merged :meth:`MetricsSink.to_dict` data.
+    metrics: Optional[Dict] = None
 
     def cell(self, fraction: float, technique: str) -> ScalingCell:
         """The bar at (*fraction*, *technique*); KeyError if absent."""
@@ -99,10 +105,27 @@ class ScalingStudyResult:
         return max(at, key=lambda c: c.mean_efficiency).technique
 
 
-def _scaling_cell_body(app, technique, system, trials, app_config):
-    """Compute one scaling cell; returns plain data (cache payload)."""
-    trial_set = run_trials(app, technique, system, trials, app_config)
-    return trial_set.infeasible, tuple(trial_set.efficiencies)
+def _scaling_cell_body(app, technique, system, trials, app_config, observe=False):
+    """Compute one scaling cell; returns plain data (cache payload).
+
+    With *observe*, per-cell export/metrics sinks ride along and their
+    plain-data contents are appended to the payload — the cell stays a
+    pure function returning picklable data, so observation works
+    unchanged across worker processes."""
+    if not observe:
+        trial_set = run_trials(app, technique, system, trials, app_config)
+        return trial_set.infeasible, tuple(trial_set.efficiencies)
+    export = JsonlExportSink()
+    metrics = MetricsSink()
+    trial_set = run_trials(
+        app, technique, system, trials, app_config, sinks=(export, metrics)
+    )
+    return (
+        trial_set.infeasible,
+        tuple(trial_set.efficiencies),
+        tuple(export.lines),
+        metrics.to_dict(),
+    )
 
 
 def run_scaling_study(
@@ -110,12 +133,20 @@ def run_scaling_study(
     techniques: Optional[Sequence[ResilienceTechnique]] = None,
     progress: Optional[Callable[[str], None]] = None,
     options: Optional[ExecutorOptions] = None,
+    observe: bool = False,
 ) -> ScalingStudyResult:
     """Run one Sec. V panel (Figs. 1-3).
 
     ``options`` selects worker count and caching; results are
     bit-identical for any ``jobs`` because each trial's seed derives
     from ``config.seed`` and the trial index alone.
+
+    ``observe=True`` additionally collects the study's full domain-event
+    stream (``result.trace_lines``, JSONL) and merged metrics
+    (``result.metrics``).  Observation is passive — the numeric results
+    are bit-identical with it on or off — but observing cells bypass
+    the cache (their event streams are too heavy to memoise), and the
+    line order is deterministic for any ``jobs``.
     """
     techniques = (
         list(techniques) if techniques is not None else scaling_study_techniques()
@@ -139,13 +170,17 @@ def run_scaling_study(
             tasks.append(
                 CellTask(
                     fn=lambda app=app, technique=technique: _scaling_cell_body(
-                        app, technique, system, config.trials, app_config
+                        app, technique, system, config.trials, app_config, observe
                     ),
                     key_parts=(
-                        "scaling",
-                        config,
-                        technique_fingerprint(technique),
-                        fraction,
+                        None
+                        if observe
+                        else (
+                            "scaling",
+                            config,
+                            technique_fingerprint(technique),
+                            fraction,
+                        )
                     ),
                     trials=config.trials,
                     label=f"{config.app_type} {100 * fraction:g}% {technique.name}",
@@ -157,9 +192,14 @@ def run_scaling_study(
     outcomes = executor.run(tasks)
 
     result = ScalingStudyResult(config=config)
-    for (fraction, technique_name), (infeasible, efficiencies) in zip(
-        labels, outcomes
-    ):
+    merged_metrics = MetricsSink() if observe else None
+    if observe:
+        result.trace_lines = []
+    for (fraction, technique_name), outcome in zip(labels, outcomes):
+        infeasible, efficiencies = outcome[0], outcome[1]
+        if observe:
+            result.trace_lines.extend(outcome[2])
+            merged_metrics.merge(outcome[3])
         if infeasible:
             cell = ScalingCell(fraction, technique_name, None, True)
         else:
@@ -175,6 +215,8 @@ def run_scaling_study(
                 f"{config.app_type} {100 * fraction:5.1f}% "
                 f"{technique_name:<22} done"
             )
+    if merged_metrics is not None:
+        result.metrics = merged_metrics.to_dict()
     return result
 
 
@@ -196,6 +238,11 @@ class DatacenterStudyResult:
 
     config: DatacenterStudyConfig
     cells: List[DatacenterCell] = field(default_factory=list)
+    #: With ``observe=True``: every domain event of the study as JSON
+    #: lines, in deterministic cell-submission/pattern order.
+    trace_lines: Optional[List[str]] = None
+    #: With ``observe=True``: merged :meth:`MetricsSink.to_dict` data.
+    metrics: Optional[Dict] = None
 
     def cell(
         self, rm_name: str, selector_name: str, bias: PatternBias
@@ -233,17 +280,23 @@ def _datacenter_cell_body(
     bias: PatternBias,
     patterns: Sequence[ArrivalPattern],
     keep_results: bool,
+    observe: bool = False,
 ):
     """Compute one datacenter cell over its shared pattern set.
 
     Every stochastic input is derived by name from ``config.seed``
     (manager streams via ``StreamFactory.fresh``, failure streams
     inside the simulator), so this body is a pure function of its
-    arguments — safe to run on any worker in any order.
+    arguments — safe to run on any worker in any order.  With
+    *observe*, per-cell export/metrics sinks accumulate across the
+    patterns and their plain-data contents extend the payload.
     """
     streams = StreamFactory(config.seed)
     samples: List[float] = []
     raw: List[DatacenterResult] = []
+    export = JsonlExportSink() if observe else None
+    metrics = MetricsSink() if observe else None
+    sinks = (export, metrics) if observe else None
     for pattern in patterns:
         system = exascale_system(config.system_nodes)
         manager = make_manager(
@@ -265,11 +318,15 @@ def _datacenter_cell_body(
                 seed=config.seed,
             )
             selector = factory()
-        outcome = run_datacenter(pattern, manager, selector, system, dc_config)
+        outcome = run_datacenter(
+            pattern, manager, selector, system, dc_config, sinks=sinks
+        )
         samples.append(outcome.dropped_pct)
         if keep_results:
             raw.append(outcome)
-    return tuple(samples), raw
+    if not observe:
+        return tuple(samples), raw
+    return tuple(samples), raw, tuple(export.lines), metrics.to_dict()
 
 
 def run_datacenter_study(
@@ -281,6 +338,7 @@ def run_datacenter_study(
     progress: Optional[Callable[[str], None]] = None,
     keep_results: bool = False,
     options: Optional[ExecutorOptions] = None,
+    observe: bool = False,
 ) -> Tuple[DatacenterStudyResult, List[DatacenterResult]]:
     """Run a Figs. 4-5 grid.
 
@@ -295,6 +353,10 @@ def run_datacenter_study(
     must be paired with a cache clear.  ``keep_results=True`` bypasses
     the cache for those cells: raw :class:`DatacenterResult` objects
     are too heavy to memoise and are recomputed instead.
+
+    ``observe=True`` collects the grid's domain-event stream and merged
+    metrics on the study result (see :func:`run_scaling_study`);
+    observing cells likewise bypass the cache.
     """
     study = DatacenterStudyResult(config=config)
     raw: List[DatacenterResult] = []
@@ -319,10 +381,11 @@ def run_datacenter_study(
                             bias,
                             patterns,
                             keep_results,
+                            observe,
                         ),
                         key_parts=(
                             None
-                            if keep_results
+                            if keep_results or observe
                             else ("datacenter", config, rm_name, sel_name, bias)
                         ),
                         trials=len(patterns),
@@ -334,7 +397,14 @@ def run_datacenter_study(
     executor = TrialExecutor(options)
     outcomes = executor.run(tasks)
 
-    for (rm_name, sel_name, bias), (samples, cell_raw) in zip(meta, outcomes):
+    merged_metrics = MetricsSink() if observe else None
+    if observe:
+        study.trace_lines = []
+    for (rm_name, sel_name, bias), outcome in zip(meta, outcomes):
+        samples, cell_raw = outcome[0], outcome[1]
+        if observe:
+            study.trace_lines.extend(outcome[2])
+            merged_metrics.merge(outcome[3])
         study.cells.append(
             DatacenterCell(
                 rm_name=rm_name,
@@ -348,6 +418,8 @@ def run_datacenter_study(
             raw.extend(cell_raw)
         if progress is not None:
             progress(f"{bias.value} {rm_name} {sel_name} done")
+    if merged_metrics is not None:
+        study.metrics = merged_metrics.to_dict()
     return study, raw
 
 

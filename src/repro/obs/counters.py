@@ -1,0 +1,88 @@
+"""Process-global simulation counters, fed by the instrumentation bus.
+
+Replaces the fork-unsafe ``_SIM_CALLS`` module globals that
+``core/single_app.py`` and ``core/datacenter.py`` used to keep: the
+entry points publish :class:`repro.obs.events.TrialStarted` /
+:class:`~repro.obs.events.TrialFinished` on the process-global bus and
+a :class:`SimulationCounters` sink counts them per scope.
+
+Fork-safety comes from explicit merging rather than shared memory: the
+parallel executor snapshots the counters around each worker cell
+(:func:`snapshot` / :func:`delta_since`) and folds the per-cell deltas
+back into the parent with :func:`merge` — so after a parallel study the
+parent's counters reflect every simulation run on its behalf, and a
+warm-cache rerun provably performs zero simulation calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.bus import EventBus
+from repro.obs.events import TrialFinished, TrialStarted
+
+
+class SimulationCounters:
+    """Counts simulations started/finished per scope."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def attach(self, bus: EventBus) -> None:
+        """Count trial start/finish events published on *bus*."""
+        bus.subscribe(TrialStarted, self._on_started)
+        bus.subscribe(TrialFinished, self._on_finished)
+
+    def _on_started(self, event: TrialStarted) -> None:
+        key = f"{event.scope}.simulations"
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def _on_finished(self, event: TrialFinished) -> None:
+        key = f"{event.scope}.completed"
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def value(self, key: str) -> int:
+        """Current count for *key* (0 when never incremented)."""
+        return self.counts.get(key, 0)
+
+
+#: The process-global bus.  Simulation entry points publish trial
+#: markers here; anything process-wide (counters, live progress UIs)
+#: subscribes here.  Per-simulation domain events go to the simulator's
+#: own bus instead.
+GLOBAL_BUS = EventBus()
+
+#: The always-on counter sink (reading counters must not require any
+#: setup — ``simulation_call_count`` has to work out of the box).
+COUNTERS = SimulationCounters()
+COUNTERS.attach(GLOBAL_BUS)
+
+
+def global_bus() -> EventBus:
+    """The process-global instrumentation bus."""
+    return GLOBAL_BUS
+
+
+def counter_value(key: str) -> int:
+    """Current process-global count for *key*."""
+    return COUNTERS.value(key)
+
+
+def snapshot() -> Dict[str, int]:
+    """Copy of all counters (pair with :func:`delta_since`)."""
+    return dict(COUNTERS.counts)
+
+
+def delta_since(before: Dict[str, int]) -> Dict[str, int]:
+    """Counter increments since *before* (a :func:`snapshot`)."""
+    return {
+        key: value - before.get(key, 0)
+        for key, value in COUNTERS.counts.items()
+        if value - before.get(key, 0)
+    }
+
+
+def merge(delta: Dict[str, int]) -> None:
+    """Fold worker-side counter increments into this process."""
+    for key, value in delta.items():
+        COUNTERS.counts[key] = COUNTERS.counts.get(key, 0) + value

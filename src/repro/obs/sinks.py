@@ -1,0 +1,231 @@
+"""Pluggable sinks for the instrumentation bus.
+
+A sink is anything with an ``attach(bus)`` method that registers its
+handlers on an :class:`repro.obs.bus.EventBus`.  Sinks are passive:
+they observe the event stream and never feed back into the simulation,
+so attaching any combination of them (including none) produces
+bit-identical simulation results.
+
+Shipped sinks:
+
+- :class:`TraceSink` — the :class:`repro.sim.tracing.TraceRecorder`
+  rebased on the bus: records every executed kernel event, with the
+  same filtering/capacity/query API.
+- :class:`MetricsSink` — event counters plus time-in-activity totals
+  per technique and per application.
+- :class:`TimelineSink` — collects ``(start, end, activity)`` spans
+  consumable by :func:`repro.core.timeline.render_timeline`.
+- :class:`JsonlExportSink` — serialises every domain event to JSON
+  Lines for machine-readable trace dumps (the CLI's ``--trace-out``).
+
+A sink may be attached to many buses over its lifetime (e.g. one sink
+accumulating across every trial of an experiment cell).
+
+Writing a custom sink::
+
+    class DropLogger(Sink):
+        def __init__(self):
+            self.drops = []
+        def attach(self, bus):
+            bus.subscribe(JobDropped, self.drops.append)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Optional, TextIO, Tuple
+
+from repro.obs.bus import EventBus
+from repro.obs.events import ActivitySpan, DomainEvent
+from repro.sim.events import EventKind
+from repro.sim.tracing import TraceRecorder
+
+
+class Sink:
+    """Base class for bus sinks (duck-typed; subclassing is optional)."""
+
+    def attach(self, bus: EventBus) -> None:
+        """Register this sink's handlers on *bus*."""
+        raise NotImplementedError
+
+
+class RecordingSink(Sink):
+    """Collects every domain event in publication order (testing aid)."""
+
+    def __init__(self) -> None:
+        self.events: List[DomainEvent] = []
+
+    def attach(self, bus: EventBus) -> None:
+        """Record every event published on *bus*, in order."""
+        bus.subscribe_all(self.events.append)
+
+    def of_type(self, *event_types: type) -> List[DomainEvent]:
+        """The recorded events that are instances of *event_types*."""
+        return [e for e in self.events if isinstance(e, event_types)]
+
+
+class TraceSink(TraceRecorder, Sink):
+    """The classic event trace, fed by the bus's kernel-tap channel.
+
+    API-compatible with :class:`repro.sim.tracing.TraceRecorder`
+    (``filter``/``counts``/``dump``/indexing/…); construct with the
+    same ``kinds``/``capacity`` arguments and attach to a simulator::
+
+        sink = TraceSink(capacity=10_000)
+        sim = Simulator()
+        sink.attach(sim.bus)
+    """
+
+    def attach(self, bus: EventBus) -> None:
+        """Register as a kernel tap: one entry per executed sim event."""
+        bus.add_kernel_tap(self.record)
+
+
+class TimelineSink(Sink):
+    """Collects engine activity spans for timeline rendering.
+
+    ``spans`` grows in publication order as ``(start, end, activity)``
+    tuples — exactly the input of
+    :func:`repro.core.timeline.render_timeline`.  With ``app_id`` set,
+    only that application's spans are kept (needed when many jobs
+    share one datacenter bus).
+    """
+
+    def __init__(self, app_id: Optional[Hashable] = None) -> None:
+        self.app_id = app_id
+        self.spans: List[Tuple[float, float, str]] = []
+
+    def attach(self, bus: EventBus) -> None:
+        """Collect activity spans (all apps, or just ``app_id``)."""
+        if self.app_id is None:
+            bus.subscribe(ActivitySpan, self._on_span)
+        else:
+            bus.subscribe_key(ActivitySpan, self.app_id, self._on_span)
+
+    def _on_span(self, event: ActivitySpan) -> None:
+        self.spans.append((event.start, event.end, event.activity))
+
+
+class MetricsSink(Sink):
+    """Counters and time-in-activity histograms over the event stream.
+
+    - ``counts`` — events seen, keyed by event class name;
+    - ``counts_by_technique`` — the same, split per technique (for
+      events that carry one);
+    - ``activity_s_by_technique`` / ``activity_s_by_app`` — wall
+      seconds per engine activity (work/recovery/checkpoint/restart/
+      wait), keyed by technique or application id.
+
+    One sink may accumulate across many runs (attach it to each bus).
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.counts_by_technique: Dict[str, Dict[str, int]] = {}
+        self.activity_s_by_technique: Dict[str, Dict[str, float]] = {}
+        self.activity_s_by_app: Dict[Hashable, Dict[str, float]] = {}
+
+    def attach(self, bus: EventBus) -> None:
+        """Count every event published on *bus*."""
+        bus.subscribe_all(self._on_event)
+
+    def _on_event(self, event: DomainEvent) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+        technique = getattr(event, "technique", None)
+        if technique is not None:
+            per = self.counts_by_technique.setdefault(technique, {})
+            per[name] = per.get(name, 0) + 1
+        if isinstance(event, ActivitySpan):
+            wall = event.end - event.start
+            if technique is not None:
+                hist = self.activity_s_by_technique.setdefault(technique, {})
+                hist[event.activity] = hist.get(event.activity, 0.0) + wall
+            hist = self.activity_s_by_app.setdefault(event.app_id, {})
+            hist[event.activity] = hist.get(event.activity, 0.0) + wall
+
+    def count(self, event_type: type) -> int:
+        """Events of *event_type* seen so far."""
+        return self.counts.get(event_type.__name__, 0)
+
+    def activity_seconds(self, technique: str, activity: str) -> float:
+        """Total seconds one technique spent in one activity."""
+        return self.activity_s_by_technique.get(technique, {}).get(activity, 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-data form (the CLI's ``--metrics-out``)."""
+
+        def sorted_nested(d: Dict) -> Dict:
+            return {
+                str(k): dict(sorted(v.items())) for k, v in sorted(d.items())
+            }
+
+        return {
+            "counts": dict(sorted(self.counts.items())),
+            "counts_by_technique": sorted_nested(self.counts_by_technique),
+            "activity_s_by_technique": sorted_nested(
+                self.activity_s_by_technique
+            ),
+            "activity_s_by_app": sorted_nested(self.activity_s_by_app),
+        }
+
+    def merge(self, other: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict` payload into this sink (the parallel
+        executor merges per-cell metrics back in cell order)."""
+
+        def merge_counts(mine: Dict, theirs: Dict) -> None:
+            for key, value in theirs.items():
+                mine[key] = mine.get(key, 0 if isinstance(value, int) else 0.0) + value
+
+        merge_counts(self.counts, other.get("counts", {}))
+        for outer_name, mine in (
+            ("counts_by_technique", self.counts_by_technique),
+            ("activity_s_by_technique", self.activity_s_by_technique),
+            ("activity_s_by_app", self.activity_s_by_app),
+        ):
+            for key, inner in other.get(outer_name, {}).items():
+                merge_counts(mine.setdefault(key, {}), inner)
+
+
+def _json_default(value: Any) -> Any:
+    """Serialise the few non-JSON types events carry."""
+    if isinstance(value, EventKind):
+        return value.value
+    return str(value)
+
+
+def event_to_jsonl(event: DomainEvent) -> str:
+    """One deterministic JSON line for *event* (sorted keys; simulated
+    times only, so identical runs export identical bytes)."""
+    return json.dumps(
+        event.to_record(), sort_keys=True, default=_json_default,
+        separators=(",", ":"),
+    )
+
+
+class JsonlExportSink(Sink):
+    """Serialises every domain event as one JSON line.
+
+    Lines accumulate in ``lines`` (publication order); call
+    :meth:`write` to dump them to a stream, or read them back with any
+    JSONL consumer.  Determinism: records contain only simulated times
+    and event fields, so serial, parallel, and cached-then-replayed
+    runs of the same study export byte-identical streams.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def attach(self, bus: EventBus) -> None:
+        """Serialize every event published on *bus* to a JSONL line."""
+        bus.subscribe_all(self._on_event)
+
+    def _on_event(self, event: DomainEvent) -> None:
+        self.lines.append(event_to_jsonl(event))
+
+    def write(self, stream: TextIO) -> int:
+        """Write all lines to *stream*; returns the number written."""
+        for line in self.lines:
+            stream.write(line)
+            stream.write("\n")
+        return len(self.lines)

@@ -12,11 +12,11 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.bus import EventBus
 from repro.sim.errors import SchedulingError
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventKind
 from repro.sim.process import Process, Timeout
 from repro.sim.queue import EventQueue
-from repro.sim.tracing import TraceRecorder
 
 
 class Simulator:
@@ -24,18 +24,22 @@ class Simulator:
 
     Parameters
     ----------
-    trace:
-        Optional :class:`TraceRecorder`; when provided, every executed
-        event is recorded (kind, time, payload).
+    bus:
+        Optional :class:`repro.obs.bus.EventBus`; one is created when
+        not given.  Every executed kernel event is forwarded to the
+        bus's kernel taps (attach a :class:`repro.obs.sinks.TraceSink`
+        to record them), and higher layers publish their typed domain
+        events through the same bus.  An empty bus costs one attribute
+        access per executed event.
     """
 
-    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._seq = 0
         self._running = False
         self._event_count = 0
-        self.trace = trace
+        self.bus = bus if bus is not None else EventBus()
 
     # -- clock ------------------------------------------------------------
 
@@ -122,8 +126,10 @@ class Simulator:
             return False
         self._now = event.time
         self._event_count += 1
-        if self.trace is not None:
-            self.trace.record(event.time, event.kind, event.payload)
+        taps = self.bus.kernel_taps
+        if taps:
+            for tap in taps:
+                tap(event.time, event.kind, event.payload)
         event.callback(event)
         return True
 

@@ -8,8 +8,9 @@ follows every failure that hits an executing application").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.sim.events import EventKind
 
@@ -36,7 +37,8 @@ class TraceRecorder:
         small for long simulations).
     capacity:
         Optional hard cap on recorded entries; older entries are dropped
-        FIFO when exceeded.
+        FIFO when exceeded (O(1) per event: the trace is a bounded
+        :class:`collections.deque`).
     """
 
     def __init__(
@@ -44,7 +46,7 @@ class TraceRecorder:
         kinds: Optional[set[EventKind]] = None,
         capacity: Optional[int] = None,
     ) -> None:
-        self._entries: List[TraceEntry] = []
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
         self._kinds = kinds
         self._capacity = capacity
         self.dropped = 0
@@ -53,11 +55,9 @@ class TraceRecorder:
         """Append one executed event (subject to kind filter/capacity)."""
         if self._kinds is not None and kind not in self._kinds:
             return
+        if self._capacity is not None and len(self._entries) == self._capacity:
+            self.dropped += 1  # deque(maxlen=...) evicts the oldest
         self._entries.append(TraceEntry(time, kind, payload))
-        if self._capacity is not None and len(self._entries) > self._capacity:
-            overflow = len(self._entries) - self._capacity
-            del self._entries[:overflow]
-            self.dropped += overflow
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -65,7 +65,11 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self._entries)
 
-    def __getitem__(self, index: int) -> TraceEntry:
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[TraceEntry, List[TraceEntry]]:
+        if isinstance(index, slice):
+            return list(self._entries)[index]
         return self._entries[index]
 
     def filter(
@@ -95,5 +99,5 @@ class TraceRecorder:
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable trace text (first *limit* entries)."""
-        entries = self._entries if limit is None else self._entries[:limit]
+        entries = self._entries if limit is None else self[:limit]
         return "\n".join(str(e) for e in entries)

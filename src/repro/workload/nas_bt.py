@@ -33,7 +33,6 @@ see DESIGN.md's substitution notes.
 from __future__ import annotations
 
 import enum
-import math
 from typing import Dict
 
 #: The exascale application size the paper quotes (Sec. V): an

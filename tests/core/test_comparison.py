@@ -1,7 +1,5 @@
 """Unit tests for the high-level comparison API."""
 
-import pytest
-
 from repro.core.comparison import compare_techniques
 from repro.core.single_app import SingleAppConfig
 from repro.resilience.checkpoint_restart import CheckpointRestart

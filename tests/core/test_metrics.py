@@ -19,6 +19,12 @@ class TestEfficiency:
         with pytest.raises(ValueError):
             efficiency(0.0, 10.0)
 
+    def test_actual_below_baseline_clamped_to_one(self):
+        # A resilient run cannot beat the failure-free baseline; float
+        # noise or a mis-measured baseline must not report > 1.
+        assert efficiency(100.0, 99.0) == 1.0
+        assert efficiency(100.0, 100.0 - 1e-12) == 1.0
+
 
 class TestDroppedPercentage:
     def test_basic(self):

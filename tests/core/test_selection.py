@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.selection import FixedSelector, ResilienceSelection
 from repro.resilience.checkpoint_restart import CheckpointRestart
-from repro.resilience.multilevel import MultilevelCheckpoint
 from repro.resilience.parallel_recovery import ParallelRecovery
 from repro.resilience.redundancy import Redundancy
 from repro.units import years

@@ -9,9 +9,7 @@ correctly-labelled output.
 import pytest
 
 from repro.experiments import fig1, fig2, fig3, fig4, fig5
-from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
 from repro.units import years
-from repro.workload.patterns import PatternBias
 
 SMALL_SCALING = dict(fractions=(0.1, 0.5), trials=2, system_nodes=1200)
 SMALL_DC = dict(patterns=1, arrivals_per_pattern=8, system_nodes=2400)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.failures.injector import FailureInjector
-from repro.sim.engine import Simulator
 from repro.units import years
 
 

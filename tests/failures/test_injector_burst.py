@@ -1,7 +1,5 @@
 """Tests for burst delivery through the datacenter failure injector."""
 
-import pytest
-
 from repro.core.datacenter import DatacenterConfig, run_datacenter
 from repro.core.selection import FixedSelector
 from repro.failures.burst import BurstModel
@@ -98,9 +96,10 @@ class TestDatacenterBursts:
                 DatacenterConfig(node_mtbf_s=years(0.2), burst=burst),
             )
         indep, bursty = results["independent"], results["bursty"]
-        restarts = lambda r: sum(
-            rec.stats.restarts for rec in r.records if rec.stats is not None
-        )
+        def restarts(r):
+            return sum(
+                rec.stats.restarts for rec in r.records if rec.stats is not None
+            )
         # Bursts convert absorbed replica failures into restarts.
         assert restarts(bursty) > restarts(indep)
         assert bursty.dropped_pct >= indep.dropped_pct - 1e-9

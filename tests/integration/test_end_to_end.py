@@ -61,7 +61,8 @@ class TestSectionVIStory:
             assert real.mean >= ideal.mean - 2.0, technique.name
 
     def test_slack_outperforms_fcfs(self, unbiased_patterns):
-        pr = lambda: FixedSelector(get_technique("parallel_recovery"))
+        def pr():
+            return FixedSelector(get_technique("parallel_recovery"))
         fcfs = _dropped(unbiased_patterns, "fcfs", pr)
         slack = _dropped(unbiased_patterns, "slack", pr)
         assert slack.mean < fcfs.mean
@@ -108,7 +109,8 @@ class TestSectionVIIStory:
         assert len(selector.selection_counts) >= 2
 
     def test_large_patterns_drop_more(self, unbiased_patterns):
-        pr = lambda: FixedSelector(get_technique("parallel_recovery"))
+        def pr():
+            return FixedSelector(get_technique("parallel_recovery"))
         unbiased = _dropped(unbiased_patterns, "slack", pr)
         large = _dropped(_patterns(bias=PatternBias.LARGE), "slack", pr)
         assert large.mean > unbiased.mean

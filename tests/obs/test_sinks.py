@@ -1,0 +1,156 @@
+"""Unit tests for the shipped bus sinks."""
+
+import io
+import json
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ActivitySpan,
+    CheckpointTaken,
+    FailureInjected,
+    JobDropped,
+)
+from repro.obs.sinks import (
+    JsonlExportSink,
+    MetricsSink,
+    RecordingSink,
+    TimelineSink,
+    TraceSink,
+    event_to_jsonl,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+
+
+def _span(app_id=1, technique="t", activity="work", start=0.0, end=5.0):
+    return ActivitySpan(
+        time=end,
+        app_id=app_id,
+        technique=technique,
+        activity=activity,
+        start=start,
+        end=end,
+    )
+
+
+class TestRecordingSink:
+    def test_records_in_order_and_filters_by_type(self):
+        bus = EventBus()
+        sink = RecordingSink()
+        sink.attach(bus)
+        f = FailureInjected(time=1.0, app_id=1, node_id=0, severity=1)
+        s = _span()
+        bus.publish(f)
+        bus.publish(s)
+        assert sink.events == [f, s]
+        assert sink.of_type(ActivitySpan) == [s]
+
+
+class TestTraceSink:
+    def test_records_kernel_stream(self):
+        sim = Simulator()
+        trace = TraceSink()
+        trace.attach(sim.bus)
+        sim.schedule(1.0, lambda _e: None, kind=EventKind.FAILURE, payload="f")
+        sim.schedule(2.0, lambda _e: None, kind=EventKind.CHECKPOINT)
+        sim.run()
+        assert len(trace) == 2
+        assert trace.counts() == {EventKind.FAILURE: 1, EventKind.CHECKPOINT: 1}
+
+    def test_capacity_and_dropped_counter(self):
+        trace = TraceSink(capacity=3)
+        for i in range(10):
+            trace.record(float(i), EventKind.INTERNAL, i)
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        assert [e.payload for e in trace] == [7, 8, 9]
+
+    def test_slicing_matches_list_semantics(self):
+        trace = TraceSink(capacity=4)
+        for i in range(6):
+            trace.record(float(i), EventKind.INTERNAL, i)
+        assert [e.payload for e in trace[1:3]] == [3, 4]
+        assert trace[-1].payload == 5
+
+
+class TestTimelineSink:
+    def test_collects_spans_as_tuples(self):
+        bus = EventBus()
+        sink = TimelineSink()
+        sink.attach(bus)
+        bus.publish(_span(start=0.0, end=3.0))
+        bus.publish(_span(activity="checkpoint", start=3.0, end=4.0))
+        assert sink.spans == [(0.0, 3.0, "work"), (3.0, 4.0, "checkpoint")]
+
+    def test_app_filter(self):
+        bus = EventBus()
+        sink = TimelineSink(app_id=1)
+        sink.attach(bus)
+        bus.publish(_span(app_id=1))
+        bus.publish(_span(app_id=2))
+        assert len(sink.spans) == 1
+
+
+class TestMetricsSink:
+    def _populated(self):
+        bus = EventBus()
+        sink = MetricsSink()
+        sink.attach(bus)
+        bus.publish(FailureInjected(time=1.0, app_id=1, node_id=0, severity=1))
+        bus.publish(_span(technique="cr", activity="work", start=0.0, end=10.0))
+        bus.publish(_span(technique="cr", activity="work", start=12.0, end=15.0))
+        bus.publish(_span(technique="cr", activity="restart", start=10.0, end=12.0))
+        return sink
+
+    def test_counts_and_activity(self):
+        sink = self._populated()
+        assert sink.count(FailureInjected) == 1
+        assert sink.count(ActivitySpan) == 3
+        assert sink.activity_seconds("cr", "work") == 13.0
+        assert sink.activity_seconds("cr", "restart") == 2.0
+        assert sink.activity_seconds("cr", "checkpoint") == 0.0
+
+    def test_to_dict_roundtrips_through_merge(self):
+        payload = self._populated().to_dict()
+        merged = MetricsSink()
+        merged.merge(payload)
+        merged.merge(payload)
+        assert merged.count(FailureInjected) == 2
+        assert merged.activity_seconds("cr", "work") == 26.0
+
+    def test_to_dict_is_json_serialisable_and_sorted(self):
+        payload = self._populated().to_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text) == payload
+
+
+class TestJsonlExport:
+    def test_event_to_jsonl_deterministic(self):
+        event = FailureInjected(time=1.5, app_id=3, node_id=7, severity=2)
+        line = event_to_jsonl(event)
+        assert line == event_to_jsonl(event)
+        record = json.loads(line)
+        assert record == {
+            "event": "FailureInjected",
+            "time": 1.5,
+            "app_id": 3,
+            "node_id": 7,
+            "severity": 2,
+            "width": 1,
+        }
+
+    def test_export_sink_collects_and_writes(self):
+        bus = EventBus()
+        sink = JsonlExportSink()
+        sink.attach(bus)
+        bus.publish(JobDropped(time=5.0, app_id=1, reason="scheduler"))
+        bus.publish(
+            CheckpointTaken(
+                time=6.0, app_id=1, technique="cr", level_index=0, position=3.0
+            )
+        )
+        assert len(sink.lines) == 2
+        buffer = io.StringIO()
+        assert sink.write(buffer) == 2
+        parsed = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [p["event"] for p in parsed] == ["JobDropped", "CheckpointTaken"]

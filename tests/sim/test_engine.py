@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.obs.sinks import TraceSink
 from repro.sim.engine import Simulator
 from repro.sim.errors import SchedulingError
 from repro.sim.events import EventKind
-from repro.sim.tracing import TraceRecorder
 
 
 class TestScheduling:
@@ -109,9 +109,10 @@ class TestCancel:
 
 
 class TestTracing:
-    def test_trace_records_kind_and_time(self):
-        trace = TraceRecorder()
-        sim = Simulator(trace=trace)
+    def test_trace_sink_records_kind_and_time(self):
+        trace = TraceSink()
+        sim = Simulator()
+        trace.attach(sim.bus)
         sim.schedule(1.0, lambda _e: None, kind=EventKind.FAILURE, payload="f1")
         sim.run()
         assert len(trace) == 1

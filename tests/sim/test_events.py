@@ -1,7 +1,5 @@
 """Unit tests for repro.sim.events."""
 
-import pytest
-
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventKind, FAILURE_PRIORITY
 
 

@@ -58,3 +58,29 @@ class TestQuerying:
         t = self._populate()
         assert t.dump(limit=1).count("\n") == 0
         assert "failure" in t.dump()
+
+
+class TestDequeStorage:
+    """The recorder's ring buffer: O(1) eviction, list-like access."""
+
+    def test_large_capacity_churn_keeps_newest(self):
+        t = TraceRecorder(capacity=100)
+        for i in range(10_000):
+            t.record(float(i), EventKind.INTERNAL, i)
+        assert len(t) == 100
+        assert t.dropped == 9_900
+        assert [e.payload for e in t][:3] == [9_900, 9_901, 9_902]
+        assert t[-1].payload == 9_999
+
+    def test_slicing_after_eviction(self):
+        t = TraceRecorder(capacity=3)
+        for i in range(5):
+            t.record(float(i), EventKind.INTERNAL, i)
+        assert [e.payload for e in t[0:2]] == [2, 3]
+        assert [e.payload for e in t[::-1]] == [4, 3, 2]
+
+    def test_iteration_and_indexing_agree(self):
+        t = TraceRecorder(capacity=4)
+        for i in range(6):
+            t.record(float(i), EventKind.INTERNAL, i)
+        assert [e.payload for e in t] == [t[j].payload for j in range(len(t))]
