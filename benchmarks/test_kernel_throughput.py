@@ -7,6 +7,7 @@ here rather than as mysterious slowdowns of the figure benches.
 
 import numpy as np
 
+import repro.core.execution as execution
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.queue import EventQueue
@@ -83,3 +84,70 @@ def test_interrupt_throughput(benchmark):
         return proc.value
 
     assert benchmark(interrupts) == 2_000
+
+
+def _fastpath_trial(fast):
+    """One single-app trial; returns (kernel events, stats tuple)."""
+    from repro.core.execution import ResilientExecution
+    from repro.core.single_app import FailureDriver, SingleAppConfig
+    from repro.failures.generator import AppFailureGenerator
+    from repro.platform.presets import exascale_system
+    from repro.resilience import get_technique
+    from repro.rng.streams import StreamFactory
+    from repro.workload.synthetic import make_application
+
+    execution.FAST_PATH_ENABLED = fast
+    try:
+        system = exascale_system(total_nodes=120_000)
+        app = make_application("C32", nodes=30_000, time_steps=1440)
+        cfg = SingleAppConfig(node_mtbf_s=2.5 * 365.25 * 24 * 3600.0, seed=99)
+        technique = get_technique("multilevel")
+        plan = technique.plan(
+            app, system, cfg.node_mtbf_s, severity=cfg.severity_model()
+        )
+        sim = Simulator()
+        cap = cfg.max_time_factor * plan.effective_work_s
+        engine = ResilientExecution(sim, plan, until=cap)
+        proc = sim.process(engine.run(), name="app")
+        generator = AppFailureGenerator(
+            StreamFactory(cfg.seed).spawn_indexed(0).stream("failures"),
+            nodes=plan.nodes_required,
+            node_mtbf_s=cfg.node_mtbf_s,
+            severity=cfg.severity_model(),
+        )
+        driver = FailureDriver(sim, proc, generator)
+        engine.set_failure_horizon(driver.next_fire_time)
+        sim.run(until=cap)
+        stats = engine.stats
+        digest = (
+            stats.end_time,
+            stats.completed,
+            stats.failures,
+            stats.restarts,
+            dict(stats.checkpoints_taken),
+            stats.failed_checkpoints,
+            stats.work_time_s,
+            stats.rework_time_s,
+            stats.checkpoint_time_s,
+            stats.restart_time_s,
+        )
+        return sim.event_count, digest
+    finally:
+        execution.FAST_PATH_ENABLED = True
+
+
+def test_fastpath_vs_stepped(benchmark):
+    """The failure-horizon fast path must produce bit-identical stats
+    on far fewer kernel events; the benchmarked quantity is the fast
+    run, with the ratio attached as extra info."""
+    stepped_events, stepped_digest = _fastpath_trial(fast=False)
+
+    def fast_trial():
+        return _fastpath_trial(fast=True)
+
+    fast_events, fast_digest = benchmark(fast_trial)
+    assert fast_digest == stepped_digest
+    assert stepped_events >= 5 * fast_events
+    benchmark.extra_info["stepped_events"] = stepped_events
+    benchmark.extra_info["fast_events"] = fast_events
+    benchmark.extra_info["event_ratio"] = stepped_events / fast_events

@@ -1,0 +1,164 @@
+"""Benchmark the failure-horizon fast path: stepped vs. closed-form.
+
+Runs the acceptance cell (C32 at 25% of the exascale machine, 2.5-year
+node MTBF, multilevel checkpointing) plus a failure-heavy small cell on
+both execution paths, verifies the stats are bit-identical, and records
+wall times, kernel event counts, and their ratios in
+``BENCH_fastpath.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_fastpath.py [--trials 5] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import repro.core.execution as execution
+from repro.core.execution import ResilientExecution
+from repro.core.single_app import FailureDriver, SingleAppConfig
+from repro.failures.generator import AppFailureGenerator
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import get_technique
+from repro.rng.streams import StreamFactory
+from repro.sim.engine import Simulator
+from repro.units import HOUR, years
+from repro.workload.synthetic import make_application
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CELLS = {
+    "fig1_C32_mtbf2.5y": dict(
+        system_nodes=120_000,
+        app_nodes=30_000,
+        time_steps=1440,
+        app_type="C32",
+        mtbf_s=years(2.5),
+        technique="multilevel",
+    ),
+    "small_A32_failure_heavy": dict(
+        system_nodes=1_200,
+        app_nodes=120,
+        time_steps=60,
+        app_type="A32",
+        mtbf_s=20 * HOUR,
+        technique="multilevel",
+    ),
+}
+
+
+def _trial(cell: dict, trial: int, fast: bool):
+    """One wired single-app trial; returns (seconds, events, digest)."""
+    execution.FAST_PATH_ENABLED = fast
+    system = exascale_system(total_nodes=cell["system_nodes"])
+    app = make_application(
+        cell["app_type"], nodes=cell["app_nodes"], time_steps=cell["time_steps"]
+    )
+    config = SingleAppConfig(node_mtbf_s=cell["mtbf_s"], seed=99)
+    technique = get_technique(cell["technique"])
+    plan = technique.plan(
+        app, system, config.node_mtbf_s, severity=config.severity_model()
+    )
+    sim = Simulator()
+    cap = config.max_time_factor * plan.effective_work_s
+    engine = ResilientExecution(sim, plan, until=cap)
+    proc = sim.process(engine.run(), name="app")
+    generator = AppFailureGenerator(
+        StreamFactory(config.seed).spawn_indexed(trial).stream("failures"),
+        nodes=plan.nodes_required,
+        node_mtbf_s=config.node_mtbf_s,
+        severity=config.severity_model(),
+    )
+    driver = FailureDriver(sim, proc, generator)
+    engine.set_failure_horizon(driver.next_fire_time)
+    started = time.perf_counter()
+    sim.run(until=cap)
+    elapsed = time.perf_counter() - started
+    stats = engine.stats
+    digest = (
+        stats.end_time,
+        stats.completed,
+        stats.failures,
+        stats.restarts,
+        sorted(stats.checkpoints_taken.items()),
+        stats.failed_checkpoints,
+        stats.work_time_s,
+        stats.rework_time_s,
+        stats.checkpoint_time_s,
+        stats.restart_time_s,
+    )
+    return elapsed, sim.event_count, digest, engine.fast_jumps
+
+
+def _bench_cell(name: str, cell: dict, trials: int, repeats: int) -> dict:
+    stepped_s = fast_s = 0.0
+    stepped_events = fast_events = 0
+    jumps = 0
+    identical = True
+    for trial in range(trials):
+        best_slow = min(
+            _trial(cell, trial, fast=False)[0] for _ in range(repeats)
+        )
+        best_fast = min(
+            _trial(cell, trial, fast=True)[0] for _ in range(repeats)
+        )
+        _, ev_slow, dig_slow, _ = _trial(cell, trial, fast=False)
+        _, ev_fast, dig_fast, trial_jumps = _trial(cell, trial, fast=True)
+        identical = identical and dig_slow == dig_fast
+        stepped_s += best_slow
+        fast_s += best_fast
+        stepped_events += ev_slow
+        fast_events += ev_fast
+        jumps += trial_jumps
+    result = {
+        "cell": cell,
+        "trials": trials,
+        "stepped_wall_s": stepped_s,
+        "fast_wall_s": fast_s,
+        "stepped_events": stepped_events,
+        "fast_events": fast_events,
+        "event_ratio": stepped_events / fast_events if fast_events else None,
+        "speedup": stepped_s / fast_s if fast_s else None,
+        "fast_jumps": jumps,
+        "bit_identical": identical,
+    }
+    print(
+        f"{name}: events {stepped_events} -> {fast_events} "
+        f"({result['event_ratio']:.1f}x), wall {stepped_s * 1e3:.1f} ms -> "
+        f"{fast_s * 1e3:.1f} ms ({result['speedup']:.2f}x), "
+        f"identical={identical}"
+    )
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    payload = {
+        "benchmark": "failure-horizon fast path vs stepped execution",
+        "trials_per_cell": args.trials,
+        "repeats": args.repeats,
+        "cells": {
+            name: _bench_cell(name, cell, args.trials, args.repeats)
+            for name, cell in CELLS.items()
+        },
+    }
+    ok = all(c["bit_identical"] for c in payload["cells"].values())
+    out = REPO_ROOT / "BENCH_fastpath.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not ok:
+        print("ERROR: fast path diverged from stepped execution")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

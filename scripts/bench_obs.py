@@ -38,19 +38,34 @@ RESULTS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "resul
 
 
 class _NoBusSimulator(Simulator):
-    """The pre-instrumentation kernel, for baseline comparison: ``step``
-    without the kernel-tap check (otherwise byte-for-byte the same)."""
+    """The pre-instrumentation kernel, for baseline comparison: the
+    fused ``run`` loop without the kernel-tap check (otherwise
+    byte-for-byte the same)."""
 
-    def step(self) -> bool:
-        """Execute the next event.  Returns False when the queue is empty."""
+    def run(self, until=None, max_events=None) -> float:
+        from repro.sim.errors import SchedulingError
+
+        if self._running:
+            raise SchedulingError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        queue = self._queue
         try:
-            event = self._queue.pop()
-        except IndexError:
-            return False
-        self._now = event.time
-        self._event_count += 1
-        event.callback(event)
-        return True
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = queue.pop_due(until)
+                if event is None:
+                    if until is not None and queue:
+                        self._now = max(self._now, until)
+                    break
+                self._now = event.time
+                self._event_count += 1
+                event.callback(event)
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
 
 
 def _kernel_run(sim_factory, n_events: int, attach=None) -> float:

@@ -60,7 +60,13 @@ def main() -> int:
         f"bit-identical:     {identical}",
     ]
     cpus = os.cpu_count() or 1
-    if cpus < args.jobs:
+    if cpus == 1:
+        lines.append(
+            "SPEEDUP NOT MEASURABLE ON THIS HOST: single CPU — the "
+            "jobs=1 vs jobs=N comparison only measures process overhead "
+            "here; rerun on a multi-core host to record a real speedup."
+        )
+    elif cpus < args.jobs:
         lines.append(
             f"note: host has {cpus} CPU(s) < jobs={args.jobs}; cells are "
             "embarrassingly parallel, so speedup tracks core count on "

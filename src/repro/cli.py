@@ -370,12 +370,30 @@ def build_parser() -> argparse.ArgumentParser:
             "(figs 1-5 only; disables the result cache for the run)"
         ),
     )
+    parser.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help=(
+            "disable the failure-horizon fast path and run every "
+            "simulation on the stepped event-by-event path (results are "
+            "bit-identical either way; see docs/PERFORMANCE.md)"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.no_fast_path:
+        import os
+
+        from repro.core import execution
+
+        # The module flag covers this process (and fork-started
+        # workers); the environment variable covers spawn-started ones.
+        execution.FAST_PATH_ENABLED = False
+        os.environ["REPRO_FAST_PATH"] = "0"
     if args.experiment == "all":
         names = _ALL_ORDER
         # Utilities get sensible defaults; figures honour --quick.

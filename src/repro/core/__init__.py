@@ -17,6 +17,7 @@ from repro.core.paired import (
 from repro.core.timeline import activity_totals, render_timeline
 from repro.core.single_app import (
     SingleAppConfig,
+    FailureDriver,
     failure_driver,
     TrialSet,
     run_trials,
@@ -36,6 +37,7 @@ __all__ = [
     "compare_techniques",
     "dropped_percentage",
     "efficiency",
+    "FailureDriver",
     "failure_driver",
     "run_trials",
     "paired_compare",

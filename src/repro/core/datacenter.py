@@ -228,6 +228,9 @@ class DatacenterSimulator:
             self._resources["pfs"] = SlotPool(
                 self.sim, self.config.pfs_slots, name="pfs"
             )
+        #: Absolute run horizon, set by :meth:`run` before the event
+        #: loop starts so lifecycle engines cap their fast-path jumps.
+        self._horizon_time: Optional[float] = None
         self._injector: Optional[FailureInjector] = None
         if not self.config.ideal:
             self._injector = FailureInjector(
@@ -327,7 +330,17 @@ class DatacenterSimulator:
     # -- lifecycle processes ------------------------------------------------------
 
     def _lifecycle(self, record: JobRecord, plan) -> Generator:
-        engine = ResilientExecution(self.sim, plan, resources=self._resources)
+        engine = ResilientExecution(
+            self.sim,
+            plan,
+            resources=self._resources,
+            failure_horizon=(
+                self._injector.next_fire_time
+                if self._injector is not None
+                else None
+            ),
+            until=self._horizon_time,
+        )
         stats = yield from engine.run()
         record.stats = stats
         self._complete(record)
@@ -450,6 +463,7 @@ class DatacenterSimulator:
             self._injector.start()
 
         horizon = last_arrival + self.config.horizon_after_last_arrival_s
+        self._horizon_time = horizon
         self.sim.run(until=horizon)
         if self._injector is not None:
             self._injector.stop()

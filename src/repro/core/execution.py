@@ -39,8 +39,9 @@ truth.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Set
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.failures.generator import Failure
 from repro.obs.bus import EventBus
@@ -60,6 +61,13 @@ from repro.resilience.base import CheckpointLevel, ExecutionPlan
 from repro.sim.engine import Simulator
 from repro.sim.errors import Interrupt
 from repro.sim.resources import SlotPool
+
+#: Master switch for the failure-horizon fast path (docs/PERFORMANCE.md).
+#: The stepped and fast paths are bit-identical, so this exists only for
+#: measurement and bisection: set ``REPRO_FAST_PATH=0`` in the
+#: environment, pass ``--no-fast-path`` on the CLI, or flip the module
+#: attribute to force every engine onto the stepped path.
+FAST_PATH_ENABLED = os.environ.get("REPRO_FAST_PATH", "1") != "0"
 
 #: ActivitySpan activity -> the ExecutionStats field it accumulates to.
 _ACTIVITY_FIELD = {
@@ -194,10 +202,34 @@ class ResilientExecution:
         plan: ExecutionPlan,
         record_timeline: bool = False,
         resources: Optional[Dict[str, "SlotPool"]] = None,
+        failure_horizon: Optional[Callable[[], Optional[float]]] = None,
+        until: Optional[float] = None,
     ) -> None:
         self._sim = sim
         self.plan = plan
         self._resources = resources or {}
+        #: Callable returning the absolute time of the next pending
+        #: failure interrupt (None when unknown).  Without one the
+        #: engine always steps; with one it may take closed-form jumps
+        #: over the failure-free stretch (see :meth:`_fast_forward`).
+        self._failure_horizon = failure_horizon
+        #: The kernel's run horizon (walltime cap): the fast path never
+        #: jumps past it, so capped runs stop with exactly the stepped
+        #: path's partial stats.
+        self._until = until
+        self._record_timeline = record_timeline
+        #: True when some level may queue on a provided shared pool;
+        #: slot waits make the inter-failure stretch non-deterministic,
+        #: so the fast path must not skip while one is possible.
+        self._contended = any(
+            lvl.shared_resource is not None
+            and lvl.shared_resource in self._resources
+            for lvl in plan.levels
+        )
+        #: Fast-path introspection: closed-form jumps taken, and stepped
+        #: main-loop iterations those jumps replaced.
+        self.fast_jumps = 0
+        self.fast_iterations_skipped = 0
         #: The simulator's shared bus (external sinks subscribe here).
         self._bus = sim.bus
         #: Engine-local bus: this execution's own stats and timeline
@@ -260,6 +292,10 @@ class ResilientExecution:
             )
         )
         while self._done < total - self._EPS:
+            if self._fast_path_usable():
+                advanced = yield from self._fast_forward(total, base)
+                if advanced:
+                    continue
             boundary = int(self._done / base + self._EPS) + 1
             target = min(boundary * base, total)
             reached = yield from self._work_to(target)
@@ -293,7 +329,7 @@ class ResilientExecution:
             started = self._sim.now
             kind = "recovery" if recovering else "work"
             try:
-                yield self._sim.timeout(duration)
+                yield duration
             except Interrupt as interrupt:
                 elapsed = self._sim.now - started
                 self._advance(elapsed, speed)
@@ -309,6 +345,261 @@ class ResilientExecution:
             self.plan.effective_work_s, self._done + wall_s * speed
         )
         self._furthest = max(self._furthest, self._done)
+
+    # -- failure-horizon fast path -------------------------------------------
+
+    def set_failure_horizon(
+        self, provider: Callable[[], Optional[float]]
+    ) -> None:
+        """Install the fast path's horizon *provider* (a callable
+        returning the absolute time of the next pending failure
+        interrupt, or None when unknown) after construction — failure
+        sources usually need the engine's process to exist first."""
+        self._failure_horizon = provider
+
+    def _fast_path_usable(self) -> bool:
+        """Whether the next stretch may be advanced in closed form.
+
+        The fast path skips the per-boundary kernel events, so it is
+        only taken when nothing can tell the difference: no horizon
+        provider means no fast path; shared-pool contention makes slot
+        waits possible inside the stretch; a timeline recorder or any
+        shared-bus observer (sinks, kernel taps) expects the full
+        per-boundary event stream, so observed runs auto-fall back to
+        the stepped path.
+        """
+        return (
+            FAST_PATH_ENABLED
+            and self._failure_horizon is not None
+            and not self._contended
+            and not self._record_timeline
+            and not self._bus.observed
+        )
+
+    def _fast_forward(self, total: float, base: float) -> Generator:
+        """Closed-form jump over the failure-free stretch.
+
+        Applies whole main-loop iterations (work segments + boundary
+        checkpoint) whose kernel suspensions would all land strictly
+        before the next failure interrupt and at or before the run
+        horizon, then sleeps once to the folded end time.  Returns True
+        when anything was applied (the main loop then re-evaluates) and
+        False to fall back to one stepped iteration.
+
+        Exactness: :meth:`_plan_iteration` replays the stepped path's
+        float operations in program order and no RNG is consumed
+        between failures, so state and stats are bit-identical (the
+        exactness argument is spelled out in docs/PERFORMANCE.md).  The
+        horizon may move *earlier* mid-jump (the datacenter injector
+        re-draws its pending gap on every allocation change, and a
+        system failure may strike another application first); the
+        interrupt then lands inside the jump timeout, and the engine
+        restores the pre-jump snapshot and replays the planned segments
+        up to the interrupt instant exactly as the stepped path would
+        have run them, before handling the failure normally.
+        """
+        fire = self._failure_horizon()
+        horizon = math.inf if fire is None else fire
+        start = self._sim.now
+        if horizon <= start:
+            return False  # the pending failure is due right now
+        cap = math.inf if self._until is None else self._until
+        snapshot = None
+        t = start
+        while True:
+            ops, end, completed = self._plan_iteration(t, total, base)
+            # Suspension instants grow monotonically through the
+            # iteration, so checking its last one covers them all.  A
+            # failure exactly at a wake instant preempts the wake
+            # (FAILURE_PRIORITY / the driver's earlier event), hence
+            # the strict horizon comparison.
+            if end >= horizon or end > cap or end <= t:
+                break
+            if snapshot is None:
+                snapshot = self._snapshot_state()
+            for op in ops:
+                self._apply_op(op)
+            t = end
+            self.fast_iterations_skipped += 1
+            if completed:
+                break
+        if t == start:
+            return False
+        self.fast_jumps += 1
+        try:
+            yield self._sim.timeout_at(t)
+        except Interrupt as interrupt:
+            self._restore_state(snapshot)
+            self._replay_to(start, total, base, self._sim.now)
+            yield from self._on_failure(interrupt.cause)
+        return True
+
+    def _plan_iteration(
+        self, t: float, total: float, base: float
+    ) -> Tuple[List[tuple], float, bool]:
+        """One stepped-path main-loop iteration, computed arithmetically.
+
+        Returns ``(ops, end, completed)``: the ordered effect list the
+        stepped path would produce starting at virtual time *t* from
+        the engine's current state, the virtual time after the
+        iteration, and whether the work completes within it.  Pure —
+        nothing is applied here.
+
+        Every float expression below replicates, operation for
+        operation and in program order, what :meth:`run` /
+        :meth:`_work_to` / :meth:`_checkpoint` compute on the stepped
+        path (wake times are ``started + duration`` there too, via the
+        kernel's ``now + delay`` scheduling); any edit on either side
+        needs its mirror, which the fast-path bit-identity tests
+        enforce.
+        """
+        plan = self.plan
+        eps = self._EPS
+        done = self._done
+        furthest = self._furthest
+        ops: List[tuple] = []
+        boundary = int(done / base + eps) + 1
+        target = min(boundary * base, total)
+        while done < target - eps:
+            if done < furthest - eps:
+                segment_end = min(furthest, target)
+                speed = plan.recovery_speedup
+                field_name = "rework_time_s"
+            else:
+                segment_end = target
+                speed = 1.0
+                field_name = "work_time_s"
+            duration = (segment_end - done) / speed
+            started = t
+            t = started + duration
+            ops.append(("seg", field_name, started, t, duration, speed))
+            done = min(total, done + duration * speed)
+            furthest = max(furthest, done)
+        if done >= total - eps:
+            return ops, t, True
+        level = plan.boundary_level(boundary)
+        if self._pending_commit is not None:
+            idx, work, commit_time = self._pending_commit
+            if commit_time <= t + eps:
+                ops.append(("settle_commit", idx, work))
+            else:
+                ops.append(("settle_void", idx))
+        blocking = level.cost_s * level.blocking_fraction
+        started = t
+        t = started + blocking
+        ops.append(("ckpt", level.index, started, t))
+        if level.blocking_fraction >= 1.0:
+            ops.append(("commit", level.index, done))
+        else:
+            remainder = level.cost_s - blocking
+            ops.append(("pending", level.index, done, t + remainder))
+        return ops, t, False
+
+    def _apply_op(self, op: tuple) -> None:
+        """Apply one planned effect with the exact float operations the
+        stepped path's code and stats handlers would perform."""
+        kind = op[0]
+        if kind == "seg":
+            _, field_name, started, end, duration, speed = op
+            self._advance(duration, speed)
+            self._note_stat(field_name, started, end)
+        elif kind == "ckpt":
+            _, _level_index, started, end = op
+            self._note_stat("checkpoint_time_s", started, end)
+        elif kind == "commit" or kind == "settle_commit":
+            _, level_index, work = op
+            if kind == "settle_commit":
+                self._pending_commit = None
+            self._saved[level_index] = work
+            self._degraded.clear()
+            counts = self.stats.checkpoints_taken
+            counts[level_index] = counts.get(level_index, 0) + 1
+        elif kind == "settle_void":
+            self._pending_commit = None
+            self.stats.failed_checkpoints += 1
+        else:  # "pending"
+            _, level_index, work, commit_time = op
+            self._pending_commit = (level_index, work, commit_time)
+
+    def _note_stat(self, field_name: str, start: float, end: float) -> None:
+        """The fast path's stand-in for one ActivitySpan round trip:
+        same zero-length guard and accumulation float op as
+        :meth:`_note` + :meth:`ExecutionStats._on_span`, without the
+        event object (valid because nothing observes the bus)."""
+        if end > start:
+            stats = self.stats
+            setattr(stats, field_name, getattr(stats, field_name) + (end - start))
+
+    def _snapshot_state(self) -> tuple:
+        """Everything a jump's ops may mutate, for replay-on-interrupt."""
+        stats = self.stats
+        return (
+            self._done,
+            self._furthest,
+            dict(self._saved),
+            set(self._degraded),
+            self._pending_commit,
+            stats.work_time_s,
+            stats.rework_time_s,
+            stats.checkpoint_time_s,
+            stats.failed_checkpoints,
+            dict(stats.checkpoints_taken),
+        )
+
+    def _restore_state(self, snapshot: tuple) -> None:
+        stats = self.stats
+        (
+            self._done,
+            self._furthest,
+            self._saved,
+            self._degraded,
+            self._pending_commit,
+            stats.work_time_s,
+            stats.rework_time_s,
+            stats.checkpoint_time_s,
+            stats.failed_checkpoints,
+            stats.checkpoints_taken,
+        ) = snapshot
+
+    def _replay_to(
+        self, t: float, total: float, base: float, until: float
+    ) -> None:
+        """Re-derive the jump's segments from the restored snapshot and
+        apply them up to the interrupt instant *until*.
+
+        Segments ending before *until* are applied in full (their
+        synchronous follow-up ops included — on the stepped path those
+        ran inside wake events strictly before the interrupt).  The
+        first segment reaching *until* is the interrupted one: a
+        failure at a wake instant preempts the wake, so ties cut here
+        too, with exactly the stepped path's interrupt-handler
+        arithmetic.  The caller then runs :meth:`_on_failure`.
+        """
+        while True:
+            ops, end, completed = self._plan_iteration(t, total, base)
+            for op in ops:
+                kind = op[0]
+                if kind == "seg":
+                    _, field_name, started, seg_end, _duration, speed = op
+                    if seg_end < until:
+                        self._apply_op(op)
+                        continue
+                    elapsed = until - started
+                    self._advance(elapsed, speed)
+                    self._note_stat(field_name, started, until)
+                    return
+                if kind == "ckpt":
+                    _, _level_index, started, seg_end = op
+                    if seg_end < until:
+                        self._apply_op(op)
+                        continue
+                    self._note_stat("checkpoint_time_s", started, until)
+                    self.stats.failed_checkpoints += 1
+                    return
+                self._apply_op(op)
+            t = end
+            if completed or end >= until:  # pragma: no cover - defensive
+                return
 
     def _checkpoint(self, level: CheckpointLevel) -> Generator:
         """Take a checkpoint at *level*; on failure the in-progress
@@ -328,7 +619,7 @@ class ResilientExecution:
         blocking = level.cost_s * level.blocking_fraction
         started = self._sim.now
         try:
-            yield self._sim.timeout(blocking)
+            yield blocking
         except Interrupt as interrupt:
             if ticket is not None:
                 ticket.release()
@@ -474,7 +765,7 @@ class ResilientExecution:
                 continue
             started = self._sim.now
             try:
-                yield self._sim.timeout(level.restart_s)
+                yield level.restart_s
             except Interrupt as interrupt:
                 # Failure during restart: restart the restart, from the
                 # worst severity seen (replicas are all mid-restore, so

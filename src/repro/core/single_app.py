@@ -105,6 +105,48 @@ def failure_driver(
         target.interrupt(generator.failure_at(sim.now))
 
 
+class FailureDriver:
+    """:func:`failure_driver` plus a queryable next-failure horizon.
+
+    Drives exactly the same process body (same RNG draw order, same
+    kernel event sequence) but records the absolute wake time of the
+    pending gap, which :meth:`next_fire_time` exposes for the execution
+    engine's closed-form fast path.  The horizon is updated
+    synchronously right after each interrupt is issued — before the
+    driver re-yields — so the engine's failure handler already sees the
+    next horizon when it resumes.
+    """
+
+    def __init__(
+        self, sim: Simulator, target: Process, generator: AppFailureGenerator
+    ) -> None:
+        self._sim = sim
+        self._target = target
+        self._generator = generator
+        # Draw the first gap eagerly so the horizon is known before the
+        # engine's first fast-path check; the driver process then yields
+        # this pre-drawn gap, keeping the draw order of failure_driver().
+        self._next_gap = generator.next_interarrival()
+        self._next_fire = sim.now + self._next_gap
+        self.process = sim.process(self._run(), name="failures")
+
+    def next_fire_time(self) -> Optional[float]:
+        """Absolute simulated time of the next failure interrupt."""
+        return self._next_fire
+
+    def _run(self) -> Generator:
+        sim = self._sim
+        generator = self._generator
+        while True:
+            yield sim.timeout(self._next_gap)
+            if not self._target.alive:
+                self._next_fire = None
+                return
+            self._target.interrupt(generator.failure_at(sim.now))
+            self._next_gap = generator.next_interarrival()
+            self._next_fire = sim.now + self._next_gap
+
+
 def simulate_application(
     app: Application,
     technique: ResilienceTechnique,
@@ -148,7 +190,8 @@ def simulate_application(
     )
     global_bus().publish(started)
     sim.bus.publish(started)
-    engine = ResilientExecution(sim, plan)
+    cap = config.max_time_factor * plan.effective_work_s
+    engine = ResilientExecution(sim, plan, until=cap)
     proc = sim.process(engine.run(), name=f"app-{app.app_id}")
     generator = AppFailureGenerator(
         failure_rng,
@@ -157,9 +200,9 @@ def simulate_application(
         severity=config.severity_model(),
         burst=config.burst,
     )
-    sim.process(failure_driver(sim, proc, generator), name="failures")
+    driver = FailureDriver(sim, proc, generator)
+    engine.set_failure_horizon(driver.next_fire_time)
 
-    cap = config.max_time_factor * plan.effective_work_s
     sim.run(until=cap)
     if not engine.stats.completed:
         engine.stats.end_time = cap

@@ -77,6 +77,21 @@ class FailureInjector:
             self._sim.cancel(self._pending)
             self._pending = None
 
+    def next_fire_time(self) -> Optional[float]:
+        """Absolute simulated time of the pending failure event, or
+        None when the injector is disarmed or the machine is idle.
+
+        This is the horizon the execution engine's fast path skips to.
+        The pending gap is re-drawn on every allocation change, so the
+        value is only valid until the caller next yields to the kernel
+        — the engine handles an interrupt landing earlier than a stale
+        horizon by snapshotting before each jump and replaying.
+        """
+        pending = self._pending
+        if pending is None or pending.cancelled:
+            return None
+        return pending.time
+
     def notify_allocation_change(self) -> None:
         """Must be called whenever the active-node count changes; the
         pending failure gap is re-drawn at the new rate."""

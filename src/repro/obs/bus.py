@@ -72,6 +72,14 @@ class EventBus:
         """True when any domain-event handler is registered."""
         return self._active
 
+    @property
+    def observed(self) -> bool:
+        """True when anything at all watches this bus — domain-event
+        handlers or kernel taps.  The execution engine's failure-horizon
+        fast path checks this and falls back to the stepped path, so
+        observers always see the full per-boundary event stream."""
+        return self._active or bool(self.kernel_taps)
+
     def subscriber_count(self) -> int:
         """Number of registered domain-event handlers (all channels)."""
         return (

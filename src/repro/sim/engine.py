@@ -98,9 +98,16 @@ class Simulator:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (no-op if already cancelled)."""
-        if not event.cancelled:
-            event.cancel()
+        """Cancel a pending event (no-op if already cancelled).
+
+        Safe to call on events that already executed or were never
+        queued: only an event still sitting in the pending queue
+        decrements the queue's live count.
+        """
+        if event.cancelled:
+            return
+        event.cancel()
+        if event.in_queue:
             self._queue.notify_cancelled()
 
     # -- processes ----------------------------------------------------------
@@ -115,6 +122,16 @@ class Simulator:
     def timeout(self, delay: float) -> Timeout:
         """Create a :class:`Timeout` for ``yield`` inside a process."""
         return Timeout(delay)
+
+    def timeout_at(self, time: float) -> Timeout:
+        """A :class:`Timeout` completing at absolute simulated *time*.
+
+        The wake event is scheduled exactly at *time* — no float
+        round-trip through ``now + (time - now)`` — which is what lets
+        the execution engine's fast path land bit-exactly on a stepped
+        wake instant.  A *time* already in the past wakes immediately.
+        """
+        return Timeout(max(0.0, time - self._now), at=max(time, self._now))
 
     # -- event loop ---------------------------------------------------------
 
@@ -147,17 +164,26 @@ class Simulator:
             raise SchedulingError("Simulator.run is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
         try:
+            # Inlined step() with a fused peek+pop (pop_due): one
+            # tombstone scan per executed event instead of two.
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
-                    break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                event = queue.pop_due(until)
+                if event is None:
+                    if until is not None and queue:
+                        # Live events remain beyond the horizon.
+                        self._now = max(self._now, until)
+                    break
+                self._now = event.time
+                self._event_count += 1
+                taps = self.bus.kernel_taps
+                if taps:
+                    for tap in taps:
+                        tap(event.time, event.kind, event.payload)
+                event.callback(event)
                 executed += 1
         finally:
             self._running = False

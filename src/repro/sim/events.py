@@ -37,7 +37,16 @@ class Event:
     event is O(1); the queue discards cancelled events lazily.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "payload", "kind", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "payload",
+        "kind",
+        "cancelled",
+        "in_queue",
+    )
 
     def __init__(
         self,
@@ -56,6 +65,11 @@ class Event:
         self.payload = payload
         self.kind = kind
         self.cancelled = False
+        #: Maintained by :class:`repro.sim.queue.EventQueue`: True while
+        #: the event sits in the pending heap.  Lets the kernel tell a
+        #: cancelled-while-pending event (which must decrement the live
+        #: count) from one that already executed or was never queued.
+        self.in_queue = False
 
     def cancel(self) -> None:
         """Mark the event so the kernel will skip it."""

@@ -3,6 +3,9 @@
 A process is a Python generator driven by the kernel.  It may yield:
 
 - :class:`Timeout` — suspend for a simulated duration;
+- a bare non-negative number — shorthand for ``Timeout(n)`` that
+  reuses one Timeout object per process (the hot path of the
+  execution engine, which suspends at every checkpoint boundary);
 - another :class:`Process` — suspend until that process terminates
   (its return value is sent back in);
 
@@ -32,12 +35,16 @@ class Timeout:
     lets interrupt handlers compute how much of the delay elapsed.
     """
 
-    __slots__ = ("delay", "started_at", "wake_at")
+    __slots__ = ("delay", "at", "started_at", "wake_at")
 
-    def __init__(self, delay: float) -> None:
+    def __init__(self, delay: float, at: Optional[float] = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
         self.delay = delay
+        #: Absolute completion time; when set, the wake event is
+        #: scheduled exactly at this instant (no ``now + delay`` float
+        #: round-trip).  Created by :meth:`Simulator.timeout_at`.
+        self.at = at
         self.started_at: Optional[float] = None
         self.wake_at: Optional[float] = None
 
@@ -84,6 +91,9 @@ class Process:
         self.error: Optional[BaseException] = None
         self._pending_event: Optional[Event] = None
         self._pending_timeout: Optional[Timeout] = None
+        #: Reused for bare-number yields so boundary-dense processes do
+        #: not allocate one Timeout object per suspension.
+        self._scratch_timeout: Optional[Timeout] = None
         self._joined_on: Optional["Process"] = None
         self._waiting_signal = None  # Optional[Signal]
         self._watchers: List["Process"] = []
@@ -188,12 +198,24 @@ class Process:
                     payload=self,
                 )
         elif isinstance(yielded, Timeout):
-            yielded.started_at = self._sim.now
-            yielded.wake_at = self._sim.now + yielded.delay
-            self._pending_timeout = yielded
-            self._pending_event = self._sim.schedule(
-                yielded.delay, self._on_wake, kind=EventKind.INTERNAL, payload=self
-            )
+            self._suspend_on_timeout(yielded)
+        elif isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
+            # Hot path: a bare non-negative number means "sleep that
+            # many seconds" (identical semantics to yielding
+            # ``sim.timeout(n)``, without the per-yield allocation).
+            if yielded < 0:
+                self.state = ProcessState.FAILED
+                self.error = ProcessError(
+                    f"process yielded negative delay {yielded}"
+                )
+                self._notify_watchers()
+                raise self.error
+            timeout = self._scratch_timeout
+            if timeout is None:
+                timeout = self._scratch_timeout = Timeout(0.0)
+            timeout.delay = float(yielded)
+            timeout.at = None
+            self._suspend_on_timeout(timeout)
         elif isinstance(yielded, Process):
             if yielded.alive:
                 self._joined_on = yielded
@@ -213,6 +235,21 @@ class Process:
             self.error = ProcessError(f"process yielded unsupported {bad}")
             self._notify_watchers()
             raise self.error
+
+    def _suspend_on_timeout(self, timeout: Timeout) -> None:
+        sim = self._sim
+        timeout.started_at = sim.now
+        self._pending_timeout = timeout
+        if timeout.at is not None:
+            timeout.wake_at = timeout.at
+            self._pending_event = sim.schedule_at(
+                timeout.at, self._on_wake, kind=EventKind.INTERNAL, payload=self
+            )
+        else:
+            timeout.wake_at = sim.now + timeout.delay
+            self._pending_event = sim.schedule(
+                timeout.delay, self._on_wake, kind=EventKind.INTERNAL, payload=self
+            )
 
     def _finish(self, value: Any) -> None:
         self.state = ProcessState.FINISHED

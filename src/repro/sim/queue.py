@@ -3,7 +3,10 @@
 The classic DES pending-event structure.  ``cancel`` is O(1) (a flag on
 the event); cancelled events are dropped when they reach the top of the
 heap, so each event is pushed and popped at most once and all operations
-stay O(log n) amortized.
+stay O(log n) amortized.  When cancelled entries come to dominate the
+heap (heavy interrupt traffic) the queue compacts itself: survivors are
+re-heapified, which preserves pop order exactly because sort keys
+``(time, priority, seq)`` are unique.
 """
 
 from __future__ import annotations
@@ -16,6 +19,11 @@ from repro.sim.events import Event
 
 class EventQueue:
     """Min-heap of :class:`Event` ordered by ``(time, priority, seq)``."""
+
+    #: Compact the heap when it holds at least this many cancelled
+    #: entries *and* they outnumber the live ones — the O(n) rebuild is
+    #: then amortized against the >= n/2 dead entries it removes.
+    _COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -32,6 +40,7 @@ class EventQueue:
         """Insert *event*."""
         if event.cancelled:
             raise ValueError("cannot schedule a cancelled event")
+        event.in_queue = True
         heapq.heappush(self._heap, event)
         self._live += 1
 
@@ -43,24 +52,62 @@ class EventQueue:
         :meth:`repro.sim.engine.Simulator.cancel` does this pairing.
         """
         self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead >= self._COMPACT_MIN_DEAD and dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        survivors = []
+        for event in self._heap:
+            if event.cancelled:
+                event.in_queue = False
+            else:
+                survivors.append(event)
+        heapq.heapify(survivors)
+        self._heap = survivors
+
+    def _prune(self) -> None:
+        """Drop cancelled entries from the top of the heap — the single
+        tombstone scan shared by :meth:`peek`, :meth:`pop`, and
+        :meth:`pop_due`."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap).in_queue = False
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
 
         Raises :class:`IndexError` when no live events remain.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        raise IndexError("pop from empty EventQueue")
+        self._prune()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        event = heapq.heappop(self._heap)
+        event.in_queue = False
+        self._live -= 1
+        return event
+
+    def pop_due(self, limit: Optional[float] = None) -> Optional[Event]:
+        """Remove and return the earliest live event with ``time <=
+        limit`` (no limit when None); None when the queue is empty or
+        the head lies beyond *limit*.
+
+        This fuses the peek-then-pop pair of the kernel loop so each
+        heap entry is tombstone-scanned once.
+        """
+        self._prune()
+        heap = self._heap
+        if not heap or (limit is not None and heap[0].time > limit):
+            return None
+        event = heapq.heappop(heap)
+        event.in_queue = False
+        self._live -= 1
+        return event
 
     def peek(self) -> Optional[Event]:
         """Return the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._prune()
         return self._heap[0] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
@@ -70,6 +117,8 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop all events."""
+        for event in self._heap:
+            event.in_queue = False
         self._heap.clear()
         self._live = 0
 

@@ -107,6 +107,74 @@ class TestCancel:
         sim.cancel(ev)
         assert sim.pending == 0
 
+    def test_cancel_after_execution_keeps_count_accurate(self, sim):
+        # Regression: cancelling an event that already ran used to
+        # decrement the queue's live count, driving it negative and
+        # making `sim.pending` lie about later events.
+        ev = sim.schedule(1.0, lambda _e: None)
+        sim.run()
+        sim.cancel(ev)
+        assert sim.pending == 0
+        sim.schedule(2.0, lambda _e: None)
+        assert sim.pending == 1
+
+    def test_cancel_never_queued_event_keeps_count_accurate(self, sim):
+        from repro.sim.events import Event
+
+        loose = Event(1.0, lambda _e: None, seq=0)
+        sim.cancel(loose)
+        assert loose.cancelled
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda _e: None)
+        assert sim.pending == 1
+
+    def test_cancel_decrements_once_for_queued_event(self, sim):
+        keeper = sim.schedule(2.0, lambda _e: None)
+        doomed = sim.schedule(1.0, lambda _e: None)
+        sim.cancel(doomed)
+        sim.cancel(doomed)
+        assert sim.pending == 1
+        sim.run()
+        assert not keeper.cancelled
+
+
+class TestTimeoutAt:
+    def test_wakes_exactly_at_absolute_time(self, sim):
+        times = []
+
+        def body():
+            yield sim.timeout_at(7.25)
+            times.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert times == [7.25]
+
+    def test_past_time_clamps_to_zero_delay(self, sim):
+        sim.schedule(5.0, lambda _e: None)
+        sim.run()
+        times = []
+
+        def body():
+            yield sim.timeout_at(1.0)  # already in the past
+            times.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert times == [5.0]
+
+    def test_wake_at_is_the_absolute_time(self, sim):
+        captured = {}
+
+        def body():
+            t = sim.timeout_at(3.0)
+            captured["t"] = t
+            yield t
+
+        sim.process(body())
+        sim.run(until=1.0)
+        assert captured["t"].wake_at == 3.0
+
 
 class TestTracing:
     def test_trace_sink_records_kind_and_time(self):

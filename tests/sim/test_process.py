@@ -33,6 +33,87 @@ class TestTimeoutObject:
         assert t.remaining(100.0) == 5.0
 
 
+class TestBareNumberYield:
+    def test_bare_number_sleeps_that_long(self, sim):
+        times = []
+
+        def body():
+            yield 2.5
+            times.append(sim.now)
+            yield 3
+            times.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert times == [2.5, 5.5]
+
+    def test_pending_timeout_visible_while_suspended(self, sim):
+        seen = {}
+
+        def body():
+            yield 10.0
+
+        proc = sim.process(body())
+        sim.schedule(4.0, lambda _e: seen.update(t=proc.pending_timeout))
+        sim.run(until=5.0)
+        t = seen["t"]
+        assert t is not None
+        assert t.delay == 10.0
+        assert t.wake_at == 10.0
+        assert t.elapsed(4.0) == pytest.approx(4.0)
+
+    def test_scratch_timeout_reused_across_yields(self, sim):
+        seen = []
+
+        def body():
+            yield 1.0
+            seen.append(self_proc.pending_timeout is None)  # between yields
+            yield 2.0
+
+        def capture(_e):
+            seen.append(self_proc.pending_timeout)
+
+        self_proc = sim.process(body())
+        sim.schedule(0.5, capture)
+        sim.schedule(1.5, capture)
+        sim.run()
+        assert seen[1] is True  # cleared between yields
+        assert seen[0] is seen[2]  # one Timeout object per process
+
+    def test_negative_number_fails_process(self, sim):
+        def body():
+            yield -1.0
+
+        proc = sim.process(body())
+        with pytest.raises(ProcessError):
+            sim.run()
+        assert proc.state is ProcessState.FAILED
+        assert isinstance(proc.error, ProcessError)
+
+    def test_bool_yield_still_rejected(self, sim):
+        def body():
+            yield True
+
+        proc = sim.process(body())
+        with pytest.raises(ProcessError):
+            sim.run()
+        assert proc.state is ProcessState.FAILED
+
+    def test_interruptible_like_timeout(self, sim):
+        caught = []
+
+        def body():
+            try:
+                yield 10.0
+            except Interrupt as intr:
+                caught.append((sim.now, intr.cause))
+
+        proc = sim.process(body())
+        sim.schedule(3.0, lambda _e: proc.interrupt("boom"))
+        sim.run()
+        assert caught == [(3.0, "boom")]
+
+
 class TestProcessLifecycle:
     def test_sequence_of_timeouts(self, sim):
         marks = []

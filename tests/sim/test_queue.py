@@ -88,6 +88,108 @@ class TestCancellation:
         assert not q
 
 
+class TestPopDue:
+    def test_returns_head_at_or_before_limit(self):
+        q = EventQueue()
+        first = _event(1.0, seq=1)
+        second = _event(2.0, seq=2)
+        q.push(first)
+        q.push(second)
+        assert q.pop_due(1.0) is first
+        assert q.pop_due(1.5) is None
+        assert q.pop_due(2.0) is second
+
+    def test_no_limit_pops_everything(self):
+        q = EventQueue()
+        q.push(_event(3.0, seq=1))
+        q.push(_event(1.0, seq=2))
+        assert q.pop_due().time == 1.0
+        assert q.pop_due(None).time == 3.0
+        assert q.pop_due() is None
+
+    def test_skips_cancelled_head(self):
+        q = EventQueue()
+        doomed = _event(1.0, seq=1)
+        keeper = _event(2.0, seq=2)
+        q.push(doomed)
+        q.push(keeper)
+        doomed.cancel()
+        q.notify_cancelled()
+        # The cancelled head must not satisfy the limit check.
+        assert q.pop_due(1.5) is None
+        assert q.pop_due(2.0) is keeper
+
+    def test_empty_returns_none(self):
+        assert EventQueue().pop_due(10.0) is None
+
+
+class TestInQueueFlag:
+    def test_lifecycle_push_pop(self):
+        q = EventQueue()
+        e = _event(1.0)
+        assert not e.in_queue
+        q.push(e)
+        assert e.in_queue
+        assert q.pop() is e
+        assert not e.in_queue
+
+    def test_cleared_by_pop_due(self):
+        q = EventQueue()
+        e = _event(1.0)
+        q.push(e)
+        assert q.pop_due(1.0) is e
+        assert not e.in_queue
+
+    def test_cleared_when_cancelled_entry_pruned(self):
+        q = EventQueue()
+        doomed = _event(1.0, seq=1)
+        keeper = _event(2.0, seq=2)
+        q.push(doomed)
+        q.push(keeper)
+        doomed.cancel()
+        q.notify_cancelled()
+        q.peek()  # prunes the cancelled head
+        assert not doomed.in_queue
+        assert keeper.in_queue
+
+    def test_cleared_by_clear(self):
+        q = EventQueue()
+        events = [_event(float(i), seq=i) for i in range(3)]
+        for e in events:
+            q.push(e)
+        q.clear()
+        assert all(not e.in_queue for e in events)
+
+
+class TestCompaction:
+    def test_compaction_drops_dead_entries_and_preserves_order(self):
+        q = EventQueue()
+        events = [_event(float(i), seq=i) for i in range(200)]
+        for e in events:
+            q.push(e)
+        # Cancel the back 140: once the dead outnumber the live (and
+        # exceed the threshold) the queue rebuilds itself.
+        for e in events[60:]:
+            e.cancel()
+            q.notify_cancelled()
+        assert len(q._heap) < len(events)  # compaction happened
+        # Entries removed by the rebuild are marked out-of-queue.
+        assert sum(1 for e in events if e.cancelled and not e.in_queue) >= 100
+        assert len(q) == 60
+        popped = [q.pop().time for _ in range(len(q))]
+        assert popped == [float(i) for i in range(60)]
+
+    def test_no_compaction_below_threshold(self):
+        q = EventQueue()
+        events = [_event(float(i), seq=i) for i in range(10)]
+        for e in events:
+            q.push(e)
+        events[3].cancel()
+        q.notify_cancelled()
+        assert len(q._heap) == 10  # tombstone left in place
+        assert len(q) == 9
+
+
 class TestMisc:
     def test_peek_empty_returns_none(self):
         q = EventQueue()
@@ -99,6 +201,8 @@ class TestMisc:
         q.push(_event(1.0))
         q.clear()
         assert len(q) == 0
+        assert not q
+        assert q.pop_due() is None
 
     def test_iter_skips_cancelled(self):
         q = EventQueue()
