@@ -4,15 +4,39 @@ save the rendered outputs under ``results/full/``.
 
 This is the long-form version of ``pytest benchmarks/`` — the paper's
 200 trials per bar and 50 arrival patterns per bar.  Expect ~30-45
-minutes on a laptop.
+minutes on a laptop serially; ``--jobs N`` fans the cells out over N
+worker processes (results are bit-identical for any value), and the
+result cache makes re-runs nearly free unless ``--no-cache`` is given.
 """
 
+import argparse
 import pathlib
 import time
 
 from repro.experiments import fig1, fig2, fig3, fig4, fig5, tables
+from repro.experiments.parallel import ExecutorMetrics, ExecutorOptions
 
 OUT = pathlib.Path(__file__).resolve().parent.parent / "results" / "full"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per study (default 1 = serial; "
+        "results are bit-identical for any value)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing results/.cache/",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    return args
 
 
 def save(name: str, text: str) -> None:
@@ -21,14 +45,19 @@ def save(name: str, text: str) -> None:
     print(text)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    metrics = ExecutorMetrics()
+    options = ExecutorOptions(
+        jobs=args.jobs, cache=not args.no_cache, metrics=metrics
+    )
     started = time.time()
     save("table1", tables.render_table1())
     save("table2", tables.render_table2(fraction=1.0))
 
     for module, name in ((fig1, "fig1"), (fig2, "fig2"), (fig3, "fig3")):
         t0 = time.time()
-        result = module.run(module.config(trials=200))
+        result = module.run(module.config(trials=200), options=options)
         text = module.render(result)
         if hasattr(module, "crossover_fraction"):
             cross = module.crossover_fraction(result)
@@ -39,7 +68,7 @@ def main() -> None:
 
     for module, name in ((fig4, "fig4"), (fig5, "fig5")):
         t0 = time.time()
-        result = module.run(module.config(patterns=50))
+        result = module.run(module.config(patterns=50), options=options)
         text = module.render(result)
         if name == "fig4":
             best = fig4.best_technique_per_rm(result)
@@ -58,6 +87,7 @@ def main() -> None:
         save(name, text)
         print(f"[{name}: {time.time() - t0:.0f}s]\n")
 
+    print(f"[executor: {metrics.render('all studies')}]")
     print(f"[total: {time.time() - started:.0f}s]")
 
 

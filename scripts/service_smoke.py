@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the job service, as run by CI.
+
+Starts ``repro serve`` as a real subprocess on an ephemeral port,
+submits a quick fig1 job through the client SDK, polls it to
+completion, and byte-diffs the fetched JSON artifact against a direct
+``repro fig1 --quick`` invocation in a separate process — proving the
+service path and the CLI path produce identical bytes.  Finally sends
+SIGTERM and checks the server exits cleanly (graceful drain).
+
+Exits 0 on success; any failure raises (non-zero exit).
+"""
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+JOB_PAYLOAD = {
+    "experiment": "fig1",
+    "format": "json",
+    "quick": True,
+    "trials": 4,
+}
+
+
+def env_with_cache(cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def start_server(db_path: str, env: dict) -> "tuple[subprocess.Popen, str]":
+    """Launch ``repro serve --port 0`` and parse the bound URL."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "1", "--db", db_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (http://\S+)", line)
+    if not match:
+        proc.kill()
+        raise AssertionError(f"no listening line from server, got: {line!r}")
+    return proc, match.group(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        env = env_with_cache(cache_dir)
+        server, url = start_server(os.path.join(tmp, "service.db"), env)
+        try:
+            client = ServiceClient(url, timeout=30.0)
+            health = client.health()
+            assert health["status"] == "ok", health
+            print(f"[smoke] server healthy at {url} (v{health['version']})")
+
+            job = client.submit(JOB_PAYLOAD)
+            print(f"[smoke] submitted job {job['id']}")
+            final = client.wait(job["id"], timeout=600.0, poll_s=0.5)
+            assert final["state"] == "done", final
+            fetched = client.result(job["id"])
+
+            direct = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "fig1",
+                    "--quick", "--trials", "4", "--format", "json",
+                    "--no-cache",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout
+            # The CLI appends one newline when printing the artifact.
+            assert fetched + "\n" == direct, (
+                "service artifact differs from direct CLI run:\n"
+                f"--- service ({len(fetched)} bytes)\n{fetched[:400]}\n"
+                f"--- direct ({len(direct)} bytes)\n{direct[:400]}"
+            )
+            print(f"[smoke] artifact byte-identical ({len(fetched)} bytes)")
+
+            metrics = client.metrics()
+            assert metrics["jobs"]["accepted"] >= 1, metrics
+            assert metrics["jobs"]["completed"] >= 1, metrics
+            assert metrics["queue"]["depth"] == 0, metrics
+            print(f"[smoke] metrics ok: {metrics['jobs']}")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                code = server.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                raise AssertionError("server did not exit after SIGTERM")
+        assert code == 0, f"server exited {code} after SIGTERM"
+        print("[smoke] graceful SIGTERM shutdown, exit 0")
+    # Let the last server output through for the CI log.
+    time.sleep(0.1)
+    print("[smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

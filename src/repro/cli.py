@@ -1,5 +1,5 @@
-"""Command-line interface: regenerate any table or figure, plus the
-analysis utilities.
+"""Command-line interface: regenerate any table or figure, run the
+analysis utilities, and operate the job service.
 
 Examples::
 
@@ -9,20 +9,44 @@ Examples::
     repro fig2 --quick --format barchart
     repro fig4 --patterns 50 --format csv
     repro regime-map
+    repro sweep --sweep checkpoint_interval
     repro validate --app-type C32 --fraction 0.12
     repro timeline --app-type C32 --fraction 0.5 --mtbf-years 2.5
     repro all --quick
+
+    repro serve --port 8642 --workers 2      # start the job service
+    repro submit fig1 --quick --format json  # enqueue over HTTP
+    repro status <job-id>
+    repro result <job-id>
+    repro cache stats
+    repro cache prune --max-mb 256
+
+Experiment subcommands render their artifact on stdout; progress,
+executor metrics, and timing chatter go to stderr so ``--format
+csv``/``json`` stdout stays machine-readable.  Figure runs dispatch
+through :mod:`repro.experiments.entry` — the same code path the job
+service uses — so both produce byte-identical artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.experiments import fig1, fig2, fig3, fig4, fig5, tables
-from repro.experiments.parallel import CellProgress, ExecutorMetrics, ExecutorOptions
+from repro import __version__
+from repro.experiments.entry import RequestError, StudyRequest, run_request
+from repro.experiments.parallel import (
+    CellProgress,
+    ExecutorMetrics,
+    ExecutorOptions,
+    ResultCache,
+)
+
+#: Default service URL for the client verbs (matches ``repro serve``).
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8642"
 
 
 def _positive_int(text: str) -> int:
@@ -60,8 +84,6 @@ def _observe_requested(args: argparse.Namespace) -> bool:
 
 def _write_observability(result, args: argparse.Namespace) -> None:
     """Write the study's event stream / metrics to the requested files."""
-    import json
-
     if args.trace_out:
         with open(args.trace_out, "w", encoding="utf-8") as fh:
             for line in result.trace_lines or ():
@@ -78,101 +100,39 @@ def _write_observability(result, args: argparse.Namespace) -> None:
         print(f"[wrote metrics to {args.metrics_out}]", file=sys.stderr)
 
 
-def _scaling_output(module, result, fmt: str) -> str:
-    from repro.experiments.barchart import scaling_barchart
-    from repro.experiments.export import scaling_to_csv, scaling_to_json
-
-    if fmt == "table":
-        return module.render(result)
-    if fmt == "barchart":
-        return scaling_barchart(result, title=module.TITLE)
-    if fmt == "csv":
-        return scaling_to_csv(result)
-    return scaling_to_json(result)
-
-
-def _datacenter_output(module, result, fmt: str) -> str:
-    from repro.experiments.export import datacenter_to_csv, datacenter_to_json
-
-    if fmt == "table":
-        return module.render(result)
-    if fmt == "barchart":
-        from repro.experiments.barchart import datacenter_barchart
-        from repro.rm.registry import manager_names
-
-        return datacenter_barchart(
-            result,
-            rm_names=manager_names(),
-            selector_names=module.SELECTOR_ORDER,
-            title=module.TITLE,
-        )
-    if fmt == "csv":
-        return datacenter_to_csv(result)
-    return datacenter_to_json(result)
-
-
-def _run_scaling_fig(module, args: argparse.Namespace) -> str:
-    cfg = module.config(trials=args.trials)
-    if args.quick:
-        cfg = cfg.quick(trials=min(args.trials, 10))
-    options = _executor_options(args)
-    observe = _observe_requested(args)
-    result = module.run(cfg, options=options, observe=observe)
-    output = _scaling_output(module, result, args.format)
-    if observe:
-        _write_observability(result, args)
-    # Metrics go to stderr so csv/json stdout stays machine-readable.
-    print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
-    return output
-
-
-def _run_datacenter_fig(module, args: argparse.Namespace) -> str:
-    cfg = module.config(patterns=args.patterns)
-    if args.quick:
-        cfg = cfg.quick()
-    options = _executor_options(args)
-    observe = _observe_requested(args)
-    result = module.run(cfg, options=options, observe=observe)
-    output = _datacenter_output(module, result, args.format)
-    if observe:
-        _write_observability(result, args)
-    print(options.metrics.render(module.__name__.split(".")[-1]), file=sys.stderr)
-    return output
-
-
-def _run_table1(args: argparse.Namespace) -> str:
-    return tables.render_table1()
-
-
-def _run_table2(args: argparse.Namespace) -> str:
-    return tables.render_table2(fraction=args.fraction)
-
-
-def _run_regime_map(args: argparse.Namespace) -> str:
-    from repro.analysis.regimes import (
-        crossover_fraction,
-        render_selection_map,
-        selection_map,
+def _request_from_args(name: str, args: argparse.Namespace) -> StudyRequest:
+    """The :class:`StudyRequest` equivalent of one CLI invocation."""
+    return StudyRequest(
+        experiment=name,
+        format=args.format,
+        trials=args.trials,
+        patterns=args.patterns,
+        quick=args.quick,
+        fraction=args.fraction,
+        mtbf_years=args.mtbf_years,
+        sweep=args.sweep,
     )
-    from repro.constants import SCALING_STUDY_FRACTIONS
-    from repro.platform.presets import exascale_system
-    from repro.units import years
-    from repro.workload.synthetic import APP_TYPES
 
-    system = exascale_system()
-    mtbf = years(args.mtbf_years)
-    mapping = selection_map(system, mtbf, SCALING_STUDY_FRACTIONS)
-    lines = [
-        f"Analytic technique-selection map (node MTBF {args.mtbf_years:g} y):",
-        render_selection_map(mapping, SCALING_STUDY_FRACTIONS),
-        "",
-        "ML -> PR crossover per type (fraction of system):",
-    ]
-    for type_name in sorted(APP_TYPES):
-        cross = crossover_fraction(type_name, system, mtbf)
-        label = f"{100 * cross:.2f}%" if cross is not None else "never"
-        lines.append(f"  {type_name}: {label}")
-    return "\n".join(lines)
+
+def _run_figure(name: str, args: argparse.Namespace) -> str:
+    """Run a figure through the shared entrypoint (service-identical)."""
+    options = _executor_options(args)
+    observe = _observe_requested(args)
+    outcome = run_request(
+        _request_from_args(name, args), options=options, observe=observe
+    )
+    if observe and outcome.result is not None:
+        _write_observability(outcome.result, args)
+    # Metrics go to stderr so csv/json stdout stays machine-readable.
+    print(options.metrics.render(name), file=sys.stderr)
+    return outcome.text
+
+
+def _run_entry(name: str, args: argparse.Namespace) -> str:
+    """Run a non-figure artifact (tables, regime map, sweeps)."""
+    return run_request(
+        _request_from_args(name, args), options=_executor_options(args)
+    ).text
 
 
 def _run_validate(args: argparse.Namespace) -> str:
@@ -247,14 +207,15 @@ def _run_timeline(args: argparse.Namespace) -> str:
 
 
 _EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "fig1": lambda a: _run_scaling_fig(fig1, a),
-    "fig2": lambda a: _run_scaling_fig(fig2, a),
-    "fig3": lambda a: _run_scaling_fig(fig3, a),
-    "fig4": lambda a: _run_datacenter_fig(fig4, a),
-    "fig5": lambda a: _run_datacenter_fig(fig5, a),
-    "regime-map": _run_regime_map,
+    "table1": lambda a: _run_entry("table1", a),
+    "table2": lambda a: _run_entry("table2", a),
+    "fig1": lambda a: _run_figure("fig1", a),
+    "fig2": lambda a: _run_figure("fig2", a),
+    "fig3": lambda a: _run_figure("fig3", a),
+    "fig4": lambda a: _run_figure("fig4", a),
+    "fig5": lambda a: _run_figure("fig5", a),
+    "regime-map": lambda a: _run_entry("regime-map", a),
+    "sweep": lambda a: _run_entry("sweep", a),
     "validate": _run_validate,
     "timeline": _run_timeline,
 }
@@ -273,6 +234,133 @@ _ALL_ORDER = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Service verbs
+# ---------------------------------------------------------------------------
+
+
+def _require_target(args: argparse.Namespace, what: str) -> str:
+    """The second positional argument, or a one-line usage error."""
+    if not args.target:
+        raise RequestError(
+            f"'repro {args.experiment}' needs {what} "
+            f"(e.g. 'repro {args.experiment} <{what.split()[-1]}>')"
+        )
+    return args.target
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        db_path=args.db,
+        queue_limit=args.queue_limit,
+        cache_max_mb=args.max_mb,
+        cache_prune_interval_s=args.prune_interval_s,
+        log_requests=args.progress,
+    )
+    service = ReproService(config)
+    service.start()
+    print(
+        f"repro service listening on {service.url} "
+        f"(db {config.db_path}, {config.workers} workers)",
+        flush=True,
+    )
+    service.serve_forever()
+    print("repro service stopped (queue drained and persisted)", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    experiment = _require_target(args, "an experiment name")
+    payload = {
+        "experiment": experiment,
+        "format": args.format,
+        "trials": args.trials,
+        "patterns": args.patterns,
+        "quick": args.quick,
+        "fraction": args.fraction,
+        "mtbf_years": args.mtbf_years,
+        "sweep": args.sweep,
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+    }
+    client = ServiceClient(args.url)
+    record = client.submit(payload)
+    if not args.wait:
+        print(record["id"])
+        return 0
+    print(f"[submitted {record['id']}; waiting]", file=sys.stderr)
+    final = client.wait(record["id"], timeout=args.timeout)
+    if final["state"] != "done":
+        print(
+            f"repro: job {record['id']} ended {final['state']}: "
+            f"{final.get('error') or 'no result'}",
+            file=sys.stderr,
+        )
+        return 1
+    print(client.result(record["id"]))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    job_id = _require_target(args, "a job id")
+    record = ServiceClient(args.url).status(job_id)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    job_id = _require_target(args, "a job id")
+    print(ServiceClient(args.url).result(job_id))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    action = args.target or "stats"
+    cache = ResultCache()
+    if action == "stats":
+        print(cache.stats().render())
+        return 0
+    if action == "prune":
+        if args.max_mb is None:
+            raise RequestError(
+                "'repro cache prune' needs --max-mb N (target size in MiB)"
+            )
+        removed, removed_bytes = cache.prune(int(args.max_mb * 1024 * 1024))
+        print(
+            f"pruned {removed} entries ({removed_bytes / (1024 * 1024):.1f} MiB); "
+            + cache.stats().render()
+        )
+        return 0
+    raise RequestError(
+        f"unknown cache action {action!r} (choose from stats, prune)"
+    )
+
+
+_SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
+    "cache": _cmd_cache,
+}
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests/docs)."""
     parser = argparse.ArgumentParser(
@@ -280,13 +368,30 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Regenerate the tables and figures of Dauwe et al., 'An Analysis "
             "of Resilience Techniques for Exascale Computing Platforms' "
-            "(IPDPSW 2017), and run the analysis utilities."
+            "(IPDPSW 2017), run the analysis utilities, and operate the "
+            "persistent job service (serve/submit/status/result/cache)."
         ),
     )
     parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate ('all' runs everything)",
+        choices=sorted(_EXPERIMENTS) + ["all"] + sorted(_SERVICE_COMMANDS),
+        help=(
+            "which artifact to regenerate ('all' runs everything), or a "
+            "service verb: serve, submit <experiment>, status <job-id>, "
+            "result <job-id>, cache stats|prune"
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "argument of the service verbs: the experiment to submit, the "
+            "job id for status/result, or the cache action (stats|prune)"
+        ),
     )
     parser.add_argument(
         "--trials",
@@ -329,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="statistically coarse but fast run (CI-sized)",
     )
     parser.add_argument(
+        "--sweep",
+        choices=("severity_pmf", "recovery_parallelism", "checkpoint_interval"),
+        default="checkpoint_interval",
+        help="which parameter sweep 'repro sweep' runs",
+    )
+    parser.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
@@ -349,7 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--progress",
         action="store_true",
-        help="report per-cell progress (wall time, trials/s, cache hits) on stderr",
+        help=(
+            "report per-cell progress (wall time, trials/s, cache hits) on "
+            "stderr; for 'serve', log HTTP requests"
+        ),
     )
     parser.add_argument(
         "--trace-out",
@@ -379,6 +493,65 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical either way; see docs/PERFORMANCE.md)"
         ),
     )
+    service = parser.add_argument_group("service options")
+    service.add_argument(
+        "--host", default="127.0.0.1", help="bind address for 'repro serve'"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="API port for 'repro serve' (0 picks an ephemeral port)",
+    )
+    service.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads draining the job queue (0 = accept only)",
+    )
+    service.add_argument(
+        "--db",
+        default="results/service.db",
+        metavar="PATH",
+        help="SQLite job-store path (survives restarts)",
+    )
+    service.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=256,
+        help="queued-job bound; submissions beyond it get HTTP 429",
+    )
+    service.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help="service URL for submit/status/result",
+    )
+    service.add_argument(
+        "--wait",
+        action="store_true",
+        help="with 'submit': poll until the job finishes and print its result",
+    )
+    service.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="with 'submit --wait': polling timeout in seconds",
+    )
+    service.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help=(
+            "cache size target in MiB for 'repro cache prune' and the "
+            "service's periodic pruning"
+        ),
+    )
+    service.add_argument(
+        "--prune-interval-s",
+        type=float,
+        default=300.0,
+        help="seconds between the service's cache-prune checks",
+    )
     return parser
 
 
@@ -394,18 +567,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         # workers); the environment variable covers spawn-started ones.
         execution.FAST_PATH_ENABLED = False
         os.environ["REPRO_FAST_PATH"] = "0"
-    if args.experiment == "all":
-        names = _ALL_ORDER
-        # Utilities get sensible defaults; figures honour --quick.
-        args.trials = min(args.trials, 30)
-    else:
-        names = [args.experiment]
-    for name in names:
-        started = time.time()
-        output = _EXPERIMENTS[name](args)
-        print(output)
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
-    return 0
+    try:
+        if args.experiment in _SERVICE_COMMANDS:
+            return _SERVICE_COMMANDS[args.experiment](args)
+        if args.experiment == "all":
+            names = _ALL_ORDER
+            # Utilities get sensible defaults; figures honour --quick.
+            args.trials = min(args.trials, 30)
+        else:
+            names = [args.experiment]
+        for name in names:
+            started = time.time()
+            output = _EXPERIMENTS[name](args)
+            print(output)
+            print(
+                f"[{name} completed in {time.time() - started:.1f}s]\n",
+                file=sys.stderr,
+            )
+        return 0
+    except ValueError as exc:
+        # RequestError, ValidationError, bad parameter combinations:
+        # one line on stderr, non-zero exit, no traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro status ... | head`) closed early;
+        # exit quietly like any well-behaved filter.
+        sys.stderr.close()
+        return 0
+    except OSError as exc:
+        # Unreachable service, write failures, wait timeouts.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        from repro.service.client import ServiceError
+        from repro.service.store import QueueFull
+
+        if isinstance(exc, (ServiceError, QueueFull)):
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

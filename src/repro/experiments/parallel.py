@@ -210,6 +210,79 @@ class ResultCache:
                     pass
         return removed
 
+    def stats(self) -> "CacheStats":
+        """Entry count and total size of the cache directory."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.pkl"):
+                try:
+                    total += entry.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return CacheStats(
+            directory=self.directory, entries=entries, total_bytes=total
+        )
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict oldest-access-time-first until the cache fits in
+        *max_bytes*; returns ``(entries_removed, bytes_removed)``.
+
+        Access time (``st_atime``) orders eviction so entries that
+        recent runs actually hit survive; on filesystems mounted
+        ``noatime`` it degrades to modification order, which is still a
+        sane LRU approximation.  Races with concurrent runs are benign:
+        a vanished file is simply skipped.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.pkl"):
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_atime, stat.st_size, entry))
+                total += stat.st_size
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+        removed = 0
+        removed_bytes = 0
+        for _, size, entry in entries:
+            if total <= max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            removed_bytes += size
+        return removed, removed_bytes
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the on-disk result cache (``repro cache stats``)."""
+
+    directory: Path
+    entries: int
+    total_bytes: int
+
+    @property
+    def total_mb(self) -> float:
+        """Total size in mebibytes."""
+        return self.total_bytes / (1024 * 1024)
+
+    def render(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.directory}: {self.entries} entries, "
+            f"{self.total_mb:.1f} MiB"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Metrics and progress
@@ -454,3 +527,20 @@ class TrialExecutor:
                     obs_counters.merge(counter_delta)
         finally:
             _WORKER_TASKS = None
+
+
+def run_cells(
+    tasks: Sequence[CellTask],
+    options: Optional[ExecutorOptions] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Run *tasks* through a :class:`TrialExecutor` and return their
+    values in submission order.
+
+    This is the one executor entrypoint shared by every caller — the
+    figure/sweep drivers, the CLI, and the job service — so anything
+    that can phrase its work as a list of :class:`CellTask`\\ s gets
+    parallelism, caching, and metrics without touching ``__main__``
+    plumbing.  Results are bit-identical for any ``options.jobs``.
+    """
+    return TrialExecutor(options, cache=cache).run(tasks)

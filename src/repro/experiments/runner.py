@@ -30,7 +30,7 @@ from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
 from repro.experiments.parallel import (
     CellTask,
     ExecutorOptions,
-    TrialExecutor,
+    run_cells,
     technique_fingerprint,
 )
 from repro.experiments.stats import SummaryStats
@@ -188,8 +188,7 @@ def run_scaling_study(
             )
             labels.append((fraction, technique.name))
 
-    executor = TrialExecutor(options)
-    outcomes = executor.run(tasks)
+    outcomes = run_cells(tasks, options)
 
     result = ScalingStudyResult(config=config)
     merged_metrics = MetricsSink() if observe else None
@@ -394,8 +393,7 @@ def run_datacenter_study(
                 )
                 meta.append((rm_name, sel_name, bias))
 
-    executor = TrialExecutor(options)
-    outcomes = executor.run(tasks)
+    outcomes = run_cells(tasks, options)
 
     merged_metrics = MetricsSink() if observe else None
     if observe:

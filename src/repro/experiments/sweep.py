@@ -14,7 +14,7 @@ from repro.core.single_app import SingleAppConfig, run_trials
 from repro.experiments.parallel import (
     CellTask,
     ExecutorOptions,
-    TrialExecutor,
+    run_cells,
     technique_fingerprint,
 )
 from repro.experiments.stats import SummaryStats
@@ -65,7 +65,7 @@ def _sweep_rows(
         )
         for label, app, technique, config in labelled_cells
     ]
-    efficiencies = TrialExecutor(options).run(tasks)
+    efficiencies = run_cells(tasks, options)
     return [
         SweepRow(label=label, stats=SummaryStats.from_samples(effs))
         for (label, _, _, _), effs in zip(labelled_cells, efficiencies)

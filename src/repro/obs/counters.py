@@ -86,3 +86,15 @@ def merge(delta: Dict[str, int]) -> None:
     """Fold worker-side counter increments into this process."""
     for key, value in delta.items():
         COUNTERS.counts[key] = COUNTERS.counts.get(key, 0) + value
+
+
+def increment(key: str, n: int = 1) -> None:
+    """Bump a named process-global counter by *n*.
+
+    Layers without a domain event of their own (e.g. the job service's
+    accepted/completed/failed tallies) count through here so every
+    process-wide number lives in the one counter store that
+    :func:`snapshot`, :func:`delta_since`, and :func:`merge` already
+    make fork-safe.
+    """
+    COUNTERS.counts[key] = COUNTERS.counts.get(key, 0) + n

@@ -1,0 +1,42 @@
+"""repro.service — a persistent simulation service.
+
+Turns the one-shot CLI into a long-running daemon: an HTTP JSON API
+accepts figure/table/sweep/selection jobs into a durable SQLite-backed
+queue, a worker pool drains them through the shared experiment
+entrypoint (:mod:`repro.experiments.entry`), and a thin stdlib client
+SDK (plus ``repro submit``/``status``/``result`` CLI verbs) talks to
+it.  Results are byte-identical to the equivalent direct CLI run —
+same seeds, same cache, same renderers.
+
+Layers (each its own module, all stdlib-only):
+
+- :mod:`repro.service.store` — the durable job store: states
+  ``queued -> running -> done/failed/cancelled``, atomic claims, and
+  crash-recovery lease timeouts.
+- :mod:`repro.service.jobs` — the job specification (what to run, at
+  which executor settings) and its validation.
+- :mod:`repro.service.worker` — the scheduler + worker pool that
+  leases jobs and executes them.
+- :mod:`repro.service.api` — the ``http.server``-based JSON API.
+- :mod:`repro.service.app` — composition root: store + workers +
+  HTTP server, graceful shutdown, cache pruning.
+- :mod:`repro.service.client` — the urllib-based client SDK.
+"""
+
+from repro.service.app import ReproService, ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobSpec, ValidationError
+from repro.service.store import JobRecord, JobState, JobStore, QueueFull
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "QueueFull",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ValidationError",
+]

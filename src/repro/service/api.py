@@ -1,0 +1,210 @@
+"""The HTTP JSON API (stdlib ``http.server``, threading).
+
+Routes (all JSON unless noted):
+
+- ``POST /v1/jobs`` — submit a job (a flat :class:`JobSpec` payload);
+  201 with the job status, 400 on a malformed spec, 429 when the
+  queue is at its depth bound.
+- ``GET /v1/jobs`` — recent jobs (``?state=`` filter, ``?limit=``).
+- ``GET /v1/jobs/{id}`` — job status.
+- ``GET /v1/jobs/{id}/result`` — the rendered artifact, as raw text
+  (``application/json`` when the job's format was ``json``); 409
+  while the job is still active or was cancelled, 500 when it failed.
+- ``DELETE /v1/jobs/{id}`` — cancel.
+- ``GET /v1/metrics`` — service counters (queue depth, job counts,
+  cache hit rate, :mod:`repro.obs` counter snapshot).
+- ``GET /v1/healthz`` — liveness.
+
+The handler is deliberately thin: every decision lives in
+:class:`repro.service.app.ReproService`, which the server object
+carries; request threads only parse, dispatch, and serialize.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.jobs import ValidationError
+from repro.service.store import JobState, QueueFull, UnknownJob
+
+#: Largest request body accepted (a job spec is a few hundred bytes).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that carries the owning service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: Any) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request to the owning :class:`ReproService`."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Quiet by default; the service decides whether to log."""
+        self.server.service.log_http(self.address_string(), format % args)
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        self._send_bytes(status, body, "application/json")
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValidationError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}")
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """Dispatch GET routes."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        service = self.server.service
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, service.health_payload())
+            return
+        if parts == ["v1", "metrics"]:
+            self._send_json(200, service.metrics_payload())
+            return
+        if parts == ["v1", "jobs"]:
+            query = parse_qs(url.query)
+            state = query.get("state", [None])[0]
+            if state is not None and state not in JobState.ALL:
+                self._send_json(400, {"error": f"unknown state {state!r}"})
+                return
+            try:
+                limit = int(query.get("limit", ["100"])[0])
+            except ValueError:
+                self._send_json(400, {"error": "limit must be an integer"})
+                return
+            records = service.store.list_jobs(state=state, limit=limit)
+            self._send_json(
+                200, {"jobs": [r.to_payload() for r in records]}
+            )
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._with_job(parts[2], self._send_status)
+            return
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            self._with_job(parts[2], self._send_result)
+            return
+        self._send_json(404, {"error": f"no route for {url.path}"})
+
+    def do_POST(self) -> None:
+        """Dispatch POST routes."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["v1", "jobs"]:
+            self._send_json(404, {"error": f"no route for {url.path}"})
+            return
+        service = self.server.service
+        try:
+            payload = self._read_json_body()
+            record = service.submit(payload)
+        except ValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            self.send_response(429)
+            self.send_header("Retry-After", "1")
+            body = json.dumps({"error": str(exc)}, sort_keys=True).encode() + b"\n"
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._send_json(201, record.to_payload())
+
+    def do_DELETE(self) -> None:
+        """Dispatch DELETE routes (job cancellation)."""
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._with_job(parts[2], self._cancel_job)
+            return
+        self._send_json(404, {"error": f"no route for {self.path}"})
+
+    # -- job helpers ---------------------------------------------------
+
+    def _with_job(self, job_id: str, action) -> None:
+        try:
+            action(job_id)
+        except UnknownJob:
+            self._send_json(404, {"error": f"no job {job_id!r}"})
+
+    def _send_status(self, job_id: str) -> None:
+        record = self.server.service.store.get(job_id)
+        self._send_json(200, record.to_payload())
+
+    def _cancel_job(self, job_id: str) -> None:
+        record = self.server.service.cancel(job_id)
+        self._send_json(200, record.to_payload())
+
+    def _send_result(self, job_id: str) -> None:
+        record = self.server.service.store.get(job_id)
+        if record.state == JobState.DONE:
+            content_type = (
+                "application/json"
+                if record.spec.get("format") == "json"
+                else "text/plain; charset=utf-8"
+            )
+            self._send_bytes(
+                200, (record.result or "").encode("utf-8"), content_type
+            )
+            return
+        if record.state == JobState.FAILED:
+            self._send_json(
+                500, {"error": record.error or "job failed", "state": record.state}
+            )
+            return
+        self._send_json(
+            409,
+            {
+                "error": f"job is {record.state}, no result available",
+                "state": record.state,
+            },
+        )
+
+
+def make_server(
+    host: str, port: int, service: Any
+) -> ServiceHTTPServer:
+    """Bind the API server (``port=0`` picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def bound_port(server: Optional[ServiceHTTPServer]) -> Optional[int]:
+    """The actually-bound port of *server* (None when not started)."""
+    if server is None:
+        return None
+    return server.server_address[1]

@@ -1,0 +1,254 @@
+"""Composition root: store + worker pool + HTTP server.
+
+:class:`ReproService` wires the durable :class:`JobStore`, the
+:class:`WorkerPool`, and the JSON API into one process with a graceful
+lifecycle:
+
+- :meth:`ReproService.start` opens the store, starts the workers, and
+  binds the API (``port=0`` picks an ephemeral port — tests and the CI
+  smoke job use this);
+- :meth:`ReproService.shutdown` stops accepting work, drains the jobs
+  already running, requeues claimed-but-unstarted jobs, and closes the
+  store — no accepted job is ever lost;
+- :meth:`ReproService.serve_forever` additionally installs SIGTERM /
+  SIGINT handlers that trigger that same graceful shutdown (what
+  ``repro serve`` runs).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.experiments.parallel import ExecutorMetrics, ResultCache
+from repro.obs import counters as obs_counters
+from repro.service import api as service_api
+from repro.service.jobs import JobSpec
+from repro.service.store import JobRecord, JobStore
+from repro.service.worker import WorkerPool
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service process (all have sane defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 1
+    #: SQLite path; ``":memory:"`` gives an ephemeral store.
+    db_path: str = "results/service.db"
+    #: Bound on *queued* jobs; beyond it submissions get 429.
+    queue_limit: int = 256
+    #: Lease duration; a crashed worker's job is re-claimable this
+    #: long after its last heartbeat.
+    lease_s: float = 300.0
+    #: Leases a job may burn before it is marked failed.
+    max_attempts: int = 3
+    #: Result-cache directory (None = the executor's default,
+    #: ``results/.cache/`` or ``REPRO_CACHE_DIR``).
+    cache_dir: Optional[str] = None
+    #: Prune the result cache down to this many MiB on an interval
+    #: (None disables pruning).
+    cache_max_mb: Optional[float] = None
+    #: Seconds between cache-prune checks.
+    cache_prune_interval_s: float = 300.0
+    #: Scheduler poll interval (small for tests, default is fine).
+    poll_interval_s: float = 0.05
+    #: Log HTTP requests to stderr.
+    log_requests: bool = False
+
+
+class ReproService:
+    """A running simulation service (see module docstring)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ExecutorMetrics()
+        self.store = JobStore(
+            self.config.db_path,
+            queue_limit=self.config.queue_limit,
+            max_attempts=self.config.max_attempts,
+        )
+        self.cache = ResultCache(directory=self.config.cache_dir, enabled=True)
+        prune_max_bytes = (
+            None
+            if self.config.cache_max_mb is None
+            else int(self.config.cache_max_mb * 1024 * 1024)
+        )
+        self.pool = WorkerPool(
+            self.store,
+            workers=self.config.workers,
+            lease_s=self.config.lease_s,
+            poll_interval_s=self.config.poll_interval_s,
+            metrics=self.metrics,
+            cache=self.cache,
+            prune_max_bytes=prune_max_bytes,
+            prune_interval_s=self.config.cache_prune_interval_s,
+        )
+        self._server: Optional[service_api.ServiceHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._started_monotonic: Optional[float] = None
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start workers and bind the HTTP API (non-blocking)."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._started_monotonic = time.monotonic()
+        self.pool.start()
+        self._server = service_api.make_server(
+            self.config.host, self.config.port, self
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+
+    def shutdown(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful stop: close the listener, drain running jobs,
+        requeue unstarted claims, close the store.  Idempotent."""
+        with self._shutdown_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=timeout)
+        self.pool.shutdown(timeout=timeout)
+        self.store.close()
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Start (if needed) and block until SIGTERM/SIGINT.
+
+        The signal handlers run :meth:`shutdown` — running cells are
+        drained, claimed-but-unstarted jobs go back to the queue, and
+        the queue itself is durable in SQLite, so a ``kill -TERM``
+        never loses an accepted job.
+        """
+        if self._server is None:
+            self.start()
+        stop = threading.Event()
+        if install_signal_handlers:
+
+            def _handle(signum: int, frame: Any) -> None:
+                stop.set()
+
+            signal.signal(signal.SIGTERM, _handle)
+            signal.signal(signal.SIGINT, _handle)
+        try:
+            while not stop.wait(0.2):
+                pass
+        finally:
+            self.shutdown()
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound API port (resolves ``port=0`` to the real one)."""
+        return service_api.bound_port(self._server)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running API."""
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Operations used by the API handler
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: Any) -> JobRecord:
+        """Validate *payload* and enqueue it; returns the new record.
+
+        Raises :class:`repro.service.jobs.ValidationError` (HTTP 400)
+        or :class:`repro.service.store.QueueFull` (HTTP 429).
+        """
+        spec = JobSpec.from_payload(payload)
+        job_id = self.store.submit(spec.to_payload())
+        obs_counters.increment("service.jobs_accepted")
+        return self.store.get(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel *job_id* (see :meth:`JobStore.cancel`)."""
+        record = self.store.cancel(job_id)
+        if record.state == "cancelled":
+            obs_counters.increment("service.jobs_cancelled")
+        return record
+
+    def health_payload(self) -> Dict[str, Any]:
+        """``GET /v1/healthz`` body."""
+        return {
+            "status": "ok",
+            "version": _package_version(),
+            "workers": self.config.workers,
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` body: queue depth, job counts, cache
+        hit rate, and the full :mod:`repro.obs` counter snapshot."""
+        counts = self.store.counts()
+        counters = obs_counters.snapshot()
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "queue": {
+                "depth": counts.get("queued", 0),
+                "limit": self.config.queue_limit,
+                "running": counts.get("running", 0),
+            },
+            "jobs": {
+                "by_state": counts,
+                "accepted": counters.get("service.jobs_accepted", 0),
+                "completed": counters.get("service.jobs_completed", 0),
+                "failed": counters.get("service.jobs_failed", 0),
+                "cancelled": counters.get("service.jobs_cancelled", 0),
+            },
+            "cache": {
+                "hits": self.metrics.cache_hits,
+                "computed": self.metrics.cells_computed,
+                "hit_rate": self.metrics.hit_rate,
+            },
+            "executor": {
+                "cells_done": self.metrics.cells_done,
+                "trials_done": self.metrics.trials_done,
+                "trials_per_sec": self.metrics.trials_per_sec,
+                "wall_s": self.metrics.wall_s,
+            },
+            "counters": counters,
+            "uptime_s": uptime,
+        }
+
+    def log_http(self, client: str, message: str) -> None:
+        """HTTP request log hook (stderr when enabled)."""
+        if self.config.log_requests:
+            print(f"[http {client}] {message}", file=sys.stderr)
+
+
+def _package_version() -> str:
+    """The installed ``repro`` version string."""
+    from repro import __version__
+
+    return __version__
+
+
+def default_db_path() -> Path:
+    """The default on-disk store location, creating its directory."""
+    path = Path(ServiceConfig.db_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,153 @@
+"""Client SDK for the repro service (stdlib ``urllib`` only).
+
+Example::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit(experiment="fig1", quick=True, format="json")
+    record = client.wait(job["id"], timeout=600)
+    print(client.result(job["id"]))
+
+Every HTTP error becomes a :class:`ServiceError` carrying the status
+code and the server's one-line message, so callers never parse error
+bodies themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure: ``status`` plus the server's message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one service instance at *base_url*."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> tuple:
+        """One round-trip; returns ``(status, content_type, body_bytes)``."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return (
+                    resp.status,
+                    resp.headers.get("Content-Type", ""),
+                    resp.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        _, _, body = self._request(method, path, payload)
+        return json.loads(body)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/healthz``."""
+        return self._json("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics``."""
+        return self._json("GET", "/v1/metrics")
+
+    def submit(
+        self, payload: Optional[Dict[str, Any]] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """``POST /v1/jobs``: submit a flat job spec.
+
+        Pass the spec as a dict or as keyword arguments
+        (``submit(experiment="fig1", quick=True)``); returns the job
+        status payload (its ``id`` names the job from now on).
+        """
+        spec = dict(payload or {})
+        spec.update(fields)
+        return self._json("POST", "/v1/jobs", spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}``."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs`` (optionally filtered by state)."""
+        query = f"?limit={limit}" + (f"&state={state}" if state else "")
+        return self._json("GET", f"/v1/jobs{query}")
+
+    def result(self, job_id: str) -> str:
+        """``GET /v1/jobs/{id}/result``: the artifact text, verbatim."""
+        _, _, body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return body.decode("utf-8")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/{id}``."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final status payload (check ``state`` — a failed
+        or cancelled job is a normal return, not an exception).  Raises
+        :class:`TimeoutError` when *timeout* elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_s)

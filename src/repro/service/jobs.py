@@ -1,0 +1,87 @@
+"""Job specifications: what one service job runs, and how.
+
+A :class:`JobSpec` is a validated :class:`repro.experiments.entry
+.StudyRequest` plus the executor settings the worker should use
+(worker-process count and cache policy).  The wire format is a flat
+JSON object — the request fields at top level next to ``jobs`` /
+``cache`` — and :meth:`JobSpec.from_payload` is the single strict
+parser used by the HTTP API, the CLI's ``repro submit``, and the
+store's rehydration path, so a spec that was accepted always
+re-parses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.experiments.entry import RequestError, StudyOutcome, StudyRequest, run_request
+from repro.experiments.parallel import ExecutorMetrics, ExecutorOptions
+
+
+class ValidationError(ValueError):
+    """A malformed job payload (HTTP 400); one human-readable line."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job: the artifact request plus executor settings.
+
+    ``jobs`` is the per-job worker-process fan-out (forwarded to
+    :class:`ExecutorOptions`; results are bit-identical for any
+    value), ``cache`` enables the shared on-disk result cache (on by
+    default, so re-submitting the same request is a cache hit).
+    """
+
+    request: StudyRequest
+    jobs: int = 1
+    cache: bool = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Flat JSON-safe dict (inverse of :meth:`from_payload`)."""
+        payload = self.request.to_payload()
+        payload["jobs"] = self.jobs
+        payload["cache"] = self.cache
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Parse and validate a wire payload; raises
+        :class:`ValidationError` with a one-line message on any
+        unknown field, wrong type, or out-of-range value."""
+        if not isinstance(payload, dict):
+            raise ValidationError("job payload must be a JSON object")
+        data = dict(payload)
+        jobs = data.pop("jobs", 1)
+        cache = data.pop("cache", True)
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+            raise ValidationError(f"field 'jobs' must be an integer >= 1, got {jobs!r}")
+        if not isinstance(cache, bool):
+            raise ValidationError(f"field 'cache' must be a boolean, got {cache!r}")
+        try:
+            request = StudyRequest.from_payload(data)
+        except RequestError as exc:
+            raise ValidationError(str(exc)) from exc
+        return cls(request=request, jobs=jobs, cache=cache)
+
+    def execute(
+        self,
+        metrics: Optional[ExecutorMetrics] = None,
+        cache_dir: Optional[Any] = None,
+    ) -> StudyOutcome:
+        """Run this job through the shared experiment entrypoint.
+
+        *metrics* (usually the service-wide sink) accumulates executor
+        counters across jobs; *cache_dir* overrides the result-cache
+        location (the service forwards its configured directory).
+        Execution is a pure function of the spec, so the rendered text
+        is byte-identical to the direct CLI invocation of the same
+        request.
+        """
+        options = ExecutorOptions(
+            jobs=self.jobs,
+            cache=self.cache,
+            cache_dir=cache_dir,
+            metrics=metrics,
+        )
+        return run_request(self.request, options=options)

@@ -1,0 +1,446 @@
+"""Durable job store: SQLite-backed queue with leases.
+
+One table holds every job the service has ever accepted, moving
+through ``queued -> running -> done/failed/cancelled``.  Durability
+and crash recovery come from three properties:
+
+- **WAL journaling** — a killed process never corrupts the store, and
+  readers (the HTTP API) don't block the writer (the worker pool).
+- **Atomic claims** — :meth:`JobStore.claim` selects and marks the
+  next runnable job inside one ``BEGIN IMMEDIATE`` transaction, so two
+  workers can never run the same job.
+- **Lease timeouts** — a claim holds a lease; a worker that dies
+  mid-job simply stops renewing, and once the lease expires the job is
+  claimable again (``attempts`` counts the re-leases, and a job that
+  burns :attr:`JobStore.max_attempts` leases is marked failed rather
+  than looping forever).
+
+All methods are thread-safe: one connection guarded by a lock keeps
+the store usable from the HTTP threads, the scheduler, and the workers
+of a single service process, while WAL keeps concurrent *processes*
+(e.g. an operator's ``sqlite3`` shell) safe too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+
+class QueueFull(RuntimeError):
+    """Submission rejected: the queue is at its depth bound (the HTTP
+    API maps this to ``429 Too Many Requests``)."""
+
+
+class UnknownJob(KeyError):
+    """No job with the requested id exists."""
+
+
+class JobState:
+    """The five job states (plain strings, stored verbatim)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job can still leave.
+    ACTIVE = (QUEUED, RUNNING)
+    #: States a job never leaves.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the store, as plain data."""
+
+    id: str
+    spec: Dict[str, Any]
+    state: str
+    created_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    attempts: int
+    worker: Optional[str]
+    lease_expires_at: Optional[float]
+    cancel_requested: bool
+    result: Optional[str]
+    error: Optional[str]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe status dict (what ``GET /v1/jobs/{id}`` returns;
+        the result body itself is served by the ``/result`` route)."""
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "state": self.state,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+        }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    created_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    worker TEXT,
+    lease_expires_at REAL,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    result TEXT,
+    error TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state_created
+    ON jobs (state, created_at);
+"""
+
+
+class JobStore:
+    """The durable queue (see module docstring for the semantics).
+
+    *clock* is injectable for tests (lease expiry without sleeping).
+    ``queue_limit`` bounds the number of *queued* jobs — running and
+    finished jobs don't count against it — and ``max_attempts`` bounds
+    how many leases a job may burn before it is marked failed.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike = ":memory:",
+        *,
+        queue_limit: int = 256,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.path = str(path)
+        self.queue_limit = queue_limit
+        self.max_attempts = max_attempts
+        self.clock = clock
+        self._lock = threading.RLock()
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # Submission / inspection
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
+        """Enqueue *spec*; returns the new job id.
+
+        Raises :class:`QueueFull` when ``queued`` jobs are already at
+        the depth bound (backpressure, not data loss: nothing is
+        partially written).
+        """
+        job_id = job_id or uuid.uuid4().hex
+        payload = json.dumps(spec, sort_keys=True)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                (depth,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE state = ?",
+                    (JobState.QUEUED,),
+                ).fetchone()
+                if depth >= self.queue_limit:
+                    raise QueueFull(
+                        f"queue is full ({depth}/{self.queue_limit} jobs queued)"
+                    )
+                self._conn.execute(
+                    "INSERT INTO jobs (id, spec, state, created_at)"
+                    " VALUES (?, ?, ?, ?)",
+                    (job_id, payload, JobState.QUEUED, self.clock()),
+                )
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+        return job_id
+
+    def get(self, job_id: str) -> JobRecord:
+        """The job with *job_id*; raises :class:`UnknownJob` if absent."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJob(job_id)
+        return self._record(row)
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> List[JobRecord]:
+        """Most-recent-first listing, optionally filtered by state."""
+        query = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY created_at DESC, rowid DESC LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(query, params + (limit,)).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Job count per state (zero-filled for absent states)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {state: 0 for state in JobState.ALL}
+        for row in rows:
+            out[row["state"]] = row["n"]
+        return out
+
+    def queue_depth(self) -> int:
+        """Number of jobs currently waiting to be claimed."""
+        with self._lock:
+            (depth,) = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = ?",
+                (JobState.QUEUED,),
+            ).fetchone()
+        return depth
+
+    # ------------------------------------------------------------------
+    # Claiming and completion (the worker protocol)
+    # ------------------------------------------------------------------
+
+    def claim(self, worker: str, lease_s: float) -> Optional[JobRecord]:
+        """Atomically lease the next runnable job to *worker*.
+
+        Runnable means: an expired-lease ``running`` job (crash
+        recovery — oldest first), else the oldest ``queued`` job.  An
+        expired job that already burned ``max_attempts`` leases is
+        marked failed instead of being handed out again.  Returns the
+        claimed record, or None when nothing is runnable.
+        """
+        now = self.clock()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                # Retire jobs whose leases expired too many times.
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, worker = NULL,"
+                    " lease_expires_at = NULL,"
+                    " error = 'lease expired after ' || attempts || ' attempts'"
+                    " WHERE state = ? AND lease_expires_at < ? AND attempts >= ?",
+                    (
+                        JobState.FAILED,
+                        now,
+                        JobState.RUNNING,
+                        now,
+                        self.max_attempts,
+                    ),
+                )
+                row = self._conn.execute(
+                    "SELECT id FROM jobs"
+                    " WHERE (state = ? AND lease_expires_at < ?) OR state = ?"
+                    " ORDER BY state != ?, created_at, rowid LIMIT 1",
+                    (JobState.RUNNING, now, JobState.QUEUED, JobState.RUNNING),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return None
+                job_id = row["id"]
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, worker = ?, attempts = attempts + 1,"
+                    " started_at = COALESCE(started_at, ?), lease_expires_at = ?"
+                    " WHERE id = ?",
+                    (JobState.RUNNING, worker, now, now + lease_s, job_id),
+                )
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+            return self.get(job_id)
+
+    def renew(self, job_id: str, worker: str, lease_s: float) -> bool:
+        """Extend *worker*'s lease on a running job (heartbeat).
+
+        Returns False when the job is no longer leased to *worker*
+        (lease stolen after expiry, job cancelled, ...), which tells
+        the worker its result will be discarded.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET lease_expires_at = ?"
+                " WHERE id = ? AND state = ? AND worker = ?",
+                (self.clock() + lease_s, job_id, JobState.RUNNING, worker),
+            )
+        return cursor.rowcount == 1
+
+    def complete(self, job_id: str, worker: str, result: str) -> bool:
+        """Record a successful result from *worker*.
+
+        Only the current lease holder may complete a job (a worker
+        whose lease was reassigned after a stall must not clobber the
+        re-run's result).  A completion racing a cancellation request
+        lands as ``cancelled`` with the result attached.  Returns True
+        when this call finalized the job.
+        """
+        now = self.clock()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT cancel_requested FROM jobs"
+                    " WHERE id = ? AND state = ? AND worker = ?",
+                    (job_id, JobState.RUNNING, worker),
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("COMMIT")
+                    return False
+                state = (
+                    JobState.CANCELLED
+                    if row["cancel_requested"]
+                    else JobState.DONE
+                )
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, result = ?, finished_at = ?,"
+                    " lease_expires_at = NULL WHERE id = ?",
+                    (state, result, now, job_id),
+                )
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+        return True
+
+    def fail(self, job_id: str, worker: str, error: str) -> bool:
+        """Record a failed execution from the current lease holder."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
+                " lease_expires_at = NULL"
+                " WHERE id = ? AND state = ? AND worker = ?",
+                (
+                    JobState.FAILED,
+                    error,
+                    self.clock(),
+                    job_id,
+                    JobState.RUNNING,
+                    worker,
+                ),
+            )
+        return cursor.rowcount == 1
+
+    def release(self, job_id: str, worker: str) -> bool:
+        """Return a claimed-but-unstarted job to the queue (shutdown
+        path); the attempt is refunded so a drain/restart cycle never
+        pushes a job toward its attempts bound."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, worker = NULL,"
+                " lease_expires_at = NULL, attempts = MAX(attempts - 1, 0)"
+                " WHERE id = ? AND state = ? AND worker = ?",
+                (JobState.QUEUED, job_id, JobState.RUNNING, worker),
+            )
+        return cursor.rowcount == 1
+
+    def reassign(self, job_id: str, old_worker: str, new_worker: str) -> bool:
+        """Transfer a running job's lease between worker names (the
+        scheduler claims under its own name, then hands the lease to
+        the executing worker so completion authority follows the
+        thread doing the work)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET worker = ?"
+                " WHERE id = ? AND state = ? AND worker = ?",
+                (new_worker, job_id, JobState.RUNNING, old_worker),
+            )
+        return cursor.rowcount == 1
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs flip to ``cancelled`` immediately,
+        running jobs get ``cancel_requested`` set (the worker honours
+        it at its next checkpoint), terminal jobs are left untouched.
+        Returns the record after the transition."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?,"
+                    " cancel_requested = 1, lease_expires_at = NULL"
+                    " WHERE id = ? AND state = ?",
+                    (JobState.CANCELLED, self.clock(), job_id, JobState.QUEUED),
+                )
+                self._conn.execute(
+                    "UPDATE jobs SET cancel_requested = 1"
+                    " WHERE id = ? AND state = ?",
+                    (job_id, JobState.RUNNING),
+                )
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+        return self.get(job_id)
+
+    def result_text(self, job_id: str) -> Optional[str]:
+        """The stored result body (None unless the job finished with
+        one)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownJob(job_id)
+        return row["result"]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            spec=json.loads(row["spec"]),
+            state=row["state"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=row["attempts"],
+            worker=row["worker"],
+            lease_expires_at=row["lease_expires_at"],
+            cancel_requested=bool(row["cancel_requested"]),
+            result=row["result"],
+            error=row["error"],
+        )

@@ -63,6 +63,55 @@ class TestScalingExport:
         assert len(payload["cells"]) == 10
 
 
+class TestScalingRoundTrip:
+    """Exact value round-trips through the serialized formats,
+    including the ``infeasible`` and ``std_*`` edge fields."""
+
+    def test_csv_roundtrips_every_field_exactly(self, scaling_result):
+        rows = scaling_rows(scaling_result)
+        parsed = list(csv.DictReader(io.StringIO(scaling_to_csv(scaling_result))))
+        assert len(parsed) == len(rows)
+        for original, row in zip(rows, parsed):
+            assert row["app_type"] == original["app_type"]
+            assert row["technique"] == original["technique"]
+            # repr-based float serialization round-trips bit-exactly
+            assert float(row["fraction"]) == original["fraction"]
+            assert float(row["mean_efficiency"]) == original["mean_efficiency"]
+            assert float(row["std_efficiency"]) == original["std_efficiency"]
+            assert int(row["trials"]) == original["trials"]
+            assert (row["infeasible"] == "True") == original["infeasible"]
+
+    def test_json_cells_equal_rows_exactly(self, scaling_result):
+        payload = json.loads(scaling_to_json(scaling_result))
+        assert payload["cells"] == scaling_rows(scaling_result)
+
+    def test_infeasible_cells_have_empty_stats(self, scaling_result):
+        infeasible = [r for r in scaling_rows(scaling_result) if r["infeasible"]]
+        assert infeasible
+        for row in infeasible:
+            assert row["mean_efficiency"] == 0.0
+            assert row["std_efficiency"] == 0.0
+            assert row["trials"] == 0
+
+    def test_single_trial_study_exports_zero_std(self):
+        """n == 1 is the std edge case: SummaryStats defines ddof=1 std
+        as 0.0 there, and that must survive both export formats."""
+        config = ScalingStudyConfig(
+            fractions=(0.5,), trials=1, system_nodes=1200
+        )
+        result = run_scaling_study(config)
+        rows = scaling_rows(result)
+        feasible = [r for r in rows if not r["infeasible"]]
+        assert feasible
+        for row in feasible:
+            assert row["trials"] == 1
+            assert row["std_efficiency"] == 0.0
+        parsed = list(csv.DictReader(io.StringIO(scaling_to_csv(result))))
+        assert all(float(r["std_efficiency"]) == 0.0 for r in parsed)
+        payload = json.loads(scaling_to_json(result))
+        assert all(c["std_efficiency"] == 0.0 for c in payload["cells"])
+
+
 class TestDatacenterExport:
     def test_rows_complete(self, datacenter_result):
         rows = datacenter_rows(datacenter_result)
@@ -79,3 +128,27 @@ class TestDatacenterExport:
         payload = json.loads(datacenter_to_json(datacenter_result))
         assert payload["config"]["patterns"] == 2
         assert len(payload["cells"]) == 4
+
+
+class TestDatacenterRoundTrip:
+    def test_csv_roundtrips_every_field_exactly(self, datacenter_result):
+        rows = datacenter_rows(datacenter_result)
+        parsed = list(
+            csv.DictReader(io.StringIO(datacenter_to_csv(datacenter_result)))
+        )
+        assert len(parsed) == len(rows)
+        for original, row in zip(rows, parsed):
+            assert row["bias"] == original["bias"]
+            assert row["rm"] == original["rm"]
+            assert row["selector"] == original["selector"]
+            assert float(row["mean_dropped_pct"]) == original["mean_dropped_pct"]
+            assert float(row["std_dropped_pct"]) == original["std_dropped_pct"]
+            assert int(row["patterns"]) == original["patterns"]
+
+    def test_json_cells_equal_rows_exactly(self, datacenter_result):
+        payload = json.loads(datacenter_to_json(datacenter_result))
+        assert payload["cells"] == datacenter_rows(datacenter_result)
+
+    def test_std_nonnegative(self, datacenter_result):
+        for row in datacenter_rows(datacenter_result):
+            assert row["std_dropped_pct"] >= 0.0

@@ -1,0 +1,205 @@
+"""End-to-end HTTP API tests against a real in-process service.
+
+Includes the acceptance-criterion determinism test: the JSON artifact
+fetched over HTTP is byte-identical to the direct entrypoint output
+for the same request.
+"""
+
+import pytest
+
+from repro.experiments.entry import StudyRequest, run_request
+from repro.experiments.parallel import ExecutorOptions
+from repro.service.app import ReproService, ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+
+
+def make_service(**overrides):
+    """An ephemeral-port, in-memory service for one test."""
+    defaults = dict(
+        host="127.0.0.1",
+        port=0,
+        workers=1,
+        db_path=":memory:",
+        poll_interval_s=0.01,
+        lease_s=60.0,
+    )
+    defaults.update(overrides)
+    return ReproService(ServiceConfig(**defaults))
+
+
+@pytest.fixture
+def service():
+    svc = make_service()
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=30)
+
+
+@pytest.fixture
+def paused_service():
+    """Workers=0: jobs queue up but never run (for 409/429 tests)."""
+    svc = make_service(workers=0, queue_limit=1)
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=10)
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout=30.0)
+
+
+class TestBasics:
+    def test_healthz(self, client, service):
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["workers"] == service.config.workers
+        assert payload["version"]
+
+    def test_unknown_routes_404(self, client):
+        for path in ("/nope", "/v1/nope"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._json("GET", path)
+            assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, client):
+        for call in (client.status, client.result, client.cancel):
+            with pytest.raises(ServiceError) as excinfo:
+                call("deadbeef")
+            assert excinfo.value.status == 404
+
+    def test_malformed_specs_400(self, client):
+        bad = [
+            {"experiment": "fig99"},
+            {"experiment": "fig1", "bogus": 1},
+            {"experiment": "fig1", "trials": -1},
+            {},
+        ]
+        for payload in bad:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(payload)
+            assert excinfo.value.status == 400
+            assert excinfo.value.message  # one-line reason
+
+    def test_non_json_body_400(self, client, service):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            service.url + "/v1/jobs",
+            data=b"this is not json",
+            headers={"Content-Type": "text/plain"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestJobLifecycle:
+    def test_submit_wait_result(self, client):
+        job = client.submit(experiment="table1")
+        assert job["state"] == "queued"
+        final = client.wait(job["id"], timeout=60)
+        assert final["state"] == "done"
+        expected = run_request(StudyRequest(experiment="table1")).text
+        assert client.result(job["id"]) == expected
+
+    def test_list_jobs(self, client):
+        job = client.submit(experiment="table1")
+        listed = client.list_jobs()
+        assert any(r["id"] == job["id"] for r in listed["jobs"])
+        client.wait(job["id"], timeout=60)
+        done = client.list_jobs(state="done")
+        assert all(r["state"] == "done" for r in done["jobs"])
+
+    def test_list_jobs_bad_state_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.list_jobs(state="sleeping")
+        assert excinfo.value.status == 400
+
+    def test_result_before_done_409(self, paused_service):
+        client = ServiceClient(paused_service.url)
+        job = client.submit(experiment="table1")
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 409
+
+    def test_queue_full_429(self, paused_service):
+        client = ServiceClient(paused_service.url)
+        client.submit(experiment="table1")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(experiment="table1")
+        assert excinfo.value.status == 429
+
+    def test_cancel_queued_job(self, paused_service):
+        client = ServiceClient(paused_service.url)
+        job = client.submit(experiment="table1")
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+
+    def test_failed_job_result_500(self, service):
+        # A corrupt spec slipped past validation (submitted straight to
+        # the store) must surface as a 500 with the failure reason.
+        client = ServiceClient(service.url)
+        job_id = service.store.submit({"experiment": "not-a-thing"})
+        client.wait(job_id, timeout=60)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job_id)
+        assert excinfo.value.status == 500
+        assert "invalid job spec" in excinfo.value.message
+
+
+class TestDeterminism:
+    def test_fetched_json_is_byte_identical_to_direct_run(self, client):
+        """Acceptance criterion: submitting via the service yields the
+        exact bytes of the equivalent direct invocation."""
+        payload = {
+            "experiment": "fig1",
+            "format": "json",
+            "quick": True,
+            "trials": 2,
+        }
+        job = client.submit(payload)
+        final = client.wait(job["id"], timeout=300)
+        assert final["state"] == "done"
+        fetched = client.result(job["id"])
+        direct = run_request(
+            StudyRequest(
+                experiment="fig1", format="json", quick=True, trials=2
+            ),
+            options=ExecutorOptions(jobs=1, cache=False),
+        ).text
+        assert fetched == direct
+
+    def test_resubmission_is_a_cache_hit(self, client):
+        payload = {
+            "experiment": "fig1",
+            "format": "json",
+            "quick": True,
+            "trials": 2,
+        }
+        first = client.submit(payload)
+        client.wait(first["id"], timeout=300)
+        before = client.metrics()["cache"]
+        second = client.submit(payload)
+        client.wait(second["id"], timeout=300)
+        after = client.metrics()["cache"]
+        assert after["hits"] > before["hits"]
+        assert client.result(second["id"]) == client.result(first["id"])
+
+
+class TestMetrics:
+    def test_metrics_shape_and_counts(self, client):
+        job = client.submit(experiment="table1")
+        client.wait(job["id"], timeout=60)
+        payload = client.metrics()
+        assert set(payload) >= {
+            "queue", "jobs", "cache", "executor", "counters", "uptime_s"
+        }
+        assert payload["queue"]["limit"] > 0
+        assert payload["jobs"]["by_state"]["done"] >= 1
+        assert payload["jobs"]["accepted"] >= 1
+        assert payload["jobs"]["completed"] >= 1
+        assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
+        assert payload["uptime_s"] >= 0.0

@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.service.jobs`: strict payload parsing and the
+guarantee that a job executes through the same entrypoint as the CLI."""
+
+import pytest
+
+from repro.experiments.entry import StudyRequest, run_request
+from repro.service.jobs import JobSpec, ValidationError
+
+
+class TestFromPayload:
+    def test_roundtrip(self):
+        spec = JobSpec(
+            request=StudyRequest(
+                experiment="fig1", format="json", trials=7, quick=True
+            ),
+            jobs=2,
+            cache=False,
+        )
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+    def test_defaults(self):
+        spec = JobSpec.from_payload({"experiment": "table1"})
+        assert spec.jobs == 1
+        assert spec.cache is True
+        assert spec.request.experiment == "table1"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            ["experiment", "table1"],
+            None,
+            {"experiment": "fig99"},
+            {"experiment": "fig1", "bogus_field": 1},
+            {"experiment": "fig1", "trials": 0},
+            {"experiment": "fig1", "trials": "200"},
+            {"experiment": "fig1", "format": "yaml"},
+            {"experiment": "fig1", "jobs": 0},
+            {"experiment": "fig1", "jobs": True},
+            {"experiment": "fig1", "jobs": "2"},
+            {"experiment": "fig1", "cache": "yes"},
+            {"experiment": "fig1", "cache": 1},
+            {},
+        ],
+    )
+    def test_rejects_bad_payloads(self, payload):
+        with pytest.raises(ValidationError):
+            JobSpec.from_payload(payload)
+
+    def test_error_message_is_one_line(self):
+        with pytest.raises(ValidationError) as excinfo:
+            JobSpec.from_payload({"experiment": "fig1", "jobs": 0})
+        assert "\n" not in str(excinfo.value)
+
+
+class TestExecute:
+    def test_matches_direct_entrypoint(self):
+        """A job's rendered text is byte-identical to calling the shared
+        entrypoint directly — the core service determinism guarantee."""
+        request = StudyRequest(experiment="table1")
+        via_job = JobSpec.from_payload({"experiment": "table1"}).execute()
+        direct = run_request(request)
+        assert via_job.text == direct.text
+
+    def test_cache_flag_and_jobs_do_not_change_output(self):
+        base = JobSpec.from_payload(
+            {"experiment": "table1", "cache": False}
+        ).execute()
+        cached = JobSpec.from_payload(
+            {"experiment": "table1", "cache": True, "jobs": 2}
+        ).execute()
+        assert base.text == cached.text

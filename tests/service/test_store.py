@@ -1,0 +1,243 @@
+"""Unit tests for the durable job store: states, atomic claims,
+lease-timeout crash recovery, and the queue-depth bound."""
+
+import threading
+
+import pytest
+
+from repro.service.store import JobState, JobStore, QueueFull, UnknownJob
+
+SPEC = {"experiment": "table1", "format": "table"}
+
+
+class FakeClock:
+    """Deterministic, advanceable time source for lease tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock):
+    return JobStore(":memory:", queue_limit=4, max_attempts=3, clock=clock)
+
+
+class TestSubmitAndInspect:
+    def test_submit_returns_queued_record(self, store):
+        job_id = store.submit(SPEC)
+        record = store.get(job_id)
+        assert record.state == JobState.QUEUED
+        assert record.spec == SPEC
+        assert record.attempts == 0
+        assert record.worker is None
+        assert not record.cancel_requested
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(UnknownJob):
+            store.get("nope")
+        with pytest.raises(UnknownJob):
+            store.result_text("nope")
+
+    def test_queue_depth_and_counts(self, store):
+        for _ in range(3):
+            store.submit(SPEC)
+        assert store.queue_depth() == 3
+        counts = store.counts()
+        assert counts[JobState.QUEUED] == 3
+        assert counts[JobState.DONE] == 0
+
+    def test_queue_limit_raises_queue_full(self, store):
+        for _ in range(4):
+            store.submit(SPEC)
+        with pytest.raises(QueueFull):
+            store.submit(SPEC)
+        # Draining one job frees a slot again.
+        store.claim("w", lease_s=60)
+        store.submit(SPEC)
+
+    def test_list_jobs_filters_by_state(self, store, clock):
+        first = store.submit(SPEC)
+        clock.advance(1)
+        store.submit(SPEC)
+        store.claim("w", lease_s=60)  # claims `first` (oldest)
+        running = [r.id for r in store.list_jobs(state=JobState.RUNNING)]
+        assert running == [first]
+        assert len(store.list_jobs()) == 2
+
+    def test_persists_across_reopen(self, tmp_path, clock):
+        path = tmp_path / "jobs.db"
+        store = JobStore(path, clock=clock)
+        job_id = store.submit(SPEC)
+        store.close()
+        reopened = JobStore(path, clock=clock)
+        assert reopened.get(job_id).state == JobState.QUEUED
+        reopened.close()
+
+
+class TestClaimProtocol:
+    def test_claim_is_fifo(self, store, clock):
+        first = store.submit(SPEC)
+        clock.advance(1)
+        second = store.submit(SPEC)
+        assert store.claim("w", lease_s=60).id == first
+        assert store.claim("w", lease_s=60).id == second
+        assert store.claim("w", lease_s=60) is None
+
+    def test_claim_marks_running_with_lease(self, store, clock):
+        job_id = store.submit(SPEC)
+        record = store.claim("w1", lease_s=60)
+        assert record.id == job_id
+        assert record.state == JobState.RUNNING
+        assert record.worker == "w1"
+        assert record.attempts == 1
+        assert record.lease_expires_at == clock.now + 60
+
+    def test_complete_roundtrip(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=60)
+        assert store.complete(job_id, "w1", "the result")
+        record = store.get(job_id)
+        assert record.state == JobState.DONE
+        assert store.result_text(job_id) == "the result"
+
+    def test_fail_records_error(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=60)
+        assert store.fail(job_id, "w1", "boom")
+        record = store.get(job_id)
+        assert record.state == JobState.FAILED
+        assert record.error == "boom"
+
+    def test_release_requeues_and_refunds_attempt(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=60)
+        assert store.release(job_id, "w1")
+        record = store.get(job_id)
+        assert record.state == JobState.QUEUED
+        assert record.attempts == 0
+        assert record.worker is None
+
+    def test_reassign_transfers_completion_authority(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("scheduler", lease_s=60)
+        assert store.reassign(job_id, "scheduler", "w1")
+        assert not store.complete(job_id, "scheduler", "x")
+        assert store.complete(job_id, "w1", "y")
+
+    def test_concurrent_claims_never_double_claim(self, clock, tmp_path):
+        store = JobStore(tmp_path / "jobs.db", queue_limit=64, clock=clock)
+        ids = [store.submit(SPEC) for _ in range(16)]
+        claimed = []
+        lock = threading.Lock()
+
+        def worker(name):
+            while True:
+                record = store.claim(name, lease_s=600)
+                if record is None:
+                    return
+                with lock:
+                    claimed.append(record.id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(ids)
+        assert len(set(claimed)) == len(ids)
+        store.close()
+
+
+class TestLeaseRecovery:
+    def test_expired_lease_is_reclaimable(self, store, clock):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=30)
+        assert store.claim("w2", lease_s=30) is None  # lease still held
+        clock.advance(31)
+        record = store.claim("w2", lease_s=30)
+        assert record is not None and record.id == job_id
+        assert record.worker == "w2"
+        assert record.attempts == 2
+
+    def test_stale_worker_cannot_clobber_result(self, store, clock):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=30)
+        clock.advance(31)
+        store.claim("w2", lease_s=30)
+        store.complete(job_id, "w2", "good")
+        # The crashed-and-revived w1 comes back too late.
+        assert not store.complete(job_id, "w1", "stale")
+        assert not store.fail(job_id, "w1", "stale")
+        assert store.result_text(job_id) == "good"
+
+    def test_renew_extends_lease(self, store, clock):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=30)
+        clock.advance(25)
+        assert store.renew(job_id, "w1", lease_s=30)
+        clock.advance(25)  # 50s total, but lease renewed at t+25
+        assert store.claim("w2", lease_s=30) is None
+
+    def test_renew_rejects_non_owner(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=30)
+        assert not store.renew(job_id, "w2", lease_s=30)
+
+    def test_attempts_bound_marks_failed(self, store, clock):
+        job_id = store.submit(SPEC)
+        for attempt in range(3):
+            record = store.claim(f"w{attempt}", lease_s=10)
+            assert record is not None and record.attempts == attempt + 1
+            clock.advance(11)
+        # Three leases burned: the next claim retires the job.
+        assert store.claim("w3", lease_s=10) is None
+        record = store.get(job_id)
+        assert record.state == JobState.FAILED
+        assert "lease expired" in record.error
+
+    def test_expired_claim_prefers_crashed_job_over_queue(self, store, clock):
+        crashed = store.submit(SPEC)
+        store.claim("w1", lease_s=10)
+        clock.advance(5)
+        store.submit(SPEC)  # fresh job behind the crashed one
+        clock.advance(6)  # w1's lease expired
+        record = store.claim("w2", lease_s=10)
+        assert record.id == crashed
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self, store):
+        job_id = store.submit(SPEC)
+        record = store.cancel(job_id)
+        assert record.state == JobState.CANCELLED
+        assert store.claim("w", lease_s=60) is None
+
+    def test_cancel_running_sets_flag_and_completion_lands_cancelled(
+        self, store
+    ):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=60)
+        record = store.cancel(job_id)
+        assert record.state == JobState.RUNNING
+        assert record.cancel_requested
+        assert store.complete(job_id, "w1", "late result")
+        assert store.get(job_id).state == JobState.CANCELLED
+
+    def test_cancel_terminal_job_is_a_no_op(self, store):
+        job_id = store.submit(SPEC)
+        store.claim("w1", lease_s=60)
+        store.complete(job_id, "w1", "r")
+        assert store.cancel(job_id).state == JobState.DONE

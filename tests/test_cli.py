@@ -38,13 +38,40 @@ class TestParser:
         assert args.jobs == 1
         assert not args.no_cache
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_service_verbs_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--db", ":memory:"]
+        )
+        assert args.experiment == "serve"
+        assert args.port == 0
+        args = build_parser().parse_args(
+            ["submit", "fig1", "--quick", "--wait", "--url", "http://x:1"]
+        )
+        assert args.experiment == "submit"
+        assert args.target == "fig1"
+        assert args.wait
+        args = build_parser().parse_args(["cache", "prune", "--max-mb", "64"])
+        assert args.experiment == "cache"
+        assert args.target == "prune"
+        assert args.max_mb == 64.0
+
 
 class TestMain:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
-        out = capsys.readouterr().out
-        assert "TABLE I" in out
-        assert "completed in" in out
+        captured = capsys.readouterr()
+        assert "TABLE I" in captured.out
+        # Timing chatter goes to stderr so stdout stays machine-readable.
+        assert "completed in" in captured.err
+        assert "completed in" not in captured.out
 
     def test_table2_with_fraction(self, capsys):
         assert main(["table2", "--fraction", "0.5"]) == 0
@@ -120,3 +147,59 @@ class TestMain:
         out = capsys.readouterr().out
         assert "=== checkpoint_restart ===" in out
         assert "work" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--sweep", "checkpoint_interval"]) == 0
+        assert "interval" in capsys.readouterr().out.lower()
+
+
+class TestFriendlyErrors:
+    """Bad invocations exit non-zero with a one-line hint, never a
+    traceback."""
+
+    def test_submit_without_target_exits_2(self, capsys):
+        assert main(["submit"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "experiment" in err
+
+    def test_status_without_target_exits_2(self, capsys):
+        assert main(["status"]) == 2
+        assert "job id" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        assert main(
+            ["status", "deadbeef", "--url", "http://127.0.0.1:9"]
+        ) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_cache_prune_needs_max_mb(self, capsys):
+        assert main(["cache", "prune"]) == 2
+        assert "--max-mb" in capsys.readouterr().err
+
+    def test_cache_unknown_action_exits_2(self, capsys):
+        assert main(["cache", "wipe"]) == 2
+        assert "unknown cache action" in capsys.readouterr().err
+
+    def test_invalid_trials_exits_2(self, capsys):
+        assert main(["fig1", "--trials", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "Traceback" not in err
+
+
+class TestCacheCommand:
+    def test_cache_stats(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "MiB" in out
+
+    def test_cache_prune_to_zero(self, capsys):
+        # Populate the (per-test) cache, then prune it away entirely.
+        assert main(["fig2", "--quick", "--trials", "2"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert main(["cache", "stats"]) == 0
+        assert "0 entries" in capsys.readouterr().out
