@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate the pinned failure trace bundled with the scenario
+library (``src/repro/scenarios/library/traces/pinned-10y.jsonl``).
+
+The trace is committed so the ``trace-replay`` scenario is fully
+deterministic for every user; rerunning this script reproduces the
+identical file (fixed seed, versioned JSONL with full-``repr``
+floats).  The unit-time horizon is sized for the scenario's largest
+allocation (25% of the exascale machine) at the walltime cap, with
+ample slack.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.constants import DEFAULT_NODE_MTBF_S  # noqa: E402
+from repro.failures.trace import record_trace, save_trace, trace_digest  # noqa: E402
+
+SEED = 20170 + 10
+UNIT_HORIZON_S = 1.0e11
+
+OUT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "src"
+    / "repro"
+    / "scenarios"
+    / "library"
+    / "traces"
+    / "pinned-10y.jsonl"
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    trace = record_trace(rng, DEFAULT_NODE_MTBF_S, UNIT_HORIZON_S)
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    save_trace(trace, OUT)
+    print(f"{OUT}: {len(trace)} failures, sha256 {trace_digest(trace)}")
+
+
+if __name__ == "__main__":
+    main()

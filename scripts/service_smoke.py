@@ -5,8 +5,10 @@ Starts ``repro serve`` as a real subprocess on an ephemeral port,
 submits a quick fig1 job through the client SDK, polls it to
 completion, and byte-diffs the fetched JSON artifact against a direct
 ``repro fig1 --quick`` invocation in a separate process — proving the
-service path and the CLI path produce identical bytes.  Finally sends
-SIGTERM and checks the server exits cleanly (graceful drain).
+service path and the CLI path produce identical bytes.  Also submits a
+scenario campaign (``POST /v1/campaigns``) and checks its artifact
+carries the provenance stamp.  Finally sends SIGTERM and checks the
+server exits cleanly (graceful drain).
 
 Exits 0 on success; any failure raises (non-zero exit).
 """
@@ -102,6 +104,25 @@ def main() -> int:
             assert metrics["jobs"]["completed"] >= 1, metrics
             assert metrics["queue"]["depth"] == 0, metrics
             print(f"[smoke] metrics ok: {metrics['jobs']}")
+
+            # Scenario campaign: compile server-side, run to completion,
+            # and check the provenance stamp in the exported artifact.
+            campaign = client.submit_campaign(
+                scenario="weibull-aging", quick=True, format="csv"
+            )
+            assert len(campaign["spec_sha256"]) == 64, campaign
+            [unit] = campaign["units"]
+            print(
+                f"[smoke] campaign '{campaign['scenario']}' -> "
+                f"job {unit['job']['id']}"
+            )
+            final = client.wait(unit["job"]["id"], timeout=600.0, poll_s=0.5)
+            assert final["state"] == "done", final
+            artifact = client.result(unit["job"]["id"])
+            header = artifact.splitlines()[0]
+            assert "scenario=weibull-aging" in header, header
+            assert campaign["spec_sha256"] in header, header
+            print("[smoke] campaign artifact carries its provenance stamp")
         finally:
             server.send_signal(signal.SIGTERM)
             try:

@@ -5,6 +5,15 @@ implementations of the same stochastic system; this module runs both on
 one configuration and reports the discrepancy.  Integration tests
 assert the discrepancy stays within statistical + first-order
 tolerance, which guards both implementations at once.
+
+The analytic model assumes the paper's failure environment — a Poisson
+process of independent single-node failures.  Scenario configurations
+can leave that regime (Weibull/lognormal interarrivals, burst widths,
+trace replay); :func:`analytic_inapplicability` names the violated
+assumption, and :func:`validate_plan` refuses to predict under one
+(raising :class:`AnalyticModelInapplicable`) rather than silently
+mis-predicting.  Callers that can fall back — the scenario runtime
+does — switch to simulation-backed estimates and surface the reason.
 """
 
 from __future__ import annotations
@@ -19,6 +28,48 @@ from repro.core.single_app import SingleAppConfig, run_trials
 from repro.platform.system import HPCSystem
 from repro.resilience.base import ResilienceTechnique
 from repro.workload.application import Application
+
+
+class AnalyticModelInapplicable(ValueError):
+    """The analytic model's Poisson assumptions do not hold for this
+    configuration; the message names the violated assumption."""
+
+
+def analytic_inapplicability(
+    config: Optional[SingleAppConfig] = None,
+    *,
+    trace_replay: bool = False,
+) -> Optional[str]:
+    """Why the first-order analytic model cannot predict *config*.
+
+    Returns None when the paper's assumptions hold (Poisson
+    interarrivals, independent single-node failures), otherwise a
+    one-line reason.  ``trace_replay=True`` marks a recorded-trace
+    replay, which is a single empirical realization rather than a
+    stochastic ensemble.
+    """
+    if trace_replay:
+        return (
+            "trace replay drives the simulation with one recorded failure "
+            "realization, not a Poisson ensemble; only simulation-backed "
+            "estimates are meaningful"
+        )
+    if config is None:
+        return None
+    interarrival = config.interarrival
+    if interarrival is not None and not getattr(interarrival, "memoryless", False):
+        return (
+            f"{type(interarrival).__name__} failure interarrivals are not "
+            "exponential, so the renewal-reward model's memorylessness "
+            "assumption fails; falling back to simulation-backed prediction"
+        )
+    if config.burst is not None and config.burst.continue_probability > 0.0:
+        return (
+            "burst failures violate the independent single-node failure "
+            "assumption of the analytic model; falling back to "
+            "simulation-backed prediction"
+        )
+    return None
 
 
 @dataclass(frozen=True)
@@ -58,8 +109,16 @@ def validate_plan(
     trials: int = 30,
     config: Optional[SingleAppConfig] = None,
 ) -> ValidationReport:
-    """Simulate *trials* replications and compare with the model."""
+    """Simulate *trials* replications and compare with the model.
+
+    Raises :class:`AnalyticModelInapplicable` when *config* leaves the
+    analytic model's Poisson regime — a non-exponential prediction
+    would be silently wrong, never just noisy.
+    """
     config = config or SingleAppConfig()
+    reason = analytic_inapplicability(config)
+    if reason is not None:
+        raise AnalyticModelInapplicable(reason)
     trial_set = run_trials(app, technique, system, trials, config)
     plan = technique.plan(
         app, system, config.node_mtbf_s, severity=config.severity_model()

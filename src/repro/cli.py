@@ -14,6 +14,13 @@ Examples::
     repro timeline --app-type C32 --fraction 0.5 --mtbf-years 2.5
     repro all --quick
 
+    repro scenario list                      # bundled scenario library
+    repro scenario show weibull-aging
+    repro scenario validate my-study.toml
+    repro scenario run fig1 --quick
+    repro scenario run burst-storm --jobs 4 --export results/storm
+    repro scenario submit trace-replay --wait  # campaign over HTTP
+
     repro serve --port 8642 --workers 2      # start the job service
     repro submit fig1 --quick --format json  # enqueue over HTTP
     repro status <job-id>
@@ -104,7 +111,7 @@ def _request_from_args(name: str, args: argparse.Namespace) -> StudyRequest:
     """The :class:`StudyRequest` equivalent of one CLI invocation."""
     return StudyRequest(
         experiment=name,
-        format=args.format,
+        format=args.format or "table",
         trials=args.trials,
         patterns=args.patterns,
         quick=args.quick,
@@ -280,7 +287,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     experiment = _require_target(args, "an experiment name")
     payload = {
         "experiment": experiment,
-        "format": args.format,
+        "format": args.format or "table",
         "trials": args.trials,
         "patterns": args.patterns,
         "quick": args.quick,
@@ -357,6 +364,209 @@ _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
 
 
 # ---------------------------------------------------------------------------
+# Scenario verbs
+# ---------------------------------------------------------------------------
+
+
+_SCENARIO_ACTIONS = ("list", "show", "validate", "run", "submit")
+
+
+def _scenario_spec_path(name: str) -> bool:
+    """Whether the scenario argument is a file path (vs a bundled name)."""
+    import os
+
+    return (
+        os.sep in name
+        or "/" in name
+        or name.endswith((".toml", ".json"))
+    )
+
+
+def _scenario_export(
+    directory: str, label: str, fmt: str, text: str, campaign
+) -> None:
+    """``--export DIR``: write one unit's artifact plus its provenance
+    sidecar (scenario name, canonical-spec SHA-256, package version)."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    ext = {"csv": "csv", "json": "json"}.get(fmt, "txt")
+    artifact = os.path.join(directory, f"{label}.{ext}")
+    with open(artifact, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    sidecar = os.path.join(directory, f"{label}.provenance.json")
+    with open(sidecar, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "scenario": campaign.spec.scenario.name,
+                "spec_sha256": campaign.sha256,
+                "version": __version__,
+                "label": label,
+                "format": fmt,
+                "notes": list(campaign.notes),
+                "analytic_bypass": campaign.analytic_bypass,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+    print(f"[exported {artifact} (+ provenance sidecar)]", file=sys.stderr)
+
+
+def _scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios, load_named
+
+    for name in list_scenarios():
+        spec = load_named(name)
+        print(f"{name:<24} {spec.scenario.title}")
+    return 0
+
+
+def _scenario_show(args: argparse.Namespace, name: str) -> int:
+    from repro.scenarios import load_scenario, resolve, spec_sha256
+    from repro.scenarios.compiler import compile_scenario
+
+    path = resolve(name)
+    spec = load_scenario(path)
+    campaign = compile_scenario(spec)
+    lines = [
+        f"scenario    {spec.scenario.name}",
+        f"source      {path}",
+        f"sha256      {spec_sha256(spec)}",
+    ]
+    if spec.scenario.title:
+        lines.append(f"title       {spec.scenario.title}")
+    if spec.scenario.description:
+        lines.append(f"description {spec.scenario.description}")
+    for unit in campaign.units:
+        lines.append(
+            f"unit        {unit.label} -> experiment "
+            f"'{unit.request.experiment}', format {unit.request.format}"
+        )
+    for note in campaign.notes:
+        lines.append(f"note        {note}")
+    print("\n".join(lines))
+    return 0
+
+
+def _scenario_validate(args: argparse.Namespace, name: str) -> int:
+    from repro.scenarios import load_scenario, resolve
+    from repro.scenarios.compiler import compile_scenario
+
+    path = resolve(name)
+    spec = load_scenario(path)
+    campaign = compile_scenario(spec)
+    print(
+        f"{path}: OK — scenario '{spec.scenario.name}', "
+        f"sha256 {campaign.sha256[:12]}…, {len(campaign.units)} unit(s)"
+    )
+    return 0
+
+
+def _scenario_run(args: argparse.Namespace, name: str) -> int:
+    from dataclasses import replace
+
+    from repro.scenarios import load_scenario, resolve
+    from repro.scenarios.compiler import compile_scenario
+
+    spec = load_scenario(resolve(name))
+    campaign = compile_scenario(spec, quick=args.quick)
+    for note in campaign.notes:
+        print(f"[{note}]", file=sys.stderr)
+    options = _executor_options(args)
+    for unit in campaign.units:
+        request = unit.request
+        if args.format is not None:
+            request = replace(request, format=args.format)
+        outcome = run_request(request, options=options)
+        print(outcome.text)
+        if args.export:
+            _scenario_export(
+                args.export, unit.label, request.format, outcome.text, campaign
+            )
+    print(
+        options.metrics.render(f"scenario {spec.scenario.name}"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _scenario_submit(args: argparse.Namespace, name: str) -> int:
+    from repro.service.client import ServiceClient
+
+    payload: Dict[str, object] = {
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+    }
+    if args.format is not None:
+        payload["format"] = args.format
+    if _scenario_spec_path(name):
+        # A local spec file: ship the parsed document inline (a trace
+        # regime's relative trace_file then resolves on the service
+        # host, against the service's working directory).
+        from repro.scenarios import load_scenario, resolve
+        from repro.scenarios.spec import spec_to_dict
+
+        payload["spec"] = spec_to_dict(load_scenario(resolve(name)))
+    else:
+        payload["scenario"] = name
+    client = ServiceClient(args.url)
+    campaign = client.submit_campaign(payload)
+    print(
+        f"[campaign '{campaign['scenario']}' "
+        f"sha256 {campaign['spec_sha256'][:12]}…: "
+        f"{len(campaign['units'])} job(s)]",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        for unit in campaign["units"]:
+            print(unit["job"]["id"])
+        return 0
+    exit_code = 0
+    for unit in campaign["units"]:
+        job_id = unit["job"]["id"]
+        final = client.wait(job_id, timeout=args.timeout)
+        if final["state"] != "done":
+            print(
+                f"repro: job {job_id} ({unit['label']}) ended "
+                f"{final['state']}: {final.get('error') or 'no result'}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        print(client.result(job_id))
+    return exit_code
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """Dispatch ``repro scenario <action> [name-or-path]``."""
+    action = args.target or "list"
+    if action not in _SCENARIO_ACTIONS:
+        raise RequestError(
+            f"unknown scenario action {action!r} "
+            f"(choose from {', '.join(_SCENARIO_ACTIONS)})"
+        )
+    if action == "list":
+        return _scenario_list(args)
+    name = args.extra
+    if not name:
+        raise RequestError(
+            f"'repro scenario {action}' needs a bundled scenario name or "
+            f"a spec path (e.g. 'repro scenario {action} fig1'; "
+            "'repro scenario list' shows the bundled ones)"
+        )
+    handler = {
+        "show": _scenario_show,
+        "validate": _scenario_validate,
+        "run": _scenario_run,
+        "submit": _scenario_submit,
+    }[action]
+    return handler(args, name)
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -377,11 +587,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"] + sorted(_SERVICE_COMMANDS),
+        choices=sorted(_EXPERIMENTS)
+        + ["all", "scenario"]
+        + sorted(_SERVICE_COMMANDS),
         help=(
-            "which artifact to regenerate ('all' runs everything), or a "
-            "service verb: serve, submit <experiment>, status <job-id>, "
-            "result <job-id>, cache stats|prune"
+            "which artifact to regenerate ('all' runs everything), "
+            "'scenario list|show|validate|run|submit' for declarative "
+            "scenario specs, or a service verb: serve, submit "
+            "<experiment>, status <job-id>, result <job-id>, "
+            "cache stats|prune"
         ),
     )
     parser.add_argument(
@@ -389,8 +603,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "argument of the service verbs: the experiment to submit, the "
-            "job id for status/result, or the cache action (stats|prune)"
+            "argument of the scenario/service verbs: the scenario action "
+            "(list|show|validate|run|submit), the experiment to submit, "
+            "the job id for status/result, or the cache action "
+            "(stats|prune)"
+        ),
+    )
+    parser.add_argument(
+        "extra",
+        nargs="?",
+        default=None,
+        help=(
+            "second argument of the scenario verbs: a bundled scenario "
+            "name ('repro scenario list') or a path to a .toml/.json spec"
         ),
     )
     parser.add_argument(
@@ -425,8 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--format",
         choices=("table", "barchart", "csv", "json"),
-        default="table",
-        help="output format for the figure drivers",
+        default=None,
+        help=(
+            "output format for the figure drivers (default table; for "
+            "'scenario run' the spec's run.format wins unless this flag "
+            "is given)"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -482,6 +711,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write aggregated event counts and activity seconds as JSON "
             "(figs 1-5 only; disables the result cache for the run)"
+        ),
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help=(
+            "with 'scenario run': also write each unit's artifact and a "
+            "<label>.provenance.json sidecar (scenario name, canonical "
+            "spec SHA-256, package version, compiler notes) into DIR"
         ),
     )
     parser.add_argument(
@@ -568,6 +807,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         execution.FAST_PATH_ENABLED = False
         os.environ["REPRO_FAST_PATH"] = "0"
     try:
+        if args.experiment == "scenario":
+            return _cmd_scenario(args)
         if args.experiment in _SERVICE_COMMANDS:
             return _SERVICE_COMMANDS[args.experiment](args)
         if args.experiment == "all":

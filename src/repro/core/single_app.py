@@ -17,7 +17,7 @@ import numpy as np
 from repro.constants import DEFAULT_NODE_MTBF_S
 from repro.core.execution import ExecutionStats, ResilientExecution
 from repro.failures.burst import BurstModel
-from repro.failures.generator import AppFailureGenerator
+from repro.failures.generator import AppFailureGenerator, InterarrivalModel
 from repro.failures.severity import SeverityModel
 from repro.obs.counters import counter_value, global_bus
 from repro.obs.events import TrialFinished, TrialStarted
@@ -51,6 +51,14 @@ class SingleAppConfig:
     burst:
         Optional spatially-correlated failure model (extension; the
         paper's independent single-node failures when None).
+    interarrival:
+        Optional failure-interarrival regime (see
+        :mod:`repro.failures.generator`).  None keeps the paper's
+        Poisson process bit-identically; a Weibull/lognormal model
+        reshapes the renewal gaps at the same mean rate.  Non-
+        memoryless regimes invalidate the first-order analytic model —
+        :func:`repro.analysis.validation.analytic_inapplicability`
+        reports why.
     stream_key:
         When None (the default, and what every figure uses), trial *i*
         draws the same failure realisation in every cell — the paper's
@@ -65,6 +73,7 @@ class SingleAppConfig:
     max_time_factor: float = 20.0
     seed: int = 2017
     burst: Optional["BurstModel"] = None
+    interarrival: Optional[InterarrivalModel] = None
     stream_key: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -199,6 +208,7 @@ def simulate_application(
         node_mtbf_s=config.node_mtbf_s,
         severity=config.severity_model(),
         burst=config.burst,
+        interarrival=config.interarrival,
     )
     driver = FailureDriver(sim, proc, generator)
     engine.set_failure_horizon(driver.next_fire_time)

@@ -31,12 +31,14 @@ DATACENTER_FIGS = ("fig4", "fig5")
 #: Parameter sweeps runnable as jobs (see :mod:`repro.experiments.sweep`).
 SWEEPS = ("severity_pmf", "recovery_parallelism", "checkpoint_interval")
 
-#: Every artifact name accepted by :func:`run_request`.
+#: Every artifact name accepted by :func:`run_request`.  ``scenario``
+#: is the generic scenario-engine artifact: its parameters live in the
+#: request's embedded canonical-JSON spec rather than in flat fields.
 EXPERIMENTS = (
     ("table1", "table2")
     + SCALING_FIGS
     + DATACENTER_FIGS
-    + ("regime-map", "sweep")
+    + ("regime-map", "sweep", "scenario")
 )
 
 #: Output formats for the figure drivers.
@@ -71,6 +73,12 @@ class StudyRequest:
     fraction: float = 1.0
     mtbf_years: float = 10.0
     sweep: str = "checkpoint_interval"
+    #: Canonical-JSON scenario spec (experiment ``"scenario"`` only).
+    scenario: Optional[str] = None
+    #: Embedded failure-trace JSONL for trace-replay scenarios; carried
+    #: in the request so a job is self-contained (no path resolution on
+    #: the worker) and CLI/service runs stay byte-identical.
+    trace: Optional[str] = None
 
     def validate(self) -> None:
         """Raise :class:`RequestError` on any out-of-range field."""
@@ -101,10 +109,38 @@ class StudyRequest:
                 f"unknown sweep {self.sweep!r} "
                 f"(choose from {', '.join(SWEEPS)})"
             )
+        if self.experiment == "scenario":
+            if self.scenario is None:
+                raise RequestError(
+                    "experiment 'scenario' requires the 'scenario' field "
+                    "(the canonical JSON spec)"
+                )
+            from repro.scenarios.errors import ScenarioError
+            from repro.scenarios.schema import scenario_from_json
+
+            try:
+                spec = scenario_from_json(self.scenario)
+            except ScenarioError as exc:
+                raise RequestError(str(exc)) from None
+            if spec.failures.regime == "trace" and self.trace is None:
+                raise RequestError(
+                    "trace-replay scenarios require the embedded 'trace' "
+                    "field (compile the scenario rather than building the "
+                    "request by hand)"
+                )
+        elif self.scenario is not None or self.trace is not None:
+            raise RequestError(
+                "fields 'scenario' and 'trace' are only valid for "
+                "experiment 'scenario'"
+            )
 
     def to_payload(self) -> Dict[str, Any]:
-        """Plain-dict form (the service stores this in the job row)."""
-        return {
+        """Plain-dict form (the service stores this in the job row).
+
+        ``scenario``/``trace`` only appear when set, so payloads from
+        older jobs (and payload-shape tests) are unchanged for the
+        flat experiments."""
+        payload = {
             "experiment": self.experiment,
             "format": self.format,
             "trials": self.trials,
@@ -114,6 +150,11 @@ class StudyRequest:
             "mtbf_years": self.mtbf_years,
             "sweep": self.sweep,
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "StudyRequest":
@@ -136,6 +177,8 @@ class StudyRequest:
             "fraction": (int, float),
             "mtbf_years": (int, float),
             "sweep": str,
+            "scenario": str,
+            "trace": str,
         }
         kwargs: Dict[str, Any] = {}
         for name, value in data.items():
@@ -304,6 +347,10 @@ def run_request(
         return _run_regime_map(request)
     if request.experiment == "sweep":
         return _run_sweep(request, options)
+    if request.experiment == "scenario":
+        from repro.scenarios.runtime import run_scenario_request
+
+        return run_scenario_request(request, options)
     from repro.experiments import fig1, fig2, fig3, fig4, fig5
 
     modules = {

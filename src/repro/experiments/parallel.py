@@ -175,11 +175,24 @@ class ResultCache:
         self.hits += 1
         return True, payload["value"]
 
-    def put(self, key: str, value: Any) -> None:
+    def put(
+        self,
+        key: str,
+        value: Any,
+        provenance: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Store *value* under *key* (silently skipped on I/O errors —
-        caching must never fail a run)."""
+        caching must never fail a run).
+
+        *provenance* rides along in the entry (scenario name, spec
+        digest, package version — see ``ExecutorOptions.provenance``)
+        and is readable back via :meth:`provenance`.  Entries without
+        it stay valid: lookups only require version + value."""
         if not self.enabled:
             return
+        payload: Dict[str, Any] = {"version": CACHE_VERSION, "value": value}
+        if provenance is not None:
+            payload["provenance"] = dict(provenance)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -187,7 +200,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump({"version": CACHE_VERSION, "value": value}, fh)
+                    pickle.dump(payload, fh)
                 os.replace(tmp, self.path_for(key))
             except BaseException:
                 try:
@@ -197,6 +210,19 @@ class ResultCache:
                 raise
         except (OSError, pickle.PicklingError):
             pass
+
+    def provenance(self, key: str) -> Optional[Dict[str, str]]:
+        """The provenance stamp stored with *key*'s entry, if any
+        (None for a miss or a pre-provenance entry)."""
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                return None
+            stamp = payload.get("provenance")
+            return dict(stamp) if isinstance(stamp, dict) else None
+        except Exception:
+            return None
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -375,6 +401,10 @@ class ExecutorOptions:
     metrics: Optional[ExecutorMetrics] = None
     #: Called once per cell, in deterministic cell order.
     on_cell: Optional[Callable[[CellProgress], None]] = None
+    #: Stamped into every cache entry this run writes (scenario name,
+    #: canonical-spec SHA-256, package version); purely informational —
+    #: it never participates in cache keys or lookups.
+    provenance: Optional[Dict[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -475,7 +505,11 @@ class TrialExecutor:
             self._compute(tasks, pending, results, walls)
             for i in pending:
                 if keys[i] is not None:
-                    self.cache.put(keys[i], results[i])
+                    self.cache.put(
+                        keys[i],
+                        results[i],
+                        provenance=self.options.provenance,
+                    )
 
         self.metrics.wall_s += time.perf_counter() - started
         for i, task in enumerate(tasks):

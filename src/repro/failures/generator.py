@@ -8,6 +8,10 @@ its *severity* (drawn from the severity PMF).  This module provides
 - :class:`AppFailureGenerator` — a fixed-rate stream of failures hitting
   one application (used by the Sec. V single-application studies, where
   the application's allocation is the only active part of the machine);
+- the interarrival regimes (:class:`ExponentialInterarrivals`,
+  :class:`WeibullInterarrivals`, :class:`LognormalInterarrivals`) — the
+  renewal-gap distributions a scenario can select; the paper's Poisson
+  process is the exponential default;
 - :func:`sample_failure_times` — vectorized batch generation for the
   analytical validation tests.
 """
@@ -15,16 +19,99 @@ its *severity* (drawn from the severity PMF).  This module provides
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 import numpy as np
 
 from repro.failures.rates import application_failure_rate
 from repro.failures.severity import SeverityModel
-from repro.rng.distributions import exponential
+from repro.rng.distributions import (
+    exponential,
+    lognormal,
+    lognormal_mu_for_mean,
+    weibull,
+    weibull_scale_for_mean,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.failures.burst import BurstModel
+
+
+@dataclass(frozen=True)
+class ExponentialInterarrivals:
+    """The paper's failure process: gaps ~ Exp(rate) (Sec. III-E).
+
+    Memoryless, so the analytic model's renewal-reward arguments and
+    the datacenter injector's rate-change redraws are exact.
+    """
+
+    #: Only the exponential regime satisfies the analytic model's
+    #: memorylessness assumption.
+    memoryless = True
+
+    def sample_gap(self, rng: np.random.Generator, rate: float) -> float:
+        """One interarrival gap at the given total failure *rate*."""
+        return exponential(rng, rate)
+
+
+@dataclass(frozen=True)
+class WeibullInterarrivals:
+    """Weibull renewal gaps with the same mean ``1/rate`` as the paper's
+    exponential, reshaped by *shape*.
+
+    ``shape < 1`` models infant mortality (clustered early failures),
+    ``shape > 1`` aging hardware (quiet early life, then wear-out);
+    ``shape == 1`` is bit-identical to
+    :class:`ExponentialInterarrivals` (same underlying NumPy variate).
+    Each failure restarts the renewal clock — the standard
+    renewal-process semantics for non-memoryless gaps.
+    """
+
+    shape: float = 1.0
+
+    memoryless = False
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0:
+            raise ValueError(f"shape must be > 0, got {self.shape}")
+
+    def sample_gap(self, rng: np.random.Generator, rate: float) -> float:
+        """One gap with mean ``1/rate`` from the shaped Weibull."""
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        return weibull(
+            rng, self.shape, weibull_scale_for_mean(self.shape, 1.0 / rate)
+        )
+
+
+@dataclass(frozen=True)
+class LognormalInterarrivals:
+    """Lognormal renewal gaps with mean ``1/rate`` and log-scale spread
+    *sigma* — a heavy-tailed regime (long quiet stretches punctuated by
+    clustered failures) often fit to real HPC failure logs.
+    """
+
+    sigma: float = 1.0
+
+    memoryless = False
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+
+    def sample_gap(self, rng: np.random.Generator, rate: float) -> float:
+        """One gap with mean ``1/rate`` from the heavy-tailed lognormal."""
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        return lognormal(
+            rng, lognormal_mu_for_mean(1.0 / rate, self.sigma), self.sigma
+        )
+
+
+#: Any renewal-gap distribution accepted by :class:`AppFailureGenerator`.
+InterarrivalModel = Union[
+    ExponentialInterarrivals, WeibullInterarrivals, LognormalInterarrivals
+]
 
 
 @dataclass(frozen=True)
@@ -77,12 +164,17 @@ class AppFailureGenerator:
         node_mtbf_s: float,
         severity: Optional[SeverityModel] = None,
         burst: Optional["BurstModel"] = None,
+        interarrival: Optional[InterarrivalModel] = None,
     ) -> None:
         self._rng = rng
         self.nodes = nodes
         self.rate = application_failure_rate(nodes, node_mtbf_s)
         self.severity_model = severity if severity is not None else SeverityModel.default()
         self.burst_model = burst
+        #: None keeps the historical direct-exponential draw (the
+        #: paper's Poisson process, bit-identical to the pre-regime
+        #: code); a model reshapes the renewal gaps at the same mean.
+        self.interarrival = interarrival
         self._last_time = 0.0
 
     def _sample_width(self) -> int:
@@ -92,7 +184,7 @@ class AppFailureGenerator:
 
     def next_failure(self) -> Failure:
         """Generate the next failure (advances the internal clock)."""
-        self._last_time += exponential(self._rng, self.rate)
+        self._last_time += self.next_interarrival()
         return Failure(
             time=self._last_time,
             node_id=int(self._rng.integers(0, self.nodes)),
@@ -105,7 +197,9 @@ class AppFailureGenerator:
 
         Useful for techniques that re-draw the gap after a recovery.
         """
-        return exponential(self._rng, self.rate)
+        if self.interarrival is None:
+            return exponential(self._rng, self.rate)
+        return self.interarrival.sample_gap(self._rng, self.rate)
 
     def failure_at(self, time: float) -> Failure:
         """A failure record at an externally supplied *time* (location,

@@ -10,12 +10,22 @@ so one trace drives Checkpoint Restart and Redundancy alike even though
 they occupy different numbers of physical nodes.
 
 Used by :func:`repro.core.paired.paired_compare` for common-random-
-numbers comparisons, and handy for regression debugging (replay the
-exact failure sequence that produced an anomaly).
+numbers comparisons, by the scenario engine's trace-replay failure
+regime, and handy for regression debugging (replay the exact failure
+sequence that produced an anomaly).
+
+Traces round-trip through a versioned JSON-Lines file format
+(:func:`save_trace` / :func:`load_trace`): one header record naming the
+format, version, unit rate, and horizon, then one record per failure.
+Floats serialise with full ``repr`` precision, so a loaded trace
+replays bit-identically to the recorded one at any node count.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
@@ -131,3 +141,126 @@ def record_trace(
     return FailureTrace(
         unit_rate=rate, horizon_s=horizon_s, failures=tuple(failures)
     )
+
+
+# ---------------------------------------------------------------------------
+# Versioned JSONL persistence
+# ---------------------------------------------------------------------------
+
+#: Format marker in the header record of every trace file.
+TRACE_FORMAT = "repro-failure-trace"
+
+#: Bumped whenever the on-disk layout changes; mismatches are errors,
+#: never silent misreads.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A malformed or version-skewed trace file; one-line message."""
+
+
+def trace_to_jsonl(trace: FailureTrace) -> str:
+    """The canonical JSONL text of *trace* (what :func:`save_trace`
+    writes); stable byte-for-byte for equal traces."""
+    lines = [
+        json.dumps(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_FORMAT_VERSION,
+                "unit_rate": trace.unit_rate,
+                "horizon_s": trace.horizon_s,
+                "failures": len(trace),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for f in trace.failures:
+        lines.append(
+            json.dumps(
+                {"t": f.time, "u": f.location_u, "s": f.severity},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_digest(trace: FailureTrace) -> str:
+    """SHA-256 of the canonical JSONL text — the trace's identity for
+    cache keys and provenance stamps."""
+    return hashlib.sha256(trace_to_jsonl(trace).encode("utf-8")).hexdigest()
+
+
+def save_trace(trace: FailureTrace, path: "os.PathLike | str") -> None:
+    """Write *trace* to *path* in the versioned JSONL format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_jsonl(trace))
+
+
+def trace_from_jsonl(text: str, source: str = "<trace>") -> FailureTrace:
+    """Parse the JSONL text of a trace (inverse of
+    :func:`trace_to_jsonl`).
+
+    Raises :class:`TraceFormatError` with a one-line message on any
+    malformed header, record, or version mismatch (the scenario
+    validator surfaces it field-qualified); *source* names the origin
+    in the message.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError(f"{source}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{source}: header is not valid JSON: {exc}")
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"{source}: not a {TRACE_FORMAT} file (missing format header)"
+        )
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{source}: trace format version {header.get('version')!r} "
+            f"unsupported (expected {TRACE_FORMAT_VERSION})"
+        )
+    declared = header.get("failures")
+    if not isinstance(declared, int) or declared != len(lines) - 1:
+        raise TraceFormatError(
+            f"{source}: header declares {declared!r} failures "
+            f"but the file holds {len(lines) - 1} (truncated?)"
+        )
+    failures: List[TracedFailure] = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+            failures.append(
+                TracedFailure(
+                    time=float(record["t"]),
+                    location_u=float(record["u"]),
+                    severity=int(record["s"]),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"{source}: line {number}: bad record: {exc}")
+    try:
+        return FailureTrace(
+            unit_rate=float(header["unit_rate"]),
+            horizon_s=float(header["horizon_s"]),
+            failures=tuple(failures),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{source}: invalid trace: {exc}")
+
+
+def load_trace(path: "os.PathLike | str") -> FailureTrace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` with a one-line message on any
+    unreadable file or malformed content.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file: {exc}") from None
+    return trace_from_jsonl(text, source=str(path))

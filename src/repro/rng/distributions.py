@@ -8,6 +8,7 @@ used to create a probability mass function").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -23,6 +24,53 @@ def exponential(rng: np.random.Generator, rate: float) -> float:
     if rate <= 0:
         raise ValueError(f"rate must be > 0, got {rate}")
     return float(rng.exponential(1.0 / rate))
+
+
+def weibull(rng: np.random.Generator, shape: float, scale: float) -> float:
+    """One draw from Weibull(shape, scale); mean ``scale * Γ(1 + 1/shape)``.
+
+    ``shape < 1`` gives a decreasing hazard (infant mortality),
+    ``shape > 1`` an increasing hazard (aging hardware), and
+    ``shape == 1`` recovers Exp(1/scale) exactly — NumPy implements the
+    standard Weibull as ``standard_exponential ** (1/shape)``, so the
+    shape-1 draw consumes the same underlying variate as
+    :func:`exponential` and is bit-identical to it.
+    """
+    if shape <= 0:
+        raise ValueError(f"shape must be > 0, got {shape}")
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    return float(scale * rng.weibull(shape))
+
+
+def weibull_scale_for_mean(shape: float, mean: float) -> float:
+    """The Weibull scale giving the requested *mean* at *shape*."""
+    if shape <= 0:
+        raise ValueError(f"shape must be > 0, got {shape}")
+    if mean <= 0:
+        raise ValueError(f"mean must be > 0, got {mean}")
+    return mean / math.gamma(1.0 + 1.0 / shape)
+
+
+def lognormal(rng: np.random.Generator, mu: float, sigma: float) -> float:
+    """One draw from Lognormal(mu, sigma); mean ``exp(mu + sigma²/2)``.
+
+    Heavy right tail for large *sigma*: long quiet stretches punctuated
+    by clustered failures, a common empirical fit for HPC interarrival
+    logs that Poisson underdisperses.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    return float(rng.lognormal(mean=mu, sigma=sigma))
+
+
+def lognormal_mu_for_mean(mean: float, sigma: float) -> float:
+    """The lognormal location giving the requested *mean* at *sigma*."""
+    if mean <= 0:
+        raise ValueError(f"mean must be > 0, got {mean}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    return math.log(mean) - 0.5 * sigma * sigma
 
 
 def uniform(rng: np.random.Generator, low: float, high: float) -> float:

@@ -1,0 +1,37 @@
+"""Declarative scenario engine.
+
+A *scenario* is a schema-validated TOML/JSON document describing one
+study — platform, failure regime, workload, technique set, sweep axis,
+trials and seed — which a compiler lowers onto the existing experiment
+machinery (:class:`repro.experiments.entry.StudyRequest` and the
+parallel cell executor), so scenarios inherit parallelism, caching,
+the failure-horizon fast path, and observability for free.
+
+Layers:
+
+- :mod:`repro.scenarios.schema` — strict parsing with field-path errors;
+- :mod:`repro.scenarios.spec` — the frozen spec tree and its canonical
+  JSON / SHA-256 identity;
+- :mod:`repro.scenarios.compiler` — lowering to study requests;
+- :mod:`repro.scenarios.runtime` — execution of generic (non-paper)
+  scenarios through the cell executor;
+- :mod:`repro.scenarios.library` — the bundled ``.toml`` scenarios.
+"""
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.library import list_scenarios, load_named, resolve
+from repro.scenarios.schema import load_scenario, parse_scenario, scenario_from_json
+from repro.scenarios.spec import ScenarioSpec, canonical_json, spec_sha256
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioSpec",
+    "canonical_json",
+    "list_scenarios",
+    "load_named",
+    "load_scenario",
+    "parse_scenario",
+    "resolve",
+    "scenario_from_json",
+    "spec_sha256",
+]

@@ -1,0 +1,220 @@
+"""Scenario -> study-request lowering.
+
+:func:`compile_scenario` turns one validated :class:`ScenarioSpec`
+into a :class:`CompiledCampaign`: a list of
+:class:`~repro.experiments.entry.StudyRequest` units plus notes about
+the lowering.  Two paths exist:
+
+- **Paper-exact lowering.**  A scenario whose parameters coincide with
+  one of the five paper figures compiles to that figure's plain
+  request (``StudyRequest("fig1", ...)``), so running the scenario
+  goes through *exactly* the figure code path — the rendered artifact
+  is byte-identical to ``repro fig1`` at the same trials/format, which
+  the parity test enforces.
+- **Generic lowering.**  Anything else (custom MTBF or fractions,
+  Weibull/lognormal/burst/trace regimes, sweeps) compiles to one
+  self-contained ``experiment="scenario"`` request embedding the
+  canonical spec JSON (and, for trace replay, the trace JSONL), which
+  :mod:`repro.scenarios.runtime` executes through the cell executor.
+
+Compilation also resolves and validates the trace file for trace
+scenarios and names the analytic-model bypass reason for non-Poisson
+regimes, so ``repro scenario validate`` catches everything before any
+simulation runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.constants import SCALING_STUDY_TRIALS
+from repro.experiments.entry import StudyRequest
+from repro.failures.trace import TraceFormatError, load_trace, trace_to_jsonl
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    canonical_json,
+    spec_sha256,
+)
+
+#: (app_type, mtbf_years) pairs that are one of the paper's scaling
+#: figures when every other knob is at its paper default.
+_PAPER_SCALING_FIGS = {
+    ("A32", 10.0): "fig1",
+    ("D64", 10.0): "fig2",
+    ("D64", 2.5): "fig3",
+}
+
+#: Datacenter modes -> their paper figure.
+_PAPER_DATACENTER_FIGS = {"techniques": "fig4", "selection": "fig5"}
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One runnable study of a campaign."""
+
+    label: str
+    request: StudyRequest
+
+
+@dataclass(frozen=True)
+class CompiledCampaign:
+    """The executable form of one scenario."""
+
+    spec: ScenarioSpec
+    sha256: str
+    units: Tuple[CampaignUnit, ...]
+    #: Human-readable lowering facts: which figure a unit lowered to,
+    #: why the analytic model is bypassed, etc.
+    notes: Tuple[str, ...]
+    #: The analytic-model bypass reason (None when the paper's Poisson
+    #: assumptions hold and analytic prediction stays valid).
+    analytic_bypass: Optional[str] = None
+
+
+def scenario_analytic_reason(spec: ScenarioSpec) -> Optional[str]:
+    """Why the first-order analytic model cannot predict *spec*
+    (None when it can).  Mirrors
+    :func:`repro.analysis.validation.analytic_inapplicability` at the
+    scenario level, before any simulation objects exist."""
+    failures = spec.failures
+    if failures.regime == "trace":
+        return (
+            "trace replay drives the simulation with one recorded failure "
+            "realization, not a Poisson ensemble; only simulation-backed "
+            "estimates are meaningful"
+        )
+    if failures.regime in ("weibull", "lognormal"):
+        return (
+            f"{failures.regime} failure interarrivals are not exponential, "
+            "so the renewal-reward model's memorylessness assumption "
+            "fails; falling back to simulation-backed prediction"
+        )
+    if failures.burst_mean_width is not None and failures.burst_mean_width > 1.0:
+        return (
+            "burst failures violate the independent single-node failure "
+            "assumption of the analytic model; falling back to "
+            "simulation-backed prediction"
+        )
+    if spec.sweep is not None and spec.sweep.axis == "burst_mean_width":
+        return (
+            "burst failures violate the independent single-node failure "
+            "assumption of the analytic model; falling back to "
+            "simulation-backed prediction"
+        )
+    return None
+
+
+def _paper_scaling_fig(spec: ScenarioSpec) -> Optional[str]:
+    """The scaling figure *spec* coincides with, or None."""
+    if spec.workload.study != "scaling":
+        return None
+    if spec.failures.regime != "poisson":
+        return None
+    f = spec.failures
+    if (
+        f.burst_mean_width is not None
+        or f.severity_pmf is not None
+        or spec.workload.fractions is not None
+        or spec.techniques is not None
+        or spec.sweep is not None
+        or spec.platform.total_nodes is not None
+        or spec.run.seed != 2017
+    ):
+        return None
+    return _PAPER_SCALING_FIGS.get((spec.workload.app_type, f.mtbf_years))
+
+
+def compile_scenario(
+    spec: ScenarioSpec, quick: bool = False
+) -> CompiledCampaign:
+    """Lower *spec* to runnable study requests.
+
+    Raises :class:`ScenarioError` for problems only visible at compile
+    time (an unreadable or malformed trace file).
+    """
+    sha = spec_sha256(spec)
+    notes = []
+    reason = scenario_analytic_reason(spec)
+    if reason is not None:
+        notes.append(f"analytic model bypassed: {reason}")
+
+    if spec.workload.study == "datacenter":
+        fig = _PAPER_DATACENTER_FIGS[spec.workload.mode]
+        request = StudyRequest(
+            experiment=fig,
+            format=spec.run.format,
+            patterns=spec.workload.patterns
+            if spec.workload.patterns is not None
+            else 50,
+            quick=quick,
+        )
+        notes.append(
+            f"lowered to {fig} (the datacenter study runs the paper's "
+            "environment)"
+        )
+        return CompiledCampaign(
+            spec=spec,
+            sha256=sha,
+            units=(CampaignUnit(label=spec.scenario.name, request=request),),
+            notes=tuple(notes),
+            analytic_bypass=reason,
+        )
+
+    fig = _paper_scaling_fig(spec)
+    if fig is not None:
+        request = StudyRequest(
+            experiment=fig,
+            format=spec.run.format,
+            trials=spec.run.trials
+            if spec.run.trials is not None
+            else SCALING_STUDY_TRIALS,
+            quick=quick,
+        )
+        notes.append(f"lowered to {fig} (paper-exact parameters)")
+        return CompiledCampaign(
+            spec=spec,
+            sha256=sha,
+            units=(CampaignUnit(label=spec.scenario.name, request=request),),
+            notes=tuple(notes),
+            analytic_bypass=reason,
+        )
+
+    trace_text: Optional[str] = None
+    if spec.failures.regime == "trace":
+        base = spec.base_dir if spec.base_dir is not None else "."
+        path = os.path.join(base, spec.failures.trace_file)
+        try:
+            trace = load_trace(path)
+        except TraceFormatError as exc:
+            raise ScenarioError("failures.trace_file", str(exc)) from None
+        trace_text = trace_to_jsonl(trace)
+        notes.append(
+            f"trace replay: {len(trace)} recorded failures "
+            f"from {spec.failures.trace_file}"
+        )
+
+    if spec.failures.regime == "trace":
+        default_trials = 1
+    else:
+        default_trials = SCALING_STUDY_TRIALS
+    request = StudyRequest(
+        experiment="scenario",
+        format=spec.run.format,
+        trials=spec.run.trials
+        if spec.run.trials is not None
+        else default_trials,
+        quick=quick,
+        scenario=canonical_json(spec),
+        trace=trace_text,
+    )
+    notes.append("lowered to the generic scenario runtime")
+    return CompiledCampaign(
+        spec=spec,
+        sha256=sha,
+        units=(CampaignUnit(label=spec.scenario.name, request=request),),
+        notes=tuple(notes),
+        analytic_bypass=reason,
+    )

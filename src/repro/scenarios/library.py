@@ -1,0 +1,63 @@
+"""The bundled scenario library.
+
+The package ships a curated set of ``.toml`` scenarios under
+``repro/scenarios/library/``: the five paper figures re-expressed as
+scenario documents (each lowers to exactly the corresponding
+``repro figN`` run) plus extension studies over the new failure-regime
+axes (Weibull aging, lognormal heavy tails, burst storms, trace
+replay, a heterogeneous-MTBF sweep).
+
+:func:`resolve` is the single name-or-path entry used by the CLI and
+the campaign API: a bare name (``fig1``, ``weibull-aging``) finds the
+bundled file; anything with a path separator or an extension is a
+user file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.schema import load_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+def library_dir() -> Path:
+    """Directory holding the bundled scenario files."""
+    return Path(__file__).resolve().parent / "library"
+
+
+def list_scenarios() -> List[str]:
+    """Bundled scenario names, sorted (the stem of each ``.toml``)."""
+    return sorted(p.stem for p in library_dir().glob("*.toml"))
+
+
+def resolve(name_or_path: str) -> Path:
+    """The scenario file behind a bundled name or an explicit path.
+
+    Raises :class:`ScenarioError` when a bare name is not in the
+    library (listing what is).
+    """
+    looks_like_path = (
+        os.sep in name_or_path
+        or "/" in name_or_path
+        or name_or_path.endswith((".toml", ".json"))
+    )
+    if looks_like_path:
+        return Path(name_or_path)
+    candidate = library_dir() / f"{name_or_path}.toml"
+    if not candidate.is_file():
+        raise ScenarioError(
+            "",
+            f"unknown scenario {name_or_path!r} "
+            f"(bundled: {', '.join(list_scenarios())}; "
+            "or pass a .toml/.json file path)",
+        )
+    return candidate
+
+
+def load_named(name_or_path: str) -> ScenarioSpec:
+    """Resolve and parse in one step."""
+    return load_scenario(resolve(name_or_path))

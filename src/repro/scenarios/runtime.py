@@ -1,0 +1,394 @@
+"""Execution of generic (non-paper-exact) scenarios.
+
+:func:`run_scenario_request` is the ``experiment="scenario"`` body of
+:func:`repro.experiments.entry.run_request`.  It re-hydrates the
+canonical spec (and embedded trace) from the request, expands the
+study grid — sweep-axis value x system fraction x technique — into
+:class:`~repro.experiments.parallel.CellTask`\\ s, and runs them
+through :func:`~repro.experiments.parallel.run_cells`, so scenarios
+inherit the executor's parallelism, caching, metrics, and the
+engine's failure-horizon fast path unchanged.
+
+Cache keys are rooted in the spec's SHA-256 (plus the per-cell axis
+value, fraction, technique, and trial count), and every cache entry
+and export carries the provenance stamp — scenario name, spec digest,
+package version.
+
+Non-Poisson regimes never receive analytic predictions: the
+compile-time bypass reason (see
+:func:`repro.scenarios.compiler.scenario_analytic_reason`) is rendered
+into the artifact instead of a silently wrong number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.constants import (
+    EXASCALE_NODES,
+    SCALING_STUDY_BASELINE_S,
+    SCALING_STUDY_FRACTIONS,
+)
+from repro.core.paired import simulate_with_trace
+from repro.core.single_app import SingleAppConfig
+from repro.experiments.barchart import scaling_barchart
+from repro.experiments.config import ScalingStudyConfig
+from repro.experiments.entry import StudyOutcome, StudyRequest
+from repro.experiments.parallel import (
+    CellTask,
+    ExecutorOptions,
+    run_cells,
+    technique_fingerprint,
+)
+from repro.experiments.reporting import render_scaling_study
+from repro.experiments.runner import (
+    ScalingCell,
+    ScalingStudyResult,
+    _scaling_cell_body,
+)
+from repro.experiments.stats import SummaryStats
+from repro.failures.burst import BurstModel
+from repro.failures.generator import (
+    InterarrivalModel,
+    LognormalInterarrivals,
+    WeibullInterarrivals,
+)
+from repro.failures.trace import FailureTrace, trace_digest, trace_from_jsonl
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import get_technique, scaling_study_techniques
+from repro.scenarios.compiler import scenario_analytic_reason
+from repro.scenarios.schema import scenario_from_json
+from repro.scenarios.spec import ScenarioSpec, spec_sha256, spec_to_dict
+from repro.units import MINUTE, years
+from repro.workload.synthetic import make_application
+
+
+def scenario_provenance(spec: ScenarioSpec) -> Dict[str, str]:
+    """The provenance stamp recorded on every scenario artifact."""
+    return {
+        "scenario": spec.scenario.name,
+        "spec_sha256": spec_sha256(spec),
+        "version": repro.__version__,
+    }
+
+
+def provenance_comment(stamp: Dict[str, str]) -> str:
+    """The ``#``-comment form of a provenance stamp (CSV header line)."""
+    return (
+        f"# scenario={stamp['scenario']} "
+        f"spec_sha256={stamp['spec_sha256']} "
+        f"version={stamp['version']}"
+    )
+
+
+def _interarrival_for(
+    spec: ScenarioSpec, axis: Optional[str], value: Optional[float]
+) -> Optional[InterarrivalModel]:
+    """The interarrival model of one grid point (None = Poisson)."""
+    regime = spec.failures.regime
+    if regime == "weibull":
+        shape = value if axis == "shape" else spec.failures.shape
+        return WeibullInterarrivals(shape=shape)
+    if regime == "lognormal":
+        sigma = value if axis == "sigma" else spec.failures.sigma
+        return LognormalInterarrivals(sigma=sigma)
+    return None
+
+
+def _burst_for(
+    spec: ScenarioSpec, axis: Optional[str], value: Optional[float]
+) -> Optional[BurstModel]:
+    """The burst model of one grid point (None = width-1 failures)."""
+    mean = (
+        value if axis == "burst_mean_width" else spec.failures.burst_mean_width
+    )
+    if mean is None or mean <= 1.0:
+        return None
+    max_width = (
+        spec.failures.burst_max_width
+        if spec.failures.burst_max_width is not None
+        else 64
+    )
+    return BurstModel.with_mean_width(mean, max_width=max_width)
+
+
+def _mtbf_years_for(
+    spec: ScenarioSpec, axis: Optional[str], value: Optional[float]
+) -> float:
+    return value if axis == "mtbf_years" else spec.failures.mtbf_years
+
+
+def _trace_cell_body(app, technique, system, trace, app_config):
+    """One trace-replay cell: a single deterministic replay."""
+    if not technique.fits(app, system):
+        return True, ()
+    stats = simulate_with_trace(app, technique, system, trace, app_config)
+    return False, (stats.efficiency(),)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    trials: int,
+    quick: bool = False,
+    trace: Optional[FailureTrace] = None,
+    options: Optional[ExecutorOptions] = None,
+) -> List[Tuple[Optional[float], ScalingStudyResult]]:
+    """Execute *spec*'s grid; one study result per sweep-axis value
+    (a single ``(None, result)`` entry without a sweep).
+
+    Results are bit-identical for any ``options.jobs`` — every cell
+    derives its randomness from the scenario seed and trial index, the
+    same discipline as the figure drivers.
+    """
+    workload = spec.workload
+    if workload.study != "scaling":  # pragma: no cover - schema prevents it
+        raise ValueError("the generic runtime only executes scaling studies")
+    if spec.failures.regime == "trace" and trace is None:
+        raise ValueError("trace-replay scenarios need the recorded trace")
+
+    sha = spec_sha256(spec)
+    system_nodes = (
+        spec.platform.total_nodes
+        if spec.platform.total_nodes is not None
+        else EXASCALE_NODES
+    )
+    fractions = (
+        workload.fractions
+        if workload.fractions is not None
+        else SCALING_STUDY_FRACTIONS
+    )
+    techniques = (
+        [get_technique(name) for name in spec.techniques]
+        if spec.techniques is not None
+        else scaling_study_techniques()
+    )
+    eff_trials = min(trials, 10) if quick else trials
+    if spec.failures.regime == "trace":
+        eff_trials = 1
+    axis = spec.sweep.axis if spec.sweep is not None else None
+    axis_values: Tuple[Optional[float], ...] = (
+        spec.sweep.values if spec.sweep is not None else (None,)
+    )
+    digest = trace_digest(trace) if trace is not None else None
+
+    system = exascale_system(system_nodes)
+    options = options if options is not None else ExecutorOptions()
+    options = replace(options, provenance=scenario_provenance(spec))
+
+    tasks: List[CellTask] = []
+    meta: List[Tuple[Optional[float], float, str]] = []
+    for value in axis_values:
+        mtbf_s = years(_mtbf_years_for(spec, axis, value))
+        app_config = SingleAppConfig(
+            node_mtbf_s=mtbf_s,
+            severity_pmf=spec.failures.severity_pmf,
+            seed=spec.run.seed,
+            burst=_burst_for(spec, axis, value),
+            interarrival=_interarrival_for(spec, axis, value),
+        )
+        for fraction in fractions:
+            nodes = system.fraction_to_nodes(fraction)
+            app = make_application(
+                workload.app_type,
+                nodes=nodes,
+                time_steps=max(1, round(SCALING_STUDY_BASELINE_S / MINUTE)),
+            )
+            for technique in techniques:
+                if trace is not None:
+                    fn = (
+                        lambda app=app, technique=technique, cfg=app_config: _trace_cell_body(
+                            app, technique, system, trace, cfg
+                        )
+                    )
+                else:
+                    fn = (
+                        lambda app=app, technique=technique, cfg=app_config: _scaling_cell_body(
+                            app, technique, system, eff_trials, cfg
+                        )
+                    )
+                tasks.append(
+                    CellTask(
+                        fn=fn,
+                        key_parts=(
+                            "scenario",
+                            sha,
+                            digest,
+                            value,
+                            fraction,
+                            technique_fingerprint(technique),
+                            eff_trials,
+                        ),
+                        trials=eff_trials,
+                        label=(
+                            f"{spec.scenario.name}"
+                            + (f" {axis}={value:g}" if value is not None else "")
+                            + f" {100 * fraction:g}% {technique.name}"
+                        ),
+                    )
+                )
+                meta.append((value, fraction, technique.name))
+
+    outcomes = run_cells(tasks, options)
+
+    results: List[Tuple[Optional[float], ScalingStudyResult]] = []
+    by_value: Dict[Optional[float], ScalingStudyResult] = {}
+    for value in axis_values:
+        cfg = ScalingStudyConfig(
+            app_type=workload.app_type,
+            node_mtbf_s=years(_mtbf_years_for(spec, axis, value)),
+            fractions=tuple(fractions),
+            trials=eff_trials,
+            system_nodes=system_nodes,
+            seed=spec.run.seed,
+            severity_pmf=spec.failures.severity_pmf,
+        )
+        result = ScalingStudyResult(config=cfg)
+        by_value[value] = result
+        results.append((value, result))
+    for (value, fraction, technique_name), outcome in zip(meta, outcomes):
+        infeasible, efficiencies = outcome[0], outcome[1]
+        by_value[value].cells.append(
+            ScalingCell(
+                fraction,
+                technique_name,
+                None if infeasible else SummaryStats.from_samples(efficiencies),
+                infeasible,
+            )
+        )
+    return results
+
+
+def _scenario_title(spec: ScenarioSpec) -> str:
+    if spec.scenario.title:
+        return f"Scenario {spec.scenario.name} — {spec.scenario.title}"
+    return f"Scenario {spec.scenario.name}"
+
+
+def _render_table(
+    spec: ScenarioSpec,
+    results: List[Tuple[Optional[float], ScalingStudyResult]],
+    reason: Optional[str],
+    chart: bool = False,
+) -> str:
+    axis = spec.sweep.axis if spec.sweep is not None else None
+    blocks: List[str] = []
+    for value, result in results:
+        title = _scenario_title(spec)
+        if value is not None:
+            title += f" [{axis} = {value:g}]"
+        if chart:
+            blocks.append(scaling_barchart(result, title=title))
+        else:
+            blocks.append(render_scaling_study(result, title))
+    text = "\n\n".join(blocks)
+    if reason is not None:
+        text += f"\n\nanalytic model bypassed: {reason}"
+    return text
+
+
+def _render_csv(
+    spec: ScenarioSpec,
+    results: List[Tuple[Optional[float], ScalingStudyResult]],
+    stamp: Dict[str, str],
+) -> str:
+    axis = spec.sweep.axis if spec.sweep is not None else ""
+    lines = [
+        provenance_comment(stamp),
+        "axis,axis_value,app_type,fraction,technique,"
+        "mean_efficiency,std_efficiency,trials,infeasible",
+    ]
+    for value, result in results:
+        for cell in result.cells:
+            lines.append(
+                ",".join(
+                    [
+                        axis,
+                        f"{value:g}" if value is not None else "",
+                        result.config.app_type,
+                        repr(cell.fraction),
+                        cell.technique,
+                        repr(cell.mean_efficiency),
+                        repr(cell.stats.std if cell.stats else 0.0),
+                        str(cell.stats.n if cell.stats else 0),
+                        str(cell.infeasible),
+                    ]
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(
+    spec: ScenarioSpec,
+    results: List[Tuple[Optional[float], ScalingStudyResult]],
+    stamp: Dict[str, str],
+    reason: Optional[str],
+) -> str:
+    import json
+
+    axis = spec.sweep.axis if spec.sweep is not None else None
+    payload = {
+        "provenance": stamp,
+        "scenario": spec_to_dict(spec),
+        "analytic_bypass": reason,
+        "results": [
+            {
+                "axis": axis,
+                "axis_value": value,
+                "cells": [
+                    {
+                        "app_type": result.config.app_type,
+                        "fraction": cell.fraction,
+                        "technique": cell.technique,
+                        "mean_efficiency": cell.mean_efficiency,
+                        "std_efficiency": cell.stats.std if cell.stats else 0.0,
+                        "trials": cell.stats.n if cell.stats else 0,
+                        "infeasible": cell.infeasible,
+                    }
+                    for cell in result.cells
+                ],
+            }
+            for value, result in results
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_scenario_request(
+    request: StudyRequest,
+    options: Optional[ExecutorOptions] = None,
+) -> StudyOutcome:
+    """Entry body for ``experiment="scenario"`` requests.
+
+    The request is self-contained (canonical spec JSON plus any
+    embedded trace), so this runs identically from the CLI and from a
+    service worker — same seeds, same cache keys, same rendered bytes.
+    """
+    spec = scenario_from_json(request.scenario)
+    trace = (
+        trace_from_jsonl(request.trace, source="<request>")
+        if request.trace is not None
+        else None
+    )
+    reason = scenario_analytic_reason(spec)
+    stamp = scenario_provenance(spec)
+    results = run_scenario(
+        spec,
+        trials=request.trials,
+        quick=request.quick,
+        trace=trace,
+        options=options,
+    )
+    if request.format == "csv":
+        text = _render_csv(spec, results, stamp)
+    elif request.format == "json":
+        text = _render_json(spec, results, stamp, reason)
+    elif request.format == "barchart":
+        text = _render_table(spec, results, reason, chart=True)
+    else:
+        text = _render_table(spec, results, reason)
+    notes: Dict[str, object] = dict(stamp)
+    if reason is not None:
+        notes["analytic_bypass"] = reason
+    return StudyOutcome(text=text, result=results, notes=notes)

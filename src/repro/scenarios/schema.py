@@ -1,0 +1,633 @@
+"""Scenario schema: strict parsing of TOML/JSON scenario documents.
+
+:func:`load_scenario` reads a file (TOML by default, JSON for
+``.json``); :func:`parse_scenario` validates a plain mapping.  The
+schema is *closed*: every unknown section or key is an error naming
+the full field path, so a typo like ``[failurs]`` or
+``burst_mean_witdh`` fails loudly instead of silently running the
+default.  Cross-field rules (a Weibull ``shape`` under a Poisson
+regime, a sweep over a trace replay, a datacenter study outside the
+paper's failure environment) are enforced here too — the compiler and
+runtime may assume a parsed spec is coherent.
+
+Error style follows the service conventions: a single
+:class:`~repro.scenarios.errors.ScenarioError` line, qualified with
+the dotted field path and the accepted values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tomllib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.spec import (
+    DATACENTER_MODES,
+    REGIMES,
+    STUDIES,
+    SWEEP_AXES,
+    FailureSpec,
+    PlatformSpec,
+    RunSpec,
+    ScenarioMeta,
+    ScenarioSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
+
+#: Output formats a scenario can request (mirrors the study entrypoint).
+SCENARIO_FORMATS = ("table", "barchart", "csv", "json")
+
+#: Platform presets a scenario can name.
+PLATFORM_PRESETS = ("exascale",)
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+
+class _Section:
+    """A cursor over one table that tracks consumed keys.
+
+    ``take`` pops one typed value; ``finish`` rejects whatever is
+    left — the mechanism behind the closed-schema guarantee.
+    """
+
+    def __init__(self, mapping: Dict[str, Any], path: str) -> None:
+        self._data = dict(mapping)
+        self._path = path
+
+    def _at(self, key: str) -> str:
+        return f"{self._path}.{key}" if self._path else key
+
+    def take(
+        self,
+        key: str,
+        kind: str,
+        default: Any = None,
+        required: bool = False,
+    ) -> Any:
+        if key not in self._data:
+            if required:
+                raise ScenarioError(
+                    self._at(key), f"missing required {kind} value"
+                )
+            return default
+        value = self._data.pop(key)
+        return _coerce(value, kind, self._at(key))
+
+    def finish(self) -> None:
+        if self._data:
+            key = sorted(self._data)[0]
+            raise ScenarioError(self._at(key), "unknown key")
+
+
+def _coerce(value: Any, kind: str, path: str) -> Any:
+    if kind == "str":
+        if not isinstance(value, str):
+            raise ScenarioError(path, f"expected a string, got {_describe(value)}")
+        return value
+    if kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioError(
+                path, f"expected an integer, got {_describe(value)}"
+            )
+        return value
+    if kind == "float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ScenarioError(path, f"expected a number, got {_describe(value)}")
+        return float(value)
+    if kind == "list[float]":
+        if not isinstance(value, (list, tuple)):
+            raise ScenarioError(
+                path, f"expected an array of numbers, got {_describe(value)}"
+            )
+        out: List[float] = []
+        for i, item in enumerate(value):
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                raise ScenarioError(
+                    f"{path}[{i}]", f"expected a number, got {_describe(item)}"
+                )
+            out.append(float(item))
+        return out
+    if kind == "list[str]":
+        if not isinstance(value, (list, tuple)):
+            raise ScenarioError(
+                path, f"expected an array of strings, got {_describe(value)}"
+            )
+        for i, item in enumerate(value):
+            if not isinstance(item, str):
+                raise ScenarioError(
+                    f"{path}[{i}]", f"expected a string, got {_describe(item)}"
+                )
+        return list(value)
+    raise AssertionError(f"unknown kind {kind!r}")  # pragma: no cover
+
+
+def _describe(value: Any) -> str:
+    if isinstance(value, bool):
+        return f"boolean {value}"
+    if isinstance(value, (int, float)):
+        return f"number {value!r}"
+    if isinstance(value, str):
+        return f"string {value!r}"
+    if isinstance(value, (list, tuple)):
+        return "an array"
+    if isinstance(value, dict):
+        return "a table"
+    return type(value).__name__
+
+
+def _table(data: Dict[str, Any], key: str, required: bool = False) -> Optional[Dict]:
+    if key not in data:
+        if required:
+            raise ScenarioError(key, "missing required section")
+        return None
+    value = data[key]
+    if not isinstance(value, dict):
+        raise ScenarioError(key, f"expected a table, got {_describe(value)}")
+    return value
+
+
+def _choice(value: str, allowed: Tuple[str, ...], path: str, noun: str) -> str:
+    if value not in allowed:
+        raise ScenarioError(
+            path,
+            f"unknown {noun} {value!r} (choose from {', '.join(allowed)})",
+        )
+    return value
+
+
+def _parse_meta(data: Dict[str, Any]) -> ScenarioMeta:
+    section = _Section(data, "scenario")
+    name = section.take("name", "str", required=True)
+    if not _NAME_RE.fullmatch(name):
+        raise ScenarioError(
+            "scenario.name",
+            f"invalid name {name!r} (letters, digits, '.', '_', '-';"
+            " must start with a letter or digit)",
+        )
+    meta = ScenarioMeta(
+        name=name,
+        title=section.take("title", "str", default=""),
+        description=section.take("description", "str", default=""),
+    )
+    section.finish()
+    return meta
+
+
+def _parse_platform(data: Optional[Dict[str, Any]]) -> PlatformSpec:
+    if data is None:
+        return PlatformSpec()
+    section = _Section(data, "platform")
+    preset = _choice(
+        section.take("preset", "str", default="exascale"),
+        PLATFORM_PRESETS,
+        "platform.preset",
+        "platform preset",
+    )
+    total_nodes = section.take("total_nodes", "int")
+    if total_nodes is not None and total_nodes < 2:
+        raise ScenarioError(
+            "platform.total_nodes", f"must be >= 2, got {total_nodes}"
+        )
+    section.finish()
+    return PlatformSpec(preset=preset, total_nodes=total_nodes)
+
+
+def _parse_failures(data: Optional[Dict[str, Any]]) -> FailureSpec:
+    if data is None:
+        return FailureSpec()
+    section = _Section(data, "failures")
+    regime = _choice(
+        section.take("regime", "str", default="poisson"),
+        REGIMES,
+        "failures.regime",
+        "regime",
+    )
+    mtbf_years = section.take("mtbf_years", "float", default=10.0)
+    if mtbf_years <= 0:
+        raise ScenarioError(
+            "failures.mtbf_years", f"must be > 0, got {mtbf_years:g}"
+        )
+    shape = section.take("shape", "float")
+    if shape is not None:
+        if regime != "weibull":
+            raise ScenarioError(
+                "failures.shape",
+                f"only valid for regime 'weibull' (regime is {regime!r})",
+            )
+        if shape <= 0:
+            raise ScenarioError("failures.shape", f"must be > 0, got {shape:g}")
+    sigma = section.take("sigma", "float")
+    if sigma is not None:
+        if regime != "lognormal":
+            raise ScenarioError(
+                "failures.sigma",
+                f"only valid for regime 'lognormal' (regime is {regime!r})",
+            )
+        if sigma <= 0:
+            raise ScenarioError("failures.sigma", f"must be > 0, got {sigma:g}")
+    burst_mean_width = section.take("burst_mean_width", "float")
+    burst_max_width = section.take("burst_max_width", "int")
+    if burst_mean_width is not None:
+        if regime == "trace":
+            raise ScenarioError(
+                "failures.burst_mean_width",
+                "burst storms cannot compose with trace replay "
+                "(the trace already fixes every failure)",
+            )
+        if burst_mean_width < 1.0:
+            raise ScenarioError(
+                "failures.burst_mean_width",
+                f"must be >= 1, got {burst_mean_width:g}",
+            )
+    if burst_max_width is not None:
+        if burst_mean_width is None:
+            raise ScenarioError(
+                "failures.burst_max_width",
+                "requires burst_mean_width to be set",
+            )
+        if burst_max_width < 1:
+            raise ScenarioError(
+                "failures.burst_max_width", f"must be >= 1, got {burst_max_width}"
+            )
+    trace_file = section.take("trace_file", "str")
+    if regime == "trace" and trace_file is None:
+        raise ScenarioError(
+            "failures.trace_file", "required when regime is 'trace'"
+        )
+    if regime != "trace" and trace_file is not None:
+        raise ScenarioError(
+            "failures.trace_file",
+            f"only valid for regime 'trace' (regime is {regime!r})",
+        )
+    pmf = section.take("severity_pmf", "list[float]")
+    severity_pmf: Optional[Tuple[float, float, float]] = None
+    if pmf is not None:
+        if len(pmf) != 3:
+            raise ScenarioError(
+                "failures.severity_pmf",
+                f"expected 3 probabilities, got {len(pmf)}",
+            )
+        if any(p < 0 for p in pmf) or abs(sum(pmf) - 1.0) > 1e-9:
+            raise ScenarioError(
+                "failures.severity_pmf",
+                "probabilities must be >= 0 and sum to 1",
+            )
+        severity_pmf = (pmf[0], pmf[1], pmf[2])
+    section.finish()
+    return FailureSpec(
+        regime=regime,
+        mtbf_years=mtbf_years,
+        shape=shape,
+        sigma=sigma,
+        burst_mean_width=burst_mean_width,
+        burst_max_width=burst_max_width,
+        trace_file=trace_file,
+        severity_pmf=severity_pmf,
+    )
+
+
+def _parse_workload(data: Optional[Dict[str, Any]]) -> WorkloadSpec:
+    if data is None:
+        return WorkloadSpec()
+    section = _Section(data, "workload")
+    study = _choice(
+        section.take("study", "str", default="scaling"),
+        STUDIES,
+        "workload.study",
+        "study",
+    )
+    app_type = section.take("app_type", "str")
+    fractions_raw = section.take("fractions", "list[float]")
+    mode = section.take("mode", "str")
+    patterns = section.take("patterns", "int")
+    section.finish()
+
+    if study == "scaling":
+        if mode is not None:
+            raise ScenarioError(
+                "workload.mode", "only valid for study 'datacenter'"
+            )
+        if patterns is not None:
+            raise ScenarioError(
+                "workload.patterns", "only valid for study 'datacenter'"
+            )
+        from repro.workload.synthetic import APP_TYPES
+
+        app_type = app_type if app_type is not None else "A32"
+        if app_type not in APP_TYPES:
+            raise ScenarioError(
+                "workload.app_type",
+                f"unknown application type {app_type!r} "
+                f"(choose from {', '.join(sorted(APP_TYPES))})",
+            )
+        fractions: Optional[Tuple[float, ...]] = None
+        if fractions_raw is not None:
+            if not fractions_raw:
+                raise ScenarioError(
+                    "workload.fractions", "need at least one fraction"
+                )
+            for i, f in enumerate(fractions_raw):
+                if not 0.0 < f <= 1.0:
+                    raise ScenarioError(
+                        f"workload.fractions[{i}]",
+                        f"must be in (0, 1], got {f:g}",
+                    )
+            fractions = tuple(fractions_raw)
+        return WorkloadSpec(study="scaling", app_type=app_type, fractions=fractions)
+
+    # datacenter
+    if app_type is not None:
+        raise ScenarioError(
+            "workload.app_type",
+            "only valid for study 'scaling' (the datacenter study draws "
+            "its own arrival mix)",
+        )
+    if fractions_raw is not None:
+        raise ScenarioError(
+            "workload.fractions", "only valid for study 'scaling'"
+        )
+    mode = _choice(
+        mode if mode is not None else "techniques",
+        DATACENTER_MODES,
+        "workload.mode",
+        "datacenter mode",
+    )
+    if patterns is not None and patterns < 1:
+        raise ScenarioError("workload.patterns", f"must be >= 1, got {patterns}")
+    return WorkloadSpec(study="datacenter", mode=mode, patterns=patterns)
+
+
+def _parse_techniques(data: Optional[Dict[str, Any]]) -> Optional[Tuple[str, ...]]:
+    if data is None:
+        return None
+    section = _Section(data, "techniques")
+    names = section.take("names", "list[str]", required=True)
+    section.finish()
+    if not names:
+        raise ScenarioError("techniques.names", "need at least one technique")
+    from repro.resilience.registry import by_name
+
+    known = by_name()
+    for i, name in enumerate(names):
+        if name not in known:
+            raise ScenarioError(
+                f"techniques.names[{i}]",
+                f"unknown technique {name!r} "
+                f"(choose from {', '.join(sorted(known))})",
+            )
+    if len(set(names)) != len(names):
+        raise ScenarioError("techniques.names", "technique names must be unique")
+    return tuple(names)
+
+
+def _parse_sweep(data: Optional[Dict[str, Any]]) -> Optional[SweepSpec]:
+    if data is None:
+        return None
+    section = _Section(data, "sweep")
+    axis = _choice(
+        section.take("axis", "str", required=True),
+        SWEEP_AXES,
+        "sweep.axis",
+        "sweep axis",
+    )
+    values = section.take("values", "list[float]", required=True)
+    section.finish()
+    if not values:
+        raise ScenarioError("sweep.values", "need at least one value")
+    for i, v in enumerate(values):
+        if axis == "burst_mean_width":
+            if v < 1.0:
+                raise ScenarioError(
+                    f"sweep.values[{i}]",
+                    f"must be >= 1 for axis 'burst_mean_width', got {v:g}",
+                )
+        elif v <= 0.0:
+            raise ScenarioError(
+                f"sweep.values[{i}]", f"must be > 0 for axis {axis!r}, got {v:g}"
+            )
+    if len(set(values)) != len(values):
+        raise ScenarioError("sweep.values", "sweep values must be unique")
+    return SweepSpec(axis=axis, values=tuple(values))
+
+
+def _parse_run(data: Optional[Dict[str, Any]]) -> RunSpec:
+    if data is None:
+        return RunSpec()
+    section = _Section(data, "run")
+    trials = section.take("trials", "int")
+    if trials is not None and trials < 1:
+        raise ScenarioError("run.trials", f"must be >= 1, got {trials}")
+    seed = section.take("seed", "int", default=2017)
+    fmt = _choice(
+        section.take("format", "str", default="table"),
+        SCENARIO_FORMATS,
+        "run.format",
+        "format",
+    )
+    section.finish()
+    return RunSpec(trials=trials, seed=seed, format=fmt)
+
+
+def _cross_validate(spec: ScenarioSpec) -> None:
+    """Rules spanning sections; assumes per-section parsing passed."""
+    failures, workload, sweep = spec.failures, spec.workload, spec.sweep
+
+    if workload.study == "datacenter":
+        # The datacenter injector redraws gaps on every rate change,
+        # which is only valid for memoryless (exponential) gaps, and
+        # the Fig. 4-5 drivers fix the paper's environment; anything
+        # else must be expressed as a scaling study.
+        if failures.regime != "poisson":
+            raise ScenarioError(
+                "failures.regime",
+                f"regime {failures.regime!r} is not supported by the "
+                "datacenter study: its failure injector redraws "
+                "interarrivals on allocation changes, which requires the "
+                "memoryless (poisson) regime",
+            )
+        if failures.burst_mean_width is not None:
+            raise ScenarioError(
+                "failures.burst_mean_width",
+                "burst storms are not supported by the datacenter study",
+            )
+        if failures.mtbf_years != 10.0:
+            raise ScenarioError(
+                "failures.mtbf_years",
+                "the datacenter study runs the paper's environment "
+                "(mtbf_years = 10); vary MTBF with a scaling study",
+            )
+        if failures.severity_pmf is not None:
+            raise ScenarioError(
+                "failures.severity_pmf",
+                "custom severity PMFs are not supported by the "
+                "datacenter study",
+            )
+        if spec.techniques is not None:
+            raise ScenarioError(
+                "techniques.names",
+                "the datacenter study fixes its technique line-up "
+                "(choose workload.mode instead)",
+            )
+        if sweep is not None:
+            raise ScenarioError(
+                "sweep.axis", "sweeps are only supported for scaling studies"
+            )
+        if spec.run.trials is not None:
+            raise ScenarioError(
+                "run.trials",
+                "the datacenter study repeats over arrival patterns; "
+                "set workload.patterns instead",
+            )
+        if spec.run.seed != 2017:
+            raise ScenarioError(
+                "run.seed",
+                "the datacenter study runs the paper's seed (2017)",
+            )
+
+    if failures.regime == "weibull" and failures.shape is None:
+        if sweep is None or sweep.axis != "shape":
+            raise ScenarioError(
+                "failures.shape",
+                "required for regime 'weibull' (or sweep over axis 'shape')",
+            )
+    if failures.regime == "lognormal" and failures.sigma is None:
+        if sweep is None or sweep.axis != "sigma":
+            raise ScenarioError(
+                "failures.sigma",
+                "required for regime 'lognormal' (or sweep over axis 'sigma')",
+            )
+
+    if failures.regime == "trace":
+        trials = spec.run.trials
+        if trials is not None and trials != 1:
+            raise ScenarioError(
+                "run.trials",
+                f"trace replay is a single recorded realization; trials "
+                f"must be 1, got {trials}",
+            )
+        if sweep is not None:
+            raise ScenarioError(
+                "sweep.axis", "sweeps cannot compose with trace replay"
+            )
+
+    if sweep is not None:
+        if sweep.axis == "shape" and failures.regime != "weibull":
+            raise ScenarioError(
+                "sweep.axis",
+                f"axis 'shape' requires regime 'weibull' "
+                f"(regime is {failures.regime!r})",
+            )
+        if sweep.axis == "sigma" and failures.regime != "lognormal":
+            raise ScenarioError(
+                "sweep.axis",
+                f"axis 'sigma' requires regime 'lognormal' "
+                f"(regime is {failures.regime!r})",
+            )
+        fixed = {
+            "shape": failures.shape,
+            "sigma": failures.sigma,
+            "burst_mean_width": failures.burst_mean_width,
+        }.get(sweep.axis)
+        if fixed is not None:
+            raise ScenarioError(
+                "sweep.axis",
+                f"axis {sweep.axis!r} is already fixed in [failures]; "
+                "remove one",
+            )
+        if sweep.axis == "mtbf_years" and failures.mtbf_years != 10.0:
+            raise ScenarioError(
+                "sweep.axis",
+                "axis 'mtbf_years' is already fixed in [failures]; "
+                "remove one",
+            )
+
+
+def parse_scenario(
+    data: Any,
+    source: Optional[str] = None,
+    base_dir: Optional[str] = None,
+) -> ScenarioSpec:
+    """Validate a plain mapping into a :class:`ScenarioSpec`.
+
+    Raises :class:`ScenarioError` (one line, field-path qualified,
+    prefixed with *source* when given) on any schema violation.
+    """
+    try:
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                "", f"scenario document must be a table, got {_describe(data)}"
+            )
+        known = {
+            "scenario",
+            "platform",
+            "failures",
+            "workload",
+            "techniques",
+            "sweep",
+            "run",
+        }
+        for key in sorted(data):
+            if key not in known:
+                raise ScenarioError(key, "unknown section")
+        spec = ScenarioSpec(
+            scenario=_parse_meta(_table(data, "scenario", required=True)),
+            platform=_parse_platform(_table(data, "platform")),
+            failures=_parse_failures(_table(data, "failures")),
+            workload=_parse_workload(_table(data, "workload")),
+            techniques=_parse_techniques(_table(data, "techniques")),
+            sweep=_parse_sweep(_table(data, "sweep")),
+            run=_parse_run(_table(data, "run")),
+            base_dir=base_dir,
+        )
+        _cross_validate(spec)
+        return spec
+    except ScenarioError as exc:
+        raise exc.with_source(source) from None
+
+
+def scenario_from_json(text: str, source: Optional[str] = None) -> ScenarioSpec:
+    """Parse a scenario from its canonical JSON text (the embedded form
+    carried by ``StudyRequest.scenario``)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError("", f"invalid JSON: {exc}", source=source) from None
+    return parse_scenario(data, source=source)
+
+
+def load_scenario(path: Union[str, "os.PathLike"]) -> ScenarioSpec:
+    """Read and validate one scenario file.
+
+    ``.json`` files parse as JSON; everything else as TOML.  All
+    failures — unreadable file, syntax error, schema violation — raise
+    :class:`ScenarioError` with the file name in the message.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ScenarioError(
+            "", f"cannot read scenario file: {exc}", source=path
+        ) from None
+    if path.endswith(".json"):
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ScenarioError(
+                "", f"invalid JSON: {exc}", source=path
+            ) from None
+    else:
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise ScenarioError(
+                "", f"invalid TOML: {exc}", source=path
+            ) from None
+    return parse_scenario(
+        data, source=os.path.basename(path), base_dir=os.path.dirname(path) or "."
+    )

@@ -5,6 +5,11 @@ Routes (all JSON unless noted):
 - ``POST /v1/jobs`` — submit a job (a flat :class:`JobSpec` payload);
   201 with the job status, 400 on a malformed spec, 429 when the
   queue is at its depth bound.
+- ``POST /v1/campaigns`` — compile a scenario (``{"scenario": name}``
+  for a bundled one, or ``{"spec": {...}}`` inline) and enqueue its
+  units as jobs; 201 with the spec SHA-256 and one job record per
+  unit, 400 with the field-qualified one-line message on a schema
+  violation, 429 when the queue cannot take the units.
 - ``GET /v1/jobs`` — recent jobs (``?state=`` filter, ``?limit=``).
 - ``GET /v1/jobs/{id}`` — job status.
 - ``GET /v1/jobs/{id}/result`` — the rendered artifact, as raw text
@@ -125,13 +130,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         """Dispatch POST routes."""
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
-        if parts != ["v1", "jobs"]:
+        service = self.server.service
+        if parts == ["v1", "jobs"]:
+            submit = lambda payload: service.submit(payload).to_payload()  # noqa: E731
+        elif parts == ["v1", "campaigns"]:
+            submit = service.submit_campaign
+        else:
             self._send_json(404, {"error": f"no route for {url.path}"})
             return
-        service = self.server.service
         try:
             payload = self._read_json_body()
-            record = service.submit(payload)
+            response = submit(payload)
         except ValidationError as exc:
             self._send_json(400, {"error": str(exc)})
             return
@@ -144,7 +153,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
-        self._send_json(201, record.to_payload())
+        self._send_json(201, response)
 
     def do_DELETE(self) -> None:
         """Dispatch DELETE routes (job cancellation)."""

@@ -28,7 +28,7 @@ from typing import Any, Dict, Optional
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
 from repro.service import api as service_api
-from repro.service.jobs import JobSpec
+from repro.service.jobs import JobSpec, ValidationError
 from repro.service.store import JobRecord, JobStore
 from repro.service.worker import WorkerPool
 
@@ -180,6 +180,88 @@ class ReproService:
         job_id = self.store.submit(spec.to_payload())
         obs_counters.increment("service.jobs_accepted")
         return self.store.get(job_id)
+
+    def submit_campaign(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/campaigns``: compile a scenario and enqueue its
+        units as ordinary jobs.
+
+        The payload names a bundled scenario (``{"scenario": "fig1"}``)
+        or carries an inline document (``{"spec": {...}}``), plus
+        optional ``quick`` / ``jobs`` / ``cache`` / ``format``
+        overrides.  Compilation runs here — schema violations and
+        unreadable trace files are 400s with the field-qualified
+        one-line message, before anything is enqueued.  The response
+        carries the scenario's canonical-spec SHA-256 and one job
+        record per compiled unit.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments.entry import FORMATS
+        from repro.scenarios.compiler import compile_scenario
+        from repro.scenarios.errors import ScenarioError
+        from repro.scenarios.library import load_named
+        from repro.scenarios.schema import parse_scenario
+
+        if not isinstance(payload, dict):
+            raise ValidationError("campaign payload must be a JSON object")
+        data = dict(payload)
+        name = data.pop("scenario", None)
+        inline = data.pop("spec", None)
+        quick = data.pop("quick", False)
+        jobs = data.pop("jobs", 1)
+        cache = data.pop("cache", True)
+        fmt = data.pop("format", None)
+        if data:
+            raise ValidationError(
+                f"unknown campaign field {sorted(data)[0]!r}"
+            )
+        if (name is None) == (inline is None):
+            raise ValidationError(
+                "provide exactly one of 'scenario' (a bundled name) or "
+                "'spec' (an inline scenario document)"
+            )
+        if name is not None and not isinstance(name, str):
+            raise ValidationError("field 'scenario' must be a string")
+        if not isinstance(quick, bool):
+            raise ValidationError("field 'quick' must be a boolean")
+        if fmt is not None and fmt not in FORMATS:
+            raise ValidationError(
+                f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})"
+            )
+        try:
+            if name is not None:
+                spec = load_named(name)
+            else:
+                spec = parse_scenario(inline, source="<request>")
+            campaign = compile_scenario(spec, quick=quick)
+        except ScenarioError as exc:
+            raise ValidationError(str(exc)) from None
+        units = []
+        for unit in campaign.units:
+            request = (
+                unit.request
+                if fmt is None
+                else dc_replace(unit.request, format=fmt)
+            )
+            job_payload = request.to_payload()
+            job_payload["jobs"] = jobs
+            job_payload["cache"] = cache
+            job_spec = JobSpec.from_payload(job_payload)
+            job_id = self.store.submit(job_spec.to_payload())
+            obs_counters.increment("service.jobs_accepted")
+            units.append(
+                {
+                    "label": unit.label,
+                    "job": self.store.get(job_id).to_payload(),
+                }
+            )
+        obs_counters.increment("service.campaigns_accepted")
+        return {
+            "scenario": campaign.spec.scenario.name,
+            "spec_sha256": campaign.sha256,
+            "notes": list(campaign.notes),
+            "units": units,
+        }
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel *job_id* (see :meth:`JobStore.cancel`)."""

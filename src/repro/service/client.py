@@ -109,6 +109,22 @@ class ServiceClient:
         spec.update(fields)
         return self._json("POST", "/v1/jobs", spec)
 
+    def submit_campaign(
+        self, payload: Optional[Dict[str, Any]] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """``POST /v1/campaigns``: compile a scenario into jobs.
+
+        Pass ``scenario="fig1"`` for a bundled scenario or
+        ``spec={...}`` for an inline document, plus optional ``quick``
+        / ``jobs`` / ``cache`` / ``format`` overrides.  Returns the
+        campaign payload: the canonical-spec SHA-256, compiler notes,
+        and one job record per compiled unit (wait on each
+        ``unit["job"]["id"]`` as with :meth:`submit`).
+        """
+        body = dict(payload or {})
+        body.update(fields)
+        return self._json("POST", "/v1/campaigns", body)
+
     def status(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/{id}``."""
         return self._json("GET", f"/v1/jobs/{job_id}")

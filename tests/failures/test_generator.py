@@ -5,7 +5,10 @@ import pytest
 
 from repro.failures.generator import (
     AppFailureGenerator,
+    ExponentialInterarrivals,
     Failure,
+    LognormalInterarrivals,
+    WeibullInterarrivals,
     sample_failure_times,
 )
 from repro.failures.severity import SeverityModel
@@ -91,3 +94,93 @@ class TestVectorizedSampling:
             sample_failure_times(rng, -1.0, 10.0)
         with pytest.raises(ValueError):
             sample_failure_times(rng, 1.0, -10.0)
+
+
+class TestInterarrivalModels:
+    """The non-exponential renewal regimes behind scenario specs."""
+
+    def test_memoryless_flags(self):
+        assert ExponentialInterarrivals.memoryless is True
+        assert WeibullInterarrivals(2.0).memoryless is False
+        assert LognormalInterarrivals(1.0).memoryless is False
+
+    def test_none_keeps_legacy_exponential_stream(self):
+        """interarrival=None must replay the historical draw sequence
+        bit for bit (it guards every pre-scenario artifact)."""
+        a = AppFailureGenerator(
+            np.random.default_rng(7), nodes=1200, node_mtbf_s=years(10)
+        )
+        b = AppFailureGenerator(
+            np.random.default_rng(7),
+            nodes=1200,
+            node_mtbf_s=years(10),
+            interarrival=None,
+        )
+        for _ in range(200):
+            assert a.next_failure() == b.next_failure()
+
+    def test_weibull_shape_one_is_bitwise_exponential(self):
+        """Weibull(shape=1) consumes the same NumPy variate as the
+        exponential path, so the whole failure sequence is identical."""
+        exp_gen = AppFailureGenerator(
+            np.random.default_rng(11),
+            nodes=1200,
+            node_mtbf_s=years(10),
+            interarrival=ExponentialInterarrivals(),
+        )
+        wei_gen = AppFailureGenerator(
+            np.random.default_rng(11),
+            nodes=1200,
+            node_mtbf_s=years(10),
+            interarrival=WeibullInterarrivals(shape=1.0),
+        )
+        for _ in range(200):
+            assert exp_gen.next_failure() == wei_gen.next_failure()
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ExponentialInterarrivals(),
+            WeibullInterarrivals(shape=0.7),
+            WeibullInterarrivals(shape=2.0),
+            LognormalInterarrivals(sigma=0.5),
+            LognormalInterarrivals(sigma=1.5),
+        ],
+    )
+    def test_mean_gap_preserved_across_regimes(self, rng, model):
+        """Every regime keeps the paper's mean rate nodes/MTBF — only
+        the gap *distribution* changes."""
+        gen = AppFailureGenerator(
+            rng, nodes=1200, node_mtbf_s=years(10), interarrival=model
+        )
+        gaps = [gen.next_interarrival() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(1.0 / gen.rate, rel=0.10)
+
+    def test_weibull_shape_changes_dispersion(self, rng):
+        """shape > 1 must reduce the gap CV below the exponential's 1."""
+        gen = AppFailureGenerator(
+            rng,
+            nodes=1200,
+            node_mtbf_s=years(10),
+            interarrival=WeibullInterarrivals(shape=3.0),
+        )
+        gaps = np.array([gen.next_interarrival() for _ in range(20_000)])
+        cv = gaps.std() / gaps.mean()
+        assert cv < 0.5  # Exp has CV 1; Weibull(3) ~ 0.36
+
+    def test_lognormal_heavy_tail(self, rng):
+        """Large sigma must overdisperse relative to the exponential."""
+        gen = AppFailureGenerator(
+            rng,
+            nodes=1200,
+            node_mtbf_s=years(10),
+            interarrival=LognormalInterarrivals(sigma=1.5),
+        )
+        gaps = np.array([gen.next_interarrival() for _ in range(20_000)])
+        assert gaps.std() / gaps.mean() > 1.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WeibullInterarrivals(shape=0.0)
+        with pytest.raises(ValueError):
+            LognormalInterarrivals(sigma=-1.0)

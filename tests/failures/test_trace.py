@@ -1,9 +1,23 @@
 """Unit tests for technique-independent failure traces."""
 
+import json
+
 import pytest
 
 from repro.failures.severity import SeverityModel
-from repro.failures.trace import FailureTrace, TracedFailure, record_trace
+from repro.failures.trace import (
+    TRACE_FORMAT,
+    TRACE_FORMAT_VERSION,
+    FailureTrace,
+    TracedFailure,
+    TraceFormatError,
+    load_trace,
+    record_trace,
+    save_trace,
+    trace_digest,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
 from repro.rng.streams import StreamFactory
 from repro.units import years
 
@@ -117,3 +131,81 @@ class TestFailureTraceValidation:
         failures = (TracedFailure(time=20.0, location_u=0.1, severity=1),)
         with pytest.raises(ValueError):
             FailureTrace(unit_rate=1e-9, horizon_s=10.0, failures=failures)
+
+
+class TestJsonlPersistence:
+    """Versioned JSONL save/load for recorded traces."""
+
+    def _trace(self, seed=3):
+        return record_trace(
+            StreamFactory(seed).fresh("trace"), years(10), 1e10
+        )
+
+    def test_round_trip_is_identity(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_serialization_is_stable(self):
+        """Same trace -> same bytes -> same digest (full-repr floats)."""
+        a, b = self._trace(), self._trace()
+        assert trace_to_jsonl(a) == trace_to_jsonl(b)
+        assert trace_digest(a) == trace_digest(b)
+
+    def test_header_declares_format_and_version(self):
+        header = json.loads(trace_to_jsonl(self._trace()).splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_FORMAT_VERSION
+
+    def test_rescaling_regression_across_node_counts(self, tmp_path):
+        """A reloaded trace must materialize exactly like the original
+        at every allocation size: times compressed by the node count,
+        locations rescaled onto [0, nodes), severities untouched."""
+        trace = self._trace()
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for nodes in (10, 64, 1200, 120_000):
+            original = list(trace.scaled(nodes))
+            replayed = list(loaded.scaled(nodes))
+            assert replayed == original
+            assert [f.severity for f in replayed] == [
+                f.severity for f in original
+            ]
+            assert all(0 <= f.node_id < nodes for f in replayed)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_jsonl("")
+
+    def test_wrong_format_marker_rejected(self):
+        lines = trace_to_jsonl(self._trace()).splitlines()
+        header = json.loads(lines[0])
+        header["format"] = "something-else"
+        bad = "\n".join([json.dumps(header)] + lines[1:])
+        with pytest.raises(TraceFormatError, match="format"):
+            trace_from_jsonl(bad)
+
+    def test_unsupported_version_rejected(self):
+        lines = trace_to_jsonl(self._trace()).splitlines()
+        header = json.loads(lines[0])
+        header["version"] = TRACE_FORMAT_VERSION + 1
+        bad = "\n".join([json.dumps(header)] + lines[1:])
+        with pytest.raises(TraceFormatError, match="version"):
+            trace_from_jsonl(bad)
+
+    def test_count_mismatch_rejected(self):
+        lines = trace_to_jsonl(self._trace()).splitlines()
+        with pytest.raises(TraceFormatError, match="truncated"):
+            trace_from_jsonl("\n".join(lines[:-1]))
+
+    def test_bad_line_reported_with_number(self):
+        lines = trace_to_jsonl(self._trace()).splitlines()
+        lines[1] = "{not json"
+        with pytest.raises(TraceFormatError, match="line 2"):
+            trace_from_jsonl("\n".join(lines))
+
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(tmp_path / "absent.jsonl")

@@ -1,5 +1,7 @@
 """Unit tests for distribution helpers."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -7,8 +9,12 @@ from repro.rng.distributions import (
     DiscretePMF,
     choice,
     exponential,
+    lognormal,
+    lognormal_mu_for_mean,
     uniform,
     uniform_int,
+    weibull,
+    weibull_scale_for_mean,
 )
 
 
@@ -110,3 +116,81 @@ class TestDiscretePMF:
     def test_sample_many_negative_rejected(self, rng):
         with pytest.raises(ValueError):
             DiscretePMF([1.0]).sample_many(rng, -1)
+
+
+class TestWeibull:
+    """Property tests against the Weibull closed forms."""
+
+    def test_mean_matches_closed_form(self, rng):
+        shape, scale = 1.5, 40.0
+        draws = [weibull(rng, shape, scale) for _ in range(20_000)]
+        expected = scale * math.gamma(1.0 + 1.0 / shape)
+        assert np.mean(draws) == pytest.approx(expected, rel=0.05)
+
+    def test_variance_matches_closed_form(self, rng):
+        shape, scale = 1.5, 40.0
+        draws = [weibull(rng, shape, scale) for _ in range(40_000)]
+        g1 = math.gamma(1.0 + 1.0 / shape)
+        g2 = math.gamma(1.0 + 2.0 / shape)
+        expected = scale * scale * (g2 - g1 * g1)
+        assert np.var(draws) == pytest.approx(expected, rel=0.10)
+
+    def test_shape_one_is_bitwise_exponential(self):
+        """Weibull(1, 1/rate) consumes the same NumPy variate as
+        Exp(rate): equal streams give bit-identical draws."""
+        rate = 1.0 / 3600.0
+        a = np.random.default_rng(2017)
+        b = np.random.default_rng(2017)
+        for _ in range(500):
+            assert weibull(a, 1.0, 1.0 / rate) == exponential(b, rate)
+
+    def test_scale_for_mean_inverts_the_mean(self, rng):
+        shape, mean = 0.7, 123.0
+        scale = weibull_scale_for_mean(shape, mean)
+        assert scale * math.gamma(1.0 + 1.0 / shape) == pytest.approx(mean)
+
+    def test_positive(self, rng):
+        assert all(weibull(rng, 0.5, 2.0) > 0 for _ in range(200))
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            weibull(rng, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            weibull(rng, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            weibull_scale_for_mean(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            weibull_scale_for_mean(1.0, 0.0)
+
+
+class TestLognormal:
+    """Property tests against the lognormal closed forms."""
+
+    def test_mean_matches_closed_form(self, rng):
+        mu, sigma = 2.0, 0.75
+        draws = [lognormal(rng, mu, sigma) for _ in range(40_000)]
+        expected = math.exp(mu + sigma * sigma / 2.0)
+        assert np.mean(draws) == pytest.approx(expected, rel=0.05)
+
+    def test_variance_matches_closed_form(self, rng):
+        mu, sigma = 2.0, 0.75
+        draws = [lognormal(rng, mu, sigma) for _ in range(80_000)]
+        s2 = sigma * sigma
+        expected = (math.exp(s2) - 1.0) * math.exp(2.0 * mu + s2)
+        assert np.var(draws) == pytest.approx(expected, rel=0.15)
+
+    def test_mu_for_mean_inverts_the_mean(self):
+        mean, sigma = 3600.0, 1.5
+        mu = lognormal_mu_for_mean(mean, sigma)
+        assert math.exp(mu + sigma * sigma / 2.0) == pytest.approx(mean)
+
+    def test_positive(self, rng):
+        assert all(lognormal(rng, 0.0, 2.0) > 0 for _ in range(200))
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            lognormal(rng, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            lognormal_mu_for_mean(0.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_mu_for_mean(1.0, -2.0)

@@ -1,0 +1,182 @@
+"""Compiler tests: paper-exact lowering vs the generic runtime."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioError,
+    list_scenarios,
+    load_named,
+    parse_scenario,
+    spec_sha256,
+)
+from repro.scenarios.compiler import compile_scenario, scenario_analytic_reason
+
+
+def scaling(**overrides):
+    doc = {
+        "scenario": {"name": "t"},
+        "failures": {"regime": "poisson"},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.01],
+        },
+        "techniques": {"names": ["checkpoint_restart"]},
+        "run": {"trials": 5},
+    }
+    doc.update(overrides)
+    return parse_scenario(doc)
+
+
+class TestPaperExactLowering:
+    """The 5 bundled paper scenarios must lower to the figure drivers
+    themselves — that is what guarantees byte parity with `repro figN`."""
+
+    @pytest.mark.parametrize(
+        "name, experiment",
+        [
+            ("fig1", "fig1"),
+            ("fig2", "fig2"),
+            ("fig3", "fig3"),
+            ("fig4", "fig4"),
+            ("fig5", "fig5"),
+        ],
+    )
+    def test_bundled_figs_lower_to_figure_drivers(self, name, experiment):
+        campaign = compile_scenario(load_named(name))
+        assert len(campaign.units) == 1
+        assert campaign.units[0].request.experiment == experiment
+        assert campaign.analytic_bypass is None
+        assert any(f"lowered to {experiment}" in n for n in campaign.notes)
+
+    def test_deviating_mtbf_goes_generic(self):
+        spec = parse_scenario(
+            {
+                "scenario": {"name": "t"},
+                "failures": {"regime": "poisson", "mtbf_years": 5.0},
+                "workload": {"study": "scaling", "app_type": "A32"},
+            }
+        )
+        campaign = compile_scenario(spec)
+        assert campaign.units[0].request.experiment == "scenario"
+
+    def test_nondefault_techniques_go_generic(self):
+        campaign = compile_scenario(
+            scaling(
+                failures={"regime": "poisson", "mtbf_years": 10.0},
+            )
+        )
+        assert campaign.units[0].request.experiment == "scenario"
+
+
+class TestGenericLowering:
+    def test_request_is_self_contained(self):
+        campaign = compile_scenario(scaling())
+        request = campaign.units[0].request
+        assert request.experiment == "scenario"
+        assert request.scenario is not None
+        payload = json.loads(request.scenario)
+        assert payload["scenario"]["name"] == "t"
+        assert request.trace is None
+
+    def test_sha_matches_spec(self):
+        spec = scaling()
+        campaign = compile_scenario(spec)
+        assert campaign.sha256 == spec_sha256(spec)
+
+    def test_quick_propagates(self):
+        assert compile_scenario(scaling(), quick=True).units[0].request.quick
+        assert not compile_scenario(scaling()).units[0].request.quick
+
+    def test_spec_format_carried(self):
+        spec = scaling(run={"trials": 5, "format": "csv"})
+        assert compile_scenario(spec).units[0].request.format == "csv"
+
+
+class TestAnalyticBypass:
+    def test_poisson_has_no_reason(self):
+        assert scenario_analytic_reason(scaling()) is None
+
+    def test_weibull_reason(self):
+        spec = scaling(failures={"regime": "weibull", "shape": 1.5})
+        reason = scenario_analytic_reason(spec)
+        assert reason is not None and "weibull" in reason
+
+    def test_lognormal_reason(self):
+        spec = scaling(failures={"regime": "lognormal", "sigma": 1.0})
+        reason = scenario_analytic_reason(spec)
+        assert reason is not None and "lognormal" in reason
+
+    def test_burst_reason(self):
+        spec = scaling(
+            failures={"regime": "poisson", "burst_mean_width": 4.0}
+        )
+        reason = scenario_analytic_reason(spec)
+        assert reason is not None and "burst" in reason
+
+    def test_burst_sweep_reason(self):
+        spec = scaling(
+            sweep={"axis": "burst_mean_width", "values": [1.0, 4.0]}
+        )
+        assert scenario_analytic_reason(spec) is not None
+
+    def test_bypass_lands_in_campaign_notes(self):
+        spec = scaling(failures={"regime": "weibull", "shape": 1.5})
+        campaign = compile_scenario(spec)
+        assert campaign.analytic_bypass is not None
+        assert any("bypass" in n for n in campaign.notes)
+
+
+class TestTraceCompilation:
+    def test_bundled_trace_embedded(self):
+        campaign = compile_scenario(load_named("trace-replay"))
+        request = campaign.units[0].request
+        assert request.experiment == "scenario"
+        assert request.trace is not None
+        assert "repro-failure-trace" in request.trace.splitlines()[0]
+        assert request.trials == 1
+        assert campaign.analytic_bypass is not None
+
+    def test_missing_trace_file_is_schema_error(self, tmp_path):
+        spec = parse_scenario(
+            {
+                "scenario": {"name": "t"},
+                "failures": {"regime": "trace", "trace_file": "absent.jsonl"},
+                "workload": {
+                    "study": "scaling",
+                    "app_type": "A32",
+                    "fractions": [0.01],
+                },
+            },
+            base_dir=str(tmp_path),
+        )
+        with pytest.raises(ScenarioError, match="failures.trace_file"):
+            compile_scenario(spec)
+
+
+class TestBundledLibrary:
+    def test_every_bundled_scenario_compiles(self):
+        names = list_scenarios()
+        assert len(names) >= 9
+        for name in names:
+            campaign = compile_scenario(load_named(name))
+            assert campaign.units, name
+
+    def test_required_studies_present(self):
+        names = set(list_scenarios())
+        assert {"fig1", "fig2", "fig3", "fig4", "fig5"} <= names
+        assert {
+            "weibull-aging",
+            "lognormal-heavy-tail",
+            "burst-storm",
+            "trace-replay",
+            "heterogeneous-mtbf",
+        } <= names
+
+    def test_non_poisson_bundles_declare_bypass(self):
+        for name in ("weibull-aging", "lognormal-heavy-tail",
+                     "burst-storm", "trace-replay"):
+            campaign = compile_scenario(load_named(name))
+            assert campaign.analytic_bypass is not None, name

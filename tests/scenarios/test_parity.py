@@ -1,0 +1,38 @@
+"""Acceptance criterion: the bundled fig1 scenario, run through
+``repro scenario run``, is byte-identical to ``repro fig1`` for the
+same configuration — the paper-exact lowering compiles to the very
+figure driver, so seeds, cells, and rendered bytes all coincide."""
+
+import pytest
+
+from repro.cli import main
+
+
+def stdout_of(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fmt", ["csv", "table"])
+def test_fig1_scenario_byte_identical_to_fig1(capsys, fmt):
+    direct = stdout_of(capsys, ["fig1", "--quick", "--format", fmt])
+    scenario = stdout_of(
+        capsys, ["scenario", "run", "fig1", "--quick", "--format", fmt]
+    )
+    assert scenario == direct
+
+
+def test_fig1_scenario_honours_spec_format_by_default(capsys):
+    """Without --format the spec's run.format (table) wins."""
+    out = stdout_of(capsys, ["scenario", "run", "fig1", "--quick"])
+    assert "Fig. 1" in out
+
+
+def test_fig1_parity_survives_parallel_execution(capsys):
+    direct = stdout_of(capsys, ["fig1", "--quick", "--format", "csv"])
+    scenario = stdout_of(
+        capsys,
+        ["scenario", "run", "fig1", "--quick", "--format", "csv",
+         "--jobs", "2", "--no-cache"],
+    )
+    assert scenario == direct

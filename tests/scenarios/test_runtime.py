@@ -1,0 +1,192 @@
+"""Runtime tests: execution, determinism, and provenance stamping."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.entry import StudyRequest, run_request
+from repro.experiments.parallel import ExecutorOptions, ResultCache
+from repro.scenarios import parse_scenario, spec_sha256
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.runtime import run_scenario_request, scenario_provenance
+
+
+def tiny(**failures):
+    """A one-cell scenario that runs in well under a second."""
+    return parse_scenario(
+        {
+            "scenario": {"name": "tiny", "title": "Tiny"},
+            "failures": failures or {"regime": "poisson", "mtbf_years": 5.0},
+            "workload": {
+                "study": "scaling",
+                "app_type": "A32",
+                "fractions": [0.01],
+            },
+            "techniques": {"names": ["checkpoint_restart"]},
+            "run": {"trials": 3},
+        }
+    )
+
+
+def request_for(spec, fmt="table"):
+    from dataclasses import replace
+
+    request = compile_scenario(spec).units[0].request
+    return replace(request, format=fmt)
+
+
+def run_text(spec, fmt="table", **options):
+    outcome = run_scenario_request(
+        request_for(spec, fmt), options=ExecutorOptions(**options)
+    )
+    return outcome.text
+
+
+class TestExecution:
+    def test_table_renders(self):
+        text = run_text(tiny())
+        assert "Scenario tiny" in text
+        assert "checkpoint_restart" in text
+
+    def test_deterministic_across_runs(self):
+        assert run_text(tiny(), "csv") == run_text(tiny(), "csv")
+
+    def test_serial_vs_parallel_byte_identical(self):
+        serial = run_text(tiny(), "csv", jobs=1, cache=False)
+        parallel = run_text(tiny(), "csv", jobs=2, cache=False)
+        assert serial == parallel
+
+    def test_weibull_regime_runs_and_flags_bypass(self):
+        text = run_text(tiny(regime="weibull", shape=1.5))
+        assert "analytic model bypassed" in text
+        assert "weibull" in text
+
+    def test_sweep_renders_every_axis_value(self):
+        spec = parse_scenario(
+            {
+                "scenario": {"name": "sw"},
+                "failures": {"regime": "poisson"},
+                "workload": {
+                    "study": "scaling",
+                    "app_type": "A32",
+                    "fractions": [0.01],
+                },
+                "techniques": {"names": ["checkpoint_restart"]},
+                "sweep": {"axis": "mtbf_years", "values": [2.5, 10.0]},
+                "run": {"trials": 2},
+            }
+        )
+        text = run_text(spec)
+        assert "mtbf_years = 2.5" in text
+        assert "mtbf_years = 10" in text
+
+    def test_shape_one_weibull_matches_poisson_bytes(self):
+        """The regime plumbing itself must not disturb the stream:
+        Weibull(shape=1) renders the same cells as the plain poisson
+        run of the same scenario (same seeds, bit-identical gaps)."""
+        poisson = run_text(tiny(regime="poisson", mtbf_years=5.0), "csv")
+        shape1 = run_text(
+            tiny(regime="weibull", shape=1.0, mtbf_years=5.0), "csv"
+        )
+        # Identical numbers; only the provenance hash (spec) differs.
+        strip = lambda t: [  # noqa: E731
+            line for line in t.splitlines() if not line.startswith("#")
+        ]
+        assert strip(poisson) == strip(shape1)
+
+
+class TestProvenance:
+    def test_stamp_fields(self):
+        from repro import __version__
+
+        spec = tiny()
+        stamp = scenario_provenance(spec)
+        assert stamp == {
+            "scenario": "tiny",
+            "spec_sha256": spec_sha256(spec),
+            "version": __version__,
+        }
+
+    def test_csv_header_carries_stamp(self):
+        spec = tiny()
+        text = run_text(spec, "csv")
+        first = text.splitlines()[0]
+        assert first.startswith("# scenario=tiny")
+        assert spec_sha256(spec) in first
+
+    def test_json_carries_stamp_and_bypass(self):
+        spec = tiny(regime="lognormal", sigma=1.0, mtbf_years=5.0)
+        payload = json.loads(run_text(spec, "json"))
+        assert payload["provenance"]["spec_sha256"] == spec_sha256(spec)
+        assert payload["analytic_bypass"] is not None
+
+    def test_cache_entries_stamped(self, tmp_path):
+        """Every cache entry written by a scenario run must carry the
+        scenario name, canonical-spec SHA-256, and package version."""
+        from repro import __version__
+
+        cache_dir = tmp_path / "cache"
+        spec = tiny()
+        run_scenario_request(
+            request_for(spec),
+            options=ExecutorOptions(cache=True, cache_dir=str(cache_dir)),
+        )
+        entries = list(cache_dir.glob("*.pkl"))
+        assert entries
+        for path in entries:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            assert payload["provenance"] == {
+                "scenario": "tiny",
+                "spec_sha256": spec_sha256(spec),
+                "version": __version__,
+            }
+
+    def test_cache_round_trip_provenance_reader(self, tmp_path):
+        cache = ResultCache(directory=tmp_path / "c", enabled=True)
+        stamp = {"scenario": "x", "spec_sha256": "ab" * 32, "version": "1"}
+        cache.put("k", 42, provenance=stamp)
+        hit, value = cache.get("k")
+        assert hit and value == 42
+        assert cache.provenance("k") == stamp
+
+    def test_unstamped_entries_stay_valid(self, tmp_path):
+        cache = ResultCache(directory=tmp_path / "c", enabled=True)
+        cache.put("k", "v")
+        assert cache.get("k") == (True, "v")
+        assert cache.provenance("k") is None
+
+    def test_cached_rerun_byte_identical(self, tmp_path):
+        """A second run served from cache renders the same bytes."""
+        options = dict(cache=True, cache_dir=str(tmp_path / "c"))
+        first = run_text(tiny(), "csv", **options)
+        second = run_text(tiny(), "csv", **options)
+        assert first == second
+
+
+class TestEntryIntegration:
+    def test_scenario_experiment_via_run_request(self):
+        spec = tiny()
+        request = compile_scenario(spec, quick=True).units[0].request
+        outcome = run_request(request, options=ExecutorOptions())
+        assert "Scenario tiny" in outcome.text
+
+    def test_scenario_payload_round_trip(self):
+        """Scenario requests survive to_payload/from_payload — that is
+        what carries them through the service's job store."""
+        request = compile_scenario(tiny()).units[0].request
+        again = StudyRequest.from_payload(request.to_payload())
+        assert again == request
+
+    def test_scenario_requires_spec(self):
+        from repro.experiments.entry import RequestError
+
+        with pytest.raises(RequestError):
+            StudyRequest(experiment="scenario").validate()
+
+    def test_non_scenario_rejects_scenario_fields(self):
+        from repro.experiments.entry import RequestError
+
+        with pytest.raises(RequestError):
+            StudyRequest(experiment="fig1", scenario="{}").validate()

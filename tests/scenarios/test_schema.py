@@ -1,0 +1,217 @@
+"""Schema tests: strict validation with field-path-qualified errors."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioError,
+    canonical_json,
+    parse_scenario,
+    scenario_from_json,
+    spec_sha256,
+)
+from repro.scenarios.spec import spec_to_dict
+
+
+def minimal(**overrides):
+    """A minimal valid scaling-scenario document."""
+    doc = {
+        "scenario": {"name": "t"},
+        "failures": {"regime": "poisson"},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.01],
+        },
+        "techniques": {"names": ["checkpoint_restart"]},
+        "run": {"trials": 5},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def err(doc):
+    with pytest.raises(ScenarioError) as excinfo:
+        parse_scenario(doc)
+    return excinfo.value
+
+
+class TestAccepts:
+    def test_minimal_scaling(self):
+        spec = parse_scenario(minimal())
+        assert spec.scenario.name == "t"
+        assert spec.failures.regime == "poisson"
+        assert spec.failures.mtbf_years == 10.0
+        assert spec.run.seed == 2017
+        assert spec.run.format == "table"
+
+    def test_weibull_with_shape(self):
+        spec = parse_scenario(
+            minimal(failures={"regime": "weibull", "shape": 1.5})
+        )
+        assert spec.failures.shape == 1.5
+
+    def test_sweep_supplies_the_shape(self):
+        spec = parse_scenario(
+            minimal(
+                failures={"regime": "weibull"},
+                sweep={"axis": "shape", "values": [0.7, 1.0, 1.5]},
+            )
+        )
+        assert spec.sweep.axis == "shape"
+        assert spec.failures.shape is None
+
+    def test_datacenter_minimal(self):
+        spec = parse_scenario(
+            {
+                "scenario": {"name": "dc"},
+                "failures": {"regime": "poisson"},
+                "workload": {"study": "datacenter", "mode": "selection"},
+            }
+        )
+        assert spec.workload.mode == "selection"
+
+
+class TestRejects:
+    def test_unknown_top_level_section(self):
+        assert "field 'extra'" in str(err(minimal(extra={})))
+
+    def test_unknown_key_in_section(self):
+        exc = err(minimal(platform={"preset": "exascale", "nodez": 3}))
+        assert "field 'platform.nodez'" in str(exc)
+
+    def test_wrong_type_reports_path(self):
+        exc = err(minimal(failures={"regime": "poisson", "mtbf_years": "x"}))
+        assert "failures.mtbf_years" in str(exc)
+
+    def test_bool_is_not_a_number(self):
+        exc = err(minimal(failures={"regime": "poisson", "mtbf_years": True}))
+        assert "failures.mtbf_years" in str(exc)
+
+    def test_unknown_regime(self):
+        exc = err(minimal(failures={"regime": "gamma"}))
+        assert "failures.regime" in str(exc)
+
+    def test_missing_scenario_name(self):
+        exc = err(minimal(scenario={}))
+        assert "scenario.name" in str(exc)
+
+    def test_bad_scenario_name(self):
+        exc = err(minimal(scenario={"name": "has spaces"}))
+        assert "scenario.name" in str(exc)
+
+    def test_weibull_needs_shape(self):
+        exc = err(minimal(failures={"regime": "weibull"}))
+        assert "failures.shape" in str(exc)
+
+    def test_lognormal_needs_sigma(self):
+        exc = err(minimal(failures={"regime": "lognormal"}))
+        assert "failures.sigma" in str(exc)
+
+    def test_trace_needs_trace_file(self):
+        exc = err(minimal(failures={"regime": "trace"}))
+        assert "failures.trace_file" in str(exc)
+
+    def test_trace_forbids_ensembles(self):
+        exc = err(
+            minimal(
+                failures={"regime": "trace", "trace_file": "t.jsonl"},
+                run={"trials": 5},
+            )
+        )
+        assert "run.trials" in str(exc)
+
+    def test_sweep_axis_must_match_regime(self):
+        exc = err(
+            minimal(sweep={"axis": "sigma", "values": [0.5, 1.0]})
+        )
+        assert "sweep.axis" in str(exc)
+
+    def test_sweep_axis_cannot_also_be_fixed(self):
+        exc = err(
+            minimal(
+                failures={"regime": "poisson", "mtbf_years": 5.0},
+                sweep={"axis": "mtbf_years", "values": [1.0, 10.0]},
+            )
+        )
+        assert "sweep.axis" in str(exc)
+
+    def test_unknown_technique(self):
+        exc = err(minimal(techniques={"names": ["raid"]}))
+        assert "techniques.names" in str(exc)
+
+    def test_fraction_out_of_range(self):
+        exc = err(
+            minimal(
+                workload={
+                    "study": "scaling",
+                    "app_type": "A32",
+                    "fractions": [1.5],
+                }
+            )
+        )
+        assert "workload.fractions" in str(exc)
+
+
+class TestDatacenterRestrictions:
+    def base(self, **failures):
+        doc = {
+            "scenario": {"name": "dc"},
+            "failures": {"regime": "poisson", **failures},
+            "workload": {"study": "datacenter", "mode": "techniques"},
+        }
+        return doc
+
+    def test_non_poisson_rejected(self):
+        doc = self.base(regime="weibull", shape=1.5)
+        exc = err(doc)
+        assert "datacenter" in str(exc)
+
+    def test_burst_rejected(self):
+        exc = err(self.base(burst_mean_width=4.0))
+        assert "datacenter" in str(exc)
+
+    def test_nondefault_mtbf_rejected(self):
+        exc = err(self.base(mtbf_years=2.5))
+        assert "datacenter" in str(exc)
+
+    def test_trials_rejected_patterns_suggested(self):
+        doc = self.base()
+        doc["run"] = {"trials": 10}
+        exc = err(doc)
+        assert "workload.patterns" in str(exc)
+
+    def test_sweep_rejected(self):
+        doc = self.base()
+        doc["sweep"] = {"axis": "mtbf_years", "values": [1.0]}
+        exc = err(doc)
+        assert "scaling" in str(exc)
+
+
+class TestCanonicalIdentity:
+    def test_sha_ignores_document_key_order(self):
+        a = minimal()
+        b = {k: a[k] for k in reversed(list(a))}
+        assert spec_sha256(parse_scenario(a)) == spec_sha256(parse_scenario(b))
+
+    def test_sha_sensitive_to_values(self):
+        a = spec_sha256(parse_scenario(minimal()))
+        b = spec_sha256(
+            parse_scenario(minimal(failures={"regime": "poisson", "mtbf_years": 2.5}))
+        )
+        assert a != b
+
+    def test_round_trip_through_canonical_json(self):
+        spec = parse_scenario(
+            minimal(failures={"regime": "weibull", "shape": 1.5})
+        )
+        again = scenario_from_json(canonical_json(spec))
+        assert spec_to_dict(again) == spec_to_dict(spec)
+        assert spec_sha256(again) == spec_sha256(spec)
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_json(parse_scenario(minimal()))
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text

@@ -1,0 +1,135 @@
+"""``POST /v1/campaigns``: scenario campaigns over HTTP.
+
+Covers the acceptance criteria: bundled scenarios (including Weibull,
+burst-storm, and trace-replay regimes) execute end-to-end through the
+service, and schema violations come back as 400s with the same
+field-path-qualified one-line message the CLI prints.
+"""
+
+import pytest
+
+from repro.scenarios import load_named, spec_sha256
+from repro.service.app import ReproService, ServiceConfig
+from repro.service.client import ServiceClient, ServiceError
+
+
+def inline_spec(**overrides):
+    doc = {
+        "scenario": {"name": "inline"},
+        "failures": {"regime": "poisson", "mtbf_years": 5.0},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.01],
+        },
+        "techniques": {"names": ["checkpoint_restart"]},
+        "run": {"trials": 2},
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture
+def service():
+    svc = ReproService(
+        ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            workers=1,
+            db_path=":memory:",
+            poll_interval_s=0.01,
+        )
+    )
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=30)
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout=30.0)
+
+
+class TestSubmission:
+    def test_bundled_campaign_runs_to_done(self, client):
+        campaign = client.submit_campaign(scenario="weibull-aging", quick=True)
+        assert campaign["scenario"] == "weibull-aging"
+        assert campaign["spec_sha256"] == spec_sha256(
+            load_named("weibull-aging")
+        )
+        assert len(campaign["units"]) == 1
+        job_id = campaign["units"][0]["job"]["id"]
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        assert "analytic model bypassed" in client.result(job_id)
+
+    def test_trace_replay_campaign_round_trips_the_trace(self, client):
+        """The embedded trace must survive the job store: replay jobs
+        are self-contained, no path resolution happens on the worker."""
+        campaign = client.submit_campaign(scenario="trace-replay", quick=True)
+        job_id = campaign["units"][0]["job"]["id"]
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        text = client.result(job_id)
+        assert "trace replay" in text or "recorded failure" in text
+
+    def test_burst_storm_campaign_accepted(self, client):
+        campaign = client.submit_campaign(scenario="burst-storm", quick=True)
+        job_id = campaign["units"][0]["job"]["id"]
+        assert client.wait(job_id, timeout=300)["state"] == "done"
+
+    def test_inline_spec_with_provenance_in_result(self, client):
+        campaign = client.submit_campaign(
+            spec=inline_spec(), quick=True, format="csv"
+        )
+        job_id = campaign["units"][0]["job"]["id"]
+        assert client.wait(job_id, timeout=300)["state"] == "done"
+        first_line = client.result(job_id).splitlines()[0]
+        assert first_line.startswith("# scenario=inline")
+        assert campaign["spec_sha256"] in first_line
+
+    def test_notes_surface_compiler_decisions(self, client):
+        campaign = client.submit_campaign(scenario="fig1", quick=True)
+        assert any("lowered to fig1" in n for n in campaign["notes"])
+
+
+class TestValidation:
+    def test_unknown_bundled_name_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(scenario="no-such-study")
+        assert excinfo.value.status == 400
+        assert "no-such-study" in excinfo.value.message
+
+    def test_schema_violation_400_with_field_path(self, client):
+        bad = inline_spec(failures={"regime": "weibull"})
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(spec=bad)
+        assert excinfo.value.status == 400
+        assert "failures.shape" in excinfo.value.message
+
+    def test_both_scenario_and_spec_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(scenario="fig1", spec=inline_spec())
+        assert excinfo.value.status == 400
+
+    def test_neither_scenario_nor_spec_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(quick=True)
+        assert excinfo.value.status == 400
+
+    def test_unknown_field_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(scenario="fig1", bogus=1)
+        assert excinfo.value.status == 400
+        assert "bogus" in excinfo.value.message
+
+    def test_bad_format_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(scenario="fig1", format="yaml")
+        assert excinfo.value.status == 400
+
+    def test_nothing_enqueued_on_rejection(self, client, service):
+        before = service.store.counts()
+        with pytest.raises(ServiceError):
+            client.submit_campaign(spec=inline_spec(failures={"regime": "x"}))
+        assert service.store.counts() == before

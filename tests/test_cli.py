@@ -203,3 +203,118 @@ class TestCacheCommand:
         assert "pruned" in out
         assert main(["cache", "stats"]) == 0
         assert "0 entries" in capsys.readouterr().out
+
+
+class TestScenarioVerbs:
+    def test_scenario_parses_with_action_and_name(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "fig1", "--quick", "--export", "out"]
+        )
+        assert args.experiment == "scenario"
+        assert args.target == "run"
+        assert args.extra == "fig1"
+        assert args.export == "out"
+
+    def test_list_names_bundled_scenarios(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "weibull-aging", "burst-storm", "trace-replay"):
+            assert name in out
+
+    def test_bare_scenario_defaults_to_list(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_show_prints_sha_and_lowering(self, capsys):
+        assert main(["scenario", "show", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "sha256" in out
+        assert "experiment 'fig1'" in out
+
+    def test_validate_bundled_ok(self, capsys):
+        assert main(["scenario", "validate", "heterogeneous-mtbf"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_bad_spec_exits_2_one_line(self, capsys, tmp_path):
+        """Acceptance criterion: a schema violation is exit code 2 with
+        one field-path-qualified line on stderr, never a traceback."""
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            "[scenario]\nname = 't'\n"
+            "[failures]\nregime = 'weibull'\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+        )
+        assert main(["scenario", "validate", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: error: ")
+        assert "failures.shape" in lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_validate_unknown_key_names_field_path(self, capsys, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            "[scenario]\nname = 't'\n"
+            "[platform]\nnodez = 3\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+        )
+        assert main(["scenario", "validate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "platform.nodez" in err
+        assert "Traceback" not in err
+
+    def test_validate_unknown_name_exits_2(self, capsys):
+        assert main(["scenario", "validate", "no-such-study"]) == 2
+        assert "no-such-study" in capsys.readouterr().err
+
+    def test_unknown_action_exits_2(self, capsys):
+        assert main(["scenario", "frobnicate", "fig1"]) == 2
+        assert "unknown scenario action" in capsys.readouterr().err
+
+    def test_action_needing_name_exits_2(self, capsys):
+        assert main(["scenario", "run"]) == 2
+        assert "needs a bundled scenario name" in capsys.readouterr().err
+
+    def test_run_with_export_writes_artifact_and_sidecar(
+        self, capsys, tmp_path
+    ):
+        spec = tmp_path / "mini.toml"
+        spec.write_text(
+            "[scenario]\nname = 'mini'\n"
+            "[failures]\nregime = 'poisson'\nmtbf_years = 5.0\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+            "fractions = [0.01]\n"
+            "[techniques]\nnames = ['checkpoint_restart']\n"
+            "[run]\ntrials = 2\nformat = 'csv'\n"
+        )
+        out_dir = tmp_path / "out"
+        assert (
+            main(["scenario", "run", str(spec), "--export", str(out_dir)])
+            == 0
+        )
+        artifact = out_dir / "mini.csv"
+        sidecar = out_dir / "mini.provenance.json"
+        assert artifact.exists() and sidecar.exists()
+        import json as _json
+
+        stamp = _json.loads(sidecar.read_text())
+        assert stamp["scenario"] == "mini"
+        assert len(stamp["spec_sha256"]) == 64
+        assert stamp["spec_sha256"] in artifact.read_text()
+
+    def test_run_weibull_scenario_quick(self, capsys, tmp_path):
+        spec = tmp_path / "w.toml"
+        spec.write_text(
+            "[scenario]\nname = 'w'\n"
+            "[failures]\nregime = 'weibull'\nshape = 1.5\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+            "fractions = [0.01]\n"
+            "[techniques]\nnames = ['checkpoint_restart']\n"
+            "[run]\ntrials = 2\n"
+        )
+        assert main(["scenario", "run", str(spec)]) == 0
+        captured = capsys.readouterr()
+        assert "analytic model bypassed" in captured.out
+        assert "weibull" in captured.out
