@@ -1,0 +1,128 @@
+"""Shared runner for the fast-path benchmark scripts.
+
+Both ``bench_fastpath.py`` (single-application engine) and
+``bench_datacenter.py`` (datacenter mapping loop) measure the same
+shape of experiment: a stepped baseline against the closed-form fast
+path, on identical inputs, where the two must agree bit for bit.  This
+module holds the common machinery — warmup handling, best-of-repeats
+timing, digest comparison, and the result-file writer — so the two
+scripts share one timing discipline and one JSON schema:
+
+.. code-block:: json
+
+    {
+      "benchmark": "<description>",
+      "repeats": 3,
+      "cells": {
+        "<cell name>": {
+          "stepped_wall_s": 1.0,
+          "fast_wall_s": 0.1,
+          "speedup": 10.0,
+          "bit_identical": true,
+          "...": "per-script extras, stepped_/fast_ prefixed"
+        }
+      }
+    }
+
+The writer refuses to produce a result file at all when any cell
+diverged (``bit_identical`` false) or, with ``min_speedup``, when any
+cell came in below the floor — a benchmark artifact in the repository
+always describes a verified, non-regressing configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Optional, Tuple
+
+#: A single measured run: ``(elapsed_seconds, digest, extras)``.  The
+#: digest is any equality-comparable value derived from the run's
+#: observable results; extras are plain-data counters merged into the
+#: cell record with a ``stepped_``/``fast_`` prefix.
+RunResult = Tuple[float, object, Dict[str, object]]
+
+
+def _best_of(run: Callable[[], RunResult], repeats: int) -> RunResult:
+    """Best wall time over *repeats* invocations of *run*.
+
+    The digest and extras come from the last invocation; runs are
+    deterministic, so every repeat produces the same ones (the pair
+    check in :func:`measure_pair` would expose a run that did not).
+    """
+    best = float("inf")
+    digest: object = None
+    extras: Dict[str, object] = {}
+    for _ in range(max(repeats, 1)):
+        elapsed, digest, extras = run()
+        if elapsed < best:
+            best = elapsed
+    return best, digest, extras
+
+
+def measure_pair(
+    stepped: Callable[[], RunResult],
+    fast: Callable[[], RunResult],
+    repeats: int,
+    warmup: int = 1,
+) -> Dict[str, object]:
+    """Measure one cell on both paths and compare their digests.
+
+    *warmup* untimed invocations of each path run first so that
+    process-global memos (the multilevel schedule memo above all) are
+    equally warm for both sides — otherwise whichever path runs first
+    pays the one-off optimization cost and the comparison measures
+    cache state, not execution paths.
+    """
+    for _ in range(max(warmup, 0)):
+        stepped()
+        fast()
+    stepped_s, stepped_digest, stepped_extras = _best_of(stepped, repeats)
+    fast_s, fast_digest, fast_extras = _best_of(fast, repeats)
+    record: Dict[str, object] = {
+        "stepped_wall_s": stepped_s,
+        "fast_wall_s": fast_s,
+        "speedup": stepped_s / fast_s if fast_s else None,
+        "bit_identical": stepped_digest == fast_digest,
+    }
+    for key, value in stepped_extras.items():
+        record[f"stepped_{key}"] = value
+    for key, value in fast_extras.items():
+        record[f"fast_{key}"] = value
+    return record
+
+
+def write_results(
+    path: pathlib.Path,
+    benchmark: str,
+    cells: Dict[str, Dict[str, object]],
+    min_speedup: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> int:
+    """Validate *cells* and write the result file; returns an exit code.
+
+    Divergent cells (or, when *min_speedup* is set, cells below the
+    speedup floor) fail the run *before* anything is written.
+    """
+    diverged = [name for name, cell in cells.items() if not cell["bit_identical"]]
+    if diverged:
+        print(
+            "ERROR: fast path diverged from stepped execution in: "
+            + ", ".join(diverged)
+        )
+        return 1
+    if min_speedup is not None:
+        slow = [
+            name
+            for name, cell in cells.items()
+            if cell["speedup"] is None or cell["speedup"] < min_speedup
+        ]
+        if slow:
+            print(f"ERROR: speedup below {min_speedup}x in: " + ", ".join(slow))
+            return 1
+    payload: Dict[str, object] = {"benchmark": benchmark}
+    payload.update(extra or {})
+    payload["cells"] = cells
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0

@@ -4,21 +4,27 @@ Runs the acceptance cell (C32 at 25% of the exascale machine, 2.5-year
 node MTBF, multilevel checkpointing) plus a failure-heavy small cell on
 both execution paths, verifies the stats are bit-identical, and records
 wall times, kernel event counts, and their ratios in
-``BENCH_fastpath.json`` at the repository root.
+``BENCH_fastpath.json`` at the repository root.  Timing discipline and
+result schema come from :mod:`bench_common`, shared with
+``bench_datacenter.py``.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_fastpath.py [--trials 5] [--repeats 3]
+    PYTHONPATH=src python scripts/bench_fastpath.py [--trials 5]
+        [--repeats 3] [--min-speedup X] [--smoke]
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
+import sys
 import time
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
 import repro.core.execution as execution
+from bench_common import measure_pair, write_results
 from repro.core.execution import ResilientExecution
 from repro.core.single_app import FailureDriver, SingleAppConfig
 from repro.failures.generator import AppFailureGenerator
@@ -50,9 +56,20 @@ CELLS = {
     ),
 }
 
+SMOKE_CELLS = {
+    "smoke_A32_failure_heavy": dict(
+        system_nodes=1_200,
+        app_nodes=120,
+        time_steps=60,
+        app_type="A32",
+        mtbf_s=20 * HOUR,
+        technique="multilevel",
+    ),
+}
+
 
 def _trial(cell: dict, trial: int, fast: bool):
-    """One wired single-app trial; returns (seconds, events, digest)."""
+    """One wired single-app trial; returns (seconds, digest, extras)."""
     execution.FAST_PATH_ENABLED = fast
     system = exascale_system(total_nodes=cell["system_nodes"])
     app = make_application(
@@ -78,6 +95,7 @@ def _trial(cell: dict, trial: int, fast: bool):
     started = time.perf_counter()
     sim.run(until=cap)
     elapsed = time.perf_counter() - started
+    execution.FAST_PATH_ENABLED = True
     stats = engine.stats
     digest = (
         stats.end_time,
@@ -91,46 +109,50 @@ def _trial(cell: dict, trial: int, fast: bool):
         stats.checkpoint_time_s,
         stats.restart_time_s,
     )
-    return elapsed, sim.event_count, digest, engine.fast_jumps
+    extras = {"events": sim.event_count, "jumps": engine.fast_jumps}
+    return elapsed, digest, extras
 
 
 def _bench_cell(name: str, cell: dict, trials: int, repeats: int) -> dict:
-    stepped_s = fast_s = 0.0
-    stepped_events = fast_events = 0
-    jumps = 0
-    identical = True
-    for trial in range(trials):
-        best_slow = min(
-            _trial(cell, trial, fast=False)[0] for _ in range(repeats)
-        )
-        best_fast = min(
-            _trial(cell, trial, fast=True)[0] for _ in range(repeats)
-        )
-        _, ev_slow, dig_slow, _ = _trial(cell, trial, fast=False)
-        _, ev_fast, dig_fast, trial_jumps = _trial(cell, trial, fast=True)
-        identical = identical and dig_slow == dig_fast
-        stepped_s += best_slow
-        fast_s += best_fast
-        stepped_events += ev_slow
-        fast_events += ev_fast
-        jumps += trial_jumps
+    """Aggregate per-trial paired measurements into one cell record."""
     result = {
         "cell": cell,
         "trials": trials,
-        "stepped_wall_s": stepped_s,
-        "fast_wall_s": fast_s,
-        "stepped_events": stepped_events,
-        "fast_events": fast_events,
-        "event_ratio": stepped_events / fast_events if fast_events else None,
-        "speedup": stepped_s / fast_s if fast_s else None,
-        "fast_jumps": jumps,
-        "bit_identical": identical,
+        "stepped_wall_s": 0.0,
+        "fast_wall_s": 0.0,
+        "stepped_events": 0,
+        "fast_events": 0,
+        "fast_jumps": 0,
+        "bit_identical": True,
     }
+    for trial in range(trials):
+        record = measure_pair(
+            lambda trial=trial: _trial(cell, trial, fast=False),
+            lambda trial=trial: _trial(cell, trial, fast=True),
+            repeats=repeats,
+        )
+        result["stepped_wall_s"] += record["stepped_wall_s"]
+        result["fast_wall_s"] += record["fast_wall_s"]
+        result["stepped_events"] += record["stepped_events"]
+        result["fast_events"] += record["fast_events"]
+        result["fast_jumps"] += record["fast_jumps"]
+        result["bit_identical"] = result["bit_identical"] and record["bit_identical"]
+    result["event_ratio"] = (
+        result["stepped_events"] / result["fast_events"]
+        if result["fast_events"]
+        else None
+    )
+    result["speedup"] = (
+        result["stepped_wall_s"] / result["fast_wall_s"]
+        if result["fast_wall_s"]
+        else None
+    )
     print(
-        f"{name}: events {stepped_events} -> {fast_events} "
-        f"({result['event_ratio']:.1f}x), wall {stepped_s * 1e3:.1f} ms -> "
-        f"{fast_s * 1e3:.1f} ms ({result['speedup']:.2f}x), "
-        f"identical={identical}"
+        f"{name}: events {result['stepped_events']} -> {result['fast_events']} "
+        f"({result['event_ratio']:.1f}x), "
+        f"wall {result['stepped_wall_s'] * 1e3:.1f} ms -> "
+        f"{result['fast_wall_s'] * 1e3:.1f} ms ({result['speedup']:.2f}x), "
+        f"identical={result['bit_identical']}"
     )
     return result
 
@@ -139,25 +161,40 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=5)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (and write nothing) when any cell lands below this",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny cells for CI: correctness + no-regression, not scale",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_fastpath.json",
+    )
     args = parser.parse_args()
 
-    payload = {
-        "benchmark": "failure-horizon fast path vs stepped execution",
-        "trials_per_cell": args.trials,
-        "repeats": args.repeats,
-        "cells": {
-            name: _bench_cell(name, cell, args.trials, args.repeats)
-            for name, cell in CELLS.items()
-        },
+    cells = SMOKE_CELLS if args.smoke else CELLS
+    records = {
+        name: _bench_cell(name, cell, args.trials, args.repeats)
+        for name, cell in cells.items()
     }
-    ok = all(c["bit_identical"] for c in payload["cells"].values())
-    out = REPO_ROOT / "BENCH_fastpath.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
-    if not ok:
-        print("ERROR: fast path diverged from stepped execution")
-        return 1
-    return 0
+    return write_results(
+        args.out,
+        "failure-horizon fast path vs stepped execution",
+        records,
+        min_speedup=args.min_speedup,
+        extra={
+            "trials_per_cell": args.trials,
+            "repeats": args.repeats,
+            "smoke": args.smoke,
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -26,11 +26,15 @@ oversubscription losses.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set
 
 from repro.constants import DEFAULT_NODE_MTBF_S
-from repro.core.execution import ExecutionStats, ResilientExecution
+from repro.core.execution import (
+    ExecutionStats,
+    PoolContentionGate,
+    ResilientExecution,
+)
 from repro.core.metrics import dropped_percentage
 from repro.core.selection import TechniqueSelector
 from repro.failures.burst import BurstModel
@@ -48,6 +52,7 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import Sink
 from repro.platform.system import HPCSystem
+from repro.resilience.fingerprint import technique_fingerprint
 from repro.rm.base import ResourceManager
 from repro.rm.slack import remaining_slack
 from repro.rng.streams import StreamFactory
@@ -193,6 +198,48 @@ class DatacenterResult:
         return min(1.0, busy / (total_nodes * self.end_time))
 
 
+class PlanCache:
+    """Memoizes :class:`~repro.resilience.base.ExecutionPlan` construction.
+
+    Plan construction is a pure function of the technique's
+    configuration, the application *shape* (type, steps, communication
+    fraction, memory, nodes — never its id, arrival time, or deadline),
+    the system, and the failure environment.  Shapes are drawn from a
+    small discrete space, so a batch of patterns rebuilds the same
+    handful of plans thousands of times; this cache builds each once
+    and rebinds cached plans to new applications with
+    :func:`dataclasses.replace` (plans are frozen and never mutated by
+    the engine, so sharing the level tuples is safe).
+
+    The cache key deliberately omits the system and failure
+    environment: one instance must only ever serve runs that share
+    them, which is how :func:`run_datacenter_batch` scopes it (one
+    cache per batch, fixed system/config).
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[tuple, object] = {}
+
+    def plan_for(self, technique, app, system, node_mtbf_s, severity):
+        """The technique's plan for *app*, built or rebound from cache."""
+        key = (
+            technique_fingerprint(technique),
+            app.type_name,
+            app.time_steps,
+            app.comm_fraction,
+            app.memory_per_node_gb,
+            app.nodes,
+        )
+        cached = self._plans.get(key)
+        if cached is None:
+            cached = technique.plan(
+                app, system, node_mtbf_s, severity=severity
+            )
+            self._plans[key] = cached
+            return cached
+        return replace(cached, app=app)
+
+
 class DatacenterSimulator:
     """Runs one arrival pattern to completion.
 
@@ -207,12 +254,14 @@ class DatacenterSimulator:
         selector: TechniqueSelector,
         system: HPCSystem,
         config: Optional[DatacenterConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.pattern = pattern
         self.manager = manager
         self.selector = selector
         self.system = system
         self.config = config or DatacenterConfig()
+        self._plan_cache = plan_cache
         self.sim = Simulator()
         streams = StreamFactory(self.config.seed).spawn(
             f"datacenter-{pattern.index}-{pattern.bias.value}"
@@ -224,10 +273,14 @@ class DatacenterSimulator:
         self._selected: Dict[int, object] = {}
         self._mapping_scheduled = False
         self._resources: Dict[str, SlotPool] = {}
+        self._gate: Optional[PoolContentionGate] = None
+        #: app_ids of running jobs counted as PFS users on the gate.
+        self._pool_users: Set[int] = set()
         if self.config.pfs_slots is not None:
             self._resources["pfs"] = SlotPool(
                 self.sim, self.config.pfs_slots, name="pfs"
             )
+            self._gate = PoolContentionGate(self._resources["pfs"])
         #: Absolute run horizon, set by :meth:`run` before the event
         #: loop starts so lifecycle engines cap their fast-path jumps.
         self._horizon_time: Optional[float] = None
@@ -265,15 +318,34 @@ class DatacenterSimulator:
         else:
             technique = self._technique_for(app)
             record.technique = technique.name
-            plan = technique.plan(
-                app,
-                self.system,
-                self.config.node_mtbf_s,
-                severity=self.config.severity_model(),
-            )
+            if self._plan_cache is not None:
+                plan = self._plan_cache.plan_for(
+                    technique,
+                    app,
+                    self.system,
+                    self.config.node_mtbf_s,
+                    self.config.severity_model(),
+                )
+            else:
+                plan = technique.plan(
+                    app,
+                    self.system,
+                    self.config.node_mtbf_s,
+                    severity=self.config.severity_model(),
+                )
             proc = self.sim.process(
                 self._lifecycle(record, plan), name=f"job-{app.app_id}"
             )
+            if self._gate is not None and any(
+                lvl.shared_resource in self._resources
+                for lvl in plan.levels
+                if lvl.shared_resource is not None
+            ):
+                # Gate accounting before anything else can observe the
+                # new job: a closing gate aborts in-flight jumps that
+                # folded PFS checkpoints.
+                self._pool_users.add(app.app_id)
+                self._gate.job_started()
         self._procs[app.app_id] = proc
         self.sim.bus.publish(
             JobMapped(
@@ -340,7 +412,15 @@ class DatacenterSimulator:
                 else None
             ),
             until=self._horizon_time,
+            gate=self._gate,
+            # Greedy jumps: run to completion in one closed-form leap
+            # and let interrupt-and-replay handle whatever lands inside
+            # it, instead of waking at every global failure horizon.
+            greedy=True,
         )
+        # The generator body first runs after place() stored the
+        # process handle, so it is available to bind here.
+        engine.bind_process(self._procs[record.app.app_id])
         stats = yield from engine.run()
         record.stats = stats
         self._complete(record)
@@ -354,6 +434,9 @@ class DatacenterSimulator:
         record.end_time = self.sim.now
         self._procs.pop(record.app.app_id, None)
         self.system.release(record.app.app_id)
+        if self._gate is not None and record.app.app_id in self._pool_users:
+            self._pool_users.discard(record.app.app_id)
+            self._gate.job_finished()
         met = record.met_deadline
         self.sim.bus.publish(
             JobCompleted(
@@ -512,13 +595,19 @@ def run_datacenter(
     system: HPCSystem,
     config: Optional[DatacenterConfig] = None,
     sinks: Optional[Sequence[Sink]] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> DatacenterResult:
     """Convenience wrapper: build and run one simulation.
 
     *sinks* are attached to the simulation's instrumentation bus before
     the run; instrumentation is passive, so any sink configuration
-    (including none) produces bit-identical results."""
-    simulator = DatacenterSimulator(pattern, manager, selector, system, config)
+    (including none) produces bit-identical results.  An optional
+    *plan_cache* (scoped to a fixed system/config — see
+    :class:`PlanCache`) skips redundant plan construction; cached plans
+    are value-identical, so results do not change."""
+    simulator = DatacenterSimulator(
+        pattern, manager, selector, system, config, plan_cache=plan_cache
+    )
     if sinks:
         for sink in sinks:
             sink.attach(simulator.sim.bus)
@@ -534,3 +623,42 @@ def run_datacenter(
     simulator.sim.bus.publish(finished)
     global_bus().publish(finished)
     return result
+
+
+def run_datacenter_batch(
+    patterns: Sequence[ArrivalPattern],
+    manager_factory: Callable[[ArrivalPattern], ResourceManager],
+    selector_factory: Callable[[], TechniqueSelector],
+    system: HPCSystem,
+    config: Optional[DatacenterConfig] = None,
+    sinks: Optional[Sequence[Sink]] = None,
+) -> List[DatacenterResult]:
+    """Run a cell's patterns as one batch over shared setup.
+
+    Bit-identical to calling :func:`run_datacenter` once per pattern
+    with a fresh system and fresh manager/selector instances — the
+    batched-trials equivalence tests enforce this — but amortizes the
+    per-trial setup: one :class:`~repro.platform.system.HPCSystem`
+    (reset between patterns; a reset system is indistinguishable from
+    a fresh one) and one :class:`PlanCache` shared across the whole
+    batch (valid because the batch fixes system and config).  The
+    factories supply per-pattern manager and selector instances, which
+    carry per-pattern RNG streams and selection state and so cannot be
+    shared.
+    """
+    plan_cache = PlanCache()
+    results: List[DatacenterResult] = []
+    for pattern in patterns:
+        system.reset()
+        results.append(
+            run_datacenter(
+                pattern,
+                manager_factory(pattern),
+                selector_factory(),
+                system,
+                config,
+                sinks=sinks,
+                plan_cache=plan_cache,
+            )
+        )
+    return results

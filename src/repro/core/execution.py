@@ -69,6 +69,84 @@ from repro.sim.resources import SlotPool
 #: attribute to force every engine onto the stepped path.
 FAST_PATH_ENABLED = os.environ.get("REPRO_FAST_PATH", "1") != "0"
 
+class JumpAborted(Exception):
+    """Interrupt cause that aborts a fast-path jump without a failure.
+
+    Sent by :class:`PoolContentionGate` when a newly placed job closes
+    the gate while jumps that folded shared-pool checkpoints are in
+    flight.  The engine rewinds to its nearest snapshot, fast-replays
+    to the abort instant, finishes the operation in flight with real
+    kernel sleeps (taking a real pool ticket when mid-checkpoint), and
+    returns to the main loop under the now-closed gate.
+    """
+
+
+class PoolContentionGate:
+    """Tracks whether a shared :class:`SlotPool` can possibly queue anyone.
+
+    *Inertness invariant*: while the number of running jobs whose plans
+    checkpoint through the pool (``users``) is at most the pool's slot
+    count and nobody is queued, every ``request()`` grants immediately
+    — a job holds at most one ticket at a time and never requests while
+    holding, so at any request instant held tickets <= users - 1 <=
+    slots - 1 and a slot is free.  Immediate grants are invisible to
+    results: the wait span is zero-length (dropped by the stats guard
+    on both paths) and ``contended_requests`` stays untouched.  While
+    the invariant holds the gate is *open* and engines may fold pool
+    checkpoints into closed-form jumps without touching the pool.
+
+    ``users`` only grows inside a mapping event (:meth:`job_started`),
+    so open -> closed is the single transition that needs action: every
+    in-flight jump that folded pool checkpoints is aborted with
+    :class:`JumpAborted` and resumes stepped-equivalently.  The closed
+    -> open transition (a pool user finishing, the queue draining) is
+    observed lazily the next time an engine plans a jump.
+    """
+
+    def __init__(self, pool: SlotPool) -> None:
+        self._pool = pool
+        self._users = 0
+        #: Engines mid-jump with pool checkpoints folded -> their process.
+        self._jumpers: Dict[object, object] = {}
+
+    @property
+    def open(self) -> bool:
+        """Whether every pool request is currently guaranteed an
+        immediate grant (see the inertness invariant above)."""
+        return self._users <= self._pool.slots and self._pool.queued == 0
+
+    @property
+    def users(self) -> int:
+        """Running jobs whose plans checkpoint through the pool."""
+        return self._users
+
+    def job_started(self) -> None:
+        """Record a newly placed pool-using job; abort in-flight
+        pool-folding jumps if this closes the gate."""
+        was_open = self.open
+        self._users += 1
+        if was_open and not self.open:
+            # Snapshot the registry first: each abort handler
+            # deregisters its engine via end_jump during delivery.
+            for proc in list(self._jumpers.values()):
+                if proc is not None and proc.alive:
+                    proc.interrupt(JumpAborted())
+
+    def job_finished(self) -> None:
+        """Record a pool-using job leaving the machine."""
+        self._users -= 1
+        assert self._users >= 0, "pool-user accounting out of sync"
+
+    def begin_jump(self, engine: object, process: object) -> None:
+        """Register *engine* (running as *process*) as mid-jump with
+        pool checkpoints folded in."""
+        self._jumpers[engine] = process
+
+    def end_jump(self, engine: object) -> None:
+        """Deregister *engine* (jump finished, failed, or aborted)."""
+        self._jumpers.pop(engine, None)
+
+
 #: ActivitySpan activity -> the ExecutionStats field it accumulates to.
 _ACTIVITY_FIELD = {
     "work": "work_time_s",
@@ -196,6 +274,25 @@ class ResilientExecution:
     #: Float slop when mapping positions to boundary indices.
     _EPS = 1e-9
 
+    #: Snapshot cadence inside greedy jumps: one state snapshot per
+    #: this many folded iterations bounds replay-on-interrupt to a
+    #: constant number of iterations without snapshotting every one.
+    #: Snapshots are cheap (a few scalars + two small dict copies), so
+    #: a tight cadence wins on failure-heavy cells; 8 measured fastest
+    #: at fig4 scale, with 4 paying more in snapshots than it saves in
+    #: replay.
+    _SNAPSHOT_EVERY = 8
+
+    #: Iteration budget per greedy jump.  An interrupted jump's applied
+    #: iterations are thrown away and re-planned after the failure, so
+    #: unbounded jumps cost O(failures x remaining-iterations) on
+    #: failure-heavy jobs; capping a jump keeps the waste per interrupt
+    #: constant while still folding dozens of kernel suspensions into
+    #: one sleep.  32 balances the two at fig4 scale (~sqrt of the
+    #: events-per-failure ratio); both larger and smaller caps measured
+    #: slower end to end.
+    _GREEDY_MAX_ITERATIONS = 32
+
     def __init__(
         self,
         sim: Simulator,
@@ -204,6 +301,8 @@ class ResilientExecution:
         resources: Optional[Dict[str, "SlotPool"]] = None,
         failure_horizon: Optional[Callable[[], Optional[float]]] = None,
         until: Optional[float] = None,
+        gate: Optional[PoolContentionGate] = None,
+        greedy: bool = False,
     ) -> None:
         self._sim = sim
         self.plan = plan
@@ -218,14 +317,55 @@ class ResilientExecution:
         #: path's partial stats.
         self._until = until
         self._record_timeline = record_timeline
-        #: True when some level may queue on a provided shared pool;
-        #: slot waits make the inter-failure stretch non-deterministic,
-        #: so the fast path must not skip while one is possible.
-        self._contended = any(
-            lvl.shared_resource is not None
-            and lvl.shared_resource in self._resources
+        #: Greedy mode (datacenter): jump all the way to the next
+        #: checkpoint-boundary structure change or completion without
+        #: consulting the failure horizon, relying entirely on
+        #: interrupt-and-replay for exactness.  The horizon-bounded
+        #: mode (single-app) never sleeps past the next known failure.
+        self._greedy = greedy
+        #: Contention gate for the shared pool the plan's levels may
+        #: checkpoint through (datacenter PFS).  While it reports open,
+        #: pool checkpoints fold into jumps; when it closes mid-jump the
+        #: engine is aborted and resumes stepped-equivalently.
+        self._gate = gate
+        #: Level indices whose checkpoints go through a provided pool.
+        self._pool_levels = {
+            lvl.index
             for lvl in plan.levels
-        )
+            if lvl.shared_resource is not None
+            and lvl.shared_resource in self._resources
+        }
+        self._levels_by_index = {lvl.index: lvl for lvl in plan.levels}
+        #: Precomputed boundary -> level table for the fast path's hot
+        #: loop: ``boundary_level(b)`` depends only on ``b`` modulo the
+        #: lcm of the level multipliers, so a small table replaces the
+        #: per-boundary scan.  Built with exactly boundary_level's
+        #: last-divider-wins rule; None when the lcm is implausibly
+        #: large (the scan then stays in place).
+        mults = [plan.level_multiplier(lvl.index) for lvl in plan.levels]
+        table_period = 1
+        for mult in mults:
+            table_period = math.lcm(table_period, mult)
+        self._level_table: Optional[tuple] = None
+        self._level_table_period = table_period
+        if table_period <= 4096:
+            table = []
+            for residue in range(table_period):
+                chosen = plan.levels[0]
+                for lvl, mult in zip(plan.levels, mults):
+                    if residue % mult == 0:
+                        chosen = lvl
+                table.append(chosen)
+            self._level_table = tuple(table)
+        #: This engine's process handle (see :meth:`bind_process`);
+        #: needed only for gate registration.
+        self._process = None
+        #: True when some level may queue on a provided shared pool and
+        #: no gate tracks its contention; slot waits then make the
+        #: inter-failure stretch non-deterministic, so the fast path
+        #: must not skip while one is possible.  With a gate the engine
+        #: jumps whenever the gate proves waits impossible.
+        self._contended = bool(self._pool_levels) and gate is None
         #: Fast-path introspection: closed-form jumps taken, and stepped
         #: main-loop iterations those jumps replaced.
         self.fast_jumps = 0
@@ -357,24 +497,35 @@ class ResilientExecution:
         sources usually need the engine's process to exist first."""
         self._failure_horizon = provider
 
+    def bind_process(self, process) -> None:
+        """Attach this engine's :class:`~repro.sim.process.Process`
+        handle so the contention gate can deliver jump aborts.  Like
+        :meth:`set_failure_horizon` this happens after construction —
+        the process wrapping :meth:`run` cannot exist before the
+        engine does."""
+        self._process = process
+
     def _fast_path_usable(self) -> bool:
         """Whether the next stretch may be advanced in closed form.
 
         The fast path skips the per-boundary kernel events, so it is
-        only taken when nothing can tell the difference: no horizon
-        provider means no fast path; shared-pool contention makes slot
-        waits possible inside the stretch; a timeline recorder or any
-        shared-bus observer (sinks, kernel taps) expects the full
-        per-boundary event stream, so observed runs auto-fall back to
-        the stepped path.
+        only taken when nothing can tell the difference: shared-pool
+        contention without a gate makes slot waits possible inside the
+        stretch; a timeline recorder or any shared-bus observer (sinks,
+        kernel taps) expects the full per-boundary event stream, so
+        observed runs auto-fall back to the stepped path.  The
+        horizon-bounded mode additionally needs a horizon provider;
+        greedy mode needs none (interrupts abort the jump wherever
+        they land).
         """
-        return (
-            FAST_PATH_ENABLED
-            and self._failure_horizon is not None
-            and not self._contended
-            and not self._record_timeline
-            and not self._bus.observed
-        )
+        if (
+            not FAST_PATH_ENABLED
+            or self._contended
+            or self._record_timeline
+            or self._bus.observed
+        ):
+            return False
+        return self._greedy or self._failure_horizon is not None
 
     def _fast_forward(self, total: float, base: float) -> Generator:
         """Closed-form jump over the failure-free stretch.
@@ -394,44 +545,208 @@ class ResilientExecution:
         re-draws its pending gap on every allocation change, and a
         system failure may strike another application first); the
         interrupt then lands inside the jump timeout, and the engine
-        restores the pre-jump snapshot and replays the planned segments
-        up to the interrupt instant exactly as the stepped path would
-        have run them, before handling the failure normally.
+        restores the nearest preceding snapshot and replays the planned
+        segments up to the interrupt instant exactly as the stepped
+        path would have run them, before handling the failure normally.
+
+        Greedy mode (datacenter) ignores the horizon entirely: the jump
+        runs to completion (or the run cap, or the first iteration the
+        contention gate forbids) and relies on interrupt-and-replay for
+        any failure that lands inside it — the engine only wakes when a
+        failure actually strikes *it*.  Jumps that fold shared-pool
+        checkpoints register with the gate, whose closing aborts them
+        mid-sleep (:class:`JumpAborted` -> :meth:`_resume_after_abort`);
+        while the gate is closed, planning stops before the first
+        pool-backed boundary so that checkpoint queues for real.
+        Snapshots are taken every :attr:`_SNAPSHOT_EVERY` folded
+        iterations to bound the replay length.
         """
-        fire = self._failure_horizon()
-        horizon = math.inf if fire is None else fire
         start = self._sim.now
-        if horizon <= start:
-            return False  # the pending failure is due right now
+        if self._greedy:
+            horizon = math.inf
+        else:
+            fire = self._failure_horizon()
+            horizon = math.inf if fire is None else fire
+            if horizon <= start:
+                return False  # the pending failure is due right now
         cap = math.inf if self._until is None else self._until
-        snapshot = None
+        gate = self._gate
+        plan = self.plan
+        stats = self.stats
+        eps = self._EPS
+        recovery_speedup = plan.recovery_speedup
+        pool_levels = self._pool_levels
+        table = self._level_table
+        table_period = self._level_table_period
+        max_iterations = self._GREEDY_MAX_ITERATIONS if self._greedy else None
+        snaps: List[Tuple[float, tuple]] = []
+        uses_pool = False
+        iterations = 0
         t = start
+        # The loop below is :meth:`_plan_iteration` + :meth:`_apply_op`
+        # fused and inlined — this is the hot path of every simulation,
+        # so op tuples and per-op dispatch are traded for one in-place
+        # pass per iteration.  Work/rework totals are accumulated as
+        # the segments are computed and restored bit-exactly from the
+        # saved scalars when the iteration turns out unacceptable (the
+        # only state touched before the acceptance check); everything
+        # else commits after it.  The engine's scalar state lives in
+        # locals for the duration of the loop (synced back to
+        # ``self``/``stats`` before each snapshot and once at exit —
+        # there are no yields inside, so no one can observe the
+        # in-flight locals).  Any arithmetic edit here needs its mirror
+        # in _plan_iteration/_apply_op (and in the stepped path), which
+        # the bit-identity suites enforce.
+        snapshot_every = self._SNAPSHOT_EVERY
+        done_v = self._done
+        furthest_v = self._furthest
+        pending_v = self._pending_commit
+        work_v = stats.work_time_s
+        rework_v = stats.rework_time_s
+        ckpt_v = stats.checkpoint_time_s
+        failed_v = stats.failed_checkpoints
+        saved = self._saved
+        degraded = self._degraded
+        counts = stats.checkpoints_taken
         while True:
-            ops, end, completed = self._plan_iteration(t, total, base)
+            # Snapshot *pre-iteration* state: rejected iterations roll
+            # their stats writes back below, so the state at virtual
+            # time ``t`` always matches what the snapshot recorded.
+            if iterations % snapshot_every == 0:
+                self._done = done_v
+                self._furthest = furthest_v
+                self._pending_commit = pending_v
+                stats.work_time_s = work_v
+                stats.rework_time_s = rework_v
+                stats.checkpoint_time_s = ckpt_v
+                stats.failed_checkpoints = failed_v
+                snaps.append((t, self._snapshot_state()))
+            d = done_v
+            f = furthest_v
+            work0 = work_v
+            rework0 = rework_v
+            boundary = int(d / base + eps) + 1
+            target = boundary * base
+            if target > total:
+                target = total
+            tt = t
+            while d < target - eps:
+                if d < f - eps:
+                    seg_pos = f if f < target else target
+                    speed = recovery_speedup
+                    rework_seg = True
+                else:
+                    seg_pos = target
+                    speed = 1.0
+                    rework_seg = False
+                duration = (seg_pos - d) / speed
+                seg_start = tt
+                tt = tt + duration
+                d = d + duration * speed
+                if d > total:
+                    d = total
+                if d > f:
+                    f = d
+                if tt > seg_start:
+                    if rework_seg:
+                        rework_v = rework_v + (tt - seg_start)
+                    else:
+                        work_v = work_v + (tt - seg_start)
+            completed = d >= total - eps
+            seg_end = tt
+            level = None
+            blocking = 0.0
+            iteration_uses_pool = False
+            if not completed:
+                level = (
+                    table[boundary % table_period]
+                    if table is not None
+                    else plan.boundary_level(boundary)
+                )
+                if level.index in pool_levels:
+                    # This boundary checkpoint goes through the shared
+                    # pool: fold it only while the gate proves every
+                    # request grants immediately; otherwise stop here
+                    # and let it queue for real on the stepped path.
+                    if gate is None or not gate.open:
+                        work_v = work0
+                        rework_v = rework0
+                        break
+                    iteration_uses_pool = True
+                blocking = level.cost_s * level.blocking_fraction
+                tt = tt + blocking
+            end = tt
             # Suspension instants grow monotonically through the
             # iteration, so checking its last one covers them all.  A
             # failure exactly at a wake instant preempts the wake
             # (FAILURE_PRIORITY / the driver's earlier event), hence
             # the strict horizon comparison.
             if end >= horizon or end > cap or end <= t:
+                work_v = work0
+                rework_v = rework0
                 break
-            if snapshot is None:
-                snapshot = self._snapshot_state()
-            for op in ops:
-                self._apply_op(op)
+            # -- accepted: commit position and checkpoint effects.
+            done_v = d
+            furthest_v = f
+            if not completed:
+                if pending_v is not None:
+                    idx, work, commit_time = pending_v
+                    pending_v = None
+                    if commit_time <= seg_end + eps:
+                        saved[idx] = work
+                        if degraded:
+                            degraded.clear()
+                        counts[idx] = counts.get(idx, 0) + 1
+                    else:
+                        failed_v += 1
+                if end > seg_end:
+                    ckpt_v = ckpt_v + (end - seg_end)
+                if level.blocking_fraction >= 1.0:
+                    saved[level.index] = d
+                    if degraded:
+                        degraded.clear()
+                    counts[level.index] = counts.get(level.index, 0) + 1
+                else:
+                    remainder = level.cost_s - blocking
+                    pending_v = (level.index, d, end + remainder)
+                if iteration_uses_pool:
+                    uses_pool = True
             t = end
-            self.fast_iterations_skipped += 1
+            iterations += 1
             if completed:
                 break
+            if max_iterations is not None and iterations >= max_iterations:
+                break  # wake once and jump again; see _GREEDY_MAX_ITERATIONS
+        self._done = done_v
+        self._furthest = furthest_v
+        self._pending_commit = pending_v
+        stats.work_time_s = work_v
+        stats.rework_time_s = rework_v
+        stats.checkpoint_time_s = ckpt_v
+        stats.failed_checkpoints = failed_v
+        self.fast_iterations_skipped += iterations
         if t == start:
             return False
         self.fast_jumps += 1
+        registered = uses_pool and gate is not None
+        if registered:
+            gate.begin_jump(self, self._process)
         try:
             yield self._sim.timeout_at(t)
         except Interrupt as interrupt:
+            if registered:
+                gate.end_jump(self)
+            if isinstance(interrupt.cause, JumpAborted):
+                yield from self._resume_after_abort(snaps, total, base)
+                return True
+            until = self._sim.now
+            ts, snapshot = self._nearest_snapshot(snaps, until)
             self._restore_state(snapshot)
-            self._replay_to(start, total, base, self._sim.now)
+            self._replay_to(ts, total, base, until)
             yield from self._on_failure(interrupt.cause)
+            return True
+        if registered:
+            gate.end_jump(self)
         return True
 
     def _plan_iteration(
@@ -599,6 +914,137 @@ class ResilientExecution:
                 self._apply_op(op)
             t = end
             if completed or end >= until:  # pragma: no cover - defensive
+                return
+
+    def _nearest_snapshot(
+        self, snaps: List[Tuple[float, tuple]], until: float, inclusive: bool = False
+    ) -> Tuple[float, tuple]:
+        """The newest ``(virtual_time, snapshot)`` from which replaying
+        reaches the interrupt instant *until*.
+
+        Failure replay needs a snapshot strictly *before* the failure —
+        a failure delivered exactly at a planned wake instant preempts
+        the wake, so the op ending there must be replayed as partial,
+        from earlier state.  A snapshot whose timestamp *equals* the
+        failure instant was taken after applying that op, too late.
+        When no snapshot qualifies (the failure lands at the jump's
+        very start), the pre-jump snapshot replays an elapsed-zero
+        partial op, exactly the stepped path's interrupt-at-suspension
+        arithmetic.  Abort resume passes ``inclusive=True``: operations
+        ending at the abort instant completed on the stepped path
+        (wakes precede the mapping event that flips the gate), so
+        state exactly *at* the instant is usable.
+        """
+        best = snaps[0]
+        for ts, snap in snaps:
+            if ts < until or (inclusive and ts <= until):
+                best = (ts, snap)
+            else:
+                break
+        return best
+
+    def _resume_after_abort(
+        self, snaps: List[Tuple[float, tuple]], total: float, base: float
+    ) -> Generator:
+        """Resume stepped-equivalently after the gate aborted a jump.
+
+        The abort lands at the instant T a mapping event closed the
+        gate.  On the stepped path nothing special happens at T: wake
+        events at (T, wake-priority) ran *before* the mapping, so every
+        planned operation ending at or before T completed, and exactly
+        one timed operation is in flight across T.  This method rebuilds
+        that picture: restore the newest snapshot at or before T,
+        re-apply completed operations arithmetically, then finish the
+        in-flight operation with a real kernel sleep *to its original
+        planned end* (never re-deriving the remainder: ``(T - s) +
+        (e - T)`` need not equal ``e - s`` in floats, so the op is
+        applied with the planner's untouched values).  An in-flight
+        pool checkpoint re-acquires a real ticket at T — guaranteed
+        immediate because stepped-path holders plus mid-jump
+        checkpointers never exceed the pre-flip user count, which the
+        open gate bounded by the slot count.  Failures during the
+        resume sleeps take exactly the stepped path's interrupt
+        branches.  Control then returns to the main loop, which
+        re-derives the remaining boundary structure from state under
+        the now-closed gate.
+        """
+        until = self._sim.now
+        ts, snapshot = self._nearest_snapshot(snaps, until, inclusive=True)
+        self._restore_state(snapshot)
+        t = ts
+        while True:
+            ops, end, completed = self._plan_iteration(t, total, base)
+            for position, op in enumerate(ops):
+                kind = op[0]
+                if kind == "seg":
+                    _, field_name, started, seg_end, _duration, speed = op
+                    if seg_end <= until:
+                        self._apply_op(op)
+                        continue
+                    try:
+                        yield self._sim.timeout_at(seg_end)
+                    except Interrupt as interrupt:
+                        elapsed = self._sim.now - started
+                        self._advance(elapsed, speed)
+                        self._note_stat(field_name, started, self._sim.now)
+                        yield from self._on_failure(interrupt.cause)
+                        return
+                    self._apply_op(op)
+                    following = (
+                        ops[position + 1] if position + 1 < len(ops) else None
+                    )
+                    if following is not None and following[0] != "seg":
+                        # That was the iteration's last work segment, so
+                        # the position now sits exactly on the boundary —
+                        # where the main loop would derive the *next*
+                        # boundary and skip this one's checkpoint.  Take
+                        # it here, through the real stepped code: the
+                        # gate is closed now, so a pool level may
+                        # genuinely queue.
+                        ckpt_op = next(o for o in ops if o[0] == "ckpt")
+                        level = self._levels_by_index[ckpt_op[1]]
+                        yield from self._checkpoint(level)
+                    # Remaining mid-iteration segments (a recovery ->
+                    # work transition) re-derive exactly from state in
+                    # the main loop.
+                    return
+                if kind == "ckpt":
+                    _, level_index, started, seg_end = op
+                    if seg_end <= until:
+                        self._apply_op(op)
+                        continue
+                    level = self._levels_by_index[level_index]
+                    pool = (
+                        self._resources.get(level.shared_resource)
+                        if level.shared_resource is not None
+                        else None
+                    )
+                    ticket = pool.request() if pool is not None else None
+                    try:
+                        yield self._sim.timeout_at(seg_end)
+                    except Interrupt as interrupt:
+                        if ticket is not None:
+                            ticket.release()
+                        self._note_stat(
+                            "checkpoint_time_s", started, self._sim.now
+                        )
+                        self.stats.failed_checkpoints += 1
+                        yield from self._on_failure(interrupt.cause)
+                        return
+                    if ticket is not None:
+                        ticket.release()
+                    self._apply_op(op)
+                    # The commit/pending op right after the checkpoint
+                    # is synchronous at its end instant.
+                    self._apply_op(ops[position + 1])
+                    return
+                self._apply_op(op)
+            t = end
+            # An iteration ending exactly at T completed before the
+            # flip (its wake preceded the mapping event), so only
+            # ``completed`` exits: the next iteration re-plans from t
+            # and its first timed op crosses T as the in-flight one.
+            if completed:
                 return
 
     def _checkpoint(self, level: CheckpointLevel) -> Generator:

@@ -23,7 +23,7 @@ from repro.obs.counters import counter_value, global_bus
 from repro.obs.events import TrialFinished, TrialStarted
 from repro.obs.sinks import Sink
 from repro.platform.system import HPCSystem
-from repro.resilience.base import ResilienceTechnique
+from repro.resilience.base import ExecutionPlan, ResilienceTechnique
 from repro.rng.streams import StreamFactory
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
@@ -163,12 +163,19 @@ def simulate_application(
     config: Optional[SingleAppConfig] = None,
     trial: int = 0,
     sinks: Optional[Sequence[Sink]] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> ExecutionStats:
     """Run one trial; returns the execution stats.
 
     *sinks* are attached to the simulation's instrumentation bus before
     the run (instrumentation is passive: any sink configuration,
     including none, produces bit-identical stats).
+
+    *plan* short-circuits technique planning: callers running many
+    trials of one configuration (:func:`run_trials`) compute the plan
+    once and pass it in.  Planning is a pure function of
+    ``(app, system, config)`` and the plan is immutable, so a hoisted
+    plan is indistinguishable from a per-trial one.
 
     Raises :class:`ValueError` when the technique cannot fit the
     application on the system at all (the redundancy wall of Sec. V) —
@@ -177,9 +184,10 @@ def simulate_application(
     :func:`run_trials` does).
     """
     config = config or SingleAppConfig()
-    plan = technique.plan(
-        app, system, config.node_mtbf_s, severity=config.severity_model()
-    )
+    if plan is None:
+        plan = technique.plan(
+            app, system, config.node_mtbf_s, severity=config.severity_model()
+        )
     if config.stream_key is None:
         streams = StreamFactory(config.seed).spawn_indexed(trial)
     else:
@@ -280,9 +288,13 @@ def run_trials(
     if not technique.fits(app, system):
         result.infeasible = True
         return result
+    effective = config or SingleAppConfig()
+    plan = technique.plan(
+        app, system, effective.node_mtbf_s, severity=effective.severity_model()
+    )
     for trial in range(trials):
         stats = simulate_application(
-            app, technique, system, config, trial=trial, sinks=sinks
+            app, technique, system, config, trial=trial, sinks=sinks, plan=plan
         )
         result.efficiencies.append(stats.efficiency())
         if keep_stats:

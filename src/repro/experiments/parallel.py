@@ -46,6 +46,18 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import counters as obs_counters
+from repro.resilience.fingerprint import technique_fingerprint
+
+__all__ = [
+    "CellTask",
+    "ExecutorOptions",
+    "ResultCache",
+    "TrialExecutor",
+    "cache_key",
+    "canonicalize",
+    "run_cells",
+    "technique_fingerprint",
+]
 
 #: Default on-disk cache location, relative to the working directory
 #: (override with the ``REPRO_CACHE_DIR`` environment variable).
@@ -109,21 +121,9 @@ def cache_key(*parts: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def technique_fingerprint(technique: Any) -> Tuple[str, str, str]:
-    """Cache-key identity of a technique/selector-like object: its
-    class plus its public constructor state, so e.g. two
-    ``ParallelRecovery(recovery_parallelism=...)`` instances with
-    different sigmas never collide."""
-    params = {
-        k: repr(v)
-        for k, v in sorted(getattr(technique, "__dict__", {}).items())
-        if not k.startswith("_")
-    }
-    return (
-        type(technique).__module__,
-        type(technique).__qualname__,
-        json.dumps(params, sort_keys=True),
-    )
+# ``technique_fingerprint`` moved to :mod:`repro.resilience.fingerprint`
+# (core code keys plan caches with it too); re-exported above for
+# backwards compatibility with existing imports.
 
 
 # ---------------------------------------------------------------------------

@@ -23,7 +23,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.datacenter import DatacenterConfig, DatacenterResult, run_datacenter
+from repro.core.datacenter import (
+    DatacenterConfig,
+    DatacenterResult,
+    run_datacenter_batch,
+)
 from repro.core.selection import TechniqueSelector
 from repro.core.single_app import SingleAppConfig, run_trials
 from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
@@ -289,40 +293,51 @@ def _datacenter_cell_body(
     arguments — safe to run on any worker in any order.  With
     *observe*, per-cell export/metrics sinks accumulate across the
     patterns and their plain-data contents extend the payload.
+
+    The patterns run through
+    :func:`~repro.core.datacenter.run_datacenter_batch`, which shares
+    one system (reset between patterns) and one plan cache across the
+    cell; the factories below recreate exactly the per-pattern stream
+    names and selector instances the unbatched loop used, so cell
+    payloads are bit-identical to per-pattern :func:`run_datacenter`
+    calls (the batched-trials equivalence tests lock this down).
     """
     streams = StreamFactory(config.seed)
-    samples: List[float] = []
-    raw: List[DatacenterResult] = []
     export = JsonlExportSink() if observe else None
     metrics = MetricsSink() if observe else None
     sinks = (export, metrics) if observe else None
-    for pattern in patterns:
-        system = exascale_system(config.system_nodes)
-        manager = make_manager(
+    if factory is None:
+        dc_config = DatacenterConfig(
+            node_mtbf_s=config.node_mtbf_s,
+            severity_pmf=config.severity_pmf,
+            seed=config.seed,
+            ideal=True,
+        )
+        selector_factory = _IdealSelector
+    else:
+        dc_config = DatacenterConfig(
+            node_mtbf_s=config.node_mtbf_s,
+            severity_pmf=config.severity_pmf,
+            seed=config.seed,
+        )
+        selector_factory = factory
+
+    def manager_factory(pattern):
+        return make_manager(
             rm_name,
             streams.fresh(f"rm-{rm_name}-{sel_name}-{bias.value}-{pattern.index}"),
         )
-        if factory is None:
-            dc_config = DatacenterConfig(
-                node_mtbf_s=config.node_mtbf_s,
-                severity_pmf=config.severity_pmf,
-                seed=config.seed,
-                ideal=True,
-            )
-            selector = _IdealSelector()
-        else:
-            dc_config = DatacenterConfig(
-                node_mtbf_s=config.node_mtbf_s,
-                severity_pmf=config.severity_pmf,
-                seed=config.seed,
-            )
-            selector = factory()
-        outcome = run_datacenter(
-            pattern, manager, selector, system, dc_config, sinks=sinks
-        )
-        samples.append(outcome.dropped_pct)
-        if keep_results:
-            raw.append(outcome)
+
+    outcomes = run_datacenter_batch(
+        patterns,
+        manager_factory,
+        selector_factory,
+        exascale_system(config.system_nodes),
+        dc_config,
+        sinks=sinks,
+    )
+    samples = [outcome.dropped_pct for outcome in outcomes]
+    raw = list(outcomes) if keep_results else []
     if not observe:
         return tuple(samples), raw
     return tuple(samples), raw, tuple(export.lines), metrics.to_dict()

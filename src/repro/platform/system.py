@@ -107,6 +107,18 @@ class HPCSystem:
         self._allocator.release(allocation.block)
         self._active_nodes -= allocation.nodes
 
+    def reset(self) -> None:
+        """Return the machine to its just-constructed state (no
+        allocations, zero active nodes).
+
+        The batch runner (:func:`repro.core.datacenter.run_datacenter_batch`)
+        reuses one system across a cell's patterns; a reset system is
+        indistinguishable from a fresh one, so batched results stay
+        bit-identical to independent runs."""
+        self._allocator = ContiguousAllocator(self.total_nodes)
+        self._allocations = {}
+        self._active_nodes = 0
+
     def allocation_of(self, owner: Hashable) -> Optional[Allocation]:
         """The allocation held by *owner*, or None."""
         return self._allocations.get(owner)

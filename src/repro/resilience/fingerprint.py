@@ -1,0 +1,35 @@
+"""Value-identity fingerprints for technique/selector-like objects.
+
+A *fingerprint* identifies a technique by its class plus its public
+constructor state, so two instances configured identically are
+interchangeable — the property both the on-disk result cache
+(:mod:`repro.experiments.parallel`) and the in-run execution-plan cache
+(:class:`repro.core.datacenter.PlanCache`) rely on.  It lives here, in
+the resilience layer, so core code can key plan caches without
+importing the experiments layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Tuple
+
+
+def technique_fingerprint(technique: Any) -> Tuple[str, str, str]:
+    """Cache-key identity of a technique/selector-like object: its
+    class plus its public constructor state, so e.g. two
+    ``ParallelRecovery(recovery_parallelism=...)`` instances with
+    different sigmas never collide."""
+    params = {
+        k: repr(v)
+        for k, v in sorted(getattr(technique, "__dict__", {}).items())
+        if not k.startswith("_")
+    }
+    return (
+        type(technique).__module__,
+        type(technique).__qualname__,
+        json.dumps(params, sort_keys=True),
+    )
+
+
+__all__ = ["technique_fingerprint"]

@@ -1,0 +1,299 @@
+"""Batched-trials equivalence: one batch of N == N independent runs.
+
+Two batching layers were added for the fast-path work and both promise
+bit-identity to the unbatched code they replaced:
+
+- :func:`repro.core.single_app.run_trials` hoists technique planning
+  out of the per-trial loop (one plan shared by every trial);
+- :func:`repro.core.datacenter.run_datacenter_batch` runs a cell's
+  patterns over one shared system (reset between patterns) and one
+  :class:`PlanCache`.
+
+On top of those, :func:`repro.experiments.entry.run_request` must
+render identical bytes for every export format regardless of worker
+count (``--jobs 1`` vs ``--jobs 2``) and cache state (cold vs warm).
+"""
+
+import pytest
+
+from repro.core.datacenter import (
+    DatacenterConfig,
+    run_datacenter,
+    run_datacenter_batch,
+)
+from repro.core.single_app import SingleAppConfig, run_trials, simulate_application
+from repro.core.selection import FixedSelector
+from repro.experiments import fig1, fig4
+from repro.experiments.config import DatacenterStudyConfig, ScalingStudyConfig
+from repro.experiments.entry import StudyRequest, run_request
+from repro.experiments.parallel import ExecutorMetrics, ExecutorOptions
+from repro.platform.presets import exascale_system
+from repro.resilience import get_technique
+from repro.rm.registry import make_manager
+from repro.rng.streams import StreamFactory
+from repro.units import HOUR, years
+from repro.workload.patterns import PatternGenerator
+from repro.workload.synthetic import make_application
+
+
+def _stats_tuple(stats):
+    return (
+        stats.start_time,
+        stats.end_time,
+        stats.completed,
+        stats.failures,
+        stats.restarts,
+        stats.replica_failures_absorbed,
+        dict(stats.checkpoints_taken),
+        stats.failed_checkpoints,
+        stats.work_time_s,
+        stats.rework_time_s,
+        stats.checkpoint_time_s,
+        stats.restart_time_s,
+        stats.resource_wait_s,
+    )
+
+
+class TestRunTrialsPlanHoisting:
+    """run_trials (one shared plan) == N independent trials (a plan
+    each): planning is pure, so hoisting it must be invisible."""
+
+    @pytest.mark.parametrize(
+        "technique_name,mtbf_s",
+        [
+            ("multilevel", years(2.0)),
+            ("multilevel", 20 * HOUR),
+            ("checkpoint_restart", years(0.5)),
+            ("parallel_recovery", 20 * HOUR),
+        ],
+    )
+    def test_batch_matches_independent_trials(self, technique_name, mtbf_s):
+        system = exascale_system(total_nodes=2_400)
+        app = make_application("A32", nodes=240, time_steps=40)
+        config = SingleAppConfig(node_mtbf_s=mtbf_s, seed=42)
+        technique = get_technique(technique_name)
+        trials = 6
+
+        batched = run_trials(
+            app, technique, system, trials, config, keep_stats=True
+        )
+        independent = [
+            simulate_application(app, technique, system, config, trial=i)
+            for i in range(trials)
+        ]
+
+        assert len(batched.stats) == trials
+        for got, want in zip(batched.stats, independent):
+            assert _stats_tuple(got) == _stats_tuple(want)
+        assert batched.efficiencies == [s.efficiency() for s in independent]
+
+
+def _dc_digest(results):
+    rows = []
+    for result in results:
+        rows.append((result.pattern_index, result.end_time, result.failures_injected))
+        for record in result.records:
+            rows.append(
+                (
+                    record.app.app_id,
+                    str(record.status),
+                    record.technique,
+                    record.start_time,
+                    record.end_time,
+                    record.dropped,
+                    None
+                    if record.stats is None
+                    else _stats_tuple(record.stats),
+                )
+            )
+    return rows
+
+
+class TestDatacenterBatchEquivalence:
+    """run_datacenter_batch == per-pattern run_datacenter with a fresh
+    system, manager, and selector each time."""
+
+    @pytest.mark.parametrize("pfs_slots", [None, 2])
+    def test_batch_matches_independent_runs(self, pfs_slots):
+        seed, nodes, count = 11, 2_400, 3
+        config = DatacenterConfig(seed=seed, pfs_slots=pfs_slots)
+        patterns = PatternGenerator(StreamFactory(seed), nodes).generate_many(
+            count=count, arrivals=12
+        )
+
+        def manager_factory(pattern):
+            return make_manager(
+                "fcfs", StreamFactory(seed).fresh(f"rm-fcfs-{pattern.index}")
+            )
+
+        def selector_factory():
+            return FixedSelector(get_technique("multilevel"))
+
+        batched = run_datacenter_batch(
+            patterns,
+            manager_factory,
+            selector_factory,
+            exascale_system(total_nodes=nodes),
+            config,
+        )
+        independent = [
+            run_datacenter(
+                pattern,
+                manager_factory(pattern),
+                selector_factory(),
+                exascale_system(total_nodes=nodes),
+                config,
+            )
+            for pattern in patterns
+        ]
+        assert _dc_digest(batched) == _dc_digest(independent)
+
+    def test_batch_resets_system_between_patterns(self):
+        seed, nodes = 7, 2_400
+        patterns = PatternGenerator(StreamFactory(seed), nodes).generate_many(
+            count=2, arrivals=10
+        )
+        system = exascale_system(total_nodes=nodes)
+        run_datacenter_batch(
+            patterns,
+            lambda p: make_manager(
+                "fcfs", StreamFactory(seed).fresh(f"rm-{p.index}")
+            ),
+            lambda: FixedSelector(get_technique("multilevel")),
+            system,
+            DatacenterConfig(seed=seed),
+        )
+        # The shared system is left in a clean state: nothing stays
+        # allocated once the batch's last pattern drains.
+        assert system.active_nodes == 0
+        assert not system.allocations()
+
+
+SMALL_DC = dict(arrivals_per_pattern=8, system_nodes=2_400)
+SMALL_SCALING = dict(fractions=(0.1, 0.5), system_nodes=2_400)
+
+
+@pytest.fixture()
+def small_figs(monkeypatch):
+    """Shrink the fig drivers so run_request is test-sized.
+
+    run_request builds configs in the parent process (workers only see
+    the already-built cells), so patching the config factories is safe
+    under ``jobs > 1`` too.
+    """
+    monkeypatch.setattr(
+        fig4,
+        "config",
+        lambda **kw: DatacenterStudyConfig(
+            patterns=min(kw.pop("patterns", 2), 2), **SMALL_DC, **kw
+        ),
+    )
+    monkeypatch.setattr(
+        fig1,
+        "config",
+        lambda **kw: ScalingStudyConfig(
+            app_type="A32",
+            trials=min(kw.pop("trials", 3), 3),
+            **SMALL_SCALING,
+            **kw,
+        ),
+    )
+
+
+class TestRunRequestJobsByteIdentity:
+    """Every export format renders identical bytes at --jobs 1 and 2."""
+
+    @pytest.mark.parametrize("fmt", ["table", "csv", "json", "barchart"])
+    def test_fig4_formats(self, small_figs, fmt):
+        request = StudyRequest("fig4", format=fmt, patterns=2)
+        serial = run_request(request, options=ExecutorOptions(jobs=1))
+        fanned = run_request(request, options=ExecutorOptions(jobs=2))
+        assert serial.text == fanned.text
+
+    @pytest.mark.parametrize("fmt", ["csv", "json"])
+    def test_fig1_formats(self, small_figs, fmt):
+        request = StudyRequest("fig1", format=fmt, trials=3)
+        serial = run_request(request, options=ExecutorOptions(jobs=1))
+        fanned = run_request(request, options=ExecutorOptions(jobs=2))
+        assert serial.text == fanned.text
+
+
+class TestRunRequestCacheByteIdentity:
+    """Cold-cache and warm-cache runs render identical bytes, for both
+    worker counts, and provenance sidecars don't perturb outputs."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("fmt", ["csv", "json"])
+    def test_fig4_cold_vs_warm(self, small_figs, tmp_path, jobs, fmt):
+        request = StudyRequest("fig4", format=fmt, patterns=2)
+        cache = dict(cache=True, cache_dir=tmp_path / "cache")
+        cold_metrics, warm_metrics = ExecutorMetrics(), ExecutorMetrics()
+        cold = run_request(
+            request,
+            options=ExecutorOptions(jobs=jobs, metrics=cold_metrics, **cache),
+        )
+        warm = run_request(
+            request,
+            options=ExecutorOptions(jobs=jobs, metrics=warm_metrics, **cache),
+        )
+        uncached = run_request(request, options=ExecutorOptions(jobs=jobs))
+        assert cold.text == warm.text == uncached.text
+        assert cold_metrics.cache_hits == 0
+        assert warm_metrics.cache_hits == warm_metrics.cells_done > 0
+
+    def test_scenario_export_sidecars_identical_across_jobs(self, tmp_path):
+        """The CLI's --export artifact + .provenance.json sidecar are
+        byte-identical at --jobs 1 and --jobs 2, fast path on or off."""
+        from repro.cli import main
+
+        spec = tmp_path / "mini.toml"
+        spec.write_text(
+            "[scenario]\nname = 'mini'\n"
+            "[failures]\nregime = 'poisson'\nmtbf_years = 5.0\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+            "fractions = [0.01]\n"
+            "[techniques]\nnames = ['checkpoint_restart']\n"
+            "[run]\ntrials = 2\nformat = 'csv'\n"
+        )
+        outputs = {}
+        for label, extra in {
+            "jobs1": ["--jobs", "1"],
+            "jobs2": ["--jobs", "2"],
+            "stepped": ["--jobs", "1", "--no-fast-path"],
+        }.items():
+            out_dir = tmp_path / label
+            assert (
+                main(
+                    [
+                        "scenario",
+                        "run",
+                        str(spec),
+                        "--no-cache",
+                        "--export",
+                        str(out_dir),
+                        *extra,
+                    ]
+                )
+                == 0
+            )
+            outputs[label] = (
+                (out_dir / "mini.csv").read_bytes(),
+                (out_dir / "mini.provenance.json").read_bytes(),
+            )
+        assert outputs["jobs1"] == outputs["jobs2"] == outputs["stepped"]
+
+    def test_provenance_sidecar_is_inert(self, small_figs, tmp_path):
+        request = StudyRequest("fig4", format="json", patterns=2)
+        plain = run_request(
+            request,
+            options=ExecutorOptions(cache=True, cache_dir=tmp_path / "a"),
+        )
+        stamped = run_request(
+            request,
+            options=ExecutorOptions(
+                cache=True,
+                cache_dir=tmp_path / "b",
+                provenance={"scenario": "batched-trials-test", "spec": "sha"},
+            ),
+        )
+        assert plain.text == stamped.text
