@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Load generator for the service API: concurrent submission storm.
+
+Hammers ``POST /v1/jobs`` from N threads (paused server — the point is
+API throughput and backpressure, not simulation speed), then reports
+accepted vs rejected (429) counts, sustained request throughput, and
+p50/p95/p99 submission latency.  Writes the report to
+``benchmarks/results/service_load.txt`` (``--out`` to override).
+
+By default the script spins up its own in-process control plane
+(workers=0, in-memory store, queue bounded with ``--queue-limit`` so
+both accepted and rejected submissions appear in the report); pass
+``--url`` to aim at an already running server instead.
+
+Usage::
+
+    PYTHONPATH=src python scripts/load_service.py              # full run
+    PYTHONPATH=src python scripts/load_service.py --smoke      # CI-sized
+    PYTHONPATH=src python scripts/load_service.py --url http://host:8642
+"""
+
+import argparse
+import pathlib
+import statistics
+import sys
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.service.client import NO_RETRY, ServiceClient, ServiceError  # noqa: E402
+
+DEFAULT_OUT = REPO / "benchmarks" / "results" / "service_load.txt"
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="target an already running service (default: spin one up)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, help="concurrent submitters"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=5000,
+        help="total submissions across all threads",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="queue bound of the self-hosted server (sized so the storm "
+        "overflows it and 429 backpressure shows up in the report)",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="table1",
+        help="experiment submitted by every request",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help="report path (default benchmarks/results/service_load.txt)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (400 requests, 4 threads); skips the report file",
+    )
+    return parser.parse_args(argv)
+
+
+class Tally:
+    """Thread-safe accept/reject/latency accumulator."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.accepted = 0
+        self.rejected = 0
+        self.errors = 0
+        self.latencies = []
+
+    def record(self, kind, latency_s):
+        with self.lock:
+            setattr(self, kind, getattr(self, kind) + 1)
+            self.latencies.append(latency_s)
+
+
+def submitter(url, spec, count, tally):
+    client = ServiceClient(url, timeout=30.0, retry=NO_RETRY)
+    for _ in range(count):
+        started = time.perf_counter()
+        try:
+            client.submit(dict(spec))
+            kind = "accepted"
+        except ServiceError as exc:
+            kind = "rejected" if exc.status == 429 else "errors"
+        tally.record(kind, time.perf_counter() - started)
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_load(url, args):
+    spec = {"experiment": args.experiment, "format": "table"}
+    tally = Tally()
+    per_thread = args.requests // args.threads
+    threads = [
+        threading.Thread(
+            target=submitter, args=(url, spec, per_thread, tally)
+        )
+        for _ in range(args.threads)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    total = tally.accepted + tally.rejected + tally.errors
+    lat = tally.latencies
+    lines = [
+        "service submission load test",
+        "============================",
+        f"target            {url}",
+        f"threads           {args.threads}",
+        f"requests          {total}",
+        f"accepted          {tally.accepted}",
+        f"rejected (429)    {tally.rejected}",
+        f"transport errors  {tally.errors}",
+        f"wall time         {wall_s:.2f} s",
+        f"throughput        {total / wall_s:.0f} req/s",
+        f"latency mean      {statistics.fmean(lat) * 1000:.2f} ms",
+        f"latency p50       {percentile(lat, 0.50) * 1000:.2f} ms",
+        f"latency p95       {percentile(lat, 0.95) * 1000:.2f} ms",
+        f"latency p99       {percentile(lat, 0.99) * 1000:.2f} ms",
+    ]
+    return "\n".join(lines) + "\n", tally
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 400)
+        args.threads = min(args.threads, 4)
+        args.queue_limit = min(args.queue_limit, 256)
+
+    service = None
+    url = args.url
+    if url is None:
+        from repro.service.app import ReproService, ServiceConfig
+
+        service = ReproService(
+            ServiceConfig(
+                host="127.0.0.1",
+                port=0,
+                workers=0,
+                db_path=":memory:",
+                queue_limit=args.queue_limit,
+            )
+        )
+        service.start()
+        url = service.url
+    try:
+        report, tally = run_load(url, args)
+    finally:
+        if service is not None:
+            service.shutdown(timeout=30)
+    print(report, end="")
+    if tally.errors:
+        print("FAIL: transport errors during the storm", file=sys.stderr)
+        return 1
+    if not tally.accepted:
+        print("FAIL: no submission was accepted", file=sys.stderr)
+        return 1
+    if not args.smoke:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report, encoding="utf-8")
+        print(f"[load] report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

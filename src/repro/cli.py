@@ -264,6 +264,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         db_path=args.db,
+        store_url=args.store,
         queue_limit=args.queue_limit,
         cache_max_mb=args.max_mb,
         cache_prune_interval_s=args.prune_interval_s,
@@ -273,11 +274,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service.start()
     print(
         f"repro service listening on {service.url} "
-        f"(db {config.db_path}, {config.workers} workers)",
+        f"(db {config.store_url or config.db_path}, "
+        f"{config.workers} workers)",
         flush=True,
     )
     service.serve_forever()
     print("repro service stopped (queue drained and persisted)", file=sys.stderr)
+    return 0
+
+
+def _default_site_name() -> str:
+    """A site name derived from the host (sanitized for URL paths)."""
+    import re
+    import socket
+
+    name = re.sub(r"[^A-Za-z0-9._-]", "-", socket.gethostname()).strip("-.")
+    return name or "site"
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    """``repro agent``: run a remote worker agent against a control
+    plane — register the site, pull batches of leased jobs over the
+    API, execute them, push results, drain gracefully on SIGTERM."""
+    from repro.service.agent import RemoteJobSource, WorkerAgent
+    from repro.service.client import ServiceClient
+
+    site = args.site or _default_site_name()
+    workers = max(args.workers, 1)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    agent = WorkerAgent(
+        RemoteJobSource(client, site),
+        workers=workers,
+        batch_size=args.batch_size,
+        lease_s=args.lease_s,
+        cache=ResultCache(enabled=True),
+    )
+    agent.start()
+    print(
+        f"repro agent {agent.identity} serving site {site} "
+        f"against {args.url} ({workers} workers)",
+        flush=True,
+    )
+    agent.run_forever()
+    print(
+        f"repro agent {agent.identity} stopped "
+        "(leases released or completed)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -356,6 +399,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "serve": _cmd_serve,
+    "agent": _cmd_agent,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "result": _cmd_result,
@@ -593,7 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which artifact to regenerate ('all' runs everything), "
             "'scenario list|show|validate|run|submit' for declarative "
-            "scenario specs, or a service verb: serve, submit "
+            "scenario specs, or a service verb: serve, agent, submit "
             "<experiment>, status <job-id>, result <job-id>, "
             "cache stats|prune"
         ),
@@ -790,6 +834,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="seconds between the service's cache-prune checks",
+    )
+    service.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help=(
+            "job-store backend URL for 'repro serve' "
+            "(e.g. sqlite://results/service.db; wins over --db)"
+        ),
+    )
+    service.add_argument(
+        "--site",
+        default=None,
+        metavar="NAME",
+        help=(
+            "site name 'repro agent' registers with the control plane "
+            "(default: derived from the hostname)"
+        ),
+    )
+    service.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "jobs 'repro agent' leases per claim "
+            "(default: its worker count)"
+        ),
+    )
+    service.add_argument(
+        "--lease-s",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help=(
+            "lease duration 'repro agent' requests; its jobs are "
+            "re-claimable this long after the agent dies"
+        ),
     )
     return parser
 

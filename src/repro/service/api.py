@@ -17,8 +17,22 @@ Routes (all JSON unless noted):
   while the job is still active or was cancelled, 500 when it failed.
 - ``DELETE /v1/jobs/{id}`` — cancel.
 - ``GET /v1/metrics`` — service counters (queue depth, job counts,
-  cache hit rate, :mod:`repro.obs` counter snapshot).
+  cache hit rate, per-site fleet health, :mod:`repro.obs` counter
+  snapshot).
 - ``GET /v1/healthz`` — liveness.
+
+Fleet routes (what remote ``repro agent`` processes drive):
+
+- ``POST /v1/sites`` — register a worker site; 201, idempotent.
+- ``GET /v1/sites`` — every registered site.
+- ``POST /v1/sites/{name}/heartbeat`` — liveness ping; the response's
+  ``drain`` flag tells the agent to wind down.
+- ``POST /v1/sites/{name}/drain`` — stop handing the site work.
+- ``POST /v1/jobs/claim`` — atomically lease a batch of runnable jobs.
+- ``POST /v1/jobs/complete`` — push a batch of outcomes
+  (lease-holder-only, idempotent per item).
+- ``POST /v1/jobs/renew`` — batch lease renewal.
+- ``POST /v1/jobs/release`` — return unstarted claims to the queue.
 
 The handler is deliberately thin: every decision lives in
 :class:`repro.service.app.ReproService`, which the server object
@@ -33,10 +47,13 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.service.jobs import ValidationError
-from repro.service.store import JobState, QueueFull, UnknownJob
+from repro.service.store import JobState, QueueFull, UnknownJob, UnknownSite
 
 #: Largest request body accepted (a job spec is a few hundred bytes).
 MAX_BODY_BYTES = 64 * 1024
+
+#: Batch completion bodies carry rendered results; give them room.
+MAX_COMPLETE_BODY_BYTES = 8 * 1024 * 1024
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -75,11 +92,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
         self._send_bytes(status, body, "application/json")
 
-    def _read_json_body(self) -> Any:
+    def _read_json_body(self, max_bytes: int = MAX_BODY_BYTES) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
+        if length > max_bytes:
             raise ValidationError(
-                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+                f"request body too large ({length} > {max_bytes} bytes)"
             )
         raw = self.rfile.read(length) if length else b""
         if not raw:
@@ -101,6 +118,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if parts == ["v1", "metrics"]:
             self._send_json(200, service.metrics_payload())
+            return
+        if parts == ["v1", "sites"]:
+            self._send_json(200, service.sites_payload())
             return
         if parts == ["v1", "jobs"]:
             query = parse_qs(url.query)
@@ -131,18 +151,50 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         service = self.server.service
+        status, max_bytes = 201, MAX_BODY_BYTES
         if parts == ["v1", "jobs"]:
-            submit = lambda payload: service.submit(payload).to_payload()  # noqa: E731
+            handler = lambda payload: service.submit(payload).to_payload()  # noqa: E731
         elif parts == ["v1", "campaigns"]:
-            submit = service.submit_campaign
+            handler = service.submit_campaign
+        elif parts == ["v1", "sites"]:
+            handler = service.register_site
+        elif parts == ["v1", "jobs", "claim"]:
+            handler, status = service.claim_jobs, 200
+        elif parts == ["v1", "jobs", "complete"]:
+            handler, status = service.complete_jobs, 200
+            max_bytes = MAX_COMPLETE_BODY_BYTES
+        elif parts == ["v1", "jobs", "renew"]:
+            handler, status = service.renew_jobs, 200
+        elif parts == ["v1", "jobs", "release"]:
+            handler, status = service.release_jobs, 200
+        elif (
+            len(parts) == 4
+            and parts[:2] == ["v1", "sites"]
+            and parts[3] in ("heartbeat", "drain")
+        ):
+            site_name = parts[2]
+            site_action = (
+                service.heartbeat_site
+                if parts[3] == "heartbeat"
+                else service.drain_site
+            )
+            handler, status = (
+                lambda payload: site_action(site_name),  # noqa: E731
+                200,
+            )
         else:
             self._send_json(404, {"error": f"no route for {url.path}"})
             return
         try:
-            payload = self._read_json_body()
-            response = submit(payload)
+            payload = self._read_json_body(max_bytes) if status == 201 else (
+                self._read_optional_json_body(max_bytes)
+            )
+            response = handler(payload)
         except ValidationError as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        except UnknownSite as exc:
+            self._send_json(404, {"error": f"no site {exc.args[0]!r}"})
             return
         except QueueFull as exc:
             self.send_response(429)
@@ -153,7 +205,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
-        self._send_json(201, response)
+        self._send_json(status, response)
+
+    def _read_optional_json_body(self, max_bytes: int) -> Any:
+        """Like :meth:`_read_json_body` but an empty body is ``{}``
+        (the site heartbeat/drain routes carry no payload)."""
+        try:
+            return self._read_json_body(max_bytes)
+        except ValidationError as exc:
+            if "must be a JSON object" in str(exc):
+                return {}
+            raise
 
     def do_DELETE(self) -> None:
         """Dispatch DELETE routes (job cancellation)."""

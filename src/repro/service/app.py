@@ -28,8 +28,9 @@ from typing import Any, Dict, Optional
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
 from repro.service import api as service_api
+from repro.service import protocol
 from repro.service.jobs import JobSpec, ValidationError
-from repro.service.store import JobRecord, JobStore
+from repro.service.store import DuplicateJob, JobRecord, JobState, create_store
 from repro.service.worker import WorkerPool
 
 
@@ -42,6 +43,9 @@ class ServiceConfig:
     workers: int = 1
     #: SQLite path; ``":memory:"`` gives an ephemeral store.
     db_path: str = "results/service.db"
+    #: Store backend URL (``sqlite://results/service.db``).  When set
+    #: it wins over ``db_path``; a bare path selects SQLite.
+    store_url: Optional[str] = None
     #: Bound on *queued* jobs; beyond it submissions get 429.
     queue_limit: int = 256
     #: Lease duration; a crashed worker's job is re-claimable this
@@ -69,8 +73,8 @@ class ReproService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.metrics = ExecutorMetrics()
-        self.store = JobStore(
-            self.config.db_path,
+        self.store = create_store(
+            self.config.store_url or self.config.db_path,
             queue_limit=self.config.queue_limit,
             max_attempts=self.config.max_attempts,
         )
@@ -173,11 +177,23 @@ class ReproService:
     def submit(self, payload: Any) -> JobRecord:
         """Validate *payload* and enqueue it; returns the new record.
 
+        An optional ``job_id`` field is a client idempotency key:
+        resubmitting the same id returns the original record instead
+        of enqueueing a duplicate, which makes the submit safe to
+        retry over a flaky network.
+
         Raises :class:`repro.service.jobs.ValidationError` (HTTP 400)
         or :class:`repro.service.store.QueueFull` (HTTP 429).
         """
+        requested_id = None
+        if isinstance(payload, dict) and "job_id" in payload:
+            payload = dict(payload)
+            requested_id = protocol.parse_job_id(payload.pop("job_id"))
         spec = JobSpec.from_payload(payload)
-        job_id = self.store.submit(spec.to_payload())
+        try:
+            job_id = self.store.submit(spec.to_payload(), job_id=requested_id)
+        except DuplicateJob as exc:
+            return self.store.get(exc.job_id)
         obs_counters.increment("service.jobs_accepted")
         return self.store.get(job_id)
 
@@ -270,12 +286,125 @@ class ReproService:
             obs_counters.increment("service.jobs_cancelled")
         return record
 
+    # ------------------------------------------------------------------
+    # Fleet operations (sites + batch claim/complete, used by agents)
+    # ------------------------------------------------------------------
+
+    def register_site(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/sites``: register (or re-activate) an agent site."""
+        registration = protocol.parse_site_registration(payload)
+        record = self.store.register_site(registration.name, registration.meta)
+        obs_counters.increment("service.sites_registered")
+        return record.to_payload()
+
+    def heartbeat_site(self, name: str) -> Dict[str, Any]:
+        """``POST /v1/sites/{name}/heartbeat``: liveness ping; the
+        response tells the agent whether the site is draining."""
+        record = self.store.heartbeat_site(name)
+        return {
+            "site": record.to_payload(),
+            "drain": record.state == "draining",
+        }
+
+    def drain_site(self, name: str) -> Dict[str, Any]:
+        """``POST /v1/sites/{name}/drain``: stop handing this site
+        work; its agents finish in-flight jobs and exit."""
+        record = self.store.drain_site(name)
+        return record.to_payload()
+
+    def sites_payload(self) -> Dict[str, Any]:
+        """``GET /v1/sites`` body."""
+        return {
+            "sites": [record.to_payload() for record in self.store.list_sites()]
+        }
+
+    def claim_jobs(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/jobs/claim``: lease a batch of runnable jobs.
+
+        A claim doubles as a site heartbeat.  A draining site gets an
+        empty batch plus ``draining: true`` so its agents wind down.
+        """
+        request = protocol.parse_claim_request(payload)
+        site = self.store.heartbeat_site(request.site)
+        if site.state == "draining":
+            return {"jobs": [], "draining": True}
+        batch = self.store.claim_batch(
+            request.worker,
+            request.lease_s,
+            limit=request.limit,
+            site=request.site,
+        )
+        if batch:
+            obs_counters.increment("service.jobs_claimed_remote", len(batch))
+        return {
+            "jobs": [record.to_payload() for record in batch],
+            "draining": False,
+        }
+
+    def complete_jobs(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/jobs/complete``: push a batch of job outcomes.
+
+        Lease-holder-only and idempotent per item: a push from a
+        worker that lost its lease (or retried a push that already
+        landed) is answered ``accepted: false`` with the job's actual
+        terminal state, never an error — so stale or duplicate agents
+        stay harmless.
+        """
+        worker, items = protocol.parse_complete_request(payload)
+        results = []
+        for item in items:
+            try:
+                if item.ok:
+                    accepted = self.store.complete(
+                        item.job_id, worker, item.result
+                    )
+                else:
+                    accepted = self.store.fail(item.job_id, worker, item.error)
+                state = self.store.get(item.job_id).state
+            except KeyError:
+                accepted, state = False, "unknown"
+            if accepted:
+                if not item.ok:
+                    obs_counters.increment("service.jobs_failed")
+                elif state == JobState.CANCELLED:
+                    obs_counters.increment("service.jobs_cancelled")
+                else:
+                    obs_counters.increment("service.jobs_completed")
+            results.append(
+                {"id": item.job_id, "accepted": accepted, "state": state}
+            )
+        return {"results": results}
+
+    def renew_jobs(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/jobs/renew``: batch lease renewal (heartbeat)."""
+        worker, ids, lease_s = protocol.parse_renew_request(payload)
+        return {
+            "renewed": [
+                {"id": job_id, "ok": self.store.renew(job_id, worker, lease_s)}
+                for job_id in ids
+            ]
+        }
+
+    def release_jobs(self, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/jobs/release``: return claimed-but-unstarted
+        jobs to the queue (the agent drain path)."""
+        worker, ids = protocol.parse_release_request(payload)
+        released = []
+        for job_id in ids:
+            try:
+                ok = self.store.release(job_id, worker)
+            except KeyError:
+                ok = False
+            released.append({"id": job_id, "ok": ok})
+        return {"released": released}
+
     def health_payload(self) -> Dict[str, Any]:
         """``GET /v1/healthz`` body."""
         return {
             "status": "ok",
             "version": _package_version(),
             "workers": self.config.workers,
+            "protocol": protocol.PROTOCOL_VERSION,
         }
 
     def metrics_payload(self) -> Dict[str, Any]:
@@ -312,9 +441,31 @@ class ReproService:
                 "trials_per_sec": self.metrics.trials_per_sec,
                 "wall_s": self.metrics.wall_s,
             },
+            "sites": self._sites_metrics(),
             "counters": counters,
             "uptime_s": uptime,
         }
+
+    def _sites_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-site fleet health: the job ledger of every site that
+        ever claimed work, joined with registration state and the age
+        of the last heartbeat."""
+        stats = self.store.site_stats()
+        now = self.store.clock()
+        sites: Dict[str, Dict[str, Any]] = {}
+        for record in self.store.list_sites():
+            ledger = stats.get(
+                record.name,
+                {"completed": 0, "failed": 0, "inflight": 0, "cancelled": 0},
+            )
+            sites[record.name] = {
+                **ledger,
+                "state": record.state,
+                "last_heartbeat_age_s": max(0.0, now - record.last_heartbeat),
+            }
+        for name, ledger in stats.items():
+            sites.setdefault(name, dict(ledger))
+        return sites
 
     def log_http(self, client: str, message: str) -> None:
         """HTTP request log hook (stderr when enabled)."""

@@ -1,0 +1,279 @@
+"""Wire protocol of the control-plane <-> agent fleet exchange.
+
+The remote worker agents talk to the control plane over four POST
+routes — site registration, batch claim, batch completion, and batch
+lease renewal.  This module is the single strict parser for those
+request bodies, used by the HTTP API on the way in and mirrored by the
+agent when it builds them, so a payload an agent sends is exactly a
+payload the server accepts.
+
+All validation errors raise :class:`repro.service.jobs
+.ValidationError` with a one-line field-qualified message (HTTP 400).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.jobs import ValidationError
+
+#: Version stamp carried in site registrations and ``/v1/healthz`` so
+#: mismatched fleet deployments are visible at registration time.
+PROTOCOL_VERSION = 1
+
+#: Site names appear in URL paths (``/v1/sites/{name}/heartbeat``).
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$")
+
+#: Largest batch one claim may lease (keeps one transaction bounded).
+MAX_CLAIM_LIMIT = 64
+
+#: Longest lease a remote agent may request, in seconds.
+MAX_LEASE_S = 3600.0
+
+
+def _require_str(payload: Dict[str, Any], field_name: str) -> str:
+    value = payload.pop(field_name, None)
+    if not isinstance(value, str) or not value:
+        raise ValidationError(
+            f"field {field_name!r} must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+def _check_no_extras(payload: Dict[str, Any], what: str) -> None:
+    if payload:
+        raise ValidationError(
+            f"unknown {what} field {sorted(payload)[0]!r}"
+        )
+
+
+def validate_site_name(name: str) -> str:
+    """A site name usable in a URL path; raises on anything else."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValidationError(
+            f"site name must match {_NAME_RE.pattern} "
+            f"(letters, digits, '.', '_', '-'), got {name!r}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class SiteRegistration:
+    """``POST /v1/sites`` body: a named site plus free-form metadata
+    (hostname, worker count, ...)."""
+
+    name: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    protocol: int = PROTOCOL_VERSION
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The request body an agent sends to register."""
+        return {"name": self.name, "meta": self.meta, "protocol": self.protocol}
+
+
+def parse_site_registration(payload: Any) -> SiteRegistration:
+    """Strictly parse a ``POST /v1/sites`` body (name, optional meta,
+    protocol version must match this server's)."""
+    if not isinstance(payload, dict):
+        raise ValidationError("site registration must be a JSON object")
+    data = dict(payload)
+    name = validate_site_name(data.pop("name", None))
+    meta = data.pop("meta", {})
+    if not isinstance(meta, dict):
+        raise ValidationError(f"field 'meta' must be an object, got {meta!r}")
+    protocol = data.pop("protocol", PROTOCOL_VERSION)
+    if protocol != PROTOCOL_VERSION:
+        raise ValidationError(
+            f"unsupported protocol version {protocol!r} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    _check_no_extras(data, "site registration")
+    return SiteRegistration(name=name, meta=meta, protocol=protocol)
+
+
+@dataclass(frozen=True)
+class ClaimRequest:
+    """``POST /v1/jobs/claim`` body: lease up to *limit* jobs to
+    *worker* on behalf of *site*."""
+
+    site: str
+    worker: str
+    limit: int = 1
+    lease_s: float = 300.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The request body an agent sends to claim a batch."""
+        return {
+            "site": self.site,
+            "worker": self.worker,
+            "limit": self.limit,
+            "lease_s": self.lease_s,
+        }
+
+
+def parse_claim_request(payload: Any) -> ClaimRequest:
+    """Strictly parse a ``POST /v1/jobs/claim`` body, bounding the
+    batch size and lease duration."""
+    if not isinstance(payload, dict):
+        raise ValidationError("claim request must be a JSON object")
+    data = dict(payload)
+    site = validate_site_name(data.pop("site", None))
+    worker = _require_str(data, "worker")
+    limit = data.pop("limit", 1)
+    if (
+        isinstance(limit, bool)
+        or not isinstance(limit, int)
+        or not 1 <= limit <= MAX_CLAIM_LIMIT
+    ):
+        raise ValidationError(
+            f"field 'limit' must be an integer in [1, {MAX_CLAIM_LIMIT}], "
+            f"got {limit!r}"
+        )
+    lease_s = data.pop("lease_s", 300.0)
+    if (
+        isinstance(lease_s, bool)
+        or not isinstance(lease_s, (int, float))
+        or not 1.0 <= float(lease_s) <= MAX_LEASE_S
+    ):
+        raise ValidationError(
+            f"field 'lease_s' must be a number in [1, {MAX_LEASE_S:g}], "
+            f"got {lease_s!r}"
+        )
+    _check_no_extras(data, "claim request")
+    return ClaimRequest(
+        site=site, worker=worker, limit=limit, lease_s=float(lease_s)
+    )
+
+
+@dataclass(frozen=True)
+class CompletionItem:
+    """One job outcome in a ``POST /v1/jobs/complete`` batch: a result
+    body on success, an error line on failure."""
+
+    job_id: str
+    ok: bool
+    result: str = ""
+    error: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """One entry of a completion request's ``results`` list."""
+        item: Dict[str, Any] = {"id": self.job_id, "ok": self.ok}
+        if self.ok:
+            item["result"] = self.result
+        else:
+            item["error"] = self.error
+        return item
+
+
+def parse_complete_request(payload: Any) -> Tuple[str, List[CompletionItem]]:
+    """Strictly parse a ``POST /v1/jobs/complete`` body; returns
+    ``(worker, items)`` where each item carries a result or an error."""
+    if not isinstance(payload, dict):
+        raise ValidationError("completion request must be a JSON object")
+    data = dict(payload)
+    worker = _require_str(data, "worker")
+    results = data.pop("results", None)
+    if not isinstance(results, list) or not results:
+        raise ValidationError(
+            "field 'results' must be a non-empty list of job outcomes"
+        )
+    _check_no_extras(data, "completion request")
+    items: List[CompletionItem] = []
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ValidationError(
+                f"results[{index}] must be an object, got {entry!r}"
+            )
+        entry = dict(entry)
+        job_id = _require_str(entry, "id")
+        ok = entry.pop("ok", None)
+        if not isinstance(ok, bool):
+            raise ValidationError(
+                f"results[{index}].ok must be a boolean, got {ok!r}"
+            )
+        body = entry.pop("result" if ok else "error", "")
+        if not isinstance(body, str):
+            raise ValidationError(
+                f"results[{index}].{'result' if ok else 'error'} "
+                f"must be a string"
+            )
+        _check_no_extras(entry, f"results[{index}]")
+        items.append(
+            CompletionItem(
+                job_id=job_id,
+                ok=ok,
+                result=body if ok else "",
+                error="" if ok else body,
+            )
+        )
+    return worker, items
+
+
+def parse_renew_request(payload: Any) -> Tuple[str, List[str], float]:
+    """``POST /v1/jobs/renew`` body: extend *worker*'s leases on *ids*
+    by *lease_s* seconds; returns ``(worker, ids, lease_s)``."""
+    if not isinstance(payload, dict):
+        raise ValidationError("renew request must be a JSON object")
+    data = dict(payload)
+    worker = _require_str(data, "worker")
+    ids = data.pop("ids", None)
+    if (
+        not isinstance(ids, list)
+        or not ids
+        or not all(isinstance(i, str) and i for i in ids)
+    ):
+        raise ValidationError(
+            "field 'ids' must be a non-empty list of job id strings"
+        )
+    lease_s = data.pop("lease_s", 300.0)
+    if (
+        isinstance(lease_s, bool)
+        or not isinstance(lease_s, (int, float))
+        or not 1.0 <= float(lease_s) <= MAX_LEASE_S
+    ):
+        raise ValidationError(
+            f"field 'lease_s' must be a number in [1, {MAX_LEASE_S:g}], "
+            f"got {lease_s!r}"
+        )
+    _check_no_extras(data, "renew request")
+    return worker, list(ids), float(lease_s)
+
+
+def parse_release_request(payload: Any) -> Tuple[str, List[str]]:
+    """``POST /v1/jobs/release`` body: return *worker*'s
+    claimed-but-unstarted jobs *ids* to the queue (the agent drain
+    path); returns ``(worker, ids)``."""
+    if not isinstance(payload, dict):
+        raise ValidationError("release request must be a JSON object")
+    data = dict(payload)
+    worker = _require_str(data, "worker")
+    ids = data.pop("ids", None)
+    if (
+        not isinstance(ids, list)
+        or not ids
+        or not all(isinstance(i, str) and i for i in ids)
+    ):
+        raise ValidationError(
+            "field 'ids' must be a non-empty list of job id strings"
+        )
+    _check_no_extras(data, "release request")
+    return worker, list(ids)
+
+
+def parse_job_id(value: Any) -> Optional[str]:
+    """An optional client-supplied idempotency key for ``POST
+    /v1/jobs`` (resubmitting the same ``job_id`` returns the original
+    record instead of enqueueing a duplicate)."""
+    if value is None:
+        return None
+    if (
+        not isinstance(value, str)
+        or not re.match(r"^[A-Za-z0-9._-]{8,64}$", value)
+    ):
+        raise ValidationError(
+            "field 'job_id' must be 8-64 characters of letters, digits, "
+            f"'.', '_', '-', got {value!r}"
+        )
+    return value

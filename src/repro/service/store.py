@@ -1,36 +1,37 @@
-"""Durable job store: SQLite-backed queue with leases.
+"""The job-store interface and backend factory.
 
-One table holds every job the service has ever accepted, moving
-through ``queued -> running -> done/failed/cancelled``.  Durability
-and crash recovery come from three properties:
+The service's control plane owns a durable queue of jobs moving
+through ``queued -> running -> done/failed/cancelled``.  This module
+defines the *contract* of that queue — :class:`JobStore`, an abstract
+base class — plus the plain-data records, the store exceptions, and a
+URL-based factory so backends can be swapped without touching the
+service (``--store sqlite://results/service.db``).
 
-- **WAL journaling** — a killed process never corrupts the store, and
-  readers (the HTTP API) don't block the writer (the worker pool).
-- **Atomic claims** — :meth:`JobStore.claim` selects and marks the
-  next runnable job inside one ``BEGIN IMMEDIATE`` transaction, so two
-  workers can never run the same job.
+The contract every backend must honour (the SQLite reference
+implementation lives in :mod:`repro.service.store_sqlite`):
+
+- **Atomic submission** — :meth:`JobStore.submit` either enqueues the
+  whole job or raises (:class:`QueueFull` at the depth bound,
+  :class:`DuplicateJob` on an id collision); nothing partial.
+- **Atomic claims** — :meth:`JobStore.claim_batch` selects and leases
+  up to *limit* runnable jobs inside ONE transaction, so two workers
+  (threads, processes, or hosts) can never run the same job.
 - **Lease timeouts** — a claim holds a lease; a worker that dies
-  mid-job simply stops renewing, and once the lease expires the job is
-  claimable again (``attempts`` counts the re-leases, and a job that
-  burns :attr:`JobStore.max_attempts` leases is marked failed rather
-  than looping forever).
-
-All methods are thread-safe: one connection guarded by a lock keeps
-the store usable from the HTTP threads, the scheduler, and the workers
-of a single service process, while WAL keeps concurrent *processes*
-(e.g. an operator's ``sqlite3`` shell) safe too.
+  simply stops renewing, and once the lease expires the job is
+  claimable again.  A job that burns ``max_attempts`` leases is marked
+  failed rather than looping forever.
+- **Lease-holder-only completion** — :meth:`JobStore.complete` /
+  :meth:`JobStore.fail` succeed only for the current lease holder, so
+  a stale or resurrected worker can never clobber a re-run's result.
+- **Sites** — remote worker agents register a named *site*; the store
+  tracks its state (``active``/``draining``), last heartbeat, and the
+  per-site job ledger that feeds ``/v1/metrics``.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import sqlite3
-import threading
-import time
-import uuid
-from dataclasses import dataclass
-from pathlib import Path
+import abc
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 
@@ -41,6 +42,19 @@ class QueueFull(RuntimeError):
 
 class UnknownJob(KeyError):
     """No job with the requested id exists."""
+
+
+class DuplicateJob(RuntimeError):
+    """A submission reused an existing job id (the service turns this
+    into an idempotent return of the original record)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job id {job_id!r} already exists")
+        self.job_id = job_id
+
+
+class UnknownSite(KeyError):
+    """No registered site with the requested name exists."""
 
 
 class JobState:
@@ -59,6 +73,14 @@ class JobState:
     ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 
 
+class SiteState:
+    """States of a registered worker site."""
+
+    ACTIVE = "active"
+    DRAINING = "draining"
+    ALL = (ACTIVE, DRAINING)
+
+
 @dataclass(frozen=True)
 class JobRecord:
     """One row of the store, as plain data."""
@@ -75,10 +97,12 @@ class JobRecord:
     cancel_requested: bool
     result: Optional[str]
     error: Optional[str]
+    site: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        """JSON-safe status dict (what ``GET /v1/jobs/{id}`` returns;
-        the result body itself is served by the ``/result`` route)."""
+        """JSON-safe status dict (what ``GET /v1/jobs/{id}`` and the
+        claim endpoint return; the result body itself is served by the
+        ``/result`` route)."""
         return {
             "id": self.id,
             "spec": self.spec,
@@ -88,359 +112,256 @@ class JobRecord:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
             "worker": self.worker,
+            "lease_expires_at": self.lease_expires_at,
             "cancel_requested": self.cancel_requested,
             "error": self.error,
+            "site": self.site,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from :meth:`to_payload` output (what a
+        remote agent receives from the claim endpoint; the result body
+        is never carried)."""
+        return cls(
+            id=payload["id"],
+            spec=payload["spec"],
+            state=payload["state"],
+            created_at=payload["created_at"],
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            attempts=payload.get("attempts", 0),
+            worker=payload.get("worker"),
+            lease_expires_at=payload.get("lease_expires_at"),
+            cancel_requested=bool(payload.get("cancel_requested", False)),
+            result=None,
+            error=payload.get("error"),
+            site=payload.get("site"),
+        )
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """One registered worker site."""
+
+    name: str
+    state: str
+    registered_at: float
+    last_heartbeat: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe site dict (what ``GET /v1/sites`` returns)."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "registered_at": self.registered_at,
+            "last_heartbeat": self.last_heartbeat,
+            "meta": self.meta,
         }
 
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS jobs (
-    id TEXT PRIMARY KEY,
-    spec TEXT NOT NULL,
-    state TEXT NOT NULL DEFAULT 'queued',
-    created_at REAL NOT NULL,
-    started_at REAL,
-    finished_at REAL,
-    attempts INTEGER NOT NULL DEFAULT 0,
-    worker TEXT,
-    lease_expires_at REAL,
-    cancel_requested INTEGER NOT NULL DEFAULT 0,
-    result TEXT,
-    error TEXT
-);
-CREATE INDEX IF NOT EXISTS idx_jobs_state_created
-    ON jobs (state, created_at);
-"""
+class JobStore(abc.ABC):
+    """Abstract durable job queue (see the module docstring for the
+    semantics every backend must honour).
 
-
-class JobStore:
-    """The durable queue (see module docstring for the semantics).
-
-    *clock* is injectable for tests (lease expiry without sleeping).
-    ``queue_limit`` bounds the number of *queued* jobs — running and
-    finished jobs don't count against it — and ``max_attempts`` bounds
-    how many leases a job may burn before it is marked failed.
+    Concrete backends are obtained through :func:`create_store`; the
+    service never instantiates one directly.
     """
 
-    def __init__(
-        self,
-        path: os.PathLike = ":memory:",
-        *,
-        queue_limit: int = 256,
-        max_attempts: int = 3,
-        clock: Callable[[], float] = time.time,
-    ) -> None:
-        if queue_limit < 1:
-            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
-        if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
-        self.path = str(path)
-        self.queue_limit = queue_limit
-        self.max_attempts = max_attempts
-        self.clock = clock
-        self._lock = threading.RLock()
-        if self.path != ":memory:":
-            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(
-            self.path, check_same_thread=False, isolation_level=None
-        )
-        self._conn.row_factory = sqlite3.Row
-        with self._lock:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.executescript(_SCHEMA)
+    #: Bound on *queued* jobs (running/finished don't count).
+    queue_limit: int
+    #: Leases a job may burn before it is marked failed.
+    max_attempts: int
+    #: Injectable time source (tests advance it without sleeping).
+    clock: Callable[[], float]
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
+    # -- lifecycle -----------------------------------------------------
 
+    @abc.abstractmethod
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
-        with self._lock:
-            try:
-                self._conn.close()
-            except sqlite3.Error:  # pragma: no cover - close is best-effort
-                pass
+        """Release backend resources (idempotent)."""
 
-    # ------------------------------------------------------------------
-    # Submission / inspection
-    # ------------------------------------------------------------------
+    # -- submission / inspection ---------------------------------------
 
+    @abc.abstractmethod
     def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
-        """Enqueue *spec*; returns the new job id.
+        """Enqueue *spec*; returns the job id.  Raises
+        :class:`QueueFull` at the depth bound and :class:`DuplicateJob`
+        when *job_id* is already taken."""
 
-        Raises :class:`QueueFull` when ``queued`` jobs are already at
-        the depth bound (backpressure, not data loss: nothing is
-        partially written).
-        """
-        job_id = job_id or uuid.uuid4().hex
-        payload = json.dumps(spec, sort_keys=True)
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                (depth,) = self._conn.execute(
-                    "SELECT COUNT(*) FROM jobs WHERE state = ?",
-                    (JobState.QUEUED,),
-                ).fetchone()
-                if depth >= self.queue_limit:
-                    raise QueueFull(
-                        f"queue is full ({depth}/{self.queue_limit} jobs queued)"
-                    )
-                self._conn.execute(
-                    "INSERT INTO jobs (id, spec, state, created_at)"
-                    " VALUES (?, ?, ?, ?)",
-                    (job_id, payload, JobState.QUEUED, self.clock()),
-                )
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-            self._conn.execute("COMMIT")
-        return job_id
-
+    @abc.abstractmethod
     def get(self, job_id: str) -> JobRecord:
         """The job with *job_id*; raises :class:`UnknownJob` if absent."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT * FROM jobs WHERE id = ?", (job_id,)
-            ).fetchone()
-        if row is None:
-            raise UnknownJob(job_id)
-        return self._record(row)
 
+    @abc.abstractmethod
     def list_jobs(
         self, state: Optional[str] = None, limit: int = 100
     ) -> List[JobRecord]:
         """Most-recent-first listing, optionally filtered by state."""
-        query = "SELECT * FROM jobs"
-        params: tuple = ()
-        if state is not None:
-            query += " WHERE state = ?"
-            params = (state,)
-        query += " ORDER BY created_at DESC, rowid DESC LIMIT ?"
-        with self._lock:
-            rows = self._conn.execute(query, params + (limit,)).fetchall()
-        return [self._record(row) for row in rows]
 
+    @abc.abstractmethod
     def counts(self) -> Dict[str, int]:
         """Job count per state (zero-filled for absent states)."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
-            ).fetchall()
-        out = {state: 0 for state in JobState.ALL}
-        for row in rows:
-            out[row["state"]] = row["n"]
-        return out
 
+    @abc.abstractmethod
     def queue_depth(self) -> int:
         """Number of jobs currently waiting to be claimed."""
-        with self._lock:
-            (depth,) = self._conn.execute(
-                "SELECT COUNT(*) FROM jobs WHERE state = ?",
-                (JobState.QUEUED,),
-            ).fetchone()
-        return depth
 
-    # ------------------------------------------------------------------
-    # Claiming and completion (the worker protocol)
-    # ------------------------------------------------------------------
+    # -- claiming and completion (the worker protocol) -----------------
 
-    def claim(self, worker: str, lease_s: float) -> Optional[JobRecord]:
-        """Atomically lease the next runnable job to *worker*.
+    @abc.abstractmethod
+    def claim_batch(
+        self,
+        worker: str,
+        lease_s: float,
+        limit: int,
+        site: Optional[str] = None,
+    ) -> List[JobRecord]:
+        """Atomically lease up to *limit* runnable jobs to *worker*.
 
-        Runnable means: an expired-lease ``running`` job (crash
-        recovery — oldest first), else the oldest ``queued`` job.  An
+        Runnable means: expired-lease ``running`` jobs (crash recovery
+        — oldest first), then ``queued`` jobs in submission order.  An
         expired job that already burned ``max_attempts`` leases is
-        marked failed instead of being handed out again.  Returns the
-        claimed record, or None when nothing is runnable.
-        """
-        now = self.clock()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                # Retire jobs whose leases expired too many times.
-                self._conn.execute(
-                    "UPDATE jobs SET state = ?, finished_at = ?, worker = NULL,"
-                    " lease_expires_at = NULL,"
-                    " error = 'lease expired after ' || attempts || ' attempts'"
-                    " WHERE state = ? AND lease_expires_at < ? AND attempts >= ?",
-                    (
-                        JobState.FAILED,
-                        now,
-                        JobState.RUNNING,
-                        now,
-                        self.max_attempts,
-                    ),
-                )
-                row = self._conn.execute(
-                    "SELECT id FROM jobs"
-                    " WHERE (state = ? AND lease_expires_at < ?) OR state = ?"
-                    " ORDER BY state != ?, created_at, rowid LIMIT 1",
-                    (JobState.RUNNING, now, JobState.QUEUED, JobState.RUNNING),
-                ).fetchone()
-                if row is None:
-                    self._conn.execute("COMMIT")
-                    return None
-                job_id = row["id"]
-                self._conn.execute(
-                    "UPDATE jobs SET state = ?, worker = ?, attempts = attempts + 1,"
-                    " started_at = COALESCE(started_at, ?), lease_expires_at = ?"
-                    " WHERE id = ?",
-                    (JobState.RUNNING, worker, now, now + lease_s, job_id),
-                )
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-            self._conn.execute("COMMIT")
-            return self.get(job_id)
+        marked failed instead of being handed out again.  The whole
+        batch is ONE transaction: concurrent claimers can never
+        overlap.  *site* is recorded on the claimed rows for the
+        per-site metrics breakdown."""
 
+    def claim(
+        self, worker: str, lease_s: float, site: Optional[str] = None
+    ) -> Optional[JobRecord]:
+        """Single-job convenience over :meth:`claim_batch`."""
+        batch = self.claim_batch(worker, lease_s, limit=1, site=site)
+        return batch[0] if batch else None
+
+    @abc.abstractmethod
     def renew(self, job_id: str, worker: str, lease_s: float) -> bool:
         """Extend *worker*'s lease on a running job (heartbeat).
+        Returns False when the job is no longer leased to *worker*."""
 
-        Returns False when the job is no longer leased to *worker*
-        (lease stolen after expiry, job cancelled, ...), which tells
-        the worker its result will be discarded.
-        """
-        with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET lease_expires_at = ?"
-                " WHERE id = ? AND state = ? AND worker = ?",
-                (self.clock() + lease_s, job_id, JobState.RUNNING, worker),
-            )
-        return cursor.rowcount == 1
-
+    @abc.abstractmethod
     def complete(self, job_id: str, worker: str, result: str) -> bool:
-        """Record a successful result from *worker*.
+        """Record a successful result from the current lease holder
+        (False otherwise — the stale worker's result is discarded).  A
+        completion racing a cancellation lands ``cancelled`` with the
+        result attached."""
 
-        Only the current lease holder may complete a job (a worker
-        whose lease was reassigned after a stall must not clobber the
-        re-run's result).  A completion racing a cancellation request
-        lands as ``cancelled`` with the result attached.  Returns True
-        when this call finalized the job.
-        """
-        now = self.clock()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                row = self._conn.execute(
-                    "SELECT cancel_requested FROM jobs"
-                    " WHERE id = ? AND state = ? AND worker = ?",
-                    (job_id, JobState.RUNNING, worker),
-                ).fetchone()
-                if row is None:
-                    self._conn.execute("COMMIT")
-                    return False
-                state = (
-                    JobState.CANCELLED
-                    if row["cancel_requested"]
-                    else JobState.DONE
-                )
-                self._conn.execute(
-                    "UPDATE jobs SET state = ?, result = ?, finished_at = ?,"
-                    " lease_expires_at = NULL WHERE id = ?",
-                    (state, result, now, job_id),
-                )
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-            self._conn.execute("COMMIT")
-        return True
-
+    @abc.abstractmethod
     def fail(self, job_id: str, worker: str, error: str) -> bool:
         """Record a failed execution from the current lease holder."""
-        with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
-                " lease_expires_at = NULL"
-                " WHERE id = ? AND state = ? AND worker = ?",
-                (
-                    JobState.FAILED,
-                    error,
-                    self.clock(),
-                    job_id,
-                    JobState.RUNNING,
-                    worker,
-                ),
-            )
-        return cursor.rowcount == 1
 
+    @abc.abstractmethod
     def release(self, job_id: str, worker: str) -> bool:
         """Return a claimed-but-unstarted job to the queue (shutdown
         path); the attempt is refunded so a drain/restart cycle never
         pushes a job toward its attempts bound."""
-        with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET state = ?, worker = NULL,"
-                " lease_expires_at = NULL, attempts = MAX(attempts - 1, 0)"
-                " WHERE id = ? AND state = ? AND worker = ?",
-                (JobState.QUEUED, job_id, JobState.RUNNING, worker),
-            )
-        return cursor.rowcount == 1
 
+    @abc.abstractmethod
     def reassign(self, job_id: str, old_worker: str, new_worker: str) -> bool:
-        """Transfer a running job's lease between worker names (the
-        scheduler claims under its own name, then hands the lease to
-        the executing worker so completion authority follows the
-        thread doing the work)."""
-        with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET worker = ?"
-                " WHERE id = ? AND state = ? AND worker = ?",
-                (new_worker, job_id, JobState.RUNNING, old_worker),
-            )
-        return cursor.rowcount == 1
+        """Transfer a running job's lease between worker names."""
 
+    @abc.abstractmethod
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel a job: queued jobs flip to ``cancelled`` immediately,
         running jobs get ``cancel_requested`` set (the worker honours
-        it at its next checkpoint), terminal jobs are left untouched.
-        Returns the record after the transition."""
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                self._conn.execute(
-                    "UPDATE jobs SET state = ?, finished_at = ?,"
-                    " cancel_requested = 1, lease_expires_at = NULL"
-                    " WHERE id = ? AND state = ?",
-                    (JobState.CANCELLED, self.clock(), job_id, JobState.QUEUED),
-                )
-                self._conn.execute(
-                    "UPDATE jobs SET cancel_requested = 1"
-                    " WHERE id = ? AND state = ?",
-                    (job_id, JobState.RUNNING),
-                )
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-            self._conn.execute("COMMIT")
-        return self.get(job_id)
+        it), terminal jobs are left untouched."""
 
+    @abc.abstractmethod
     def result_text(self, job_id: str) -> Optional[str]:
         """The stored result body (None unless the job finished with
         one)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT result FROM jobs WHERE id = ?", (job_id,)
-            ).fetchone()
-        if row is None:
-            raise UnknownJob(job_id)
-        return row["result"]
 
-    # ------------------------------------------------------------------
+    # -- sites (the fleet protocol) ------------------------------------
 
-    @staticmethod
-    def _record(row: sqlite3.Row) -> JobRecord:
-        return JobRecord(
-            id=row["id"],
-            spec=json.loads(row["spec"]),
-            state=row["state"],
-            created_at=row["created_at"],
-            started_at=row["started_at"],
-            finished_at=row["finished_at"],
-            attempts=row["attempts"],
-            worker=row["worker"],
-            lease_expires_at=row["lease_expires_at"],
-            cancel_requested=bool(row["cancel_requested"]),
-            result=row["result"],
-            error=row["error"],
-        )
+    @abc.abstractmethod
+    def register_site(
+        self, name: str, meta: Optional[Dict[str, Any]] = None
+    ) -> SiteRecord:
+        """Register (or re-activate) the site *name*; idempotent."""
+
+    @abc.abstractmethod
+    def heartbeat_site(self, name: str) -> SiteRecord:
+        """Record a liveness heartbeat; raises :class:`UnknownSite`."""
+
+    @abc.abstractmethod
+    def drain_site(self, name: str) -> SiteRecord:
+        """Mark the site draining: its agents stop receiving claims and
+        shut down once their in-flight jobs finish."""
+
+    @abc.abstractmethod
+    def list_sites(self) -> List[SiteRecord]:
+        """Every registered site, in registration order."""
+
+    @abc.abstractmethod
+    def site_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site job ledger: ``{site: {completed, failed, inflight,
+        cancelled}}`` for every site that ever claimed a job."""
+
+
+# ---------------------------------------------------------------------------
+# Backend factory
+# ---------------------------------------------------------------------------
+
+#: Registered backend constructors, keyed by URL scheme.
+_BACKENDS: Dict[str, Callable[..., JobStore]] = {}
+
+
+def register_store_backend(
+    scheme: str, factory: Callable[..., JobStore]
+) -> None:
+    """Register *factory* for ``{scheme}://...`` store URLs.  The
+    factory receives the URL remainder (the path) plus the keyword
+    arguments of :func:`create_store`."""
+    _BACKENDS[scheme] = factory
+
+
+def store_backends() -> List[str]:
+    """The registered backend schemes (for error messages and docs)."""
+    return sorted(_BACKENDS)
+
+
+def create_store(
+    url: str,
+    *,
+    queue_limit: int = 256,
+    max_attempts: int = 3,
+    clock: Optional[Callable[[], float]] = None,
+) -> JobStore:
+    """Construct a job store from a backend URL.
+
+    ``sqlite://results/service.db`` selects the SQLite backend with
+    that database path (``sqlite://:memory:`` for an ephemeral store).
+    A bare path with no scheme is accepted as SQLite for backwards
+    compatibility with ``--db``.  This factory is the only place
+    backends are constructed.
+    """
+    url = str(url)
+    if "://" in url:
+        scheme, _, rest = url.partition("://")
+    else:
+        scheme, rest = "sqlite", url
+    try:
+        factory = _BACKENDS[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {scheme!r} in {url!r} "
+            f"(registered: {', '.join(store_backends())})"
+        ) from None
+    kwargs: Dict[str, Any] = {
+        "queue_limit": queue_limit,
+        "max_attempts": max_attempts,
+    }
+    if clock is not None:
+        kwargs["clock"] = clock
+    return factory(rest, **kwargs)
+
+
+def _sqlite_factory(path: str, **kwargs: Any) -> JobStore:
+    """Lazy-import constructor for the reference SQLite backend."""
+    from repro.service.store_sqlite import SQLiteJobStore
+
+    return SQLiteJobStore(path or ":memory:", **kwargs)
+
+
+register_store_backend("sqlite", _sqlite_factory)

@@ -1,45 +1,38 @@
-"""Scheduler and worker pool: drains the job store.
+"""The in-process worker pool: a local agent inside ``repro serve``.
 
-Three kinds of threads cooperate:
+Since the control-plane/agent split, all execution machinery lives in
+:class:`repro.service.agent.WorkerAgent`; this module keeps the
+historical :class:`WorkerPool` surface by wiring that engine to a
+:class:`repro.service.agent.LocalJobSource` — direct calls on the
+:class:`repro.service.store.JobStore` interface, no HTTP.  ``repro
+serve`` with in-process workers therefore behaves exactly as it did
+before the split, while remote ``repro agent`` processes drive the
+very same engine over the API.
 
-- the **scheduler** claims runnable jobs from the store (crash-expired
-  leases first, then queue order) into a small in-memory hand-off
-  queue, and periodically prunes the result cache;
-- **workers** take claimed jobs off the hand-off queue and execute
-  them through :meth:`repro.service.jobs.JobSpec.execute` (the shared
-  entrypoint, so results match the CLI byte for byte);
-- a **heartbeat** renews the leases of every in-flight job, so a
-  healthy worker can run a job far longer than one lease while a
-  killed process stops renewing and its jobs become claimable again.
-
-Shutdown is graceful and lossless: the scheduler stops claiming,
-claimed-but-unstarted jobs are released back to the queue (their
-attempt refunded), and workers finish the jobs they already started
-("drain the running cells") before the pool joins them.
+The pool adds one thing the generic agent doesn't have: periodic
+result-cache pruning, hung on the agent's per-tick hook.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
-import traceback
-from typing import Callable, Dict, Optional
+import uuid
+from typing import Callable, Optional
 
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
-from repro.service.jobs import JobSpec, ValidationError
-from repro.service.store import JobRecord, JobStore
+from repro.service.agent import LocalJobSource, WorkerAgent
+from repro.service.store import JobStore
 
 
-class WorkerPool:
-    """Runs jobs claimed from a :class:`JobStore`.
+class WorkerPool(WorkerAgent):
+    """Runs jobs claimed from a :class:`JobStore` in-process.
 
     ``workers=0`` is a valid paused pool (jobs queue up but never
     run — used by tests and by operators staging work).  *cache* and
     *prune_max_bytes* wire the periodic cache pruning; *on_idle* is an
-    optional test hook called when the scheduler finds nothing to
-    claim.
+    optional test hook called when the puller finds nothing to claim.
     """
 
     def __init__(
@@ -55,178 +48,42 @@ class WorkerPool:
         prune_interval_s: float = 300.0,
         on_idle: Optional[Callable[[], None]] = None,
     ) -> None:
-        if workers < 0:
-            raise ValueError(f"workers must be >= 0, got {workers}")
         self.store = store
-        self.workers = workers
-        self.lease_s = lease_s
-        self.poll_interval_s = poll_interval_s
-        self.metrics = metrics if metrics is not None else ExecutorMetrics()
-        self.cache = cache
         self.prune_max_bytes = prune_max_bytes
         self.prune_interval_s = prune_interval_s
-        self.on_idle = on_idle
-        self._handoff: "queue.Queue[JobRecord]" = queue.Queue(
-            maxsize=max(workers, 1)
-        )
-        self._inflight: Dict[str, str] = {}
-        self._inflight_lock = threading.Lock()
-        self._stop = threading.Event()
-        self._threads: list = []
         self._prune_due = threading.Event()
-
-    # ------------------------------------------------------------------
-
-    def start(self) -> None:
-        """Launch scheduler, workers, and heartbeat threads."""
-        if self._threads:
-            raise RuntimeError("pool already started")
-        self._stop.clear()
-        if self.workers > 0:
-            self._threads.append(
-                threading.Thread(
-                    target=self._scheduler_loop, name="repro-scheduler", daemon=True
-                )
-            )
-            for index in range(self.workers):
-                self._threads.append(
-                    threading.Thread(
-                        target=self._worker_loop,
-                        args=(f"worker-{index}",),
-                        name=f"repro-worker-{index}",
-                        daemon=True,
-                    )
-                )
-            self._threads.append(
-                threading.Thread(
-                    target=self._heartbeat_loop, name="repro-heartbeat", daemon=True
-                )
-            )
-        for thread in self._threads:
-            thread.start()
-
-    def shutdown(self, timeout: Optional[float] = None) -> None:
-        """Stop claiming, requeue unstarted claims, drain running jobs.
-
-        Blocks until every thread has joined (up to *timeout* per
-        thread).  No accepted job is lost: anything not finished is
-        back in (or still in) the queue afterwards.
-        """
-        self._stop.set()
-        self._drain_handoff()
-        for thread in self._threads:
-            thread.join(timeout=timeout)
-        # The scheduler may have claimed one last job after the first
-        # drain; sweep again now that every thread is gone.
-        self._drain_handoff()
-        self._threads = []
-
-    def _drain_handoff(self) -> None:
-        """Requeue jobs that were claimed but never handed to a worker."""
-        while True:
-            try:
-                record = self._handoff.get_nowait()
-            except queue.Empty:
-                return
-            self.store.release(record.id, "scheduler")
-
-    def inflight(self) -> Dict[str, str]:
-        """Snapshot of running jobs: ``{job_id: worker_name}``."""
-        with self._inflight_lock:
-            return dict(self._inflight)
+        self._last_prune = time.monotonic()
+        super().__init__(
+            LocalJobSource(store),
+            workers=workers,
+            batch_size=max(workers, 1),
+            lease_s=lease_s,
+            poll_interval_s=poll_interval_s,
+            metrics=metrics,
+            cache=cache,
+            identity=f"local-{uuid.uuid4().hex[:8]}",
+            on_idle=on_idle,
+            on_tick=self._maybe_prune,
+        )
 
     def prune_now(self) -> None:
-        """Ask the scheduler to prune the cache on its next tick."""
+        """Ask the puller to prune the cache on its next tick."""
         self._prune_due.set()
 
-    # ------------------------------------------------------------------
-    # Thread bodies
-    # ------------------------------------------------------------------
-
-    def _scheduler_loop(self) -> None:
-        last_prune = time.monotonic()
-        while not self._stop.is_set():
-            claimed = None
-            if self._handoff.qsize() < self._handoff.maxsize:
-                claimed = self.store.claim("scheduler", self.lease_s)
-            if claimed is not None:
-                try:
-                    self._handoff.put(claimed, timeout=self.poll_interval_s)
-                except queue.Full:
-                    self.store.release(claimed.id, "scheduler")
-            else:
-                if self.on_idle is not None:
-                    self.on_idle()
-                self._stop.wait(self.poll_interval_s)
-            if self.cache is not None and self.prune_max_bytes is not None:
-                now = time.monotonic()
-                if (
-                    self._prune_due.is_set()
-                    or now - last_prune >= self.prune_interval_s
-                ):
-                    self._prune_due.clear()
-                    last_prune = now
-                    removed, removed_bytes = self.cache.prune(
-                        self.prune_max_bytes
-                    )
-                    if removed:
-                        obs_counters.increment("service.cache_pruned", removed)
-                        obs_counters.increment(
-                            "service.cache_pruned_bytes", removed_bytes
-                        )
-
-    def _worker_loop(self, name: str) -> None:
-        while True:
-            try:
-                record = self._handoff.get(timeout=self.poll_interval_s)
-            except queue.Empty:
-                if self._stop.is_set():
-                    return
-                continue
-            self._run_job(record, name)
-
-    def _run_job(self, record: JobRecord, worker: str) -> None:
-        # Re-lease under this worker's own name so completion authority
-        # and heartbeats are tied to the thread actually running it.
-        if not self.store.renew(record.id, "scheduler", self.lease_s):
-            return  # lease lost between claim and hand-off
-        current = self.store.get(record.id)
-        if current.cancel_requested:
-            self.store.complete(record.id, "scheduler", "")
-            obs_counters.increment("service.jobs_cancelled")
+    def _maybe_prune(self) -> None:
+        if self.cache is None or self.prune_max_bytes is None:
             return
-        self.store.reassign(record.id, "scheduler", worker)
-        with self._inflight_lock:
-            self._inflight[record.id] = worker
-        try:
-            spec = JobSpec.from_payload(record.spec)
-            cache_dir = self.cache.directory if self.cache is not None else None
-            outcome = spec.execute(metrics=self.metrics, cache_dir=cache_dir)
-        except ValidationError as exc:
-            self.store.fail(record.id, worker, f"invalid job spec: {exc}")
-            obs_counters.increment("service.jobs_failed")
-        except Exception:
-            self.store.fail(
-                record.id, worker, traceback.format_exc(limit=20)
+        now = time.monotonic()
+        if (
+            not self._prune_due.is_set()
+            and now - self._last_prune < self.prune_interval_s
+        ):
+            return
+        self._prune_due.clear()
+        self._last_prune = now
+        removed, removed_bytes = self.cache.prune(self.prune_max_bytes)
+        if removed:
+            obs_counters.increment("service.cache_pruned", removed)
+            obs_counters.increment(
+                "service.cache_pruned_bytes", removed_bytes
             )
-            obs_counters.increment("service.jobs_failed")
-        else:
-            if self.store.complete(record.id, worker, outcome.text):
-                final = self.store.get(record.id)
-                if final.cancel_requested:
-                    obs_counters.increment("service.jobs_cancelled")
-                else:
-                    obs_counters.increment("service.jobs_completed")
-        finally:
-            with self._inflight_lock:
-                self._inflight.pop(record.id, None)
-
-    def _heartbeat_loop(self) -> None:
-        interval = max(self.lease_s / 3.0, self.poll_interval_s)
-        while not self._stop.wait(interval):
-            for job_id, worker in self.inflight().items():
-                self.store.renew(job_id, worker, self.lease_s)
-        # One final renewal round so draining jobs keep their leases
-        # while shutdown waits for them.
-        for job_id, worker in self.inflight().items():
-            self.store.renew(job_id, worker, self.lease_s)

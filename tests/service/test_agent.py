@@ -1,0 +1,261 @@
+"""Agent-fleet tests: a control plane with zero in-process workers
+served by separately running worker agents.
+
+Covers the acceptance criterion (a job submitted to a ``--workers 0``
+server is executed by a separately launched ``repro agent`` process,
+byte-identical to the direct CLI run) and the crash-recovery
+satellite: an agent SIGKILLed mid-batch loses its leases, a second
+agent reruns the jobs, and the dead agent's identity can never push a
+stale result.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.entry import StudyRequest, run_request
+from repro.experiments.parallel import ExecutorOptions
+from repro.service.agent import LocalJobSource, RemoteJobSource, WorkerAgent
+from repro.service.app import ReproService, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.store import JobState, create_store
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FIG1 = {
+    "experiment": "fig1",
+    "format": "json",
+    "quick": True,
+    "trials": 2,
+    "jobs": 1,
+    "cache": False,
+}
+
+
+def wait_for(predicate, timeout=60.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def direct_text(**overrides):
+    fields = {
+        "experiment": "fig1",
+        "format": "json",
+        "quick": True,
+        "trials": 2,
+    }
+    fields.update(overrides)
+    return run_request(
+        StudyRequest(**fields), options=ExecutorOptions(jobs=1, cache=False)
+    ).text
+
+
+@pytest.fixture
+def control_plane():
+    """A server with NO in-process workers: agents do all execution."""
+    svc = ReproService(
+        ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            workers=0,
+            db_path=":memory:",
+            poll_interval_s=0.01,
+        )
+    )
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=30)
+
+
+def agent_env(tmp_path, name):
+    """A subprocess environment emulating a separate agent host (own
+    result cache)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / f"cache-{name}")
+    return env
+
+
+def spawn_agent(url, site, tmp_path, *, lease_s=2.0, batch_size=4):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "agent",
+            "--url",
+            url,
+            "--site",
+            site,
+            "--workers",
+            "1",
+            "--batch-size",
+            str(batch_size),
+            "--lease-s",
+            str(lease_s),
+        ],
+        env=agent_env(tmp_path, site),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+
+
+class TestInProcessAgent:
+    """The agent engine driven through the remote source, in-process
+    (fast; the subprocess path is covered below)."""
+
+    def test_remote_agent_executes_byte_identical(self, control_plane):
+        client = ServiceClient(control_plane.url)
+        job = client.submit(FIG1)
+        agent = WorkerAgent(
+            RemoteJobSource(ServiceClient(control_plane.url), "inproc"),
+            workers=1,
+            lease_s=30.0,
+            poll_interval_s=0.01,
+        )
+        agent.start()
+        try:
+            final = client.wait(job["id"], timeout=120)
+        finally:
+            agent.shutdown(timeout=30)
+        assert final["state"] == "done"
+        assert final["site"] == "inproc"
+        assert client.result(job["id"]) == direct_text()
+
+    def test_server_drain_winds_agent_down(self, control_plane):
+        client = ServiceClient(control_plane.url)
+        agent = WorkerAgent(
+            RemoteJobSource(ServiceClient(control_plane.url), "drainme"),
+            workers=1,
+            lease_s=30.0,
+            poll_interval_s=0.01,
+            heartbeat_interval_s=0.05,
+        )
+        agent.start()
+        try:
+            assert wait_for(
+                lambda: any(
+                    s["name"] == "drainme"
+                    for s in client.list_sites()["sites"]
+                )
+            )
+            client.drain_site("drainme")
+            assert wait_for(lambda: agent.draining, timeout=30)
+        finally:
+            agent.shutdown(timeout=30)
+
+    def test_shutdown_releases_claimed_but_unstarted_jobs(self):
+        store = create_store("sqlite://:memory:", queue_limit=16)
+        try:
+            ids = [store.submit(FIG1) for _ in range(3)]
+            # workers=3 sizes the hand-off queue to hold the batch.
+            agent = WorkerAgent(LocalJobSource(store), workers=3)
+            # Claim a batch by hand (no threads started): these sit in
+            # the hand-off queue, never picked up by an executor.
+            for record in store.claim_batch(
+                agent.identity, lease_s=60, limit=3
+            ):
+                agent._handoff.put(record)
+            agent.shutdown(timeout=5)
+            states = [store.get(i) for i in ids]
+            assert all(r.state == JobState.QUEUED for r in states)
+            assert all(r.attempts == 0 for r in states)  # refunded
+        finally:
+            store.close()
+
+
+class TestAgentSubprocessFleet:
+    """Real ``repro agent`` subprocesses against a workers=0 server."""
+
+    def test_agent_process_runs_jobs_byte_identical(
+        self, control_plane, tmp_path
+    ):
+        """Acceptance criterion: a separately launched agent process
+        executes the workers=0 server's jobs, byte-identical to CLI."""
+        client = ServiceClient(control_plane.url)
+        job = client.submit(FIG1)
+        agent = spawn_agent(
+            control_plane.url, "solo", tmp_path, lease_s=30.0
+        )
+        try:
+            final = client.wait(job["id"], timeout=180)
+            assert final["state"] == "done"
+            assert final["site"] == "solo"
+            assert client.result(job["id"]) == direct_text()
+        finally:
+            agent.send_signal(signal.SIGTERM)
+            out, err = agent.communicate(timeout=60)
+        assert agent.returncode == 0, err
+        assert "serving site solo" in out
+
+    def test_sigkilled_agent_jobs_are_reclaimed_and_rerun(
+        self, control_plane, tmp_path
+    ):
+        """Crash recovery end to end: kill agent #1 mid-batch, let the
+        leases expire, agent #2 reruns everything; the resurrected
+        identity's stale push is rejected."""
+        client = ServiceClient(control_plane.url)
+        jobs = [
+            client.submit({**FIG1, "trials": trials})
+            for trials in (2, 3, 4)
+        ]
+        first = spawn_agent(
+            control_plane.url, "crashy", tmp_path, lease_s=2.0, batch_size=3
+        )
+        try:
+            # Wait until the batch is claimed and one job is running.
+            assert wait_for(
+                lambda: any(
+                    client.status(j["id"])["state"] == "running"
+                    for j in jobs
+                ),
+                timeout=60,
+            )
+            victims = {
+                j["id"]: client.status(j["id"]) for j in jobs
+            }
+            dead_worker = next(
+                record["worker"]
+                for record in victims.values()
+                if record["state"] == "running"
+            )
+        finally:
+            first.kill()
+            first.wait(timeout=30)
+        # The dead agent never renews; after lease expiry (2s) a second
+        # agent on a different site claims and finishes everything.
+        second = spawn_agent(
+            control_plane.url, "rescue", tmp_path, lease_s=30.0, batch_size=3
+        )
+        try:
+            finals = [client.wait(j["id"], timeout=180) for j in jobs]
+        finally:
+            second.send_signal(signal.SIGTERM)
+            _, err = second.communicate(timeout=60)
+        assert second.returncode == 0, err
+        assert all(f["state"] == "done" for f in finals)
+        # At least the job that was mid-run burned a second attempt.
+        assert any(f["attempts"] >= 2 for f in finals)
+        assert all(f["site"] == "rescue" for f in finals)
+        # Byte-identical to the direct run despite the crash.
+        for job, trials in zip(jobs, (2, 3, 4)):
+            assert client.result(job["id"]) == direct_text(trials=trials)
+        # The resurrected worker's stale completion is rejected.
+        stale = client.complete_jobs(
+            dead_worker,
+            [{"id": jobs[0]["id"], "ok": True, "result": "stale"}],
+        )["results"][0]
+        assert stale["accepted"] is False
+        assert stale["state"] == "done"
+        assert client.result(jobs[0]["id"]) != "stale"

@@ -203,3 +203,121 @@ class TestMetrics:
         assert payload["jobs"]["completed"] >= 1
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
         assert payload["uptime_s"] >= 0.0
+
+
+class TestFleetEndpoints:
+    """Site lifecycle + batch claim/complete over real HTTP."""
+
+    @pytest.fixture
+    def paused_client(self, paused_service):
+        return ServiceClient(paused_service.url)
+
+    def test_site_register_heartbeat_drain(self, paused_client):
+        site = paused_client.register_site("site-a", meta={"workers": 2})
+        assert site["state"] == "active"
+        assert site["meta"] == {"workers": 2}
+        listed = paused_client.list_sites()
+        assert [s["name"] for s in listed["sites"]] == ["site-a"]
+        beat = paused_client.site_heartbeat("site-a")
+        assert beat["drain"] is False
+        drained = paused_client.drain_site("site-a")
+        assert drained["state"] == "draining"
+        assert paused_client.site_heartbeat("site-a")["drain"] is True
+
+    def test_heartbeat_unknown_site_404(self, paused_client):
+        with pytest.raises(ServiceError) as excinfo:
+            paused_client.site_heartbeat("ghost")
+        assert excinfo.value.status == 404
+
+    def test_bad_site_name_400(self, paused_client):
+        with pytest.raises(ServiceError) as excinfo:
+            paused_client.register_site("no spaces allowed")
+        assert excinfo.value.status == 400
+
+    def test_claim_complete_roundtrip(self, paused_service, paused_client):
+        job = paused_client.submit(experiment="table1")
+        paused_client.register_site("site-a")
+        response = paused_client.claim_jobs(
+            "site-a", "agent-1", limit=4, lease_s=60
+        )
+        assert response["draining"] is False
+        [claimed] = response["jobs"]
+        assert claimed["id"] == job["id"]
+        assert claimed["state"] == "running"
+        assert claimed["site"] == "site-a"
+        done = paused_client.complete_jobs(
+            "agent-1", [{"id": job["id"], "ok": True, "result": "artifact"}]
+        )
+        assert done["results"] == [
+            {"id": job["id"], "accepted": True, "state": "done"}
+        ]
+        assert paused_client.result(job["id"]) == "artifact"
+
+    def test_claim_on_draining_site_is_empty(self, paused_service, paused_client):
+        paused_client.submit(experiment="table1")
+        paused_client.register_site("site-a")
+        paused_client.drain_site("site-a")
+        response = paused_client.claim_jobs("site-a", "agent-1")
+        assert response == {"draining": True, "jobs": []}
+
+    def test_stale_completion_is_rejected_not_error(
+        self, paused_service, paused_client
+    ):
+        job = paused_client.submit(experiment="table1")
+        paused_client.register_site("site-a")
+        paused_client.claim_jobs("site-a", "agent-1", lease_s=60)
+        # agent-1's result lands; its own retry is answered idempotently.
+        push = [{"id": job["id"], "ok": True, "result": "r"}]
+        assert paused_client.complete_jobs("agent-1", push)["results"][0][
+            "accepted"
+        ]
+        retry = paused_client.complete_jobs("agent-1", push)["results"][0]
+        assert retry == {"id": job["id"], "accepted": False, "state": "done"}
+        # A different (stale) worker is rejected the same way.
+        stale = paused_client.complete_jobs("agent-0", push)["results"][0]
+        assert stale["accepted"] is False
+
+    def test_renew_and_release(self, paused_service, paused_client):
+        job = paused_client.submit(experiment="table1")
+        paused_client.register_site("site-a")
+        paused_client.claim_jobs("site-a", "agent-1", lease_s=60)
+        renewed = paused_client.renew_jobs("agent-1", [job["id"]], lease_s=60)
+        assert renewed["renewed"] == [{"id": job["id"], "ok": True}]
+        released = paused_client.release_jobs("agent-1", [job["id"]])
+        assert released["released"] == [{"id": job["id"], "ok": True}]
+        assert paused_client.status(job["id"])["state"] == "queued"
+
+    def test_completion_of_unknown_job_is_rejected(self, paused_client):
+        response = paused_client.complete_jobs(
+            "agent-1", [{"id": "deadbeef", "ok": True, "result": "r"}]
+        )
+        assert response["results"] == [
+            {"id": "deadbeef", "accepted": False, "state": "unknown"}
+        ]
+
+    def test_idempotent_submit_with_job_id(self, paused_service):
+        # queue_limit=1: without idempotency the second submit would 429.
+        client = ServiceClient(paused_service.url)
+        first = client.submit(experiment="table1", job_id="stable-key-1")
+        again = client.submit(experiment="table1", job_id="stable-key-1")
+        assert again["id"] == first["id"]
+        assert paused_service.store.queue_depth() == 1
+
+    def test_bad_job_id_400(self, paused_client):
+        with pytest.raises(ServiceError) as excinfo:
+            paused_client.submit(experiment="table1", job_id="x")
+        assert excinfo.value.status == 400
+
+    def test_per_site_metrics(self, paused_service, paused_client):
+        job = paused_client.submit(experiment="table1")
+        paused_client.register_site("site-a")
+        paused_client.claim_jobs("site-a", "agent-1", lease_s=60)
+        paused_client.complete_jobs(
+            "agent-1", [{"id": job["id"], "ok": True, "result": "r"}]
+        )
+        sites = paused_client.metrics()["sites"]
+        assert sites["site-a"]["completed"] == 1
+        assert sites["site-a"]["failed"] == 0
+        assert sites["site-a"]["inflight"] == 0
+        assert sites["site-a"]["state"] == "active"
+        assert sites["site-a"]["last_heartbeat_age_s"] >= 0.0

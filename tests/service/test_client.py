@@ -1,0 +1,203 @@
+"""Client-SDK resilience tests against a scripted HTTP server.
+
+The server plays back a canned response sequence (429s, abrupt
+connection drops, then success), and the client is driven with an
+injected sleep recorder and a deterministic rng, so every retry
+decision and backoff value is asserted exactly.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import (
+    NO_RETRY,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+
+
+class ScriptedHandler(BaseHTTPRequestHandler):
+    """Plays the server's scripted response list, one per request.
+
+    Script entries: ``("json", status, payload)``, ``("retry_after",
+    seconds)`` (a 429 with the header), or ``("drop",)`` (close the
+    connection abruptly — what a crashed server looks like).
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):
+        pass
+
+    def _play(self):
+        with self.server.lock:
+            self.server.requests.append((self.command, self.path))
+            if not self.server.script:
+                step = ("json", 200, {"ok": True})
+            else:
+                step = self.server.script.pop(0)
+        if step[0] == "drop":
+            self.connection.close()
+            return
+        if step[0] == "retry_after":
+            body = json.dumps({"error": "queue is full"}).encode() + b"\n"
+            self.send_response(429)
+            self.send_header("Retry-After", str(step[1]))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        _, status, payload = step
+        body = json.dumps(payload).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _play
+    do_POST = _play
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), ScriptedHandler)
+    server.daemon_threads = True
+    server.script = []
+    server.requests = []
+    server.lock = threading.Lock()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def make_client(server, *, attempts=4, rng=lambda: 0.0):
+    sleeps = []
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}",
+        timeout=5.0,
+        retry=RetryPolicy(attempts=attempts, backoff_s=0.01, jitter=0.5),
+        sleep=sleeps.append,
+        rng=rng,
+    )
+    return client, sleeps
+
+
+class TestRetryAfter:
+    def test_429_is_retried_honoring_retry_after(self, scripted_server):
+        scripted_server.script = [
+            ("retry_after", 3),
+            ("json", 201, {"id": "j1", "state": "queued"}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        record = client.submit(experiment="table1")
+        assert record["id"] == "j1"
+        assert sleeps == [3.0]  # the server's header, not the backoff
+
+    def test_retry_after_is_capped(self, scripted_server):
+        scripted_server.script = [
+            ("retry_after", 9999),
+            ("json", 201, {"id": "j1"}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        client.submit(experiment="table1")
+        assert sleeps == [RetryPolicy().retry_after_cap_s]
+
+    def test_429_exhaustion_raises_last_error(self, scripted_server):
+        scripted_server.script = [("retry_after", 1)] * 5
+        client, sleeps = make_client(scripted_server, attempts=3)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(experiment="table1")
+        assert excinfo.value.status == 429
+        assert len(sleeps) == 2  # attempts - 1 retries
+
+    def test_no_retry_policy_fails_fast(self, scripted_server):
+        scripted_server.script = [("retry_after", 1)]
+        sleeps = []
+        client = ServiceClient(
+            f"http://127.0.0.1:{scripted_server.server_address[1]}",
+            retry=NO_RETRY,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceError):
+            client.submit(experiment="table1")
+        assert sleeps == []
+
+
+class TestConnectionErrors:
+    def test_idempotent_get_retries_on_dropped_connection(
+        self, scripted_server
+    ):
+        scripted_server.script = [
+            ("drop",),
+            ("json", 200, {"state": "done", "id": "j1"}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        record = client.status("j1")
+        assert record["state"] == "done"
+        assert len(sleeps) == 1
+
+    def test_bare_submit_never_retries_on_dropped_connection(
+        self, scripted_server
+    ):
+        scripted_server.script = [
+            ("drop",),
+            ("json", 201, {"id": "never-reached"}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(experiment="table1")
+        assert excinfo.value.status == 0
+        assert sleeps == []
+        # Only the dropped request went out; no blind resubmission.
+        assert len(scripted_server.requests) == 1
+
+    def test_submit_with_job_id_is_retried(self, scripted_server):
+        scripted_server.script = [
+            ("drop",),
+            ("json", 201, {"id": "stable-key-1", "state": "queued"}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        record = client.submit(experiment="table1", job_id="stable-key-1")
+        assert record["id"] == "stable-key-1"
+        assert len(sleeps) == 1
+
+    def test_fleet_claims_are_retried(self, scripted_server):
+        scripted_server.script = [
+            ("drop",),
+            ("json", 200, {"jobs": [], "draining": False}),
+        ]
+        client, sleeps = make_client(scripted_server)
+        response = client.claim_jobs("site-a", "w1", limit=4, lease_s=30)
+        assert response["jobs"] == []
+        assert len(sleeps) == 1
+
+    def test_exhausted_connection_retries_raise_status_zero(
+        self, scripted_server
+    ):
+        scripted_server.script = [("drop",)] * 5
+        client, sleeps = make_client(scripted_server, attempts=2)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("j1")
+        assert excinfo.value.status == 0
+        assert len(sleeps) == 1
+
+
+class TestBackoffShape:
+    def test_exponential_capped_jittered(self):
+        policy = RetryPolicy(
+            attempts=6, backoff_s=0.2, backoff_cap_s=1.0, jitter=0.5
+        )
+        # rng=1.0 -> full jitter: base * 1.5
+        delays = [policy.delay(n, lambda: 1.0) for n in range(4)]
+        assert delays == pytest.approx([0.3, 0.6, 1.2, 1.5])
+        # rng=0.0 -> no jitter, capped at 1.0 from attempt 3 on.
+        bare = [policy.delay(n, lambda: 0.0) for n in range(4)]
+        assert bare == pytest.approx([0.2, 0.4, 0.8, 1.0])

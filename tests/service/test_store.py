@@ -5,7 +5,15 @@ import threading
 
 import pytest
 
-from repro.service.store import JobState, JobStore, QueueFull, UnknownJob
+from repro.service.store import (
+    DuplicateJob,
+    JobState,
+    QueueFull,
+    UnknownJob,
+    UnknownSite,
+    create_store,
+    store_backends,
+)
 
 SPEC = {"experiment": "table1", "format": "table"}
 
@@ -30,7 +38,9 @@ def clock():
 
 @pytest.fixture
 def store(clock):
-    return JobStore(":memory:", queue_limit=4, max_attempts=3, clock=clock)
+    return create_store(
+        "sqlite://:memory:", queue_limit=4, max_attempts=3, clock=clock
+    )
 
 
 class TestSubmitAndInspect:
@@ -77,10 +87,10 @@ class TestSubmitAndInspect:
 
     def test_persists_across_reopen(self, tmp_path, clock):
         path = tmp_path / "jobs.db"
-        store = JobStore(path, clock=clock)
+        store = create_store(f"sqlite://{path}", clock=clock)
         job_id = store.submit(SPEC)
         store.close()
-        reopened = JobStore(path, clock=clock)
+        reopened = create_store(f"sqlite://{path}", clock=clock)
         assert reopened.get(job_id).state == JobState.QUEUED
         reopened.close()
 
@@ -136,7 +146,9 @@ class TestClaimProtocol:
         assert store.complete(job_id, "w1", "y")
 
     def test_concurrent_claims_never_double_claim(self, clock, tmp_path):
-        store = JobStore(tmp_path / "jobs.db", queue_limit=64, clock=clock)
+        store = create_store(
+            f"sqlite://{tmp_path}/jobs.db", queue_limit=64, clock=clock
+        )
         ids = [store.submit(SPEC) for _ in range(16)]
         claimed = []
         lock = threading.Lock()
@@ -241,3 +253,152 @@ class TestCancellation:
         store.claim("w1", lease_s=60)
         store.complete(job_id, "w1", "r")
         assert store.cancel(job_id).state == JobState.DONE
+
+
+class TestStoreFactory:
+    def test_sqlite_scheme_and_bare_path_both_work(self, tmp_path, clock):
+        for url in (f"sqlite://{tmp_path}/a.db", f"{tmp_path}/b.db"):
+            store = create_store(url, clock=clock)
+            job_id = store.submit(SPEC)
+            assert store.get(job_id).state == JobState.QUEUED
+            store.close()
+
+    def test_unknown_scheme_lists_registered_backends(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            create_store("redis://localhost/0")
+        assert "sqlite" in store_backends()
+
+    def test_duplicate_job_id_raises(self, store):
+        store.submit(SPEC, job_id="job-12345678")
+        with pytest.raises(DuplicateJob) as exc:
+            store.submit(SPEC, job_id="job-12345678")
+        assert exc.value.job_id == "job-12345678"
+
+
+class TestClaimBatch:
+    def test_claims_up_to_limit_in_order(self, store, clock):
+        ids = []
+        for _ in range(3):
+            ids.append(store.submit(SPEC))
+            clock.advance(1)
+        batch = store.claim_batch("w1", lease_s=60, limit=2)
+        assert [r.id for r in batch] == ids[:2]
+        assert all(r.state == JobState.RUNNING for r in batch)
+        assert all(r.worker == "w1" for r in batch)
+        rest = store.claim_batch("w2", lease_s=60, limit=8)
+        assert [r.id for r in rest] == ids[2:]
+
+    def test_zero_or_negative_limit_claims_nothing(self, store):
+        store.submit(SPEC)
+        assert store.claim_batch("w", lease_s=60, limit=0) == []
+        assert store.queue_depth() == 1
+
+    def test_records_claiming_site(self, store):
+        job_id = store.submit(SPEC)
+        store.claim_batch("w1", lease_s=60, limit=1, site="site-a")
+        assert store.get(job_id).site == "site-a"
+
+    def test_release_clears_site(self, store):
+        job_id = store.submit(SPEC)
+        store.claim_batch("w1", lease_s=60, limit=1, site="site-a")
+        assert store.release(job_id, "w1")
+        assert store.get(job_id).site is None
+
+    def test_concurrent_batches_never_overlap(self, clock, tmp_path):
+        store = create_store(
+            f"sqlite://{tmp_path}/jobs.db", queue_limit=64, clock=clock
+        )
+        ids = [store.submit(SPEC) for _ in range(24)]
+        claimed = []
+        lock = threading.Lock()
+
+        def worker(name):
+            while True:
+                batch = store.claim_batch(name, lease_s=600, limit=5)
+                if not batch:
+                    return
+                with lock:
+                    claimed.extend(r.id for r in batch)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == sorted(ids)
+        assert len(set(claimed)) == len(ids)
+        store.close()
+
+    def test_batch_mixes_expired_and_queued_crashed_first(self, store, clock):
+        crashed = store.submit(SPEC)
+        store.claim("w1", lease_s=10)
+        clock.advance(5)
+        fresh = store.submit(SPEC)
+        clock.advance(6)  # w1's lease expired
+        batch = store.claim_batch("w2", lease_s=10, limit=2)
+        assert [r.id for r in batch] == [crashed, fresh]
+        assert batch[0].attempts == 2
+
+
+class TestSites:
+    def test_register_heartbeat_drain_roundtrip(self, store, clock):
+        record = store.register_site("site-a", {"workers": 4})
+        assert record.state == "active"
+        assert record.meta == {"workers": 4}
+        clock.advance(10)
+        beat = store.heartbeat_site("site-a")
+        assert beat.last_heartbeat == clock.now
+        assert store.drain_site("site-a").state == "draining"
+        # Re-registration re-activates a draining site.
+        assert store.register_site("site-a").state == "active"
+
+    def test_reregistration_preserves_registered_at(self, store, clock):
+        first = store.register_site("site-a")
+        clock.advance(100)
+        again = store.register_site("site-a")
+        assert again.registered_at == first.registered_at
+
+    def test_unknown_site_raises(self, store):
+        with pytest.raises(UnknownSite):
+            store.heartbeat_site("nope")
+        with pytest.raises(UnknownSite):
+            store.drain_site("nope")
+
+    def test_list_sites_in_registration_order(self, store, clock):
+        store.register_site("site-b")
+        clock.advance(1)
+        store.register_site("site-a")
+        assert [s.name for s in store.list_sites()] == ["site-b", "site-a"]
+
+    def test_site_stats_ledger(self, store, clock):
+        done_id = store.submit(SPEC)
+        clock.advance(1)
+        failed_id = store.submit(SPEC)
+        clock.advance(1)
+        running_id = store.submit(SPEC)
+        store.claim_batch("w1", lease_s=60, limit=3, site="site-a")
+        store.complete(done_id, "w1", "ok")
+        store.fail(failed_id, "w1", "boom")
+        stats = store.site_stats()
+        assert stats == {
+            "site-a": {
+                "completed": 1,
+                "failed": 1,
+                "inflight": 1,
+                "cancelled": 0,
+            }
+        }
+        assert store.get(running_id).site == "site-a"
+
+    def test_persists_across_reopen(self, tmp_path, clock):
+        path = tmp_path / "jobs.db"
+        store = create_store(f"sqlite://{path}", clock=clock)
+        store.register_site("site-a", {"workers": 2})
+        store.close()
+        reopened = create_store(f"sqlite://{path}", clock=clock)
+        [site] = reopened.list_sites()
+        assert site.name == "site-a"
+        assert site.meta == {"workers": 2}
+        reopened.close()

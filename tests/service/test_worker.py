@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.experiments.entry import StudyRequest, run_request
-from repro.service.store import JobState, JobStore
+from repro.service.store import JobState, create_store
 from repro.service.worker import WorkerPool
 
 TABLE1 = {"experiment": "table1", "format": "table", "jobs": 1, "cache": True}
@@ -37,7 +37,7 @@ class FakeClock:
 
 @pytest.fixture
 def store():
-    js = JobStore(":memory:", queue_limit=64)
+    js = create_store("sqlite://:memory:", queue_limit=64)
     yield js
     js.close()
 
@@ -109,7 +109,7 @@ class TestCrashRecovery:
         """A job claimed by a worker that died (lease expired, no
         heartbeat) is re-leased by a fresh pool and completed."""
         clock = FakeClock()
-        store = JobStore(":memory:", queue_limit=64, clock=clock)
+        store = create_store("sqlite://:memory:", queue_limit=64, clock=clock)
         try:
             job_id = store.submit(TABLE1)
             crashed = store.claim("crashed-worker", lease_s=10)
@@ -138,7 +138,7 @@ class TestShutdownDrain:
         done, queued, or running-with-expired-potential — never lost —
         and a restarted pool finishes all of them."""
         path = tmp_path / "jobs.db"
-        store = JobStore(path, queue_limit=64)
+        store = create_store(f"sqlite://{path}", queue_limit=64)
         ids = [store.submit(TABLE1) for _ in range(8)]
         pool = make_pool(store)
         pool.start()
@@ -166,10 +166,10 @@ class TestShutdownDrain:
 class TestCancellation:
     def test_cancel_requested_before_start_skips_execution(self, store):
         job_id = store.submit(TABLE1)
-        record = store.claim("scheduler", lease_s=60)
-        store.cancel(job_id)  # running -> cancel_requested
         pool = make_pool(store, workers=0)
-        pool._run_job(record, "worker-0")
+        record = store.claim(pool.identity, lease_s=60)
+        store.cancel(job_id)  # running -> cancel_requested
+        pool._run_job(record, f"{pool.identity}/w0")
         final = store.get(job_id)
         assert final.state == JobState.CANCELLED
         assert store.result_text(job_id) == ""
