@@ -1,0 +1,275 @@
+"""Benchmark the adaptive campaign controller vs exhaustive execution.
+
+Runs the same scenario twice through an in-process service:
+
+- **exhaustive**: a plain campaign with ``run.trials = max_trials`` —
+  every cell spends its full trial budget, results rendered as the
+  JSON artifact.
+- **adaptive**: the server-side controller submits the identical
+  budget as dependency-chained batches, early-stops cells whose 95% CI
+  half-width falls below the relative threshold, and cancels the
+  unconsumed tail of each chain.
+
+Because adaptive batches draw from per-(cell, trial-index) seed
+streams, a converged cell's consumed trials are the exact prefix of
+the exhaustive run — so both sides must pick the *same* winning
+technique everywhere.  The script renders both selections through the
+one shared table renderer
+(:func:`repro.campaigns.controller.render_best_technique_table`) and
+refuses to write results unless the two tables are byte-identical.
+``--min-reduction`` additionally fails the run when the trial-count
+reduction factor comes in below the floor (the repository artifact
+``BENCH_campaign.json`` documents >= 3x).
+
+Cells: a fig1-style fraction sweep across three techniques, and a
+crossover-dense cell (fractions straddling the multilevel vs parallel
+recovery boundary, with bisection refinement enabled).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_campaign.py [--smoke]
+        [--min-reduction X] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_common import write_results
+from repro.campaigns.controller import (
+    best_map_from_results,
+    render_best_technique_table,
+)
+from repro.scenarios.compiler import scenario_cells
+from repro.scenarios.schema import parse_scenario
+from repro.service.app import ReproService, ServiceConfig
+from repro.service.client import ServiceClient
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CELLS = {
+    "fig1_sweep": {
+        "scenario": {"name": "bench-fig1-sweep"},
+        "platform": {"total_nodes": 100_000},
+        "failures": {"regime": "poisson", "mtbf_years": 5.0},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.1, 0.5, 0.9],
+        },
+        "techniques": {
+            "names": [
+                "checkpoint_restart",
+                "multilevel",
+                "parallel_recovery",
+            ]
+        },
+        "adaptive": {
+            "max_trials": 60,
+            "batch_size": 10,
+            "ci_rel_threshold": 0.05,
+            "refine_depth": 0,
+        },
+    },
+    "crossover_dense": {
+        "scenario": {"name": "bench-crossover-dense"},
+        "platform": {"total_nodes": 100_000},
+        "failures": {"regime": "poisson", "mtbf_years": 2.5},
+        "workload": {
+            "study": "scaling",
+            "app_type": "D64",
+            "fractions": [0.05, 0.2, 0.8, 0.95],
+        },
+        "techniques": {"names": ["multilevel", "parallel_recovery"]},
+        "adaptive": {
+            "max_trials": 60,
+            "batch_size": 10,
+            "ci_rel_threshold": 0.05,
+            "refine_depth": 1,
+        },
+    },
+}
+
+SMOKE_CELLS = {
+    "smoke_sweep": {
+        "scenario": {"name": "bench-smoke-sweep"},
+        "platform": {"total_nodes": 20_000},
+        "failures": {"regime": "poisson", "mtbf_years": 5.0},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.1, 0.9],
+        },
+        "techniques": {"names": ["checkpoint_restart", "multilevel"]},
+        "adaptive": {
+            "max_trials": 12,
+            "batch_size": 4,
+            "ci_rel_threshold": 0.05,
+            "refine_depth": 0,
+        },
+    },
+}
+
+
+def fresh_service(workers: int) -> ReproService:
+    """An in-process service on an ephemeral port with a roomy queue
+    (batch chains count toward the queue limit)."""
+    svc = ReproService(
+        ServiceConfig(
+            host="127.0.0.1",
+            port=0,
+            workers=workers,
+            db_path=":memory:",
+            poll_interval_s=0.05,
+            queue_limit=8192,
+        )
+    )
+    svc.start()
+    return svc
+
+
+def run_adaptive(client: ServiceClient, doc: dict) -> dict:
+    """Submit *doc* adaptively and wait; returns the final status plus
+    wall time."""
+    start = time.perf_counter()
+    campaign = client.submit_campaign(spec=doc, cache=False)
+    status = client.wait_campaign(campaign["id"], timeout=3600, poll_s=0.05)
+    elapsed = time.perf_counter() - start
+    status["_wall_s"] = elapsed
+    return status
+
+
+def run_exhaustive(client: ServiceClient, doc: dict) -> dict:
+    """Run *doc* as a plain campaign at the full trial budget; returns
+    the merged winning-technique map, trial count, and wall time."""
+    exhaustive = copy.deepcopy(doc)
+    max_trials = exhaustive.pop("adaptive")["max_trials"]
+    exhaustive["run"] = {"trials": max_trials}
+    start = time.perf_counter()
+    campaign = client.submit_campaign(
+        spec=exhaustive, adaptive=False, format="json", cache=False
+    )
+    best: dict = {}
+    for unit in campaign["units"]:
+        job_id = unit["job"]["id"]
+        final = client.wait(job_id, timeout=3600)
+        if final["state"] != "done":
+            raise RuntimeError(
+                f"exhaustive unit {unit['label']!r} ended {final['state']}"
+            )
+        best.update(best_map_from_results(json.loads(client.result(job_id))))
+    elapsed = time.perf_counter() - start
+    spec = parse_scenario(exhaustive, source="<bench>")
+    cells = scenario_cells(spec)
+    axis = spec.sweep.axis if spec.sweep is not None else None
+    axis_values = list(dict.fromkeys(c.axis_value for c in cells))
+    fractions = sorted(dict.fromkeys(c.fraction for c in cells))
+    return {
+        "table": render_best_technique_table(
+            axis, axis_values, fractions, best
+        ),
+        "trials": max_trials * len(cells),
+        "_wall_s": elapsed,
+    }
+
+
+def measure_cell(name: str, doc: dict, workers: int) -> dict:
+    """One adaptive-vs-exhaustive pair on a fresh service."""
+    svc = fresh_service(workers)
+    try:
+        client = ServiceClient(svc.url, timeout=60.0)
+        adaptive = run_adaptive(client, doc)
+        exhaustive = run_exhaustive(client, doc)
+    finally:
+        svc.shutdown(timeout=60)
+    trials = adaptive["trials"]
+    by_state = adaptive["jobs"]["by_state"]
+    record = {
+        "stepped_wall_s": exhaustive["_wall_s"],
+        "fast_wall_s": adaptive["_wall_s"],
+        "speedup": exhaustive["_wall_s"] / adaptive["_wall_s"],
+        "bit_identical": adaptive["table"] == exhaustive["table"],
+        "adaptive_trials": trials["executed"],
+        "exhaustive_trials": exhaustive["trials"],
+        "trial_reduction": exhaustive["trials"] / trials["executed"],
+        "cells_converged": sum(
+            1 for c in adaptive["cells"] if c["converged"]
+        ),
+        "cells_total": len(adaptive["cells"]),
+        "jobs_submitted": adaptive["jobs"]["total"],
+        "jobs_consumed": sum(c["jobs_consumed"] for c in adaptive["cells"]),
+        "jobs_cancelled": by_state.get("cancelled", 0),
+        "refinements": len(adaptive.get("refinements", [])),
+    }
+    print(
+        f"{name}: {record['adaptive_trials']} vs "
+        f"{record['exhaustive_trials']} trials "
+        f"({record['trial_reduction']:.1f}x reduction), "
+        f"wall {record['fast_wall_s']:.2f}s vs "
+        f"{record['stepped_wall_s']:.2f}s, "
+        f"tables {'match' if record['bit_identical'] else 'DIVERGED'}"
+    )
+    if not record["bit_identical"]:
+        print("--- adaptive table ---")
+        print(adaptive["table"])
+        print("--- exhaustive table ---")
+        print(exhaustive["table"])
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="adaptive campaign vs exhaustive benchmark"
+    )
+    parser.add_argument("--smoke", action="store_true", help="CI-sized cells")
+    parser.add_argument(
+        "--min-reduction",
+        type=float,
+        default=None,
+        help="fail unless every cell reduces trials by at least this factor",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="result path (default BENCH_campaign.json at the repo root)",
+    )
+    args = parser.parse_args()
+    cells_def = SMOKE_CELLS if args.smoke else CELLS
+    out = args.out or REPO_ROOT / "BENCH_campaign.json"
+
+    results = {
+        name: measure_cell(name, doc, args.workers)
+        for name, doc in cells_def.items()
+    }
+    if args.min_reduction is not None:
+        slow = [
+            name
+            for name, cell in results.items()
+            if cell["trial_reduction"] < args.min_reduction
+        ]
+        if slow:
+            print(
+                f"ERROR: trial reduction below {args.min_reduction}x in: "
+                + ", ".join(slow)
+            )
+            return 1
+    return write_results(
+        out,
+        "adaptive campaign controller vs exhaustive trial budget "
+        "(byte-identical winning-technique tables)",
+        results,
+        extra={"smoke": args.smoke, "workers": args.workers},
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

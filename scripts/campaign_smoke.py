@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the adaptive campaign controller, as run
+by CI.
+
+Starts ``repro serve`` with ZERO in-process workers plus one ``repro
+agent`` subprocess, submits a small adaptive campaign through the real
+CLI (``repro scenario submit --adaptive --wait``), and checks the
+whole loop:
+
+- the campaign converges (every cell settled, state ``done``);
+- it executes strictly fewer trials than the exhaustive compile of the
+  same spec would (early stopping actually saved work);
+- ``repro campaign status`` serves the lifecycle over HTTP;
+- the winning-technique table printed by the CLI byte-matches the one
+  rendered from an exhaustive run of the same spec at the full trial
+  budget — the determinism contract (per-(cell, trial-index) seed
+  streams) makes adaptive results a prefix of exhaustive results, so
+  both must agree on every winner.
+
+Finishes with SIGTERM to the agent and the server and asserts both
+exit 0.  Exits 0 on success; any failure raises (non-zero exit).
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.campaigns.controller import (  # noqa: E402
+    best_map_from_results,
+    render_best_technique_table,
+)
+from repro.scenarios.compiler import scenario_cells  # noqa: E402
+from repro.scenarios.schema import parse_scenario  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+MAX_TRIALS = 12
+
+SPEC_TOML = """\
+[scenario]
+name = "campaign-smoke"
+
+[platform]
+total_nodes = 20000
+
+[failures]
+regime = "poisson"
+mtbf_years = 5.0
+
+[workload]
+study = "scaling"
+app_type = "A32"
+fractions = [0.1, 0.9]
+
+[techniques]
+names = ["checkpoint_restart", "multilevel"]
+
+[adaptive]
+max_trials = 12
+batch_size = 4
+ci_rel_threshold = 0.05
+refine_depth = 0
+"""
+
+SPEC_DOC = {
+    "scenario": {"name": "campaign-smoke"},
+    "platform": {"total_nodes": 20000},
+    "failures": {"regime": "poisson", "mtbf_years": 5.0},
+    "workload": {
+        "study": "scaling",
+        "app_type": "A32",
+        "fractions": [0.1, 0.9],
+    },
+    "techniques": {"names": ["checkpoint_restart", "multilevel"]},
+    "run": {"trials": MAX_TRIALS},
+}
+
+
+def smoke_env(cache_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = cache_dir
+    return env
+
+
+def start_server(db_path: str, env: dict) -> "tuple[subprocess.Popen, str]":
+    """Launch the workers=0 control plane and parse the bound URL."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "0",
+            "--store", f"sqlite://{db_path}",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (http://\S+)", line)
+    if not match:
+        proc.kill()
+        raise AssertionError(f"no listening line from server, got: {line!r}")
+    return proc, match.group(1)
+
+
+def start_agent(url: str, env: dict) -> subprocess.Popen:
+    """Launch one worker agent."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "agent",
+            "--url", url, "--site", "campaign-smoke",
+            "--workers", "1", "--batch-size", "2", "--lease-s", "60",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    if "serving site campaign-smoke" not in line:
+        proc.kill()
+        raise AssertionError(f"no serving line from agent, got: {line!r}")
+    return proc
+
+
+def stop(proc: subprocess.Popen, name: str) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError(f"{name} did not exit after SIGTERM")
+    assert code == 0, f"{name} exited {code} after SIGTERM"
+
+
+def exhaustive_table(client: ServiceClient) -> str:
+    """The winning-technique table of the same spec run exhaustively
+    at the full trial budget, via the shared renderer."""
+    campaign = client.submit_campaign(
+        spec=SPEC_DOC, adaptive=False, format="json", cache=False
+    )
+    best: dict = {}
+    for unit in campaign["units"]:
+        job_id = unit["job"]["id"]
+        final = client.wait(job_id, timeout=600.0, poll_s=0.2)
+        assert final["state"] == "done", final
+        best.update(best_map_from_results(json.loads(client.result(job_id))))
+    spec = parse_scenario(SPEC_DOC, source="<smoke>")
+    cells = scenario_cells(spec)
+    axis = spec.sweep.axis if spec.sweep is not None else None
+    axis_values = list(dict.fromkeys(c.axis_value for c in cells))
+    fractions = sorted(dict.fromkeys(c.fraction for c in cells))
+    return render_best_technique_table(axis, axis_values, fractions, best)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = os.path.join(tmp, "campaign-smoke.toml")
+        with open(spec_path, "w") as handle:
+            handle.write(SPEC_TOML)
+        env = smoke_env(os.path.join(tmp, "cache-server"))
+        server, url = start_server(os.path.join(tmp, "service.db"), env)
+        agent = None
+        try:
+            client = ServiceClient(url, timeout=30.0)
+            assert client.health()["workers"] == 0
+            agent = start_agent(url, smoke_env(os.path.join(tmp, "cache-a")))
+            print(f"[campaign-smoke] control plane at {url}, one agent")
+
+            # Submit the adaptive campaign through the real CLI and
+            # wait for convergence; the table lands on stdout.
+            submit = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "scenario", "submit",
+                    spec_path, "--url", url, "--adaptive", "--wait",
+                    "--timeout", "600",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            print(submit.stderr, end="", file=sys.stderr)
+            assert submit.returncode == 0, (
+                f"scenario submit exited {submit.returncode}:\n"
+                f"{submit.stdout}\n{submit.stderr}"
+            )
+            match = re.search(r"id ([0-9a-f]+),", submit.stderr)
+            assert match, f"no campaign id in stderr: {submit.stderr!r}"
+            campaign_id = match.group(1)
+            adaptive_table = submit.stdout.rstrip("\n")
+            assert adaptive_table, "no table on stdout"
+
+            # The lifecycle endpoint, through the CLI status verb.
+            status_run = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "campaign", "status",
+                    campaign_id, "--url", url,
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            status = json.loads(status_run.stdout)
+            assert status["state"] == "done", status
+            assert all(c["settled"] for c in status["cells"]), status
+            trials = status["trials"]
+            cells = scenario_cells(parse_scenario(SPEC_DOC, source="<smoke>"))
+            exhaustive_budget = MAX_TRIALS * len(cells)
+            assert trials["exhaustive"] == exhaustive_budget, trials
+            assert trials["executed"] < exhaustive_budget, (
+                f"adaptive executed {trials['executed']} trials, no fewer "
+                f"than the exhaustive compile's {exhaustive_budget}"
+            )
+            print(
+                f"[campaign-smoke] converged: {trials['executed']} trials "
+                f"vs {exhaustive_budget} exhaustive "
+                f"({trials['reduction']:.2f}x reduction)"
+            )
+
+            # Byte-match the adaptive table against an exhaustive run.
+            expected = exhaustive_table(client)
+            assert adaptive_table == expected, (
+                "adaptive table differs from exhaustive run:\n"
+                f"--- adaptive\n{adaptive_table}\n"
+                f"--- exhaustive\n{expected}"
+            )
+            print("[campaign-smoke] winning-technique table byte-identical")
+        finally:
+            if agent is not None:
+                stop(agent, "agent")
+            stop(server, "server")
+        print("[campaign-smoke] graceful SIGTERM shutdown")
+    time.sleep(0.1)
+    print("[campaign-smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

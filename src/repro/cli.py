@@ -20,6 +20,8 @@ Examples::
     repro scenario run fig1 --quick
     repro scenario run burst-storm --jobs 4 --export results/storm
     repro scenario submit trace-replay --wait  # campaign over HTTP
+    repro scenario submit sweep.toml --adaptive --wait
+    repro campaign status <campaign-id>      # adaptive lifecycle
 
     repro serve --port 8642 --workers 2      # start the job service
     repro submit fig1 --quick --format json  # enqueue over HTTP
@@ -397,6 +399,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign status <id>``: poll one campaign's lifecycle
+    (``--wait`` blocks until done; ``--format table`` renders the
+    convergence summary instead of the raw JSON)."""
+    from repro.service.client import ServiceClient
+
+    action = args.target or "status"
+    if action != "status":
+        raise RequestError(
+            f"unknown campaign action {action!r} (choose from: status)"
+        )
+    campaign_id = args.extra
+    if not campaign_id:
+        raise RequestError(
+            "'repro campaign status' needs a campaign id "
+            "(printed by 'repro scenario submit --adaptive')"
+        )
+    client = ServiceClient(args.url)
+    if args.wait:
+        status = client.wait_campaign(campaign_id, timeout=args.timeout)
+    else:
+        status = client.campaign_status(campaign_id)
+    if args.format == "table" and status.get("adaptive"):
+        _print_campaign_summary(status)
+    else:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
 _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "serve": _cmd_serve,
     "agent": _cmd_agent,
@@ -404,6 +435,7 @@ _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "status": _cmd_status,
     "result": _cmd_result,
     "cache": _cmd_cache,
+    "campaign": _cmd_campaign,
 }
 
 
@@ -536,6 +568,48 @@ def _scenario_run(args: argparse.Namespace, name: str) -> int:
     return 0
 
 
+def _adaptive_field(args: argparse.Namespace) -> Optional[object]:
+    """The ``adaptive`` field of a campaign submission from the CLI
+    flags: ``False`` for ``--no-adaptive``, a config object when any
+    knob was given, ``True`` for a bare ``--adaptive``, ``None`` to
+    let the spec's own ``[adaptive]`` section decide."""
+    if args.no_adaptive:
+        return False
+    overrides: Dict[str, object] = {}
+    if args.max_trials is not None:
+        overrides["max_trials"] = args.max_trials
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.ci_threshold is not None:
+        overrides["ci_rel_threshold"] = args.ci_threshold
+    if args.refine_depth is not None:
+        overrides["refine_depth"] = args.refine_depth
+    if overrides:
+        return overrides
+    return True if args.adaptive else None
+
+
+def _print_campaign_summary(status: Dict[str, object]) -> None:
+    """Render one adaptive campaign's convergence summary on stderr
+    and (when done) its winning-technique table on stdout."""
+    trials = status.get("trials") or {}
+    cells = status.get("cells") or []
+    settled = sum(1 for c in cells if c["settled"])
+    converged = sum(1 for c in cells if c["converged"])
+    reduction = trials.get("reduction")
+    print(
+        f"[campaign {status['state']}: {settled}/{len(cells)} cells "
+        f"settled ({converged} converged), "
+        f"{trials.get('executed', 0)} trials executed vs "
+        f"{trials.get('exhaustive', 0)} exhaustive"
+        + (f" ({reduction:.2f}x reduction)" if reduction else "")
+        + "]",
+        file=sys.stderr,
+    )
+    if status.get("table"):
+        print(status["table"])
+
+
 def _scenario_submit(args: argparse.Namespace, name: str) -> int:
     from repro.service.client import ServiceClient
 
@@ -544,6 +618,11 @@ def _scenario_submit(args: argparse.Namespace, name: str) -> int:
         "jobs": args.jobs,
         "cache": not args.no_cache,
     }
+    adaptive = _adaptive_field(args)
+    if adaptive is not None:
+        payload["adaptive"] = adaptive
+        if adaptive is not False:
+            payload["quick"] = False
     if args.format is not None:
         payload["format"] = args.format
     if _scenario_spec_path(name):
@@ -558,6 +637,26 @@ def _scenario_submit(args: argparse.Namespace, name: str) -> int:
         payload["scenario"] = name
     client = ServiceClient(args.url)
     campaign = client.submit_campaign(payload)
+    if campaign.get("adaptive"):
+        print(
+            f"[adaptive campaign '{campaign['scenario']}' "
+            f"sha256 {campaign['spec_sha256'][:12]}…: id {campaign['id']}, "
+            f"{campaign['cells']} cell(s), {campaign['jobs']} batch job(s)]",
+            file=sys.stderr,
+        )
+        if not args.wait:
+            print(campaign["id"])
+            return 0
+        final = client.wait_campaign(campaign["id"], timeout=args.timeout)
+        _print_campaign_summary(final)
+        failed = [
+            c
+            for c in final.get("cells", [])
+            if c["settled"] and str(c["stop_reason"] or "").startswith(
+                ("failed", "cancelled", "error")
+            )
+        ]
+        return 1 if failed else 0
     print(
         f"[campaign '{campaign['scenario']}' "
         f"sha256 {campaign['spec_sha256'][:12]}…: "
@@ -639,7 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
             "'scenario list|show|validate|run|submit' for declarative "
             "scenario specs, or a service verb: serve, agent, submit "
             "<experiment>, status <job-id>, result <job-id>, "
-            "cache stats|prune"
+            "campaign status <campaign-id>, cache stats|prune"
         ),
     )
     parser.add_argument(
@@ -859,8 +958,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=(
-            "jobs 'repro agent' leases per claim "
-            "(default: its worker count)"
+            "jobs 'repro agent' leases per claim (default: its worker "
+            "count); for 'scenario submit --adaptive', trials per batch "
+            "job"
+        ),
+    )
+    adaptive = parser.add_argument_group("adaptive campaign options")
+    adaptive.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "with 'scenario submit': run the campaign under the "
+            "server-side adaptive controller (CI-based early stopping "
+            "plus crossover refinement over dependency-chained batches)"
+        ),
+    )
+    adaptive.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help=(
+            "with 'scenario submit': force a plain exhaustive campaign "
+            "even when the spec carries an [adaptive] section"
+        ),
+    )
+    adaptive.add_argument(
+        "--max-trials",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="adaptive per-cell trial budget (default from the spec or 200)",
+    )
+    adaptive.add_argument(
+        "--ci-threshold",
+        type=float,
+        default=None,
+        metavar="REL",
+        help=(
+            "adaptive convergence threshold: stop a cell once its 95%% "
+            "CI half-width falls below REL of the mean (default 0.02)"
+        ),
+    )
+    adaptive.add_argument(
+        "--refine-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help=(
+            "adaptive crossover-bisection rounds between adjacent "
+            "fractions whose best technique differs (0 disables; "
+            "default 1)"
         ),
     )
     service.add_argument(

@@ -272,11 +272,19 @@ def run_trials(
     config: Optional[SingleAppConfig] = None,
     keep_stats: bool = False,
     sinks: Optional[Sequence[Sink]] = None,
+    first_trial: int = 0,
 ) -> TrialSet:
     """Run *trials* independent replications (a Fig. 1-3 bar).
 
     *sinks* are attached to every trial's bus in turn, so one sink
     accumulates the cell's whole event stream in trial order.
+
+    *first_trial* offsets the trial indices that seed each replication:
+    trial ``i`` of a cell is a pure function of ``(seed, i)``, so
+    running trials ``[k, k + trials)`` reproduces exactly that slice of
+    an exhaustive run — the adaptive campaign controller uses this to
+    submit a cell's trial budget in batches whose concatenation is
+    byte-identical to a single full run.
 
     When the technique cannot fit the application on the machine the
     result is marked infeasible with zero efficiency, matching the
@@ -284,6 +292,8 @@ def run_trials(
     """
     if trials <= 0:
         raise ValueError(f"trials must be > 0, got {trials}")
+    if first_trial < 0:
+        raise ValueError(f"first_trial must be >= 0, got {first_trial}")
     result = TrialSet(app=app, technique_name=technique.name)
     if not technique.fits(app, system):
         result.infeasible = True
@@ -292,7 +302,7 @@ def run_trials(
     plan = technique.plan(
         app, system, effective.node_mtbf_s, severity=effective.severity_model()
     )
-    for trial in range(trials):
+    for trial in range(first_trial, first_trial + trials):
         stats = simulate_application(
             app, technique, system, config, trial=trial, sinks=sinks, plan=plan
         )

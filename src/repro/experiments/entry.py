@@ -79,6 +79,11 @@ class StudyRequest:
     #: in the request so a job is self-contained (no path resolution on
     #: the worker) and CLI/service runs stay byte-identical.
     trace: Optional[str] = None
+    #: First trial index of this request's batch (experiment
+    #: ``"scenario"`` only): trials ``[offset, offset + trials)`` are
+    #: run, reproducing exactly that slice of an exhaustive run.  The
+    #: adaptive campaign controller sets this on follow-up batches.
+    trial_offset: int = 0
 
     def validate(self) -> None:
         """Raise :class:`RequestError` on any out-of-range field."""
@@ -133,6 +138,14 @@ class StudyRequest:
                 "fields 'scenario' and 'trace' are only valid for "
                 "experiment 'scenario'"
             )
+        if self.trial_offset < 0:
+            raise RequestError(
+                f"trial_offset must be >= 0, got {self.trial_offset}"
+            )
+        if self.trial_offset and self.experiment != "scenario":
+            raise RequestError(
+                "field 'trial_offset' is only valid for experiment 'scenario'"
+            )
 
     def to_payload(self) -> Dict[str, Any]:
         """Plain-dict form (the service stores this in the job row).
@@ -154,6 +167,8 @@ class StudyRequest:
             payload["scenario"] = self.scenario
         if self.trace is not None:
             payload["trace"] = self.trace
+        if self.trial_offset:
+            payload["trial_offset"] = self.trial_offset
         return payload
 
     @classmethod
@@ -179,6 +194,7 @@ class StudyRequest:
             "sweep": str,
             "scenario": str,
             "trace": str,
+            "trial_offset": int,
         }
         kwargs: Dict[str, Any] = {}
         for name, value in data.items():

@@ -109,20 +109,31 @@ class ScalingStudyResult:
         return max(at, key=lambda c: c.mean_efficiency).technique
 
 
-def _scaling_cell_body(app, technique, system, trials, app_config, observe=False):
+def _scaling_cell_body(
+    app, technique, system, trials, app_config, observe=False, first_trial=0
+):
     """Compute one scaling cell; returns plain data (cache payload).
 
     With *observe*, per-cell export/metrics sinks ride along and their
     plain-data contents are appended to the payload — the cell stays a
     pure function returning picklable data, so observation works
-    unchanged across worker processes."""
+    unchanged across worker processes.  *first_trial* offsets the trial
+    seed indices (see :func:`repro.core.single_app.run_trials`)."""
     if not observe:
-        trial_set = run_trials(app, technique, system, trials, app_config)
+        trial_set = run_trials(
+            app, technique, system, trials, app_config, first_trial=first_trial
+        )
         return trial_set.infeasible, tuple(trial_set.efficiencies)
     export = JsonlExportSink()
     metrics = MetricsSink()
     trial_set = run_trials(
-        app, technique, system, trials, app_config, sinks=(export, metrics)
+        app,
+        technique,
+        system,
+        trials,
+        app_config,
+        sinks=(export, metrics),
+        first_trial=first_trial,
     )
     return (
         trial_set.infeasible,

@@ -34,15 +34,45 @@ class SummaryStats:
 
     @property
     def sem(self) -> float:
-        """Standard error of the mean."""
+        """Standard error of the mean.
+
+        A single observation carries no spread information, so ``n <= 1``
+        yields ``inf`` (an infinite-width interval) rather than a falsely
+        converged 0.0 — adaptive early-stopping must never stop on one
+        trial.
+        """
         if self.n <= 1:
-            return 0.0
+            return math.inf
         return self.std / math.sqrt(self.n)
 
     def ci95(self) -> tuple[float, float]:
-        """Normal-approximation 95% confidence interval of the mean."""
+        """Normal-approximation 95% confidence interval of the mean
+        (infinite half-width when ``n <= 1`` — see :attr:`sem`)."""
         half = 1.96 * self.sem
         return (self.mean - half, self.mean + half)
+
+    def merge(self, other: "SummaryStats") -> "SummaryStats":
+        """Combine two summaries of disjoint samples without re-reading
+        the raw observations (Chan et al.'s pairwise update).
+
+        Equivalent to :meth:`from_samples` on the concatenation of the
+        two underlying samples, up to floating-point rounding — the
+        property tests pin this.  The adaptive campaign controller uses
+        it to accumulate per-cell trial batches.
+        """
+        n1, n2 = self.n, other.n
+        n = n1 + n2
+        delta = other.mean - self.mean
+        mean = self.mean + delta * (n2 / n)
+        # Pooled sum of squared deviations (M2) from the two ddof=1
+        # standard deviations plus the between-group term.
+        m2 = (
+            (n1 - 1) * self.std**2
+            + (n2 - 1) * other.std**2
+            + delta**2 * (n1 * n2 / n)
+        )
+        std = math.sqrt(max(m2, 0.0) / (n - 1)) if n > 1 else 0.0
+        return SummaryStats(n=n, mean=mean, std=std)
 
     def __str__(self) -> str:
         return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.n})"

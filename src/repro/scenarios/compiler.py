@@ -26,15 +26,16 @@ simulation runs.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from repro.constants import SCALING_STUDY_TRIALS
+from repro.constants import SCALING_STUDY_FRACTIONS, SCALING_STUDY_TRIALS
 from repro.experiments.entry import StudyRequest
 from repro.failures.trace import TraceFormatError, load_trace, trace_to_jsonl
 from repro.scenarios.errors import ScenarioError
 from repro.scenarios.spec import (
     ScenarioSpec,
+    SweepSpec,
     canonical_json,
     spec_sha256,
 )
@@ -217,4 +218,95 @@ def compile_scenario(
         units=(CampaignUnit(label=spec.scenario.name, request=request),),
         notes=tuple(notes),
         analytic_bypass=reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive wave planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point of an adaptive campaign: a (sweep-axis value,
+    system fraction, technique) triple whose trial budget the
+    controller manages independently."""
+
+    axis_value: Optional[float]
+    fraction: float
+    technique: str
+
+
+def scenario_cells(spec: ScenarioSpec) -> Tuple[CampaignCell, ...]:
+    """*spec*'s study grid as :class:`CampaignCell` triples, in the
+    same order the generic runtime enumerates them (axis value
+    outermost, technique innermost)."""
+    from repro.resilience.registry import scaling_study_techniques
+
+    if spec.workload.study != "scaling":
+        raise ScenarioError(
+            "workload.study",
+            "adaptive campaigns are only supported for scaling studies",
+        )
+    axis_values: Tuple[Optional[float], ...] = (
+        spec.sweep.values if spec.sweep is not None else (None,)
+    )
+    fractions = (
+        spec.workload.fractions
+        if spec.workload.fractions is not None
+        else SCALING_STUDY_FRACTIONS
+    )
+    techniques = (
+        spec.techniques
+        if spec.techniques is not None
+        else tuple(t.name for t in scaling_study_techniques())
+    )
+    return tuple(
+        CampaignCell(axis_value=value, fraction=fraction, technique=technique)
+        for value in axis_values
+        for fraction in fractions
+        for technique in techniques
+    )
+
+
+def cell_scenario(spec: ScenarioSpec, cell: CampaignCell) -> ScenarioSpec:
+    """The single-cell scenario derived from *spec* for *cell*.
+
+    Narrowing the grid to one (axis value, fraction, technique) — and
+    dropping the trial count and adaptive section, which ride the
+    request instead — leaves per-trial randomness untouched: trial
+    ``i`` of a cell is a function of the run seed and ``i`` only, so a
+    cell job computes exactly the cells of a full grid run.
+    """
+    sweep = (
+        SweepSpec(axis=spec.sweep.axis, values=(cell.axis_value,))
+        if spec.sweep is not None
+        else None
+    )
+    return replace(
+        spec,
+        workload=replace(spec.workload, fractions=(cell.fraction,)),
+        techniques=(cell.technique,),
+        sweep=sweep,
+        run=replace(spec.run, trials=None),
+        adaptive=None,
+    )
+
+
+def compile_cell_request(
+    spec: ScenarioSpec,
+    cell: CampaignCell,
+    trials: int,
+    trial_offset: int = 0,
+) -> StudyRequest:
+    """One batch job of an adaptive campaign: trials ``[trial_offset,
+    trial_offset + trials)`` of *cell*, rendered as JSON for the
+    controller to parse.  Always lowers to the generic scenario
+    runtime (a single-cell grid is never a paper figure)."""
+    return StudyRequest(
+        experiment="scenario",
+        format="json",
+        trials=trials,
+        scenario=canonical_json(cell_scenario(spec, cell)),
+        trial_offset=trial_offset,
     )

@@ -134,19 +134,28 @@ def run_scenario(
     quick: bool = False,
     trace: Optional[FailureTrace] = None,
     options: Optional[ExecutorOptions] = None,
+    trial_offset: int = 0,
 ) -> List[Tuple[Optional[float], ScalingStudyResult]]:
     """Execute *spec*'s grid; one study result per sweep-axis value
     (a single ``(None, result)`` entry without a sweep).
 
     Results are bit-identical for any ``options.jobs`` — every cell
     derives its randomness from the scenario seed and trial index, the
-    same discipline as the figure drivers.
+    same discipline as the figure drivers.  *trial_offset* shifts every
+    cell's trial indices to ``[offset, offset + trials)`` so a batch is
+    exactly that slice of an exhaustive run (the adaptive campaign
+    controller's determinism contract); offset batches get their own
+    cache keys.
     """
     workload = spec.workload
     if workload.study != "scaling":  # pragma: no cover - schema prevents it
         raise ValueError("the generic runtime only executes scaling studies")
     if spec.failures.regime == "trace" and trace is None:
         raise ValueError("trace-replay scenarios need the recorded trace")
+    if trial_offset < 0:
+        raise ValueError(f"trial_offset must be >= 0, got {trial_offset}")
+    if trial_offset and spec.failures.regime == "trace":
+        raise ValueError("trace replay is deterministic; trial_offset is meaningless")
 
     sha = spec_sha256(spec)
     system_nodes = (
@@ -205,7 +214,12 @@ def run_scenario(
                 else:
                     fn = (
                         lambda app=app, technique=technique, cfg=app_config: _scaling_cell_body(
-                            app, technique, system, eff_trials, cfg
+                            app,
+                            technique,
+                            system,
+                            eff_trials,
+                            cfg,
+                            first_trial=trial_offset,
                         )
                     )
                 tasks.append(
@@ -219,7 +233,8 @@ def run_scenario(
                             fraction,
                             technique_fingerprint(technique),
                             eff_trials,
-                        ),
+                        )
+                        + ((trial_offset,) if trial_offset else ()),
                         trials=eff_trials,
                         label=(
                             f"{spec.scenario.name}"
@@ -379,6 +394,7 @@ def run_scenario_request(
         quick=request.quick,
         trace=trace,
         options=options,
+        trial_offset=request.trial_offset,
     )
     if request.format == "csv":
         text = _render_csv(spec, results, stamp)

@@ -29,6 +29,7 @@ from repro.scenarios.spec import (
     REGIMES,
     STUDIES,
     SWEEP_AXES,
+    AdaptiveSpec,
     FailureSpec,
     PlatformSpec,
     RunSpec,
@@ -432,6 +433,45 @@ def _parse_run(data: Optional[Dict[str, Any]]) -> RunSpec:
     return RunSpec(trials=trials, seed=seed, format=fmt)
 
 
+def _parse_adaptive(data: Optional[Dict[str, Any]]) -> Optional[AdaptiveSpec]:
+    if data is None:
+        return None
+    section = _Section(data, "adaptive")
+    max_trials = section.take("max_trials", "int", default=200)
+    if max_trials < 2:
+        raise ScenarioError(
+            "adaptive.max_trials", f"must be >= 2, got {max_trials}"
+        )
+    batch_size = section.take("batch_size", "int", default=25)
+    if batch_size < 2:
+        raise ScenarioError(
+            "adaptive.batch_size", f"must be >= 2, got {batch_size}"
+        )
+    if batch_size > max_trials:
+        raise ScenarioError(
+            "adaptive.batch_size",
+            f"must be <= max_trials ({max_trials}), got {batch_size}",
+        )
+    ci_rel_threshold = section.take("ci_rel_threshold", "float", default=0.02)
+    if not 0.0 < ci_rel_threshold < 1.0:
+        raise ScenarioError(
+            "adaptive.ci_rel_threshold",
+            f"must be in (0, 1), got {ci_rel_threshold:g}",
+        )
+    refine_depth = section.take("refine_depth", "int", default=1)
+    if refine_depth < 0:
+        raise ScenarioError(
+            "adaptive.refine_depth", f"must be >= 0, got {refine_depth}"
+        )
+    section.finish()
+    return AdaptiveSpec(
+        max_trials=max_trials,
+        batch_size=batch_size,
+        ci_rel_threshold=ci_rel_threshold,
+        refine_depth=refine_depth,
+    )
+
+
 def _cross_validate(spec: ScenarioSpec) -> None:
     """Rules spanning sections; assumes per-section parsing passed."""
     failures, workload, sweep = spec.failures, spec.workload, spec.sweep
@@ -513,6 +553,18 @@ def _cross_validate(spec: ScenarioSpec) -> None:
             raise ScenarioError(
                 "sweep.axis", "sweeps cannot compose with trace replay"
             )
+        if spec.adaptive is not None:
+            raise ScenarioError(
+                "adaptive.max_trials",
+                "adaptive campaigns cannot compose with trace replay "
+                "(replay forces trials = 1; there is nothing to adapt)",
+            )
+
+    if spec.adaptive is not None and workload.study == "datacenter":
+        raise ScenarioError(
+            "adaptive.max_trials",
+            "adaptive campaigns are only supported for scaling studies",
+        )
 
     if sweep is not None:
         if sweep.axis == "shape" and failures.regime != "weibull":
@@ -569,6 +621,7 @@ def parse_scenario(
             "techniques",
             "sweep",
             "run",
+            "adaptive",
         }
         for key in sorted(data):
             if key not in known:
@@ -581,6 +634,7 @@ def parse_scenario(
             techniques=_parse_techniques(_table(data, "techniques")),
             sweep=_parse_sweep(_table(data, "sweep")),
             run=_parse_run(_table(data, "run")),
+            adaptive=_parse_adaptive(_table(data, "adaptive")),
             base_dir=base_dir,
         )
         _cross_validate(spec)

@@ -107,6 +107,25 @@ class RunSpec:
 
 
 @dataclass(frozen=True)
+class AdaptiveSpec:
+    """The ``[adaptive]`` section: campaign-controller knobs.
+
+    ``max_trials`` caps each cell's trial budget, submitted in
+    ``batch_size`` waves; a cell stops early once its 95% CI half-width
+    falls below ``ci_rel_threshold`` of the mean, and up to
+    ``refine_depth`` rounds of bisection probe technique-crossover
+    boundaries between adjacent fractions.  Meaningful only when the
+    campaign is submitted adaptively (``repro scenario submit
+    --adaptive`` / the ``adaptive`` key of ``POST /v1/campaigns``).
+    """
+
+    max_trials: int = 200
+    batch_size: int = 25
+    ci_rel_threshold: float = 0.02
+    refine_depth: int = 1
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One fully parsed scenario document."""
 
@@ -117,6 +136,7 @@ class ScenarioSpec:
     techniques: Optional[Tuple[str, ...]] = None
     sweep: Optional[SweepSpec] = None
     run: RunSpec = field(default_factory=RunSpec)
+    adaptive: Optional[AdaptiveSpec] = None
     #: Directory of the source file, for resolving ``trace_file``;
     #: *not* part of the canonical form (two copies of one spec in
     #: different directories are the same scenario).
@@ -191,6 +211,13 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
         doc["sweep"] = {
             "axis": spec.sweep.axis,
             "values": list(spec.sweep.values),
+        }
+    if spec.adaptive is not None:
+        doc["adaptive"] = {
+            "max_trials": spec.adaptive.max_trials,
+            "batch_size": spec.adaptive.batch_size,
+            "ci_rel_threshold": spec.adaptive.ci_rel_threshold,
+            "refine_depth": spec.adaptive.refine_depth,
         }
     return doc
 

@@ -7,9 +7,16 @@ Routes (all JSON unless noted):
   queue is at its depth bound.
 - ``POST /v1/campaigns`` — compile a scenario (``{"scenario": name}``
   for a bundled one, or ``{"spec": {...}}`` inline) and enqueue its
-  units as jobs; 201 with the spec SHA-256 and one job record per
-  unit, 400 with the field-qualified one-line message on a schema
-  violation, 429 when the queue cannot take the units.
+  units as jobs; 201 with a campaign id, the spec SHA-256, and one
+  job record per unit, 400 with the field-qualified one-line message
+  on a schema violation, 429 when the queue cannot take the units.
+  An ``adaptive`` field (boolean or config object) hands the campaign
+  to the server-side controller, which submits dependency-chained
+  trial batches per study cell, early-stops on CI convergence, and
+  refines technique crossovers.
+- ``GET /v1/campaigns/{id}`` — campaign lifecycle: per-cell
+  convergence status, refinement intervals, trial-reduction counters,
+  and (once done) the rendered winning-technique table.
 - ``GET /v1/jobs`` — recent jobs (``?state=`` filter, ``?limit=``).
 - ``GET /v1/jobs/{id}`` — job status.
 - ``GET /v1/jobs/{id}/result`` — the rendered artifact, as raw text
@@ -46,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.campaigns.controller import UnknownCampaign
 from repro.service.jobs import ValidationError
 from repro.service.store import JobState, QueueFull, UnknownJob, UnknownSite
 
@@ -143,6 +151,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
             self._with_job(parts[2], self._send_result)
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "campaigns"]:
+            try:
+                self._send_json(200, service.campaign_status(parts[2]))
+            except UnknownCampaign:
+                self._send_json(
+                    404, {"error": f"no campaign {parts[2]!r}"}
+                )
             return
         self._send_json(404, {"error": f"no route for {url.path}"})
 

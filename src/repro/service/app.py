@@ -21,16 +21,30 @@ import signal
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.campaigns.controller import (
+    AdaptiveConfig,
+    Campaign,
+    CampaignRegistry,
+)
+from repro.experiments.entry import StudyRequest
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
 from repro.service import api as service_api
 from repro.service import protocol
 from repro.service.jobs import JobSpec, ValidationError
-from repro.service.store import DuplicateJob, JobRecord, JobState, create_store
+from repro.service.store import (
+    DepPolicy,
+    DuplicateJob,
+    JobRecord,
+    JobState,
+    UnknownJob,
+    create_store,
+)
 from repro.service.worker import WorkerPool
 
 
@@ -94,8 +108,11 @@ class ReproService:
             prune_max_bytes=prune_max_bytes,
             prune_interval_s=self.config.cache_prune_interval_s,
         )
+        self.campaigns = CampaignRegistry()
         self._server: Optional[service_api.ServiceHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
+        self._controller_thread: Optional[threading.Thread] = None
+        self._controller_stop = threading.Event()
         self._started_monotonic: Optional[float] = None
         self._shutdown_lock = threading.Lock()
         self._shut_down = False
@@ -120,6 +137,12 @@ class ReproService:
             daemon=True,
         )
         self._server_thread.start()
+        self._controller_thread = threading.Thread(
+            target=self._controller_loop,
+            name="repro-campaigns",
+            daemon=True,
+        )
+        self._controller_thread.start()
 
     def shutdown(self, timeout: Optional[float] = 30.0) -> None:
         """Graceful stop: close the listener, drain running jobs,
@@ -128,6 +151,9 @@ class ReproService:
             if self._shut_down:
                 return
             self._shut_down = True
+        self._controller_stop.set()
+        if self._controller_thread is not None:
+            self._controller_thread.join(timeout=timeout)
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -182,18 +208,42 @@ class ReproService:
         of enqueueing a duplicate, which makes the submit safe to
         retry over a flaky network.
 
+        Optional ``depends_on`` (a list of parent job ids) holds the
+        job in the ``blocked`` state until every parent is terminal;
+        ``dep_policy`` chooses what a failed/cancelled parent does to
+        it (``cascade``, the default, or ``run``).
+
         Raises :class:`repro.service.jobs.ValidationError` (HTTP 400)
         or :class:`repro.service.store.QueueFull` (HTTP 429).
         """
         requested_id = None
-        if isinstance(payload, dict) and "job_id" in payload:
+        depends_on = None
+        dep_policy = None
+        if isinstance(payload, dict):
             payload = dict(payload)
-            requested_id = protocol.parse_job_id(payload.pop("job_id"))
+            if "job_id" in payload:
+                requested_id = protocol.parse_job_id(payload.pop("job_id"))
+            if "depends_on" in payload:
+                depends_on = protocol.parse_depends_on(
+                    payload.pop("depends_on")
+                )
+            dep_policy = protocol.parse_dep_policy(
+                payload.pop("dep_policy", None)
+            )
         spec = JobSpec.from_payload(payload)
         try:
-            job_id = self.store.submit(spec.to_payload(), job_id=requested_id)
+            job_id = self.store.submit(
+                spec.to_payload(),
+                job_id=requested_id,
+                depends_on=depends_on,
+                dep_policy=dep_policy or DepPolicy.CASCADE,
+            )
         except DuplicateJob as exc:
             return self.store.get(exc.job_id)
+        except UnknownJob as exc:
+            raise ValidationError(
+                f"unknown dependency job {exc.args[0]!r}"
+            ) from None
         obs_counters.increment("service.jobs_accepted")
         return self.store.get(job_id)
 
@@ -207,8 +257,18 @@ class ReproService:
         overrides.  Compilation runs here — schema violations and
         unreadable trace files are 400s with the field-qualified
         one-line message, before anything is enqueued.  The response
-        carries the scenario's canonical-spec SHA-256 and one job
-        record per compiled unit.
+        carries a campaign id (pollable at ``GET /v1/campaigns/{id}``),
+        the scenario's canonical-spec SHA-256, and one job record per
+        compiled unit.
+
+        An ``adaptive`` field turns the campaign over to the
+        server-side controller: ``true`` (or an object overriding
+        ``max_trials`` / ``batch_size`` / ``ci_rel_threshold`` /
+        ``refine_depth``) submits every study cell as a
+        dependency-chained batch sequence and early-stops / refines
+        per cell; ``false`` forces a plain exhaustive campaign even
+        when the spec carries an ``[adaptive]`` section; omitted, the
+        spec's own ``[adaptive]`` section decides.
         """
         from dataclasses import replace as dc_replace
 
@@ -227,6 +287,7 @@ class ReproService:
         jobs = data.pop("jobs", 1)
         cache = data.pop("cache", True)
         fmt = data.pop("format", None)
+        adaptive_field = data.pop("adaptive", None)
         if data:
             raise ValidationError(
                 f"unknown campaign field {sorted(data)[0]!r}"
@@ -244,40 +305,196 @@ class ReproService:
             raise ValidationError(
                 f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})"
             )
+        if adaptive_field is not None and not isinstance(
+            adaptive_field, (bool, dict)
+        ):
+            raise ValidationError(
+                "field 'adaptive' must be a boolean or an object"
+            )
         try:
             if name is not None:
                 spec = load_named(name)
             else:
                 spec = parse_scenario(inline, source="<request>")
+        except ScenarioError as exc:
+            raise ValidationError(str(exc)) from None
+
+        adaptive_cfg: Optional[AdaptiveConfig] = None
+        if adaptive_field is not False:
+            wants_adaptive = (
+                adaptive_field is not None or spec.adaptive is not None
+            )
+            if wants_adaptive:
+                defaults = AdaptiveConfig.from_spec(spec.adaptive)
+                adaptive_cfg = (
+                    AdaptiveConfig.from_payload(adaptive_field, defaults)
+                    if isinstance(adaptive_field, dict)
+                    else defaults
+                )
+        if adaptive_cfg is not None:
+            if quick:
+                raise ValidationError(
+                    "'quick' cannot combine with an adaptive campaign "
+                    "(the controller manages trial budgets itself)"
+                )
+            if fmt is not None:
+                raise ValidationError(
+                    "'format' cannot combine with an adaptive campaign "
+                    "(batch results are always JSON; render the table "
+                    "from campaign status)"
+                )
+            return self._submit_adaptive_campaign(
+                spec, adaptive_cfg, jobs=jobs, cache=cache
+            )
+
+        try:
             campaign = compile_scenario(spec, quick=quick)
         except ScenarioError as exc:
             raise ValidationError(str(exc)) from None
+        campaign_id = uuid.uuid4().hex
         units = []
+        static_units = []
         for unit in campaign.units:
             request = (
                 unit.request
                 if fmt is None
                 else dc_replace(unit.request, format=fmt)
             )
-            job_payload = request.to_payload()
-            job_payload["jobs"] = jobs
-            job_payload["cache"] = cache
-            job_spec = JobSpec.from_payload(job_payload)
-            job_id = self.store.submit(job_spec.to_payload())
-            obs_counters.increment("service.jobs_accepted")
+            job_id = self._submit_request(
+                request, jobs=jobs, cache=cache
+            )
+            static_units.append({"label": unit.label, "job_id": job_id})
             units.append(
                 {
                     "label": unit.label,
                     "job": self.store.get(job_id).to_payload(),
                 }
             )
+        self.campaigns.add(
+            Campaign(
+                campaign_id,
+                campaign.spec,
+                campaign.sha256,
+                campaign.notes,
+                adaptive=None,
+                static_units=static_units,
+            )
+        )
         obs_counters.increment("service.campaigns_accepted")
         return {
+            "id": campaign_id,
             "scenario": campaign.spec.scenario.name,
             "spec_sha256": campaign.sha256,
             "notes": list(campaign.notes),
             "units": units,
         }
+
+    def _submit_adaptive_campaign(
+        self,
+        spec: Any,
+        cfg: AdaptiveConfig,
+        jobs: int = 1,
+        cache: bool = True,
+    ) -> Dict[str, Any]:
+        """Plan and enqueue one adaptive campaign: the base wave of
+        dependency-chained batch jobs, rolled back wholesale when the
+        queue cannot take it."""
+        from repro.scenarios.compiler import scenario_analytic_reason
+        from repro.scenarios.errors import ScenarioError
+        from repro.scenarios.spec import spec_sha256
+
+        if spec.failures.regime == "trace":
+            raise ValidationError(
+                "adaptive campaigns cannot compose with trace replay "
+                "(replay forces trials = 1; there is nothing to adapt)"
+            )
+        notes = []
+        reason = scenario_analytic_reason(spec)
+        if reason is not None:
+            notes.append(f"analytic model bypassed: {reason}")
+        notes.append(
+            f"adaptive campaign: up to {cfg.max_trials} trials per cell "
+            f"in batches of {cfg.batch_size}, CI threshold "
+            f"{cfg.ci_rel_threshold:g}, refine depth {cfg.refine_depth}"
+        )
+        campaign_id = uuid.uuid4().hex
+        try:
+            campaign = Campaign(
+                campaign_id,
+                spec,
+                spec_sha256(spec),
+                notes,
+                adaptive=cfg,
+            )
+        except ScenarioError as exc:
+            raise ValidationError(str(exc)) from None
+
+        def submit(request: StudyRequest, parents: Optional[List[str]]) -> str:
+            return self._submit_request(
+                request, jobs=jobs, cache=cache, depends_on=parents
+            )
+
+        try:
+            campaign.submit_base_wave(submit)
+        except Exception:
+            for job_id in campaign.all_job_ids():
+                try:
+                    self.store.cancel(job_id)
+                except KeyError:
+                    pass
+            raise
+        self.campaigns.add(campaign)
+        obs_counters.increment("service.campaigns_accepted")
+        obs_counters.increment("service.campaigns_adaptive")
+        return {
+            "id": campaign_id,
+            "scenario": spec.scenario.name,
+            "spec_sha256": campaign.sha256,
+            "notes": list(campaign.notes),
+            "adaptive": cfg.to_payload(),
+            "units": [],
+            "cells": len(campaign.cells),
+            "jobs": len(campaign.all_job_ids()),
+        }
+
+    def _submit_request(
+        self,
+        request: StudyRequest,
+        jobs: int = 1,
+        cache: bool = True,
+        depends_on: Optional[List[str]] = None,
+    ) -> str:
+        """Enqueue one study request as a job (optionally blocked on
+        *depends_on* parents) and return its id."""
+        job_payload = request.to_payload()
+        job_payload["jobs"] = jobs
+        job_payload["cache"] = cache
+        job_spec = JobSpec.from_payload(job_payload)
+        job_id = self.store.submit(
+            job_spec.to_payload(), depends_on=depends_on
+        )
+        obs_counters.increment("service.jobs_accepted")
+        return job_id
+
+    def campaign_status(self, campaign_id: str) -> Dict[str, Any]:
+        """``GET /v1/campaigns/{id}`` body; raises
+        :class:`repro.campaigns.controller.UnknownCampaign` (404)."""
+        return self.campaigns.status(campaign_id, self.store)
+
+    def _controller_loop(self) -> None:
+        """The adaptive-campaign controller thread: one
+        :meth:`CampaignRegistry.step_all` tick per poll interval."""
+
+        def submit(request: StudyRequest, parents: Optional[List[str]]) -> str:
+            return self._submit_request(request, depends_on=parents)
+
+        while not self._controller_stop.wait(self.config.poll_interval_s):
+            if not self.campaigns.pending():
+                continue
+            try:
+                self.campaigns.step_all(self.store, submit)
+            except Exception as exc:  # pragma: no cover - defensive
+                print(f"[campaigns] controller tick failed: {exc}", file=sys.stderr)
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel *job_id* (see :meth:`JobStore.cancel`)."""

@@ -247,6 +247,32 @@ class ServiceClient:
         body.update(fields)
         return self._json("POST", "/v1/campaigns", body)
 
+    def campaign_status(self, campaign_id: str) -> Dict[str, Any]:
+        """``GET /v1/campaigns/{id}``: campaign lifecycle — per-cell
+        convergence, refinement intervals, trial counters, and (once
+        ``state`` is ``done``) the rendered winning-technique table."""
+        return self._json("GET", f"/v1/campaigns/{campaign_id}")
+
+    def wait_campaign(
+        self,
+        campaign_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll :meth:`campaign_status` until ``state`` is ``done``;
+        raises :class:`TimeoutError` when *timeout* elapses first."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.campaign_status(campaign_id)
+            if status["state"] == "done":
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {status['state']} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_s)
+
     def status(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/jobs/{id}``."""
         return self._json("GET", f"/v1/jobs/{job_id}")

@@ -277,3 +277,37 @@ def parse_job_id(value: Any) -> Optional[str]:
             f"'.', '_', '-', got {value!r}"
         )
     return value
+
+
+def parse_depends_on(value: Any) -> Optional[List[str]]:
+    """The optional ``depends_on`` list of a ``POST /v1/jobs`` body:
+    parent job ids this submission must wait for (the job enters the
+    ``blocked`` state until every parent is terminal)."""
+    if value is None:
+        return None
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(i, str) and i for i in value)
+    ):
+        raise ValidationError(
+            "field 'depends_on' must be a non-empty list of job id "
+            f"strings, got {value!r}"
+        )
+    return list(value)
+
+
+def parse_dep_policy(value: Any) -> str:
+    """The optional ``dep_policy`` field of a ``POST /v1/jobs`` body:
+    what a failed or cancelled parent does to this job (``cascade``,
+    the default, propagates; ``run`` releases the job regardless)."""
+    from repro.service.store import DepPolicy
+
+    if value is None:
+        return DepPolicy.CASCADE
+    if not isinstance(value, str) or value not in DepPolicy.ALL:
+        raise ValidationError(
+            f"field 'dep_policy' must be one of {', '.join(DepPolicy.ALL)}, "
+            f"got {value!r}"
+        )
+    return value

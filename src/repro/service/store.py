@@ -23,6 +23,11 @@ implementation lives in :mod:`repro.service.store_sqlite`):
 - **Lease-holder-only completion** — :meth:`JobStore.complete` /
   :meth:`JobStore.fail` succeed only for the current lease holder, so
   a stale or resurrected worker can never clobber a re-run's result.
+- **Dependencies** — a job submitted with ``depends_on`` parents sits
+  in ``blocked`` (never claimable) until every parent is terminal;
+  release happens atomically inside the transaction that finished the
+  last parent, and failed/cancelled parents cascade per
+  :class:`DepPolicy`.
 - **Sites** — remote worker agents register a named *site*; the store
   tracks its state (``active``/``draining``), last heartbeat, and the
   per-site job ledger that feeds ``/v1/metrics``.
@@ -32,7 +37,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 class QueueFull(RuntimeError):
@@ -58,19 +63,36 @@ class UnknownSite(KeyError):
 
 
 class JobState:
-    """The five job states (plain strings, stored verbatim)."""
+    """The six job states (plain strings, stored verbatim)."""
 
     QUEUED = "queued"
+    BLOCKED = "blocked"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
 
     #: States a job can still leave.
-    ACTIVE = (QUEUED, RUNNING)
+    ACTIVE = (QUEUED, BLOCKED, RUNNING)
     #: States a job never leaves.
     TERMINAL = (DONE, FAILED, CANCELLED)
-    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    ALL = (QUEUED, BLOCKED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+class DepPolicy:
+    """How a dependent job reacts to a parent that fails or is
+    cancelled (its ``dep_policy`` field).
+
+    ``CASCADE`` (the default) propagates the bad outcome: the child is
+    failed (or cancelled) as soon as any parent fails (or is
+    cancelled), recursively.  ``RUN`` releases the child once every
+    parent is merely *terminal*, whatever the outcome — for cleanup or
+    aggregation steps that must run regardless.
+    """
+
+    CASCADE = "cascade"
+    RUN = "run"
+    ALL = (CASCADE, RUN)
 
 
 class SiteState:
@@ -98,12 +120,17 @@ class JobRecord:
     result: Optional[str]
     error: Optional[str]
     site: Optional[str] = None
+    #: Parent job ids this job waits on (empty for independent jobs).
+    depends_on: Tuple[str, ...] = ()
+    #: Reaction to a failed/cancelled parent (:class:`DepPolicy`).
+    dep_policy: str = DepPolicy.CASCADE
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-safe status dict (what ``GET /v1/jobs/{id}`` and the
         claim endpoint return; the result body itself is served by the
-        ``/result`` route)."""
-        return {
+        ``/result`` route).  Dependency fields appear only on jobs that
+        have them, so independent jobs' payloads are unchanged."""
+        payload = {
             "id": self.id,
             "spec": self.spec,
             "state": self.state,
@@ -117,6 +144,10 @@ class JobRecord:
             "error": self.error,
             "site": self.site,
         }
+        if self.depends_on:
+            payload["depends_on"] = list(self.depends_on)
+            payload["dep_policy"] = self.dep_policy
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "JobRecord":
@@ -137,6 +168,8 @@ class JobRecord:
             result=None,
             error=payload.get("error"),
             site=payload.get("site"),
+            depends_on=tuple(payload.get("depends_on", ())),
+            dep_policy=payload.get("dep_policy", DepPolicy.CASCADE),
         )
 
 
@@ -185,10 +218,24 @@ class JobStore(abc.ABC):
     # -- submission / inspection ---------------------------------------
 
     @abc.abstractmethod
-    def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        job_id: Optional[str] = None,
+        depends_on: Optional[Sequence[str]] = None,
+        dep_policy: str = DepPolicy.CASCADE,
+    ) -> str:
         """Enqueue *spec*; returns the job id.  Raises
         :class:`QueueFull` at the depth bound and :class:`DuplicateJob`
-        when *job_id* is already taken."""
+        when *job_id* is already taken.
+
+        *depends_on* names parent jobs that must reach a terminal state
+        first: the new job starts ``blocked`` (or ``queued`` directly
+        when every parent is already terminal) and is released
+        atomically, inside the same transaction that finishes the last
+        parent.  A parent that fails or is cancelled propagates per
+        *dep_policy* (:class:`DepPolicy`).  Unknown parent ids raise
+        :class:`UnknownJob` — nothing partial is enqueued."""
 
     @abc.abstractmethod
     def get(self, job_id: str) -> JobRecord:

@@ -33,9 +33,10 @@ import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.service.store import (
+    DepPolicy,
     DuplicateJob,
     JobRecord,
     JobState,
@@ -65,6 +66,12 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state_created
     ON jobs (state, created_at);
+CREATE TABLE IF NOT EXISTS job_deps (
+    parent TEXT NOT NULL,
+    child TEXT NOT NULL,
+    PRIMARY KEY (parent, child)
+);
+CREATE INDEX IF NOT EXISTS idx_job_deps_child ON job_deps (child);
 CREATE TABLE IF NOT EXISTS sites (
     name TEXT PRIMARY KEY,
     state TEXT NOT NULL DEFAULT 'active',
@@ -73,6 +80,28 @@ CREATE TABLE IF NOT EXISTS sites (
     meta TEXT NOT NULL DEFAULT '{}'
 );
 """
+
+
+def _initial_dep_state(
+    parent_states: Dict[str, str], dep_policy: str
+) -> "tuple[str, Optional[str]]":
+    """The state a freshly submitted dependent job lands in, given its
+    parents' current states: ``(state, error_or_None)``.
+
+    The same decision rule the release cascade applies later, evaluated
+    eagerly so a job whose parents already settled never waits."""
+    if dep_policy == DepPolicy.CASCADE:
+        for parent, state in parent_states.items():
+            if state in (JobState.FAILED, JobState.CANCELLED):
+                child_state = (
+                    JobState.FAILED
+                    if state == JobState.FAILED
+                    else JobState.CANCELLED
+                )
+                return child_state, f"dependency {parent} {state}"
+    if all(s in JobState.TERMINAL for s in parent_states.values()):
+        return JobState.QUEUED, None
+    return JobState.BLOCKED, None
 
 
 class SQLiteJobStore(JobStore):
@@ -114,14 +143,19 @@ class SQLiteJobStore(JobStore):
             self._migrate()
 
     def _migrate(self) -> None:
-        """Bring a pre-fleet database up to the current schema (the
-        ``site`` column postdates the jobs table)."""
+        """Bring an older database up to the current schema (the
+        ``site`` and dependency columns postdate the jobs table; the
+        ``job_deps`` table itself rides the idempotent ``_SCHEMA``)."""
         columns = {
             row["name"]
             for row in self._conn.execute("PRAGMA table_info(jobs)")
         }
         if "site" not in columns:
             self._conn.execute("ALTER TABLE jobs ADD COLUMN site TEXT")
+        if "depends_on" not in columns:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN depends_on TEXT")
+        if "dep_policy" not in columns:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN dep_policy TEXT")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -139,16 +173,35 @@ class SQLiteJobStore(JobStore):
     # Submission / inspection
     # ------------------------------------------------------------------
 
-    def submit(self, spec: Dict[str, Any], job_id: Optional[str] = None) -> str:
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        job_id: Optional[str] = None,
+        depends_on: Optional[Sequence[str]] = None,
+        dep_policy: str = DepPolicy.CASCADE,
+    ) -> str:
         """Enqueue *spec*; returns the new job id.
 
-        Raises :class:`QueueFull` when ``queued`` jobs are already at
-        the depth bound (backpressure, not data loss: nothing is
-        partially written) and :class:`DuplicateJob` when *job_id* is
-        already taken (the idempotent-resubmit signal).
+        Raises :class:`QueueFull` when waiting (``queued`` + ``blocked``)
+        jobs are already at the depth bound (backpressure, not data
+        loss: nothing is partially written) and :class:`DuplicateJob`
+        when *job_id* is already taken (the idempotent-resubmit
+        signal).  With *depends_on*, the job lands ``blocked`` until
+        every named parent is terminal — or directly ``queued`` /
+        cascaded when the parents already settled (see
+        :meth:`JobStore.submit`); unknown parents raise
+        :class:`UnknownJob` inside the same transaction, so nothing
+        partial is written.
         """
         job_id = job_id or uuid.uuid4().hex
         payload = json.dumps(spec, sort_keys=True)
+        parents = [str(p) for p in (depends_on or ())]
+        if dep_policy not in DepPolicy.ALL:
+            raise ValueError(
+                f"unknown dep_policy {dep_policy!r} "
+                f"(choose from {', '.join(DepPolicy.ALL)})"
+            )
+        now = self.clock()
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
@@ -161,21 +214,48 @@ class SQLiteJobStore(JobStore):
                 if taken:
                     raise DuplicateJob(job_id)
                 (depth,) = self._conn.execute(
-                    "SELECT COUNT(*) FROM jobs WHERE state = ?",
-                    (JobState.QUEUED,),
+                    "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?)",
+                    (JobState.QUEUED, JobState.BLOCKED),
                 ).fetchone()
                 if depth >= self.queue_limit:
                     raise QueueFull(
-                        f"queue is full ({depth}/{self.queue_limit} jobs queued)"
+                        f"queue is full ({depth}/{self.queue_limit} jobs waiting)"
                     )
+                state, error = JobState.QUEUED, None
+                if parents:
+                    states: Dict[str, str] = {}
+                    for parent in parents:
+                        row = self._conn.execute(
+                            "SELECT state FROM jobs WHERE id = ?", (parent,)
+                        ).fetchone()
+                        if row is None:
+                            raise UnknownJob(parent)
+                        states[parent] = row["state"]
+                    state, error = _initial_dep_state(states, dep_policy)
                 try:
                     self._conn.execute(
-                        "INSERT INTO jobs (id, spec, state, created_at)"
-                        " VALUES (?, ?, ?, ?)",
-                        (job_id, payload, JobState.QUEUED, self.clock()),
+                        "INSERT INTO jobs (id, spec, state, created_at,"
+                        " finished_at, error, depends_on, dep_policy)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            job_id,
+                            payload,
+                            state,
+                            now,
+                            now if state in JobState.TERMINAL else None,
+                            error,
+                            json.dumps(parents) if parents else None,
+                            dep_policy if parents else None,
+                        ),
                     )
                 except sqlite3.IntegrityError:
                     raise DuplicateJob(job_id) from None
+                for parent in parents:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO job_deps (parent, child)"
+                        " VALUES (?, ?)",
+                        (parent, job_id),
+                    )
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
@@ -227,6 +307,63 @@ class SQLiteJobStore(JobStore):
         return depth
 
     # ------------------------------------------------------------------
+    # Dependency release (runs inside an open transaction)
+    # ------------------------------------------------------------------
+
+    def _release_dependents(self, parent_ids: Sequence[str], now: float) -> None:
+        """Settle the blocked children of jobs that just went terminal.
+
+        Must be called inside an open transaction, immediately after
+        *parent_ids* reached a terminal state — the release is then
+        atomic with the parent transition, so a concurrent
+        ``claim_batch`` either sees the child still ``blocked`` or
+        fully ``queued``, never in between.  Cascaded failures and
+        cancellations are themselves terminal transitions, so the
+        worklist recurses through deeper dependents."""
+        pending = list(parent_ids)
+        while pending:
+            parent = pending.pop()
+            children = [
+                row["child"]
+                for row in self._conn.execute(
+                    "SELECT child FROM job_deps WHERE parent = ?"
+                    " ORDER BY rowid",
+                    (parent,),
+                ).fetchall()
+            ]
+            for child in children:
+                row = self._conn.execute(
+                    "SELECT state, dep_policy FROM jobs WHERE id = ?",
+                    (child,),
+                ).fetchone()
+                if row is None or row["state"] != JobState.BLOCKED:
+                    continue
+                parent_rows = self._conn.execute(
+                    "SELECT jobs.id AS id, jobs.state AS state"
+                    " FROM job_deps JOIN jobs ON jobs.id = job_deps.parent"
+                    " WHERE job_deps.child = ? ORDER BY job_deps.rowid",
+                    (child,),
+                ).fetchall()
+                states = {r["id"]: r["state"] for r in parent_rows}
+                state, error = _initial_dep_state(
+                    states, row["dep_policy"] or DepPolicy.CASCADE
+                )
+                if state == JobState.BLOCKED:
+                    continue
+                if state == JobState.QUEUED:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ? WHERE id = ?",
+                        (JobState.QUEUED, child),
+                    )
+                else:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?,"
+                        " error = ? WHERE id = ?",
+                        (state, now, error, child),
+                    )
+                    pending.append(child)
+
+    # ------------------------------------------------------------------
     # Claiming and completion (the worker protocol)
     # ------------------------------------------------------------------
 
@@ -241,10 +378,12 @@ class SQLiteJobStore(JobStore):
 
         Runnable means: expired-lease ``running`` jobs (crash
         recovery — oldest first), then ``queued`` jobs in submission
-        order.  An expired job that already burned ``max_attempts``
-        leases is marked failed instead of being handed out again.
-        The whole batch — retirement, selection, and leasing — is one
-        ``BEGIN IMMEDIATE`` transaction.
+        order; ``blocked`` jobs are never selected.  An expired job
+        that already burned ``max_attempts`` leases is marked failed
+        instead of being handed out again (cascading to its dependents
+        in the same transaction).  The whole batch — retirement,
+        selection, and leasing — is one ``BEGIN IMMEDIATE``
+        transaction.
         """
         if limit < 1:
             return []
@@ -252,20 +391,27 @@ class SQLiteJobStore(JobStore):
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
-                # Retire jobs whose leases expired too many times.
-                self._conn.execute(
-                    "UPDATE jobs SET state = ?, finished_at = ?, worker = NULL,"
-                    " lease_expires_at = NULL,"
-                    " error = 'lease expired after ' || attempts || ' attempts'"
-                    " WHERE state = ? AND lease_expires_at < ? AND attempts >= ?",
-                    (
-                        JobState.FAILED,
-                        now,
-                        JobState.RUNNING,
-                        now,
-                        self.max_attempts,
-                    ),
-                )
+                # Retire jobs whose leases expired too many times (and
+                # cascade to their dependents in the same transaction).
+                retired = [
+                    row["id"]
+                    for row in self._conn.execute(
+                        "SELECT id FROM jobs WHERE state = ?"
+                        " AND lease_expires_at < ? AND attempts >= ?",
+                        (JobState.RUNNING, now, self.max_attempts),
+                    ).fetchall()
+                ]
+                if retired:
+                    placeholders = ",".join("?" * len(retired))
+                    self._conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?,"
+                        " worker = NULL, lease_expires_at = NULL,"
+                        " error = 'lease expired after ' || attempts ||"
+                        " ' attempts'"
+                        f" WHERE id IN ({placeholders})",
+                        [JobState.FAILED, now] + retired,
+                    )
+                    self._release_dependents(retired, now)
                 rows = self._conn.execute(
                     "SELECT id FROM jobs"
                     " WHERE (state = ? AND lease_expires_at < ?) OR state = ?"
@@ -317,8 +463,10 @@ class SQLiteJobStore(JobStore):
         Only the current lease holder may complete a job (a worker
         whose lease was reassigned after a stall must not clobber the
         re-run's result).  A completion racing a cancellation request
-        lands as ``cancelled`` with the result attached.  Returns True
-        when this call finalized the job.
+        lands as ``cancelled`` with the result attached.  Blocked
+        dependents whose last parent this was are released (or
+        cascaded) in the same transaction.  Returns True when this
+        call finalized the job.
         """
         now = self.clock()
         with self._lock:
@@ -342,6 +490,7 @@ class SQLiteJobStore(JobStore):
                     " lease_expires_at = NULL WHERE id = ?",
                     (state, result, now, job_id),
                 )
+                self._release_dependents([job_id], now)
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
@@ -349,22 +498,33 @@ class SQLiteJobStore(JobStore):
         return True
 
     def fail(self, job_id: str, worker: str, error: str) -> bool:
-        """Record a failed execution from the current lease holder."""
+        """Record a failed execution from the current lease holder
+        (cascading to blocked dependents in the same transaction)."""
+        now = self.clock()
         with self._lock:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
-                " lease_expires_at = NULL"
-                " WHERE id = ? AND state = ? AND worker = ?",
-                (
-                    JobState.FAILED,
-                    error,
-                    self.clock(),
-                    job_id,
-                    JobState.RUNNING,
-                    worker,
-                ),
-            )
-        return cursor.rowcount == 1
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
+                    " lease_expires_at = NULL"
+                    " WHERE id = ? AND state = ? AND worker = ?",
+                    (
+                        JobState.FAILED,
+                        error,
+                        now,
+                        job_id,
+                        JobState.RUNNING,
+                        worker,
+                    ),
+                )
+                failed = cursor.rowcount == 1
+                if failed:
+                    self._release_dependents([job_id], now)
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+        return failed
 
     def release(self, job_id: str, worker: str) -> bool:
         """Return a claimed-but-unstarted job to the queue (shutdown
@@ -392,19 +552,29 @@ class SQLiteJobStore(JobStore):
         return cursor.rowcount == 1
 
     def cancel(self, job_id: str) -> JobRecord:
-        """Cancel a job: queued jobs flip to ``cancelled`` immediately,
-        running jobs get ``cancel_requested`` set (the worker honours
-        it at its next checkpoint), terminal jobs are left untouched.
-        Returns the record after the transition."""
+        """Cancel a job: queued and blocked jobs flip to ``cancelled``
+        immediately (cascading to their dependents), running jobs get
+        ``cancel_requested`` set (the worker honours it at its next
+        checkpoint), terminal jobs are left untouched.  Returns the
+        record after the transition."""
+        now = self.clock()
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
-                self._conn.execute(
+                cursor = self._conn.execute(
                     "UPDATE jobs SET state = ?, finished_at = ?,"
                     " cancel_requested = 1, lease_expires_at = NULL"
-                    " WHERE id = ? AND state = ?",
-                    (JobState.CANCELLED, self.clock(), job_id, JobState.QUEUED),
+                    " WHERE id = ? AND state IN (?, ?)",
+                    (
+                        JobState.CANCELLED,
+                        now,
+                        job_id,
+                        JobState.QUEUED,
+                        JobState.BLOCKED,
+                    ),
                 )
+                if cursor.rowcount == 1:
+                    self._release_dependents([job_id], now)
                 self._conn.execute(
                     "UPDATE jobs SET cancel_requested = 1"
                     " WHERE id = ? AND state = ?",
@@ -542,4 +712,10 @@ class SQLiteJobStore(JobStore):
             result=row["result"],
             error=row["error"],
             site=row["site"],
+            depends_on=(
+                tuple(json.loads(row["depends_on"]))
+                if row["depends_on"]
+                else ()
+            ),
+            dep_policy=row["dep_policy"] or DepPolicy.CASCADE,
         )

@@ -1,0 +1,156 @@
+"""Bracket-edge behavior of the regime solvers.
+
+:func:`crossover_fraction` and :func:`required_node_mtbf` bisect a
+gap function over a bracket; the adaptive campaign controller now
+consumes their answers as refinement priors, so the edge cases must be
+pinned: no crossover in range returns None (never a fabricated root),
+a crossover sitting at an endpoint returns that endpoint, and a
+non-monotone gap still yields a genuine sign change — loudly, not a
+silently wrong value.
+
+The gap functions are synthesized by monkeypatching
+``analytic_efficiency``, so each case is exact by construction.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import regimes
+from repro.platform.presets import exascale_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return exascale_system()
+
+
+def patch_efficiencies(monkeypatch, small_fn, large_fn):
+    """Make ``analytic_efficiency`` return ``small_fn(fraction)`` for
+    the multilevel technique and ``large_fn(fraction)`` for parallel
+    recovery (the solver's two defaults)."""
+
+    def fake(technique, app_type, fraction, system, node_mtbf_s, severity=None):
+        if technique.name == "multilevel":
+            return small_fn(fraction)
+        if technique.name == "parallel_recovery":
+            return large_fn(fraction)
+        raise AssertionError(f"unexpected technique {technique.name}")
+
+    monkeypatch.setattr(regimes, "analytic_efficiency", fake)
+
+
+class TestCrossoverBrackets:
+    def test_no_crossover_in_range_returns_none(self, monkeypatch, system):
+        # The small technique wins everywhere: the gap never reaches 0.
+        patch_efficiencies(
+            monkeypatch, lambda f: 0.9, lambda f: 0.9 - 0.01 * (1 + f)
+        )
+        assert (
+            regimes.crossover_fraction("D64", system, 5.0e8) is None
+        )
+
+    def test_crossover_at_low_endpoint(self, monkeypatch, system):
+        # The large technique already wins at the smallest resolvable
+        # fraction: the solver reports that endpoint, not a root hunt.
+        patch_efficiencies(monkeypatch, lambda f: 0.5, lambda f: 0.9)
+        lo = max(10.0 / system.total_nodes, 1e-4)
+        assert regimes.crossover_fraction("D64", system, 5.0e8) == pytest.approx(lo)
+
+    def test_crossover_hugging_high_endpoint(self, monkeypatch, system):
+        # The sign change sits just inside the upper bracket edge;
+        # brentq must localize it there instead of bailing to None.
+        threshold = 1e-4
+        patch_efficiencies(
+            monkeypatch,
+            lambda f: 0.5,
+            lambda f: 0.5 + threshold + 0.3 * (f - 0.999),
+        )
+        value = regimes.crossover_fraction("D64", system, 5.0e8)
+        assert value == pytest.approx(0.999, abs=1e-4)
+
+    def test_gap_never_positive_at_exact_endpoint_returns_none(
+        self, monkeypatch, system
+    ):
+        # Touching zero exactly at the edge but never exceeding the
+        # threshold inside the range is "no crossover", not a root.
+        threshold = 1e-4
+        patch_efficiencies(
+            monkeypatch,
+            lambda f: 0.5,
+            lambda f: 0.5 + threshold * f * 0.999999,
+        )
+        assert regimes.crossover_fraction("D64", system, 5.0e8) is None
+
+    def test_non_monotone_gap_still_finds_genuine_root(
+        self, monkeypatch, system
+    ):
+        # A dip-then-rise gap: non-monotone but with a single sign
+        # change.  The solver must return the actual root, and the gap
+        # evaluated there must vanish (no endpoint fallback).
+        threshold = 1e-4
+
+        def large(f):
+            return 0.5 + threshold + 0.4 * (f - 0.6) * (f + 0.2)
+
+        patch_efficiencies(monkeypatch, lambda f: 0.5, large)
+        value = regimes.crossover_fraction("D64", system, 5.0e8)
+        assert value == pytest.approx(0.6, abs=1e-4)
+        assert large(value) - 0.5 - threshold == pytest.approx(0.0, abs=1e-3)
+
+    def test_nan_gap_fails_loudly(self, monkeypatch, system):
+        # A gap that goes NaN inside the bracket must raise, never
+        # return a fabricated crossover for the controller to chase.
+        patch_efficiencies(
+            monkeypatch,
+            lambda f: 0.5,
+            lambda f: float("nan") if 0.2 < f < 0.8 else (0.4 if f < 0.2 else 0.6),
+        )
+        with pytest.raises(ValueError):
+            regimes.crossover_fraction("D64", system, 5.0e8)
+
+
+class TestRequiredMtbfBrackets:
+    @staticmethod
+    def patch_mtbf_curve(monkeypatch, curve):
+        def fake(technique, app_type, fraction, system, node_mtbf_s, severity=None):
+            return curve(node_mtbf_s)
+
+        monkeypatch.setattr(regimes, "analytic_efficiency", fake)
+
+    def test_unreachable_target_returns_none(self, monkeypatch, system):
+        self.patch_mtbf_curve(monkeypatch, lambda m: 0.5)
+        technique = regimes.get_technique("checkpoint_restart")
+        assert (
+            regimes.required_node_mtbf(technique, "D64", 0.5, system, 0.9)
+            is None
+        )
+
+    def test_reachable_at_pessimistic_bound_returns_lo(
+        self, monkeypatch, system
+    ):
+        self.patch_mtbf_curve(monkeypatch, lambda m: 0.99)
+        technique = regimes.get_technique("checkpoint_restart")
+        value = regimes.required_node_mtbf(
+            technique, "D64", 0.5, system, 0.9, mtbf_bounds_s=(1e5, 1e9)
+        )
+        assert value == pytest.approx(1e5)
+
+    def test_interior_root_is_genuine(self, monkeypatch, system):
+        self.patch_mtbf_curve(
+            monkeypatch, lambda m: 1.0 - math.exp(-m / 1.0e7)
+        )
+        technique = regimes.get_technique("checkpoint_restart")
+        value = regimes.required_node_mtbf(
+            technique, "D64", 0.5, system, 0.9, mtbf_bounds_s=(1e5, 1e9)
+        )
+        # Analytic inverse: m = -1e7 * ln(0.1).
+        assert value == pytest.approx(-1.0e7 * math.log(0.1), rel=1e-5)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_target_raises(self, system, target):
+        technique = regimes.get_technique("checkpoint_restart")
+        with pytest.raises(ValueError):
+            regimes.required_node_mtbf(
+                technique, "D64", 0.5, system, target
+            )

@@ -1,5 +1,7 @@
 """Unit tests for summary statistics."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -13,10 +15,15 @@ class TestSummaryStats:
         assert s.mean == pytest.approx(2.0)
         assert s.std == pytest.approx(np.std([1, 2, 3], ddof=1))
 
-    def test_single_sample(self):
+    def test_single_sample_never_converged(self):
+        # Regression: one observation used to report sem == 0.0, which
+        # read as a zero-width (fully converged) confidence interval.
+        # Adaptive early-stopping must see an infinite half-width.
         s = SummaryStats.from_samples([5.0])
         assert s.std == 0.0
-        assert s.sem == 0.0
+        assert s.sem == math.inf
+        lo, hi = s.ci95()
+        assert lo == -math.inf and hi == math.inf
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -34,3 +41,58 @@ class TestSummaryStats:
 
     def test_str(self):
         assert "n=2" in str(SummaryStats.from_samples([1.0, 2.0]))
+
+
+class TestMerge:
+    """`merge()` must agree with `from_samples` on the concatenation."""
+
+    def _check(self, a, b):
+        merged = SummaryStats.from_samples(a).merge(SummaryStats.from_samples(b))
+        direct = SummaryStats.from_samples(list(a) + list(b))
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-12)
+        assert merged.std == pytest.approx(direct.std, rel=1e-9, abs=1e-12)
+
+    def test_basic(self):
+        self._check([1.0, 2.0, 3.0], [4.0, 5.0])
+
+    def test_singletons(self):
+        self._check([1.0], [2.0])
+
+    def test_single_into_many(self):
+        self._check([0.5], [0.1, 0.9, 0.4, 0.7])
+
+    def test_identical_values(self):
+        self._check([2.0, 2.0], [2.0, 2.0, 2.0])
+
+    def test_property_random_partitions(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        @hypothesis.given(
+            samples=st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, width=32),
+                min_size=2,
+                max_size=40,
+            ),
+            split=st.integers(min_value=1, max_value=39),
+        )
+        def check(samples, split):
+            hypothesis.assume(1 <= split < len(samples))
+            self._check(samples[:split], samples[split:])
+
+        check()
+
+    def test_merge_chain_matches_batched_trials(self):
+        # The controller's exact usage: batches of an exhaustive run,
+        # merged left to right, equal the full-run summary.
+        rng = np.random.default_rng(7)
+        samples = rng.normal(0.8, 0.05, size=60).tolist()
+        batches = [samples[i : i + 25] for i in range(0, 60, 25)]
+        acc = SummaryStats.from_samples(batches[0])
+        for batch in batches[1:]:
+            acc = acc.merge(SummaryStats.from_samples(batch))
+        direct = SummaryStats.from_samples(samples)
+        assert acc.n == direct.n
+        assert acc.mean == pytest.approx(direct.mean, rel=1e-12)
+        assert acc.std == pytest.approx(direct.std, rel=1e-9)

@@ -1,0 +1,134 @@
+"""Trial-offset determinism: batch ``[k, k+n)`` is byte-identical to
+that slice of an exhaustive run.
+
+This is the contract the adaptive campaign controller stands on: a
+cell's per-trial randomness is a pure function of ``(seed, trial
+index)``, so submitting a trial budget in offset batches and
+concatenating the results reproduces a single full run exactly — the
+early-stopped prefix of an adaptive cell equals the prefix of the
+exhaustive cell, bit for bit.
+"""
+
+import pytest
+
+from repro.core.single_app import SingleAppConfig, run_trials
+from repro.experiments.entry import RequestError, StudyRequest
+from repro.platform.presets import exascale_system
+from repro.resilience import get_technique
+from repro.scenarios.runtime import run_scenario
+from repro.scenarios.schema import parse_scenario
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+
+@pytest.fixture(scope="module")
+def cell():
+    system = exascale_system()
+    app = make_application("A32", nodes=system.fraction_to_nodes(0.05))
+    technique = get_technique("checkpoint_restart")
+    config = SingleAppConfig(node_mtbf_s=years(5.0))
+    return app, technique, system, config
+
+
+class TestRunTrialsSlice:
+    def test_offset_batches_concatenate_to_full_run(self, cell):
+        app, technique, system, config = cell
+        full = run_trials(app, technique, system, 9, config=config)
+        batches = []
+        for start, count in ((0, 4), (4, 3), (7, 2)):
+            batch = run_trials(
+                app, technique, system, count, config=config,
+                first_trial=start,
+            )
+            batches.extend(batch.efficiencies)
+        assert batches == full.efficiencies
+
+    def test_disjoint_slices_differ(self, cell):
+        app, technique, system, config = cell
+        first = run_trials(app, technique, system, 3, config=config)
+        shifted = run_trials(
+            app, technique, system, 3, config=config, first_trial=3
+        )
+        assert first.efficiencies != shifted.efficiencies
+
+    def test_negative_offset_rejected(self, cell):
+        app, technique, system, config = cell
+        with pytest.raises(ValueError):
+            run_trials(
+                app, technique, system, 2, config=config, first_trial=-1
+            )
+
+
+SCENARIO = {
+    "scenario": {"name": "offset-slices"},
+    "failures": {"regime": "poisson", "mtbf_years": 5.0},
+    "workload": {"study": "scaling", "app_type": "A32", "fractions": [0.05]},
+    "techniques": {"names": ["checkpoint_restart"]},
+}
+
+
+class TestScenarioRuntimeOffset:
+    def test_scenario_batches_are_prefix_slices(self, cell):
+        """Each offset batch's summary equals the stats of the same
+        slice of an exhaustive run, exactly (same floats, same code
+        path) — so merged batches reproduce the full cell."""
+        app, technique, system, config = cell
+        spec = parse_scenario(SCENARIO, source="<test>")
+        full_trials = run_trials(app, technique, system, 6, config=config)
+        merged = None
+        for start, count in ((0, 2), (2, 2), (4, 2)):
+            part = run_scenario(spec, trials=count, trial_offset=start)
+            batch = part[0][1].cells[0].stats
+            from repro.experiments.stats import SummaryStats
+
+            expected = SummaryStats.from_samples(
+                full_trials.efficiencies[start:start + count]
+            )
+            assert batch == expected
+            merged = batch if merged is None else merged.merge(batch)
+        assert merged.n == 6
+        assert merged.mean == pytest.approx(
+            run_scenario(spec, trials=6)[0][1].cells[0].stats.mean,
+            rel=1e-12,
+        )
+
+    def test_trace_replay_rejects_offset(self):
+        doc = {
+            "scenario": {"name": "trace-offset"},
+            "failures": {"regime": "trace", "trace_file": "x.jsonl"},
+            "workload": {"study": "scaling", "app_type": "A32",
+                         "fractions": [0.05]},
+        }
+        spec = parse_scenario(doc, source="<test>")
+        with pytest.raises(ValueError):
+            run_scenario(spec, trials=1, trial_offset=1)
+
+
+class TestStudyRequestOffset:
+    @staticmethod
+    def _scenario_json():
+        from repro.scenarios.spec import canonical_json
+
+        return canonical_json(parse_scenario(SCENARIO, source="<test>"))
+
+    def test_offset_only_for_scenario_requests(self):
+        request = StudyRequest(experiment="fig1", trials=2, trial_offset=5)
+        with pytest.raises(RequestError):
+            request.validate()
+
+    def test_offset_roundtrips_through_payload(self):
+        request = StudyRequest(
+            experiment="scenario",
+            trials=2,
+            scenario=self._scenario_json(),
+            trial_offset=7,
+        )
+        payload = request.to_payload()
+        assert payload["trial_offset"] == 7
+        assert StudyRequest.from_payload(payload).trial_offset == 7
+
+    def test_zero_offset_keeps_old_wire_shape(self):
+        request = StudyRequest(
+            experiment="scenario", trials=2, scenario=self._scenario_json()
+        )
+        assert "trial_offset" not in request.to_payload()

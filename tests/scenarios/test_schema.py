@@ -215,3 +215,73 @@ class TestCanonicalIdentity:
         data = json.loads(text)
         assert list(data) == sorted(data)
         assert ": " not in text
+
+
+class TestAdaptiveSection:
+    def test_defaults(self):
+        spec = parse_scenario(minimal(adaptive={}))
+        assert spec.adaptive.max_trials == 200
+        assert spec.adaptive.batch_size == 25
+        assert spec.adaptive.ci_rel_threshold == 0.02
+        assert spec.adaptive.refine_depth == 1
+
+    def test_overrides_round_trip(self):
+        doc = minimal(
+            adaptive={
+                "max_trials": 40,
+                "batch_size": 8,
+                "ci_rel_threshold": 0.05,
+                "refine_depth": 2,
+            }
+        )
+        spec = parse_scenario(doc)
+        again = scenario_from_json(canonical_json(spec))
+        assert spec_to_dict(again)["adaptive"] == doc["adaptive"]
+        assert spec_sha256(again) == spec_sha256(spec)
+
+    def test_absent_section_stays_none_and_off_the_wire(self):
+        spec = parse_scenario(minimal())
+        assert spec.adaptive is None
+        assert "adaptive" not in spec_to_dict(spec)
+
+    def test_adaptive_changes_the_sha(self):
+        plain = spec_sha256(parse_scenario(minimal()))
+        adaptive = spec_sha256(parse_scenario(minimal(adaptive={})))
+        assert plain != adaptive
+
+    @pytest.mark.parametrize(
+        "section, path",
+        [
+            ({"max_trials": 1}, "adaptive.max_trials"),
+            ({"batch_size": 1}, "adaptive.batch_size"),
+            ({"max_trials": 10, "batch_size": 11}, "adaptive.batch_size"),
+            ({"ci_rel_threshold": 0.0}, "adaptive.ci_rel_threshold"),
+            ({"ci_rel_threshold": 1.0}, "adaptive.ci_rel_threshold"),
+            ({"refine_depth": -1}, "adaptive.refine_depth"),
+            ({"bogus": 3}, "adaptive.bogus"),
+        ],
+    )
+    def test_bad_values_name_the_field(self, section, path):
+        assert path in str(err(minimal(adaptive=section)))
+
+    def test_trace_replay_rejected(self):
+        doc = minimal(
+            failures={"regime": "trace", "trace_file": "x.jsonl"},
+            adaptive={},
+        )
+        doc.pop("run")
+        exc = err(doc)
+        assert "adaptive.max_trials" in str(exc)
+        assert "trace replay" in str(exc)
+
+    def test_datacenter_rejected(self):
+        exc = err(
+            {
+                "scenario": {"name": "dc"},
+                "failures": {"regime": "poisson"},
+                "workload": {"study": "datacenter", "mode": "techniques"},
+                "adaptive": {},
+            }
+        )
+        assert "adaptive.max_trials" in str(exc)
+        assert "scaling" in str(exc)

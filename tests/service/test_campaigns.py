@@ -133,3 +133,164 @@ class TestValidation:
         with pytest.raises(ServiceError):
             client.submit_campaign(spec=inline_spec(failures={"regime": "x"}))
         assert service.store.counts() == before
+
+
+def adaptive_spec(**overrides):
+    """A small two-technique sweep that converges in a handful of
+    batches on a 20k-node platform (cheap trials, clear winner)."""
+    doc = {
+        "scenario": {"name": "adaptive-inline"},
+        "platform": {"total_nodes": 20000},
+        "failures": {"regime": "poisson", "mtbf_years": 5.0},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.1, 0.9],
+        },
+        "techniques": {"names": ["checkpoint_restart", "multilevel"]},
+        "adaptive": {
+            "max_trials": 12,
+            "batch_size": 4,
+            "ci_rel_threshold": 0.05,
+            "refine_depth": 0,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestAdaptiveCampaigns:
+    def test_converges_with_fewer_trials_than_exhaustive(self, client):
+        campaign = client.submit_campaign(spec=adaptive_spec())
+        assert campaign["adaptive"]["max_trials"] == 12
+        assert campaign["units"] == []
+        assert campaign["cells"] == 4
+        status = client.wait_campaign(campaign["id"], timeout=300)
+        assert status["state"] == "done"
+        assert all(cell["settled"] for cell in status["cells"])
+        trials = status["trials"]
+        assert trials["executed"] < trials["exhaustive"]
+        assert trials["reduction"] > 1.0
+        # The rendered winning-technique table appears once done.
+        assert "10%" in status["table"] and "90%" in status["table"]
+
+    def test_early_stop_skips_the_unconsumed_tail(self, client, service):
+        """A converged cell consumes only a prefix of its batch chain.
+        (Whether the tail ends up cancelled or had already finished
+        when the cancel landed is a race against the worker; the
+        store-level cascade tests pin the cancellation semantics.)"""
+        campaign = client.submit_campaign(spec=adaptive_spec())
+        status = client.wait_campaign(campaign["id"], timeout=300)
+        converged = [c for c in status["cells"] if c["converged"]]
+        assert converged, "expected at least one early-stopped cell"
+        consumed = sum(c["jobs_consumed"] for c in status["cells"])
+        assert consumed < status["jobs"]["total"]
+        for cell in converged:
+            assert cell["jobs_consumed"] < cell["jobs_total"]
+
+    def test_adaptive_results_match_exhaustive_prefix(self, client):
+        """Byte-determinism: a converged cell's consumed batches are
+        the exact prefix of an exhaustive run of the same spec."""
+        from repro.experiments.stats import SummaryStats
+        from repro.scenarios.runtime import run_scenario
+        from repro.scenarios.schema import parse_scenario
+
+        doc = adaptive_spec()
+        doc["workload"]["fractions"] = [0.1]
+        doc["techniques"]["names"] = ["checkpoint_restart"]
+        campaign = client.submit_campaign(spec=doc)
+        status = client.wait_campaign(campaign["id"], timeout=300)
+        cell = status["cells"][0]
+        spec = parse_scenario(doc, source="<test>")
+        full = run_scenario(spec, trials=cell["trials"])
+        expected = full[0][1].cells[0].stats
+        assert cell["mean_efficiency"] == expected.mean
+        assert cell["std_efficiency"] == expected.std
+
+    def test_status_endpoint_and_unknown_id_404(self, client):
+        campaign = client.submit_campaign(spec=adaptive_spec())
+        status = client.campaign_status(campaign["id"])
+        assert status["id"] == campaign["id"]
+        assert status["adaptive"]["batch_size"] == 4
+        assert {"executed", "exhaustive", "reduction"} <= set(
+            status["trials"]
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.campaign_status("no-such-campaign")
+        assert excinfo.value.status == 404
+
+    def test_static_campaign_is_tracked_too(self, client):
+        campaign = client.submit_campaign(scenario="fig1", quick=True)
+        assert "id" in campaign
+        status = client.campaign_status(campaign["id"])
+        assert status["adaptive"] is None
+        assert len(status["units"]) == len(campaign["units"])
+
+    def test_adaptive_false_overrides_spec_section(self, client):
+        campaign = client.submit_campaign(
+            spec=adaptive_spec(), adaptive=False
+        )
+        # Static path: one unit per compiled request, no controller.
+        assert campaign["units"]
+        assert "cells" not in campaign
+
+    def test_adaptive_true_uses_spec_defaults(self, client):
+        campaign = client.submit_campaign(spec=adaptive_spec(), adaptive=True)
+        assert campaign["adaptive"]["batch_size"] == 4
+
+    def test_adaptive_object_overrides_spec(self, client):
+        campaign = client.submit_campaign(
+            spec=adaptive_spec(), adaptive={"batch_size": 6}
+        )
+        assert campaign["adaptive"]["batch_size"] == 6
+        assert campaign["adaptive"]["max_trials"] == 12
+
+
+class TestAdaptiveValidation:
+    def test_quick_plus_adaptive_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(spec=adaptive_spec(), quick=True)
+        assert excinfo.value.status == 400
+        assert "quick" in excinfo.value.message
+
+    def test_format_plus_adaptive_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(spec=adaptive_spec(), format="csv")
+        assert excinfo.value.status == 400
+        assert "format" in excinfo.value.message
+
+    def test_trace_spec_with_adaptive_flag_400(self, client):
+        doc = {
+            "scenario": {"name": "trace-adaptive"},
+            "failures": {"regime": "trace", "trace_file": "x.jsonl"},
+            "workload": {
+                "study": "scaling",
+                "app_type": "A32",
+                "fractions": [0.05],
+            },
+        }
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(spec=doc, adaptive=True)
+        assert excinfo.value.status == 400
+        assert "trace replay" in excinfo.value.message
+
+    def test_bad_adaptive_object_field_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(
+                spec=adaptive_spec(), adaptive={"max_trials": 1}
+            )
+        assert excinfo.value.status == 400
+        assert "max_trials" in excinfo.value.message
+
+    def test_adaptive_must_be_bool_or_object_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_campaign(spec=adaptive_spec(), adaptive="yes")
+        assert excinfo.value.status == 400
+
+    def test_nothing_enqueued_on_adaptive_rejection(self, client, service):
+        before = service.store.counts()
+        with pytest.raises(ServiceError):
+            client.submit_campaign(
+                spec=adaptive_spec(), adaptive={"batch_size": 99}
+            )
+        assert service.store.counts() == before

@@ -1,0 +1,264 @@
+"""Job-dependency contract of the store: blocked holds, atomic
+release, per-policy cascade, and the thread-race guarantees the
+adaptive campaign controller builds on."""
+
+import threading
+
+import pytest
+
+from repro.service.store import (
+    DepPolicy,
+    JobState,
+    QueueFull,
+    UnknownJob,
+    create_store,
+)
+
+SPEC = {"experiment": "table1", "format": "table"}
+
+
+class FakeClock:
+    """Deterministic, advanceable time source."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(clock):
+    return create_store(
+        "sqlite://:memory:", queue_limit=64, max_attempts=3, clock=clock
+    )
+
+
+def run_to_done(store, job_id, worker="w1"):
+    """Claim *job_id* (which must be runnable) and complete it."""
+    batch = store.claim_batch(worker, 60.0, limit=64)
+    assert job_id in [r.id for r in batch]
+    assert store.complete(job_id, worker, "out")
+
+
+class TestSubmitWithDependencies:
+    def test_child_starts_blocked(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        record = store.get(child)
+        assert record.state == JobState.BLOCKED
+        assert record.depends_on == (parent,)
+        assert record.dep_policy == DepPolicy.CASCADE
+
+    def test_unknown_parent_rejected(self, store):
+        with pytest.raises(UnknownJob):
+            store.submit(SPEC, depends_on=["missing-parent"])
+
+    def test_bad_policy_rejected(self, store):
+        parent = store.submit(SPEC)
+        with pytest.raises(ValueError):
+            store.submit(SPEC, depends_on=[parent], dep_policy="maybe")
+
+    def test_all_parents_terminal_starts_queued(self, store):
+        parent = store.submit(SPEC)
+        run_to_done(store, parent)
+        child = store.submit(SPEC, depends_on=[parent])
+        assert store.get(child).state == JobState.QUEUED
+
+    def test_failed_parent_cascades_at_submit(self, store):
+        parent = store.submit(SPEC)
+        batch = store.claim_batch("w1", 60.0, limit=1)
+        assert store.fail(batch[0].id, "w1", "boom")
+        assert store.get(parent).state == JobState.FAILED
+        child = store.submit(SPEC, depends_on=[parent])
+        record = store.get(child)
+        assert record.state == JobState.FAILED
+        assert parent in (record.error or "")
+
+    def test_run_policy_ignores_failed_parent_at_submit(self, store):
+        parent = store.submit(SPEC)
+        batch = store.claim_batch("w1", 60.0, limit=1)
+        assert store.fail(batch[0].id, "w1", "boom")
+        assert store.get(parent).state == JobState.FAILED
+        child = store.submit(SPEC, depends_on=[parent], dep_policy=DepPolicy.RUN)
+        assert store.get(child).state == JobState.QUEUED
+
+    def test_payload_roundtrip(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(
+            SPEC, depends_on=[parent], dep_policy=DepPolicy.RUN
+        )
+        payload = store.get(child).to_payload()
+        assert payload["depends_on"] == [parent]
+        assert payload["dep_policy"] == DepPolicy.RUN
+        # A job without dependencies keeps its old wire shape.
+        plain = store.get(parent).to_payload()
+        assert "depends_on" not in plain
+        assert "dep_policy" not in plain
+
+    def test_blocked_counts_toward_queue_limit(self, clock):
+        store = create_store(
+            "sqlite://:memory:", queue_limit=2, max_attempts=3, clock=clock
+        )
+        parent = store.submit(SPEC)
+        store.submit(SPEC, depends_on=[parent])
+        with pytest.raises(QueueFull):
+            store.submit(SPEC)
+
+
+class TestBlockedIsNeverClaimable:
+    def test_claim_skips_blocked(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        batch = store.claim_batch("w1", 60.0, limit=64)
+        assert [r.id for r in batch] == [parent]
+        assert store.get(child).state == JobState.BLOCKED
+
+    def test_release_only_after_all_parents_terminal(self, store):
+        p1 = store.submit(SPEC)
+        p2 = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[p1, p2])
+        batch = store.claim_batch("w1", 60.0, limit=64)
+        assert {r.id for r in batch} == {p1, p2}
+        assert store.complete(p1, "w1", "out")
+        assert store.get(child).state == JobState.BLOCKED
+        assert not store.claim_batch("w2", 60.0, limit=64)
+        assert store.complete(p2, "w1", "out")
+        assert store.get(child).state == JobState.QUEUED
+        claimed = store.claim_batch("w2", 60.0, limit=64)
+        assert [r.id for r in claimed] == [child]
+
+    def test_chain_releases_one_link_at_a_time(self, store):
+        a = store.submit(SPEC)
+        b = store.submit(SPEC, depends_on=[a])
+        c = store.submit(SPEC, depends_on=[b])
+        assert store.get(c).state == JobState.BLOCKED
+        run_to_done(store, a)
+        assert store.get(b).state == JobState.QUEUED
+        assert store.get(c).state == JobState.BLOCKED
+        run_to_done(store, b, worker="w2")
+        assert store.get(c).state == JobState.QUEUED
+
+
+class TestCascade:
+    def test_failed_parent_fails_cascade_children(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        grandchild = store.submit(SPEC, depends_on=[child])
+        batch = store.claim_batch("w1", 60.0, limit=1)
+        assert store.fail(batch[0].id, "w1", "boom")
+        assert store.get(parent).state == JobState.FAILED
+        for job_id in (child, grandchild):
+            record = store.get(job_id)
+            assert record.state == JobState.FAILED
+            assert "dependency" in (record.error or "")
+
+    def test_cancelled_parent_cancels_cascade_children(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        grandchild = store.submit(SPEC, depends_on=[child])
+        store.cancel(parent)
+        assert store.get(child).state == JobState.CANCELLED
+        assert store.get(grandchild).state == JobState.CANCELLED
+
+    def test_blocked_job_is_cancellable(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        record = store.cancel(child)
+        assert record.state == JobState.CANCELLED
+        # The parent is untouched and still runnable.
+        assert store.get(parent).state == JobState.QUEUED
+
+    def test_run_policy_survives_failed_parent(self, store):
+        parent = store.submit(SPEC)
+        child = store.submit(
+            SPEC, depends_on=[parent], dep_policy=DepPolicy.RUN
+        )
+        batch = store.claim_batch("w1", 60.0, limit=1)
+        assert store.fail(batch[0].id, "w1", "boom")
+        assert store.get(parent).state == JobState.FAILED
+        assert store.get(child).state == JobState.QUEUED
+
+    def test_mixed_policies_diverge_on_the_same_parent(self, store):
+        parent = store.submit(SPEC)
+        cascade_child = store.submit(SPEC, depends_on=[parent])
+        run_child = store.submit(
+            SPEC, depends_on=[parent], dep_policy=DepPolicy.RUN
+        )
+        store.cancel(parent)
+        assert store.get(cascade_child).state == JobState.CANCELLED
+        assert store.get(run_child).state == JobState.QUEUED
+
+
+class TestLeaseExpiryRelease:
+    def test_expired_parent_retirement_cascades(self, store, clock):
+        """A parent that burns all its leases is retired *inside* a
+        claim transaction; its cascade children must fail in that same
+        transaction, not linger blocked forever."""
+        parent = store.submit(SPEC)
+        child = store.submit(SPEC, depends_on=[parent])
+        for _ in range(3):
+            batch = store.claim_batch("w1", 10.0, limit=1)
+            if not batch:
+                break
+            clock.advance(11.0)
+        # The final claim call retires the job (attempts exhausted).
+        store.claim_batch("w1", 10.0, limit=1)
+        assert store.get(parent).state == JobState.FAILED
+        assert store.get(child).state == JobState.FAILED
+
+
+class TestReleaseIsAtomicUnderConcurrentClaims:
+    def test_thread_raced_claims_never_double_run_or_lose_children(self):
+        """Race claim_batch against dependency release: every child
+        runs exactly once, and no child is ever claimed while its
+        parent is still non-terminal."""
+        store = create_store(
+            "sqlite://:memory:", queue_limit=512, max_attempts=3
+        )
+        parents = [store.submit(SPEC) for _ in range(8)]
+        children = {
+            store.submit(SPEC, depends_on=[p]): p for p in parents
+        }
+        claims = []
+        claims_lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker(name):
+            while not stop.is_set():
+                batch = store.claim_batch(name, 60.0, limit=2)
+                for record in batch:
+                    if record.id in children:
+                        parent_state = store.get(children[record.id]).state
+                        with claims_lock:
+                            claims.append((record.id, parent_state))
+                    store.complete(record.id, name, "out")
+                if not batch and store.counts().get("blocked", 0) == 0:
+                    remaining = store.counts().get("queued", 0)
+                    if remaining == 0:
+                        return
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        stop.set()
+        assert not any(t.is_alive() for t in threads)
+        # Every child ran exactly once...
+        assert sorted(c for c, _ in claims) == sorted(children)
+        # ...and only after its parent was terminal.
+        assert all(state == JobState.DONE for _, state in claims)
+        for job_id in children:
+            assert store.get(job_id).state == JobState.DONE

@@ -265,6 +265,26 @@ class TestScenarioVerbs:
         assert "platform.nodez" in err
         assert "Traceback" not in err
 
+    def test_validate_trace_adaptive_exits_2_one_line(self, capsys, tmp_path):
+        """Satellite: adaptive config on a trace-replay scenario is a
+        one-line field-path-qualified rejection, exit code 2."""
+        bad = tmp_path / "trace_adaptive.toml"
+        bad.write_text(
+            "[scenario]\nname = 't'\n"
+            "[failures]\nregime = 'trace'\ntrace_file = 'x.jsonl'\n"
+            "[workload]\nstudy = 'scaling'\napp_type = 'A32'\n"
+            "fractions = [0.05]\n"
+            "[adaptive]\nmax_trials = 40\n"
+        )
+        assert main(["scenario", "validate", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert "adaptive.max_trials" in lines[0]
+        assert "trace replay" in lines[0]
+        assert "Traceback" not in captured.err
+
     def test_validate_unknown_name_exits_2(self, capsys):
         assert main(["scenario", "validate", "no-such-study"]) == 2
         assert "no-such-study" in capsys.readouterr().err
