@@ -65,6 +65,15 @@ CellKey = Tuple[Optional[float], float, str]
 #: Submits one batch request with optional parents; returns the job id.
 SubmitFn = Callable[[StudyRequest, Optional[List[str]]], str]
 
+#: Controller progress callback: ``notify(kind, campaign_id, data)``.
+#: The service hangs its telemetry hub here so SSE consumers see
+#: ``campaign.cell_settled`` / ``campaign.probe`` / ``campaign.done``.
+NotifyFn = Callable[[str, str, Dict[str, Any]], None]
+
+
+def _no_notify(kind: str, campaign_id: str, data: Dict[str, Any]) -> None:
+    """The default (absent) progress callback."""
+
 #: Display tags for the paper's techniques (fallback: first two
 #: letters, uppercased).
 _TECH_TAGS = {
@@ -387,6 +396,7 @@ class Campaign:
         self.done = False
         self.trials_executed = 0
         self._refined_values: set = set()
+        self._notify: NotifyFn = _no_notify
         if adaptive is not None:
             base = scenario_cells(spec)
             self.technique_order: Tuple[str, ...] = tuple(
@@ -453,11 +463,19 @@ class Campaign:
 
     # -- the controller loop -------------------------------------------
 
-    def step(self, store: JobStore, submit: SubmitFn) -> None:
+    def step(
+        self,
+        store: JobStore,
+        submit: SubmitFn,
+        notify: Optional[NotifyFn] = None,
+    ) -> None:
         """One controller tick: consume finished batches, early-stop
-        converged cells, advance refinement, detect completion."""
+        converged cells, advance refinement, detect completion.
+        *notify* receives progress events (cell settled, probe wave
+        submitted, campaign done) as they happen."""
         if self.adaptive is None or self.done:
             return
+        self._notify = notify if notify is not None else _no_notify
         for run in list(self.cells.values()):
             self._advance_cell(run, store)
         self._advance_refinement(store, submit)
@@ -465,6 +483,15 @@ class Campaign:
             interval.state != "probing" for interval in self.intervals
         ):
             self.done = True
+            self._notify(
+                "campaign.done",
+                self.id,
+                {
+                    "scenario": self.spec.scenario.name,
+                    "trials_executed": self.trials_executed,
+                    "cells": len(self.cells),
+                },
+            )
 
     def _advance_cell(self, run: CellRun, store: JobStore) -> None:
         """Consume as many finished chain batches as are available."""
@@ -540,6 +567,19 @@ class Campaign:
                 store.cancel(run.job_ids[run.next_index])
             except KeyError:  # pragma: no cover - ids come from submit
                 pass
+        self._notify(
+            "campaign.cell_settled",
+            self.id,
+            {
+                "axis_value": run.cell.axis_value,
+                "fraction": run.cell.fraction,
+                "technique": run.cell.technique,
+                "probe": run.probe,
+                "reason": reason,
+                "failed": failed,
+                "trials": run.trials_done,
+            },
+        )
 
     # -- refinement ----------------------------------------------------
 
@@ -672,6 +712,10 @@ class Campaign:
                 f"refinement probe at fraction {probe:g} skipped: {exc}"
             )
         self.intervals.append(interval)
+        if interval.state == "probing":
+            self._notify(
+                "campaign.probe", self.id, interval.to_payload()
+            )
 
     def _probe_fraction(
         self,
@@ -845,11 +889,16 @@ class CampaignRegistry:
                 raise UnknownCampaign(campaign_id) from None
             return campaign.status(store)
 
-    def step_all(self, store: JobStore, submit: SubmitFn) -> None:
+    def step_all(
+        self,
+        store: JobStore,
+        submit: SubmitFn,
+        notify: Optional[NotifyFn] = None,
+    ) -> None:
         """One controller tick over every adaptive campaign."""
         with self._lock:
             for campaign in self._campaigns.values():
-                campaign.step(store, submit)
+                campaign.step(store, submit, notify=notify)
 
     def pending(self) -> bool:
         """Whether any adaptive campaign still has work in flight."""
@@ -858,3 +907,40 @@ class CampaignRegistry:
                 campaign.adaptive is not None and not campaign.done
                 for campaign in self._campaigns.values()
             )
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``campaigns`` block of ``GET /v1/metrics``: a light
+        progress list (no store reads) the dashboard renders from."""
+        with self._lock:
+            campaigns: List[Dict[str, Any]] = []
+            for campaign in self._campaigns.values():
+                entry: Dict[str, Any] = {
+                    "id": campaign.id,
+                    "scenario": campaign.spec.scenario.name,
+                    "adaptive": campaign.adaptive is not None,
+                }
+                if campaign.adaptive is not None:
+                    entry.update(
+                        state="done" if campaign.done else "running",
+                        cells=len(campaign.cells),
+                        cells_settled=sum(
+                            1
+                            for run in campaign.cells.values()
+                            if run.settled
+                        ),
+                        trials_executed=campaign.trials_executed,
+                    )
+                else:
+                    entry.update(
+                        state="static", units=len(campaign.static_units)
+                    )
+                campaigns.append(entry)
+            return {
+                "total": len(campaigns),
+                "active": sum(
+                    1
+                    for campaign in self._campaigns.values()
+                    if campaign.adaptive is not None and not campaign.done
+                ),
+                "campaigns": campaigns,
+            }

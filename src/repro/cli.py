@@ -27,6 +27,7 @@ Examples::
     repro submit fig1 --quick --format json  # enqueue over HTTP
     repro status <job-id>
     repro result <job-id>
+    repro watch <job-id>                     # live SSE event stream
     repro cache stats
     repro cache prune --max-mb 256
 
@@ -43,7 +44,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import __version__
 from repro.experiments.entry import RequestError, StudyRequest, run_request
@@ -301,15 +302,22 @@ def _cmd_agent(args: argparse.Namespace) -> int:
     from repro.service.agent import RemoteJobSource, WorkerAgent
     from repro.service.client import ServiceClient
 
+    from repro.telemetry import EventForwarder, ForwardingTelemetry
+
     site = args.site or _default_site_name()
     workers = max(args.workers, 1)
     client = ServiceClient(args.url, timeout=args.timeout)
+    source = RemoteJobSource(client, site)
+    # Forward watched jobs' live simulation events back to the control
+    # plane (batched, best-effort) so `repro watch` sees remote runs.
+    forwarder = EventForwarder(client, site)
     agent = WorkerAgent(
-        RemoteJobSource(client, site),
+        source,
         workers=workers,
         batch_size=args.batch_size,
         lease_s=args.lease_s,
         cache=ResultCache(enabled=True),
+        telemetry=ForwardingTelemetry(forwarder, source.is_watched),
     )
     agent.start()
     print(
@@ -428,6 +436,88 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_event_frame(frame: Dict[str, Any]) -> None:
+    """One line per SSE frame (the ``repro watch`` output format)."""
+    name = frame["event"]
+    data = frame["data"]
+    if name == "event":
+        kind = data.get("kind", "?")
+        scope = (
+            data.get("job_id")
+            or data.get("campaign_id")
+            or data.get("site")
+            or ""
+        )
+        detail = json.dumps(data.get("data", {}), sort_keys=True)
+        print(f"{kind:<24} {scope}  {detail}", flush=True)
+    elif name == "snapshot":
+        print(f"{'snapshot':<24} state={data.get('state')}", flush=True)
+    elif name == "gap":
+        print(
+            f"[gap: {data.get('missed')} events evicted before resume]",
+            file=sys.stderr,
+            flush=True,
+        )
+    elif name == "end":
+        print(
+            f"{'end':<24} {json.dumps(data, sort_keys=True)}", flush=True
+        )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch <job-id|campaign-id>``: follow the live event
+    stream of one job (lifecycle + in-flight simulation events) or
+    campaign (controller progress) until it finishes.
+
+    Exit status mirrors the outcome: 0 when the job/campaign ends
+    ``done``, 1 on a failed or cancelled job.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    target = _require_target(args, "a job or campaign id")
+    client = ServiceClient(args.url, timeout=args.timeout)
+    campaign = None
+    try:
+        client.status(target)
+    except ServiceError as exc:
+        if exc.status != 404:
+            raise
+        try:
+            campaign = client.campaign_status(target)
+        except ServiceError as exc2:
+            if exc2.status == 404:
+                raise RequestError(
+                    f"no job or campaign {target!r} at {args.url}"
+                )
+            raise
+
+    if campaign is None:
+        outcome = None
+        for frame in client.iter_events(job_id=target):
+            _print_event_frame(frame)
+            if frame["event"] == "end":
+                outcome = frame["data"].get("kind") or frame["data"].get(
+                    "state"
+                )
+        return 0 if outcome in ("job.done", "done", None) else 1
+
+    if campaign["state"] == "done":
+        print(f"campaign {target} already done", flush=True)
+        return 0
+    for frame in client.iter_events():
+        if frame["event"] == "gap":
+            _print_event_frame(frame)
+            continue
+        if frame["event"] != "event":
+            continue
+        if frame["data"].get("campaign_id") != target:
+            continue
+        _print_event_frame(frame)
+        if frame["data"].get("kind") == "campaign.done":
+            return 0
+    return 0
+
+
 _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "serve": _cmd_serve,
     "agent": _cmd_agent,
@@ -436,6 +526,7 @@ _SERVICE_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "result": _cmd_result,
     "cache": _cmd_cache,
     "campaign": _cmd_campaign,
+    "watch": _cmd_watch,
 }
 
 
@@ -738,7 +829,8 @@ def build_parser() -> argparse.ArgumentParser:
             "'scenario list|show|validate|run|submit' for declarative "
             "scenario specs, or a service verb: serve, agent, submit "
             "<experiment>, status <job-id>, result <job-id>, "
-            "campaign status <campaign-id>, cache stats|prune"
+            "watch <job-or-campaign-id>, campaign status <campaign-id>, "
+            "cache stats|prune"
         ),
     )
     parser.add_argument(

@@ -41,6 +41,7 @@ from repro.failures.burst import BurstModel
 from repro.failures.generator import Failure
 from repro.failures.injector import FailureInjector
 from repro.failures.severity import SeverityModel
+from repro.obs import live
 from repro.obs.counters import counter_value, global_bus
 from repro.obs.events import (
     JobArrived,
@@ -611,6 +612,10 @@ def run_datacenter(
     if sinks:
         for sink in sinks:
             sink.attach(simulator.sim.bus)
+    # Thread-locally activated live sinks (the telemetry feed of a
+    # watched service job); a no-op when nothing is activated, so
+    # unwatched trials keep the unobserved fast path.
+    live.attach_current(simulator.sim.bus)
     started = TrialStarted(
         time=0.0, scope="datacenter", trial=pattern.index
     )

@@ -19,6 +19,7 @@ from repro.core.execution import ExecutionStats, ResilientExecution
 from repro.failures.burst import BurstModel
 from repro.failures.generator import AppFailureGenerator, InterarrivalModel
 from repro.failures.severity import SeverityModel
+from repro.obs import live
 from repro.obs.counters import counter_value, global_bus
 from repro.obs.events import TrialFinished, TrialStarted
 from repro.obs.sinks import Sink
@@ -198,6 +199,10 @@ def simulate_application(
     if sinks:
         for sink in sinks:
             sink.attach(sim.bus)
+    # Thread-locally activated live sinks (the telemetry feed of a
+    # watched service job); a no-op when nothing is activated, so
+    # unwatched trials keep the unobserved fast path.
+    live.attach_current(sim.bus)
     started = TrialStarted(
         time=0.0,
         scope="single_app",

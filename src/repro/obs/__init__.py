@@ -40,11 +40,13 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import (
     JsonlExportSink,
+    LiveEventSink,
     MetricsSink,
     RecordingSink,
     Sink,
     TimelineSink,
     TraceSink,
+    event_record,
     event_to_jsonl,
 )
 
@@ -64,6 +66,7 @@ __all__ = [
     "JobDropped",
     "JobMapped",
     "JsonlExportSink",
+    "LiveEventSink",
     "MetricsSink",
     "RecordingSink",
     "RecoveryCompleted",
@@ -76,6 +79,7 @@ __all__ = [
     "TrialFinished",
     "TrialStarted",
     "counter_value",
+    "event_record",
     "event_to_jsonl",
     "global_bus",
 ]

@@ -1,0 +1,65 @@
+"""Thread-local live-sink activation for in-flight simulations.
+
+The telemetry subsystem (:mod:`repro.telemetry`) needs the domain
+events of a *running* job — failure injections, checkpoints, restarts
+— while the simulation is still in flight.  Those events exist only on
+each simulation's own :class:`repro.obs.bus.EventBus`, and attaching
+any handler to a bus flips its ``observed`` flag, which makes the
+execution engine fall back from the failure-horizon fast path to the
+stepped path (byte-identical, just slower).  Blanket instrumentation
+would therefore tax every simulation in the process.
+
+This module threads the needle: a worker activates live sinks *for the
+current thread only* around one job's execution, and the simulation
+entry points (:func:`repro.core.single_app.simulate_application`,
+:func:`repro.core.datacenter.run_datacenter`) attach whatever
+:func:`current_sinks` returns to each new simulation bus.  When
+nothing is activated — the overwhelmingly common case — the lookup is
+one thread-local attribute read and the bus stays unobserved, so
+unwatched trials keep the fast path.
+
+Activation is thread-local by design: the service's executor threads
+run one job each, so activating around :meth:`repro.service.jobs
+.JobSpec.execute` scopes the sinks to exactly that job's trials.
+(Forked ``jobs>1`` worker processes do not inherit the activation;
+live simulation events stream only for ``jobs=1`` runs, which is the
+service default — lifecycle events are unaffected.)
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+_TLS = threading.local()
+
+
+def current_sinks() -> Tuple:
+    """The sinks activated for the calling thread (usually empty)."""
+    return getattr(_TLS, "sinks", ())
+
+
+@contextmanager
+def activated(*sinks) -> Iterator[None]:
+    """Attach *sinks* to every simulation this thread starts while the
+    context is open.  ``None`` entries are ignored; nesting stacks."""
+    previous = current_sinks()
+    _TLS.sinks = previous + tuple(s for s in sinks if s is not None)
+    try:
+        yield
+    finally:
+        _TLS.sinks = previous
+
+
+def attach_current(bus) -> None:
+    """Attach the calling thread's activated sinks (if any) to *bus*.
+
+    Called by the simulation entry points on each fresh bus; a no-op
+    (one thread-local read) when nothing is activated, so it never
+    flips ``bus.observed`` for unwatched simulations.
+    """
+    sinks = current_sinks()
+    if sinks:
+        for sink in sinks:
+            sink.attach(bus)

@@ -203,6 +203,54 @@ def event_to_jsonl(event: DomainEvent) -> str:
     )
 
 
+def event_record(event: DomainEvent) -> Dict[str, Any]:
+    """A JSON-safe plain-data record of *event* (the :meth:`DomainEvent
+    .to_record` form with the few non-JSON field types normalised) —
+    what the telemetry feed ships over the wire."""
+    record = event.to_record()
+    return {
+        key: (
+            value
+            if value is None or isinstance(value, (bool, int, float, str))
+            else _json_default(value)
+        )
+        for key, value in record.items()
+    }
+
+
+class LiveEventSink(Sink):
+    """Feeds every domain event of a running simulation to a callable.
+
+    The telemetry layer activates one of these around a watched job's
+    execution (:mod:`repro.obs.live`): *emit* receives ``(kind,
+    record)`` where ``kind`` is the event class name prefixed with
+    ``sim.`` and ``record`` is the JSON-safe :func:`event_record` form.
+    *emit* must never raise and never block — the hub's ring append
+    and the agent-side forwarder's bounded ``offer`` both satisfy that
+    — because it runs inline on the simulation thread.
+
+    *skip* names event classes to drop before serialisation.  The
+    telemetry layer uses it to keep per-segment ``ActivitySpan`` and
+    per-interval ``CheckpointTaken`` chatter (tens of thousands of
+    events per trial) out of the live feed while still shipping every
+    lifecycle, failure, restart, and recovery event.
+    """
+
+    def __init__(self, emit: Any, skip: Tuple[str, ...] = ()) -> None:
+        self.emit = emit
+        self.skip = frozenset(skip)
+
+    def attach(self, bus: EventBus) -> None:
+        """Forward every event published on *bus* to ``emit``."""
+        bus.subscribe_all(self._on_event)
+
+    def _on_event(self, event: DomainEvent) -> None:
+        name = type(event).__name__
+        if name in self.skip:
+            return
+        self.emit(f"sim.{name}", event_record(event))
+
+
 class JsonlExportSink(Sink):
     """Serialises every domain event as one JSON line.
 

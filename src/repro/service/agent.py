@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
+from repro.obs import live
 from repro.service.jobs import JobSpec, ValidationError
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.store import JobRecord, JobState, JobStore
@@ -166,6 +167,8 @@ class RemoteJobSource(JobSource):
     def __init__(self, client: Any, site: str) -> None:
         self.client = client
         self.site = site
+        self._watched: set = set()
+        self._watched_lock = threading.Lock()
 
     def register(self, meta: Dict[str, Any]) -> None:
         """Register (or re-register) this agent's site."""
@@ -181,7 +184,23 @@ class RemoteJobSource(JobSource):
         )
         if response.get("draining"):
             raise DrainRequested(self.site)
+        # The control plane annotates each claim with the subset of
+        # claimed job ids that SSE consumers are watching, so the
+        # agent knows whose simulation events to forward back.
+        watched = response.get("watched") or ()
+        if watched:
+            with self._watched_lock:
+                self._watched.update(watched)
         return [JobRecord.from_payload(j) for j in response.get("jobs", ())]
+
+    def is_watched(self, job_id: str) -> bool:
+        """Whether the claim response flagged *job_id* as watched."""
+        with self._watched_lock:
+            return job_id in self._watched
+
+    def _forget_watch(self, job_id: str) -> None:
+        with self._watched_lock:
+            self._watched.discard(job_id)
 
     def renew_many(
         self, worker: str, job_ids: List[str], lease_s: float
@@ -202,12 +221,14 @@ class RemoteJobSource(JobSource):
         self, worker: str, job_id: str, result: str
     ) -> Tuple[bool, str]:
         """Push a success; idempotent server-side."""
+        self._forget_watch(job_id)
         return self._push(
             worker, {"id": job_id, "ok": True, "result": result}
         )
 
     def fail(self, worker: str, job_id: str, error: str) -> Tuple[bool, str]:
         """Push a failure; idempotent server-side."""
+        self._forget_watch(job_id)
         return self._push(worker, {"id": job_id, "ok": False, "error": error})
 
     def release(self, worker: str, job_id: str) -> bool:
@@ -284,6 +305,7 @@ class WorkerAgent:
         metrics: Optional[ExecutorMetrics] = None,
         cache: Optional[ResultCache] = None,
         identity: Optional[str] = None,
+        telemetry: Optional[Any] = None,
         on_idle: Optional[Callable[[], None]] = None,
         on_tick: Optional[Callable[[], None]] = None,
     ) -> None:
@@ -305,6 +327,11 @@ class WorkerAgent:
         self.identity = identity or (
             f"{source.site or 'local'}-{uuid.uuid4().hex[:8]}"
         )
+        #: Optional live-event surface (``job_sink``/``flush`` duck
+        #: type): :class:`repro.telemetry.hub.TelemetryHub` in-process,
+        #: :class:`repro.telemetry.forwarder.ForwardingTelemetry` on a
+        #: remote agent.  None keeps the engine telemetry-free.
+        self.telemetry = telemetry
         self.on_idle = on_idle
         self.on_tick = on_tick
         self._handoff: "queue.Queue[JobRecord]" = queue.Queue(
@@ -379,6 +406,8 @@ class WorkerAgent:
         # The puller may have claimed one last batch after the first
         # sweep; sweep again now that every thread is gone.
         self._release_handoff()
+        if self.telemetry is not None:
+            self.telemetry.flush()
         self._threads = []
 
     def run_forever(self, install_signal_handlers: bool = True) -> None:
@@ -437,6 +466,8 @@ class WorkerAgent:
         while not self._stop.is_set():
             if self.on_tick is not None:
                 self.on_tick()
+            if self.telemetry is not None:
+                self.telemetry.flush()
             claimed: List[JobRecord] = []
             if not self.draining:
                 free = self._handoff.maxsize - self._handoff.qsize()
@@ -499,7 +530,19 @@ class WorkerAgent:
         try:
             spec = JobSpec.from_payload(record.spec)
             cache_dir = self.cache.directory if self.cache is not None else None
-            outcome = spec.execute(metrics=self.metrics, cache_dir=cache_dir)
+            # Watched jobs get a live simulation-event sink activated
+            # thread-locally around execute(); job_sink returns None
+            # for unwatched jobs (and activated() filters the None),
+            # so their trials keep the unobserved fast path.
+            sink = (
+                self.telemetry.job_sink(record.id)
+                if self.telemetry is not None
+                else None
+            )
+            with live.activated(sink):
+                outcome = spec.execute(
+                    metrics=self.metrics, cache_dir=cache_dir
+                )
         except ValidationError as exc:
             self._push_failure(record.id, f"invalid job spec: {exc}")
         except Exception:
@@ -556,6 +599,8 @@ class WorkerAgent:
         try:
             if ids:
                 self.source.renew_many(self.identity, ids, self.lease_s)
+            if self.telemetry is not None:
+                self.telemetry.flush()
             if not final and self.source.heartbeat():
                 self.drain()
         except Exception as exc:

@@ -24,9 +24,29 @@ Routes (all JSON unless noted):
   while the job is still active or was cancelled, 500 when it failed.
 - ``DELETE /v1/jobs/{id}`` — cancel.
 - ``GET /v1/metrics`` — service counters (queue depth, job counts,
-  cache hit rate, per-site fleet health, :mod:`repro.obs` counter
-  snapshot).
+  cache hit rate, per-site fleet health, telemetry ring occupancy,
+  :mod:`repro.obs` counter snapshot).
 - ``GET /v1/healthz`` — liveness.
+
+Streaming routes (``text/event-stream`` over chunked HTTP/1.1):
+
+- ``GET /`` — the dependency-free HTML/JS fleet status dashboard.
+- ``GET /v1/events`` — the global live event feed (job lifecycle,
+  forwarded agent events, watched jobs' simulation events, campaign
+  progress).  ``Last-Event-ID`` (header or ``?last_event_id=``)
+  resumes from the telemetry ring; resuming past an eviction gap
+  yields a ``gap`` marker event, idle streams carry heartbeat
+  comments.
+- ``GET /v1/jobs/{id}/events`` — one job's stream: a ``snapshot``
+  event with the current record, then that job's events as they
+  happen, an ``end`` event after the terminal transition.  Opening
+  the stream registers a *watch*, which turns on live
+  simulation-event streaming for that job (locally and, via the
+  claim response, on remote agents).
+- ``GET /v1/metrics/stream`` — a ``metrics`` event with the
+  ``/v1/metrics`` payload on an interval (what the dashboard polls).
+- ``POST /v1/sites/{name}/events`` — forwarded agent event batches
+  (the remote half of simulation-event streaming).
 
 Fleet routes (what remote ``repro agent`` processes drive):
 
@@ -56,12 +76,17 @@ from urllib.parse import parse_qs, urlparse
 from repro.campaigns.controller import UnknownCampaign
 from repro.service.jobs import ValidationError
 from repro.service.store import JobState, QueueFull, UnknownJob, UnknownSite
+from repro.telemetry import TERMINAL_KINDS
 
 #: Largest request body accepted (a job spec is a few hundred bytes).
 MAX_BODY_BYTES = 64 * 1024
 
 #: Batch completion bodies carry rendered results; give them room.
 MAX_COMPLETE_BODY_BYTES = 8 * 1024 * 1024
+
+#: A sentinel sequence far beyond any real one: ``wait_for`` against
+#: it is an interruptible sleep that wakes on ring close (shutdown).
+_NEVER_SEQ = 2**62
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -121,11 +146,27 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         service = self.server.service
+        if not parts:
+            self._send_dashboard()
+            return
         if parts == ["v1", "healthz"]:
             self._send_json(200, service.health_payload())
             return
         if parts == ["v1", "metrics"]:
             self._send_json(200, service.metrics_payload())
+            return
+        if parts == ["v1", "metrics", "stream"]:
+            self._stream_metrics()
+            return
+        if parts == ["v1", "events"]:
+            self._stream_global_events(url)
+            return
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "events"
+        ):
+            self._stream_job_events(parts[2], url)
             return
         if parts == ["v1", "sites"]:
             self._send_json(200, service.sites_payload())
@@ -183,6 +224,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             handler, status = service.renew_jobs, 200
         elif parts == ["v1", "jobs", "release"]:
             handler, status = service.release_jobs, 200
+        elif (
+            len(parts) == 4
+            and parts[:2] == ["v1", "sites"]
+            and parts[3] == "events"
+        ):
+            site_name = parts[2]
+            handler, status = (
+                lambda payload: service.ingest_site_events(  # noqa: E731
+                    site_name, payload
+                ),
+                200,
+            )
         elif (
             len(parts) == 4
             and parts[:2] == ["v1", "sites"]
@@ -281,6 +334,210 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "state": record.state,
             },
         )
+
+    # -- dashboard -----------------------------------------------------
+
+    def _send_dashboard(self) -> None:
+        """``GET /``: the dependency-free HTML/JS status page."""
+        from repro.telemetry.dashboard import DASHBOARD_HTML
+
+        self._send_bytes(
+            200, DASHBOARD_HTML.encode("utf-8"), "text/html; charset=utf-8"
+        )
+
+    # -- SSE streaming -------------------------------------------------
+    #
+    # Streams run on the request's own daemon thread and never block
+    # the workers: they only read the telemetry ring (appends there
+    # never wait for consumers).  Shutdown closes the ring, which
+    # wakes every blocked stream so it winds down before the listener
+    # goes away; a disconnected client surfaces as a broken pipe on
+    # the next write and just ends the stream.
+
+    def _last_event_id(self, url: Any) -> Optional[int]:
+        """The resume position: the ``Last-Event-ID`` header (what
+        ``EventSource`` reconnects send) or a ``?last_event_id=``
+        query parameter; None to start at the live edge."""
+        raw = self.headers.get("Last-Event-ID")
+        if raw is None:
+            raw = parse_qs(url.query).get("last_event_id", [None])[0]
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ValidationError(
+                f"Last-Event-ID must be a non-negative integer, got {raw!r}"
+            )
+        return value
+
+    def _sse_begin(self) -> None:
+        """Open a chunked ``text/event-stream`` response.  The
+        ``Connection: close`` header also tells the base handler not
+        to expect another request on this socket."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+    def _sse_chunk(self, data: bytes) -> None:
+        self.wfile.write(b"%X\r\n" % len(data) + data + b"\r\n")
+        self.wfile.flush()
+
+    def _sse_end(self) -> None:
+        """The terminating zero-length chunk of a finished stream."""
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def _sse_event(
+        self,
+        event: str,
+        payload: Dict[str, Any],
+        event_id: Optional[int] = None,
+    ) -> None:
+        """One SSE frame; *event_id* feeds the client's
+        ``Last-Event-ID`` resume cursor (synthetic frames like
+        ``snapshot`` and ``gap`` carry none, so they never become a
+        resume position)."""
+        lines = []
+        if event_id is not None:
+            lines.append(f"id: {event_id}")
+        lines.append(f"event: {event}")
+        lines.append("data: " + json.dumps(payload, sort_keys=True))
+        self._sse_chunk(("\n".join(lines) + "\n\n").encode("utf-8"))
+
+    def _sse_comment(self, text: str) -> None:
+        """A comment frame (the idle-stream heartbeat)."""
+        self._sse_chunk(f": {text}\n\n".encode("utf-8"))
+
+    def _stream_global_events(self, url: Any) -> None:
+        """``GET /v1/events``: follow the whole telemetry ring."""
+        service = self.server.service
+        ring = service.hub.ring
+        try:
+            resume = self._last_event_id(url)
+        except ValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        last_seq = resume if resume is not None else ring.last_seq
+        heartbeat_s = service.config.sse_heartbeat_s
+        try:
+            self._sse_begin()
+            while True:
+                events, missed = ring.read_since(last_seq)
+                if missed:
+                    self._sse_event(
+                        "gap", {"missed": missed, "after_seq": last_seq}
+                    )
+                    last_seq += missed
+                for event in events:
+                    last_seq = event.seq
+                    self._sse_event(
+                        "event", event.to_payload(), event_id=event.seq
+                    )
+                if not ring.wait_for(last_seq, heartbeat_s):
+                    if ring.closed:
+                        break
+                    self._sse_comment("heartbeat")
+            self._sse_end()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream_job_events(self, job_id: str, url: Any) -> None:
+        """``GET /v1/jobs/{id}/events``: one job's slice of the feed.
+
+        Opens with a ``snapshot`` of the current record, then follows
+        the ring filtered to this job, and closes with an ``end``
+        frame once the job's terminal transition has streamed.  The
+        open stream registers a refcounted *watch*, so the job's
+        in-flight simulation events are streamed too — a watch must
+        exist when the job starts executing for those to appear
+        (lifecycle events always stream).
+        """
+        service = self.server.service
+        hub = service.hub
+        ring = hub.ring
+        try:
+            resume = self._last_event_id(url)
+        except ValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            record = service.store.get(job_id)
+        except UnknownJob:
+            self._send_json(404, {"error": f"no job {job_id!r}"})
+            return
+        last_seq = resume if resume is not None else ring.last_seq
+        heartbeat_s = service.config.sse_heartbeat_s
+        hub.watch(job_id)
+        try:
+            self._sse_begin()
+            self._sse_event("snapshot", record.to_payload())
+            if resume is None and record.state in JobState.TERMINAL:
+                self._sse_event("end", {"state": record.state})
+                self._sse_end()
+                return
+            while True:
+                events, missed = ring.read_since(last_seq)
+                if missed:
+                    self._sse_event(
+                        "gap", {"missed": missed, "after_seq": last_seq}
+                    )
+                    last_seq += missed
+                for event in events:
+                    last_seq = event.seq
+                    if event.job_id != job_id:
+                        continue
+                    self._sse_event(
+                        "event", event.to_payload(), event_id=event.seq
+                    )
+                    if event.kind in TERMINAL_KINDS:
+                        self._sse_event(
+                            "end", {"kind": event.kind, "seq": event.seq}
+                        )
+                        self._sse_end()
+                        return
+                if not ring.wait_for(last_seq, heartbeat_s):
+                    if ring.closed:
+                        self._sse_end()
+                        return
+                    # Idle: heartbeat, and re-check the record in case
+                    # the terminal event was evicted before we read it
+                    # (possible only after a gap).
+                    try:
+                        state = service.store.get(job_id).state
+                    except UnknownJob:  # pragma: no cover - jobs persist
+                        state = "unknown"
+                    if state in JobState.TERMINAL:
+                        self._sse_event("end", {"state": state})
+                        self._sse_end()
+                        return
+                    self._sse_comment("heartbeat")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            hub.unwatch(job_id)
+
+    def _stream_metrics(self) -> None:
+        """``GET /v1/metrics/stream``: periodic ``metrics`` frames
+        with the ``/v1/metrics`` payload (the dashboard's feed)."""
+        service = self.server.service
+        ring = service.hub.ring
+        interval = service.config.metrics_stream_interval_s
+        try:
+            self._sse_begin()
+            while True:
+                self._sse_event("metrics", service.metrics_payload())
+                ring.wait_for(_NEVER_SEQ, interval)
+                if ring.closed:
+                    break
+            self._sse_end()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
 
 
 def make_server(

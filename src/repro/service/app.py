@@ -46,6 +46,7 @@ from repro.service.store import (
     create_store,
 )
 from repro.service.worker import WorkerPool
+from repro.telemetry import TelemetryHub, TelemetryStore
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,13 @@ class ServiceConfig:
     poll_interval_s: float = 0.05
     #: Log HTTP requests to stderr.
     log_requests: bool = False
+    #: Capacity of the live telemetry ring (events retained for SSE
+    #: resume; older ones are evicted and counted as dropped).
+    telemetry_ring: int = 2048
+    #: Idle seconds between SSE heartbeat comments on event streams.
+    sse_heartbeat_s: float = 15.0
+    #: Seconds between ``GET /v1/metrics/stream`` snapshots.
+    metrics_stream_interval_s: float = 2.0
 
 
 class ReproService:
@@ -87,10 +95,17 @@ class ReproService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.metrics = ExecutorMetrics()
-        self.store = create_store(
-            self.config.store_url or self.config.db_path,
-            queue_limit=self.config.queue_limit,
-            max_attempts=self.config.max_attempts,
+        self.hub = TelemetryHub(capacity=self.config.telemetry_ring)
+        # The telemetry decorator wraps the store *before* anything
+        # else sees it, so both the in-process pool and the fleet API
+        # narrate every lifecycle transition into the one ring.
+        self.store = TelemetryStore(
+            create_store(
+                self.config.store_url or self.config.db_path,
+                queue_limit=self.config.queue_limit,
+                max_attempts=self.config.max_attempts,
+            ),
+            self.hub,
         )
         self.cache = ResultCache(directory=self.config.cache_dir, enabled=True)
         prune_max_bytes = (
@@ -107,6 +122,7 @@ class ReproService:
             cache=self.cache,
             prune_max_bytes=prune_max_bytes,
             prune_interval_s=self.config.cache_prune_interval_s,
+            telemetry=self.hub,
         )
         self.campaigns = CampaignRegistry()
         self._server: Optional[service_api.ServiceHTTPServer] = None
@@ -154,6 +170,10 @@ class ReproService:
         self._controller_stop.set()
         if self._controller_thread is not None:
             self._controller_thread.join(timeout=timeout)
+        # Close the telemetry ring first: every blocked SSE stream
+        # wakes, winds down, and releases its connection before the
+        # listener goes away.
+        self.hub.close()
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -381,6 +401,15 @@ class ReproService:
             )
         )
         obs_counters.increment("service.campaigns_accepted")
+        self.hub.publish(
+            "campaign.submitted",
+            campaign_id=campaign_id,
+            data={
+                "scenario": campaign.spec.scenario.name,
+                "adaptive": False,
+                "units": len(units),
+            },
+        )
         return {
             "id": campaign_id,
             "scenario": campaign.spec.scenario.name,
@@ -446,6 +475,15 @@ class ReproService:
         self.campaigns.add(campaign)
         obs_counters.increment("service.campaigns_accepted")
         obs_counters.increment("service.campaigns_adaptive")
+        self.hub.publish(
+            "campaign.submitted",
+            campaign_id=campaign_id,
+            data={
+                "scenario": spec.scenario.name,
+                "adaptive": True,
+                "cells": len(campaign.cells),
+            },
+        )
         return {
             "id": campaign_id,
             "scenario": spec.scenario.name,
@@ -492,7 +530,9 @@ class ReproService:
             if not self.campaigns.pending():
                 continue
             try:
-                self.campaigns.step_all(self.store, submit)
+                self.campaigns.step_all(
+                    self.store, submit, notify=self.hub.campaign_notify
+                )
             except Exception as exc:  # pragma: no cover - defensive
                 print(f"[campaigns] controller tick failed: {exc}", file=sys.stderr)
 
@@ -555,8 +595,30 @@ class ReproService:
             obs_counters.increment("service.jobs_claimed_remote", len(batch))
         return {
             "jobs": [record.to_payload() for record in batch],
+            # The subset of this batch that SSE consumers are watching:
+            # the agent forwards live simulation events for exactly
+            # these (everything else keeps the unobserved fast path).
+            "watched": [
+                record.id
+                for record in batch
+                if self.hub.is_watched(record.id)
+            ],
             "draining": False,
         }
+
+    def ingest_site_events(self, name: str, payload: Any) -> Dict[str, Any]:
+        """``POST /v1/sites/{name}/events``: accept a batch of events
+        forwarded by a remote agent into the telemetry ring.
+
+        The push doubles as a site heartbeat (an agent shipping events
+        is alive); an unknown site is a 404, a malformed batch a 400.
+        """
+        events = protocol.parse_site_events(payload)
+        self.store.heartbeat_site(name)
+        accepted = self.hub.ingest(name, events)
+        if accepted:
+            obs_counters.increment("service.events_ingested", accepted)
+        return {"accepted": accepted}
 
     def complete_jobs(self, payload: Any) -> Dict[str, Any]:
         """``POST /v1/jobs/complete``: push a batch of job outcomes.
@@ -659,6 +721,8 @@ class ReproService:
                 "wall_s": self.metrics.wall_s,
             },
             "sites": self._sites_metrics(),
+            "campaigns": self.campaigns.summary(),
+            "telemetry": self.hub.stats(),
             "counters": counters,
             "uptime_s": uptime,
         }

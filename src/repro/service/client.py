@@ -33,7 +33,7 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
 class ServiceError(RuntimeError):
@@ -293,6 +293,99 @@ class ServiceClient:
         """``DELETE /v1/jobs/{id}``."""
         return self._json("DELETE", f"/v1/jobs/{job_id}")
 
+    def iter_events(
+        self,
+        job_id: Optional[str] = None,
+        last_event_id: Optional[int] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow the live SSE event feed as parsed frames.
+
+        With *job_id*, streams ``GET /v1/jobs/{id}/events`` — a
+        ``snapshot`` frame, then that job's events, then an ``end``
+        frame, after which the generator returns.  Without it, streams
+        the global ``GET /v1/events`` feed indefinitely.
+
+        Yields ``{"event": name, "data": payload, "id": seq_or_None}``
+        dicts.  Disconnects reconnect under the client's
+        :class:`RetryPolicy`, resuming from the last delivered
+        sequence number (the server answers a resume past an eviction
+        with a ``gap`` frame, so consumers see losses rather than
+        silence); the retry budget resets whenever a frame arrives.
+        *last_event_id* starts the first connection at a known
+        position instead of the live edge.
+        """
+        path = (
+            f"/v1/jobs/{job_id}/events"
+            if job_id is not None
+            else "/v1/events"
+        )
+        policy = self.retry
+        attempt = 0
+        cursor = last_event_id
+        while True:
+            headers = {"Accept": "text/event-stream"}
+            if cursor is not None:
+                headers["Last-Event-ID"] = str(cursor)
+            request = urllib.request.Request(
+                self.base_url + path, headers=headers
+            )
+            response = None
+            try:
+                response = urllib.request.urlopen(
+                    request, timeout=self.timeout
+                )
+                event_name, event_id, data_lines = "message", None, []
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\r\n")
+                    if not line:
+                        if data_lines:
+                            frame = {
+                                "event": event_name,
+                                "data": json.loads("\n".join(data_lines)),
+                                "id": event_id,
+                            }
+                            if event_id is not None:
+                                cursor = event_id
+                            attempt = 0
+                            yield frame
+                            if event_name == "end":
+                                return
+                        event_name, event_id, data_lines = "message", None, []
+                    elif line.startswith(":"):
+                        attempt = 0  # heartbeats prove liveness too
+                    elif line.startswith("id:"):
+                        try:
+                            event_id = int(line[3:].strip())
+                        except ValueError:
+                            event_id = None
+                    elif line.startswith("event:"):
+                        event_name = line[6:].strip()
+                    elif line.startswith("data:"):
+                        data_lines.append(line[5:].strip())
+                # Clean EOF (server wound the stream down): fall
+                # through to reconnect-with-resume.
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    message = json.loads(raw).get(
+                        "error", raw.decode("utf-8")
+                    )
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = raw.decode("utf-8", "replace")
+                if exc.code != 429:
+                    raise ServiceError(exc.code, message) from exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
+                pass
+            finally:
+                if response is not None:
+                    response.close()
+            if attempt >= policy.attempts - 1:
+                raise ServiceError(
+                    0, f"event stream to {self.base_url} lost"
+                )
+            self._sleep(policy.delay(attempt, self._rng))
+            attempt += 1
+
     def wait(
         self,
         job_id: str,
@@ -396,6 +489,18 @@ class ServiceClient:
         payload = {"worker": worker, "ids": ids}
         return self._json(
             "POST", "/v1/jobs/release", payload, idempotent=True
+        )
+
+    def post_site_events(
+        self, site: str, events: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """``POST /v1/sites/{name}/events``: forward a batch of live
+        telemetry events.  Deliberately *not* retried on connection
+        errors — the feed is best-effort, and a dropped batch beats a
+        duplicated one (the forwarder counts the loss)."""
+        payload = {"events": events}
+        return self._json(
+            "POST", f"/v1/sites/{site}/events", payload, idempotent=False
         )
 
 

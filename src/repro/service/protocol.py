@@ -32,6 +32,13 @@ MAX_CLAIM_LIMIT = 64
 #: Longest lease a remote agent may request, in seconds.
 MAX_LEASE_S = 3600.0
 
+#: Largest forwarded-event batch one ``POST /v1/sites/{name}/events``
+#: may carry (the agent-side forwarder flushes in batches of 256).
+MAX_EVENT_BATCH = 512
+
+#: Event kinds look like ``job.done`` / ``sim.FailureInjected``.
+_KIND_RE = re.compile(r"^[a-z]+\.[A-Za-z0-9_.]{1,64}$")
+
 
 def _require_str(payload: Dict[str, Any], field_name: str) -> str:
     value = payload.pop(field_name, None)
@@ -260,6 +267,60 @@ def parse_release_request(payload: Any) -> Tuple[str, List[str]]:
         )
     _check_no_extras(data, "release request")
     return worker, list(ids)
+
+
+def parse_site_events(payload: Any) -> List[Dict[str, Any]]:
+    """Strictly parse a ``POST /v1/sites/{name}/events`` body: a
+    bounded ``events`` list of ``{kind, job_id?, data?}`` objects
+    forwarded by an agent's :class:`repro.telemetry.forwarder
+    .EventForwarder`; returns the normalized entries."""
+    if not isinstance(payload, dict):
+        raise ValidationError("event batch must be a JSON object")
+    data = dict(payload)
+    events = data.pop("events", None)
+    if not isinstance(events, list) or not events:
+        raise ValidationError(
+            "field 'events' must be a non-empty list of event objects"
+        )
+    if len(events) > MAX_EVENT_BATCH:
+        raise ValidationError(
+            f"field 'events' may carry at most {MAX_EVENT_BATCH} entries, "
+            f"got {len(events)}"
+        )
+    _check_no_extras(data, "event batch")
+    parsed: List[Dict[str, Any]] = []
+    for index, entry in enumerate(events):
+        if not isinstance(entry, dict):
+            raise ValidationError(
+                f"events[{index}] must be an object, got {entry!r}"
+            )
+        entry = dict(entry)
+        kind = entry.pop("kind", None)
+        if not isinstance(kind, str) or not _KIND_RE.match(kind):
+            raise ValidationError(
+                f"events[{index}].kind must match {_KIND_RE.pattern}, "
+                f"got {kind!r}"
+            )
+        job_id = entry.pop("job_id", None)
+        if job_id is not None and (
+            not isinstance(job_id, str) or not job_id
+        ):
+            raise ValidationError(
+                f"events[{index}].job_id must be a non-empty string"
+            )
+        event_data = entry.pop("data", None)
+        if event_data is not None and not isinstance(event_data, dict):
+            raise ValidationError(
+                f"events[{index}].data must be an object, got {event_data!r}"
+            )
+        _check_no_extras(entry, f"events[{index}]")
+        item: Dict[str, Any] = {"kind": kind}
+        if job_id is not None:
+            item["job_id"] = job_id
+        if event_data:
+            item["data"] = event_data
+        parsed.append(item)
+    return parsed
 
 
 def parse_job_id(value: Any) -> Optional[str]:

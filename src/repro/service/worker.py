@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.experiments.parallel import ExecutorMetrics, ResultCache
 from repro.obs import counters as obs_counters
@@ -46,6 +46,7 @@ class WorkerPool(WorkerAgent):
         cache: Optional[ResultCache] = None,
         prune_max_bytes: Optional[int] = None,
         prune_interval_s: float = 300.0,
+        telemetry: Optional[Any] = None,
         on_idle: Optional[Callable[[], None]] = None,
     ) -> None:
         self.store = store
@@ -62,6 +63,7 @@ class WorkerPool(WorkerAgent):
             metrics=metrics,
             cache=cache,
             identity=f"local-{uuid.uuid4().hex[:8]}",
+            telemetry=telemetry,
             on_idle=on_idle,
             on_tick=self._maybe_prune,
         )

@@ -1,0 +1,185 @@
+"""A job-store decorator that narrates the job lifecycle.
+
+:class:`TelemetryStore` wraps any :class:`repro.service.store
+.JobStore` and publishes one telemetry event per state transition —
+``job.submitted``, ``job.claimed``, ``job.done``, ``job.failed``,
+``job.retrying`` (a failed attempt that was requeued),
+``job.released``, ``job.cancelled``, ``job.cancel_requested``,
+``site.registered``, ``site.draining`` — to a
+:class:`repro.telemetry.hub.TelemetryHub`.
+
+Wrapping the store is the one choke point both execution paths share:
+the in-process worker pool calls the store directly and remote agents
+reach it through the fleet API, so a single decorator makes every
+job's lifecycle observable regardless of where it runs.  Events are
+published *after* the underlying transition commits, so a stream
+consumer that reacts to ``job.done`` always sees the terminal record
+(and its result) on a follow-up GET.
+
+Everything not overridden delegates verbatim; the wrapper adds no
+locking of its own (the hub's ring is thread-safe and the delegate
+already serialises its transitions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.hub import TelemetryHub
+
+# Importing repro.service.store at module level would execute the
+# repro.service package __init__ (which imports app, which imports
+# this package) — so the store types stay TYPE_CHECKING-only and the
+# state/policy strings are inlined (the store stores them verbatim;
+# tests pin the wrapper against the real constants).
+if TYPE_CHECKING:
+    from repro.service.store import JobRecord, SiteRecord
+
+#: Mirrors :class:`repro.service.store.JobState` / ``DepPolicy``.
+_CANCELLED = "cancelled"
+_QUEUED = "queued"
+_TERMINAL = ("done", "failed", "cancelled")
+_CASCADE = "cascade"
+
+
+def _error_line(error: str, limit: int = 200) -> str:
+    """The first line of an error blob, bounded for the event feed."""
+    line = (error or "").strip().splitlines()
+    return line[0][:limit] if line else ""
+
+
+class TelemetryStore:
+    """See module docstring.  Not a :class:`JobStore` subclass on
+    purpose: ``__getattr__`` delegation keeps it transparently in sync
+    with the delegate's full surface (attributes included)."""
+
+    def __init__(self, store: Any, hub: TelemetryHub) -> None:
+        self._store = store
+        self._hub = hub
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        job_id: Optional[str] = None,
+        depends_on: Optional[Sequence[str]] = None,
+        dep_policy: str = _CASCADE,
+    ) -> str:
+        """Delegate, then publish ``job.submitted``."""
+        new_id = self._store.submit(
+            spec, job_id=job_id, depends_on=depends_on, dep_policy=dep_policy
+        )
+        try:
+            state = self._store.get(new_id).state
+        except KeyError:  # pragma: no cover - just submitted
+            state = _QUEUED
+        self._hub.publish(
+            "job.submitted",
+            job_id=new_id,
+            data={"state": state, "experiment": spec.get("experiment")},
+        )
+        return new_id
+
+    # -- claiming and completion ---------------------------------------
+
+    def claim_batch(
+        self,
+        worker: str,
+        lease_s: float,
+        limit: int,
+        site: Optional[str] = None,
+    ) -> List[JobRecord]:
+        """Delegate, then publish ``job.claimed`` per leased job."""
+        batch = self._store.claim_batch(worker, lease_s, limit, site=site)
+        for record in batch:
+            self._hub.publish(
+                "job.claimed",
+                job_id=record.id,
+                site=site,
+                data={"worker": worker, "attempts": record.attempts},
+            )
+        return batch
+
+    def claim(
+        self, worker: str, lease_s: float, site: Optional[str] = None
+    ) -> Optional[JobRecord]:
+        """Single-job convenience over :meth:`claim_batch`."""
+        batch = self.claim_batch(worker, lease_s, 1, site=site)
+        return batch[0] if batch else None
+
+    def complete(self, job_id: str, worker: str, result: str) -> bool:
+        """Delegate, then publish ``job.done`` (or ``job.cancelled``
+        when a cancellation raced the completion)."""
+        accepted = self._store.complete(job_id, worker, result)
+        if accepted:
+            state = self._final_state(job_id)
+            kind = (
+                "job.cancelled" if state == _CANCELLED else "job.done"
+            )
+            self._hub.publish(kind, job_id=job_id, data={"state": state})
+        return accepted
+
+    def fail(self, job_id: str, worker: str, error: str) -> bool:
+        """Delegate, then publish ``job.failed`` (``job.retrying``
+        for backends that requeue failed attempts)."""
+        accepted = self._store.fail(job_id, worker, error)
+        if accepted:
+            state = self._final_state(job_id)
+            kind = "job.failed" if state in _TERMINAL else "job.retrying"
+            self._hub.publish(
+                kind,
+                job_id=job_id,
+                data={"state": state, "error": _error_line(error)},
+            )
+        return accepted
+
+    def release(self, job_id: str, worker: str) -> bool:
+        """Delegate, then publish ``job.released``."""
+        ok = self._store.release(job_id, worker)
+        if ok:
+            self._hub.publish(
+                "job.released", job_id=job_id, data={"worker": worker}
+            )
+        return ok
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Delegate, then publish ``job.cancelled`` or
+        ``job.cancel_requested`` depending on where the cancel landed."""
+        record = self._store.cancel(job_id)
+        if record.state == _CANCELLED:
+            self._hub.publish(
+                "job.cancelled", job_id=job_id, data={"state": record.state}
+            )
+        elif record.cancel_requested:
+            self._hub.publish(
+                "job.cancel_requested",
+                job_id=job_id,
+                data={"state": record.state},
+            )
+        return record
+
+    def _final_state(self, job_id: str) -> str:
+        try:
+            return self._store.get(job_id).state
+        except KeyError:  # pragma: no cover - just transitioned
+            return "unknown"
+
+    # -- sites ---------------------------------------------------------
+
+    def register_site(
+        self, name: str, meta: Optional[Dict[str, Any]] = None
+    ) -> SiteRecord:
+        """Delegate, then publish ``site.registered``."""
+        record = self._store.register_site(name, meta)
+        self._hub.publish("site.registered", site=name)
+        return record
+
+    def drain_site(self, name: str) -> SiteRecord:
+        """Delegate, then publish ``site.draining``."""
+        record = self._store.drain_site(name)
+        self._hub.publish("site.draining", site=name)
+        return record

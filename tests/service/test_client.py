@@ -24,8 +24,11 @@ class ScriptedHandler(BaseHTTPRequestHandler):
     """Plays the server's scripted response list, one per request.
 
     Script entries: ``("json", status, payload)``, ``("retry_after",
-    seconds)`` (a 429 with the header), or ``("drop",)`` (close the
-    connection abruptly — what a crashed server looks like).
+    seconds)`` (a 429 with the header), ``("drop",)`` (close the
+    connection abruptly — what a crashed server looks like), or
+    ``("sse", text)`` (an event-stream body ending in a clean EOF;
+    the request's ``Last-Event-ID`` header is recorded in
+    ``server.sse_resumes``).
     """
 
     protocol_version = "HTTP/1.1"
@@ -42,6 +45,18 @@ class ScriptedHandler(BaseHTTPRequestHandler):
                 step = self.server.script.pop(0)
         if step[0] == "drop":
             self.connection.close()
+            return
+        if step[0] == "sse":
+            with self.server.lock:
+                self.server.sse_resumes.append(
+                    self.headers.get("Last-Event-ID")
+                )
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(step[1].encode("utf-8"))
+            self.close_connection = True
             return
         if step[0] == "retry_after":
             body = json.dumps({"error": "queue is full"}).encode() + b"\n"
@@ -70,6 +85,7 @@ def scripted_server():
     server.daemon_threads = True
     server.script = []
     server.requests = []
+    server.sse_resumes = []
     server.lock = threading.Lock()
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -201,3 +217,75 @@ class TestBackoffShape:
         # rng=0.0 -> no jitter, capped at 1.0 from attempt 3 on.
         bare = [policy.delay(n, lambda: 0.0) for n in range(4)]
         assert bare == pytest.approx([0.2, 0.4, 0.8, 1.0])
+
+
+def sse(*frames):
+    """Join SSE frames into one scripted response body."""
+    return "".join(frames)
+
+
+def event_frame(seq, kind, **data):
+    payload = json.dumps(dict(data, seq=seq, kind=kind))
+    return f"id: {seq}\nevent: event\ndata: {payload}\n\n"
+
+
+END = 'event: end\ndata: {"kind": "job.done"}\n\n'
+
+
+class TestIterEvents:
+    def test_yields_frames_and_terminates_on_end(self, scripted_server):
+        scripted_server.script = [
+            ("sse", sse(event_frame(1, "job.claimed"),
+                        event_frame(2, "job.done"), END)),
+        ]
+        client, sleeps = make_client(scripted_server)
+        frames = list(client.iter_events(job_id="j1"))
+        assert [f["event"] for f in frames] == ["event", "event", "end"]
+        assert [f["id"] for f in frames] == [1, 2, None]
+        assert frames[0]["data"]["kind"] == "job.claimed"
+        assert sleeps == []  # no reconnects needed
+        assert scripted_server.requests == [("GET", "/v1/jobs/j1/events")]
+
+    def test_reconnects_with_resume_after_clean_eof(self, scripted_server):
+        # First connection delivers two events then ends cleanly; the
+        # client must reconnect and resume from the last event id.
+        scripted_server.script = [
+            ("sse", sse(event_frame(1, "job.claimed"),
+                        event_frame(2, "sim.TrialStarted"))),
+            ("sse", sse(event_frame(3, "job.done"), END)),
+        ]
+        client, sleeps = make_client(scripted_server)
+        frames = list(client.iter_events(job_id="j1", last_event_id=0))
+        assert [f["id"] for f in frames] == [1, 2, 3, None]
+        assert scripted_server.sse_resumes == ["0", "2"]
+        assert len(sleeps) == 1
+
+    def test_frames_reset_the_retry_budget(self, scripted_server):
+        # attempts=2 allows one reconnect per delivered frame; three
+        # single-frame connections only survive because each frame
+        # resets the attempt counter.
+        scripted_server.script = [
+            ("sse", event_frame(1, "job.claimed")),
+            ("sse", event_frame(2, "sim.TrialStarted")),
+            ("sse", sse(event_frame(3, "job.done"), END)),
+        ]
+        client, _ = make_client(scripted_server, attempts=2)
+        frames = list(client.iter_events(job_id="j1"))
+        assert [f["id"] for f in frames] == [1, 2, 3, None]
+
+    def test_http_errors_raise_immediately(self, scripted_server):
+        scripted_server.script = [("json", 404, {"error": "no job 'x'"})]
+        client, _ = make_client(scripted_server)
+        with pytest.raises(ServiceError) as excinfo:
+            next(client.iter_events(job_id="x"))
+        assert excinfo.value.status == 404
+        assert "no job" in excinfo.value.message
+
+    def test_dead_stream_exhausts_and_raises(self, scripted_server):
+        scripted_server.script = [("drop",)] * 5
+        client, sleeps = make_client(scripted_server, attempts=2)
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.iter_events())
+        assert excinfo.value.status == 0
+        assert "event stream" in excinfo.value.message
+        assert len(sleeps) == 1

@@ -1,0 +1,175 @@
+"""TelemetryRing: bounded append, sequencing, gaps, blocking reads."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import TelemetryRing
+
+
+def fill(ring, n, kind="k"):
+    return [ring.append(f"{kind}.{i}") for i in range(n)]
+
+
+class TestAppend:
+    def test_sequence_starts_at_one_and_is_strictly_increasing(self):
+        ring = TelemetryRing(capacity=8)
+        events = fill(ring, 5)
+        assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+        assert ring.last_seq == 5
+
+    def test_empty_ring_stats(self):
+        ring = TelemetryRing(capacity=8)
+        assert ring.last_seq == 0
+        assert ring.dropped == 0
+        assert ring.occupancy() == 0
+        assert ring.read_since(0) == ([], 0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryRing(capacity=0)
+
+    def test_event_fields_and_payload(self):
+        ring = TelemetryRing(capacity=4, clock=lambda: 123.5)
+        event = ring.append(
+            "job.done", job_id="j1", site="s1", data={"state": "done"}
+        )
+        assert event.ts == 123.5
+        payload = event.to_payload()
+        assert payload == {
+            "seq": 1,
+            "ts": 123.5,
+            "kind": "job.done",
+            "data": {"state": "done"},
+            "job_id": "j1",
+            "site": "s1",
+        }
+        # None scopes are omitted from the wire form.
+        bare = ring.append("tick").to_payload()
+        assert set(bare) == {"seq", "ts", "kind", "data"}
+
+    def test_append_copies_data(self):
+        ring = TelemetryRing(capacity=4)
+        data = {"a": 1}
+        event = ring.append("k", data=data)
+        data["a"] = 2
+        assert event.data == {"a": 1}
+
+
+class TestOverflow:
+    def test_eviction_is_oldest_first(self):
+        ring = TelemetryRing(capacity=3)
+        fill(ring, 5)
+        events, _ = ring.read_since(0)
+        assert [e.seq for e in events] == [3, 4, 5]
+        assert [e.kind for e in events] == ["k.2", "k.3", "k.4"]
+
+    def test_dropped_count_is_exact(self):
+        ring = TelemetryRing(capacity=3)
+        fill(ring, 10)
+        assert ring.dropped == 7
+        assert ring.occupancy() == 3
+        assert ring.last_seq == 10
+
+    def test_sequence_numbers_survive_eviction(self):
+        ring = TelemetryRing(capacity=2)
+        fill(ring, 100)
+        events, _ = ring.read_since(0)
+        assert [e.seq for e in events] == [99, 100]
+
+
+class TestReadSince:
+    def test_reads_everything_after_cursor(self):
+        ring = TelemetryRing(capacity=8)
+        fill(ring, 5)
+        events, missed = ring.read_since(2)
+        assert missed == 0
+        assert [e.seq for e in events] == [3, 4, 5]
+
+    def test_limit_bounds_the_batch(self):
+        ring = TelemetryRing(capacity=8)
+        fill(ring, 5)
+        events, _ = ring.read_since(0, limit=2)
+        assert [e.seq for e in events] == [1, 2]
+
+    def test_gap_reported_when_cursor_precedes_oldest(self):
+        ring = TelemetryRing(capacity=3)
+        fill(ring, 10)  # retained: 8, 9, 10
+        events, missed = ring.read_since(4)
+        # Events 5, 6, 7 were requested but already evicted.
+        assert missed == 3
+        assert [e.seq for e in events] == [8, 9, 10]
+
+    def test_no_gap_at_exact_boundary(self):
+        ring = TelemetryRing(capacity=3)
+        fill(ring, 10)  # oldest retained is 8
+        _, missed = ring.read_since(7)
+        assert missed == 0
+
+    def test_cursor_at_head_reads_nothing(self):
+        ring = TelemetryRing(capacity=8)
+        fill(ring, 5)
+        assert ring.read_since(5) == ([], 0)
+        assert ring.read_since(99) == ([], 0)
+
+
+class TestWaitFor:
+    def test_returns_immediately_when_newer_exists(self):
+        ring = TelemetryRing(capacity=4)
+        fill(ring, 2)
+        assert ring.wait_for(1, timeout=0.01) is True
+
+    def test_times_out_without_new_events(self):
+        ring = TelemetryRing(capacity=4)
+        fill(ring, 2)
+        assert ring.wait_for(2, timeout=0.01) is False
+
+    def test_woken_by_append(self):
+        ring = TelemetryRing(capacity=4)
+        results = []
+
+        def waiter():
+            results.append(ring.wait_for(0, timeout=30.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        ring.append("k")
+        thread.join(timeout=30.0)
+        assert results == [True]
+
+    def test_close_wakes_waiters_with_false(self):
+        ring = TelemetryRing(capacity=4)
+        results = []
+
+        def waiter():
+            results.append(ring.wait_for(0, timeout=30.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        ring.close()
+        thread.join(timeout=30.0)
+        assert results == [False]
+        assert ring.closed
+
+    def test_closed_ring_never_blocks(self):
+        ring = TelemetryRing(capacity=4)
+        ring.close()
+        assert ring.wait_for(0, timeout=30.0) is False
+
+
+class TestConcurrency:
+    def test_parallel_appends_keep_sequencing_consistent(self):
+        ring = TelemetryRing(capacity=64)
+        threads = [
+            threading.Thread(target=fill, args=(ring, 50, f"t{i}"))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ring.last_seq == 200
+        assert ring.dropped == 200 - 64
+        events, missed = ring.read_since(0)
+        assert missed == 200 - 64
+        assert [e.seq for e in events] == list(range(137, 201))

@@ -62,6 +62,11 @@ class TestParser:
         assert args.experiment == "cache"
         assert args.target == "prune"
         assert args.max_mb == 64.0
+        args = build_parser().parse_args(
+            ["watch", "abc12345", "--url", "http://x:1"]
+        )
+        assert args.experiment == "watch"
+        assert args.target == "abc12345"
 
 
 class TestMain:
@@ -166,6 +171,16 @@ class TestFriendlyErrors:
     def test_status_without_target_exits_2(self, capsys):
         assert main(["status"]) == 2
         assert "job id" in capsys.readouterr().err
+
+    def test_watch_without_target_exits_2(self, capsys):
+        assert main(["watch"]) == 2
+        assert "a job or campaign id" in capsys.readouterr().err
+
+    def test_watch_unreachable_service_exits_2(self, capsys):
+        assert main(
+            ["watch", "deadbeef", "--url", "http://127.0.0.1:9"]
+        ) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
     def test_unreachable_service_exits_2(self, capsys):
         assert main(
