@@ -97,9 +97,59 @@ def check_dashboard(url: str) -> None:
         ctype = resp.headers["Content-Type"]
         assert ctype.startswith("text/html"), ctype
         body = resp.read().decode("utf-8")
-    for needle in ("repro fleet status", "/v1/metrics/stream", "/v1/events"):
+    for needle in (
+        "repro fleet status",
+        "/v1/metrics/stream",
+        "/v1/events",
+        # The grid cost/carbon ticker cards and their renderers.
+        'id="c-cost"',
+        'id="c-carbon"',
+        "grid cost (USD)",
+        "grid carbon (kg)",
+        "m.grid",
+    ):
         assert needle in body, f"dashboard page missing {needle!r}"
     print(f"[dash] GET / serves the status page ({len(body)} bytes)")
+
+
+# A tiny priced scenario: one cell, three trials, flat curves — just
+# enough for the remote agent to account dollars and grams and ship
+# the grid.* counter deltas back with its completion push.
+GRID_SPEC = {
+    "scenario": {"name": "dash-grid-smoke"},
+    "failures": {"regime": "poisson", "mtbf_years": 5.0},
+    "workload": {"study": "scaling", "app_type": "A32", "fractions": [0.01]},
+    "techniques": {"names": ["checkpoint_restart"]},
+    "run": {"trials": 3},
+    "grid": {
+        "objective": "cost",
+        "start_hour": 8.0,
+        "price": {"kind": "flat", "level": 0.12},
+        "carbon": {"kind": "flat", "level": 400.0},
+    },
+}
+
+
+def check_grid_metrics(client: "ServiceClient") -> None:
+    """A priced campaign run by the *remote* agent must surface
+    fleet-cumulative dollars and grams in ``GET /v1/metrics`` — the
+    counters only get there via the completion-push counter channel."""
+    before = client.metrics()["grid"]
+    campaign = client.submit_campaign(spec=GRID_SPEC, format="json")
+    for unit in campaign["units"]:
+        record = client.wait(unit["job"]["id"], timeout=120.0)
+        assert record["state"] == "done", record
+    after = client.metrics()["grid"]
+    assert after["cells_accounted"] > before["cells_accounted"], after
+    assert after["cost_usd"] > before["cost_usd"], after
+    assert after["carbon_g"] > before["carbon_g"], after
+    assert after["energy_kwh"] > before["energy_kwh"], after
+    print(
+        f"[dash] grid campaign accounted on the remote agent: "
+        f"${after['cost_usd'] - before['cost_usd']:.2f}, "
+        f"{after['carbon_g'] - before['carbon_g']:.0f} gCO2 "
+        f"({after['cells_accounted'] - before['cells_accounted']} cell(s))"
+    )
 
 
 def main() -> int:
@@ -173,6 +223,8 @@ def main() -> int:
             assert telemetry["ring"]["last_seq"] >= len(kinds), telemetry
             assert telemetry["watched_jobs"] == 0, telemetry
             print(f"[dash] metrics telemetry block: {json.dumps(telemetry)}")
+
+            check_grid_metrics(client)
         finally:
             if agent is not None:
                 stop(agent, "agent")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the pinned grid-tariff curve bundled with the scenario
+library (``src/repro/scenarios/library/traces/pinned-tariff.jsonl``).
+
+The curve is committed so the ``grid-trace-tariff`` scenario is fully
+deterministic for every user; rerunning this script reproduces the
+identical file (fixed seed, versioned JSONL with full-``repr``
+floats).  The schedule is a 24-segment time-of-use day — off-peak
+overnight, shoulder mornings/evenings, a hard afternoon peak — with a
+small deterministic per-hour perturbation so no two segments are
+exactly equal (the integral tests then exercise every boundary).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.grid.curves import (  # noqa: E402
+    DAY_S,
+    UNIT_PRICE,
+    TraceCurve,
+    curve_digest,
+    save_curve,
+)
+
+SEED = 20170 + 11
+
+#: Base $/kWh per hour-of-day: off-peak 00-06, shoulder 07-15,
+#: peak 16-20, shoulder 21-23.
+BASE_BY_HOUR = (
+    [0.08] * 7          # 00-06
+    + [0.12] * 9        # 07-15
+    + [0.24] * 5        # 16-20
+    + [0.12] * 3        # 21-23
+)
+
+OUT = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "src"
+    / "repro"
+    / "scenarios"
+    / "library"
+    / "traces"
+    / "pinned-tariff.jsonl"
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    levels = [
+        round(base * (1.0 + 0.05 * float(rng.uniform(-1.0, 1.0))), 6)
+        for base in BASE_BY_HOUR
+    ]
+    times = [hour * 3600.0 for hour in range(24)]
+    curve = TraceCurve(times, levels, period_s=DAY_S, unit=UNIT_PRICE)
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    save_curve(curve, OUT)
+    print(f"{OUT}: {len(levels)} segments, sha256 {curve_digest(curve)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,9 @@ from repro.analysis.analytic import Prediction, predict, predict_efficiency
 from repro.analysis.regimes import (
     analytic_efficiency,
     crossover_fraction,
+    grid_crossover_fraction,
+    grid_crossover_level,
+    grid_objective_value,
     render_selection_map,
     required_node_mtbf,
     selection_map,
@@ -15,6 +18,9 @@ __all__ = [
     "Prediction",
     "analytic_efficiency",
     "crossover_fraction",
+    "grid_crossover_fraction",
+    "grid_crossover_level",
+    "grid_objective_value",
     "render_selection_map",
     "required_node_mtbf",
     "selection_map",

@@ -79,6 +79,153 @@ def crossover_fraction(
     return float(sp_optimize.brentq(gap, lo, hi, xtol=1e-5))
 
 
+def grid_objective_value(
+    technique: ResilienceTechnique,
+    app_type: str,
+    fraction: float,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    objective: str = "cost",
+    price=None,
+    carbon=None,
+    power=None,
+    start_s: float = 0.0,
+    severity: Optional[SeverityModel] = None,
+) -> float:
+    """Expected grid objective (USD, gCO2, or negated efficiency) of
+    *technique* for one (type, size) cell — the quantity
+    :class:`repro.resilience.grid_aware.GridAwareSelection` minimizes.
+    """
+    # Imported lazily: grid_aware imports repro.analysis, whose package
+    # init imports this module.
+    from repro.energy.model import PowerModel
+    from repro.resilience.grid_aware import quote
+
+    app = make_application(app_type, nodes=system.fraction_to_nodes(fraction))
+    return quote(
+        technique,
+        app,
+        system,
+        node_mtbf_s,
+        severity=severity,
+        power=power if power is not None else PowerModel(),
+        price=price,
+        carbon=carbon,
+        start_s=start_s,
+    ).objective_value(objective)
+
+
+def grid_crossover_fraction(
+    app_type: str,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    technique_small: str = "multilevel",
+    technique_large: str = "parallel_recovery",
+    objective: str = "cost",
+    price=None,
+    carbon=None,
+    power=None,
+    start_s: float = 0.0,
+    severity: Optional[SeverityModel] = None,
+    threshold: float = 1e-4,
+) -> Optional[float]:
+    """System fraction where *technique_large* becomes cheaper than
+    *technique_small* on the grid objective (None if it never does by
+    more than *threshold* relative margin anywhere in (0, 1]).
+
+    The cost analogue of :func:`crossover_fraction`, and the refinement
+    prior the adaptive campaign controller uses on grid scenarios whose
+    objective is cost or carbon: the efficiency crossover and the cost
+    crossover genuinely differ under peaked curves, so bisecting around
+    the wrong one wastes the probe budget.  The margin is *relative*
+    (costs scale with machine size and tariff level, unlike
+    efficiencies in [0, 1]).
+    """
+    small = get_technique(technique_small)
+    large = get_technique(technique_large)
+
+    def value(technique: ResilienceTechnique, fraction: float) -> float:
+        return grid_objective_value(
+            technique,
+            app_type,
+            fraction,
+            system,
+            node_mtbf_s,
+            objective=objective,
+            price=price,
+            carbon=carbon,
+            power=power,
+            start_s=start_s,
+            severity=severity,
+        )
+
+    def gap(fraction: float) -> float:
+        value_small = value(small, fraction)
+        value_large = value(large, fraction)
+        scale = max(abs(value_small), abs(value_large), 1e-12)
+        return (value_small - value_large) / scale - threshold
+
+    lo = max(10.0 / system.total_nodes, 1e-4)
+    hi = 1.0
+    if gap(lo) >= 0:
+        return lo  # the "large" technique is already cheaper at tiny sizes
+    if gap(hi) < 0:
+        return None  # never meaningfully crosses
+    return float(sp_optimize.brentq(gap, lo, hi, xtol=1e-5))
+
+
+def grid_crossover_level(
+    app_type: str,
+    fraction: float,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    curve_factory,
+    lo: float,
+    hi: float,
+    objective: str = "cost",
+    technique_a: str = "checkpoint_restart",
+    technique_b: str = "parallel_recovery",
+    power=None,
+    start_s: float = 0.0,
+    severity: Optional[SeverityModel] = None,
+) -> Optional[float]:
+    """The curve-parameter level where *technique_b* becomes cheaper
+    than *technique_a* for one (type, size) cell.
+
+    *curve_factory* maps a scalar parameter (a peak price amplitude, a
+    carbon-intensity swing, ...) to the :class:`~repro.grid.curves
+    .Curve` applied to the objective dimension (price for ``cost``,
+    carbon for ``carbon``).  Solved by bisection over ``[lo, hi]``:
+    returns *lo* when *technique_b* is already cheaper there, None when
+    it never catches up by *hi* — the price-level / carbon-level
+    boundary of the grid selection map.
+    """
+    a = get_technique(technique_a)
+    b = get_technique(technique_b)
+
+    def gap(level: float) -> float:
+        curve = curve_factory(level)
+        price = curve if objective == "cost" else None
+        carbon = curve if objective == "carbon" else None
+        value_a = grid_objective_value(
+            a, app_type, fraction, system, node_mtbf_s,
+            objective=objective, price=price, carbon=carbon,
+            power=power, start_s=start_s, severity=severity,
+        )
+        value_b = grid_objective_value(
+            b, app_type, fraction, system, node_mtbf_s,
+            objective=objective, price=price, carbon=carbon,
+            power=power, start_s=start_s, severity=severity,
+        )
+        return value_a - value_b
+
+    if gap(lo) >= 0:
+        return float(lo)  # technique_b already cheaper at the low level
+    if gap(hi) < 0:
+        return None  # never crosses inside the bracket
+    return float(sp_optimize.brentq(gap, lo, hi, rtol=1e-9))
+
+
 def required_node_mtbf(
     technique: ResilienceTechnique,
     app_type: str,

@@ -727,12 +727,18 @@ class Campaign:
     ) -> Tuple[float, str]:
         """Where to probe ``(lo, hi)``: the analytic crossover prior
         when the paper's Poisson assumptions hold and the prior falls
-        strictly inside the bracket, the midpoint otherwise."""
+        strictly inside the bracket, the midpoint otherwise.  Grid
+        scenarios ranking by cost or carbon get the grid-aware
+        crossover locator instead — the boundary being refined is where
+        the *objective* winner changes, not the efficiency winner."""
         midpoint = (lo + hi) / 2.0
         if scenario_analytic_reason(self.spec) is not None:
             return midpoint, "midpoint"
         try:
-            from repro.analysis.regimes import crossover_fraction
+            from repro.analysis.regimes import (
+                crossover_fraction,
+                grid_crossover_fraction,
+            )
             from repro.failures.severity import SeverityModel
             from repro.platform.presets import exascale_system
             from repro.units import years
@@ -755,6 +761,28 @@ class Campaign:
                 if total_nodes is not None
                 else exascale_system()
             )
+            grid = self.spec.grid
+            if grid is not None and grid.objective in ("cost", "carbon"):
+                from repro.scenarios.compiler import _load_grid_traces
+                from repro.scenarios.runtime import grid_context
+
+                ctx = grid_context(self.spec, _load_grid_traces(self.spec))
+                prior = grid_crossover_fraction(
+                    self.spec.workload.app_type,
+                    system,
+                    years(mtbf_years),
+                    technique_small=best_lo,
+                    technique_large=best_hi,
+                    objective=grid.objective,
+                    price=ctx.price,
+                    carbon=ctx.carbon,
+                    power=ctx.power,
+                    start_s=ctx.offset_s,
+                    severity=severity,
+                )
+                if prior is not None and lo < prior < hi:
+                    return float(prior), "analytic-grid"
+                return midpoint, "midpoint"
             prior = crossover_fraction(
                 self.spec.workload.app_type,
                 system,

@@ -774,6 +774,271 @@ def _scenario_submit(args: argparse.Namespace, name: str) -> int:
     return exit_code
 
 
+# ---------------------------------------------------------------------------
+# Grid / energy verbs
+# ---------------------------------------------------------------------------
+
+
+_GRID_ACTIONS = ("show", "quote")
+_ENERGY_ACTIONS = ("report",)
+
+
+def _analytic_cells(spec):
+    """The (system, node_mtbf_s, severity, fractions, techniques,
+    make_app) ingredients for the analytic grid/energy reports of one
+    scaling scenario; rejects specs the closed-form model cannot price."""
+    from repro.constants import (
+        EXASCALE_NODES,
+        SCALING_STUDY_BASELINE_S,
+        SCALING_STUDY_FRACTIONS,
+    )
+    from repro.failures.severity import SeverityModel
+    from repro.platform.presets import exascale_system
+    from repro.resilience.registry import (
+        get_technique,
+        scaling_study_techniques,
+    )
+    from repro.scenarios.compiler import scenario_analytic_reason
+    from repro.units import MINUTE, years
+    from repro.workload.synthetic import make_application
+
+    if spec.workload.study != "scaling":
+        raise RequestError(
+            "grid/energy reports quote scaling studies (the datacenter "
+            "study has no fixed per-technique execution to price)"
+        )
+    if spec.sweep is not None:
+        raise RequestError(
+            "grid/energy reports quote one grid point; drop the [sweep] "
+            "section (or quote a single-value scenario per axis point)"
+        )
+    reason = scenario_analytic_reason(spec)
+    if reason is not None:
+        raise RequestError(f"analytic quotes unavailable: {reason}")
+    system = exascale_system(
+        spec.platform.total_nodes
+        if spec.platform.total_nodes is not None
+        else EXASCALE_NODES
+    )
+    node_mtbf_s = years(spec.failures.mtbf_years)
+    severity = (
+        SeverityModel.from_probabilities(spec.failures.severity_pmf)
+        if spec.failures.severity_pmf is not None
+        else None
+    )
+    fractions = (
+        spec.workload.fractions
+        if spec.workload.fractions is not None
+        else SCALING_STUDY_FRACTIONS
+    )
+    techniques = (
+        [get_technique(name) for name in spec.techniques]
+        if spec.techniques is not None
+        else list(scaling_study_techniques())
+    )
+
+    def make_app(fraction: float):
+        return make_application(
+            spec.workload.app_type,
+            nodes=system.fraction_to_nodes(fraction),
+            time_steps=max(1, round(SCALING_STUDY_BASELINE_S / MINUTE)),
+        )
+
+    return system, node_mtbf_s, severity, fractions, techniques, make_app
+
+
+def _load_grid_scenario(name: str):
+    """Load a scenario and its materialized grid context (requiring a
+    ``[grid]`` section for the grid verbs)."""
+    from repro.scenarios import load_scenario, resolve
+    from repro.scenarios.compiler import _load_grid_traces
+    from repro.scenarios.runtime import grid_context
+
+    spec = load_scenario(resolve(name))
+    if spec.grid is None:
+        raise RequestError(
+            f"scenario '{spec.scenario.name}' has no [grid] section"
+        )
+    return spec, grid_context(spec, _load_grid_traces(spec))
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """``repro grid show|quote <scenario>``: the grid curves on their
+    daily clock, or the analytic $-and-gCO2 quote of every candidate
+    technique (the closed-form twin of a grid scenario run)."""
+    action = args.target
+    if action not in _GRID_ACTIONS:
+        raise RequestError(
+            f"unknown grid action {action!r} "
+            f"(choose from {', '.join(_GRID_ACTIONS)})"
+        )
+    if not args.extra:
+        raise RequestError(
+            f"'repro grid {action}' needs a bundled scenario name or a "
+            "spec path with a [grid] section"
+        )
+    spec, ctx = _load_grid_scenario(args.extra)
+    if action == "show":
+        return _grid_show(spec, ctx)
+    return _grid_quote(spec, ctx)
+
+
+def _grid_show(spec, ctx) -> int:
+    """Curve summaries plus exact hourly means over one day."""
+    from repro.scenarios.runtime import _HOUR_S
+
+    print(f"scenario    {spec.scenario.name}")
+    print(f"objective   {ctx.objective}")
+    print(f"start_hour  {ctx.offset_s / _HOUR_S:g}")
+    print(
+        f"power       busy {ctx.power.busy_w:g} W, "
+        f"idle {ctx.power.idle_w:g} W per node"
+    )
+    for role, curve in (("price", ctx.price), ("carbon", ctx.carbon)):
+        if curve is None:
+            continue
+        desc = ", ".join(
+            f"{k}={v}" for k, v in sorted(curve.to_dict().items())
+        )
+        print(f"\n{role}: {desc}")
+        print("hour   " + " ".join(f"{h:>7d}" for h in range(0, 24, 3)))
+        print(
+            "mean   "
+            + " ".join(
+                f"{curve.mean(h * _HOUR_S, (h + 3) * _HOUR_S):>7.4g}"
+                for h in range(0, 24, 3)
+            )
+        )
+    return 0
+
+
+def _grid_quote(spec, ctx) -> int:
+    """Analytic per-technique quotes, per fraction, with the
+    efficiency-vs-objective pick (flips marked)."""
+    from repro.resilience.grid_aware import quote
+
+    system, node_mtbf_s, severity, fractions, techniques, make_app = (
+        _analytic_cells(spec)
+    )
+    header = (
+        f"{'size%':>6} {'technique':<22} {'nodes':>9} {'E[eff]':>8} "
+        f"{'kWh':>14} {'USD':>14} {'gCO2':>16}"
+    )
+    print(
+        f"Analytic grid quote — scenario {spec.scenario.name}, "
+        f"objective={ctx.objective}"
+    )
+    print(header)
+    print("-" * len(header))
+    for fraction in fractions:
+        app = make_app(fraction)
+        rows = []
+        for technique in techniques:
+            if not technique.fits(app, system):
+                print(
+                    f"{100 * fraction:>6.0f} {technique.name:<22} "
+                    f"{'---':>9} {'---':>8} {'---':>14} {'---':>14} "
+                    f"{'---':>16}"
+                )
+                continue
+            q = quote(
+                technique,
+                app,
+                system,
+                node_mtbf_s,
+                severity=severity,
+                power=ctx.power,
+                price=ctx.price,
+                carbon=ctx.carbon,
+                start_s=ctx.offset_s,
+            )
+            rows.append(q)
+            print(
+                f"{100 * fraction:>6.0f} {q.technique:<22} "
+                f"{q.nodes:>9,d} {q.expected_efficiency:>8.3f} "
+                f"{q.cost.energy_kwh:>14,.1f} "
+                f"{q.cost.total_usd:>14,.2f} {q.cost.total_g:>16,.0f}"
+            )
+        if not rows:
+            continue
+        best_eff = max(rows, key=lambda q: q.expected_efficiency).technique
+        best_obj = min(
+            rows, key=lambda q: q.objective_value(ctx.objective)
+        ).technique
+        line = (
+            f"{100 * fraction:>5.0f}%: best by efficiency = {best_eff}, "
+            f"best by {ctx.objective} = {best_obj}"
+        )
+        if best_obj != best_eff:
+            line += "  [flip]"
+        print(line)
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """``repro energy report <scenario>``: expected per-technique joule
+    breakdown (work / rework / checkpoint) per fraction.  Works with or
+    without a ``[grid]`` section; with one, its power model applies."""
+    from repro.energy.model import PowerModel
+    from repro.grid.curves import J_PER_KWH
+    from repro.resilience.grid_aware import expected_energy
+    from repro.scenarios import load_scenario, resolve
+    from repro.scenarios.runtime import grid_context
+
+    action = args.target
+    if action not in _ENERGY_ACTIONS:
+        raise RequestError(
+            f"unknown energy action {action!r} "
+            f"(choose from {', '.join(_ENERGY_ACTIONS)})"
+        )
+    if not args.extra:
+        raise RequestError(
+            "'repro energy report' needs a bundled scenario name or a "
+            "spec path"
+        )
+    spec = load_scenario(resolve(args.extra))
+    power = (
+        grid_context(spec).power if spec.grid is not None else PowerModel()
+    )
+    system, node_mtbf_s, severity, fractions, techniques, make_app = (
+        _analytic_cells(spec)
+    )
+    header = (
+        f"{'size%':>6} {'technique':<22} {'work kWh':>14} "
+        f"{'rework kWh':>14} {'ckpt kWh':>14} {'total kWh':>14} "
+        f"{'overhead x':>11}"
+    )
+    print(
+        f"Expected energy — scenario {spec.scenario.name}, "
+        f"busy {power.busy_w:g} W / idle {power.idle_w:g} W per node"
+    )
+    print(header)
+    print("-" * len(header))
+    for fraction in fractions:
+        app = make_app(fraction)
+        for technique in techniques:
+            if not technique.fits(app, system):
+                print(
+                    f"{100 * fraction:>6.0f} {technique.name:<22} "
+                    f"{'---':>14} {'---':>14} {'---':>14} {'---':>14} "
+                    f"{'---':>11}"
+                )
+                continue
+            plan = technique.plan(app, system, node_mtbf_s, severity)
+            energy = expected_energy(
+                plan, node_mtbf_s, severity=severity, power=power
+            )
+            print(
+                f"{100 * fraction:>6.0f} {technique.name:<22} "
+                f"{energy.work_j / J_PER_KWH:>14,.1f} "
+                f"{energy.rework_j / J_PER_KWH:>14,.1f} "
+                f"{energy.checkpoint_j / J_PER_KWH:>14,.1f} "
+                f"{energy.total_j / J_PER_KWH:>14,.1f} "
+                f"{energy.total_j / energy.work_j:>11.3f}"
+            )
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     """Dispatch ``repro scenario <action> [name-or-path]``."""
     action = args.target or "list"
@@ -822,12 +1087,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_EXPERIMENTS)
-        + ["all", "scenario"]
+        + ["all", "scenario", "grid", "energy"]
         + sorted(_SERVICE_COMMANDS),
         help=(
             "which artifact to regenerate ('all' runs everything), "
             "'scenario list|show|validate|run|submit' for declarative "
-            "scenario specs, or a service verb: serve, agent, submit "
+            "scenario specs, 'grid show|quote <scenario>' / 'energy "
+            "report <scenario>' for the analytic cost-and-carbon views, "
+            "or a service verb: serve, agent, submit "
             "<experiment>, status <job-id>, result <job-id>, "
             "watch <job-or-campaign-id>, campaign status <campaign-id>, "
             "cache stats|prune"
@@ -1129,6 +1396,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiment == "scenario":
             return _cmd_scenario(args)
+        if args.experiment == "grid":
+            return _cmd_grid(args)
+        if args.experiment == "energy":
+            return _cmd_energy(args)
         if args.experiment in _SERVICE_COMMANDS:
             return _SERVICE_COMMANDS[args.experiment](args)
         if args.experiment == "all":

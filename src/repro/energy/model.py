@@ -97,9 +97,23 @@ def energy_of(
 
 
 def energy_overhead_ratio(
-    stats: ExecutionStats, power: PowerModel = PowerModel()
+    stats: ExecutionStats,
+    power: PowerModel = PowerModel(),
+    breakdown: EnergyBreakdown | None = None,
 ) -> float:
-    """Energy relative to the failure-free ideal of the same plan."""
-    breakdown = energy_of(stats, power)
-    ideal_j = stats.plan.effective_work_s * stats.plan.nodes_required * power.busy_w
+    """Energy relative to the failure-free ideal of the same plan.
+
+    Pass a precomputed *breakdown* (from :func:`energy_of` with the
+    same *power*) to avoid recomputing it; otherwise one is derived
+    here — a single computation path either way.
+    """
+    plan = stats.plan
+    if plan.effective_work_s <= 0:
+        raise ValueError(
+            f"plan for app {plan.app.app_id} has no effective work; "
+            f"the failure-free ideal energy is zero"
+        )
+    if breakdown is None:
+        breakdown = energy_of(stats, power)
+    ideal_j = plan.effective_work_s * plan.nodes_required * power.busy_w
     return breakdown.total_j / ideal_j

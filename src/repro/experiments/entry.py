@@ -79,6 +79,11 @@ class StudyRequest:
     #: in the request so a job is self-contained (no path resolution on
     #: the worker) and CLI/service runs stay byte-identical.
     trace: Optional[str] = None
+    #: Embedded grid trace curves (experiment ``"scenario"`` with a
+    #: ``[grid]`` block only): a JSON object mapping curve role
+    #: (``"price"`` / ``"carbon"``) to the curve's canonical JSONL
+    #: text, for the same self-containment reason as ``trace``.
+    grid_traces: Optional[str] = None
     #: First trial index of this request's batch (experiment
     #: ``"scenario"`` only): trials ``[offset, offset + trials)`` are
     #: run, reproducing exactly that slice of an exhaustive run.  The
@@ -133,10 +138,30 @@ class StudyRequest:
                     "field (compile the scenario rather than building the "
                     "request by hand)"
                 )
-        elif self.scenario is not None or self.trace is not None:
+            grid = spec.grid
+            needs_curves = grid is not None and any(
+                curve is not None and curve.kind == "trace"
+                for curve in (grid.price, grid.carbon)
+            )
+            if needs_curves and self.grid_traces is None:
+                raise RequestError(
+                    "scenarios with trace grid curves require the embedded "
+                    "'grid_traces' field (compile the scenario rather than "
+                    "building the request by hand)"
+                )
+            if self.grid_traces is not None and grid is None:
+                raise RequestError(
+                    "field 'grid_traces' is only valid for scenarios "
+                    "with a [grid] block"
+                )
+        elif (
+            self.scenario is not None
+            or self.trace is not None
+            or self.grid_traces is not None
+        ):
             raise RequestError(
-                "fields 'scenario' and 'trace' are only valid for "
-                "experiment 'scenario'"
+                "fields 'scenario', 'trace', and 'grid_traces' are only "
+                "valid for experiment 'scenario'"
             )
         if self.trial_offset < 0:
             raise RequestError(
@@ -167,6 +192,8 @@ class StudyRequest:
             payload["scenario"] = self.scenario
         if self.trace is not None:
             payload["trace"] = self.trace
+        if self.grid_traces is not None:
+            payload["grid_traces"] = self.grid_traces
         if self.trial_offset:
             payload["trial_offset"] = self.trial_offset
         return payload
@@ -194,6 +221,7 @@ class StudyRequest:
             "sweep": str,
             "scenario": str,
             "trace": str,
+            "grid_traces": str,
             "trial_offset": int,
         }
         kwargs: Dict[str, Any] = {}

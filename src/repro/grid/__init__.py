@@ -1,0 +1,62 @@
+"""Grid-aware cost & carbon subsystem.
+
+Prices the joules that :mod:`repro.energy` accounts against
+deterministic time-varying electricity price and carbon-intensity
+curves (:mod:`repro.grid.curves`), folding each execution's activity
+breakdown into a :class:`~repro.grid.accountant.CostBreakdown` of USD
+and gCO2 (:mod:`repro.grid.accountant`).  The grid-aware technique
+selector lives in :mod:`repro.resilience.grid_aware`; scenario specs
+opt in with a ``[grid]`` block (docs/ENERGY_COST.md).
+"""
+
+from repro.grid.accountant import (
+    CostBreakdown,
+    account_energy,
+    account_execution,
+)
+from repro.grid.curves import (
+    CURVE_FORMAT,
+    CURVE_FORMAT_VERSION,
+    DAY_S,
+    J_PER_KWH,
+    UNIT_CARBON,
+    UNIT_PRICE,
+    CarbonCurve,
+    Curve,
+    CurveFormatError,
+    FlatCurve,
+    PiecewiseCurve,
+    PriceCurve,
+    SinusoidalCurve,
+    TraceCurve,
+    curve_digest,
+    curve_from_jsonl,
+    curve_to_jsonl,
+    load_curve,
+    save_curve,
+)
+
+__all__ = [
+    "CURVE_FORMAT",
+    "CURVE_FORMAT_VERSION",
+    "DAY_S",
+    "J_PER_KWH",
+    "UNIT_CARBON",
+    "UNIT_PRICE",
+    "CarbonCurve",
+    "CostBreakdown",
+    "Curve",
+    "CurveFormatError",
+    "FlatCurve",
+    "PiecewiseCurve",
+    "PriceCurve",
+    "SinusoidalCurve",
+    "TraceCurve",
+    "account_energy",
+    "account_execution",
+    "curve_digest",
+    "curve_from_jsonl",
+    "curve_to_jsonl",
+    "load_curve",
+    "save_curve",
+]

@@ -1,0 +1,121 @@
+"""The cost/carbon accountant: joules folded against grid curves.
+
+:func:`repro.energy.model.energy_of` splits one execution's
+node-seconds into work / rework / checkpoint / restart joules.  This
+module prices those joules against time-varying grid curves: each
+activity's energy is charged at the **exact closed-form mean** of the
+curve over the execution window ``[t0, t1)`` (an integral, never a
+point sample), producing a :class:`CostBreakdown` in USD and gCO2 per
+activity.
+
+The folding is deliberately *mean-field*: the engine reports aggregate
+per-activity durations, not a timestamped activity log (the
+failure-horizon fast path skips whole iterations precisely to avoid
+producing one), so each activity's draw is spread uniformly over the
+execution window and weighted by the curve's exact mean there.  That
+makes accounting a pure function of :class:`~repro.core.execution
+.ExecutionStats` — bit-identical across the fast and stepped paths,
+any ``--jobs`` fan-out, cache replay, and service-vs-CLI execution —
+while still integrating the curve in closed form rather than sampling
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.execution import ExecutionStats
+from repro.energy.model import EnergyBreakdown, PowerModel, energy_of
+from repro.grid.curves import J_PER_KWH, Curve
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """USD and gCO2 by activity for one execution window.
+
+    Components are zero when the corresponding curve is absent (a
+    carbon-only scenario prices no dollars, and vice versa);
+    ``energy_kwh`` always carries the underlying kilowatt-hours.
+    """
+
+    work_usd: float
+    rework_usd: float
+    checkpoint_usd: float
+    restart_usd: float
+    work_g: float
+    rework_g: float
+    checkpoint_g: float
+    restart_g: float
+    energy_kwh: float
+
+    @property
+    def total_usd(self) -> float:
+        """Total electricity cost, USD."""
+        return (
+            self.work_usd
+            + self.rework_usd
+            + self.checkpoint_usd
+            + self.restart_usd
+        )
+
+    @property
+    def total_g(self) -> float:
+        """Total emitted carbon, gCO2."""
+        return self.work_g + self.rework_g + self.checkpoint_g + self.restart_g
+
+
+def account_energy(
+    breakdown: EnergyBreakdown,
+    t0: float,
+    t1: float,
+    price: Optional[Curve] = None,
+    carbon: Optional[Curve] = None,
+) -> CostBreakdown:
+    """Price an :class:`EnergyBreakdown` drawn over ``[t0, t1)``.
+
+    *price* is a USD/kWh curve, *carbon* a gCO2/kWh curve; either may
+    be None (that dimension prices to zero).  The charge rate is the
+    curve's exact mean over the window, so two executions with equal
+    breakdowns and equal windows always price identically.
+    """
+    price_rate = price.mean(t0, t1) if price is not None else 0.0
+    carbon_rate = carbon.mean(t0, t1) if carbon is not None else 0.0
+    work_kwh = breakdown.work_j / J_PER_KWH
+    rework_kwh = breakdown.rework_j / J_PER_KWH
+    checkpoint_kwh = breakdown.checkpoint_j / J_PER_KWH
+    restart_kwh = breakdown.restart_j / J_PER_KWH
+    return CostBreakdown(
+        work_usd=work_kwh * price_rate,
+        rework_usd=rework_kwh * price_rate,
+        checkpoint_usd=checkpoint_kwh * price_rate,
+        restart_usd=restart_kwh * price_rate,
+        work_g=work_kwh * carbon_rate,
+        rework_g=rework_kwh * carbon_rate,
+        checkpoint_g=checkpoint_kwh * carbon_rate,
+        restart_g=restart_kwh * carbon_rate,
+        energy_kwh=breakdown.total_j / J_PER_KWH,
+    )
+
+
+def account_execution(
+    stats: ExecutionStats,
+    power: PowerModel = PowerModel(),
+    price: Optional[Curve] = None,
+    carbon: Optional[Curve] = None,
+    offset_s: float = 0.0,
+) -> CostBreakdown:
+    """Price one finished execution against the grid curves.
+
+    *offset_s* anchors simulation time 0 on the curves' clock (a
+    scenario's ``start_hour`` times 3600), so the same run priced at
+    08:00 and at 20:00 sees different tariff windows.
+    """
+    breakdown = energy_of(stats, power)
+    return account_energy(
+        breakdown,
+        t0=offset_s + stats.start_time,
+        t1=offset_s + stats.end_time,
+        price=price,
+        carbon=carbon,
+    )

@@ -1,0 +1,262 @@
+"""Grid-aware Resilience Selection: pick the cheapest plan, not the
+fastest.
+
+The paper's selector (:class:`repro.core.selection.ResilienceSelection`)
+maximizes predicted node-efficiency.  This variant prices each
+candidate's expected execution against time-varying grid curves and
+minimizes expected **USD or gCO2 per completed work unit** instead —
+one completed application run is the work unit, so every candidate is
+normalized over the same delivered science and the ranking reduces to
+expected cost per run.
+
+The expectation composes the analytic renewal-reward model
+(:func:`repro.analysis.analytic.predict`) with the energy split of
+:func:`repro.energy.model.energy_of`: expected work, checkpoint, and
+rework node-seconds become joules under the busy/idle power model
+(techniques whose recovery parallelizes idle the non-recovering nodes,
+which is exactly the Sec. II-D energy argument), and the joules are
+charged at the curve's exact closed-form mean over the expected
+execution window.  Because efficiency ranks by *time* while cost ranks
+by *curve-weighted energy*, the two selectors genuinely disagree under
+peaked tariffs — the crossover boundaries are located by
+:mod:`repro.analysis.regimes`.
+
+Expected restart time is folded into the rework term (the analytic
+model accounts it inside ``rework_overhead``), so quotes report
+``restart_j = 0``; the simulation-backed accountant
+(:mod:`repro.grid.accountant`) splits it out exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.analytic import predict
+from repro.energy.model import EnergyBreakdown, PowerModel
+from repro.failures.severity import SeverityModel
+from repro.grid.accountant import CostBreakdown, account_energy
+from repro.grid.curves import Curve
+from repro.platform.system import HPCSystem
+from repro.resilience.base import ExecutionPlan, ResilienceTechnique
+from repro.resilience.registry import datacenter_techniques
+from repro.workload.application import Application
+
+#: The objectives a grid-aware selector can minimize ("efficiency"
+#: degrades to the paper's argmax-efficiency selection).
+OBJECTIVES = ("efficiency", "cost", "carbon")
+
+
+@dataclass(frozen=True)
+class GridQuote:
+    """One candidate's expected performance, energy, and grid bill."""
+
+    technique: str
+    nodes: int
+    expected_elapsed_s: float
+    expected_efficiency: float
+    energy: EnergyBreakdown
+    cost: CostBreakdown
+
+    @property
+    def usd_per_unit(self) -> float:
+        """Expected USD per completed work unit (one finished run)."""
+        return self.cost.total_usd
+
+    @property
+    def g_per_unit(self) -> float:
+        """Expected gCO2 per completed work unit (one finished run)."""
+        return self.cost.total_g
+
+    def objective_value(self, objective: str) -> float:
+        """The quantity a selector minimizes under *objective*."""
+        if objective == "cost":
+            return self.usd_per_unit
+        if objective == "carbon":
+            return self.g_per_unit
+        if objective == "efficiency":
+            return -self.expected_efficiency
+        raise ValueError(
+            f"unknown objective {objective!r} "
+            f"(choose from {', '.join(OBJECTIVES)})"
+        )
+
+
+def expected_energy(
+    plan: ExecutionPlan,
+    node_mtbf_s: float,
+    severity: Optional[SeverityModel] = None,
+    power: PowerModel = PowerModel(),
+) -> EnergyBreakdown:
+    """The analytic expectation of :func:`repro.energy.model.energy_of`.
+
+    Uses the same recovery-idling rule as the simulation-backed
+    accountant: when the plan parallelizes recovery, only the
+    recovering cohort burns busy power during rework and the rest of
+    the allocation idles.
+    """
+    prediction = predict(plan, node_mtbf_s, severity)
+    work_s = plan.effective_work_s
+    nodes = plan.nodes_required
+    work_j = work_s * nodes * power.busy_w
+    checkpoint_j = (
+        work_s * prediction.checkpoint_overhead * nodes * power.busy_w
+    )
+    rework_s = work_s * prediction.rework_overhead
+    if plan.recovery_speedup > 1.0:
+        busy_nodes = min(nodes, max(1.0, plan.recovery_speedup))
+        rework_j = rework_s * (
+            busy_nodes * power.busy_w + (nodes - busy_nodes) * power.idle_w
+        )
+    else:
+        rework_j = rework_s * nodes * power.busy_w
+    return EnergyBreakdown(
+        work_j=work_j,
+        rework_j=rework_j,
+        checkpoint_j=checkpoint_j,
+        restart_j=0.0,
+    )
+
+
+def quote(
+    technique: ResilienceTechnique,
+    app: Application,
+    system: HPCSystem,
+    node_mtbf_s: float,
+    severity: Optional[SeverityModel] = None,
+    power: PowerModel = PowerModel(),
+    price: Optional[Curve] = None,
+    carbon: Optional[Curve] = None,
+    start_s: float = 0.0,
+) -> GridQuote:
+    """Expected efficiency, energy, and grid bill of one candidate.
+
+    The execution window is ``[start_s, start_s + E[elapsed])`` on the
+    curves' clock, so the same plan quoted at off-peak and at peak
+    start times prices differently.
+    """
+    plan = technique.plan(app, system, node_mtbf_s, severity)
+    prediction = predict(plan, node_mtbf_s, severity)
+    energy = expected_energy(plan, node_mtbf_s, severity, power)
+    cost = account_energy(
+        energy,
+        t0=start_s,
+        t1=start_s + prediction.expected_elapsed_s,
+        price=price,
+        carbon=carbon,
+    )
+    return GridQuote(
+        technique=technique.name,
+        nodes=plan.nodes_required,
+        expected_elapsed_s=prediction.expected_elapsed_s,
+        expected_efficiency=prediction.expected_efficiency,
+        energy=energy,
+        cost=cost,
+    )
+
+
+class GridAwareSelection:
+    """Per-application argmin-expected-cost selection.
+
+    The grid-aware sibling of :class:`repro.core.selection
+    .ResilienceSelection` (same :class:`~repro.core.selection
+    .TechniqueSelector` protocol, same feasibility filtering, same
+    first-in-order tie-breaking), ranking by expected USD or gCO2 per
+    completed work unit under the configured curves; with
+    ``objective="efficiency"`` it degrades to the paper's selection
+    exactly.
+    """
+
+    def __init__(
+        self,
+        node_mtbf_s: float,
+        objective: str = "cost",
+        price: Optional[Curve] = None,
+        carbon: Optional[Curve] = None,
+        power: PowerModel = PowerModel(),
+        start_s: float = 0.0,
+        candidates: Optional[Sequence[ResilienceTechnique]] = None,
+        severity: Optional[SeverityModel] = None,
+    ) -> None:
+        if node_mtbf_s <= 0:
+            raise ValueError(f"node_mtbf_s must be > 0, got {node_mtbf_s}")
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r} "
+                f"(choose from {', '.join(OBJECTIVES)})"
+            )
+        if objective == "cost" and price is None:
+            raise ValueError("objective 'cost' needs a price curve")
+        if objective == "carbon" and carbon is None:
+            raise ValueError("objective 'carbon' needs a carbon curve")
+        self.node_mtbf_s = node_mtbf_s
+        self.objective = objective
+        self.price = price
+        self.carbon = carbon
+        self.power = power
+        self.start_s = start_s
+        self.candidates = (
+            list(candidates)
+            if candidates is not None
+            else datacenter_techniques()
+        )
+        if not self.candidates:
+            raise ValueError("need at least one candidate technique")
+        self.severity = (
+            severity if severity is not None else SeverityModel.default()
+        )
+        self.name = f"grid_{objective}"
+        #: How many times each technique was selected (observability).
+        self.selection_counts: Dict[str, int] = {}
+
+    def quotes(
+        self, app: Application, system: HPCSystem
+    ) -> List[GridQuote]:
+        """Quotes for every feasible candidate, in candidate order."""
+        return [
+            quote(
+                technique,
+                app,
+                system,
+                self.node_mtbf_s,
+                severity=self.severity,
+                power=self.power,
+                price=self.price,
+                carbon=self.carbon,
+                start_s=self.start_s,
+            )
+            for technique in self.candidates
+            if technique.fits(app, system)
+        ]
+
+    def select(
+        self, app: Application, system: HPCSystem
+    ) -> ResilienceTechnique:
+        """The feasible candidate minimizing the objective."""
+        best: Optional[ResilienceTechnique] = None
+        best_value = float("inf")
+        for technique in self.candidates:
+            if not technique.fits(app, system):
+                continue
+            value = quote(
+                technique,
+                app,
+                system,
+                self.node_mtbf_s,
+                severity=self.severity,
+                power=self.power,
+                price=self.price,
+                carbon=self.carbon,
+                start_s=self.start_s,
+            ).objective_value(self.objective)
+            if value < best_value:
+                best, best_value = technique, value
+        if best is None:
+            raise ValueError(
+                f"no candidate technique fits app {app.app_id} "
+                f"({app.nodes} nodes) on a {system.total_nodes}-node system"
+            )
+        self.selection_counts[best.name] = (
+            self.selection_counts.get(best.name, 0) + 1
+        )
+        return best

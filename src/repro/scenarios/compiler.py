@@ -123,9 +123,39 @@ def _paper_scaling_fig(spec: ScenarioSpec) -> Optional[str]:
         or spec.sweep is not None
         or spec.platform.total_nodes is not None
         or spec.run.seed != 2017
+        or spec.grid is not None  # figures carry no cost columns
     ):
         return None
     return _PAPER_SCALING_FIGS.get((spec.workload.app_type, f.mtbf_years))
+
+
+def _load_grid_traces(spec: ScenarioSpec) -> Optional[str]:
+    """Load and embed the grid's trace-curve files, if any.
+
+    Returns a JSON object mapping curve role (``price`` / ``carbon``)
+    to the curve's canonical JSONL text, so the request stays
+    self-contained (no path resolution on a service worker); None when
+    no grid curve replays a trace.  Raises :class:`ScenarioError`
+    field-qualified on unreadable or malformed curve files.
+    """
+    import json
+
+    from repro.grid.curves import CurveFormatError, curve_to_jsonl, load_curve
+
+    assert spec.grid is not None
+    out = {}
+    base = spec.base_dir if spec.base_dir is not None else "."
+    for role, curve in (("price", spec.grid.price), ("carbon", spec.grid.carbon)):
+        if curve is None or curve.kind != "trace":
+            continue
+        path = os.path.join(base, curve.trace_file)
+        try:
+            out[role] = curve_to_jsonl(load_curve(path))
+        except CurveFormatError as exc:
+            raise ScenarioError(f"grid.{role}.trace_file", str(exc)) from None
+    if not out:
+        return None
+    return json.dumps(out, sort_keys=True, separators=(",", ":"))
 
 
 def compile_scenario(
@@ -197,6 +227,20 @@ def compile_scenario(
             f"from {spec.failures.trace_file}"
         )
 
+    grid_traces_text: Optional[str] = None
+    if spec.grid is not None:
+        grid_traces_text = _load_grid_traces(spec)
+        objective = spec.grid.objective
+        curves = ", ".join(
+            f"{role} {curve.kind}"
+            for role, curve in (
+                ("price", spec.grid.price),
+                ("carbon", spec.grid.carbon),
+            )
+            if curve is not None
+        )
+        notes.append(f"grid accounting: objective={objective} ({curves})")
+
     if spec.failures.regime == "trace":
         default_trials = 1
     else:
@@ -210,6 +254,7 @@ def compile_scenario(
         quick=quick,
         scenario=canonical_json(spec),
         trace=trace_text,
+        grid_traces=grid_traces_text,
     )
     notes.append("lowered to the generic scenario runtime")
     return CompiledCampaign(
@@ -303,10 +348,14 @@ def compile_cell_request(
     trial_offset + trials)`` of *cell*, rendered as JSON for the
     controller to parse.  Always lowers to the generic scenario
     runtime (a single-cell grid is never a paper figure)."""
+    narrowed = cell_scenario(spec, cell)
     return StudyRequest(
         experiment="scenario",
         format="json",
         trials=trials,
-        scenario=canonical_json(cell_scenario(spec, cell)),
+        scenario=canonical_json(narrowed),
         trial_offset=trial_offset,
+        grid_traces=_load_grid_traces(narrowed)
+        if narrowed.grid is not None
+        else None,
     )

@@ -25,12 +25,16 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.scenarios.errors import ScenarioError
 from repro.scenarios.spec import (
+    CURVE_KINDS,
     DATACENTER_MODES,
+    GRID_OBJECTIVES,
     REGIMES,
     STUDIES,
     SWEEP_AXES,
     AdaptiveSpec,
+    CurveSpec,
     FailureSpec,
+    GridSpec,
     PlatformSpec,
     RunSpec,
     ScenarioMeta,
@@ -472,6 +476,230 @@ def _parse_adaptive(data: Optional[Dict[str, Any]]) -> Optional[AdaptiveSpec]:
     )
 
 
+def _parse_curve(data: Any, path: str) -> CurveSpec:
+    """One ``[grid.price]`` / ``[grid.carbon]`` table.
+
+    Validates every kind's parameters with the same rules the curve
+    classes enforce, so a spec that parses always builds."""
+    if not isinstance(data, dict):
+        raise ScenarioError(path, f"expected a table, got {_describe(data)}")
+    section = _Section(data, path)
+    kind = _choice(
+        section.take("kind", "str", required=True),
+        CURVE_KINDS,
+        f"{path}.kind",
+        "curve kind",
+    )
+    level = section.take("level", "float")
+    hours = section.take("hours", "list[float]")
+    levels = section.take("levels", "list[float]")
+    period_hours = section.take("period_hours", "float")
+    base = section.take("base", "float")
+    amplitude = section.take("amplitude", "float")
+    peak_hour = section.take("peak_hour", "float")
+    amplitude2 = section.take("amplitude2", "float")
+    peak2_hour = section.take("peak2_hour", "float")
+    trace_file = section.take("trace_file", "str")
+    section.finish()
+
+    by_kind = {
+        "flat": ("level",),
+        "piecewise": ("hours", "levels", "period_hours"),
+        "sinusoidal": (
+            "base",
+            "amplitude",
+            "peak_hour",
+            "amplitude2",
+            "peak2_hour",
+            "period_hours",
+        ),
+        "trace": ("trace_file",),
+    }
+    present = {
+        "level": level,
+        "hours": hours,
+        "levels": levels,
+        "period_hours": period_hours,
+        "base": base,
+        "amplitude": amplitude,
+        "peak_hour": peak_hour,
+        "amplitude2": amplitude2,
+        "peak2_hour": peak2_hour,
+        "trace_file": trace_file,
+    }
+    for key, value in present.items():
+        if value is not None and key not in by_kind[kind]:
+            raise ScenarioError(
+                f"{path}.{key}", f"not valid for curve kind {kind!r}"
+            )
+
+    if kind == "flat":
+        if level is None:
+            raise ScenarioError(
+                f"{path}.level", "required for curve kind 'flat'"
+            )
+        if level < 0:
+            raise ScenarioError(f"{path}.level", f"must be >= 0, got {level:g}")
+        return CurveSpec(kind="flat", level=level)
+
+    if kind == "piecewise":
+        if hours is None:
+            raise ScenarioError(
+                f"{path}.hours", "required for curve kind 'piecewise'"
+            )
+        if levels is None:
+            raise ScenarioError(
+                f"{path}.levels", "required for curve kind 'piecewise'"
+            )
+        if not hours:
+            raise ScenarioError(f"{path}.hours", "need at least one segment")
+        if len(hours) != len(levels):
+            raise ScenarioError(
+                f"{path}.levels",
+                f"must pair up with hours "
+                f"({len(hours)} hours, {len(levels)} levels)",
+            )
+        if hours[0] != 0.0:
+            raise ScenarioError(
+                f"{path}.hours", f"the first segment must start at 0, got {hours[0]:g}"
+            )
+        for i, (a, b) in enumerate(zip(hours, hours[1:]), start=1):
+            if b <= a:
+                raise ScenarioError(
+                    f"{path}.hours[{i}]",
+                    f"segment starts must be strictly increasing, "
+                    f"got {a:g} then {b:g}",
+                )
+        for i, v in enumerate(levels):
+            if v < 0:
+                raise ScenarioError(
+                    f"{path}.levels[{i}]", f"must be >= 0, got {v:g}"
+                )
+        period = period_hours if period_hours is not None else 24.0
+        if period <= 0:
+            raise ScenarioError(
+                f"{path}.period_hours", f"must be > 0, got {period:g}"
+            )
+        if hours[-1] >= period:
+            raise ScenarioError(
+                f"{path}.hours[{len(hours) - 1}]",
+                f"segment starts must fall inside the period, "
+                f"got {hours[-1]:g} >= {period:g}",
+            )
+        return CurveSpec(
+            kind="piecewise",
+            hours=tuple(hours),
+            levels=tuple(levels),
+            period_hours=period,
+        )
+
+    if kind == "sinusoidal":
+        if base is None:
+            raise ScenarioError(
+                f"{path}.base", "required for curve kind 'sinusoidal'"
+            )
+        if amplitude is None:
+            raise ScenarioError(
+                f"{path}.amplitude", "required for curve kind 'sinusoidal'"
+            )
+        if amplitude < 0:
+            raise ScenarioError(
+                f"{path}.amplitude", f"must be >= 0, got {amplitude:g}"
+            )
+        amp2 = amplitude2 if amplitude2 is not None else 0.0
+        if amp2 < 0:
+            raise ScenarioError(
+                f"{path}.amplitude2", f"must be >= 0, got {amp2:g}"
+            )
+        if base < amplitude + amp2:
+            raise ScenarioError(
+                f"{path}.base",
+                f"must be >= amplitude + amplitude2 so the curve stays "
+                f"nonnegative, got {base:g} < {amplitude + amp2:g}",
+            )
+        period = period_hours if period_hours is not None else 24.0
+        if period <= 0:
+            raise ScenarioError(
+                f"{path}.period_hours", f"must be > 0, got {period:g}"
+            )
+        return CurveSpec(
+            kind="sinusoidal",
+            base=base,
+            amplitude=amplitude,
+            peak_hour=peak_hour if peak_hour is not None else 0.0,
+            amplitude2=amp2,
+            peak2_hour=peak2_hour if peak2_hour is not None else 0.0,
+            period_hours=period,
+        )
+
+    # trace
+    if trace_file is None:
+        raise ScenarioError(
+            f"{path}.trace_file", "required for curve kind 'trace'"
+        )
+    return CurveSpec(kind="trace", trace_file=trace_file)
+
+
+def _parse_grid(data: Optional[Dict[str, Any]]) -> Optional[GridSpec]:
+    if data is None:
+        return None
+    section = _Section(data, "grid")
+    objective = _choice(
+        section.take("objective", "str", default="efficiency"),
+        GRID_OBJECTIVES,
+        "grid.objective",
+        "objective",
+    )
+    start_hour = section.take("start_hour", "float", default=0.0)
+    if not 0.0 <= start_hour < 24.0:
+        raise ScenarioError(
+            "grid.start_hour", f"must be in [0, 24), got {start_hour:g}"
+        )
+    busy_w = section.take("busy_w", "float")
+    if busy_w is not None and busy_w <= 0:
+        raise ScenarioError("grid.busy_w", f"must be > 0, got {busy_w:g}")
+    idle_w = section.take("idle_w", "float")
+    if idle_w is not None:
+        if idle_w < 0:
+            raise ScenarioError("grid.idle_w", f"must be >= 0, got {idle_w:g}")
+        ceiling = busy_w if busy_w is not None else 350.0
+        if idle_w > ceiling:
+            raise ScenarioError(
+                "grid.idle_w",
+                f"must be <= busy_w ({ceiling:g}), got {idle_w:g}",
+            )
+    # The nested curve tables come off the same cursor so finish()
+    # still rejects unknown [grid] keys.
+    raw_price = section._data.pop("price", None)
+    raw_carbon = section._data.pop("carbon", None)
+    section.finish()
+    price = _parse_curve(raw_price, "grid.price") if raw_price is not None else None
+    carbon = (
+        _parse_curve(raw_carbon, "grid.carbon") if raw_carbon is not None else None
+    )
+    if price is None and carbon is None:
+        raise ScenarioError(
+            "grid", "need at least one curve table ([grid.price] or [grid.carbon])"
+        )
+    if objective == "cost" and price is None:
+        raise ScenarioError(
+            "grid.objective", "objective 'cost' requires a [grid.price] curve"
+        )
+    if objective == "carbon" and carbon is None:
+        raise ScenarioError(
+            "grid.objective",
+            "objective 'carbon' requires a [grid.carbon] curve",
+        )
+    return GridSpec(
+        objective=objective,
+        start_hour=start_hour,
+        busy_w=busy_w,
+        idle_w=idle_w,
+        price=price,
+        carbon=carbon,
+    )
+
+
 def _cross_validate(spec: ScenarioSpec) -> None:
     """Rules spanning sections; assumes per-section parsing passed."""
     failures, workload, sweep = spec.failures, spec.workload, spec.sweep
@@ -566,6 +794,20 @@ def _cross_validate(spec: ScenarioSpec) -> None:
             "adaptive campaigns are only supported for scaling studies",
         )
 
+    if spec.grid is not None:
+        if workload.study != "scaling":
+            raise ScenarioError(
+                "grid.objective",
+                "grid accounting is only supported for scaling studies",
+            )
+        if failures.regime == "trace":
+            raise ScenarioError(
+                "grid.objective",
+                "grid accounting cannot compose with failure-trace replay "
+                "(a single recorded realization has no technique ensemble "
+                "to rank; use a sampled regime)",
+            )
+
     if sweep is not None:
         if sweep.axis == "shape" and failures.regime != "weibull":
             raise ScenarioError(
@@ -622,6 +864,7 @@ def parse_scenario(
             "sweep",
             "run",
             "adaptive",
+            "grid",
         }
         for key in sorted(data):
             if key not in known:
@@ -635,6 +878,7 @@ def parse_scenario(
             sweep=_parse_sweep(_table(data, "sweep")),
             run=_parse_run(_table(data, "run")),
             adaptive=_parse_adaptive(_table(data, "adaptive")),
+            grid=_parse_grid(_table(data, "grid")),
             base_dir=base_dir,
         )
         _cross_validate(spec)

@@ -35,6 +35,12 @@ DATACENTER_MODES = ("techniques", "selection")
 #: Sweepable failure-axis names.
 SWEEP_AXES = ("mtbf_years", "shape", "sigma", "burst_mean_width")
 
+#: Objectives a ``[grid]`` block can rank techniques by.
+GRID_OBJECTIVES = ("efficiency", "cost", "carbon")
+
+#: Curve kinds a ``[grid.price]`` / ``[grid.carbon]`` table can select.
+CURVE_KINDS = ("flat", "piecewise", "sinusoidal", "trace")
+
 
 @dataclass(frozen=True)
 class ScenarioMeta:
@@ -126,6 +132,50 @@ class AdaptiveSpec:
 
 
 @dataclass(frozen=True)
+class CurveSpec:
+    """One curve table (``[grid.price]`` / ``[grid.carbon]``).
+
+    ``kind`` selects the model; the other fields are that kind's
+    parameters (times in **hours** in the document, converted to
+    seconds when the runtime builds the actual
+    :class:`repro.grid.curves.Curve`).  ``trace_file`` (kind
+    ``"trace"``) replays a recorded curve, resolved relative to the
+    spec file like ``failures.trace_file``.
+    """
+
+    kind: str
+    level: Optional[float] = None
+    hours: Optional[Tuple[float, ...]] = None
+    levels: Optional[Tuple[float, ...]] = None
+    period_hours: Optional[float] = None
+    base: Optional[float] = None
+    amplitude: Optional[float] = None
+    peak_hour: Optional[float] = None
+    amplitude2: Optional[float] = None
+    peak2_hour: Optional[float] = None
+    trace_file: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The ``[grid]`` section: curves, objective, and anchoring.
+
+    ``objective`` picks what the grid report ranks techniques by
+    (``cost`` needs a price curve, ``carbon`` a carbon curve;
+    ``efficiency`` reports costs but ranks by the paper's metric).
+    ``start_hour`` anchors simulation time 0 on the curves' daily
+    clock; ``busy_w``/``idle_w`` override the default power model.
+    """
+
+    objective: str = "efficiency"
+    start_hour: float = 0.0
+    busy_w: Optional[float] = None
+    idle_w: Optional[float] = None
+    price: Optional[CurveSpec] = None
+    carbon: Optional[CurveSpec] = None
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One fully parsed scenario document."""
 
@@ -137,6 +187,7 @@ class ScenarioSpec:
     sweep: Optional[SweepSpec] = None
     run: RunSpec = field(default_factory=RunSpec)
     adaptive: Optional[AdaptiveSpec] = None
+    grid: Optional[GridSpec] = None
     #: Directory of the source file, for resolving ``trace_file``;
     #: *not* part of the canonical form (two copies of one spec in
     #: different directories are the same scenario).
@@ -219,6 +270,42 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
             "ci_rel_threshold": spec.adaptive.ci_rel_threshold,
             "refine_depth": spec.adaptive.refine_depth,
         }
+    if spec.grid is not None:
+        # Emitted only when the section is present, so the canonical
+        # JSON (and spec_sha256) of every pre-grid scenario is unchanged.
+        def curve_doc(curve: Optional[CurveSpec]) -> Optional[Dict[str, Any]]:
+            if curve is None:
+                return None
+            return prune(
+                {
+                    "kind": curve.kind,
+                    "level": curve.level,
+                    "hours": list(curve.hours)
+                    if curve.hours is not None
+                    else None,
+                    "levels": list(curve.levels)
+                    if curve.levels is not None
+                    else None,
+                    "period_hours": curve.period_hours,
+                    "base": curve.base,
+                    "amplitude": curve.amplitude,
+                    "peak_hour": curve.peak_hour,
+                    "amplitude2": curve.amplitude2,
+                    "peak2_hour": curve.peak2_hour,
+                    "trace_file": curve.trace_file,
+                }
+            )
+
+        doc["grid"] = prune(
+            {
+                "objective": spec.grid.objective,
+                "start_hour": spec.grid.start_hour,
+                "busy_w": spec.grid.busy_w,
+                "idle_w": spec.grid.idle_w,
+                "price": curve_doc(spec.grid.price),
+                "carbon": curve_doc(spec.grid.carbon),
+            }
+        )
     return doc
 
 

@@ -74,9 +74,17 @@ class JobSource(abc.ABC):
 
     @abc.abstractmethod
     def complete(
-        self, worker: str, job_id: str, result: str
+        self,
+        worker: str,
+        job_id: str,
+        result: str,
+        counters: Optional[Dict[str, int]] = None,
     ) -> Tuple[bool, str]:
-        """Push a success; returns ``(accepted, final_state)``."""
+        """Push a success; returns ``(accepted, final_state)``.
+
+        *counters* optionally carries the job's instrumentation-counter
+        increments (the ``grid.*`` accounting deltas) for sources whose
+        control plane lives in another process."""
 
     @abc.abstractmethod
     def fail(self, worker: str, job_id: str, error: str) -> Tuple[bool, str]:
@@ -128,9 +136,16 @@ class LocalJobSource(JobSource):
             return "unknown"
 
     def complete(
-        self, worker: str, job_id: str, result: str
+        self,
+        worker: str,
+        job_id: str,
+        result: str,
+        counters: Optional[Dict[str, int]] = None,
     ) -> Tuple[bool, str]:
-        """Store the result (lease-holder-only) and report the state."""
+        """Store the result (lease-holder-only) and report the state.
+
+        *counters* is ignored: the job ran in this process, so its
+        increments already landed on the process-global counters."""
         accepted = self.store.complete(job_id, worker, result)
         return accepted, self._final_state(job_id)
 
@@ -218,13 +233,20 @@ class RemoteJobSource(JobSource):
         return bool(entry["accepted"]), entry.get("state", "unknown")
 
     def complete(
-        self, worker: str, job_id: str, result: str
+        self,
+        worker: str,
+        job_id: str,
+        result: str,
+        counters: Optional[Dict[str, int]] = None,
     ) -> Tuple[bool, str]:
-        """Push a success; idempotent server-side."""
+        """Push a success; idempotent server-side.  Any *counters*
+        ride the completion item so the control plane can fold the
+        job's grid accounting into its fleet-wide totals."""
         self._forget_watch(job_id)
-        return self._push(
-            worker, {"id": job_id, "ok": True, "result": result}
-        )
+        item: Dict[str, Any] = {"id": job_id, "ok": True, "result": result}
+        if counters:
+            item["counters"] = dict(counters)
+        return self._push(worker, item)
 
     def fail(self, worker: str, job_id: str, error: str) -> Tuple[bool, str]:
         """Push a failure; idempotent server-side."""
@@ -539,26 +561,42 @@ class WorkerAgent:
                 if self.telemetry is not None
                 else None
             )
+            before = obs_counters.snapshot()
             with live.activated(sink):
                 outcome = spec.execute(
                     metrics=self.metrics, cache_dir=cache_dir
                 )
+            # Grid cost/carbon accounting increments locally during
+            # execute(); a remote control plane only learns about them
+            # through the completion push.
+            grid_delta = {
+                key: n
+                for key, n in obs_counters.delta_since(before).items()
+                if key.startswith("grid.")
+            }
         except ValidationError as exc:
             self._push_failure(record.id, f"invalid job spec: {exc}")
         except Exception:
             self._push_failure(record.id, traceback.format_exc(limit=20))
         else:
-            self._push_result(record.id, outcome.text)
+            self._push_result(record.id, outcome.text, counters=grid_delta)
         finally:
             with self._inflight_lock:
                 self._inflight.pop(record.id, None)
 
-    def _push_result(self, job_id: str, text: str) -> None:
+    def _push_result(
+        self,
+        job_id: str,
+        text: str,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
         """Push a success idempotently: an "already terminal" answer
         (a retried push whose first attempt landed, or a re-run that
         beat us) is dropped, never an error."""
         try:
-            accepted, state = self.source.complete(self.identity, job_id, text)
+            accepted, state = self.source.complete(
+                self.identity, job_id, text, counters=counters
+            )
         except Exception as exc:
             self._log(
                 f"result push for {job_id} failed ({exc}); "

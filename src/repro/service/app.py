@@ -649,6 +649,16 @@ class ReproService:
                     obs_counters.increment("service.jobs_cancelled")
                 else:
                     obs_counters.increment("service.jobs_completed")
+                if item.ok and item.counters:
+                    # Fold the remote worker's grid cost/carbon deltas
+                    # into the fleet-wide totals.  Only the grid.*
+                    # namespace is accepted — an agent cannot inflate
+                    # arbitrary service counters — and only on the
+                    # first accepted push (idempotence comes free from
+                    # the lease-holder-only completion above).
+                    for key, n in item.counters.items():
+                        if key.startswith("grid."):
+                            obs_counters.increment(key, n)
             results.append(
                 {"id": item.job_id, "accepted": accepted, "state": state}
             )
@@ -719,6 +729,16 @@ class ReproService:
                 "trials_done": self.metrics.trials_done,
                 "trials_per_sec": self.metrics.trials_per_sec,
                 "wall_s": self.metrics.wall_s,
+            },
+            "grid": {
+                # Fleet-wide cumulative grid accounting, folded from
+                # every grid-scenario cell this control plane has run
+                # or accepted from an agent (integer micro-USD /
+                # milligram / joule counters rendered in SI units).
+                "cost_usd": counters.get("grid.cost_microusd", 0) / 1e6,
+                "carbon_g": counters.get("grid.carbon_mg", 0) / 1e3,
+                "energy_kwh": counters.get("grid.energy_j", 0) / 3.6e6,
+                "cells_accounted": counters.get("grid.cells_accounted", 0),
             },
             "sites": self._sites_metrics(),
             "campaigns": self.campaigns.summary(),

@@ -157,12 +157,19 @@ def parse_claim_request(payload: Any) -> ClaimRequest:
 @dataclass(frozen=True)
 class CompletionItem:
     """One job outcome in a ``POST /v1/jobs/complete`` batch: a result
-    body on success, an error line on failure."""
+    body on success, an error line on failure.
+
+    ``counters`` optionally carries the worker's instrumentation-counter
+    increments for the job (today the ``grid.*`` cost/carbon accounting
+    deltas), so fleet-wide cumulative telemetry survives the process
+    boundary between a remote agent and the control plane.
+    """
 
     job_id: str
     ok: bool
     result: str = ""
     error: str = ""
+    counters: Optional[Dict[str, int]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """One entry of a completion request's ``results`` list."""
@@ -171,6 +178,8 @@ class CompletionItem:
             item["result"] = self.result
         else:
             item["error"] = self.error
+        if self.counters:
+            item["counters"] = dict(self.counters)
         return item
 
 
@@ -206,6 +215,16 @@ def parse_complete_request(payload: Any) -> Tuple[str, List[CompletionItem]]:
                 f"results[{index}].{'result' if ok else 'error'} "
                 f"must be a string"
             )
+        counters = entry.pop("counters", None)
+        if counters is not None:
+            if not isinstance(counters, dict) or not all(
+                isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+                for k, v in counters.items()
+            ):
+                raise ValidationError(
+                    f"results[{index}].counters must map counter names "
+                    f"to integers"
+                )
         _check_no_extras(entry, f"results[{index}]")
         items.append(
             CompletionItem(
@@ -213,6 +232,7 @@ def parse_complete_request(payload: Any) -> Tuple[str, List[CompletionItem]]:
                 ok=ok,
                 result=body if ok else "",
                 error="" if ok else body,
+                counters=counters,
             )
         )
     return worker, items

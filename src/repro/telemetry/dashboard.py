@@ -79,6 +79,10 @@ DASHBOARD_HTML = """<!DOCTYPE html>
       <div class="k">failed</div></div>
     <div class="card"><div class="v" id="c-hit">&ndash;</div>
       <div class="k">cache hit rate</div></div>
+    <div class="card"><div class="v" id="c-cost">&ndash;</div>
+      <div class="k">grid cost (USD)</div></div>
+    <div class="card"><div class="v" id="c-carbon">&ndash;</div>
+      <div class="k">grid carbon (kg)</div></div>
     <div class="card"><div class="v" id="c-uptime">&ndash;</div>
       <div class="k">uptime</div></div>
   </section>
@@ -127,6 +131,15 @@ function renderMetrics(m) {
   $("c-failed").textContent = m.jobs.failed;
   $("c-hit").textContent = m.cache.hit_rate == null
     ? "\\u2013" : Math.round(100 * m.cache.hit_rate) + "%";
+  var g = m.grid || {};
+  $("c-cost").textContent = g.cells_accounted
+    ? "$" + Number(g.cost_usd).toLocaleString(
+        undefined, {maximumFractionDigits: 0})
+    : "\\u2013";
+  $("c-carbon").textContent = g.cells_accounted
+    ? Number(g.carbon_g / 1000).toLocaleString(
+        undefined, {maximumFractionDigits: 0})
+    : "\\u2013";
   $("c-uptime").textContent = fmtDur(m.uptime_s);
   var names = Object.keys(m.sites || {}).sort();
   if (names.length) {

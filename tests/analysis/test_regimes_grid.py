@@ -1,0 +1,172 @@
+"""Grid-objective regime solvers: objective values, the $-crossover
+locator, and the curve-level boundary solver."""
+
+import pytest
+
+from repro.analysis import regimes
+from repro.analysis.regimes import (
+    crossover_fraction,
+    grid_crossover_fraction,
+    grid_crossover_level,
+    grid_objective_value,
+)
+from repro.grid.curves import FlatCurve
+from repro.platform.presets import exascale_system
+from repro.resilience.registry import get_technique
+from repro.units import years
+
+MTBF = years(2.5)
+PRICE = FlatCurve(0.12)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return exascale_system()
+
+
+class TestGridObjectiveValue:
+    def test_cost_is_positive_dollars(self, system):
+        usd = grid_objective_value(
+            get_technique("multilevel"), "D64", 0.1, system, MTBF,
+            objective="cost", price=PRICE,
+        )
+        assert usd > 0
+
+    def test_carbon_scales_with_intensity(self, system):
+        low = grid_objective_value(
+            get_technique("multilevel"), "D64", 0.1, system, MTBF,
+            objective="carbon", carbon=FlatCurve(100.0),
+        )
+        high = grid_objective_value(
+            get_technique("multilevel"), "D64", 0.1, system, MTBF,
+            objective="carbon", carbon=FlatCurve(400.0),
+        )
+        assert high == pytest.approx(4 * low, rel=1e-9)
+
+    def test_efficiency_objective_is_negated(self, system):
+        value = grid_objective_value(
+            get_technique("multilevel"), "D64", 0.1, system, MTBF,
+            objective="efficiency",
+        )
+        assert -1.0 < value < 0.0
+
+    def test_cost_grows_with_allocation(self, system):
+        costs = [
+            grid_objective_value(
+                get_technique("checkpoint_restart"), "A32", f, system,
+                MTBF, objective="cost", price=PRICE,
+            )
+            for f in (0.01, 0.1, 0.5)
+        ]
+        assert costs == sorted(costs)
+
+
+class TestGridCrossoverFraction:
+    def test_d64_dollar_crossover_exists_and_differs_from_efficiency(
+        self, system
+    ):
+        """Parallel recovery's recovery-idling saves dollars before it
+        wins on efficiency: the $-crossover must land strictly left of
+        the paper's ~25% efficiency crossover."""
+        dollars = grid_crossover_fraction(
+            "D64", system, MTBF, objective="cost", price=PRICE
+        )
+        efficiency = crossover_fraction("D64", system, MTBF)
+        assert dollars is not None and efficiency is not None
+        assert 0.05 < dollars < efficiency
+
+    def test_sign_flips_across_the_root(self, system):
+        root = grid_crossover_fraction(
+            "D64", system, MTBF, objective="cost", price=PRICE
+        )
+        ml, pr = get_technique("multilevel"), get_technique("parallel_recovery")
+
+        def gap(fraction):
+            return grid_objective_value(
+                ml, "D64", fraction, system, MTBF,
+                objective="cost", price=PRICE,
+            ) - grid_objective_value(
+                pr, "D64", fraction, system, MTBF,
+                objective="cost", price=PRICE,
+            )
+
+        assert gap(root - 0.03) < 0  # multilevel cheaper below
+        assert gap(root + 0.03) > 0  # parallel recovery cheaper above
+
+
+class TestBracketEdges:
+    """Synthetic gap functions via monkeypatching, exact by
+    construction (same approach as ``test_regimes_brackets``)."""
+
+    def patch_costs(self, monkeypatch, small_fn, large_fn):
+        def fake(
+            technique, app_type, fraction, system, node_mtbf_s,
+            objective="cost", price=None, carbon=None, power=None,
+            start_s=0.0, severity=None,
+        ):
+            if technique.name == "multilevel":
+                return small_fn(fraction)
+            if technique.name == "parallel_recovery":
+                return large_fn(fraction)
+            raise AssertionError(f"unexpected technique {technique.name}")
+
+        monkeypatch.setattr(regimes, "grid_objective_value", fake)
+
+    def test_never_crosses_returns_none(self, monkeypatch, system):
+        self.patch_costs(monkeypatch, lambda f: 100.0, lambda f: 150.0)
+        assert (
+            grid_crossover_fraction("D64", system, MTBF, price=PRICE)
+            is None
+        )
+
+    def test_already_cheaper_returns_low_endpoint(self, monkeypatch, system):
+        self.patch_costs(monkeypatch, lambda f: 150.0, lambda f: 100.0)
+        lo = max(10.0 / system.total_nodes, 1e-4)
+        assert grid_crossover_fraction(
+            "D64", system, MTBF, price=PRICE
+        ) == pytest.approx(lo)
+
+    def test_interior_root_is_located(self, monkeypatch, system):
+        # Gap crosses at f = 0.4 with a wide margin on both sides.
+        self.patch_costs(
+            monkeypatch, lambda f: 100.0, lambda f: 100.0 * (1.4 - f)
+        )
+        root = grid_crossover_fraction("D64", system, MTBF, price=PRICE)
+        assert root == pytest.approx(0.4, abs=0.01)
+
+    def test_level_solver_interior_root(self, monkeypatch, system):
+        def fake(
+            technique, app_type, fraction, system, node_mtbf_s,
+            objective="cost", price=None, carbon=None, power=None,
+            start_s=0.0, severity=None,
+        ):
+            level = price.level
+            if technique.name == "checkpoint_restart":
+                return 100.0
+            return 150.0 - 10.0 * level  # crosses at level 5
+
+        monkeypatch.setattr(regimes, "grid_objective_value", fake)
+        root = grid_crossover_level(
+            "D64", 0.25, system, MTBF,
+            curve_factory=FlatCurve, lo=0.0, hi=10.0,
+        )
+        assert root == pytest.approx(5.0, rel=1e-6)
+
+    def test_level_solver_edges(self, monkeypatch, system):
+        def cheaper_b(technique, *args, **kwargs):
+            return 100.0 if technique.name == "parallel_recovery" else 150.0
+
+        monkeypatch.setattr(regimes, "grid_objective_value", cheaper_b)
+        assert grid_crossover_level(
+            "D64", 0.25, system, MTBF,
+            curve_factory=FlatCurve, lo=1.0, hi=10.0,
+        ) == pytest.approx(1.0)
+
+        def cheaper_a(technique, *args, **kwargs):
+            return 100.0 if technique.name == "checkpoint_restart" else 150.0
+
+        monkeypatch.setattr(regimes, "grid_objective_value", cheaper_a)
+        assert grid_crossover_level(
+            "D64", 0.25, system, MTBF,
+            curve_factory=FlatCurve, lo=1.0, hi=10.0,
+        ) is None

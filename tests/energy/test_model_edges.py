@@ -1,0 +1,121 @@
+"""Edge cases of the energy model: the recovery-cohort clamp, the
+degenerate power models, and the overhead-ratio guard rails."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.energy.model import (
+    EnergyBreakdown,
+    PowerModel,
+    energy_of,
+    energy_overhead_ratio,
+)
+
+
+def fake_stats(
+    nodes=100,
+    recovery_speedup=1.0,
+    work_s=1000.0,
+    rework_s=100.0,
+    checkpoint_s=50.0,
+    restart_s=10.0,
+    effective_work_s=1000.0,
+):
+    """A stats/plan pair with exactly controlled activity seconds
+    (energy accounting only reads attributes, never simulates)."""
+    plan = SimpleNamespace(
+        nodes_required=nodes,
+        recovery_speedup=recovery_speedup,
+        effective_work_s=effective_work_s,
+        app=SimpleNamespace(app_id="fake-app"),
+    )
+    return SimpleNamespace(
+        plan=plan,
+        work_time_s=work_s,
+        rework_time_s=rework_s,
+        checkpoint_time_s=checkpoint_s,
+        restart_time_s=restart_s,
+    )
+
+
+class TestRecoveryCohort:
+    def test_speedup_exactly_one_charges_every_node(self):
+        stats = fake_stats(recovery_speedup=1.0)
+        breakdown = energy_of(stats, PowerModel(busy_w=100.0, idle_w=10.0))
+        # Default idling rule: speedup 1.0 means no parallel recovery,
+        # so rework re-executes on all 100 nodes at busy power.
+        assert breakdown.rework_j == pytest.approx(100.0 * 100 * 100.0)
+
+    def test_speedup_above_node_count_clamps_to_the_allocation(self):
+        stats = fake_stats(nodes=4, recovery_speedup=64.0)
+        power = PowerModel(busy_w=100.0, idle_w=10.0)
+        breakdown = energy_of(stats, power)
+        # busy_nodes clamps at 4: no negative idle cohort, and the
+        # whole allocation burns busy power during rework.
+        assert breakdown.rework_j == pytest.approx(100.0 * 4 * 100.0)
+
+    def test_fractional_cohort_splits_busy_and_idle(self):
+        stats = fake_stats(nodes=10, recovery_speedup=4.0)
+        power = PowerModel(busy_w=100.0, idle_w=10.0)
+        breakdown = energy_of(stats, power)
+        assert breakdown.rework_j == pytest.approx(
+            100.0 * (4 * 100.0 + 6 * 10.0)
+        )
+
+    def test_explicit_override_beats_the_speedup_default(self):
+        stats = fake_stats(nodes=10, recovery_speedup=4.0)
+        power = PowerModel(busy_w=100.0, idle_w=10.0)
+        busy = energy_of(stats, power, recovery_idles_rest=False)
+        assert busy.rework_j == pytest.approx(100.0 * 10 * 100.0)
+
+
+class TestPowerModelEdges:
+    def test_idle_equal_to_busy_is_allowed(self):
+        power = PowerModel(busy_w=200.0, idle_w=200.0)
+        stats = fake_stats(nodes=10, recovery_speedup=4.0)
+        breakdown = energy_of(stats, power)
+        # With no busy/idle contrast, cohort idling changes nothing.
+        assert breakdown.rework_j == pytest.approx(100.0 * 10 * 200.0)
+
+    def test_zero_idle_power_is_allowed(self):
+        power = PowerModel(busy_w=200.0, idle_w=0.0)
+        stats = fake_stats(nodes=10, recovery_speedup=4.0)
+        breakdown = energy_of(stats, power)
+        assert breakdown.rework_j == pytest.approx(100.0 * 4 * 200.0)
+
+    def test_zero_activity_yields_zero_energy(self):
+        stats = fake_stats(
+            work_s=0.0, rework_s=0.0, checkpoint_s=0.0, restart_s=0.0
+        )
+        assert energy_of(stats).total_j == 0.0
+
+
+class TestOverheadRatio:
+    def test_zero_work_plan_is_an_error_not_a_nan(self):
+        stats = fake_stats(effective_work_s=0.0)
+        breakdown = EnergyBreakdown(1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError, match="no effective work"):
+            energy_overhead_ratio(stats, breakdown=breakdown)
+
+    def test_precomputed_breakdown_matches_recomputation(self):
+        stats = fake_stats()
+        power = PowerModel(busy_w=100.0, idle_w=10.0)
+        precomputed = energy_of(stats, power)
+        assert energy_overhead_ratio(
+            stats, power, breakdown=precomputed
+        ) == pytest.approx(energy_overhead_ratio(stats, power))
+
+    def test_exact_ratio_arithmetic(self):
+        stats = fake_stats(
+            nodes=10,
+            recovery_speedup=1.0,
+            work_s=1000.0,
+            rework_s=500.0,
+            checkpoint_s=0.0,
+            restart_s=0.0,
+            effective_work_s=1000.0,
+        )
+        power = PowerModel(busy_w=100.0, idle_w=10.0)
+        # total = (1000 + 500) busy node-seconds vs ideal 1000.
+        assert energy_overhead_ratio(stats, power) == pytest.approx(1.5)

@@ -1,0 +1,115 @@
+"""Accountant tests: pricing energy breakdowns against curves."""
+
+import pytest
+
+from repro.core.single_app import SingleAppConfig, simulate_application
+from repro.energy.model import EnergyBreakdown, PowerModel, energy_of
+from repro.grid.accountant import account_energy, account_execution
+from repro.grid.curves import DAY_S, J_PER_KWH, FlatCurve, PiecewiseCurve
+from repro.resilience.checkpoint_restart import CheckpointRestart
+from repro.units import years
+
+HOUR_S = 3600.0
+
+# 1 kWh of work, 0.5 of rework, 0.25 of checkpoint, 0.25 of restart.
+BREAKDOWN = EnergyBreakdown(
+    work_j=1.0 * J_PER_KWH,
+    rework_j=0.5 * J_PER_KWH,
+    checkpoint_j=0.25 * J_PER_KWH,
+    restart_j=0.25 * J_PER_KWH,
+)
+
+# Flat 0.08 $/kWh off-peak, 0.24 at hours 12-18.
+TOU = PiecewiseCurve(
+    [0.0, 12 * HOUR_S, 18 * HOUR_S],
+    [0.08, 0.24, 0.08],
+    period_s=DAY_S,
+)
+
+
+class TestAccountEnergy:
+    def test_flat_curves_exact_arithmetic(self):
+        cost = account_energy(
+            BREAKDOWN,
+            t0=0.0,
+            t1=HOUR_S,
+            price=FlatCurve(0.10),
+            carbon=FlatCurve(400.0),
+        )
+        assert cost.work_usd == pytest.approx(0.10)
+        assert cost.rework_usd == pytest.approx(0.05)
+        assert cost.checkpoint_usd == pytest.approx(0.025)
+        assert cost.restart_usd == pytest.approx(0.025)
+        assert cost.total_usd == pytest.approx(0.20)
+        assert cost.work_g == pytest.approx(400.0)
+        assert cost.total_g == pytest.approx(800.0)
+        assert cost.energy_kwh == pytest.approx(2.0)
+
+    def test_missing_curve_zeroes_that_dimension(self):
+        price_only = account_energy(
+            BREAKDOWN, 0.0, HOUR_S, price=FlatCurve(0.10)
+        )
+        assert price_only.total_usd > 0
+        assert price_only.total_g == 0.0
+        carbon_only = account_energy(
+            BREAKDOWN, 0.0, HOUR_S, carbon=FlatCurve(400.0)
+        )
+        assert carbon_only.total_usd == 0.0
+        assert carbon_only.total_g > 0
+        # kWh is curve-independent.
+        assert price_only.energy_kwh == carbon_only.energy_kwh == 2.0
+
+    def test_charge_rate_is_window_mean(self):
+        t0, t1 = 11 * HOUR_S, 13 * HOUR_S  # straddles the noon step
+        cost = account_energy(BREAKDOWN, t0, t1, price=TOU)
+        assert cost.total_usd == pytest.approx(
+            (BREAKDOWN.total_j / J_PER_KWH) * TOU.mean(t0, t1)
+        )
+        assert TOU.mean(t0, t1) == pytest.approx(0.16)
+
+    def test_peak_window_costs_more_than_off_peak(self):
+        off = account_energy(BREAKDOWN, 0.0, 2 * HOUR_S, price=TOU)
+        peak = account_energy(
+            BREAKDOWN, 13 * HOUR_S, 15 * HOUR_S, price=TOU
+        )
+        assert peak.total_usd == pytest.approx(3 * off.total_usd)
+
+    def test_zero_length_window_prices_at_the_instant(self):
+        cost = account_energy(BREAKDOWN, 13 * HOUR_S, 13 * HOUR_S, price=TOU)
+        assert cost.work_usd == pytest.approx(1.0 * 0.24)
+
+
+class TestAccountExecution:
+    @pytest.fixture
+    def stats(self, small_system, small_app):
+        config = SingleAppConfig(node_mtbf_s=years(0.2), seed=5)
+        return simulate_application(
+            small_app, CheckpointRestart(), small_system, config
+        )
+
+    def test_matches_account_energy_over_execution_window(self, stats):
+        power = PowerModel()
+        offset = 8 * HOUR_S
+        direct = account_execution(
+            stats, power, price=TOU, carbon=FlatCurve(400.0), offset_s=offset
+        )
+        expected = account_energy(
+            energy_of(stats, power),
+            t0=offset + stats.start_time,
+            t1=offset + stats.end_time,
+            price=TOU,
+            carbon=FlatCurve(400.0),
+        )
+        assert direct == expected
+
+    def test_start_offset_changes_the_bill_under_tou(self, stats):
+        night = account_execution(stats, price=TOU, offset_s=0.0)
+        noon = account_execution(stats, price=TOU, offset_s=12 * HOUR_S)
+        assert noon.total_usd > night.total_usd
+
+    def test_flat_curve_is_offset_invariant(self, stats):
+        a = account_execution(stats, price=FlatCurve(0.10), offset_s=0.0)
+        b = account_execution(
+            stats, price=FlatCurve(0.10), offset_s=17 * HOUR_S
+        )
+        assert a.total_usd == pytest.approx(b.total_usd, rel=1e-12)

@@ -1,0 +1,280 @@
+"""Curve tests: exact integrals vs numeric quadrature, periodicity,
+JSONL persistence, and strict format errors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import integrate
+
+from repro.grid.curves import (
+    CURVE_FORMAT_VERSION,
+    DAY_S,
+    UNIT_PRICE,
+    CurveFormatError,
+    FlatCurve,
+    PiecewiseCurve,
+    SinusoidalCurve,
+    TraceCurve,
+    curve_digest,
+    curve_from_jsonl,
+    curve_to_jsonl,
+    load_curve,
+    save_curve,
+)
+
+# Time-of-use shape: off-peak / shoulder / peak / shoulder.
+TOU = dict(
+    times_s=[0.0, 7 * 3600.0, 16 * 3600.0, 21 * 3600.0],
+    levels=[0.08, 0.12, 0.24, 0.12],
+)
+
+
+def quadrature(curve, t0, t1):
+    """Adaptive quadrature of ``curve.value_at`` over ``[t0, t1]``,
+    split at every step discontinuity so each piece is smooth."""
+    breaks = sorted({t0, t1})
+    if isinstance(curve, PiecewiseCurve):
+        if curve.period_s is None:
+            starts = list(curve.times_s)
+        else:
+            k0 = math.floor(t0 / curve.period_s) - 1
+            k1 = math.floor(t1 / curve.period_s) + 1
+            starts = [
+                k * curve.period_s + s
+                for k in range(int(k0), int(k1) + 1)
+                for s in curve.times_s
+            ]
+        breaks = sorted({t0, t1} | {s for s in starts if t0 < s < t1})
+    total = 0.0
+    for a, b in zip(breaks, breaks[1:]):
+        piece, _ = integrate.quad(
+            curve.value_at, a, b, epsabs=1e-13, epsrel=1e-13, limit=200
+        )
+        total += piece
+    return total
+
+
+def assert_integral_matches(curve, t0, t1):
+    exact = curve.integral(t0, t1)
+    numeric = quadrature(curve, t0, t1)
+    assert exact == pytest.approx(numeric, rel=1e-9, abs=1e-9)
+
+
+window = st.tuples(
+    st.floats(min_value=-2 * DAY_S, max_value=2 * DAY_S),
+    st.floats(min_value=0.0, max_value=1.5 * DAY_S),
+)
+
+
+class TestIntegralVsQuadrature:
+    @given(w=window, level=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_flat(self, w, level):
+        t0, dt = w
+        assert_integral_matches(FlatCurve(level), t0, t0 + dt)
+
+    @given(w=window)
+    @settings(max_examples=50, deadline=None)
+    def test_piecewise_periodic(self, w):
+        t0, dt = w
+        curve = PiecewiseCurve(**TOU, period_s=DAY_S)
+        assert_integral_matches(curve, t0, t0 + dt)
+
+    @given(w=window)
+    @settings(max_examples=50, deadline=None)
+    def test_piecewise_aperiodic(self, w):
+        t0, dt = w
+        curve = PiecewiseCurve(**TOU)
+        assert_integral_matches(curve, t0, t0 + dt)
+
+    @given(
+        w=window,
+        base=st.floats(min_value=0.2, max_value=1.0),
+        amplitude=st.floats(min_value=0.0, max_value=0.1),
+        amplitude2=st.floats(min_value=0.0, max_value=0.1),
+        peak_hour=st.floats(min_value=0.0, max_value=24.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sinusoidal_double_peak(
+        self, w, base, amplitude, amplitude2, peak_hour
+    ):
+        t0, dt = w
+        curve = SinusoidalCurve(
+            base=base,
+            amplitude=amplitude,
+            peak_s=peak_hour * 3600.0,
+            amplitude2=amplitude2,
+            peak2_s=8 * 3600.0,
+        )
+        assert_integral_matches(curve, t0, t0 + dt)
+
+
+class TestCurveSemantics:
+    @pytest.fixture(
+        params=[
+            FlatCurve(0.12),
+            PiecewiseCurve(**TOU, period_s=DAY_S),
+            SinusoidalCurve(0.12, 0.05, peak_s=18 * 3600.0, amplitude2=0.02),
+        ],
+        ids=["flat", "piecewise", "sinusoidal"],
+    )
+    def curve(self, request):
+        return request.param
+
+    def test_empty_interval_integrates_to_zero(self, curve):
+        assert curve.integral(100.0, 100.0) == 0.0
+        assert curve.integral(100.0, 50.0) == 0.0
+
+    def test_empty_interval_mean_is_point_value(self, curve):
+        assert curve.mean(5000.0, 5000.0) == curve.value_at(5000.0)
+        assert curve.mean(5000.0, 4000.0) == curve.value_at(5000.0)
+
+    def test_nonnegative_everywhere(self, curve):
+        assert all(
+            curve.value_at(h * 1800.0) >= 0.0 for h in range(-48, 96)
+        )
+
+    def test_periodicity(self, curve):
+        if getattr(curve, "period_s", None) is None:
+            pytest.skip("aperiodic")
+        period = curve.period_s
+        for t in (0.0, 3333.0, 50_000.0):
+            assert curve.value_at(t + period) == pytest.approx(
+                curve.value_at(t), abs=1e-12
+            )
+            assert curve.integral(t, t + period) == pytest.approx(
+                curve.integral(0.0, period), rel=1e-12
+            )
+
+    def test_to_dict_is_json_safe(self, curve):
+        import json
+
+        assert json.dumps(curve.to_dict())
+
+    def test_additivity_over_split(self, curve):
+        whole = curve.integral(1000.0, 90_000.0)
+        split = curve.integral(1000.0, 40_000.0) + curve.integral(
+            40_000.0, 90_000.0
+        )
+        assert whole == pytest.approx(split, rel=1e-12)
+
+
+class TestValidation:
+    def test_flat_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FlatCurve(-0.1)
+
+    def test_flat_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            FlatCurve(float("nan"))
+
+    def test_piecewise_first_segment_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            PiecewiseCurve([1.0, 2.0], [0.1, 0.2])
+
+    def test_piecewise_starts_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PiecewiseCurve([0.0, 5.0, 5.0], [0.1, 0.2, 0.3])
+
+    def test_piecewise_rejects_negative_level(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PiecewiseCurve([0.0], [-1.0])
+
+    def test_piecewise_start_outside_period(self):
+        with pytest.raises(ValueError, match="inside the period"):
+            PiecewiseCurve([0.0, 30.0], [0.1, 0.2], period_s=20.0)
+
+    def test_piecewise_needs_a_segment(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            PiecewiseCurve([], [])
+
+    def test_sinusoidal_nonnegativity_guard(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            SinusoidalCurve(base=0.1, amplitude=0.08, amplitude2=0.05)
+
+    def test_sinusoidal_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="period_s"):
+            SinusoidalCurve(base=1.0, amplitude=0.1, period_s=0.0)
+
+
+class TestJsonlPersistence:
+    def make(self):
+        return TraceCurve(
+            times_s=[0.0, 3600.0, 7200.0],
+            levels=[0.08, 0.24, 0.12],
+            period_s=DAY_S,
+            unit=UNIT_PRICE,
+        )
+
+    def test_round_trip(self, tmp_path):
+        curve = self.make()
+        path = tmp_path / "tariff.jsonl"
+        save_curve(curve, path)
+        loaded = load_curve(path)
+        assert loaded.times_s == curve.times_s
+        assert loaded.levels == curve.levels
+        assert loaded.period_s == curve.period_s
+        assert loaded.unit == curve.unit
+        assert curve_digest(loaded) == curve_digest(curve)
+
+    def test_canonical_text_is_stable(self):
+        assert curve_to_jsonl(self.make()) == curve_to_jsonl(self.make())
+
+    def test_digest_tracks_content(self):
+        a = self.make()
+        b = TraceCurve(
+            times_s=[0.0, 3600.0, 7200.0],
+            levels=[0.08, 0.24, 0.13],
+            period_s=DAY_S,
+            unit=UNIT_PRICE,
+        )
+        assert curve_digest(a) != curve_digest(b)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(CurveFormatError, match="empty"):
+            curve_from_jsonl("")
+
+    def test_bad_header_json_rejected(self):
+        with pytest.raises(CurveFormatError, match="not valid JSON"):
+            curve_from_jsonl("{nope\n")
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(CurveFormatError, match="missing format header"):
+            curve_from_jsonl('{"format": "other", "version": 1}\n')
+
+    def test_version_skew_rejected(self):
+        text = curve_to_jsonl(self.make()).replace(
+            f'"version":{CURVE_FORMAT_VERSION}', '"version":99'
+        )
+        with pytest.raises(CurveFormatError, match="version"):
+            curve_from_jsonl(text)
+
+    def test_truncation_detected(self):
+        lines = curve_to_jsonl(self.make()).splitlines()
+        with pytest.raises(CurveFormatError, match="truncated"):
+            curve_from_jsonl("\n".join(lines[:-1]))
+
+    def test_bad_record_line_reported_with_number(self):
+        lines = curve_to_jsonl(self.make()).splitlines()
+        lines[2] = '{"t": "x"}'
+        with pytest.raises(CurveFormatError, match="line 3"):
+            curve_from_jsonl("\n".join(lines))
+
+    def test_invalid_curve_content_rejected(self):
+        curve = self.make()
+        text = curve_to_jsonl(curve)
+        # Swap the two step records so starts are not increasing.
+        lines = text.splitlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        with pytest.raises(CurveFormatError, match="invalid curve"):
+            curve_from_jsonl("\n".join(lines))
+
+    def test_unreadable_path_rejected(self, tmp_path):
+        with pytest.raises(CurveFormatError, match="cannot read"):
+            load_curve(tmp_path / "missing.jsonl")
+
+    def test_source_named_in_errors(self):
+        with pytest.raises(CurveFormatError, match="grid.price"):
+            curve_from_jsonl("", source="grid.price")

@@ -1,0 +1,168 @@
+"""Grid-aware selection tests: quotes, objectives, and degeneracy to
+the paper's efficiency-based Resilience Selection."""
+
+import pytest
+
+from repro.grid.curves import FlatCurve, SinusoidalCurve
+from repro.resilience.grid_aware import (
+    OBJECTIVES,
+    GridAwareSelection,
+    expected_energy,
+    quote,
+)
+from repro.resilience.registry import get_technique, scaling_study_techniques
+from repro.units import years
+from repro.workload.synthetic import make_application
+
+HOUR_S = 3600.0
+PRICE = FlatCurve(0.12)
+CARBON = FlatCurve(400.0)
+
+
+@pytest.fixture
+def app():
+    return make_application("A32", nodes=120, time_steps=60)
+
+
+class TestQuote:
+    def test_quote_populates_all_dimensions(self, small_system, app):
+        q = quote(
+            get_technique("checkpoint_restart"),
+            app,
+            small_system,
+            years(2.5),
+            price=PRICE,
+            carbon=CARBON,
+        )
+        assert q.technique == "checkpoint_restart"
+        assert q.nodes >= app.nodes
+        assert 0 < q.expected_efficiency <= 1.0
+        assert q.expected_elapsed_s > 0
+        assert q.energy.total_j > 0
+        assert q.cost.total_usd > 0
+        assert q.cost.total_g > 0
+        assert q.cost.energy_kwh == pytest.approx(
+            q.energy.total_j / 3.6e6
+        )
+
+    def test_objective_value_dispatch(self, small_system, app):
+        q = quote(
+            get_technique("checkpoint_restart"),
+            app,
+            small_system,
+            years(2.5),
+            price=PRICE,
+            carbon=CARBON,
+        )
+        assert q.objective_value("cost") == q.cost.total_usd
+        assert q.objective_value("carbon") == q.cost.total_g
+        assert q.objective_value("efficiency") == -q.expected_efficiency
+        with pytest.raises(ValueError, match="unknown objective"):
+            q.objective_value("joules")
+
+    def test_start_time_matters_under_peaked_price(self, small_system, app):
+        curve = SinusoidalCurve(0.12, 0.05, peak_s=18 * HOUR_S)
+        technique = get_technique("checkpoint_restart")
+        off_peak = quote(
+            technique, app, small_system, years(2.5),
+            price=curve, start_s=2 * HOUR_S,
+        )
+        at_peak = quote(
+            technique, app, small_system, years(2.5),
+            price=curve, start_s=18 * HOUR_S,
+        )
+        assert at_peak.cost.total_usd > off_peak.cost.total_usd
+        # The simulated physics is identical; only the bill moves.
+        assert at_peak.expected_efficiency == off_peak.expected_efficiency
+        assert at_peak.energy == off_peak.energy
+
+    def test_redundancy_burns_more_energy_than_multilevel(
+        self, small_system, app
+    ):
+        mtbf = years(2.5)
+        ml = quote(get_technique("multilevel"), app, small_system, mtbf)
+        r2 = quote(get_technique("redundancy_r2"), app, small_system, mtbf)
+        # Twice the nodes burn roughly twice the failure-free joules.
+        assert r2.energy.work_j > 1.8 * ml.energy.work_j
+
+    def test_expected_energy_activities_nonnegative(self, small_system, app):
+        plan = get_technique("multilevel").plan(app, small_system, years(2.5))
+        breakdown = expected_energy(plan, years(2.5))
+        assert breakdown.work_j > 0
+        assert breakdown.rework_j >= 0
+        assert breakdown.checkpoint_j >= 0
+        assert breakdown.total_j >= breakdown.work_j
+
+
+class TestGridAwareSelection:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="node_mtbf_s"):
+            GridAwareSelection(0.0, price=PRICE)
+        with pytest.raises(ValueError, match="unknown objective"):
+            GridAwareSelection(years(2.5), objective="joules", price=PRICE)
+        with pytest.raises(ValueError, match="price curve"):
+            GridAwareSelection(years(2.5), objective="cost")
+        with pytest.raises(ValueError, match="carbon curve"):
+            GridAwareSelection(years(2.5), objective="carbon", price=PRICE)
+        with pytest.raises(ValueError, match="at least one candidate"):
+            GridAwareSelection(years(2.5), price=PRICE, candidates=[])
+
+    def test_objectives_tuple_is_the_public_contract(self):
+        assert OBJECTIVES == ("efficiency", "cost", "carbon")
+
+    def test_cost_selection_minimizes_the_quoted_bill(
+        self, small_system, app
+    ):
+        selector = GridAwareSelection(
+            years(2.5),
+            objective="cost",
+            price=PRICE,
+            candidates=scaling_study_techniques(),
+        )
+        chosen = selector.select(app, small_system)
+        quotes = selector.quotes(app, small_system)
+        cheapest = min(quotes, key=lambda q: q.cost.total_usd)
+        assert chosen.name == cheapest.technique
+        assert selector.selection_counts == {chosen.name: 1}
+
+    def test_efficiency_objective_degrades_to_paper_selection(
+        self, small_system, app
+    ):
+        selector = GridAwareSelection(
+            years(2.5),
+            objective="efficiency",
+            candidates=scaling_study_techniques(),
+        )
+        chosen = selector.select(app, small_system)
+        quotes = selector.quotes(app, small_system)
+        best = max(quotes, key=lambda q: q.expected_efficiency)
+        assert chosen.name == best.technique
+
+    def test_infeasible_candidates_are_filtered(self, small_system):
+        # 700 of 1 200 nodes: r=2 redundancy cannot fit.
+        big = make_application("A32", nodes=700, time_steps=60)
+        selector = GridAwareSelection(
+            years(2.5),
+            objective="cost",
+            price=PRICE,
+            candidates=scaling_study_techniques(),
+        )
+        names = {q.technique for q in selector.quotes(big, small_system)}
+        assert "redundancy_r2" not in names
+        assert "checkpoint_restart" in names
+
+    def test_no_feasible_candidate_raises(self, small_system):
+        big = make_application("A32", nodes=700, time_steps=60)
+        selector = GridAwareSelection(
+            years(2.5),
+            objective="cost",
+            price=PRICE,
+            candidates=[get_technique("redundancy_r2")],
+        )
+        with pytest.raises(ValueError, match="no candidate technique fits"):
+            selector.select(big, small_system)
+
+    def test_selector_name_carries_the_objective(self):
+        assert (
+            GridAwareSelection(years(2.5), price=PRICE).name == "grid_cost"
+        )

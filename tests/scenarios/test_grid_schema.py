@@ -1,0 +1,172 @@
+"""Schema tests for the ``[grid]`` block: strict validation with
+field-path-qualified errors, and provenance digest coverage."""
+
+import pytest
+
+from repro.scenarios import ScenarioError, parse_scenario, spec_sha256
+from repro.scenarios.spec import spec_to_dict
+
+
+def minimal(**overrides):
+    """A valid scaling scenario with a cost-objective grid block."""
+    doc = {
+        "scenario": {"name": "g"},
+        "failures": {"regime": "poisson"},
+        "workload": {
+            "study": "scaling",
+            "app_type": "A32",
+            "fractions": [0.01],
+        },
+        "techniques": {"names": ["checkpoint_restart"]},
+        "run": {"trials": 5},
+        "grid": {
+            "objective": "cost",
+            "start_hour": 8.0,
+            "price": {"kind": "flat", "level": 0.12},
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def err(doc):
+    with pytest.raises(ScenarioError) as excinfo:
+        parse_scenario(doc)
+    return excinfo.value
+
+
+class TestAccepts:
+    def test_minimal_grid(self):
+        spec = parse_scenario(minimal())
+        assert spec.grid is not None
+        assert spec.grid.objective == "cost"
+        assert spec.grid.start_hour == 8.0
+        assert spec.grid.price.kind == "flat"
+        assert spec.grid.carbon is None
+
+    def test_defaults(self):
+        doc = minimal()
+        doc["grid"] = {"carbon": {"kind": "flat", "level": 400.0}}
+        spec = parse_scenario(doc)
+        assert spec.grid.objective == "efficiency"
+        assert spec.grid.start_hour == 0.0
+        assert spec.grid.busy_w is None
+        assert spec.grid.idle_w is None
+
+    def test_all_curve_kinds(self):
+        doc = minimal()
+        doc["grid"]["price"] = {
+            "kind": "piecewise",
+            "hours": [0.0, 7.0, 21.0],
+            "levels": [0.08, 0.24, 0.12],
+        }
+        doc["grid"]["carbon"] = {
+            "kind": "sinusoidal",
+            "base": 420.0,
+            "amplitude": 160.0,
+            "peak_hour": 20.0,
+        }
+        spec = parse_scenario(doc)
+        assert spec.grid.price.kind == "piecewise"
+        assert spec.grid.price.period_hours == 24.0
+        assert spec.grid.carbon.kind == "sinusoidal"
+
+    def test_grid_round_trips_through_spec_to_dict(self):
+        spec = parse_scenario(minimal())
+        again = parse_scenario(spec_to_dict(spec))
+        assert again.grid == spec.grid
+
+    def test_grid_enters_the_provenance_digest(self):
+        base = parse_scenario(minimal())
+        hotter = minimal()
+        hotter["grid"]["price"]["level"] = 0.13
+        assert spec_sha256(base) != spec_sha256(parse_scenario(hotter))
+
+    def test_absent_grid_is_none(self):
+        doc = minimal()
+        del doc["grid"]
+        assert parse_scenario(doc).grid is None
+
+
+class TestRejects:
+    def test_unknown_grid_key(self):
+        doc = minimal()
+        doc["grid"]["tariff"] = "x"
+        assert "grid" in err(doc).path
+
+    def test_unknown_objective(self):
+        doc = minimal()
+        doc["grid"]["objective"] = "joules"
+        assert err(doc).path == "grid.objective"
+
+    def test_cost_objective_requires_price_curve(self):
+        doc = minimal()
+        doc["grid"] = {"objective": "cost", "carbon": {"kind": "flat", "level": 1.0}}
+        error = err(doc)
+        assert error.path == "grid.objective"
+        assert "price" in error.reason
+
+    def test_carbon_objective_requires_carbon_curve(self):
+        doc = minimal()
+        doc["grid"] = {"objective": "carbon", "price": {"kind": "flat", "level": 1.0}}
+        assert err(doc).path == "grid.objective"
+
+    def test_at_least_one_curve_required(self):
+        doc = minimal()
+        doc["grid"] = {"objective": "efficiency"}
+        assert "curve table" in err(doc).reason
+
+    def test_start_hour_range(self):
+        doc = minimal()
+        doc["grid"]["start_hour"] = 24.0
+        assert err(doc).path == "grid.start_hour"
+
+    def test_idle_above_busy(self):
+        doc = minimal()
+        doc["grid"]["busy_w"] = 200.0
+        doc["grid"]["idle_w"] = 300.0
+        assert err(doc).path == "grid.idle_w"
+
+    def test_curve_param_invalid_for_kind(self):
+        doc = minimal()
+        doc["grid"]["price"] = {"kind": "flat", "level": 0.1, "base": 0.2}
+        error = err(doc)
+        assert error.path == "grid.price.base"
+        assert "not valid for curve kind" in error.reason
+
+    def test_piecewise_must_start_at_zero(self):
+        doc = minimal()
+        doc["grid"]["price"] = {
+            "kind": "piecewise",
+            "hours": [1.0, 2.0],
+            "levels": [0.1, 0.2],
+        }
+        assert err(doc).path == "grid.price.hours"
+
+    def test_piecewise_levels_pair_with_hours(self):
+        doc = minimal()
+        doc["grid"]["price"] = {
+            "kind": "piecewise",
+            "hours": [0.0, 2.0],
+            "levels": [0.1],
+        }
+        assert err(doc).path == "grid.price.levels"
+
+    def test_trace_kind_requires_trace_file(self):
+        doc = minimal()
+        doc["grid"]["price"] = {"kind": "trace"}
+        assert err(doc).path == "grid.price.trace_file"
+
+    def test_grid_requires_scaling_study(self):
+        doc = minimal(workload={"study": "datacenter", "mode": "techniques"})
+        del doc["techniques"]
+        del doc["run"]
+        error = err(doc)
+        assert "scaling" in error.reason
+
+    def test_grid_rejects_trace_failure_replay(self):
+        doc = minimal(
+            failures={"regime": "trace", "trace_file": "traces/x.jsonl"}
+        )
+        error = err(doc)
+        assert "trace" in error.reason
